@@ -1,0 +1,115 @@
+// Shared scenario runner for the experiment harnesses (see DESIGN.md §5
+// and EXPERIMENTS.md).  Each exp_* binary sweeps parameters over
+// RunScenario and prints an eval::Table.
+
+#ifndef HISTKANON_BENCH_EXP_COMMON_H_
+#define HISTKANON_BENCH_EXP_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/anon/tolerance.h"
+#include "src/common/rng.h"
+#include "src/common/str.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table.h"
+#include "src/sim/population.h"
+#include "src/sim/simulator.h"
+#include "src/ts/adversary.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace bench {
+
+/// \brief Everything an experiment varies.
+struct Scenario {
+  sim::PopulationOptions population;
+  ts::TrustedServerOptions ts_options;
+  ts::PrivacyPolicy policy = ts::PrivacyPolicy::FromConcern(
+      ts::PrivacyConcern::kMedium);
+  /// Tolerance profile for the service commute requests go to (id 0).
+  anon::ServiceProfile commute_service = anon::service_presets::LocalizedNews(0);
+  /// Tolerance profile for background requests (id 1).
+  anon::ServiceProfile background_service =
+      anon::service_presets::LocalizedNews(1);
+  int days = 14;
+  uint64_t seed = 2005;
+  std::string recurrence = "3.weekdays * 2.week";
+};
+
+/// \brief A completed run with everything the metrics need.
+struct ScenarioRun {
+  std::unique_ptr<sim::World> world;
+  std::vector<sim::CommuterInfo> commuters;
+  std::unique_ptr<ts::ServiceProvider> provider;
+  std::unique_ptr<ts::TrustedServer> server;
+
+  /// Commuters whose (per-LBQID) trace satisfies Historical k-anonymity.
+  size_t HkaOkCount() const {
+    size_t ok = 0;
+    for (const sim::CommuterInfo& commuter : commuters) {
+      if (server->EvaluateTraceHka(commuter.user, 0).satisfied) ++ok;
+    }
+    return ok;
+  }
+
+  /// Fraction helper.
+  double HkaOkFraction() const {
+    return commuters.empty()
+               ? 0.0
+               : static_cast<double>(HkaOkCount()) /
+                     static_cast<double>(commuters.size());
+  }
+};
+
+/// Runs the standard city scenario through the trusted server.
+inline ScenarioRun RunScenario(const Scenario& scenario) {
+  ScenarioRun run;
+  common::Rng rng(scenario.seed);
+  sim::Population population =
+      sim::BuildPopulation(scenario.population, &rng);
+  run.world = std::make_unique<sim::World>(std::move(population.world));
+  run.commuters = population.commuters;
+
+  run.server = std::make_unique<ts::TrustedServer>(scenario.ts_options);
+  run.provider = std::make_unique<ts::ServiceProvider>(run.world.get());
+  run.server->ConnectServiceProvider(run.provider.get());
+  anon::ServiceProfile commute = scenario.commute_service;
+  commute.id = 0;
+  anon::ServiceProfile background = scenario.background_service;
+  background.id = 1;
+  run.server->RegisterService(commute).ok();
+  run.server->RegisterService(background).ok();
+
+  const tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  for (const sim::CommuterInfo& commuter : run.commuters) {
+    run.server->RegisterUser(commuter.user, scenario.policy).ok();
+    auto lbqid = sim::MakeCommuteLbqid(commuter, scenario.population,
+                                       registry, scenario.recurrence);
+    if (lbqid.ok()) run.server->RegisterLbqid(commuter.user, *lbqid).ok();
+  }
+
+  sim::SimulationOptions sim_options;
+  sim_options.end =
+      static_cast<geo::Instant>(scenario.days) * tgran::kSecondsPerDay;
+  sim::Simulator simulator(std::move(population.agents), sim_options);
+  simulator.Run(run.server.get());
+  return run;
+}
+
+/// Formats a fraction as "0.93".
+inline std::string Frac(double value) {
+  return common::Format("%.2f", value);
+}
+
+/// Formats a count.
+inline std::string Count(size_t value) {
+  return common::Format("%zu", value);
+}
+
+}  // namespace bench
+}  // namespace histkanon
+
+#endif  // HISTKANON_BENCH_EXP_COMMON_H_

@@ -1,0 +1,108 @@
+// D1 — Deployability analysis (Section 7's purpose (b)): given two weeks
+// of mobility history, for which parts of the city and which tolerance
+// constraints is the privacy guarantee sustainable?  Prints per-service
+// feasibility maps (morning rush window) and a summary table.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+#include "src/deploy/analyzer.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+// Collects raw mobility into a MOD without any anonymization (the
+// deployability study runs on the carrier's own history).
+class ModSink : public sim::EventSink {
+ public:
+  void OnLocationUpdate(mod::UserId user,
+                        const geo::STPoint& sample) override {
+    db_.Append(user, sample).ok();
+  }
+  void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                        const sim::RequestIntent& intent) override {
+    (void)intent;
+    db_.Append(user, exact).ok();
+  }
+  const mod::MovingObjectDb& db() const { return db_; }
+
+ private:
+  mod::MovingObjectDb db_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "D1: deployability maps, morning window [08:00,09:00], weekdays of "
+      "week 1\n    (40 commuters + 250 wanderers; cell = 1 km; '#' "
+      "deployable, '+' marginal, '.' not)\n\n");
+
+  common::Rng rng(424242);
+  sim::PopulationOptions population;
+  population.num_commuters = 40;
+  population.num_wanderers = 250;
+  sim::Population pop = sim::BuildPopulation(population, &rng);
+  ModSink sink;
+  sim::SimulationOptions sim_options;
+  sim_options.end = 7 * tgran::kSecondsPerDay;
+  sim::Simulator simulator(std::move(pop.agents), sim_options);
+  simulator.Run(&sink);
+
+  const tgran::UTimeInterval window = *tgran::UTimeInterval::FromHours(8, 9);
+  const std::vector<int64_t> weekdays = {0, 1, 2, 3, 4};
+
+  struct Case {
+    const char* name;
+    anon::ServiceProfile service;
+    size_t k;
+  };
+  const Case cases[] = {
+      {"news k=5", anon::service_presets::LocalizedNews(0), 5},
+      {"hospital k=5", anon::service_presets::NearestHospital(0), 5},
+      {"hospital k=10", anon::service_presets::NearestHospital(0), 10},
+      {"navigation k=5", anon::service_presets::TurnByTurnNavigation(0), 5},
+  };
+
+  eval::Table table({"service", "k", "deployable-cells", "fraction",
+                     "mean-anonymity-set", "gen-feasibility",
+                     "mixzone-availability"});
+  for (const Case& test_case : cases) {
+    deploy::DeployabilityOptions options;
+    options.k = test_case.k;
+    options.tolerance = test_case.service.tolerance;
+    deploy::DeployabilityAnalyzer analyzer(&sink.db(), options);
+    const auto report =
+        analyzer.Analyze(pop.world.Bounds(), window, weekdays);
+    if (!report.ok()) {
+      std::printf("analysis failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    double anonymity = 0.0;
+    double gen = 0.0;
+    double mix = 0.0;
+    for (const deploy::CellReport& cell : report->cells) {
+      anonymity += cell.mean_anonymity_set;
+      gen += cell.generalization_feasibility;
+      mix += cell.mixzone_availability;
+    }
+    const double n = static_cast<double>(report->cells.size());
+    table.AddRow({test_case.name, bench::Count(test_case.k),
+                  common::Format("%zu/%zu", report->DeployableCells(),
+                                 report->cells.size()),
+                  bench::Frac(report->DeployableFraction()),
+                  common::Format("%.1f", anonymity / n),
+                  bench::Frac(gen / n), bench::Frac(mix / n)});
+
+    std::printf("--- %s ---\n%s\n", test_case.name,
+                report->RenderAsciiMap().c_str());
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: loose tolerance deploys everywhere; tight\n"
+      "tolerance survives only downtown (density) — the Section-7 point\n"
+      "that deployability is a property of area + service + policy.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E11 — Anchor-quality ablation (follow-up to E2's finding that anchor
+// QUALITY beats anchor proximity for trace-level anonymity): Algorithm 1's
+// literal "k nearest trajectories" vs the trajectory-similarity extension
+// that prefers co-moving users from a larger nearby pool.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+#include "src/anon/hka.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+int main() {
+  std::printf(
+      "E11: anchor selection strategy vs trace-level anonymity\n"
+      "     (k=5, 40 commuters + 160 wanderers, 14 days, 3 seeds)\n\n");
+
+  struct Variant {
+    const char* name;
+    anon::AnchorStrategy strategy;
+  };
+  const Variant variants[] = {
+      {"nearest-sample (Algorithm 1)", anon::AnchorStrategy::kNearestSample},
+      {"trajectory-similarity (ext.)",
+       anon::AnchorStrategy::kTrajectorySimilarity},
+  };
+
+  eval::Table table({"strategy", "HkA-ok", "HkA@m=16", "HkA@m=24",
+                     "mean-witnesses", "mean-area(km^2)", "at-risk"});
+  for (const Variant& variant : variants) {
+    double hka_sum = 0.0;
+    double deep16_ok = 0.0;
+    double deep16_n = 0.0;
+    double deep24_ok = 0.0;
+    double deep24_n = 0.0;
+    double witness_sum = 0.0;
+    double witness_n = 0.0;
+    double area_sum = 0.0;
+    double area_n = 0.0;
+    size_t at_risk = 0;
+    const int seeds = 3;
+    for (int seed = 0; seed < seeds; ++seed) {
+      bench::Scenario scenario;
+      scenario.population.num_commuters = 40;
+      scenario.population.num_wanderers = 160;
+      scenario.policy.k = 5;
+      scenario.policy.k_schedule = anon::KSchedule{};
+      scenario.ts_options.generalizer.anchor_strategy = variant.strategy;
+      scenario.seed = 1111 + static_cast<uint64_t>(seed);
+      const bench::ScenarioRun run = bench::RunScenario(scenario);
+      hka_sum += run.HkaOkFraction();
+      at_risk += run.server->stats().at_risk_notifications;
+      area_sum += run.server->stats().generalized_area_sum / 1e6;
+      area_n +=
+          static_cast<double>(run.server->stats().forwarded_generalized);
+
+      const anon::HkaEvaluator evaluator(&run.server->db());
+      for (const sim::CommuterInfo& commuter : run.commuters) {
+        std::vector<geo::STBox> contexts =
+            run.server->TraceContextsOf(commuter.user, 0);
+        witness_sum += static_cast<double>(
+            evaluator.Evaluate(commuter.user, contexts, 5)
+                .consistent_others);
+        witness_n += 1.0;
+        for (const size_t depth : {16u, 24u}) {
+          if (contexts.size() < depth) continue;
+          std::vector<geo::STBox> prefix(contexts.begin(),
+                                         contexts.begin() + depth);
+          const bool ok =
+              evaluator.Evaluate(commuter.user, prefix, 5).satisfied;
+          if (depth == 16) {
+            deep16_n += 1.0;
+            deep16_ok += ok ? 1.0 : 0.0;
+          } else {
+            deep24_n += 1.0;
+            deep24_ok += ok ? 1.0 : 0.0;
+          }
+        }
+      }
+    }
+    table.AddRow(
+        {variant.name, bench::Frac(hka_sum / seeds),
+         deep16_n == 0.0 ? "-" : bench::Frac(deep16_ok / deep16_n),
+         deep24_n == 0.0 ? "-" : bench::Frac(deep24_ok / deep24_n),
+         common::Format("%.1f", witness_sum / witness_n),
+         common::Format("%.3f", area_n == 0.0 ? 0.0 : area_sum / area_n),
+         bench::Count(at_risk / seeds)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: similarity-selected anchors (fellow commuters)\n"
+      "stay LT-consistent deeper into the trace, raising HkA survival at\n"
+      "m=16/24; since they also co-locate, the boxes should not balloon.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E1 — Historical k-anonymity success vs k (motivated by Sections 6.1-6.2
+// and Theorem 1): for k in {2..20}, the fraction of commuters whose
+// LBQID-matching trace still satisfies HkA after two simulated weeks, the
+// per-request generalization success rate, and the incident counters.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+int main() {
+  std::printf(
+      "E1: HkA success vs k  (40 commuters + 160 wanderers, 14 days, "
+      "3 seeds)\n\n");
+
+  eval::Table table({"k", "HkA-ok", "gen-success", "at-risk", "unlinked",
+                     "leaked-lbqids"});
+  for (const size_t k : {2u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+    double hka_sum = 0.0;
+    double success_sum = 0.0;
+    size_t at_risk = 0;
+    size_t unlinked = 0;
+    size_t leaks = 0;
+    const int seeds = 3;
+    for (int seed = 0; seed < seeds; ++seed) {
+      bench::Scenario scenario;
+      scenario.population.num_commuters = 40;
+      scenario.population.num_wanderers = 160;
+      scenario.policy.k = k;
+      scenario.policy.k_schedule = anon::KSchedule{};  // Base Algorithm 1.
+      scenario.seed = 2005 + static_cast<uint64_t>(seed);
+      const bench::ScenarioRun run = bench::RunScenario(scenario);
+      const ts::TsStats& stats = run.server->stats();
+      hka_sum += run.HkaOkFraction();
+      const size_t lbqid_requests = stats.forwarded_generalized +
+                                    stats.at_risk_notifications +
+                                    stats.unlink_successes;
+      success_sum += lbqid_requests == 0
+                         ? 1.0
+                         : static_cast<double>(stats.forwarded_generalized) /
+                               static_cast<double>(lbqid_requests);
+      at_risk += stats.at_risk_notifications;
+      unlinked += stats.unlink_successes;
+      leaks += stats.lbqid_completions;
+    }
+    table.AddRow({bench::Count(k), bench::Frac(hka_sum / seeds),
+                  bench::Frac(success_sum / seeds),
+                  bench::Count(at_risk / seeds),
+                  bench::Count(unlinked / seeds),
+                  bench::Count(leaks / seeds)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: gen-success falls and incident counters rise\n"
+      "monotonically with k (larger k needs larger boxes that overrun\n"
+      "tolerance).  HkA-ok dips in the middle: small k is easy, mid k\n"
+      "erodes witness pools over long traces, and at large k Algorithm 1\n"
+      "fails so often that the at-risk boxes are clipped AT the (loose)\n"
+      "tolerance bound - contexts so large they satisfy HkA trivially\n"
+      "while the user is being notified of the risk.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// E2 — Quality-of-service cost vs k and user density (Section 6.2's
+// "trade-off between quality of service ... and degree of anonymity"):
+// the mean generalized area and time window Algorithm 1 must hand the SP,
+// as functions of k and of how many users share the city.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+int main() {
+  std::printf(
+      "E2: QoS degradation (mean generalized context) vs k and density\n"
+      "    (40 commuters, 14 days)\n\n");
+
+  eval::Table table({"wanderers", "k", "generalized", "mean-area(km^2)",
+                     "mean-window(s)", "mean-volume(km^2*s)"});
+  for (const size_t wanderers : {60u, 160u, 400u}) {
+    for (const size_t k : {2u, 5u, 10u}) {
+      bench::Scenario scenario;
+      scenario.population.num_commuters = 40;
+      scenario.population.num_wanderers = wanderers;
+      scenario.policy.k = k;
+      scenario.policy.k_schedule = anon::KSchedule{};
+      const bench::ScenarioRun run = bench::RunScenario(scenario);
+      const ts::TsStats& stats = run.server->stats();
+      const double n =
+          std::max<size_t>(1, stats.forwarded_generalized);
+      double volume_sum = 0.0;
+      for (const ts::ProcessOutcome& outcome : run.server->outcomes()) {
+        if (outcome.disposition == ts::Disposition::kForwardedGeneralized) {
+          volume_sum += outcome.forwarded_request.context.Volume();
+        }
+      }
+      table.AddRow({bench::Count(wanderers), bench::Count(k),
+                    bench::Count(stats.forwarded_generalized),
+                    common::Format("%.3f", stats.generalized_area_sum / n /
+                                               1e6),
+                    common::Format("%.0f",
+                                   stats.generalized_window_sum / n),
+                    common::Format("%.1f", volume_sum / n / 1e6)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: area/window grow with k and shrink with density\n"
+      "(more users nearby -> the k-th nearest trajectory is closer).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E6 — Adversarial re-identification vs Theta and unlinking (Sections 1,
+// 5.2, 6.3, Theorem 1): the attacking SP stitches traces with a tracking
+// linker at its own threshold Theta and runs the phone-book home lookup.
+// Deployments compared: exact-position passthrough, the TS without
+// unlinking, and the full TS.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+#include "src/baselines/no_privacy.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+struct AttackOutcome {
+  size_t claims = 0;
+  size_t correct = 0;
+  size_t traces = 0;
+};
+
+AttackOutcome AttackTs(const bench::ScenarioRun& run, double theta) {
+  ts::AdversaryOptions options;
+  options.theta = theta;
+  ts::Adversary adversary(run.world.get(), options);
+  const auto identifications = adversary.Attack(run.provider->log());
+  const eval::IdentificationScore score = eval::ScoreIdentifications(
+      identifications, run.server->pseudonyms(), run.commuters.size());
+  return AttackOutcome{score.claims, score.correct,
+                       adversary.LinkPseudonyms(run.provider->log()).size()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E6: adversary re-identification (30 commuters + 120 wanderers, 14 "
+      "days)\n\n");
+
+  eval::Table table({"deployment", "theta", "traces", "claims", "correct",
+                     "recall"});
+
+  // Deployment A: exact positions, fixed pseudonyms.
+  for (const double theta : {0.3, 0.5, 0.8}) {
+    common::Rng rng(31337);
+    sim::PopulationOptions population;
+    population.num_commuters = 30;
+    population.num_wanderers = 120;
+    sim::Population pop = sim::BuildPopulation(population, &rng);
+    baselines::NoPrivacyServer server;
+    ts::ServiceProvider provider(&pop.world);
+    server.ConnectServiceProvider(&provider);
+    sim::SimulationOptions sim_options;
+    sim_options.end = 14 * tgran::kSecondsPerDay;
+    sim::Simulator simulator(std::move(pop.agents), sim_options);
+    simulator.Run(&server);
+
+    ts::AdversaryOptions adversary_options;
+    adversary_options.theta = theta;
+    ts::Adversary adversary(&pop.world, adversary_options);
+    const auto identifications = adversary.Attack(provider.log());
+    const eval::IdentificationScore score = eval::ScoreIdentifications(
+        identifications, server.PseudonymTruth(), population.num_commuters);
+    table.AddRow({"no-privacy", bench::Frac(theta),
+                  bench::Count(adversary.LinkPseudonyms(provider.log())
+                                   .size()),
+                  bench::Count(score.claims), bench::Count(score.correct),
+                  bench::Frac(score.Recall())});
+  }
+
+  // Deployments B/C: the TS without and with unlinking.
+  for (const bool unlinking : {false, true}) {
+    for (const double theta : {0.3, 0.5, 0.8}) {
+      bench::Scenario scenario;
+      scenario.population.num_commuters = 30;
+      scenario.population.num_wanderers = 120;
+      scenario.seed = 31337;
+      scenario.policy.k = 5;
+      scenario.ts_options.enable_unlinking = unlinking;
+      const bench::ScenarioRun run = bench::RunScenario(scenario);
+      const AttackOutcome outcome = AttackTs(run, theta);
+      table.AddRow({unlinking ? "trusted-server" : "ts-no-unlinking",
+                    bench::Frac(theta), bench::Count(outcome.traces),
+                    bench::Count(outcome.claims),
+                    bench::Count(outcome.correct),
+                    bench::Frac(static_cast<double>(outcome.correct) /
+                                static_cast<double>(
+                                    scenario.population.num_commuters))});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: no-privacy recall is the ceiling; the TS cuts it\n"
+      "sharply (generalized contexts starve the phone book); a lower\n"
+      "adversary Theta stitches more traces but adds wrong ones.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E7 — Anonymity-vs-QoS frontier against the related work (Section 2):
+// the Gruteser-Grunwald per-request cloak [11], the Gedik-Liu-style
+// actual-senders cloak [9], a no-privacy passthrough, and this paper's
+// historical k-anonymity TS, all on the same workload.  Each system pays
+// a different currency: area blow-up, waiting time, rejections, or
+// service interruptions.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+#include "src/baselines/clique_cloak.h"
+#include "src/baselines/interval_cloak.h"
+#include "src/baselines/no_privacy.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+constexpr size_t kCommuters = 30;
+constexpr size_t kWanderers = 150;
+constexpr int kDays = 14;
+
+sim::Population MakePopulation() {
+  common::Rng rng(7777);
+  sim::PopulationOptions options;
+  options.num_commuters = kCommuters;
+  options.num_wanderers = kWanderers;
+  return sim::BuildPopulation(options, &rng);
+}
+
+void RunSim(std::vector<std::unique_ptr<sim::Agent>> agents,
+            sim::EventSink* sink) {
+  sim::SimulationOptions options;
+  options.end = kDays * tgran::kSecondsPerDay;
+  sim::Simulator simulator(std::move(agents), options);
+  simulator.Run(sink);
+}
+
+template <typename Truth>
+size_t AdversaryHits(const sim::World& world,
+                     const std::vector<anon::ForwardedRequest>& log,
+                     const Truth& truth) {
+  ts::Adversary adversary(&world, ts::AdversaryOptions());
+  return eval::ScoreIdentifications(adversary.Attack(log), truth, kCommuters)
+      .correct;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7: baseline frontier (30 commuters + 150 wanderers, 14 days)\n"
+      "    success = fraction of requests answered; area/window = mean\n"
+      "    forwarded context; adversary-hits = commuters re-identified\n\n");
+
+  eval::Table table({"system", "k", "success", "mean-area(km^2)",
+                     "mean-window(s)", "mean-defer(s)", "adversary-hits"});
+
+  // No privacy.
+  {
+    sim::Population population = MakePopulation();
+    baselines::NoPrivacyServer server;
+    ts::ServiceProvider provider(&population.world);
+    server.ConnectServiceProvider(&provider);
+    RunSim(std::move(population.agents), &server);
+    table.AddRow({"no-privacy", "-",
+                  bench::Frac(server.stats().SuccessRate()), "0.000", "0",
+                  "0",
+                  bench::Count(AdversaryHits(population.world, provider.log(),
+                                             server.PseudonymTruth()))});
+  }
+
+  // Gruteser-Grunwald interval cloak.
+  for (const size_t k : {2u, 5u, 10u}) {
+    sim::Population population = MakePopulation();
+    baselines::IntervalCloakOptions options;
+    options.k = k;
+    baselines::IntervalCloakServer server(population.world.Bounds(), options);
+    ts::ServiceProvider provider(&population.world);
+    server.ConnectServiceProvider(&provider);
+    RunSim(std::move(population.agents), &server);
+    const baselines::CloakStats& stats = server.stats();
+    table.AddRow({"interval-cloak [11]", bench::Count(k),
+                  bench::Frac(stats.SuccessRate()),
+                  common::Format("%.3f", stats.MeanArea() / 1e6),
+                  common::Format("%.0f", stats.MeanWindow()), "0",
+                  bench::Count(AdversaryHits(population.world, provider.log(),
+                                             server.PseudonymTruth()))});
+  }
+
+  // Gedik-Liu-style actual-senders cloak.
+  for (const size_t k : {2u, 5u}) {
+    sim::Population population = MakePopulation();
+    baselines::CliqueCloakOptions options;
+    options.k = k;
+    baselines::CliqueCloakServer server(options);
+    ts::ServiceProvider provider(&population.world);
+    server.ConnectServiceProvider(&provider);
+    RunSim(std::move(population.agents), &server);
+    server.Flush(kDays * tgran::kSecondsPerDay);
+    const baselines::CloakStats& stats = server.stats();
+    const double defer =
+        stats.forwarded == 0
+            ? 0.0
+            : stats.defer_sum / static_cast<double>(stats.forwarded);
+    table.AddRow({"clique-cloak [9]", bench::Count(k),
+                  bench::Frac(stats.SuccessRate()),
+                  common::Format("%.3f", stats.MeanArea() / 1e6),
+                  common::Format("%.0f", stats.MeanWindow()),
+                  common::Format("%.0f", defer),
+                  bench::Count(AdversaryHits(population.world, provider.log(),
+                                             server.PseudonymTruth()))});
+  }
+
+  // This paper's TS.
+  for (const size_t k : {2u, 5u, 10u}) {
+    bench::Scenario scenario;
+    scenario.population.num_commuters = kCommuters;
+    scenario.population.num_wanderers = kWanderers;
+    scenario.seed = 7777;
+    scenario.policy.k = k;
+    const bench::ScenarioRun run = bench::RunScenario(scenario);
+    const ts::TsStats& stats = run.server->stats();
+    const size_t forwarded =
+        stats.forwarded_default + stats.forwarded_generalized;
+    const double gen =
+        std::max<size_t>(1, stats.forwarded_generalized);
+    table.AddRow(
+        {"historical-k (this paper)", bench::Count(k),
+         bench::Frac(static_cast<double>(forwarded) /
+                     static_cast<double>(std::max<size_t>(1,
+                                                          stats.requests))),
+         common::Format("%.3f", stats.generalized_area_sum / gen / 1e6),
+         common::Format("%.0f", stats.generalized_window_sum / gen), "0",
+         bench::Count(AdversaryHits(
+             *run.world, run.provider->log(),
+             [&run](const mod::Pseudonym& pseudonym) {
+               return run.server->pseudonyms().Resolve(pseudonym);
+             }))});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: [11] cloaks every request (area cost everywhere,\n"
+      "no trace guarantee); [9] pays heavy deferral/rejection (actual\n"
+      "senders are rare); historical-k generalizes only LBQID-matching\n"
+      "requests yet is the only one whose guarantee covers the TRACE.\n");
+  return 0;
+}

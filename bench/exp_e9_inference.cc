@@ -1,0 +1,82 @@
+// E9 — Inference-attack ablation (Section 7: "randomization should be
+// used as part of the TS strategy to prevent inference attacks"): an SP
+// that guesses the user's position as the center of each forwarded
+// context.  Without randomization the default context is CENTERED on the
+// true position, so the guess is exact; with randomization the error
+// approaches the context's own scale.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+struct InferenceError {
+  double mean_default = 0.0;
+  double mean_generalized = 0.0;
+  size_t defaults = 0;
+  size_t generalized = 0;
+};
+
+InferenceError MeasureCenterGuess(const bench::ScenarioRun& run) {
+  InferenceError error;
+  // The attacker's guess is the context's area center; ground truth is the
+  // TS-side record of the request's exact point.
+  for (const ts::ProcessOutcome& outcome : run.server->outcomes()) {
+    if (!outcome.forwarded) continue;
+    const double guess_error = geo::Distance(
+        outcome.forwarded_request.context.area.Center(), outcome.exact.p);
+    if (outcome.disposition == ts::Disposition::kForwardedDefault) {
+      error.mean_default += guess_error;
+      ++error.defaults;
+    } else if (outcome.disposition ==
+               ts::Disposition::kForwardedGeneralized) {
+      error.mean_generalized += guess_error;
+      ++error.generalized;
+    }
+  }
+  if (error.defaults > 0) {
+    error.mean_default /= static_cast<double>(error.defaults);
+  }
+  if (error.generalized > 0) {
+    error.mean_generalized /= static_cast<double>(error.generalized);
+  }
+  return error;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E9: center-of-context inference attack, with/without Section-7\n"
+      "    randomization (30 commuters + 120 wanderers, 14 days)\n\n");
+
+  eval::Table table({"randomization", "default-ctxs", "mean-err(m)",
+                     "generalized-ctxs", "mean-err(m)"});
+  for (const bool randomize : {false, true}) {
+    bench::Scenario scenario;
+    scenario.population.num_commuters = 30;
+    scenario.population.num_wanderers = 120;
+    scenario.ts_options.enable_randomization = randomize;
+    scenario.policy = ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff);
+    scenario.policy.concern = ts::PrivacyConcern::kLow;  // Monitor on...
+    scenario.policy.k = 3;
+    scenario.policy.default_context_scale = 1.0;  // ...contexts small.
+    const bench::ScenarioRun run = bench::RunScenario(scenario);
+    const InferenceError error = MeasureCenterGuess(run);
+    table.AddRow({randomize ? "on" : "off", bench::Count(error.defaults),
+                  common::Format("%.1f", error.mean_default),
+                  bench::Count(error.generalized),
+                  common::Format("%.1f", error.mean_generalized)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: without randomization the default-context guess\n"
+      "error is ~0 m (the box is centered on the user); with it the error\n"
+      "rises toward the box scale.  Generalized boxes are less centered to\n"
+      "begin with, so the gain there is smaller.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// F1 — Figure 1 reproduction: the service-provisioning pipeline as a
+// working message trace.  Users -> Trusted Server -> Service Providers,
+// with the request fields of Section 3: (msgid, UserPseudonym, Area,
+// TimeInterval, Data), and the reply routed back by msgid.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/exp_common.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+int main() {
+  std::printf("F1: Figure-1 pipeline message trace\n\n");
+
+  ts::TrustedServer server;
+  sim::WorldOptions world_options;
+  common::Rng rng(1);
+  sim::World world = sim::World::Generate(world_options, &rng);
+  ts::ServiceProvider provider(&world);
+  server.ConnectServiceProvider(&provider);
+  server.RegisterService(anon::service_presets::NearestHospital(0)).ok();
+  server.RegisterUser(0, ts::PrivacyPolicy::FromConcern(
+                             ts::PrivacyConcern::kLow))
+      .ok();
+
+  // A handful of background users so the TS has a population.
+  for (mod::UserId u = 1; u <= 8; ++u) {
+    server.OnLocationUpdate(
+        u, {{2000.0 + 40.0 * static_cast<double>(u), 2000.0},
+            tgran::At(0, 11, 55)});
+  }
+
+  eval::Table table({"hop", "field", "value"});
+  const geo::STPoint exact{{2100, 2050}, tgran::At(0, 12, 0)};
+  table.AddRow({"user->TS", "true identity", "user 0 (TS-side only)"});
+  table.AddRow({"user->TS", "exact position",
+                common::Format("(%.0f, %.0f)", exact.p.x, exact.p.y)});
+  table.AddRow({"user->TS", "exact time", tgran::FormatInstant(exact.t)});
+
+  const ts::ProcessOutcome outcome =
+      server.ProcessRequest(0, exact, 0, "nearest hospital?");
+  const anon::ForwardedRequest& forwarded = outcome.forwarded_request;
+  table.AddRow({"TS->SP", "msgid", common::Format("%lld",
+                                                  static_cast<long long>(
+                                                      forwarded.msgid))});
+  table.AddRow({"TS->SP", "UserPseudonym", forwarded.pseudonym});
+  table.AddRow({"TS->SP", "Area", forwarded.context.area.ToString()});
+  table.AddRow({"TS->SP", "TimeInterval",
+                forwarded.context.time.ToString()});
+  table.AddRow({"TS->SP", "Data", forwarded.data});
+
+  const ts::ServiceReply reply = ts::ServiceProvider(&world).Handle(forwarded);
+  table.AddRow({"SP->TS->user", "reply (by msgid)",
+                common::Format("#%lld: %s",
+                               static_cast<long long>(reply.msgid),
+                               reply.payload.c_str())});
+  table.Print(std::cout);
+
+  std::printf("\nchecks: SP saw no identity/exact position: %s\n",
+              forwarded.context.area.Area() > 0.0 &&
+                      forwarded.pseudonym != "0"
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("        generalized context contains the true position: %s\n",
+              forwarded.context.Contains(exact) ? "PASS" : "FAIL");
+  return 0;
+}

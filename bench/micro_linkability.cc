@@ -1,0 +1,83 @@
+// M3 — google-benchmark microbenchmarks for the linkability machinery:
+// pairwise Link() evaluation, link-graph construction, and the
+// generalization fast path.
+
+#include <benchmark/benchmark.h>
+
+#include "src/anon/generalize.h"
+#include "src/anon/linkability.h"
+#include "src/common/rng.h"
+#include "src/common/str.h"
+#include "src/stindex/grid_index.h"
+
+namespace histkanon {
+namespace {
+
+std::vector<anon::ForwardedRequest> MakeLog(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<anon::ForwardedRequest> log;
+  log.reserve(n);
+  geo::Instant t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += rng.UniformInt(10, 120);
+    anon::ForwardedRequest request;
+    request.pseudonym =
+        common::Format("p%lld", static_cast<long long>(rng.UniformInt(0, 40)));
+    request.context = geo::STBox{
+        geo::Rect::FromCenter({rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                              200, 200),
+        geo::TimeInterval{t, t + 60}};
+    log.push_back(std::move(request));
+  }
+  return log;
+}
+
+void BM_ProximityLink(benchmark::State& state) {
+  const auto log = MakeLog(2, 5);
+  anon::ProximityLinker linker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linker.Link(log[0], log[1]));
+  }
+}
+BENCHMARK(BM_ProximityLink);
+
+void BM_LinkGraphBuild(benchmark::State& state) {
+  const auto log = MakeLog(static_cast<size_t>(state.range(0)), 7);
+  anon::CompositeLinker linker({std::make_shared<anon::PseudonymLinker>(),
+                                std::make_shared<anon::ProximityLinker>()});
+  for (auto _ : state) {
+    anon::LinkGraph graph(log, linker, 0.5);
+    benchmark::DoNotOptimize(graph.component_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LinkGraphBuild)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+void BM_GeneralizeFirstElement(benchmark::State& state) {
+  common::Rng rng(11);
+  mod::MovingObjectDb db;
+  stindex::GridIndex index;
+  for (mod::UserId user = 0; user < 200; ++user) {
+    geo::Instant t = 0;
+    for (int i = 0; i < 100; ++i) {
+      t += rng.UniformInt(60, 600);
+      const geo::STPoint sample{{rng.Uniform(0, 10000),
+                                 rng.Uniform(0, 10000)},
+                                t};
+      if (db.Append(user, sample).ok()) index.Insert(user, sample);
+    }
+  }
+  const anon::Generalizer generalizer(&db, &index);
+  const anon::ToleranceConstraints loose{100000, 100000, 1000000};
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const geo::STPoint exact{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                             rng.UniformInt(0, 60000)};
+    benchmark::DoNotOptimize(
+        generalizer.Generalize(exact, 0, {}, k, loose));
+  }
+}
+BENCHMARK(BM_GeneralizeFirstElement)->Arg(5)->Arg(20);
+
+}  // namespace
+}  // namespace histkanon

@@ -1,0 +1,97 @@
+// M2 — google-benchmark microbenchmarks for LBQID matching and recurrence
+// evaluation: the per-request cost of the TS's monitoring step.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/lbqid/matcher.h"
+
+namespace histkanon {
+namespace {
+
+lbqid::Lbqid MakeCommute() {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto recurrence =
+      tgran::Recurrence::Parse("3.weekdays * 2.week", registry);
+  auto hours = [](int a, int b) {
+    return *tgran::UTimeInterval::FromHours(a, b);
+  };
+  return *lbqid::Lbqid::Create(
+      "commute",
+      {{geo::Rect{0, 0, 200, 200}, hours(7, 9)},
+       {geo::Rect{5000, 5000, 5400, 5400}, hours(7, 10)},
+       {geo::Rect{5000, 5000, 5400, 5400}, hours(16, 18)},
+       {geo::Rect{0, 0, 200, 200}, hours(16, 19)}},
+      *recurrence);
+}
+
+void BM_MatcherAdvanceNonMatching(benchmark::State& state) {
+  const lbqid::Lbqid lbqid = MakeCommute();
+  lbqid::LbqidMatcher matcher(&lbqid);
+  common::Rng rng(1);
+  geo::Instant t = 0;
+  for (auto _ : state) {
+    t += 60;
+    const geo::STPoint point{{rng.Uniform(1000, 4000),
+                              rng.Uniform(1000, 4000)},
+                             t};
+    benchmark::DoNotOptimize(matcher.Advance(point));
+  }
+}
+BENCHMARK(BM_MatcherAdvanceNonMatching);
+
+void BM_MatcherFullCommuteDay(benchmark::State& state) {
+  const lbqid::Lbqid lbqid = MakeCommute();
+  int64_t day = 0;
+  lbqid::LbqidMatcher matcher(&lbqid);
+  for (auto _ : state) {
+    // Four matching advances = one completed sequence instance.
+    matcher.Advance({{100, 100}, tgran::At(day, 7, 30)});
+    matcher.Advance({{5200, 5200}, tgran::At(day, 8, 15)});
+    matcher.Advance({{5200, 5200}, tgran::At(day, 16, 45)});
+    benchmark::DoNotOptimize(
+        matcher.Advance({{100, 100}, tgran::At(day, 17, 30)}));
+    ++day;
+    if (day % 5 == 0) day += 2;  // Skip weekends.
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MatcherFullCommuteDay);
+
+void BM_RecurrenceEvaluation(benchmark::State& state) {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  const tgran::Recurrence recurrence =
+      *tgran::Recurrence::Parse("3.weekdays * 2.week", registry);
+  std::vector<geo::Instant> completions;
+  for (int64_t day = 0; day < state.range(0); ++day) {
+    if (day % 7 >= 5) continue;
+    completions.push_back(tgran::At(day, 18));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recurrence.IsSatisfiedBy(completions));
+  }
+}
+BENCHMARK(BM_RecurrenceEvaluation)->Arg(14)->Arg(90)->Arg(365);
+
+void BM_MatcherSnapshotRoundTrip(benchmark::State& state) {
+  const lbqid::Lbqid lbqid = MakeCommute();
+  lbqid::LbqidMatcher matcher(&lbqid);
+  for (int64_t day = 0; day < 60; ++day) {
+    if (day % 7 >= 5) continue;
+    matcher.Advance({{100, 100}, tgran::At(day, 7, 30)});
+    matcher.Advance({{5200, 5200}, tgran::At(day, 8, 15)});
+    matcher.Advance({{5200, 5200}, tgran::At(day, 16, 45)});
+    matcher.Advance({{100, 100}, tgran::At(day, 17, 30)});
+  }
+  for (auto _ : state) {
+    const lbqid::LbqidMatcher::Snapshot snapshot = matcher.Save();
+    matcher.Restore(snapshot);
+    benchmark::DoNotOptimize(&matcher);
+  }
+}
+BENCHMARK(BM_MatcherSnapshotRoundTrip);
+
+}  // namespace
+}  // namespace histkanon

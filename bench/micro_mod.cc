@@ -1,0 +1,114 @@
+// M4 — google-benchmark microbenchmarks for the moving-object layer: PHL
+// append/interpolation/consistency and the trusted server's per-request
+// hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/mod/moving_object_db.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace {
+
+mod::Phl MakePhl(size_t samples, uint64_t seed) {
+  common::Rng rng(seed);
+  mod::Phl phl;
+  geo::Instant t = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    t += rng.UniformInt(30, 300);
+    phl.Append(geo::STPoint{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                            t})
+        .ok();
+  }
+  return phl;
+}
+
+void BM_PhlAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    mod::Phl phl;
+    for (int i = 0; i < 1000; ++i) {
+      phl.Append(geo::STPoint{{0, 0}, i}).ok();
+    }
+    benchmark::DoNotOptimize(phl.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PhlAppend);
+
+void BM_PhlPositionAt(benchmark::State& state) {
+  const mod::Phl phl = MakePhl(static_cast<size_t>(state.range(0)), 3);
+  const geo::TimeInterval span = phl.Span();
+  common::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phl.PositionAt(rng.UniformInt(span.lo, span.hi)));
+  }
+}
+BENCHMARK(BM_PhlPositionAt)->Arg(1000)->Arg(100000);
+
+void BM_PhlHasSampleIn(benchmark::State& state) {
+  const mod::Phl phl = MakePhl(static_cast<size_t>(state.range(0)), 7);
+  const geo::TimeInterval span = phl.Span();
+  common::Rng rng(9);
+  for (auto _ : state) {
+    const geo::Instant t = rng.UniformInt(span.lo, span.hi);
+    const geo::STBox box{
+        geo::Rect::FromCenter({rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                              500, 500),
+        geo::TimeInterval{t - 300, t + 300}};
+    benchmark::DoNotOptimize(phl.HasSampleIn(box));
+  }
+}
+BENCHMARK(BM_PhlHasSampleIn)->Arg(1000)->Arg(100000);
+
+void BM_LtConsistentUsers(benchmark::State& state) {
+  mod::MovingObjectDb db;
+  common::Rng rng(11);
+  for (mod::UserId user = 0; user < state.range(0); ++user) {
+    geo::Instant t = 0;
+    for (int i = 0; i < 50; ++i) {
+      t += rng.UniformInt(60, 600);
+      db.Append(user, geo::STPoint{{rng.Uniform(0, 10000),
+                                    rng.Uniform(0, 10000)},
+                                   t})
+          .ok();
+    }
+  }
+  const std::vector<geo::STBox> contexts = {
+      {geo::Rect{2000, 2000, 6000, 6000}, geo::TimeInterval{1000, 8000}},
+      {geo::Rect{1000, 1000, 8000, 8000}, geo::TimeInterval{5000, 15000}},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.LtConsistentUsers(contexts));
+  }
+}
+BENCHMARK(BM_LtConsistentUsers)->Arg(100)->Arg(1000);
+
+void BM_TrustedServerRequestHotPath(benchmark::State& state) {
+  ts::TrustedServer server;
+  server.RegisterUser(0, ts::PrivacyPolicy::FromConcern(
+                             ts::PrivacyConcern::kMedium))
+      .ok();
+  common::Rng rng(13);
+  for (mod::UserId u = 1; u <= 100; ++u) {
+    geo::Instant t = 0;
+    for (int i = 0; i < 20; ++i) {
+      t += rng.UniformInt(60, 600);
+      server.OnLocationUpdate(
+          u, geo::STPoint{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                          t});
+    }
+  }
+  geo::Instant t = 20000;
+  for (auto _ : state) {
+    t += 60;
+    benchmark::DoNotOptimize(server.ProcessRequest(
+        0, geo::STPoint{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)}, t},
+        0, "q"));
+  }
+}
+BENCHMARK(BM_TrustedServerRequestHotPath);
+
+}  // namespace
+}  // namespace histkanon

@@ -1,0 +1,113 @@
+// The Section-1 threat, executed: an honest-but-curious service provider
+// mines its request log, stitches traces across pseudonym changes with a
+// tracking linker (Section 5.2 / reference [12]), and re-identifies users
+// by looking small home-hour contexts up in a phone book.  The same attack
+// runs against an unprotected deployment and against the Trusted Server.
+//
+// Run: ./build/examples/example_adversary_attack
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/baselines/no_privacy.h"
+#include "src/eval/metrics.h"
+#include "src/common/str.h"
+#include "src/eval/table.h"
+#include "src/sim/population.h"
+#include "src/sim/simulator.h"
+#include "src/ts/adversary.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: example brevity.
+
+namespace {
+
+sim::PopulationOptions MakeOptions() {
+  sim::PopulationOptions options;
+  options.num_commuters = 30;
+  options.num_wanderers = 90;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  eval::Table table(
+      {"deployment", "SP-requests", "traces", "claims", "correct",
+       "precision", "recall"});
+
+  // --- Deployment A: pseudonyms only, exact positions forwarded. ---
+  {
+    common::Rng rng(31337);
+    sim::Population population = sim::BuildPopulation(MakeOptions(), &rng);
+    baselines::NoPrivacyServer server;
+    ts::ServiceProvider provider(&population.world);
+    server.ConnectServiceProvider(&provider);
+    sim::SimulationOptions sim_options;
+    sim_options.end = 14 * tgran::kSecondsPerDay;
+    sim::Simulator simulator(std::move(population.agents), sim_options);
+    simulator.Run(&server);
+
+    ts::Adversary adversary(&population.world, ts::AdversaryOptions());
+    const auto identifications = adversary.Attack(provider.log());
+    const eval::IdentificationScore score = eval::ScoreIdentifications(
+        identifications, server.PseudonymTruth(),
+        MakeOptions().num_commuters);
+    table.AddRow({"no-privacy (exact, fixed pseudonym)",
+                  common::Format("%zu", provider.log().size()),
+                  common::Format("%zu",
+                                 adversary.LinkPseudonyms(provider.log())
+                                     .size()),
+                  common::Format("%zu", score.claims),
+                  common::Format("%zu", score.correct),
+                  common::Format("%.2f", score.Precision()),
+                  common::Format("%.2f", score.Recall())});
+  }
+
+  // --- Deployment B: the Trusted Server with historical k-anonymity. ---
+  {
+    common::Rng rng(31337);
+    sim::Population population = sim::BuildPopulation(MakeOptions(), &rng);
+    ts::TrustedServer server;
+    ts::ServiceProvider provider(&population.world);
+    server.ConnectServiceProvider(&provider);
+    server.RegisterService(anon::service_presets::LocalizedNews(0)).ok();
+    server.RegisterService(anon::service_presets::LocalizedNews(1)).ok();
+    const tgran::GranularityRegistry registry =
+        tgran::GranularityRegistry::WithDefaults();
+    for (const sim::CommuterInfo& commuter : population.commuters) {
+      server
+          .RegisterUser(commuter.user, ts::PrivacyPolicy::FromConcern(
+                                           ts::PrivacyConcern::kMedium))
+          .ok();
+      auto lbqid =
+          sim::MakeCommuteLbqid(commuter, MakeOptions(), registry);
+      if (lbqid.ok()) server.RegisterLbqid(commuter.user, *lbqid).ok();
+    }
+    sim::SimulationOptions sim_options;
+    sim_options.end = 14 * tgran::kSecondsPerDay;
+    sim::Simulator simulator(std::move(population.agents), sim_options);
+    simulator.Run(&server);
+
+    ts::Adversary adversary(&population.world, ts::AdversaryOptions());
+    const auto identifications = adversary.Attack(provider.log());
+    const eval::IdentificationScore score = eval::ScoreIdentifications(
+        identifications, server.pseudonyms(), MakeOptions().num_commuters);
+    table.AddRow({"trusted server (historical k-anonymity)",
+                  common::Format("%zu", provider.log().size()),
+                  common::Format("%zu",
+                                 adversary.LinkPseudonyms(provider.log())
+                                     .size()),
+                  common::Format("%zu", score.claims),
+                  common::Format("%zu", score.correct),
+                  common::Format("%.2f", score.Precision()),
+                  common::Format("%.2f", score.Recall())});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nThe exact-position deployment hands the adversary the Section-1\n"
+      "attack on a plate; the TS's generalized contexts starve the phone-\n"
+      "book lookup and its unlinking breaks cross-day trace stitching.\n");
+  return 0;
+}

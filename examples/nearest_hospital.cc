@@ -1,0 +1,120 @@
+// Section 6.1's motivating tension: a nearest-hospital service only works
+// with a context of "at most ... a few square miles and a time-window ...
+// of at most a few minutes", while anonymity wants the context LARGE.
+// This example sweeps the user's privacy dial (off/low/medium/high) and
+// shows the quality-of-service / anonymity / service-disruption trade-off
+// on the same workload.
+//
+// Run: ./build/examples/example_nearest_hospital
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/str.h"
+#include "src/eval/table.h"
+#include "src/sim/population.h"
+#include "src/sim/simulator.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: example brevity.
+
+namespace {
+
+struct RunResult {
+  ts::TsStats stats;
+  size_t hka_ok = 0;
+  size_t commuters = 0;
+};
+
+RunResult RunWithConcern(ts::PrivacyConcern concern) {
+  sim::PopulationOptions options;
+  options.num_commuters = 30;
+  options.num_wanderers = 90;
+  // Every commuter request goes to the hospital service.
+  options.commuter.commute_service = 0;
+  options.commuter.background_service = 0;
+  options.wanderer.service = 0;
+  common::Rng rng(77);
+  sim::Population population = sim::BuildPopulation(options, &rng);
+
+  // A cautious deployment: when generalization AND unlinking fail, the
+  // request is dropped (the paper's "refrain from sending sensitive
+  // information, disrupt the service"), so a leak below means the LBQID
+  // was actually released to the SP.
+  ts::TrustedServerOptions ts_options;
+  ts_options.forward_when_at_risk = false;
+  ts::TrustedServer server(ts_options);
+  ts::ServiceProvider provider(&population.world);
+  server.ConnectServiceProvider(&provider);
+  server.RegisterService(anon::service_presets::NearestHospital(0)).ok();
+
+  const tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  const ts::PrivacyPolicy policy = ts::PrivacyPolicy::FromConcern(concern);
+  for (const sim::CommuterInfo& commuter : population.commuters) {
+    server.RegisterUser(commuter.user, policy).ok();
+    auto lbqid = sim::MakeCommuteLbqid(commuter, options, registry);
+    if (lbqid.ok()) server.RegisterLbqid(commuter.user, *lbqid).ok();
+  }
+
+  sim::SimulationOptions sim_options;
+  sim_options.end = 14 * tgran::kSecondsPerDay;
+  sim::Simulator simulator(std::move(population.agents), sim_options);
+  simulator.Run(&server);
+
+  RunResult result;
+  result.stats = server.stats();
+  result.commuters = population.commuters.size();
+  for (const sim::CommuterInfo& commuter : population.commuters) {
+    if (server.EvaluateTraceHka(commuter.user, 0).satisfied) ++result.hka_ok;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "nearest-hospital service: tolerance %.0f m x %.0f m area, %lld s "
+      "window\n\n",
+      anon::service_presets::NearestHospital(0).tolerance.max_area_width,
+      anon::service_presets::NearestHospital(0).tolerance.max_area_height,
+      static_cast<long long>(anon::service_presets::NearestHospital(0)
+                                 .tolerance.max_time_window));
+
+  eval::Table table({"concern", "k", "generalized", "mean-area(km^2)",
+                     "mean-window(s)", "unlinked", "at-risk", "HkA-ok",
+                     "lbqid-leaks"});
+  for (const ts::PrivacyConcern concern :
+       {ts::PrivacyConcern::kOff, ts::PrivacyConcern::kLow,
+        ts::PrivacyConcern::kMedium, ts::PrivacyConcern::kHigh}) {
+    const ts::PrivacyPolicy policy = ts::PrivacyPolicy::FromConcern(concern);
+    const RunResult run = RunWithConcern(concern);
+    const double mean_area =
+        run.stats.forwarded_generalized == 0
+            ? 0.0
+            : run.stats.generalized_area_sum /
+                  static_cast<double>(run.stats.forwarded_generalized) / 1e6;
+    const double mean_window =
+        run.stats.forwarded_generalized == 0
+            ? 0.0
+            : run.stats.generalized_window_sum /
+                  static_cast<double>(run.stats.forwarded_generalized);
+    table.AddRow(
+        {std::string(ts::PrivacyConcernToString(concern)),
+         common::Format("%zu", policy.k),
+         common::Format("%zu", run.stats.forwarded_generalized),
+         common::Format("%.3f", mean_area),
+         common::Format("%.0f", mean_window),
+         common::Format("%zu", run.stats.unlink_successes),
+         common::Format("%zu", run.stats.at_risk_notifications),
+         common::Format("%zu/%zu", run.hka_ok, run.commuters),
+         common::Format("%zu", run.stats.lbqid_completions)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: higher concern -> larger contexts and more service\n"
+      "interruptions, but fewer users whose commute LBQID leaks with an\n"
+      "identifiable trace.\n");
+  return 0;
+}

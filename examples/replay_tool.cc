@@ -1,0 +1,168 @@
+// An offline analyst tool: generate (or load) a mobility history, replay a
+// request workload through the trusted server under an expert rule-based
+// policy, and export what the service provider saw as CSV — demonstrating
+// persistence (src/mod/io), rule policies (src/ts/policy_rules), and the
+// Theorem-1 self-audit on a stored dataset.
+//
+// Usage:
+//   example_replay_tool [mod_file [csv_file]]
+// With no arguments, writes/reads under /tmp.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "src/common/str.h"
+#include "src/eval/table.h"
+#include "src/mod/io.h"
+#include "src/sim/population.h"
+#include "src/sim/simulator.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: example brevity.
+
+namespace {
+
+// Captures raw mobility into a MOD and remembers the request intents for
+// later replay.
+class CaptureSink : public sim::EventSink {
+ public:
+  struct CapturedRequest {
+    mod::UserId user;
+    geo::STPoint exact;
+    sim::RequestIntent intent;
+  };
+
+  void OnLocationUpdate(mod::UserId user,
+                        const geo::STPoint& sample) override {
+    db_.Append(user, sample).ok();
+  }
+  void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                        const sim::RequestIntent& intent) override {
+    requests_.push_back(CapturedRequest{user, exact, intent});
+  }
+
+  mod::MovingObjectDb& db() { return db_; }
+  const std::vector<CapturedRequest>& requests() const { return requests_; }
+
+ private:
+  mod::MovingObjectDb db_;
+  std::vector<CapturedRequest> requests_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mod_path =
+      argc > 1 ? argv[1] : "/tmp/histkanon_replay_mod.txt";
+  const std::string csv_path =
+      argc > 2 ? argv[2] : "/tmp/histkanon_replay_log.csv";
+
+  // 1. Capture one week of mobility and requests.
+  std::printf("capturing one simulated week...\n");
+  sim::PopulationOptions population_options;
+  population_options.num_commuters = 20;
+  population_options.num_wanderers = 80;
+  common::Rng rng(777);
+  sim::Population population =
+      sim::BuildPopulation(population_options, &rng);
+  CaptureSink capture;
+  sim::SimulationOptions sim_options;
+  sim_options.end = 7 * tgran::kSecondsPerDay;
+  sim::Simulator simulator(std::move(population.agents), sim_options);
+  simulator.Run(&capture);
+
+  // 2. Persist and reload the mobility history.
+  const common::Status write = mod::WriteDbToFile(capture.db(), mod_path);
+  if (!write.ok()) {
+    std::printf("cannot write %s: %s\n", mod_path.c_str(),
+                write.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = mod::ReadDbFromFile(mod_path);
+  if (!reloaded.ok()) {
+    std::printf("cannot reload: %s\n", reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("persisted %zu samples for %zu users to %s (round-trip ok)\n",
+              reloaded->total_samples(), reloaded->user_count(),
+              mod_path.c_str());
+
+  // 3. Replay the requests through a TS under an expert rule set: harsh at
+  //    night and on weekends, lighter during working hours.
+  auto rules = ts::PolicyRuleSet::Parse(
+      "time=[21:00,06:00] concern=high\n"
+      "weekend concern=high\n"
+      "time=[07:00,10:00] concern=medium kprime=2.0/1\n"
+      "default concern=low\n");
+  if (!rules.ok()) {
+    std::printf("rule parse error: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  ts::TrustedServer server;
+  ts::ServiceProvider provider(&population.world);
+  server.ConnectServiceProvider(&provider);
+  server.RegisterService(anon::service_presets::LocalizedNews(0)).ok();
+  server.RegisterService(anon::service_presets::LocalizedNews(1)).ok();
+  const tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  for (const sim::CommuterInfo& commuter : population.commuters) {
+    server
+        .RegisterUser(commuter.user,
+                      ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kLow))
+        .ok();
+    server.SetUserRules(commuter.user, *rules).ok();
+    auto lbqid =
+        sim::MakeCommuteLbqid(commuter, population_options, registry);
+    if (lbqid.ok()) server.RegisterLbqid(commuter.user, *lbqid).ok();
+  }
+
+  // Feed the recorded history (location updates come from the PHL file,
+  // requests from the capture), interleaved by time.
+  size_t fed_updates = 0;
+  reloaded->ForEachSample(
+      [&server, &fed_updates](mod::UserId user, const geo::STPoint& sample) {
+        server.OnLocationUpdate(user, sample);
+        ++fed_updates;
+      });
+  for (const CaptureSink::CapturedRequest& request : capture.requests()) {
+    server.ProcessRequest(request.user, request.exact,
+                          request.intent.service, request.intent.data);
+  }
+  std::printf("replayed %zu location updates and %zu requests\n\n",
+              fed_updates, capture.requests().size());
+
+  // 4. Report + CSV export.
+  const ts::TsStats& stats = server.stats();
+  eval::Table table({"disposition", "count"});
+  table.AddRow({"forwarded-default", common::Format("%zu",
+                                                    stats.forwarded_default)});
+  table.AddRow(
+      {"forwarded-generalized",
+       common::Format("%zu", stats.forwarded_generalized)});
+  table.AddRow({"suppressed-mixzone",
+                common::Format("%zu", stats.suppressed_mixzone)});
+  table.AddRow({"unlinked", common::Format("%zu", stats.unlink_successes)});
+  table.AddRow({"at-risk", common::Format("%zu",
+                                          stats.at_risk_notifications)});
+  table.Print(std::cout);
+
+  size_t clean = 0;
+  size_t clean_ok = 0;
+  for (const ts::TrustedServer::TraceAudit& audit : server.AuditTraces()) {
+    if (audit.tainted) continue;
+    ++clean;
+    if (audit.hka_satisfied) ++clean_ok;
+  }
+  std::printf("\nTheorem-1 audit on the replayed data: %zu/%zu clean traces "
+              "satisfy HkA\n",
+              clean_ok, clean);
+
+  std::ofstream csv(csv_path, std::ios::trunc);
+  if (csv.is_open() && mod::WriteRequestLogCsv(provider.log(), &csv).ok()) {
+    std::printf("SP log (%zu rows) exported to %s\n", provider.log().size(),
+                csv_path.c_str());
+  }
+  return clean == clean_ok ? 0 : 1;
+}

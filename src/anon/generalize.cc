@@ -1,0 +1,166 @@
+#include "src/anon/generalize.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace anon {
+
+Generalizer::Generalizer(const mod::MovingObjectDb* db,
+                         const stindex::SpatioTemporalIndex* index,
+                         GeneralizerOptions options)
+    : db_(db), index_(index), options_(options) {}
+
+geo::STBox Generalizer::PadToMinimum(geo::STBox box,
+                                     const geo::STPoint& exact) const {
+  if (box.IsEmpty()) box = geo::STBox::FromPoint(exact);
+  if (box.area.Width() < options_.min_area_width) {
+    box.area = geo::Rect::Union(
+        box.area, geo::Rect::FromCenter(box.area.Center(),
+                                        options_.min_area_width,
+                                        box.area.Height()));
+  }
+  if (box.area.Height() < options_.min_area_height) {
+    box.area = geo::Rect::Union(
+        box.area,
+        geo::Rect::FromCenter(box.area.Center(), box.area.Width(),
+                              options_.min_area_height));
+  }
+  if (box.time.Length() < options_.min_time_window) {
+    box.time = geo::TimeInterval::Union(
+        box.time, geo::TimeInterval::FromCenter(box.time.Center(),
+                                                options_.min_time_window));
+  }
+  return box;
+}
+
+common::Result<GeneralizationResult> Generalizer::Generalize(
+    const geo::STPoint& exact, mod::UserId requester,
+    std::vector<mod::UserId> anchors, size_t k,
+    const ToleranceConstraints& tolerance) const {
+  GeneralizationResult result;
+  geo::STBox box = geo::STBox::FromPoint(exact);
+  bool enough_anchors = true;
+
+  if (anchors.empty()) {
+    // Lines 5-6: smallest 3D space containing the point and crossed by k
+    // (other) trajectories, via the configured anchor strategy.
+    const std::vector<stindex::UserNeighbor> neighbors =
+        SelectAnchors(exact, requester, k);
+    for (const stindex::UserNeighbor& neighbor : neighbors) {
+      box.ExpandToInclude(neighbor.sample);
+      result.anchors.push_back(neighbor.user);
+    }
+    enough_anchors = neighbors.size() >= k;
+  } else {
+    // Lines 2-3: bounding box of each anchor's closest PHL sample.
+    for (const mod::UserId anchor : anchors) {
+      HISTKANON_ASSIGN_OR_RETURN(const mod::Phl* phl, db_->GetPhl(anchor));
+      const std::optional<geo::STPoint> nearest =
+          phl->NearestSample(exact, options_.metric);
+      if (!nearest.has_value()) {
+        return common::Status::FailedPrecondition(common::Format(
+            "anchor user %lld has an empty PHL",
+            static_cast<long long>(anchor)));
+      }
+      box.ExpandToInclude(*nearest);
+    }
+    result.anchors = std::move(anchors);
+  }
+
+  box = PadToMinimum(box, exact);
+
+  // Lines 8-12: clip to tolerance constraints.
+  if (tolerance.Satisfies(box) && enough_anchors) {
+    result.hk_anonymity = true;
+  } else {
+    result.hk_anonymity = false;
+    box.area = box.area.ShrunkToFit(exact.p, tolerance.max_area_width,
+                                    tolerance.max_area_height);
+    box.time = box.time.ShrunkToFit(exact.t, tolerance.max_time_window);
+  }
+  result.box = box;
+  return result;
+}
+
+double Generalizer::TrajectoryGap(const mod::Phl& requester_phl,
+                                  const mod::Phl& candidate_phl,
+                                  geo::Instant now) const {
+  const int probes = std::max(1, options_.similarity_probes);
+  const int64_t step = options_.similarity_window / probes;
+  double gap_sum = 0.0;
+  int defined = 0;
+  for (int i = 0; i < probes; ++i) {
+    const geo::Instant t = now - static_cast<geo::Instant>(i) * step;
+    const std::optional<geo::Point> mine = requester_phl.PositionAt(t);
+    const std::optional<geo::Point> theirs = candidate_phl.PositionAt(t);
+    if (!mine.has_value() || !theirs.has_value()) continue;
+    gap_sum += geo::Distance(*mine, *theirs);
+    ++defined;
+  }
+  // Require overlap on at least half the probes; sparse overlap is not
+  // evidence of co-movement.
+  if (defined * 2 < probes) return std::numeric_limits<double>::infinity();
+  return gap_sum / defined;
+}
+
+std::vector<stindex::UserNeighbor> Generalizer::SelectAnchors(
+    const geo::STPoint& exact, mod::UserId requester, size_t k) const {
+  if (options_.anchor_strategy == AnchorStrategy::kNearestSample) {
+    return index_->NearestPerUser(exact, k, requester, options_.metric);
+  }
+  // kTrajectorySimilarity: rank a larger nearby pool by trajectory gap.
+  const size_t pool_size =
+      k * std::max<size_t>(1, options_.similarity_candidate_factor);
+  std::vector<stindex::UserNeighbor> pool =
+      index_->NearestPerUser(exact, pool_size, requester, options_.metric);
+  const common::Result<const mod::Phl*> requester_phl =
+      db_->GetPhl(requester);
+  if (!requester_phl.ok()) {
+    // No history to compare against: fall back to proximity.
+    if (pool.size() > k) pool.resize(k);
+    return pool;
+  }
+  std::vector<std::pair<double, size_t>> scored;  // (gap, pool index)
+  scored.reserve(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const common::Result<const mod::Phl*> candidate_phl =
+        db_->GetPhl(pool[i].user);
+    double gap = std::numeric_limits<double>::infinity();
+    if (candidate_phl.ok()) {
+      gap = TrajectoryGap(**requester_phl, **candidate_phl, exact.t);
+    }
+    scored.emplace_back(gap, i);
+  }
+  // Stable preference: smaller gap first; proximity breaks ties (pool is
+  // already distance-ordered, so compare pool indices).
+  std::sort(scored.begin(), scored.end());
+  std::vector<stindex::UserNeighbor> chosen;
+  chosen.reserve(std::min(k, scored.size()));
+  for (const auto& [gap, index] : scored) {
+    if (chosen.size() >= k) break;
+    chosen.push_back(pool[index]);
+  }
+  return chosen;
+}
+
+geo::STBox Generalizer::DefaultContext(const geo::STPoint& exact,
+                                       const ToleranceConstraints& tolerance,
+                                       double scale) const {
+  scale = std::max(1.0, scale);
+  const double width =
+      std::min(options_.min_area_width * scale, tolerance.max_area_width);
+  const double height =
+      std::min(options_.min_area_height * scale, tolerance.max_area_height);
+  const int64_t window = std::min(
+      static_cast<int64_t>(static_cast<double>(options_.min_time_window) *
+                           scale),
+      tolerance.max_time_window);
+  return geo::STBox{geo::Rect::FromCenter(exact.p, width, height),
+                    geo::TimeInterval::FromCenter(exact.t, window)};
+}
+
+}  // namespace anon
+}  // namespace histkanon

@@ -1,0 +1,126 @@
+// The spatio-temporal generalization algorithm (paper Section 6.2,
+// Algorithm 1).
+//
+// Given the exact position/time of a request:
+//  - first element of an LBQID (no anchors yet): compute the smallest 3D
+//    space containing the point and crossed by k other users' trajectories
+//    (lines 5-6), remembering those k users as anchors;
+//  - subsequent elements (anchors given): for each anchor find the PHL
+//    sample closest to the point and take the bounding 3D space (lines
+//    2-3);
+//  - clip to the service's tolerance constraints, reporting HK-anonymity
+//    failure when clipping was needed (lines 8-12).
+
+#ifndef HISTKANON_SRC_ANON_GENERALIZE_H_
+#define HISTKANON_SRC_ANON_GENERALIZE_H_
+
+#include <vector>
+
+#include "src/anon/tolerance.h"
+#include "src/common/result.h"
+#include "src/geo/stbox.h"
+#include "src/mod/moving_object_db.h"
+#include "src/stindex/index.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief How the k anchor users are chosen at an LBQID's first element.
+enum class AnchorStrategy {
+  /// Algorithm 1 line 5 as written: the k users whose nearest PHL sample
+  /// is closest to the request point.
+  kNearestSample,
+  /// Extension (motivated by experiment E2's finding that anchor QUALITY
+  /// dominates anchor proximity for trace-level anonymity): from a larger
+  /// pool of nearby users, keep the k whose recent TRAJECTORY tracks the
+  /// requester's — co-moving users stay LT-consistent on later elements.
+  kTrajectorySimilarity,
+};
+
+/// \brief Tuning for the generalizer.
+struct GeneralizerOptions {
+  /// Metric weighting time vs space for "closest" (Algorithm 1 lines 2, 5).
+  geo::STMetric metric;
+  /// Minimum extents granted to every forwarded context, so a degenerate
+  /// all-anchors-in-one-spot box still hides the exact position.  Also the
+  /// default context for requests outside any LBQID.
+  double min_area_width = 100.0;
+  double min_area_height = 100.0;
+  int64_t min_time_window = 60;
+  /// First-element anchor selection.
+  AnchorStrategy anchor_strategy = AnchorStrategy::kNearestSample;
+  /// kTrajectorySimilarity: how far back the trajectories are compared (s).
+  int64_t similarity_window = 24 * 3600;
+  /// kTrajectorySimilarity: instants probed inside the window.
+  int similarity_probes = 8;
+  /// kTrajectorySimilarity: candidate pool size, as a multiple of k.
+  size_t similarity_candidate_factor = 4;
+};
+
+/// \brief Output of one generalization (Algorithm 1's Output block).
+struct GeneralizationResult {
+  /// The <Area, TimeInterval> to forward.
+  geo::STBox box;
+  /// Algorithm 1's HK-anonymity flag: false iff the tolerance constraints
+  /// forced the box to shrink below the k-covering one.
+  bool hk_anonymity = true;
+  /// The k anchor users whose PHLs the box covers (line 6's "store the ids
+  /// of the k users").
+  std::vector<mod::UserId> anchors;
+};
+
+/// \brief Implements Algorithm 1 against the TS's moving-object DB and a
+/// spatio-temporal index.
+class Generalizer {
+ public:
+  /// `db` and `index` must outlive the generalizer; `index` must contain
+  /// the samples of `db` (kept in sync by the caller).
+  Generalizer(const mod::MovingObjectDb* db,
+              const stindex::SpatioTemporalIndex* index,
+              GeneralizerOptions options = GeneralizerOptions());
+
+  /// Runs Algorithm 1.
+  ///
+  /// \param exact the request's true <x, y, t>.
+  /// \param requester the requesting user (excluded from anchor selection).
+  /// \param anchors the k user ids selected at the LBQID's first element;
+  ///        empty on the first element (then `k` fresh anchors are chosen).
+  /// \param k the anonymity parameter (used only when `anchors` is empty).
+  /// \param tolerance the service's tolerance constraints.
+  common::Result<GeneralizationResult> Generalize(
+      const geo::STPoint& exact, mod::UserId requester,
+      std::vector<mod::UserId> anchors, size_t k,
+      const ToleranceConstraints& tolerance) const;
+
+  /// The default (non-LBQID) context: the exact point padded to the
+  /// minimum extents times `scale`, clipped to tolerance.  `scale` > 1 is
+  /// the policy-driven blurring of ordinary requests (the Section-7
+  /// inference-attack mitigation).
+  geo::STBox DefaultContext(const geo::STPoint& exact,
+                            const ToleranceConstraints& tolerance,
+                            double scale = 1.0) const;
+
+  const GeneralizerOptions& options() const { return options_; }
+
+ private:
+  // Pads `box` to the configured minimum extents around `exact`.
+  geo::STBox PadToMinimum(geo::STBox box, const geo::STPoint& exact) const;
+  // First-element anchor selection per the configured strategy; returns
+  // (user, covering sample) pairs, best first.
+  std::vector<stindex::UserNeighbor> SelectAnchors(
+      const geo::STPoint& exact, mod::UserId requester, size_t k) const;
+  // Mean positional gap between the requester's and the candidate's
+  // trajectories over the similarity window; infinity when undefined.
+  double TrajectoryGap(const mod::Phl& requester_phl,
+                       const mod::Phl& candidate_phl,
+                       geo::Instant now) const;
+
+  const mod::MovingObjectDb* db_;
+  const stindex::SpatioTemporalIndex* index_;
+  GeneralizerOptions options_;
+};
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_GENERALIZE_H_

@@ -1,0 +1,22 @@
+#include "src/anon/hka.h"
+
+namespace histkanon {
+namespace anon {
+
+HkaResult HkaEvaluator::Evaluate(mod::UserId user,
+                                 const std::vector<geo::STBox>& contexts,
+                                 size_t k) const {
+  HkaResult result;
+  result.k = k;
+  result.witnesses = db_->LtConsistentUsers(contexts, user);
+  result.consistent_others = result.witnesses.size();
+  result.satisfied = (k == 0) || (result.consistent_others >= k - 1);
+  return result;
+}
+
+size_t HkaEvaluator::AnonymitySetSize(const geo::STBox& context) const {
+  return db_->CountUsersWithSampleIn(context);
+}
+
+}  // namespace anon
+}  // namespace histkanon

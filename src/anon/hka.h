@@ -1,0 +1,54 @@
+// Historical k-anonymity (paper Definition 8): a user's request set
+// satisfies HkA iff at least k-1 OTHER users' PHLs are LT-consistent with
+// it (Definition 7), i.e. from the service provider's perspective at least
+// k users may have issued those requests.
+
+#ifndef HISTKANON_SRC_ANON_HKA_H_
+#define HISTKANON_SRC_ANON_HKA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geo/stbox.h"
+#include "src/mod/moving_object_db.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Outcome of an HkA evaluation.
+struct HkaResult {
+  /// Number of OTHER users whose PHL is LT-consistent with the contexts.
+  size_t consistent_others = 0;
+  /// The k requested.
+  size_t k = 0;
+  /// consistent_others >= k - 1.
+  bool satisfied = false;
+  /// The witnesses (other users' ids), ascending.
+  std::vector<mod::UserId> witnesses;
+};
+
+/// \brief Checks Historical k-anonymity against the TS's moving-object DB.
+class HkaEvaluator {
+ public:
+  /// `db` must outlive the evaluator.
+  explicit HkaEvaluator(const mod::MovingObjectDb* db) : db_(db) {}
+
+  /// Evaluates Definition 8 for the request set of `user` whose forwarded
+  /// spatio-temporal contexts are `contexts`.
+  HkaResult Evaluate(mod::UserId user,
+                     const std::vector<geo::STBox>& contexts,
+                     size_t k) const;
+
+  /// The anonymity-set size of a single context: users (including the
+  /// requester) with a PHL sample inside — Section 5.1's per-request
+  /// notion, as in reference [11].
+  size_t AnonymitySetSize(const geo::STBox& context) const;
+
+ private:
+  const mod::MovingObjectDb* db_;
+};
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_HKA_H_

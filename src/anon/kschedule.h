@@ -1,0 +1,42 @@
+// The k' > k anchor schedule of Section 6.2: "we should probably use an
+// initial parameter k' larger than k ... Starting with a larger k' and
+// decreasing its value at each point in the trace, until k is reached,
+// should increase the probability to maintain historical k-anonymity for
+// longer traces."  Ablated in experiment E8.
+
+#ifndef HISTKANON_SRC_ANON_KSCHEDULE_H_
+#define HISTKANON_SRC_ANON_KSCHEDULE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Anchor-count schedule across the steps of an LBQID trace.
+struct KSchedule {
+  /// k' = ceil(k * initial_factor) anchors are selected at the trace's
+  /// first element (1.0 = the paper's base algorithm, no boost).
+  double initial_factor = 1.0;
+  /// Anchors dropped per subsequent trace step, never going below k.
+  size_t decrement_per_step = 0;
+
+  /// Anchors to select at step 0.
+  size_t InitialAnchors(size_t k) const {
+    return std::max(k, static_cast<size_t>(std::ceil(
+                           static_cast<double>(k) * initial_factor)));
+  }
+
+  /// Anchors to keep at trace step `step` (0-based).
+  size_t AnchorsAtStep(size_t k, size_t step) const {
+    const size_t initial = InitialAnchors(k);
+    const size_t dropped = decrement_per_step * step;
+    return std::max(k, initial > dropped ? initial - dropped : k);
+  }
+};
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_KSCHEDULE_H_

@@ -1,0 +1,134 @@
+#include "src/anon/linkability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace histkanon {
+namespace anon {
+
+std::optional<double> PseudonymLinker::Link(const ForwardedRequest& a,
+                                            const ForwardedRequest& b) const {
+  if (a.pseudonym == b.pseudonym) return 1.0;
+  return std::nullopt;
+}
+
+ProximityLinker::ProximityLinker(ProximityLinkerOptions options)
+    : options_(options) {}
+
+std::optional<double> ProximityLinker::Link(const ForwardedRequest& a,
+                                            const ForwardedRequest& b) const {
+  if (a.pseudonym == b.pseudonym) return 1.0;
+
+  // Order so `first` ends before `second` starts.
+  const ForwardedRequest* first = &a;
+  const ForwardedRequest* second = &b;
+  if (first->context.time.lo > second->context.time.lo) {
+    std::swap(first, second);
+  }
+  const int64_t gap = second->context.time.lo - first->context.time.hi;
+  if (gap <= 0) {
+    // Overlapping windows under different pseudonyms: no kinematic
+    // evidence either way.
+    return std::nullopt;
+  }
+  if (gap > options_.max_time_gap) return std::nullopt;
+
+  // Closest approach between the two areas.
+  auto axis_gap = [](double lo1, double hi1, double lo2, double hi2) {
+    if (hi1 < lo2) return lo2 - hi1;
+    if (hi2 < lo1) return lo1 - hi2;
+    return 0.0;
+  };
+  const double dx = axis_gap(first->context.area.min_x,
+                             first->context.area.max_x,
+                             second->context.area.min_x,
+                             second->context.area.max_x);
+  const double dy = axis_gap(first->context.area.min_y,
+                             first->context.area.max_y,
+                             second->context.area.min_y,
+                             second->context.area.max_y);
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  const double implied_speed = distance / static_cast<double>(gap);
+
+  if (implied_speed >= options_.max_speed) return 0.0;
+  if (implied_speed <= options_.typical_speed) return 1.0;
+  return 1.0 - (implied_speed - options_.typical_speed) /
+                   (options_.max_speed - options_.typical_speed);
+}
+
+CompositeLinker::CompositeLinker(
+    std::vector<std::shared_ptr<const LinkFunction>> children)
+    : children_(std::move(children)) {}
+
+std::optional<double> CompositeLinker::Link(const ForwardedRequest& a,
+                                            const ForwardedRequest& b) const {
+  std::optional<double> best;
+  for (const auto& child : children_) {
+    const std::optional<double> value = child->Link(a, b);
+    if (value.has_value() && (!best.has_value() || *value > *best)) {
+      best = value;
+    }
+  }
+  return best;
+}
+
+LinkGraph::LinkGraph(const std::vector<ForwardedRequest>& requests,
+                     const LinkFunction& link, double theta) {
+  parent_.resize(requests.size());
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+  for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t j = i + 1; j < requests.size(); ++j) {
+      const std::optional<double> likelihood =
+          link.Link(requests[i], requests[j]);
+      if (likelihood.has_value() && *likelihood >= theta) {
+        const size_t root_i = Find(i);
+        const size_t root_j = Find(j);
+        if (root_i != root_j) parent_[root_i] = root_j;
+      }
+    }
+  }
+  std::map<size_t, size_t> dense_ids;
+  for (size_t i = 0; i < parent_.size(); ++i) dense_ids.emplace(Find(i), 0);
+  component_count_ = dense_ids.size();
+}
+
+size_t LinkGraph::Find(size_t x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+size_t LinkGraph::ComponentOf(size_t index) const {
+  // Dense renumbering in first-seen order of roots.
+  const size_t root = Find(index);
+  std::map<size_t, size_t> dense_ids;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const size_t r = Find(i);
+    dense_ids.emplace(r, dense_ids.size());
+  }
+  return dense_ids.at(root);
+}
+
+std::vector<std::vector<size_t>> LinkGraph::Components() const {
+  std::map<size_t, std::vector<size_t>> by_root;
+  for (size_t i = 0; i < parent_.size(); ++i) by_root[Find(i)].push_back(i);
+  std::vector<std::vector<size_t>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    components.push_back(std::move(members));
+  }
+  return components;
+}
+
+bool IsLinkConnected(const std::vector<ForwardedRequest>& requests,
+                     const LinkFunction& link, double theta) {
+  if (requests.size() <= 1) return true;
+  return LinkGraph(requests, link, theta).component_count() == 1;
+}
+
+}  // namespace anon
+}  // namespace histkanon

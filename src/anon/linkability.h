@@ -1,0 +1,139 @@
+// Service-request linkability (paper Section 5.2): a symmetric, reflexive
+// partial function Link: R x R -> [0,1] estimating the likelihood that two
+// requests were issued by the same user, and link-connectivity at a
+// likelihood threshold Theta (Definition 5).
+//
+// "We assume the TS can replicate the techniques used by a possible
+// attacker": the same LinkFunction implementations are used by the trusted
+// server (to decide when unlinking succeeded) and by the adversary (to
+// stitch pseudonym-changed traces back together).
+
+#ifndef HISTKANON_SRC_ANON_LINKABILITY_H_
+#define HISTKANON_SRC_ANON_LINKABILITY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/anon/request.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Link() of Definition 4.  Implementations must be symmetric
+/// (Link(a,b) == Link(b,a)); reflexivity (Link(r,r) == 1) is handled by
+/// callers.  Returning nullopt means the pair is outside the partial
+/// function's domain (no evidence either way).
+class LinkFunction {
+ public:
+  virtual ~LinkFunction() = default;
+
+  /// Name for reports ("pseudonym", "proximity", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Likelihood in [0,1] that `a` and `b` were issued by the same user.
+  virtual std::optional<double> Link(const ForwardedRequest& a,
+                                     const ForwardedRequest& b) const = 0;
+};
+
+/// \brief "Any two requests with the same UserPseudonym are clearly
+/// linkable" (Section 5.2): 1.0 on pseudonym equality, undefined otherwise.
+class PseudonymLinker : public LinkFunction {
+ public:
+  PseudonymLinker() = default;
+
+  const std::string& name() const override { return name_; }
+  std::optional<double> Link(const ForwardedRequest& a,
+                             const ForwardedRequest& b) const override;
+
+ private:
+  std::string name_ = "pseudonym";
+};
+
+/// \brief Tuning for ProximityLinker.
+struct ProximityLinkerOptions {
+  /// Fastest plausible user movement (m/s); pairs needing a higher speed
+  /// get likelihood 0.
+  double max_speed = 40.0;
+  /// Typical speed (m/s): pairs whose implied speed is at most this are
+  /// fully plausible.
+  double typical_speed = 2.0;
+  /// Pairs further apart in time than this are outside the domain
+  /// (tracking evidence decays; the function stays partial).
+  int64_t max_time_gap = 3600;
+};
+
+/// \brief Multi-target-tracking-style linker (paper's reference [12]):
+/// scores how kinematically plausible it is that the two requests'
+/// contexts belong to one trajectory.
+///
+/// The score is 1 when the implied speed (closest-approach distance over
+/// the time gap between the contexts) is at most `typical_speed`, falls
+/// linearly to 0 at `max_speed`, and the function is undefined for pairs
+/// separated by more than `max_time_gap` or with overlapping time windows
+/// under different pseudonyms (no kinematic evidence).  Same-pseudonym
+/// pairs score 1 outright.
+class ProximityLinker : public LinkFunction {
+ public:
+  explicit ProximityLinker(
+      ProximityLinkerOptions options = ProximityLinkerOptions());
+
+  const std::string& name() const override { return name_; }
+  std::optional<double> Link(const ForwardedRequest& a,
+                             const ForwardedRequest& b) const override;
+
+ private:
+  std::string name_ = "proximity";
+  ProximityLinkerOptions options_;
+};
+
+/// \brief Takes the strongest evidence among child linkers (max of the
+/// defined values; undefined when all children are undefined).
+class CompositeLinker : public LinkFunction {
+ public:
+  explicit CompositeLinker(
+      std::vector<std::shared_ptr<const LinkFunction>> children);
+
+  const std::string& name() const override { return name_; }
+  std::optional<double> Link(const ForwardedRequest& a,
+                             const ForwardedRequest& b) const override;
+
+ private:
+  std::string name_ = "composite";
+  std::vector<std::shared_ptr<const LinkFunction>> children_;
+};
+
+/// \brief Link-connected components (Definition 5) over a request set:
+/// requests are grouped when a chain of pairwise links with likelihood
+/// >= theta connects them.
+class LinkGraph {
+ public:
+  /// Evaluates `link` on all request pairs and unions those >= theta.
+  LinkGraph(const std::vector<ForwardedRequest>& requests,
+            const LinkFunction& link, double theta);
+
+  /// Component id of request `index` (ids are dense, 0-based).
+  size_t ComponentOf(size_t index) const;
+
+  /// All components, each a vector of request indices (ascending).
+  std::vector<std::vector<size_t>> Components() const;
+
+  size_t component_count() const { return component_count_; }
+
+ private:
+  size_t Find(size_t x) const;
+
+  mutable std::vector<size_t> parent_;
+  size_t component_count_ = 0;
+};
+
+/// Definition 5 applied to a whole set: true iff the requests form a
+/// single link-connected component at `theta`.
+bool IsLinkConnected(const std::vector<ForwardedRequest>& requests,
+                     const LinkFunction& link, double theta);
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_LINKABILITY_H_

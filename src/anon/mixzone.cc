@@ -1,0 +1,87 @@
+#include "src/anon/mixzone.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace histkanon {
+namespace anon {
+
+namespace {
+
+struct Candidate {
+  mod::UserId user;
+  double heading;  // radians in [0, 2*pi)
+};
+
+}  // namespace
+
+MixZoneResult TryFormMixZone(const mod::MovingObjectDb& db,
+                             const geo::STPoint& center,
+                             mod::UserId requester,
+                             const MixZoneOptions& options) {
+  MixZoneResult result;
+  std::vector<Candidate> candidates;
+
+  for (const mod::UserId user : db.Users()) {
+    if (user == requester) continue;
+    const common::Result<const mod::Phl*> phl = db.GetPhl(user);
+    if (!phl.ok()) continue;
+    // The user's last known position: the PHL has no future samples at
+    // decision time, so evaluate at min(now, last update).
+    const geo::TimeInterval span = (*phl)->Span();
+    if (span.IsEmpty()) continue;
+    const geo::Instant t_now = std::min(center.t, span.hi);
+    if (center.t - t_now > options.max_staleness) continue;  // Stale.
+    const std::optional<geo::Point> now = (*phl)->PositionAt(t_now);
+    if (!now.has_value() || geo::Distance(*now, center.p) > options.radius) {
+      continue;
+    }
+    const std::optional<geo::Point> earlier =
+        (*phl)->PositionAt(t_now - options.heading_lookback);
+    if (!earlier.has_value()) continue;
+    const double dx = now->x - earlier->x;
+    const double dy = now->y - earlier->y;
+    if (std::sqrt(dx * dx + dy * dy) < options.min_displacement) {
+      continue;  // Effectively stationary: no diverging trajectory.
+    }
+    double heading = std::atan2(dy, dx);
+    if (heading < 0.0) heading += 2.0 * M_PI;
+    candidates.push_back(Candidate{user, heading});
+  }
+
+  // Direction diversity: greedily count headings pairwise separated by at
+  // least min_divergence (angles treated circularly).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.heading < b.heading;
+            });
+  auto circular_gap = [](double a, double b) {
+    double gap = std::abs(a - b);
+    return std::min(gap, 2.0 * M_PI - gap);
+  };
+  std::vector<double> directions;
+  for (const Candidate& candidate : candidates) {
+    bool separated = true;
+    for (const double taken : directions) {
+      if (circular_gap(candidate.heading, taken) < options.min_divergence) {
+        separated = false;
+        break;
+      }
+    }
+    if (separated) directions.push_back(candidate.heading);
+  }
+
+  if (candidates.size() >= options.min_diverging_users &&
+      directions.size() >= options.min_distinct_directions) {
+    result.success = true;
+    result.quiet_until = center.t + options.quiet_period;
+    for (const Candidate& candidate : candidates) {
+      result.participants.push_back(candidate.user);
+    }
+    std::sort(result.participants.begin(), result.participants.end());
+  }
+  return result;
+}
+
+}  // namespace anon
+}  // namespace histkanon

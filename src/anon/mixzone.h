@@ -1,0 +1,74 @@
+// On-demand mix-zones (paper Section 6.3): "finding, given a specific
+// point in space, k diverging trajectories (each one for a different user)
+// that are sufficiently close to the point", temporarily disabling service
+// so the SP cannot link the user's requests across a pseudonym change.
+
+#ifndef HISTKANON_SRC_ANON_MIXZONE_H_
+#define HISTKANON_SRC_ANON_MIXZONE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geo/stbox.h"
+#include "src/mod/moving_object_db.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Tuning for on-demand mix-zone formation.
+struct MixZoneOptions {
+  /// Radius of the candidate zone around the request point (meters).  An
+  /// on-demand zone covers a neighbourhood, not a doorway: it must catch
+  /// enough passing users to confuse the SP.
+  double radius = 1000.0;
+  /// How long the zone suppresses service after formation (seconds).
+  int64_t quiet_period = 900;
+  /// Minimum number of OTHER moving users that must cross the zone.
+  size_t min_diverging_users = 3;
+  /// Angular separation defining a distinct departure direction (radians;
+  /// default 45 degrees).
+  double min_divergence = 0.7853981633974483;
+  /// The candidates' headings must cover at least this many pairwise-
+  /// separated directions — the "diverging trajectories" criterion.  (A
+  /// crowd all heading the same way does not confuse the SP, however
+  /// large.)
+  size_t min_distinct_directions = 3;
+  /// Time offset used to estimate a user's heading from the PHL (seconds).
+  /// The estimate looks BACKWARD from the user's last known position: at
+  /// decision time the PHL contains no future samples.
+  int64_t heading_lookback = 120;
+  /// A user whose last location update is older than this (seconds) is
+  /// not considered present in the zone.
+  int64_t max_staleness = 600;
+  /// Minimum displacement over the lookback for a defined heading
+  /// (meters); slower users are treated as stationary and skipped.
+  double min_displacement = 10.0;
+};
+
+/// \brief Outcome of a mix-zone formation attempt.
+struct MixZoneResult {
+  bool success = false;
+  /// The diverging co-located users found (excluding the requester).
+  std::vector<mod::UserId> participants;
+  /// Instant until which the zone suppresses the requester's service.
+  geo::Instant quiet_until = 0;
+};
+
+/// \brief Attempts to form an on-demand mix-zone at `center` for
+/// `requester`.
+///
+/// Success requires at least `min_diverging_users` other moving users
+/// whose last known position (no older than `max_staleness`) is within
+/// `radius` of the center, AND whose headings (estimated over
+/// `heading_lookback` of history) cover at least `min_distinct_directions`
+/// directions pairwise separated by `min_divergence` — the Section 6.3
+/// "diverging trajectories" criterion.
+MixZoneResult TryFormMixZone(const mod::MovingObjectDb& db,
+                             const geo::STPoint& center,
+                             mod::UserId requester,
+                             const MixZoneOptions& options);
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_MIXZONE_H_

@@ -1,0 +1,50 @@
+#include "src/anon/pseudonym.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace anon {
+
+mod::Pseudonym PseudonymManager::Fresh() {
+  mod::Pseudonym pseudonym;
+  do {
+    pseudonym = common::Format("p%016llx",
+                               static_cast<unsigned long long>(
+                                   rng_.NextUint64()));
+  } while (reverse_.count(pseudonym) > 0);
+  return pseudonym;
+}
+
+const mod::Pseudonym& PseudonymManager::Current(mod::UserId user) {
+  auto it = current_.find(user);
+  if (it == current_.end()) {
+    mod::Pseudonym pseudonym = Fresh();
+    reverse_.emplace(pseudonym, user);
+    generation_[user] = 1;
+    it = current_.emplace(user, std::move(pseudonym)).first;
+  }
+  return it->second;
+}
+
+const mod::Pseudonym& PseudonymManager::Rotate(mod::UserId user) {
+  mod::Pseudonym pseudonym = Fresh();
+  reverse_.emplace(pseudonym, user);
+  ++generation_[user];
+  current_[user] = std::move(pseudonym);
+  return current_[user];
+}
+
+size_t PseudonymManager::GenerationOf(mod::UserId user) const {
+  const auto it = generation_.find(user);
+  return it == generation_.end() ? 0 : it->second;
+}
+
+std::optional<mod::UserId> PseudonymManager::Resolve(
+    const mod::Pseudonym& pseudonym) const {
+  const auto it = reverse_.find(pseudonym);
+  if (it == reverse_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace anon
+}  // namespace histkanon

@@ -1,0 +1,52 @@
+// Pseudonym management: the trusted server issues each user an opaque
+// pseudonym ("UserPseudonym is used to hide the user identity while
+// allowing the SP to authenticate the user", Section 3) and rotates it for
+// unlinking (Section 6.1 step 2).
+
+#ifndef HISTKANON_SRC_ANON_PSEUDONYM_H_
+#define HISTKANON_SRC_ANON_PSEUDONYM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Issues and rotates pseudonyms.  Pseudonyms are random 64-bit
+/// tokens (hex), so consecutive pseudonyms of one user carry no linkable
+/// structure.
+class PseudonymManager {
+ public:
+  explicit PseudonymManager(uint64_t seed) : rng_(seed) {}
+
+  /// The user's current pseudonym (issued on first use).
+  const mod::Pseudonym& Current(mod::UserId user);
+
+  /// Rotates the user's pseudonym; returns the new one.
+  const mod::Pseudonym& Rotate(mod::UserId user);
+
+  /// How many pseudonyms the user has consumed (0 if never seen).
+  size_t GenerationOf(mod::UserId user) const;
+
+  /// TS-side reverse lookup (the third-party mapping of Section 3);
+  /// nullopt for unknown pseudonyms.
+  std::optional<mod::UserId> Resolve(const mod::Pseudonym& pseudonym) const;
+
+ private:
+  mod::Pseudonym Fresh();
+
+  common::Rng rng_;
+  std::map<mod::UserId, mod::Pseudonym> current_;
+  std::map<mod::UserId, size_t> generation_;
+  std::map<mod::Pseudonym, mod::UserId> reverse_;
+};
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_PSEUDONYM_H_

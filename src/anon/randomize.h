@@ -1,0 +1,67 @@
+// Context randomization (paper Section 7: "randomization should be used
+// as part of the TS strategy to prevent inference attacks").
+//
+// Without it, a forwarded context leaks more than its size suggests: the
+// default (non-LBQID) context is CENTERED on the true position, so a
+// center-of-box guess recovers the exact location; and Algorithm 1's boxes
+// place the true position at a reconstructible corner-biased spot.
+//
+// Two randomizations, chosen by what must be preserved:
+//  - TranslateWithin: re-place a context of fixed size uniformly at random
+//    among all placements still containing the true point, making the true
+//    point uniform within the box.  Safe ONLY for contexts with no other
+//    containment obligations (default contexts).
+//  - ExpandWithin: grow a context by independent random margins per side,
+//    clipped to the service tolerance.  A superset preserves every
+//    LT-consistency obligation, so this is the safe randomization for
+//    Algorithm 1 boxes (the anchors' samples stay inside).
+
+#ifndef HISTKANON_SRC_ANON_RANDOMIZE_H_
+#define HISTKANON_SRC_ANON_RANDOMIZE_H_
+
+#include <cstdint>
+
+#include "src/anon/tolerance.h"
+#include "src/common/rng.h"
+#include "src/geo/stbox.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Randomization knobs.
+struct RandomizerOptions {
+  /// Maximum per-side growth of ExpandWithin, as a fraction of the box's
+  /// extent in that dimension (each side draws independently in
+  /// [0, fraction]).
+  double max_expand_fraction = 0.5;
+};
+
+/// \brief Seeded context randomizer (deterministic per seed, like all
+/// randomness in histkanon).
+class ContextRandomizer {
+ public:
+  explicit ContextRandomizer(uint64_t seed,
+                             RandomizerOptions options = RandomizerOptions())
+      : rng_(seed), options_(options) {}
+
+  /// Returns a box of identical dimensions, uniformly re-placed among the
+  /// positions that still contain `exact`.  The true point becomes
+  /// uniformly distributed within the returned box.
+  geo::STBox TranslateWithin(const geo::STBox& box, const geo::STPoint& exact);
+
+  /// Returns a superset of `box`, grown by independent random margins on
+  /// every side (space and time), clipped so the result still satisfies
+  /// `tolerance`.  When `box` already exceeds a tolerance dimension, that
+  /// dimension is left unchanged.
+  geo::STBox ExpandWithin(const geo::STBox& box,
+                          const ToleranceConstraints& tolerance);
+
+ private:
+  common::Rng rng_;
+  RandomizerOptions options_;
+};
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_RANDOMIZE_H_

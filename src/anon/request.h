@@ -1,0 +1,41 @@
+// Service-request records (paper Section 3).
+//
+// A service provider receives `(msgid, UserPseudonym, Area, TimeInterval,
+// Data)` — modelled by ForwardedRequest.  The trusted server additionally
+// knows the exact location/time and the true identity — modelled by
+// TsRequest wrapping the forwarded view.
+
+#ifndef HISTKANON_SRC_ANON_REQUEST_H_
+#define HISTKANON_SRC_ANON_REQUEST_H_
+
+#include <string>
+
+#include "src/geo/stbox.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief The request as seen by a service provider.
+struct ForwardedRequest {
+  mod::MessageId msgid = 0;
+  mod::Pseudonym pseudonym;
+  /// Generalized spatio-temporal context <Area, TimeInterval>.
+  geo::STBox context;
+  mod::ServiceId service = 0;
+  /// Opaque attribute-value payload ("Data").
+  std::string data;
+};
+
+/// \brief The trusted server's view: the forwarded request plus the exact
+/// position/time and real identity it must never reveal.
+struct TsRequest {
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint exact;
+  ForwardedRequest forwarded;
+};
+
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_REQUEST_H_

@@ -1,0 +1,66 @@
+// Per-service tolerance constraints: "each location-based service has some
+// tolerance constraints that define the coarsest spatial and temporal
+// granularity for the service to still be useful" (paper Section 6.1).
+
+#ifndef HISTKANON_SRC_ANON_TOLERANCE_H_
+#define HISTKANON_SRC_ANON_TOLERANCE_H_
+
+#include <string>
+
+#include "src/geo/stbox.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace anon {
+
+/// \brief Coarsest acceptable request context for one service.
+struct ToleranceConstraints {
+  /// Maximum width/height of the generalized Area (meters).
+  double max_area_width = 5000.0;
+  double max_area_height = 5000.0;
+  /// Maximum length of the generalized TimeInterval (seconds).
+  int64_t max_time_window = 600;
+
+  /// True iff `box` is still useful for the service.
+  bool Satisfies(const geo::STBox& box) const {
+    return box.area.Width() <= max_area_width &&
+           box.area.Height() <= max_area_height &&
+           box.time.Length() <= max_time_window;
+  }
+};
+
+/// \brief A registered service: identity, human name, and its tolerance.
+struct ServiceProfile {
+  mod::ServiceId id = 0;
+  std::string name;
+  ToleranceConstraints tolerance;
+};
+
+/// Paper Section 6.1's two motivating profiles, plus a strict one.
+namespace service_presets {
+
+/// "information on the closest hospital ... at most in the range of a few
+/// square miles, and a time-window ... of at most a few minutes".
+inline ServiceProfile NearestHospital(mod::ServiceId id) {
+  return ServiceProfile{id, "nearest-hospital",
+                        ToleranceConstraints{4000.0, 4000.0, 180}};
+}
+
+/// "a service providing localized news may even work reasonably with much
+/// coarser spatial and temporal granularities".
+inline ServiceProfile LocalizedNews(mod::ServiceId id) {
+  return ServiceProfile{id, "localized-news",
+                        ToleranceConstraints{20000.0, 20000.0, 3600}};
+}
+
+/// A tight navigation-grade service, for stress experiments.
+inline ServiceProfile TurnByTurnNavigation(mod::ServiceId id) {
+  return ServiceProfile{id, "navigation",
+                        ToleranceConstraints{500.0, 500.0, 60}};
+}
+
+}  // namespace service_presets
+}  // namespace anon
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ANON_TOLERANCE_H_

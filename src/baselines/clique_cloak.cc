@@ -1,0 +1,118 @@
+#include "src/baselines/clique_cloak.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/str.h"
+#include "src/geo/stbox.h"
+
+namespace histkanon {
+namespace baselines {
+
+CliqueCloakServer::CliqueCloakServer(CliqueCloakOptions options)
+    : options_(options) {}
+
+void CliqueCloakServer::OnLocationUpdate(mod::UserId user,
+                                         const geo::STPoint& sample) {
+  // Actual-senders anonymity ignores passive location updates.
+  (void)user;
+  (void)sample;
+}
+
+void CliqueCloakServer::Expire(geo::Instant now) {
+  while (!pending_.empty() &&
+         now - pending_.front().exact.t > options_.max_defer) {
+    ++stats_.rejected;
+    stats_.defer_sum += static_cast<double>(options_.max_defer);
+    pending_.pop_front();
+  }
+}
+
+void CliqueCloakServer::ForwardGroup(const std::vector<size_t>& members) {
+  // Shared context: bounding box of the members' exact points.
+  geo::STBox box = geo::STBox::Empty();
+  for (const size_t index : members) {
+    box.ExpandToInclude(pending_[index].exact);
+  }
+  for (const size_t index : members) {
+    const Pending& item = pending_[index];
+    ++stats_.forwarded;
+    stats_.area_sum += box.area.Area();
+    stats_.window_sum += static_cast<double>(box.time.Length());
+    stats_.defer_sum += static_cast<double>(box.time.hi - item.exact.t);
+    if (provider_ != nullptr) {
+      auto it = pseudonyms_.find(item.user);
+      if (it == pseudonyms_.end()) {
+        it = pseudonyms_
+                 .emplace(item.user,
+                          common::Format("cc%08llx",
+                                         static_cast<unsigned long long>(
+                                             options_.pseudonym_seed +
+                                             pseudonym_counter_++)))
+                 .first;
+      }
+      anon::ForwardedRequest request;
+      request.msgid = next_msgid_++;
+      request.pseudonym = it->second;
+      request.context = box;
+      request.service = item.service;
+      request.data = item.data;
+      provider_->Handle(request);
+    }
+  }
+  // Remove members (descending index order keeps positions valid).
+  std::vector<size_t> sorted = members;
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (const size_t index : sorted) {
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(index));
+  }
+}
+
+bool CliqueCloakServer::TryGroup(size_t seed_index) {
+  const Pending& seed = pending_[seed_index];
+  // Greedy: closest distinct-user companions whose joint box still fits.
+  std::vector<std::pair<double, size_t>> candidates;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (i == seed_index) continue;
+    candidates.emplace_back(
+        geo::Distance(pending_[i].exact.p, seed.exact.p), i);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<size_t> members = {seed_index};
+  std::set<mod::UserId> users = {seed.user};
+  geo::STBox box = geo::STBox::FromPoint(seed.exact);
+  for (const auto& [distance, index] : candidates) {
+    if (users.size() >= options_.k) break;
+    const Pending& candidate = pending_[index];
+    if (users.count(candidate.user) > 0) continue;
+    geo::STBox grown = box;
+    grown.ExpandToInclude(candidate.exact);
+    if (grown.area.Width() > options_.max_box_extent ||
+        grown.area.Height() > options_.max_box_extent) {
+      continue;
+    }
+    box = grown;
+    members.push_back(index);
+    users.insert(candidate.user);
+  }
+  if (users.size() < options_.k) return false;
+  ForwardGroup(members);
+  return true;
+}
+
+void CliqueCloakServer::OnServiceRequest(mod::UserId user,
+                                         const geo::STPoint& exact,
+                                         const sim::RequestIntent& intent) {
+  ++stats_.requests;
+  Expire(exact.t);
+  pending_.push_back(Pending{user, exact, intent.service, intent.data});
+  TryGroup(pending_.size() - 1);
+}
+
+void CliqueCloakServer::Flush(geo::Instant now) {
+  Expire(now + options_.max_defer + 1);
+}
+
+}  // namespace baselines
+}  // namespace histkanon

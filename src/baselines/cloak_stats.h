@@ -1,0 +1,37 @@
+// Shared counters for the baseline anonymizers, comparable with TsStats.
+
+#ifndef HISTKANON_SRC_BASELINES_CLOAK_STATS_H_
+#define HISTKANON_SRC_BASELINES_CLOAK_STATS_H_
+
+#include <cstddef>
+
+namespace histkanon {
+namespace baselines {
+
+/// \brief Aggregate outcome counters for a baseline anonymizer.
+struct CloakStats {
+  size_t requests = 0;
+  size_t forwarded = 0;
+  size_t rejected = 0;
+  /// Sums over forwarded requests, for QoS metrics.
+  double area_sum = 0.0;     // m^2
+  double window_sum = 0.0;   // seconds
+  double defer_sum = 0.0;    // seconds spent queued (CliqueCloak only)
+
+  double MeanArea() const {
+    return forwarded == 0 ? 0.0 : area_sum / static_cast<double>(forwarded);
+  }
+  double MeanWindow() const {
+    return forwarded == 0 ? 0.0 : window_sum / static_cast<double>(forwarded);
+  }
+  double SuccessRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(forwarded) / static_cast<double>(requests);
+  }
+};
+
+}  // namespace baselines
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_BASELINES_CLOAK_STATS_H_

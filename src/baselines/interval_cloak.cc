@@ -1,0 +1,87 @@
+#include "src/baselines/interval_cloak.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace baselines {
+
+IntervalCloakServer::IntervalCloakServer(geo::Rect world_bounds,
+                                         IntervalCloakOptions options)
+    : bounds_(world_bounds), options_(options) {}
+
+common::Status IntervalCloakServer::RegisterService(
+    const anon::ServiceProfile& service) {
+  // Tolerance constraints are evaluated by the caller via stats; the
+  // baseline itself is service-agnostic.  Kept for interface symmetry.
+  (void)service;
+  return common::Status::OK();
+}
+
+void IntervalCloakServer::OnLocationUpdate(mod::UserId user,
+                                           const geo::STPoint& sample) {
+  db_.Append(user, sample).ok();
+}
+
+geo::STBox IntervalCloakServer::Cloak(const geo::STPoint& exact) const {
+  const geo::TimeInterval window{exact.t - options_.observation_window,
+                                 exact.t};
+  geo::Rect quadrant = bounds_;
+  // Refuse when even the whole world lacks k subjects.
+  if (db_.CountUsersWithSampleIn(geo::STBox{quadrant, window}) <
+      options_.k) {
+    return geo::STBox::Empty();
+  }
+  for (int depth = 0; depth < options_.max_depth; ++depth) {
+    // The child quadrant containing the point.
+    const geo::Point center = quadrant.Center();
+    geo::Rect child{exact.p.x < center.x ? quadrant.min_x : center.x,
+                    exact.p.y < center.y ? quadrant.min_y : center.y, 0.0,
+                    0.0};
+    child.max_x = child.min_x + quadrant.Width() / 2.0;
+    child.max_y = child.min_y + quadrant.Height() / 2.0;
+    if (db_.CountUsersWithSampleIn(geo::STBox{child, window}) < options_.k) {
+      break;  // Child too sparse: keep the current quadrant.
+    }
+    quadrant = child;
+  }
+  return geo::STBox{quadrant, window};
+}
+
+void IntervalCloakServer::OnServiceRequest(mod::UserId user,
+                                           const geo::STPoint& exact,
+                                           const sim::RequestIntent& intent) {
+  ++stats_.requests;
+  // The request's own position is also an observation.
+  db_.Append(user, exact).ok();
+
+  const geo::STBox cloaked = Cloak(exact);
+  if (cloaked.IsEmpty()) {
+    ++stats_.rejected;
+    return;
+  }
+  ++stats_.forwarded;
+  stats_.area_sum += cloaked.area.Area();
+  stats_.window_sum += static_cast<double>(cloaked.time.Length());
+
+  if (provider_ != nullptr) {
+    auto it = pseudonyms_.find(user);
+    if (it == pseudonyms_.end()) {
+      it = pseudonyms_
+               .emplace(user, common::Format("ic%08llx",
+                                             static_cast<unsigned long long>(
+                                                 options_.pseudonym_seed +
+                                                 pseudonym_counter_++)))
+               .first;
+    }
+    anon::ForwardedRequest request;
+    request.msgid = next_msgid_++;
+    request.pseudonym = it->second;
+    request.context = cloaked;
+    request.service = intent.service;
+    request.data = intent.data;
+    provider_->Handle(request);
+  }
+}
+
+}  // namespace baselines
+}  // namespace histkanon

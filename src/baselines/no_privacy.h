@@ -1,0 +1,75 @@
+// The no-protection lower bound: every request is forwarded with its exact
+// position (degenerate context) under a fixed pseudonym.
+
+#ifndef HISTKANON_SRC_BASELINES_NO_PRIVACY_H_
+#define HISTKANON_SRC_BASELINES_NO_PRIVACY_H_
+
+#include <map>
+
+#include "src/baselines/cloak_stats.h"
+#include "src/common/str.h"
+#include "src/sim/simulator.h"
+#include "src/ts/service_provider.h"
+
+namespace histkanon {
+namespace baselines {
+
+/// \brief Passthrough "anonymizer": pseudonyms only, no generalization.
+class NoPrivacyServer : public sim::EventSink {
+ public:
+  NoPrivacyServer() = default;
+
+  void ConnectServiceProvider(ts::ServiceProvider* provider) {
+    provider_ = provider;
+  }
+
+  void OnLocationUpdate(mod::UserId user,
+                        const geo::STPoint& sample) override {
+    (void)user;
+    (void)sample;
+  }
+
+  void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                        const sim::RequestIntent& intent) override {
+    ++stats_.requests;
+    ++stats_.forwarded;
+    if (provider_ == nullptr) return;
+    auto it = pseudonyms_.find(user);
+    if (it == pseudonyms_.end()) {
+      it = pseudonyms_
+               .emplace(user, common::Format("np%08llx",
+                                             static_cast<unsigned long long>(
+                                                 pseudonyms_.size())))
+               .first;
+    }
+    anon::ForwardedRequest request;
+    request.msgid = next_msgid_++;
+    request.pseudonym = it->second;
+    request.context = geo::STBox::FromPoint(exact);
+    request.service = intent.service;
+    request.data = intent.data;
+    provider_->Handle(request);
+  }
+
+  const CloakStats& stats() const { return stats_; }
+
+  /// Ground truth for evaluation: the owner of every issued pseudonym.
+  std::map<mod::Pseudonym, mod::UserId> PseudonymTruth() const {
+    std::map<mod::Pseudonym, mod::UserId> truth;
+    for (const auto& [user, pseudonym] : pseudonyms_) {
+      truth.emplace(pseudonym, user);
+    }
+    return truth;
+  }
+
+ private:
+  std::map<mod::UserId, mod::Pseudonym> pseudonyms_;
+  ts::ServiceProvider* provider_ = nullptr;
+  mod::MessageId next_msgid_ = 1;
+  CloakStats stats_;
+};
+
+}  // namespace baselines
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_BASELINES_NO_PRIVACY_H_

@@ -1,0 +1,92 @@
+// Result<T>: value-or-Status return type, in the style of arrow::Result.
+
+#ifndef HISTKANON_SRC_COMMON_RESULT_H_
+#define HISTKANON_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace histkanon {
+namespace common {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Like arrow::Result, a Result is never "OK but empty": constructing one
+/// from an OK Status is a programming error (asserted in debug builds and
+/// converted to an Internal status otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() when a value is held, the failure otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// The held value, or `fallback` when this result is a failure.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  /// Convenience accessors mirroring ValueOrDie().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace common
+}  // namespace histkanon
+
+/// Evaluates a Result<T> expression; on failure returns its Status, on
+/// success assigns the value to `lhs` (which must name a declared variable
+/// or a declaration).
+#define HISTKANON_ASSIGN_OR_RETURN(lhs, expr)          \
+  HISTKANON_ASSIGN_OR_RETURN_IMPL(                     \
+      HISTKANON_CONCAT_(_hk_result_, __LINE__), lhs, expr)
+
+#define HISTKANON_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HISTKANON_CONCAT_(a, b) HISTKANON_CONCAT_IMPL_(a, b)
+#define HISTKANON_CONCAT_IMPL_(a, b) a##b
+
+#endif  // HISTKANON_SRC_COMMON_RESULT_H_

@@ -1,0 +1,123 @@
+// Status: error-handling vocabulary for the histkanon library.
+//
+// Public APIs in this project do not throw exceptions; fallible operations
+// return Status (or Result<T>, see result.h) in the style of Apache
+// Arrow / RocksDB.
+
+#ifndef HISTKANON_SRC_COMMON_STATUS_H_
+#define HISTKANON_SRC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace histkanon {
+namespace common {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+/// (e.g. "invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message.
+///
+/// A default-constructed Status is OK.  Status is cheap to copy (the
+/// message is empty in the common OK case).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.  An OK code must
+  /// not carry a message; use Status() or Status::OK() for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief The canonical OK status.
+  static Status OK() { return Status(); }
+  /// \brief A caller-supplied value failed validation.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// \brief A referenced entity does not exist.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// \brief An entity being created already exists.
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  /// \brief An index or interval fell outside the valid domain.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// \brief The operation is invalid in the object's current state.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// \brief The operation is not implemented.
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  /// \brief An invariant the library maintains internally was violated.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The human-readable message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Renders as "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace common
+}  // namespace histkanon
+
+/// Propagates a non-OK Status to the caller.
+#define HISTKANON_RETURN_NOT_OK(expr)                      \
+  do {                                                     \
+    ::histkanon::common::Status _hk_status = (expr);       \
+    if (!_hk_status.ok()) return _hk_status;               \
+  } while (false)
+
+#endif  // HISTKANON_SRC_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#include "src/common/str.h"
+
+#include <cstdlib>
+
+namespace histkanon {
+namespace common {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDuration(int64_t seconds) {
+  const bool negative = seconds < 0;
+  int64_t s = negative ? -seconds : seconds;
+  const int64_t days = s / 86400;
+  s %= 86400;
+  const int64_t hours = s / 3600;
+  s %= 3600;
+  const int64_t minutes = s / 60;
+  s %= 60;
+  std::string out = negative ? "-" : "";
+  if (days > 0) out += Format("%lldd ", static_cast<long long>(days));
+  out += Format("%02lld:%02lld:%02lld", static_cast<long long>(hours),
+                static_cast<long long>(minutes), static_cast<long long>(s));
+  return out;
+}
+
+}  // namespace common
+}  // namespace histkanon

@@ -1,0 +1,33 @@
+// Small string-formatting helpers used for diagnostics and report tables.
+
+#ifndef HISTKANON_SRC_COMMON_STR_H_
+#define HISTKANON_SRC_COMMON_STR_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace histkanon {
+namespace common {
+
+/// printf-style formatting into a std::string.
+template <typename... Args>
+std::string Format(const char* fmt, Args... args) {
+  const int needed = std::snprintf(nullptr, 0, fmt, args...);
+  if (needed <= 0) return std::string();
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Renders seconds as "1d 02:03:04" / "02:03:04" for report readability.
+std::string FormatDuration(int64_t seconds);
+
+}  // namespace common
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_COMMON_STR_H_

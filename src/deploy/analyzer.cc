@@ -1,0 +1,141 @@
+#include "src/deploy/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/str.h"
+#include "src/stindex/index.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace deploy {
+
+size_t DeployabilityReport::DeployableCells() const {
+  size_t count = 0;
+  for (const CellReport& cell : cells) {
+    if (cell.deployable) ++count;
+  }
+  return count;
+}
+
+double DeployabilityReport::DeployableFraction() const {
+  if (cells.empty()) return 0.0;
+  return static_cast<double>(DeployableCells()) /
+         static_cast<double>(cells.size());
+}
+
+std::string DeployabilityReport::RenderAsciiMap() const {
+  std::string out;
+  for (size_t r = rows; r-- > 0;) {
+    for (size_t c = 0; c < columns; ++c) {
+      const CellReport& cell = cells[r * columns + c];
+      if (cell.deployable) {
+        out += '#';
+      } else if (cell.serviceability * 2.0 >= 0.75) {
+        out += '+';
+      } else {
+        out += '.';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DeployabilityAnalyzer::DeployabilityAnalyzer(const mod::MovingObjectDb* db,
+                                             DeployabilityOptions options)
+    : db_(db), options_(options) {
+  stindex::LoadFromDb(*db_, &index_);
+}
+
+common::Result<DeployabilityReport> DeployabilityAnalyzer::Analyze(
+    const geo::Rect& region, const tgran::UTimeInterval& window,
+    const std::vector<int64_t>& days) const {
+  if (region.IsEmpty()) {
+    return common::Status::InvalidArgument("analysis region is empty");
+  }
+  if (days.empty()) {
+    return common::Status::InvalidArgument("no probe days given");
+  }
+
+  DeployabilityReport report;
+  report.region = region;
+  report.columns = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(region.Width() /
+                                       options_.cell_meters)));
+  report.rows = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(region.Height() /
+                                       options_.cell_meters)));
+
+  anon::MixZoneOptions mixzone = options_.mixzone;
+  mixzone.min_diverging_users =
+      std::max(mixzone.min_diverging_users, options_.k);
+
+  for (size_t r = 0; r < report.rows; ++r) {
+    for (size_t c = 0; c < report.columns; ++c) {
+      CellReport cell;
+      cell.cell = geo::Rect{
+          region.min_x + static_cast<double>(c) * options_.cell_meters,
+          region.min_y + static_cast<double>(r) * options_.cell_meters,
+          std::min(region.max_x, region.min_x +
+                                     static_cast<double>(c + 1) *
+                                         options_.cell_meters),
+          std::min(region.max_y, region.min_y +
+                                     static_cast<double>(r + 1) *
+                                         options_.cell_meters)};
+      const geo::Point center = cell.cell.Center();
+
+      size_t gen_ok = 0;
+      size_t mix_ok = 0;
+      size_t serviceable = 0;
+      double anonymity_sum = 0.0;
+      for (const int64_t day : days) {
+        // Probe at the window's midpoint on this day.
+        const geo::TimeInterval anchored = window.AnchoredOnDay(day);
+        const geo::STPoint probe{center, anchored.Center()};
+
+        // Anonymity set of a tolerance-sized context at the probe.
+        const geo::STBox context{
+            geo::Rect::FromCenter(center, options_.tolerance.max_area_width,
+                                  options_.tolerance.max_area_height),
+            geo::TimeInterval::FromCenter(probe.t,
+                                          options_.tolerance.max_time_window)};
+        anonymity_sum +=
+            static_cast<double>(db_->CountUsersWithSampleIn(context));
+
+        // Would Algorithm 1's k-covering box fit the tolerance?
+        const std::vector<stindex::UserNeighbor> neighbors =
+            index_.NearestPerUser(probe, options_.k, mod::kInvalidUser,
+                                  options_.metric);
+        bool generalizable = neighbors.size() >= options_.k;
+        if (generalizable) {
+          geo::STBox box = geo::STBox::FromPoint(probe);
+          for (const stindex::UserNeighbor& neighbor : neighbors) {
+            box.ExpandToInclude(neighbor.sample);
+          }
+          generalizable = options_.tolerance.Satisfies(box);
+        }
+        if (generalizable) ++gen_ok;
+
+        // Could an on-demand mix-zone absorb a failure here?
+        const bool mix = anon::TryFormMixZone(*db_, probe, mod::kInvalidUser,
+                                              mixzone)
+                             .success;
+        if (mix) ++mix_ok;
+        if (generalizable || mix) ++serviceable;
+      }
+      const double n = static_cast<double>(days.size());
+      cell.mean_anonymity_set = anonymity_sum / n;
+      cell.generalization_feasibility = static_cast<double>(gen_ok) / n;
+      cell.mixzone_availability = static_cast<double>(mix_ok) / n;
+      cell.serviceability = static_cast<double>(serviceable) / n;
+      cell.deployable =
+          cell.serviceability >= options_.deployable_threshold;
+      report.cells.push_back(cell);
+    }
+  }
+  return report;
+}
+
+}  // namespace deploy
+}  // namespace histkanon

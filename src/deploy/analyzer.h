@@ -1,0 +1,102 @@
+// Deployability analysis (paper Section 7, purpose (b)): "to evaluate if
+// the privacy policies that a location-based service guarantees are
+// sufficient to deploy the service in a certain area ... considering, for
+// example, the typical density of users, their movement patterns, their
+// concerns about privacy, as well as the spatio-temporal tolerance
+// constraints of the service and the presence of natural mix-zones in the
+// area."
+//
+// Given a moving-object history, the analyzer grids the region and, for a
+// recurring time window, probes every cell: how large is the anonymity
+// set, can Algorithm 1 build a k-covering box within the service's
+// tolerance, and could an on-demand mix-zone form there?  The result is a
+// per-cell report plus an ASCII feasibility map.
+
+#ifndef HISTKANON_SRC_DEPLOY_ANALYZER_H_
+#define HISTKANON_SRC_DEPLOY_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/anon/mixzone.h"
+#include "src/anon/tolerance.h"
+#include "src/common/result.h"
+#include "src/mod/moving_object_db.h"
+#include "src/stindex/grid_index.h"
+#include "src/tgran/unanchored.h"
+
+namespace histkanon {
+namespace deploy {
+
+/// \brief Analyzer knobs.
+struct DeployabilityOptions {
+  /// Edge of the analysis grid cells (meters).
+  double cell_meters = 1000.0;
+  /// Anonymity parameter the deployment must sustain.
+  size_t k = 5;
+  /// The service's tolerance constraints.
+  anon::ToleranceConstraints tolerance;
+  /// Mix-zone formation parameters (min_diverging_users is raised to k).
+  anon::MixZoneOptions mixzone;
+  /// Metric for the k-nearest-trajectories probe.
+  geo::STMetric metric;
+  /// A cell is deployable when at least this fraction of probes could be
+  /// served (generalization fits tolerance, or a mix-zone could absorb a
+  /// failure).
+  double deployable_threshold = 0.75;
+};
+
+/// \brief Per-cell findings.
+struct CellReport {
+  geo::Rect cell;
+  /// Mean potential-sender count in a tolerance-sized context (the
+  /// Section 5.1 anonymity set).
+  double mean_anonymity_set = 0.0;
+  /// Fraction of probes where the k-covering box fit the tolerance.
+  double generalization_feasibility = 0.0;
+  /// Fraction of probes where an on-demand mix-zone could have formed.
+  double mixzone_availability = 0.0;
+  /// Fraction of probes serviceable by either mechanism.
+  double serviceability = 0.0;
+  bool deployable = false;
+};
+
+/// \brief Whole-region findings.
+struct DeployabilityReport {
+  size_t columns = 0;
+  size_t rows = 0;
+  geo::Rect region;
+  std::vector<CellReport> cells;  // Row-major, row 0 = minimum y.
+
+  size_t DeployableCells() const;
+  double DeployableFraction() const;
+
+  /// ASCII rendering, one character per cell ('#': deployable, '+':
+  /// serviceability >= half the threshold, '.': below).  Row 0 (south)
+  /// prints last so the map reads like a map.
+  std::string RenderAsciiMap() const;
+};
+
+/// \brief The analyzer.  The database must outlive it.
+class DeployabilityAnalyzer {
+ public:
+  DeployabilityAnalyzer(const mod::MovingObjectDb* db,
+                        DeployabilityOptions options);
+
+  /// Analyzes `region` for the recurring daily `window`, probing each cell
+  /// at the window's midpoint on each of `days` (day indices).  Fails if
+  /// `region` is empty or `days` is empty.
+  common::Result<DeployabilityReport> Analyze(
+      const geo::Rect& region, const tgran::UTimeInterval& window,
+      const std::vector<int64_t>& days) const;
+
+ private:
+  const mod::MovingObjectDb* db_;
+  DeployabilityOptions options_;
+  stindex::GridIndex index_;
+};
+
+}  // namespace deploy
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_DEPLOY_ANALYZER_H_

@@ -1,0 +1,61 @@
+#include "src/eval/metrics.h"
+
+#include <set>
+
+namespace histkanon {
+namespace eval {
+
+IdentificationScore ScoreIdentifications(
+    const std::vector<ts::Identification>& identifications,
+    const PseudonymResolver& truth, size_t target_population) {
+  IdentificationScore score;
+  score.target_population = target_population;
+  std::set<mod::UserId> correctly_exposed;
+  for (const ts::Identification& identification : identifications) {
+    ++score.claims;
+    bool all_match = !identification.pseudonyms.empty();
+    for (const mod::Pseudonym& pseudonym : identification.pseudonyms) {
+      const std::optional<mod::UserId> owner = truth(pseudonym);
+      if (!owner.has_value() || *owner != identification.claimed_user) {
+        all_match = false;
+        break;
+      }
+    }
+    if (all_match) {
+      // Count each exposed user once even if several traces hit them.
+      if (correctly_exposed.insert(identification.claimed_user).second) {
+        ++score.correct;
+      }
+    }
+  }
+  return score;
+}
+
+IdentificationScore ScoreIdentifications(
+    const std::vector<ts::Identification>& identifications,
+    const anon::PseudonymManager& truth, size_t target_population) {
+  return ScoreIdentifications(
+      identifications,
+      [&truth](const mod::Pseudonym& pseudonym) {
+        return truth.Resolve(pseudonym);
+      },
+      target_population);
+}
+
+IdentificationScore ScoreIdentifications(
+    const std::vector<ts::Identification>& identifications,
+    const std::map<mod::Pseudonym, mod::UserId>& truth,
+    size_t target_population) {
+  return ScoreIdentifications(
+      identifications,
+      [&truth](const mod::Pseudonym& pseudonym)
+          -> std::optional<mod::UserId> {
+        const auto it = truth.find(pseudonym);
+        if (it == truth.end()) return std::nullopt;
+        return it->second;
+      },
+      target_population);
+}
+
+}  // namespace eval
+}  // namespace histkanon

@@ -1,0 +1,65 @@
+// Evaluation metrics shared by the experiment harnesses: adversary
+// identification precision/recall and trace-level HkA survival.
+
+#ifndef HISTKANON_SRC_EVAL_METRICS_H_
+#define HISTKANON_SRC_EVAL_METRICS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/anon/pseudonym.h"
+#include "src/ts/adversary.h"
+
+namespace histkanon {
+namespace eval {
+
+/// \brief Outcome of scoring adversary identifications against ground
+/// truth.
+struct IdentificationScore {
+  size_t claims = 0;           ///< Identifications the adversary committed to.
+  size_t correct = 0;          ///< Claims naming the true user of the trace.
+  size_t target_population = 0;  ///< Users the adversary could have exposed.
+
+  double Precision() const {
+    return claims == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(claims);
+  }
+  double Recall() const {
+    return target_population == 0
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(target_population);
+  }
+};
+
+/// Ground-truth oracle: the true owner of a pseudonym (nullopt: unknown).
+using PseudonymResolver =
+    std::function<std::optional<mod::UserId>(const mod::Pseudonym&)>;
+
+/// Scores `identifications`: a claim is correct when every pseudonym in
+/// the linked trace belongs to the claimed user; `correct` counts each
+/// exposed user once.  `target_population` is the number of users the
+/// adversary is hunting (e.g. the commuters).
+IdentificationScore ScoreIdentifications(
+    const std::vector<ts::Identification>& identifications,
+    const PseudonymResolver& truth, size_t target_population);
+
+/// Convenience overload against the TS pseudonym manager.
+IdentificationScore ScoreIdentifications(
+    const std::vector<ts::Identification>& identifications,
+    const anon::PseudonymManager& truth, size_t target_population);
+
+/// Convenience overload against a fixed pseudonym->user map (the baseline
+/// servers expose these).
+IdentificationScore ScoreIdentifications(
+    const std::vector<ts::Identification>& identifications,
+    const std::map<mod::Pseudonym, mod::UserId>& truth,
+    size_t target_population);
+
+}  // namespace eval
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_EVAL_METRICS_H_

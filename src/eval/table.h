@@ -1,0 +1,34 @@
+// Aligned plain-text tables for the experiment harnesses (EXPERIMENTS.md
+// records their output).
+
+#ifndef HISTKANON_SRC_EVAL_TABLE_H_
+#define HISTKANON_SRC_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace histkanon {
+namespace eval {
+
+/// \brief Column-aligned table writer.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to content width.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_EVAL_TABLE_H_

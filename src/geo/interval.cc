@@ -1,0 +1,34 @@
+#include "src/geo/interval.h"
+
+#include <limits>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace geo {
+
+TimeInterval TimeInterval::Empty() {
+  return TimeInterval{std::numeric_limits<Instant>::max(),
+                      std::numeric_limits<Instant>::min()};
+}
+
+TimeInterval TimeInterval::ShrunkToFit(Instant anchor,
+                                       int64_t max_length) const {
+  if (IsEmpty() || Length() <= max_length) return *this;
+  TimeInterval out = *this;
+  const double frac = Length() > 0
+                          ? static_cast<double>(anchor - lo) /
+                                static_cast<double>(Length())
+                          : 0.5;
+  out.lo = anchor - static_cast<Instant>(frac * static_cast<double>(max_length));
+  out.hi = out.lo + max_length;
+  return out;
+}
+
+std::string TimeInterval::ToString() const {
+  return "[" + common::FormatDuration(lo) + ", " + common::FormatDuration(hi) +
+         "]";
+}
+
+}  // namespace geo
+}  // namespace histkanon

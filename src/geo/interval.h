@@ -1,0 +1,90 @@
+// Closed time intervals on the simulation timeline: the `TimeInterval`
+// component of a request's spatio-temporal context (paper Section 3).
+
+#ifndef HISTKANON_SRC_GEO_INTERVAL_H_
+#define HISTKANON_SRC_GEO_INTERVAL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "src/geo/point.h"
+
+namespace histkanon {
+namespace geo {
+
+/// \brief A closed interval [lo, hi] of instants.  lo > hi means empty.
+struct TimeInterval {
+  Instant lo = 0;
+  Instant hi = 0;
+
+  /// Interval covering exactly one instant.
+  static TimeInterval FromInstant(Instant t) { return TimeInterval{t, t}; }
+
+  /// Interval of total length `length` centered at `t` (rounded down).
+  static TimeInterval FromCenter(Instant t, int64_t length) {
+    return TimeInterval{t - length / 2, t - length / 2 + length};
+  }
+
+  /// An empty interval (identity for ExpandToInclude).
+  static TimeInterval Empty();
+
+  bool IsEmpty() const { return lo > hi; }
+
+  bool Contains(Instant t) const { return t >= lo && t <= hi; }
+
+  bool Contains(const TimeInterval& other) const {
+    if (other.IsEmpty()) return true;
+    return other.lo >= lo && other.hi <= hi;
+  }
+
+  bool Intersects(const TimeInterval& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Length in seconds (0 for degenerate and empty intervals).
+  int64_t Length() const { return IsEmpty() ? 0 : hi - lo; }
+
+  Instant Center() const { return lo + (hi - lo) / 2; }
+
+  void ExpandToInclude(Instant t) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+
+  void ExpandToInclude(const TimeInterval& other) {
+    if (other.IsEmpty()) return;
+    if (IsEmpty()) {
+      *this = other;
+      return;
+    }
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+  }
+
+  static TimeInterval Union(const TimeInterval& a, const TimeInterval& b) {
+    TimeInterval out = a;
+    out.ExpandToInclude(b);
+    return out;
+  }
+
+  static TimeInterval Intersection(const TimeInterval& a,
+                                   const TimeInterval& b) {
+    return TimeInterval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  }
+
+  /// This interval shrunk about `anchor` to at most `max_length` seconds,
+  /// still containing `anchor` (Algorithm 1 lines 11-12, time dimension).
+  TimeInterval ShrunkToFit(Instant anchor, int64_t max_length) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+}  // namespace geo
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_GEO_INTERVAL_H_

@@ -1,0 +1,84 @@
+// Planar points and the simulation timeline.
+//
+// All positions are in meters in a planar city coordinate frame; all times
+// are `Instant` = seconds since the simulation epoch.  The epoch is defined
+// (see src/tgran/calendar.h) to fall on a Monday 00:00 so that calendar
+// granularities (weekdays, weeks, ...) have simple anchors.
+
+#ifndef HISTKANON_SRC_GEO_POINT_H_
+#define HISTKANON_SRC_GEO_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace histkanon {
+namespace geo {
+
+/// Seconds since the simulation epoch.
+using Instant = int64_t;
+
+/// \brief A point in the planar city frame (meters).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points (meters).
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// \brief A position sample: where an object was at a given instant.
+///
+/// This is the paper's PHL element <x, y, t> (Definition 6).
+struct STPoint {
+  Point p;
+  Instant t = 0;
+
+  friend bool operator==(const STPoint& a, const STPoint& b) {
+    return a.p == b.p && a.t == b.t;
+  }
+};
+
+/// \brief Weighted spatio-temporal metric used by nearest-neighbour queries
+/// (Algorithm 1 selects "closest" 3D points; space and time need a common
+/// scale).
+///
+/// Distance = sqrt(dx^2 + dy^2 + (meters_per_second * dt)^2): one second of
+/// temporal separation counts as `meters_per_second` meters.  The default,
+/// 1.4 m/s, is a typical pedestrian speed, making the metric roughly
+/// reachability-scaled.
+struct STMetric {
+  double meters_per_second = 1.4;
+
+  /// Squared weighted distance between two spatio-temporal points.
+  double SquaredDistance(const STPoint& a, const STPoint& b) const {
+    const double dx = a.p.x - b.p.x;
+    const double dy = a.p.y - b.p.y;
+    const double dt = meters_per_second * static_cast<double>(a.t - b.t);
+    return dx * dx + dy * dy + dt * dt;
+  }
+
+  /// Weighted distance between two spatio-temporal points.
+  double Distance(const STPoint& a, const STPoint& b) const {
+    return std::sqrt(SquaredDistance(a, b));
+  }
+};
+
+}  // namespace geo
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_GEO_POINT_H_

@@ -1,0 +1,83 @@
+#include "src/geo/rect.h"
+
+#include <limits>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace geo {
+
+Rect Rect::FromCenter(const Point& c, double width, double height) {
+  return Rect{c.x - width / 2.0, c.y - height / 2.0, c.x + width / 2.0,
+              c.y + height / 2.0};
+}
+
+Rect Rect::Empty() {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Rect{inf, inf, -inf, -inf};
+}
+
+void Rect::ExpandToInclude(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::ExpandToInclude(const Rect& other) {
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  min_x = std::min(min_x, other.min_x);
+  min_y = std::min(min_y, other.min_y);
+  max_x = std::max(max_x, other.max_x);
+  max_y = std::max(max_y, other.max_y);
+}
+
+Rect Rect::Buffered(double margin) const {
+  if (IsEmpty()) return *this;
+  return Rect{min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+}
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Rect out = a;
+  out.ExpandToInclude(b);
+  return out;
+}
+
+Rect Rect::Intersection(const Rect& a, const Rect& b) {
+  Rect out{std::max(a.min_x, b.min_x), std::max(a.min_y, b.min_y),
+           std::min(a.max_x, b.max_x), std::min(a.max_y, b.max_y)};
+  return out;
+}
+
+Rect Rect::ShrunkToFit(const Point& anchor, double max_width,
+                       double max_height) const {
+  if (IsEmpty()) return *this;
+  Rect out = *this;
+  if (out.Width() > max_width) {
+    // Keep the anchor's relative position within the shrunk extent so the
+    // anchor never leaves the rectangle.
+    const double frac =
+        out.Width() > 0.0 ? (anchor.x - out.min_x) / out.Width() : 0.5;
+    out.min_x = anchor.x - frac * max_width;
+    out.max_x = out.min_x + max_width;
+  }
+  if (out.Height() > max_height) {
+    const double frac =
+        out.Height() > 0.0 ? (anchor.y - out.min_y) / out.Height() : 0.5;
+    out.min_y = anchor.y - frac * max_height;
+    out.max_y = out.min_y + max_height;
+  }
+  return out;
+}
+
+std::string Rect::ToString() const {
+  return common::Format("[%.1f,%.1f]x[%.1f,%.1f]", min_x, max_x, min_y,
+                        max_y);
+}
+
+}  // namespace geo
+}  // namespace histkanon

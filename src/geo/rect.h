@@ -1,0 +1,97 @@
+// Axis-aligned rectangles: the `Area` component of a request's
+// spatio-temporal context (paper Section 3) and of LBQID elements
+// (Definition 1, "possibly by a pair of intervals [x1,x2][y1,y2]").
+
+#ifndef HISTKANON_SRC_GEO_RECT_H_
+#define HISTKANON_SRC_GEO_RECT_H_
+
+#include <algorithm>
+#include <string>
+
+#include "src/geo/point.h"
+
+namespace histkanon {
+namespace geo {
+
+/// \brief A closed axis-aligned rectangle [min_x,max_x] x [min_y,max_y].
+///
+/// A degenerate rectangle (a single point) is valid; an "inverted"
+/// rectangle (min > max) is empty.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Rectangle covering exactly one point.
+  static Rect FromPoint(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  /// Rectangle centered at `c` with the given total width and height.
+  static Rect FromCenter(const Point& c, double width, double height);
+
+  /// An empty rectangle (contains nothing; identity for ExpandToInclude).
+  static Rect Empty();
+
+  /// True iff min > max on some axis.
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  /// True iff `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// True iff `other` lies entirely inside this rectangle.
+  bool Contains(const Rect& other) const {
+    if (other.IsEmpty()) return true;
+    return other.min_x >= min_x && other.max_x <= max_x &&
+           other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  /// True iff the two rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return min_x <= other.max_x && other.min_x <= max_x &&
+           min_y <= other.max_y && other.min_y <= max_y;
+  }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x - min_x; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y - min_y; }
+  /// Area in square meters (0 for degenerate and empty rectangles).
+  double Area() const { return Width() * Height(); }
+
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Grows (in place) to cover `p`.
+  void ExpandToInclude(const Point& p);
+  /// Grows (in place) to cover `other`.
+  void ExpandToInclude(const Rect& other);
+
+  /// This rectangle grown by `margin` on every side.
+  Rect Buffered(double margin) const;
+
+  /// Smallest rectangle covering both inputs.
+  static Rect Union(const Rect& a, const Rect& b);
+  /// Largest rectangle covered by both inputs (empty if disjoint).
+  static Rect Intersection(const Rect& a, const Rect& b);
+
+  /// This rectangle shrunk about `anchor` so that Width() <= max_width and
+  /// Height() <= max_height, while still containing `anchor`.  Used by
+  /// Algorithm 1 lines 11-12 ("Area ... uniformly reduced to satisfy the
+  /// tolerance constraints").
+  Rect ShrunkToFit(const Point& anchor, double max_width,
+                   double max_height) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+}  // namespace geo
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_GEO_RECT_H_

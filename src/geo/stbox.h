@@ -1,0 +1,83 @@
+// STBox: a spatio-temporal context <Area, TimeInterval> as forwarded to a
+// service provider (paper Section 3) and as computed by the generalization
+// algorithm (Algorithm 1's "smallest 3D space (2D area + time)").
+
+#ifndef HISTKANON_SRC_GEO_STBOX_H_
+#define HISTKANON_SRC_GEO_STBOX_H_
+
+#include <string>
+
+#include "src/geo/interval.h"
+#include "src/geo/point.h"
+#include "src/geo/rect.h"
+
+namespace histkanon {
+namespace geo {
+
+/// \brief An axis-aligned box in (x, y, t) space.
+struct STBox {
+  Rect area;
+  TimeInterval time;
+
+  /// Box covering exactly one spatio-temporal point.
+  static STBox FromPoint(const STPoint& p) {
+    return STBox{Rect::FromPoint(p.p), TimeInterval::FromInstant(p.t)};
+  }
+
+  /// An empty box (identity for ExpandToInclude).
+  static STBox Empty() { return STBox{Rect::Empty(), TimeInterval::Empty()}; }
+
+  bool IsEmpty() const { return area.IsEmpty() || time.IsEmpty(); }
+
+  bool Contains(const STPoint& p) const {
+    return area.Contains(p.p) && time.Contains(p.t);
+  }
+
+  bool Contains(const STBox& other) const {
+    return area.Contains(other.area) && time.Contains(other.time);
+  }
+
+  bool Intersects(const STBox& other) const {
+    return area.Intersects(other.area) && time.Intersects(other.time);
+  }
+
+  void ExpandToInclude(const STPoint& p) {
+    if (IsEmpty()) {
+      *this = FromPoint(p);
+      return;
+    }
+    area.ExpandToInclude(p.p);
+    time.ExpandToInclude(p.t);
+  }
+
+  void ExpandToInclude(const STBox& other) {
+    if (other.IsEmpty()) return;
+    area.ExpandToInclude(other.area);
+    time.ExpandToInclude(other.time);
+  }
+
+  static STBox Union(const STBox& a, const STBox& b) {
+    STBox out = a;
+    out.ExpandToInclude(b);
+    return out;
+  }
+
+  /// Spatial area (m^2) times temporal length (s): the "volume" a service
+  /// provider must consider, used as the QoS-degradation metric.
+  double Volume() const {
+    return area.Area() * static_cast<double>(time.Length());
+  }
+
+  std::string ToString() const {
+    return area.ToString() + " @ " + time.ToString();
+  }
+
+  friend bool operator==(const STBox& a, const STBox& b) {
+    return a.area == b.area && a.time == b.time;
+  }
+};
+
+}  // namespace geo
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_GEO_STBOX_H_

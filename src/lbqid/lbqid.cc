@@ -1,0 +1,35 @@
+#include "src/lbqid/lbqid.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace lbqid {
+
+common::Result<Lbqid> Lbqid::Create(std::string name,
+                                    std::vector<LbqidElement> elements,
+                                    tgran::Recurrence recurrence) {
+  if (elements.empty()) {
+    return common::Status::InvalidArgument(
+        "an LBQID needs at least one element");
+  }
+  for (const LbqidElement& element : elements) {
+    if (element.area.IsEmpty()) {
+      return common::Status::InvalidArgument(
+          "LBQID element has an empty area");
+    }
+  }
+  return Lbqid(std::move(name), std::move(elements), std::move(recurrence));
+}
+
+std::string Lbqid::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(elements_.size());
+  for (const LbqidElement& element : elements_) {
+    parts.push_back(element.ToString());
+  }
+  return name_ + ": " + common::Join(parts, " ") +
+         "  Recurrence: " + recurrence_.ToString();
+}
+
+}  // namespace lbqid
+}  // namespace histkanon

@@ -1,0 +1,78 @@
+// Location-Based Quasi-Identifiers (paper Definition 1): a sequence of
+// <Area, U-TimeInterval> elements plus a recurrence formula.  Example 2 of
+// the paper:
+//
+//   <AreaCondominium, [7am,8am]> <AreaOfficeBldg, [8am,9am]>
+//   <AreaOfficeBldg, [4pm,6pm]> <AreaCondominium, [5pm,7pm]>
+//   Recurrence: 3.Weekdays * 2.Weeks
+
+#ifndef HISTKANON_SRC_LBQID_LBQID_H_
+#define HISTKANON_SRC_LBQID_LBQID_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/geo/rect.h"
+#include "src/tgran/recurrence.h"
+#include "src/tgran/unanchored.h"
+
+namespace histkanon {
+namespace lbqid {
+
+/// \brief One element of an LBQID: an area and an unanchored time span.
+struct LbqidElement {
+  geo::Rect area;
+  tgran::UTimeInterval time;
+
+  /// Definition 2: the exact location/time of a request matches this
+  /// element iff the area contains the point and the instant falls inside
+  /// one of the intervals denoted by the U-TimeInterval.
+  bool Matches(const geo::STPoint& exact) const {
+    return area.Contains(exact.p) && time.Contains(exact.t);
+  }
+
+  std::string ToString() const {
+    return "<" + area.ToString() + ", " + time.ToString() + ">";
+  }
+};
+
+/// \brief A full location-based quasi-identifier.
+class Lbqid {
+ public:
+  /// Builds an LBQID.  Requires at least one element; elements in the same
+  /// day must have non-decreasing start times is NOT required (wrapping
+  /// U-TimeIntervals make a static check unsound); ordering is enforced
+  /// dynamically by the matcher.
+  static common::Result<Lbqid> Create(std::string name,
+                                      std::vector<LbqidElement> elements,
+                                      tgran::Recurrence recurrence);
+
+  const std::string& name() const { return name_; }
+  const std::vector<LbqidElement>& elements() const { return elements_; }
+  const tgran::Recurrence& recurrence() const { return recurrence_; }
+  size_t size() const { return elements_.size(); }
+
+  /// Definition 2 applied to element `index`.
+  bool ElementMatches(size_t index, const geo::STPoint& exact) const {
+    return elements_[index].Matches(exact);
+  }
+
+  std::string ToString() const;
+
+ private:
+  Lbqid(std::string name, std::vector<LbqidElement> elements,
+        tgran::Recurrence recurrence)
+      : name_(std::move(name)),
+        elements_(std::move(elements)),
+        recurrence_(std::move(recurrence)) {}
+
+  std::string name_;
+  std::vector<LbqidElement> elements_;
+  tgran::Recurrence recurrence_;
+};
+
+}  // namespace lbqid
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_LBQID_LBQID_H_

@@ -1,0 +1,125 @@
+#include "src/lbqid/matcher.h"
+
+#include <algorithm>
+
+namespace histkanon {
+namespace lbqid {
+
+bool LbqidMatcher::InCurrentGranule(geo::Instant t) const {
+  const tgran::GranularityPtr g1 =
+      lbqid_->recurrence().InnermostGranularity();
+  if (g1 == nullptr) return true;  // Empty recurrence: no granule constraint.
+  const std::optional<int64_t> granule = g1->GranuleOf(t);
+  if (!granule.has_value()) return false;  // In a gap of G1.
+  if (!partial_granule_.has_value()) return true;  // Starting fresh.
+  return *granule == *partial_granule_;
+}
+
+MatchEvent LbqidMatcher::Advance(const geo::STPoint& exact) {
+  const tgran::GranularityPtr g1 =
+      lbqid_->recurrence().InnermostGranularity();
+
+  // A partial instance whose G1 granule has passed can never complete.
+  if (has_partial_instance() && g1 != nullptr) {
+    const std::optional<int64_t> granule = g1->GranuleOf(exact.t);
+    if (!granule.has_value() ||
+        (partial_granule_.has_value() && *granule != *partial_granule_)) {
+      partial_times_.clear();
+      partial_granule_.reset();
+    }
+  }
+
+  auto try_element = [&](size_t index) -> bool {
+    if (!lbqid_->ElementMatches(index, exact)) return false;
+    if (!partial_times_.empty() && exact.t <= partial_times_.back()) {
+      return false;  // Elements must be strictly ordered in time.
+    }
+    return InCurrentGranule(exact.t);
+  };
+
+  MatchEvent event;
+  const size_t expected = next_element();
+  bool matched = false;
+  if (expected < lbqid_->size() && try_element(expected)) {
+    matched = true;
+    event.element_index = expected;
+    event.started_instance = (expected == 0);
+  } else if (expected != 0 && lbqid_->ElementMatches(0, exact)) {
+    // Restart: drop the partial instance, begin a new one at element 0.
+    partial_times_.clear();
+    partial_granule_.reset();
+    if (InCurrentGranule(exact.t)) {
+      matched = true;
+      event.element_index = 0;
+      event.started_instance = true;
+    }
+  }
+  if (!matched) {
+    event.outcome = MatchOutcome::kNoMatch;
+    return event;
+  }
+
+  partial_times_.push_back(exact.t);
+  if (g1 != nullptr && !partial_granule_.has_value()) {
+    partial_granule_ = g1->GranuleOf(exact.t);
+  }
+
+  if (partial_times_.size() < lbqid_->size()) {
+    event.outcome = MatchOutcome::kAdvanced;
+    return event;
+  }
+
+  // Full sequence instance observed.
+  completions_.push_back(partial_times_.back());
+  partial_times_.clear();
+  partial_granule_.reset();
+  if (lbqid_->recurrence().IsSatisfiedBy(completions_)) {
+    complete_ = true;
+    event.outcome = MatchOutcome::kLbqidComplete;
+  } else {
+    event.outcome = MatchOutcome::kSequenceComplete;
+  }
+  return event;
+}
+
+LbqidMatcher::Snapshot LbqidMatcher::Save() const {
+  Snapshot snapshot;
+  snapshot.partial_times = partial_times_;
+  snapshot.partial_granule = partial_granule_;
+  snapshot.completion_count = completions_.size();
+  snapshot.complete = complete_;
+  return snapshot;
+}
+
+void LbqidMatcher::Restore(const Snapshot& snapshot) {
+  partial_times_ = snapshot.partial_times;
+  partial_granule_ = snapshot.partial_granule;
+  if (completions_.size() > snapshot.completion_count) {
+    completions_.resize(snapshot.completion_count);
+  }
+  complete_ = snapshot.complete;
+}
+
+void LbqidMatcher::Reset() {
+  partial_times_.clear();
+  partial_granule_.reset();
+  completions_.clear();
+  complete_ = false;
+}
+
+bool RequestSetMatches(const Lbqid& lbqid, std::vector<geo::STPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const geo::STPoint& a, const geo::STPoint& b) {
+              return a.t < b.t;
+            });
+  LbqidMatcher matcher(&lbqid);
+  for (const geo::STPoint& point : points) {
+    if (matcher.Advance(point).outcome == MatchOutcome::kLbqidComplete) {
+      return true;
+    }
+  }
+  return matcher.complete();
+}
+
+}  // namespace lbqid
+}  // namespace histkanon

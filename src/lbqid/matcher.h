@@ -1,0 +1,129 @@
+// Incremental LBQID matching: "a timed state automata may be used for each
+// LBQID and each user, advancing the state of the automata when the actual
+// location of the user at the request time is within the area specified by
+// one of the current states, and the temporal constraints are satisfied"
+// (paper Section 4).
+
+#ifndef HISTKANON_SRC_LBQID_MATCHER_H_
+#define HISTKANON_SRC_LBQID_MATCHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/lbqid/lbqid.h"
+
+namespace histkanon {
+namespace lbqid {
+
+/// \brief Outcome of feeding one request to a matcher.
+enum class MatchOutcome {
+  /// The request matched no element the automaton could accept.
+  kNoMatch,
+  /// The request matched the next expected element (or restarted the
+  /// sequence at element 0); the sequence instance is still incomplete.
+  kAdvanced,
+  /// The request completed a full element-sequence instance, but the
+  /// recurrence formula is not yet satisfied.
+  kSequenceComplete,
+  /// The request completed an instance AND the recurrence formula is now
+  /// satisfied: the LBQID has been fully released to the observer.
+  kLbqidComplete,
+};
+
+/// \brief What the matcher saw in a request.
+struct MatchEvent {
+  MatchOutcome outcome = MatchOutcome::kNoMatch;
+  /// Element matched (valid unless kNoMatch).
+  size_t element_index = 0;
+  /// True when this request began a fresh sequence instance at element 0.
+  bool started_instance = false;
+};
+
+/// \brief Timed-state automaton tracking one user's progress through one
+/// LBQID.
+///
+/// Semantics implemented:
+///  - elements of one sequence instance must match in order with strictly
+///    increasing time;
+///  - when the recurrence formula is non-empty, every element of an
+///    instance must fall within a single granule of the innermost
+///    granularity G1 ("each sequence must be observed within a single
+///    granule of G1");
+///  - a request that cannot extend the current partial instance but does
+///    match element 0 (in a valid granule) restarts the instance;
+///  - completed-instance times are accumulated and tested against the
+///    recurrence formula after every completion.
+class LbqidMatcher {
+ public:
+  explicit LbqidMatcher(const Lbqid* lbqid) : lbqid_(lbqid) {}
+
+  /// Feeds the exact location/time of one request.
+  MatchEvent Advance(const geo::STPoint& exact);
+
+  /// Forgets all progress — partial instance AND completed observations.
+  /// Called when the user's pseudonym changes (Section 6.1 step 2: "all
+  /// partially matched patterns based on old pseudonym ... are reset"),
+  /// since the observer can no longer link future requests to the history.
+  void Reset();
+
+  /// \brief Saved automaton state, for tentative advances.
+  ///
+  /// The automaton models what the SERVICE PROVIDER has observed; when the
+  /// TS decides not to forward a request after all, the advance must be
+  /// rolled back.
+  struct Snapshot {
+    std::vector<geo::Instant> partial_times;
+    std::optional<int64_t> partial_granule;
+    size_t completion_count = 0;
+    bool complete = false;
+  };
+
+  /// Captures the current state.
+  Snapshot Save() const;
+
+  /// Restores a previously captured state.  The snapshot must come from
+  /// this matcher and completions must not have been Reset() in between.
+  void Restore(const Snapshot& snapshot);
+
+  const Lbqid& lbqid() const { return *lbqid_; }
+
+  /// Index of the element the automaton expects next (0 = start).
+  size_t next_element() const { return partial_times_.size(); }
+
+  /// True when a sequence instance is partially matched.
+  bool has_partial_instance() const { return !partial_times_.empty(); }
+
+  /// Completion instants of all fully matched sequence instances.
+  const std::vector<geo::Instant>& completions() const { return completions_; }
+
+  /// True once the whole LBQID (sequence + recurrence) has been matched.
+  bool complete() const { return complete_; }
+
+  /// Recurrence levels currently satisfied (progress indicator).
+  int satisfied_levels() const {
+    return lbqid_->recurrence().SatisfiedLevels(completions_);
+  }
+
+ private:
+  // Whether `t` can join the current partial instance's granule.
+  bool InCurrentGranule(geo::Instant t) const;
+
+  const Lbqid* lbqid_;
+  std::vector<geo::Instant> partial_times_;
+  // G1 granule of the current partial instance (set iff recurrence has a
+  // granularity and an instance is in progress).
+  std::optional<int64_t> partial_granule_;
+  std::vector<geo::Instant> completions_;
+  bool complete_ = false;
+};
+
+/// \brief Convenience set-level matcher (Definition 3, sufficient check):
+/// feeds the time-sorted points through a fresh automaton and reports
+/// whether the LBQID completed.
+bool RequestSetMatches(const Lbqid& lbqid, std::vector<geo::STPoint> points);
+
+}  // namespace lbqid
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_LBQID_MATCHER_H_

@@ -1,0 +1,84 @@
+#include "src/lbqid/monitor.h"
+
+namespace histkanon {
+namespace lbqid {
+
+size_t LbqidMonitor::Register(mod::UserId user, Lbqid lbqid) {
+  PerUser& per_user = users_[user];
+  per_user.lbqids.push_back(std::make_unique<Lbqid>(std::move(lbqid)));
+  per_user.matchers.push_back(
+      std::make_unique<LbqidMatcher>(per_user.lbqids.back().get()));
+  return per_user.lbqids.size() - 1;
+}
+
+std::vector<Observation> LbqidMonitor::ProcessPoint(
+    mod::UserId user, const geo::STPoint& exact) {
+  std::vector<Observation> observations;
+  const auto it = users_.find(user);
+  if (it == users_.end()) return observations;
+  for (size_t i = 0; i < it->second.matchers.size(); ++i) {
+    const MatchEvent event = it->second.matchers[i]->Advance(exact);
+    if (event.outcome == MatchOutcome::kNoMatch) continue;
+    observations.push_back(
+        Observation{i, it->second.lbqids[i].get(), event});
+  }
+  return observations;
+}
+
+void LbqidMonitor::ResetUser(mod::UserId user) {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return;
+  for (auto& matcher : it->second.matchers) matcher->Reset();
+}
+
+std::vector<LbqidMatcher::Snapshot> LbqidMonitor::SaveUser(
+    mod::UserId user) const {
+  std::vector<LbqidMatcher::Snapshot> snapshots;
+  const auto it = users_.find(user);
+  if (it == users_.end()) return snapshots;
+  snapshots.reserve(it->second.matchers.size());
+  for (const auto& matcher : it->second.matchers) {
+    snapshots.push_back(matcher->Save());
+  }
+  return snapshots;
+}
+
+void LbqidMonitor::RestoreUser(
+    mod::UserId user, const std::vector<LbqidMatcher::Snapshot>& snapshots) {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return;
+  for (size_t i = 0; i < it->second.matchers.size() && i < snapshots.size();
+       ++i) {
+    it->second.matchers[i]->Restore(snapshots[i]);
+  }
+}
+
+std::vector<const Lbqid*> LbqidMonitor::LbqidsOf(mod::UserId user) const {
+  std::vector<const Lbqid*> lbqids;
+  const auto it = users_.find(user);
+  if (it == users_.end()) return lbqids;
+  lbqids.reserve(it->second.lbqids.size());
+  for (const auto& lbqid : it->second.lbqids) lbqids.push_back(lbqid.get());
+  return lbqids;
+}
+
+const LbqidMatcher* LbqidMonitor::MatcherOf(mod::UserId user,
+                                            size_t index) const {
+  const auto it = users_.find(user);
+  if (it == users_.end() || index >= it->second.matchers.size()) {
+    return nullptr;
+  }
+  return it->second.matchers[index].get();
+}
+
+bool LbqidMonitor::AnyComplete(mod::UserId user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return false;
+  for (const auto& matcher : it->second.matchers) {
+    if (matcher->complete()) return true;
+  }
+  return false;
+}
+
+}  // namespace lbqid
+}  // namespace histkanon

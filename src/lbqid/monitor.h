@@ -1,0 +1,73 @@
+// The trusted server's LBQID surveillance: one timed automaton per
+// (user, LBQID), advanced on every request ("The TS monitors all incoming
+// user requests for the possible release of LBQIDs", Section 6.1).
+
+#ifndef HISTKANON_SRC_LBQID_MONITOR_H_
+#define HISTKANON_SRC_LBQID_MONITOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lbqid/matcher.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace lbqid {
+
+/// \brief What one registered LBQID saw in a request.
+struct Observation {
+  /// Position of the LBQID in the user's registration order.
+  size_t lbqid_index = 0;
+  const Lbqid* lbqid = nullptr;
+  MatchEvent event;
+};
+
+/// \brief Registry of per-user LBQIDs plus their live matchers.
+class LbqidMonitor {
+ public:
+  LbqidMonitor() = default;
+
+  /// Registers an LBQID for a user; returns its index for that user.
+  size_t Register(mod::UserId user, Lbqid lbqid);
+
+  /// Advances all of the user's automata on the exact location/time of a
+  /// request, returning one Observation per LBQID whose automaton reacted
+  /// (kNoMatch observations are omitted).
+  std::vector<Observation> ProcessPoint(mod::UserId user,
+                                        const geo::STPoint& exact);
+
+  /// Resets all of the user's automata (pseudonym change, Section 6.1
+  /// step 2).
+  void ResetUser(mod::UserId user);
+
+  /// Captures the state of all of the user's automata (before a tentative
+  /// ProcessPoint whose request may end up not forwarded).
+  std::vector<LbqidMatcher::Snapshot> SaveUser(mod::UserId user) const;
+
+  /// Restores a SaveUser() capture.
+  void RestoreUser(mod::UserId user,
+                   const std::vector<LbqidMatcher::Snapshot>& snapshots);
+
+  /// The user's registered LBQIDs, in registration order.
+  std::vector<const Lbqid*> LbqidsOf(mod::UserId user) const;
+
+  /// The live matcher for (user, index); nullptr when unknown.
+  const LbqidMatcher* MatcherOf(mod::UserId user, size_t index) const;
+
+  /// True if any of the user's LBQIDs has been fully matched.
+  bool AnyComplete(mod::UserId user) const;
+
+ private:
+  struct PerUser {
+    std::vector<std::unique_ptr<Lbqid>> lbqids;
+    std::vector<std::unique_ptr<LbqidMatcher>> matchers;
+  };
+  std::map<mod::UserId, PerUser> users_;
+};
+
+}  // namespace lbqid
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_LBQID_MONITOR_H_

@@ -1,0 +1,111 @@
+#include "src/mod/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace mod {
+
+common::Status WriteDb(const MovingObjectDb& db, std::ostream* os) {
+  *os << "# histkanon moving-object db v1\n";
+  *os << "# user x y t\n";
+  bool failed = false;
+  db.ForEachSample([os, &failed](UserId user, const geo::STPoint& sample) {
+    if (failed) return;
+    *os << user << ' ' << common::Format("%.17g", sample.p.x) << ' '
+        << common::Format("%.17g", sample.p.y) << ' ' << sample.t << '\n';
+    if (!os->good()) failed = true;
+  });
+  if (failed || !os->good()) {
+    return common::Status::Internal("write failed (stream went bad)");
+  }
+  return common::Status::OK();
+}
+
+common::Status WriteDbToFile(const MovingObjectDb& db,
+                             const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return common::Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  return WriteDb(db, &file);
+}
+
+common::Result<MovingObjectDb> ReadDb(std::istream* is) {
+  MovingObjectDb db;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(*is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    UserId user = kInvalidUser;
+    geo::STPoint sample;
+    if (!(fields >> user >> sample.p.x >> sample.p.y >> sample.t)) {
+      return common::Status::InvalidArgument(
+          common::Format("malformed sample at line %zu: '%s'", line_number,
+                         line.c_str()));
+    }
+    std::string excess;
+    if (fields >> excess) {
+      return common::Status::InvalidArgument(
+          common::Format("trailing data at line %zu: '%s'", line_number,
+                         excess.c_str()));
+    }
+    const common::Status append = db.Append(user, sample);
+    if (!append.ok()) {
+      return common::Status::FailedPrecondition(
+          common::Format("line %zu: %s", line_number,
+                         append.message().c_str()));
+    }
+  }
+  return db;
+}
+
+common::Result<MovingObjectDb> ReadDbFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return common::Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  return ReadDb(&file);
+}
+
+namespace {
+
+std::string CsvQuote(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+common::Status WriteRequestLogCsv(
+    const std::vector<anon::ForwardedRequest>& log, std::ostream* os) {
+  *os << "msgid,pseudonym,service,min_x,min_y,max_x,max_y,t_lo,t_hi,data\n";
+  for (const anon::ForwardedRequest& request : log) {
+    *os << request.msgid << ',' << CsvQuote(request.pseudonym) << ','
+        << request.service << ','
+        << common::Format("%.3f", request.context.area.min_x) << ','
+        << common::Format("%.3f", request.context.area.min_y) << ','
+        << common::Format("%.3f", request.context.area.max_x) << ','
+        << common::Format("%.3f", request.context.area.max_y) << ','
+        << request.context.time.lo << ',' << request.context.time.hi << ','
+        << CsvQuote(request.data) << '\n';
+  }
+  if (!os->good()) {
+    return common::Status::Internal("write failed (stream went bad)");
+  }
+  return common::Status::OK();
+}
+
+}  // namespace mod
+}  // namespace histkanon

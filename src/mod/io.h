@@ -1,0 +1,48 @@
+// Persistence for the moving-object database and SP request logs.
+//
+// Format (text, line-oriented, stable across platforms):
+//   # comment / header lines start with '#'
+//   <user> <x> <y> <t>          one PHL sample per line, any user order,
+//                               strictly increasing t per user
+//
+// SP logs are written as CSV with a header row.
+
+#ifndef HISTKANON_SRC_MOD_IO_H_
+#define HISTKANON_SRC_MOD_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/anon/request.h"
+#include "src/common/result.h"
+#include "src/mod/moving_object_db.h"
+
+namespace histkanon {
+namespace mod {
+
+/// Writes every PHL sample of `db` to `os`.
+common::Status WriteDb(const MovingObjectDb& db, std::ostream* os);
+
+/// Writes `db` to the file at `path` (overwriting).
+common::Status WriteDbToFile(const MovingObjectDb& db,
+                             const std::string& path);
+
+/// Reads a database written by WriteDb.  Malformed lines fail with
+/// InvalidArgument naming the line number; out-of-order samples fail with
+/// FailedPrecondition.
+common::Result<MovingObjectDb> ReadDb(std::istream* is);
+
+/// Reads a database from the file at `path`.
+common::Result<MovingObjectDb> ReadDbFromFile(const std::string& path);
+
+/// Writes an SP request log as CSV:
+///   msgid,pseudonym,service,min_x,min_y,max_x,max_y,t_lo,t_hi,data
+/// Commas and quotes inside `data` are quoted per RFC-4180.
+common::Status WriteRequestLogCsv(
+    const std::vector<anon::ForwardedRequest>& log, std::ostream* os);
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_IO_H_

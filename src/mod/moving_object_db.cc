@@ -1,0 +1,66 @@
+#include "src/mod/moving_object_db.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace mod {
+
+common::Status MovingObjectDb::Append(UserId user,
+                                      const geo::STPoint& sample) {
+  HISTKANON_RETURN_NOT_OK(phls_[user].Append(sample));
+  ++total_samples_;
+  return common::Status::OK();
+}
+
+common::Result<const Phl*> MovingObjectDb::GetPhl(UserId user) const {
+  const auto it = phls_.find(user);
+  if (it == phls_.end()) {
+    return common::Status::NotFound(
+        common::Format("no PHL for user %lld", static_cast<long long>(user)));
+  }
+  return &it->second;
+}
+
+std::vector<UserId> MovingObjectDb::Users() const {
+  std::vector<UserId> users;
+  users.reserve(phls_.size());
+  for (const auto& [user, phl] : phls_) users.push_back(user);
+  return users;
+}
+
+std::vector<UserId> MovingObjectDb::UsersWithSampleIn(
+    const geo::STBox& box) const {
+  std::vector<UserId> users;
+  for (const auto& [user, phl] : phls_) {
+    if (phl.HasSampleIn(box)) users.push_back(user);
+  }
+  return users;
+}
+
+size_t MovingObjectDb::CountUsersWithSampleIn(const geo::STBox& box) const {
+  size_t count = 0;
+  for (const auto& [user, phl] : phls_) {
+    if (phl.HasSampleIn(box)) ++count;
+  }
+  return count;
+}
+
+std::vector<UserId> MovingObjectDb::LtConsistentUsers(
+    const std::vector<geo::STBox>& contexts, UserId exclude) const {
+  std::vector<UserId> users;
+  for (const auto& [user, phl] : phls_) {
+    if (user == exclude) continue;
+    if (phl.LtConsistentWith(contexts)) users.push_back(user);
+  }
+  return users;
+}
+
+void MovingObjectDb::ForEachSample(
+    const std::function<void(UserId, const geo::STPoint&)>& fn) const {
+  for (const auto& [user, phl] : phls_) {
+    for (const geo::STPoint& sample : phl.samples()) fn(user, sample);
+  }
+}
+
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,68 @@
+// The trusted server's moving-object database: "a moving object database
+// storing precise data for all of its users and the capability to
+// efficiently perform spatio-temporal queries" (paper Section 3).
+
+#ifndef HISTKANON_SRC_MOD_MOVING_OBJECT_DB_H_
+#define HISTKANON_SRC_MOD_MOVING_OBJECT_DB_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/geo/stbox.h"
+#include "src/mod/phl.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace mod {
+
+/// \brief In-memory moving-object store: one PHL per user.
+class MovingObjectDb {
+ public:
+  MovingObjectDb() = default;
+
+  /// Records a location update for `user` (creating the user on first
+  /// update).  Fails if the sample is not newer than the user's last one.
+  common::Status Append(UserId user, const geo::STPoint& sample);
+
+  /// The user's PHL; NotFound if the user has never reported a location.
+  common::Result<const Phl*> GetPhl(UserId user) const;
+
+  /// All known user ids, ascending.
+  std::vector<UserId> Users() const;
+
+  size_t user_count() const { return phls_.size(); }
+
+  /// Total samples across all PHLs (the `n` of Algorithm 1's O(k*n)).
+  size_t total_samples() const { return total_samples_; }
+
+  /// Users with at least one PHL sample inside `box` — the potential
+  /// senders forming the anonymity set for that spatio-temporal context.
+  std::vector<UserId> UsersWithSampleIn(const geo::STBox& box) const;
+
+  /// Count-only variant of UsersWithSampleIn.
+  size_t CountUsersWithSampleIn(const geo::STBox& box) const;
+
+  /// Users (excluding `exclude`) whose PHL is LT-consistent with all the
+  /// given contexts (Definition 7) — the candidates for the k-1 "other"
+  /// histories of Historical k-anonymity (Definition 8).
+  std::vector<UserId> LtConsistentUsers(
+      const std::vector<geo::STBox>& contexts,
+      UserId exclude = kInvalidUser) const;
+
+  /// Invokes `fn(user, sample)` over every sample of every PHL (used to
+  /// build spatio-temporal indexes).
+  void ForEachSample(
+      const std::function<void(UserId, const geo::STPoint&)>& fn) const;
+
+ private:
+  std::map<UserId, Phl> phls_;
+  size_t total_samples_ = 0;
+};
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_MOVING_OBJECT_DB_H_

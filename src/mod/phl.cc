@@ -1,0 +1,139 @@
+#include "src/mod/phl.h"
+
+#include <algorithm>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace mod {
+
+namespace {
+
+// True iff the linearly interpolated segment a->b intersects `box`.
+// The segment is clipped to the box's time interval first, then the
+// clipped spatial segment is tested against the rectangle (Liang-Barsky).
+bool SegmentIntersectsBox(const geo::STPoint& a, const geo::STPoint& b,
+                          const geo::STBox& box) {
+  // Clip [a.t, b.t] against [box.time.lo, box.time.hi].
+  const geo::Instant t_lo = std::max(a.t, box.time.lo);
+  const geo::Instant t_hi = std::min(b.t, box.time.hi);
+  if (t_lo > t_hi) return false;
+
+  const double dt = static_cast<double>(b.t - a.t);
+  auto position_at = [&](geo::Instant t) -> geo::Point {
+    if (dt <= 0.0) return a.p;
+    const double f = static_cast<double>(t - a.t) / dt;
+    return geo::Point{a.p.x + f * (b.p.x - a.p.x),
+                      a.p.y + f * (b.p.y - a.p.y)};
+  };
+  const geo::Point p0 = position_at(t_lo);
+  const geo::Point p1 = position_at(t_hi);
+
+  // Liang-Barsky clip of segment p0->p1 against box.area.
+  double u0 = 0.0;
+  double u1 = 1.0;
+  const double dx = p1.x - p0.x;
+  const double dy = p1.y - p0.y;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {p0.x - box.area.min_x, box.area.max_x - p0.x,
+                       p0.y - box.area.min_y, box.area.max_y - p0.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // Parallel and outside.
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0.0) {
+      u0 = std::max(u0, r);
+    } else {
+      u1 = std::min(u1, r);
+    }
+    if (u0 > u1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+common::Status Phl::Append(const geo::STPoint& sample) {
+  if (!samples_.empty() && sample.t <= samples_.back().t) {
+    return common::Status::FailedPrecondition(common::Format(
+        "PHL samples must be strictly increasing in time; got t=%lld after "
+        "t=%lld",
+        static_cast<long long>(sample.t),
+        static_cast<long long>(samples_.back().t)));
+  }
+  samples_.push_back(sample);
+  return common::Status::OK();
+}
+
+geo::TimeInterval Phl::Span() const {
+  if (samples_.empty()) return geo::TimeInterval::Empty();
+  return geo::TimeInterval{samples_.front().t, samples_.back().t};
+}
+
+std::optional<geo::Point> Phl::PositionAt(geo::Instant t) const {
+  if (samples_.empty() || t < samples_.front().t || t > samples_.back().t) {
+    return std::nullopt;
+  }
+  // First sample with time >= t.
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+  if (it->t == t) return it->p;
+  const geo::STPoint& after = *it;
+  const geo::STPoint& before = *(it - 1);
+  const double f = static_cast<double>(t - before.t) /
+                   static_cast<double>(after.t - before.t);
+  return geo::Point{before.p.x + f * (after.p.x - before.p.x),
+                    before.p.y + f * (after.p.y - before.p.y)};
+}
+
+std::optional<geo::STPoint> Phl::NearestSample(
+    const geo::STPoint& query, const geo::STMetric& metric) const {
+  if (samples_.empty()) return std::nullopt;
+  const geo::STPoint* best = &samples_.front();
+  double best_d2 = metric.SquaredDistance(*best, query);
+  for (const geo::STPoint& sample : samples_) {
+    const double d2 = metric.SquaredDistance(sample, query);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = &sample;
+    }
+  }
+  return *best;
+}
+
+bool Phl::HasSampleIn(const geo::STBox& box) const {
+  // Samples are time-sorted: restrict to the box's time window.
+  const auto begin = std::lower_bound(
+      samples_.begin(), samples_.end(), box.time.lo,
+      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+  for (auto it = begin; it != samples_.end() && it->t <= box.time.hi; ++it) {
+    if (box.area.Contains(it->p)) return true;
+  }
+  return false;
+}
+
+bool Phl::CrossesBox(const geo::STBox& box) const {
+  if (samples_.empty()) return false;
+  if (samples_.size() == 1) return box.Contains(samples_.front());
+  for (size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const geo::STPoint& a = samples_[i];
+    const geo::STPoint& b = samples_[i + 1];
+    if (b.t < box.time.lo) continue;
+    if (a.t > box.time.hi) break;
+    if (SegmentIntersectsBox(a, b, box)) return true;
+  }
+  return false;
+}
+
+bool Phl::LtConsistentWith(const std::vector<geo::STBox>& contexts) const {
+  for (const geo::STBox& box : contexts) {
+    if (!HasSampleIn(box)) return false;
+  }
+  return true;
+}
+
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,67 @@
+// Personal History of Locations (paper Definition 6): the time-ordered
+// sequence of <x, y, t> samples the trusted server stores for one user.
+
+#ifndef HISTKANON_SRC_MOD_PHL_H_
+#define HISTKANON_SRC_MOD_PHL_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geo/stbox.h"
+
+namespace histkanon {
+namespace mod {
+
+/// \brief One user's location history.
+///
+/// Samples are strictly increasing in time.  Between consecutive samples
+/// the user is modelled as moving linearly (for trajectory-crossing
+/// queries); LT-consistency (Definition 7) is defined over the samples
+/// themselves.
+class Phl {
+ public:
+  Phl() = default;
+
+  /// Appends a sample.  Fails with FailedPrecondition unless its time is
+  /// strictly greater than the last sample's.
+  common::Status Append(const geo::STPoint& sample);
+
+  const std::vector<geo::STPoint>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  /// Time span covered, from first to last sample (empty when < 1 sample).
+  geo::TimeInterval Span() const;
+
+  /// Linearly interpolated position at `t`; nullopt outside Span().
+  std::optional<geo::Point> PositionAt(geo::Instant t) const;
+
+  /// The stored sample closest to `query` under `metric`; nullopt when
+  /// empty.  This is the per-user step of Algorithm 1 lines 2 and 5.
+  std::optional<geo::STPoint> NearestSample(const geo::STPoint& query,
+                                            const geo::STMetric& metric) const;
+
+  /// True iff some *sample* lies inside `box` — the membership test of
+  /// LT-consistency (Definition 7: "there exists an element <xj,yj,tj> in
+  /// the PHL such that ...").
+  bool HasSampleIn(const geo::STBox& box) const;
+
+  /// True iff the interpolated trajectory intersects `box` (a trajectory
+  /// "crossing" the 3D space, Algorithm 1 line 5).  Implies-from
+  /// HasSampleIn but also catches pass-throughs between samples.
+  bool CrossesBox(const geo::STBox& box) const;
+
+  /// True iff for every box in `contexts` this PHL has a sample inside:
+  /// the PHL is LT-consistent with a request set having those
+  /// spatio-temporal contexts (Definition 7).
+  bool LtConsistentWith(const std::vector<geo::STBox>& contexts) const;
+
+ private:
+  std::vector<geo::STPoint> samples_;
+};
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_PHL_H_

@@ -1,0 +1,32 @@
+// Identifier vocabulary shared across the moving-object DB, anonymity core,
+// and trusted server.
+
+#ifndef HISTKANON_SRC_MOD_TYPES_H_
+#define HISTKANON_SRC_MOD_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace histkanon {
+namespace mod {
+
+/// True identity of a user, known only on the trusted-server side.
+using UserId = int64_t;
+
+/// Sentinel for "no user".
+inline constexpr UserId kInvalidUser = -1;
+
+/// Pseudonym as seen by service providers (paper Section 3's
+/// `UserPseudonym`).  Opaque string; never derivable from UserId by an SP.
+using Pseudonym = std::string;
+
+/// Request message identifier (paper Section 3's `msgid`).
+using MessageId = int64_t;
+
+/// Service identifier (each service has its own tolerance constraints).
+using ServiceId = int32_t;
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_TYPES_H_

@@ -1,0 +1,286 @@
+#include "src/roadnet/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace roadnet {
+
+namespace {
+
+// Union-find over node ids, for connectivity-preserving edge removal.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+NodeId RoadGraph::AddNode(const geo::Point& position) {
+  nodes_.push_back(Node{position});
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+common::Status RoadGraph::AddEdge(NodeId a, NodeId b, double speed,
+                                  double length) {
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= nodes_.size() ||
+      static_cast<size_t>(b) >= nodes_.size()) {
+    return common::Status::NotFound(
+        common::Format("edge endpoints %d-%d out of range", a, b));
+  }
+  if (a == b) {
+    return common::Status::InvalidArgument("self-loop edges not allowed");
+  }
+  if (speed <= 0.0) {
+    return common::Status::InvalidArgument(
+        common::Format("edge speed must be positive; got %.3f", speed));
+  }
+  if (length < 0.0) {
+    length = geo::Distance(nodes_[static_cast<size_t>(a)].position,
+                           nodes_[static_cast<size_t>(b)].position);
+  }
+  edges_.push_back(Edge{a, b, length, speed});
+  const double travel_time = length / speed;
+  adjacency_[static_cast<size_t>(a)].push_back(
+      Adjacency{b, length, travel_time});
+  adjacency_[static_cast<size_t>(b)].push_back(
+      Adjacency{a, length, travel_time});
+  return common::Status::OK();
+}
+
+RoadGraph RoadGraph::MakeGridCity(const geo::Rect& extent,
+                                  const GridCityOptions& options,
+                                  common::Rng* rng) {
+  RoadGraph graph;
+  const int cols = std::max(2, options.columns);
+  const int rows = std::max(2, options.rows);
+  const double dx = extent.Width() / (cols - 1);
+  const double dy = extent.Height() / (rows - 1);
+
+  // Jittered lattice of intersections.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double jx = rng->Uniform(-options.jitter, options.jitter) * dx;
+      const double jy = rng->Uniform(-options.jitter, options.jitter) * dy;
+      graph.AddNode(geo::Point{extent.min_x + c * dx + jx,
+                               extent.min_y + r * dy + jy});
+    }
+  }
+  auto id = [cols](int r, int c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  auto edge_speed = [&options](bool row_arterial, bool col_arterial) {
+    return (row_arterial || col_arterial) ? options.arterial_speed
+                                          : options.street_speed;
+  };
+
+  // Candidate street segments.
+  struct Candidate {
+    NodeId a;
+    NodeId b;
+    double speed;
+  };
+  std::vector<Candidate> candidates;
+  for (int r = 0; r < rows; ++r) {
+    const bool row_arterial =
+        options.arterial_stride > 0 && r % options.arterial_stride == 0;
+    for (int c = 0; c + 1 < cols; ++c) {
+      candidates.push_back(
+          Candidate{id(r, c), id(r, c + 1), edge_speed(row_arterial, false)});
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    const bool col_arterial =
+        options.arterial_stride > 0 && c % options.arterial_stride == 0;
+    for (int r = 0; r + 1 < rows; ++r) {
+      candidates.push_back(
+          Candidate{id(r, c), id(r + 1, c), edge_speed(false, col_arterial)});
+    }
+  }
+
+  // Randomly drop segments, but never disconnect: first build a random
+  // spanning tree (always kept), then subject the rest to removal.
+  rng->Shuffle(&candidates);
+  UnionFind components(graph.node_count());
+  std::vector<Candidate> optional;
+  for (const Candidate& candidate : candidates) {
+    if (components.Union(static_cast<size_t>(candidate.a),
+                         static_cast<size_t>(candidate.b))) {
+      graph.AddEdge(candidate.a, candidate.b, candidate.speed).ok();
+    } else {
+      optional.push_back(candidate);
+    }
+  }
+  for (const Candidate& candidate : optional) {
+    if (!rng->Bernoulli(options.removal_probability)) {
+      graph.AddEdge(candidate.a, candidate.b, candidate.speed).ok();
+    }
+  }
+  return graph;
+}
+
+NodeId RoadGraph::NearestNode(const geo::Point& p) const {
+  NodeId best = kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const double d2 = geo::SquaredDistance(nodes_[i].position, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+common::Result<Path> RoadGraph::ShortestPath(NodeId from, NodeId to) const {
+  if (from < 0 || to < 0 || static_cast<size_t>(from) >= nodes_.size() ||
+      static_cast<size_t>(to) >= nodes_.size()) {
+    return common::Status::NotFound("path endpoint out of range");
+  }
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> time(nodes_.size(), kInf);
+  std::vector<double> length(nodes_.size(), 0.0);
+  std::vector<NodeId> previous(nodes_.size(), kInvalidNode);
+
+  using QueueItem = std::pair<double, NodeId>;  // (time, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      frontier;
+  time[static_cast<size_t>(from)] = 0.0;
+  frontier.emplace(0.0, from);
+  while (!frontier.empty()) {
+    const auto [t, node] = frontier.top();
+    frontier.pop();
+    if (t > time[static_cast<size_t>(node)]) continue;  // Stale entry.
+    if (node == to) break;
+    for (const Adjacency& adj : adjacency_[static_cast<size_t>(node)]) {
+      const double candidate = t + adj.travel_time;
+      if (candidate < time[static_cast<size_t>(adj.neighbor)]) {
+        time[static_cast<size_t>(adj.neighbor)] = candidate;
+        length[static_cast<size_t>(adj.neighbor)] =
+            length[static_cast<size_t>(node)] + adj.length;
+        previous[static_cast<size_t>(adj.neighbor)] = node;
+        frontier.emplace(candidate, adj.neighbor);
+      }
+    }
+  }
+  if (time[static_cast<size_t>(to)] == kInf) {
+    return common::Status::NotFound(
+        common::Format("nodes %d and %d are disconnected", from, to));
+  }
+  Path path;
+  path.travel_time = time[static_cast<size_t>(to)];
+  path.length = length[static_cast<size_t>(to)];
+  for (NodeId node = to; node != kInvalidNode;
+       node = previous[static_cast<size_t>(node)]) {
+    path.nodes.push_back(node);
+    if (node == from) break;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+double RoadGraph::TravelTimeBetween(const geo::Point& a, const geo::Point& b,
+                                    double access_speed) const {
+  if (nodes_.empty()) return std::numeric_limits<double>::infinity();
+  const NodeId na = NearestNode(a);
+  const NodeId nb = NearestNode(b);
+  const common::Result<Path> path = ShortestPath(na, nb);
+  if (!path.ok()) return std::numeric_limits<double>::infinity();
+  const double access = (geo::Distance(a, node(na).position) +
+                         geo::Distance(b, node(nb).position)) /
+                        access_speed;
+  return access + path->travel_time;
+}
+
+bool RoadGraph::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const Adjacency& adj : adjacency_[static_cast<size_t>(node)]) {
+      if (!seen[static_cast<size_t>(adj.neighbor)]) {
+        seen[static_cast<size_t>(adj.neighbor)] = true;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+PathTracer::PathTracer(const RoadGraph* graph, Path path)
+    : graph_(graph), path_(std::move(path)) {
+  cumulative_time_.reserve(path_.nodes.size());
+  double elapsed = 0.0;
+  for (size_t i = 0; i < path_.nodes.size(); ++i) {
+    if (i > 0) {
+      // Find the edge's travel time via node positions and speed lookup:
+      // recompute from geometry at street speed is wrong, so locate the
+      // adjacency entry.
+      const NodeId from = path_.nodes[i - 1];
+      const NodeId to = path_.nodes[i];
+      double hop = 0.0;
+      double best = std::numeric_limits<double>::infinity();
+      for (const Edge& edge : graph_->edges()) {
+        if ((edge.from == from && edge.to == to) ||
+            (edge.from == to && edge.to == from)) {
+          // Multiple parallel edges: Dijkstra used the fastest.
+          best = std::min(best, edge.TravelTime());
+        }
+      }
+      hop = best == std::numeric_limits<double>::infinity() ? 0.0 : best;
+      elapsed += hop;
+    }
+    cumulative_time_.push_back(elapsed);
+  }
+}
+
+geo::Point PathTracer::PositionAt(double elapsed) const {
+  if (path_.nodes.empty()) return geo::Point{0, 0};
+  if (elapsed <= 0.0) return graph_->node(path_.nodes.front()).position;
+  if (elapsed >= cumulative_time_.back()) {
+    return graph_->node(path_.nodes.back()).position;
+  }
+  // The segment containing `elapsed`.
+  const auto it = std::upper_bound(cumulative_time_.begin(),
+                                   cumulative_time_.end(), elapsed);
+  const size_t after = static_cast<size_t>(it - cumulative_time_.begin());
+  const size_t before = after - 1;
+  const double span = cumulative_time_[after] - cumulative_time_[before];
+  const double f =
+      span <= 0.0 ? 0.0 : (elapsed - cumulative_time_[before]) / span;
+  const geo::Point& a = graph_->node(path_.nodes[before]).position;
+  const geo::Point& b = graph_->node(path_.nodes[after]).position;
+  return geo::Point{a.x + f * (b.x - a.x), a.y + f * (b.y - a.y)};
+}
+
+}  // namespace roadnet
+}  // namespace histkanon

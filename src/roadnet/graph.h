@@ -1,0 +1,141 @@
+// A road network substrate (paper Section 5.2: linking techniques may use
+// "probability-based techniques considering most common trajectories based
+// on physical constraints like roads, crossings, etc.").
+//
+// The network is an undirected graph with per-edge lengths and speeds;
+// shortest paths are by travel time (Dijkstra).  A grid-city generator
+// builds plausible synthetic networks: a lattice of streets with jittered
+// intersections, randomly removed edges, and faster arterials.
+
+#ifndef HISTKANON_SRC_ROADNET_GRAPH_H_
+#define HISTKANON_SRC_ROADNET_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/geo/rect.h"
+
+namespace histkanon {
+namespace roadnet {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// \brief One intersection.
+struct Node {
+  geo::Point position;
+};
+
+/// \brief One undirected road segment.
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double length = 0.0;  ///< Meters.
+  double speed = 13.9;  ///< Free-flow speed, m/s (default ~50 km/h).
+
+  double TravelTime() const { return length / speed; }
+};
+
+/// \brief A computed route.
+struct Path {
+  std::vector<NodeId> nodes;  ///< At least one node (from == to allowed).
+  double length = 0.0;        ///< Meters.
+  double travel_time = 0.0;   ///< Seconds.
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// \brief Grid-city generation knobs.
+struct GridCityOptions {
+  int columns = 11;
+  int rows = 11;
+  /// Intersection jitter as a fraction of cell spacing.
+  double jitter = 0.15;
+  /// Probability of removing a non-bridge street segment.
+  double removal_probability = 0.1;
+  /// Side-street speed (m/s).
+  double street_speed = 11.1;  // ~40 km/h
+  /// Every `arterial_stride`-th row/column is an arterial at this speed.
+  int arterial_stride = 5;
+  double arterial_speed = 19.4;  // ~70 km/h
+};
+
+/// \brief The road graph.
+class RoadGraph {
+ public:
+  RoadGraph() = default;
+
+  /// Generates a jittered grid city over `extent`.  The network is kept
+  /// connected: removal never disconnects (checked via union-find).
+  static RoadGraph MakeGridCity(const geo::Rect& extent,
+                                const GridCityOptions& options,
+                                common::Rng* rng);
+
+  /// Adds a node; returns its id.
+  NodeId AddNode(const geo::Point& position);
+
+  /// Adds an undirected edge between existing nodes; length defaults to
+  /// the Euclidean node distance.  Fails on unknown nodes or non-positive
+  /// speed.
+  common::Status AddEdge(NodeId a, NodeId b, double speed,
+                         double length = -1.0);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The node closest to `p` (kInvalidNode on an empty graph).
+  NodeId NearestNode(const geo::Point& p) const;
+
+  /// Fastest (minimum travel time) path between two nodes; NotFound when
+  /// disconnected.
+  common::Result<Path> ShortestPath(NodeId from, NodeId to) const;
+
+  /// Network travel time between two arbitrary points: walk to the
+  /// nearest nodes (at `access_speed` m/s, straight line) plus the fastest
+  /// path between them.  Infinity when disconnected.
+  double TravelTimeBetween(const geo::Point& a, const geo::Point& b,
+                           double access_speed = 1.4) const;
+
+  /// True iff every node can reach every other.
+  bool IsConnected() const;
+
+ private:
+  struct Adjacency {
+    NodeId neighbor;
+    double length;
+    double travel_time;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+/// \brief Deterministic position along a path at a given elapsed time
+/// (clamped to the endpoints); used by the road-constrained commuter.
+class PathTracer {
+ public:
+  /// `graph` must outlive the tracer; `path` is copied.
+  PathTracer(const RoadGraph* graph, Path path);
+
+  /// Position after `elapsed` seconds of travel from the path start.
+  geo::Point PositionAt(double elapsed) const;
+
+  double total_time() const { return path_.travel_time; }
+  const Path& path() const { return path_; }
+
+ private:
+  const RoadGraph* graph_;
+  Path path_;
+  /// Cumulative travel time at each node of the path.
+  std::vector<double> cumulative_time_;
+};
+
+}  // namespace roadnet
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ROADNET_GRAPH_H_

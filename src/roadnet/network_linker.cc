@@ -1,0 +1,35 @@
+#include "src/roadnet/network_linker.h"
+
+#include <algorithm>
+
+namespace histkanon {
+namespace roadnet {
+
+NetworkLinker::NetworkLinker(const RoadGraph* graph,
+                             NetworkLinkerOptions options)
+    : graph_(graph), options_(options) {}
+
+std::optional<double> NetworkLinker::Link(
+    const anon::ForwardedRequest& a, const anon::ForwardedRequest& b) const {
+  if (a.pseudonym == b.pseudonym) return 1.0;
+
+  const anon::ForwardedRequest* first = &a;
+  const anon::ForwardedRequest* second = &b;
+  if (first->context.time.lo > second->context.time.lo) {
+    std::swap(first, second);
+  }
+  const int64_t gap = second->context.time.lo - first->context.time.hi;
+  if (gap <= 0) return std::nullopt;  // Overlapping windows: no evidence.
+  if (gap > options_.max_time_gap) return std::nullopt;
+
+  const double needed = graph_->TravelTimeBetween(
+      first->context.area.Center(), second->context.area.Center(),
+      options_.access_speed);
+  const double fraction = needed / static_cast<double>(gap);
+  if (fraction <= options_.comfortable_fraction) return 1.0;
+  if (fraction >= 1.0) return 0.0;
+  return (1.0 - fraction) / (1.0 - options_.comfortable_fraction);
+}
+
+}  // namespace roadnet
+}  // namespace histkanon

@@ -1,0 +1,58 @@
+// Road-network-aware request linking: the Section 5.2 observation that an
+// attacker (or the TS replicating one) can sharpen Link() with "physical
+// constraints like roads, crossings, etc." — two requests are only
+// same-user-plausible if the road network allows the trip in the gap.
+
+#ifndef HISTKANON_SRC_ROADNET_NETWORK_LINKER_H_
+#define HISTKANON_SRC_ROADNET_NETWORK_LINKER_H_
+
+#include <string>
+
+#include "src/anon/linkability.h"
+#include "src/roadnet/graph.h"
+
+namespace histkanon {
+namespace roadnet {
+
+/// \brief NetworkLinker tuning.
+struct NetworkLinkerOptions {
+  /// Pairs whose minimum network travel time fits in at most this fraction
+  /// of the gap score 1 (comfortable trip).
+  double comfortable_fraction = 0.6;
+  /// Pairs needing more than the whole gap (fraction 1) score 0; between
+  /// the two the score falls linearly.
+  /// Walking speed off the network (m/s).
+  double access_speed = 1.4;
+  /// Pairs further apart in time than this are outside the domain.
+  int64_t max_time_gap = 3600;
+};
+
+/// \brief Link() implementation scoring kinematic plausibility over the
+/// road network rather than straight-line distance.
+///
+/// Same-pseudonym pairs score 1 outright.  For cross-pseudonym pairs the
+/// minimum network travel time between the context area centers is
+/// compared with the time gap between the contexts: a trip that fits
+/// comfortably scores 1, an impossible trip scores 0, in between linear.
+/// Overlapping windows and gaps beyond max_time_gap are outside the
+/// partial function's domain.
+class NetworkLinker : public anon::LinkFunction {
+ public:
+  /// `graph` must outlive the linker.
+  NetworkLinker(const RoadGraph* graph,
+                NetworkLinkerOptions options = NetworkLinkerOptions());
+
+  const std::string& name() const override { return name_; }
+  std::optional<double> Link(const anon::ForwardedRequest& a,
+                             const anon::ForwardedRequest& b) const override;
+
+ private:
+  std::string name_ = "network";
+  const RoadGraph* graph_;
+  NetworkLinkerOptions options_;
+};
+
+}  // namespace roadnet
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_ROADNET_NETWORK_LINKER_H_

@@ -1,0 +1,44 @@
+// Mobility agents: deterministic (per seed) movement + request generators
+// driven by the simulator clock.
+
+#ifndef HISTKANON_SRC_SIM_AGENT_H_
+#define HISTKANON_SRC_SIM_AGENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/geo/point.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace sim {
+
+/// \brief A service request the agent wants to issue this tick.
+struct RequestIntent {
+  mod::ServiceId service = 0;
+  std::string data;
+};
+
+/// \brief What one simulation tick produced for an agent.
+struct AgentTick {
+  geo::Point position;
+  std::vector<RequestIntent> requests;
+};
+
+/// \brief A simulated mobile user.  Step() is called with strictly
+/// increasing, tick-aligned instants.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  virtual mod::UserId user() const = 0;
+
+  /// Advances the agent to instant `t`, returning its position and any
+  /// requests issued at this tick.
+  virtual AgentTick Step(geo::Instant t) = 0;
+};
+
+}  // namespace sim
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_SIM_AGENT_H_

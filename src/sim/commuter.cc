@@ -1,0 +1,117 @@
+#include "src/sim/commuter.h"
+
+#include <algorithm>
+
+namespace histkanon {
+namespace sim {
+
+namespace {
+
+constexpr int64_t kMinSod = 5 * 3600;        // Never leave before 05:00.
+constexpr int64_t kMaxSod = 23 * 3600;       // Never move after 23:00.
+constexpr geo::Instant kRequestLead = 300;   // Request 5 min around events.
+
+}  // namespace
+
+CommuterAgent::CommuterAgent(mod::UserId user, geo::Point home,
+                             geo::Point office, CommuterOptions options,
+                             common::Rng rng)
+    : user_(user),
+      home_(home),
+      office_(office),
+      options_(options),
+      rng_(rng) {}
+
+void CommuterAgent::PlanDay(int64_t day_index) {
+  planned_day_ = day_index;
+  plan_ = DayPlan{};
+  const geo::Instant day_start = day_index * tgran::kSecondsPerDay;
+  const int dow = tgran::DayOfWeek(day_start);
+  const bool weekday = dow < 5;
+  if (!weekday || rng_.Bernoulli(options_.skip_day_probability)) {
+    return;  // Home all day.
+  }
+  plan_.works = true;
+
+  const double travel_seconds =
+      geo::Distance(home_, office_) / options_.speed;
+  auto jittered = [this](int64_t mean_sod) {
+    return static_cast<int64_t>(std::clamp(
+        rng_.Normal(static_cast<double>(mean_sod), options_.schedule_jitter),
+        static_cast<double>(kMinSod), static_cast<double>(kMaxSod)));
+  };
+  plan_.depart_home = day_start + jittered(options_.depart_home_mean);
+  plan_.arrive_office =
+      plan_.depart_home + static_cast<geo::Instant>(travel_seconds);
+  plan_.depart_office = day_start + jittered(options_.depart_office_mean);
+  // A pathological draw could put the office departure before arrival.
+  plan_.depart_office =
+      std::max(plan_.depart_office, plan_.arrive_office + 3600);
+  plan_.arrive_home =
+      plan_.depart_office + static_cast<geo::Instant>(travel_seconds);
+
+  // Commute-time requests around the four leg endpoints (Example 1's
+  // observable home/office pattern).
+  const geo::Instant candidates[4] = {
+      plan_.depart_home - kRequestLead, plan_.arrive_office + kRequestLead,
+      plan_.depart_office - kRequestLead, plan_.arrive_home + kRequestLead};
+  for (const geo::Instant t : candidates) {
+    if (rng_.Bernoulli(options_.commute_request_probability)) {
+      plan_.request_times.push_back(t);
+    }
+  }
+  std::sort(plan_.request_times.begin(), plan_.request_times.end());
+}
+
+geo::Point CommuterAgent::PositionAt(geo::Instant t) const {
+  if (!plan_.works) return home_;
+  auto lerp = [this](geo::Instant from, geo::Instant to, geo::Instant now,
+                     const geo::Point& a, const geo::Point& b) {
+    const double f = static_cast<double>(now - from) /
+                     static_cast<double>(std::max<geo::Instant>(1, to - from));
+    return geo::Point{a.x + f * (b.x - a.x), a.y + f * (b.y - a.y)};
+  };
+  if (t < plan_.depart_home) return home_;
+  if (t < plan_.arrive_office) {
+    return lerp(plan_.depart_home, plan_.arrive_office, t, home_, office_);
+  }
+  if (t < plan_.depart_office) return office_;
+  if (t < plan_.arrive_home) {
+    return lerp(plan_.depart_office, plan_.arrive_home, t, office_, home_);
+  }
+  return home_;
+}
+
+AgentTick CommuterAgent::Step(geo::Instant t) {
+  const int64_t day = tgran::DayIndex(t);
+  if (day != planned_day_) PlanDay(day);
+
+  AgentTick tick;
+  tick.position = PositionAt(t);
+
+  // Commute requests whose scheduled instant fell inside (last_step_, t].
+  for (const geo::Instant rt : plan_.request_times) {
+    if (rt > last_step_ && rt <= t) {
+      tick.requests.push_back(
+          RequestIntent{options_.commute_service, "commute"});
+    }
+  }
+
+  // Background Poisson requests over the elapsed tick.
+  if (last_step_ != std::numeric_limits<geo::Instant>::min() &&
+      options_.background_rate_per_hour > 0.0) {
+    const double elapsed_hours =
+        static_cast<double>(t - last_step_) / 3600.0;
+    const int64_t extra =
+        rng_.Poisson(options_.background_rate_per_hour * elapsed_hours);
+    for (int64_t i = 0; i < extra; ++i) {
+      tick.requests.push_back(
+          RequestIntent{options_.background_service, "background"});
+    }
+  }
+  last_step_ = t;
+  return tick;
+}
+
+}  // namespace sim
+}  // namespace histkanon

@@ -1,0 +1,82 @@
+// The commuter mobility model: home -> office every weekday morning, back
+// in the late afternoon — exactly the recurring pattern of the paper's
+// Example 1 that makes a home/office LBQID dangerous.
+
+#ifndef HISTKANON_SRC_SIM_COMMUTER_H_
+#define HISTKANON_SRC_SIM_COMMUTER_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/agent.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace sim {
+
+/// \brief Commuter behaviour parameters.
+struct CommuterOptions {
+  /// Mean departure from home, as second-of-day (07:25).
+  int64_t depart_home_mean = 7 * 3600 + 25 * 60;
+  /// Mean departure from the office, as second-of-day (17:00).
+  int64_t depart_office_mean = 17 * 3600;
+  /// Gaussian jitter applied to both departures (seconds).
+  double schedule_jitter = 12 * 60;
+  /// Commute speed (m/s; ~urban driving with stops).
+  double speed = 8.0;
+  /// Probability of skipping work on a given weekday (sick/leave).
+  double skip_day_probability = 0.05;
+  /// Probability (per leg endpoint) of issuing a commute-time service
+  /// request: shortly before leaving home, after reaching the office,
+  /// before leaving the office, and after reaching home.
+  double commute_request_probability = 0.9;
+  /// Service used for commute-time requests.
+  mod::ServiceId commute_service = 0;
+  /// Background request rate (requests/hour, Poisson) at any time.
+  double background_rate_per_hour = 0.05;
+  /// Service used for background requests.
+  mod::ServiceId background_service = 1;
+};
+
+/// \brief Weekday home<->office commuter; home all weekend.
+class CommuterAgent : public Agent {
+ public:
+  CommuterAgent(mod::UserId user, geo::Point home, geo::Point office,
+                CommuterOptions options, common::Rng rng);
+
+  mod::UserId user() const override { return user_; }
+  AgentTick Step(geo::Instant t) override;
+
+  const geo::Point& home() const { return home_; }
+  const geo::Point& office() const { return office_; }
+
+ private:
+  struct DayPlan {
+    bool works = false;
+    geo::Instant depart_home = 0;
+    geo::Instant arrive_office = 0;
+    geo::Instant depart_office = 0;
+    geo::Instant arrive_home = 0;
+    // Commute-request instants (subset of the four endpoints), ascending.
+    std::vector<geo::Instant> request_times;
+  };
+
+  // (Re)computes the plan for day `day_index`.
+  void PlanDay(int64_t day_index);
+  geo::Point PositionAt(geo::Instant t) const;
+
+  mod::UserId user_;
+  geo::Point home_;
+  geo::Point office_;
+  CommuterOptions options_;
+  common::Rng rng_;
+  int64_t planned_day_ = -1;
+  DayPlan plan_;
+  geo::Instant last_step_ = std::numeric_limits<geo::Instant>::min();
+};
+
+}  // namespace sim
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_SIM_COMMUTER_H_

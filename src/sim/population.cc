@@ -1,0 +1,83 @@
+#include "src/sim/population.h"
+
+#include "src/common/str.h"
+#include "src/sim/road_commuter.h"
+
+namespace histkanon {
+namespace sim {
+
+Population BuildPopulation(const PopulationOptions& options,
+                           common::Rng* rng) {
+  Population population;
+  population.options = options;
+
+  WorldOptions world_options = options.world;
+  if (world_options.num_homes < options.num_commuters) {
+    world_options.num_homes = options.num_commuters;
+  }
+  population.world = World::Generate(world_options, rng);
+  if (options.use_road_network) {
+    population.road_graph = std::make_shared<roadnet::RoadGraph>(
+        roadnet::RoadGraph::MakeGridCity(population.world.Bounds(),
+                                         options.road_city, rng));
+  }
+
+  mod::UserId next_user = 0;
+  for (size_t i = 0; i < options.num_commuters; ++i) {
+    const mod::UserId user = next_user++;
+    const geo::Point home = population.world.homes()[i];
+    const geo::Point office =
+        population.world
+            .offices()[rng->UniformInt(
+                0,
+                static_cast<int64_t>(population.world.offices().size()) - 1)];
+    population.world.RegisterResident(i, user);
+    population.commuters.push_back(CommuterInfo{user, home, office});
+    if (population.road_graph != nullptr) {
+      population.agents.push_back(std::make_unique<RoadCommuterAgent>(
+          user, home, office, population.road_graph.get(), options.commuter,
+          rng->Fork()));
+    } else {
+      population.agents.push_back(std::make_unique<CommuterAgent>(
+          user, home, office, options.commuter, rng->Fork()));
+    }
+  }
+  for (size_t i = 0; i < options.num_wanderers; ++i) {
+    population.agents.push_back(std::make_unique<RandomWaypointAgent>(
+        next_user++, population.world.Bounds(), options.wanderer,
+        rng->Fork()));
+  }
+  return population;
+}
+
+common::Result<lbqid::Lbqid> MakeCommuteLbqid(
+    const CommuterInfo& commuter, const PopulationOptions& options,
+    const tgran::GranularityRegistry& registry,
+    const std::string& recurrence_text) {
+  HISTKANON_ASSIGN_OR_RETURN(
+      tgran::Recurrence recurrence,
+      tgran::Recurrence::Parse(recurrence_text, registry));
+
+  const geo::Rect home_area = geo::Rect::FromCenter(
+      commuter.home, 2 * options.home_area_half, 2 * options.home_area_half);
+  const geo::Rect office_area =
+      geo::Rect::FromCenter(commuter.office, 2 * options.office_area_half,
+                            2 * options.office_area_half);
+
+  auto hours = [](int begin, int end) {
+    // Bounds are compile-time-known valid; ValueOrDie is safe.
+    return tgran::UTimeInterval::FromHours(begin, end).ValueOrDie();
+  };
+  std::vector<lbqid::LbqidElement> elements = {
+      {home_area, hours(7, 9)},
+      {office_area, hours(7, 10)},
+      {office_area, hours(16, 18)},
+      {home_area, hours(16, 19)},
+  };
+  return lbqid::Lbqid::Create(
+      common::Format("commute-u%lld", static_cast<long long>(commuter.user)),
+      std::move(elements), std::move(recurrence));
+}
+
+}  // namespace sim
+}  // namespace histkanon

@@ -1,0 +1,63 @@
+#include "src/sim/random_waypoint.h"
+
+#include <algorithm>
+
+namespace histkanon {
+namespace sim {
+
+RandomWaypointAgent::RandomWaypointAgent(mod::UserId user, geo::Rect world,
+                                         RandomWaypointOptions options,
+                                         common::Rng rng)
+    : user_(user), world_(world), options_(options), rng_(rng) {}
+
+void RandomWaypointAgent::PickNextLeg(geo::Instant now) {
+  leg_origin_ = position_;
+  target_ = geo::Point{rng_.Uniform(world_.min_x, world_.max_x),
+                       rng_.Uniform(world_.min_y, world_.max_y)};
+  const double speed = rng_.Uniform(options_.min_speed, options_.max_speed);
+  const double travel = geo::Distance(leg_origin_, target_) / speed;
+  leg_start_ = now;
+  leg_end_ = now + std::max<geo::Instant>(1, static_cast<geo::Instant>(travel));
+  pause_until_ =
+      leg_end_ + rng_.UniformInt(options_.min_pause, options_.max_pause);
+}
+
+AgentTick RandomWaypointAgent::Step(geo::Instant t) {
+  if (!initialized_) {
+    initialized_ = true;
+    position_ = geo::Point{rng_.Uniform(world_.min_x, world_.max_x),
+                           rng_.Uniform(world_.min_y, world_.max_y)};
+    leg_origin_ = position_;
+    target_ = position_;
+    leg_start_ = leg_end_ = t;
+    pause_until_ = t + rng_.UniformInt(options_.min_pause, options_.max_pause);
+  }
+
+  while (t >= pause_until_) PickNextLeg(pause_until_);
+
+  if (t >= leg_end_) {
+    position_ = target_;
+  } else if (t > leg_start_) {
+    const double f = static_cast<double>(t - leg_start_) /
+                     static_cast<double>(leg_end_ - leg_start_);
+    position_ = geo::Point{leg_origin_.x + f * (target_.x - leg_origin_.x),
+                           leg_origin_.y + f * (target_.y - leg_origin_.y)};
+  }
+
+  AgentTick tick;
+  tick.position = position_;
+  if (last_step_ != std::numeric_limits<geo::Instant>::min() &&
+      options_.request_rate_per_hour > 0.0) {
+    const double elapsed_hours = static_cast<double>(t - last_step_) / 3600.0;
+    const int64_t count =
+        rng_.Poisson(options_.request_rate_per_hour * elapsed_hours);
+    for (int64_t i = 0; i < count; ++i) {
+      tick.requests.push_back(RequestIntent{options_.service, "background"});
+    }
+  }
+  last_step_ = t;
+  return tick;
+}
+
+}  // namespace sim
+}  // namespace histkanon

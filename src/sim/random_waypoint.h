@@ -1,0 +1,59 @@
+// Random-waypoint mobility: the background population mass that supplies
+// anonymity sets between the structured commuters.
+
+#ifndef HISTKANON_SRC_SIM_RANDOM_WAYPOINT_H_
+#define HISTKANON_SRC_SIM_RANDOM_WAYPOINT_H_
+
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/geo/rect.h"
+#include "src/sim/agent.h"
+
+namespace histkanon {
+namespace sim {
+
+/// \brief Random-waypoint behaviour parameters.
+struct RandomWaypointOptions {
+  /// Movement speed bounds (m/s): sampled per leg.
+  double min_speed = 1.0;
+  double max_speed = 12.0;
+  /// Pause-at-waypoint bounds (seconds): sampled per waypoint.
+  int64_t min_pause = 60;
+  int64_t max_pause = 1800;
+  /// Background request rate (requests/hour, Poisson).
+  double request_rate_per_hour = 0.2;
+  mod::ServiceId service = 1;
+};
+
+/// \brief Classic random-waypoint agent over a rectangular world.
+class RandomWaypointAgent : public Agent {
+ public:
+  RandomWaypointAgent(mod::UserId user, geo::Rect world,
+                      RandomWaypointOptions options, common::Rng rng);
+
+  mod::UserId user() const override { return user_; }
+  AgentTick Step(geo::Instant t) override;
+
+ private:
+  void PickNextLeg(geo::Instant now);
+
+  mod::UserId user_;
+  geo::Rect world_;
+  RandomWaypointOptions options_;
+  common::Rng rng_;
+
+  geo::Point position_;
+  geo::Point target_;
+  geo::Instant leg_start_ = 0;
+  geo::Instant leg_end_ = 0;       // Arrival at target.
+  geo::Instant pause_until_ = 0;   // Idle at target until this instant.
+  geo::Point leg_origin_;
+  bool initialized_ = false;
+  geo::Instant last_step_ = std::numeric_limits<geo::Instant>::min();
+};
+
+}  // namespace sim
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_SIM_RANDOM_WAYPOINT_H_

@@ -1,0 +1,115 @@
+#include "src/sim/road_commuter.h"
+
+#include <algorithm>
+
+namespace histkanon {
+namespace sim {
+
+namespace {
+
+constexpr int64_t kMinSod = 5 * 3600;
+constexpr int64_t kMaxSod = 23 * 3600;
+constexpr geo::Instant kRequestLead = 300;
+
+}  // namespace
+
+RoadCommuterAgent::RoadCommuterAgent(mod::UserId user, geo::Point home,
+                                     geo::Point office,
+                                     const roadnet::RoadGraph* graph,
+                                     CommuterOptions options,
+                                     common::Rng rng)
+    : user_(user),
+      home_(home),
+      office_(office),
+      graph_(graph),
+      options_(options),
+      rng_(rng) {
+  const roadnet::NodeId home_node = graph_->NearestNode(home_);
+  const roadnet::NodeId office_node = graph_->NearestNode(office_);
+  auto out = graph_->ShortestPath(home_node, office_node);
+  auto back = graph_->ShortestPath(office_node, home_node);
+  // MakeGridCity keeps the network connected; a custom disconnected graph
+  // degenerates to staying home (empty path).
+  outbound_ = std::make_unique<roadnet::PathTracer>(
+      graph_, out.ok() ? *out : roadnet::Path{});
+  inbound_ = std::make_unique<roadnet::PathTracer>(
+      graph_, back.ok() ? *back : roadnet::Path{});
+}
+
+void RoadCommuterAgent::PlanDay(int64_t day_index) {
+  planned_day_ = day_index;
+  plan_ = DayPlan{};
+  const geo::Instant day_start = day_index * tgran::kSecondsPerDay;
+  const int dow = tgran::DayOfWeek(day_start);
+  if (dow >= 5 || rng_.Bernoulli(options_.skip_day_probability) ||
+      outbound_->path().empty()) {
+    return;
+  }
+  plan_.works = true;
+
+  const auto travel =
+      static_cast<geo::Instant>(std::max(60.0, outbound_->total_time()));
+  auto jittered = [this](int64_t mean_sod) {
+    return static_cast<int64_t>(std::clamp(
+        rng_.Normal(static_cast<double>(mean_sod), options_.schedule_jitter),
+        static_cast<double>(kMinSod), static_cast<double>(kMaxSod)));
+  };
+  plan_.depart_home = day_start + jittered(options_.depart_home_mean);
+  plan_.arrive_office = plan_.depart_home + travel;
+  plan_.depart_office = day_start + jittered(options_.depart_office_mean);
+  plan_.depart_office =
+      std::max(plan_.depart_office, plan_.arrive_office + 3600);
+  plan_.arrive_home = plan_.depart_office + travel;
+
+  const geo::Instant candidates[4] = {
+      plan_.depart_home - kRequestLead, plan_.arrive_office + kRequestLead,
+      plan_.depart_office - kRequestLead, plan_.arrive_home + kRequestLead};
+  for (const geo::Instant t : candidates) {
+    if (rng_.Bernoulli(options_.commute_request_probability)) {
+      plan_.request_times.push_back(t);
+    }
+  }
+  std::sort(plan_.request_times.begin(), plan_.request_times.end());
+}
+
+geo::Point RoadCommuterAgent::PositionAt(geo::Instant t) const {
+  if (!plan_.works) return home_;
+  if (t < plan_.depart_home) return home_;
+  if (t < plan_.arrive_office) {
+    return outbound_->PositionAt(static_cast<double>(t - plan_.depart_home));
+  }
+  if (t < plan_.depart_office) return office_;
+  if (t < plan_.arrive_home) {
+    return inbound_->PositionAt(static_cast<double>(t - plan_.depart_office));
+  }
+  return home_;
+}
+
+AgentTick RoadCommuterAgent::Step(geo::Instant t) {
+  const int64_t day = tgran::DayIndex(t);
+  if (day != planned_day_) PlanDay(day);
+
+  AgentTick tick;
+  tick.position = PositionAt(t);
+  for (const geo::Instant rt : plan_.request_times) {
+    if (rt > last_step_ && rt <= t) {
+      tick.requests.push_back(
+          RequestIntent{options_.commute_service, "commute"});
+    }
+  }
+  if (last_step_ != std::numeric_limits<geo::Instant>::min() &&
+      options_.background_rate_per_hour > 0.0) {
+    const double elapsed_hours = static_cast<double>(t - last_step_) / 3600.0;
+    const int64_t extra =
+        rng_.Poisson(options_.background_rate_per_hour * elapsed_hours);
+    for (int64_t i = 0; i < extra; ++i) {
+      tick.requests.push_back(
+          RequestIntent{options_.background_service, "background"});
+    }
+  }
+  last_step_ = t;
+  return tick;
+}
+
+}  // namespace sim
+}  // namespace histkanon

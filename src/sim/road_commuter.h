@@ -1,0 +1,72 @@
+// A commuter whose home<->office trips follow the road network's fastest
+// route rather than a straight line.  The observable request pattern is
+// the same as CommuterAgent's (Example 1/2), but the trajectory geometry
+// is road-constrained, which matters to network-aware linking attacks
+// (experiment E10).
+
+#ifndef HISTKANON_SRC_SIM_ROAD_COMMUTER_H_
+#define HISTKANON_SRC_SIM_ROAD_COMMUTER_H_
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/roadnet/graph.h"
+#include "src/sim/agent.h"
+#include "src/sim/commuter.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace sim {
+
+/// \brief Road-constrained weekday commuter.  Reuses CommuterOptions; the
+/// `speed` option is ignored for travel (edge speeds govern), but still
+/// bounds the schedule so requests land in the LBQID windows.
+class RoadCommuterAgent : public Agent {
+ public:
+  /// `graph` must outlive the agent.  Home and office snap to their
+  /// nearest road nodes for routing; positions off the path are the exact
+  /// home/office points.
+  RoadCommuterAgent(mod::UserId user, geo::Point home, geo::Point office,
+                    const roadnet::RoadGraph* graph, CommuterOptions options,
+                    common::Rng rng);
+
+  mod::UserId user() const override { return user_; }
+  AgentTick Step(geo::Instant t) override;
+
+  const geo::Point& home() const { return home_; }
+  const geo::Point& office() const { return office_; }
+  /// Seconds the routed trip takes (for tests).
+  double route_time() const { return outbound_->total_time(); }
+
+ private:
+  struct DayPlan {
+    bool works = false;
+    geo::Instant depart_home = 0;
+    geo::Instant arrive_office = 0;
+    geo::Instant depart_office = 0;
+    geo::Instant arrive_home = 0;
+    std::vector<geo::Instant> request_times;
+  };
+
+  void PlanDay(int64_t day_index);
+  geo::Point PositionAt(geo::Instant t) const;
+
+  mod::UserId user_;
+  geo::Point home_;
+  geo::Point office_;
+  const roadnet::RoadGraph* graph_;
+  CommuterOptions options_;
+  common::Rng rng_;
+  std::unique_ptr<roadnet::PathTracer> outbound_;
+  std::unique_ptr<roadnet::PathTracer> inbound_;
+  int64_t planned_day_ = -1;
+  DayPlan plan_;
+  geo::Instant last_step_ = std::numeric_limits<geo::Instant>::min();
+};
+
+}  // namespace sim
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_SIM_ROAD_COMMUTER_H_

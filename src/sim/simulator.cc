@@ -1,0 +1,33 @@
+#include "src/sim/simulator.h"
+
+namespace histkanon {
+namespace sim {
+
+Simulator::Simulator(std::vector<std::unique_ptr<Agent>> agents,
+                     SimulationOptions options)
+    : agents_(std::move(agents)), options_(options) {}
+
+void Simulator::Run(EventSink* sink) {
+  const int64_t ticks_per_update =
+      std::max<int64_t>(1, options_.location_update_period / options_.tick);
+  int64_t tick_number = 0;
+  for (geo::Instant now = options_.start; now < options_.end;
+       now += options_.tick, ++tick_number) {
+    for (size_t i = 0; i < agents_.size(); ++i) {
+      Agent* agent = agents_[i].get();
+      const AgentTick tick = agent->Step(now);
+      const geo::STPoint here{tick.position, now};
+      // Staggered periodic updates: user i reports on ticks where
+      // (tick_number + i) is a multiple of the update period.
+      if ((tick_number + static_cast<int64_t>(i)) % ticks_per_update == 0) {
+        sink->OnLocationUpdate(agent->user(), here);
+      }
+      for (const RequestIntent& intent : tick.requests) {
+        sink->OnServiceRequest(agent->user(), here, intent);
+      }
+    }
+  }
+}
+
+}  // namespace sim
+}  // namespace histkanon

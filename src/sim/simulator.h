@@ -1,0 +1,63 @@
+// The simulation driver: advances every agent tick by tick, feeding
+// location updates and service requests into an event sink (normally the
+// trusted server).
+
+#ifndef HISTKANON_SRC_SIM_SIMULATOR_H_
+#define HISTKANON_SRC_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/agent.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace sim {
+
+/// \brief Consumer of simulation events (implemented by ts::TrustedServer
+/// and by the baseline anonymizers).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// A periodic location update ("a location update may be received by the
+  /// TS even if the user did not make a request", Section 5.3).
+  virtual void OnLocationUpdate(mod::UserId user,
+                                const geo::STPoint& sample) = 0;
+
+  /// A service request issued from the exact position `exact`.
+  virtual void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                                const RequestIntent& intent) = 0;
+};
+
+/// \brief Simulation-clock parameters.
+struct SimulationOptions {
+  geo::Instant start = 0;
+  geo::Instant end = 14 * tgran::kSecondsPerDay;
+  /// Agent step (seconds).
+  int64_t tick = 60;
+  /// Per-user location-update period (seconds; staggered across users).
+  int64_t location_update_period = 300;
+};
+
+/// \brief Drives the agents through [start, end).
+class Simulator {
+ public:
+  Simulator(std::vector<std::unique_ptr<Agent>> agents,
+            SimulationOptions options);
+
+  /// Runs the whole simulation, delivering events to `sink`.  Within a
+  /// tick, a user's location update precedes their requests.
+  void Run(EventSink* sink);
+
+  const SimulationOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::unique_ptr<Agent>> agents_;
+  SimulationOptions options_;
+};
+
+}  // namespace sim
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_SIM_SIMULATOR_H_

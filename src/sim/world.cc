@@ -1,0 +1,73 @@
+#include "src/sim/world.h"
+
+#include <limits>
+
+namespace histkanon {
+namespace sim {
+
+World World::Generate(const WorldOptions& options, common::Rng* rng) {
+  World world;
+  world.options_ = options;
+
+  // Homes: rejection-sampled for minimum spacing (bounded retries so that
+  // over-dense configurations still terminate).
+  world.homes_.reserve(options.num_homes);
+  for (size_t i = 0; i < options.num_homes; ++i) {
+    geo::Point candidate;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      candidate = geo::Point{rng->Uniform(0.0, options.width),
+                             rng->Uniform(0.0, options.height)};
+      bool spaced = true;
+      for (const geo::Point& home : world.homes_) {
+        if (geo::Distance(candidate, home) < options.home_spacing) {
+          spaced = false;
+          break;
+        }
+      }
+      if (spaced) break;
+    }
+    world.homes_.push_back(candidate);
+  }
+
+  // Offices: clustered downtown (city center).
+  const geo::Point center{options.width / 2.0, options.height / 2.0};
+  const double downtown_radius =
+      options.downtown_fraction * std::min(options.width, options.height);
+  world.offices_.reserve(options.num_offices);
+  for (size_t i = 0; i < options.num_offices; ++i) {
+    world.offices_.push_back(geo::Point{
+        center.x + rng->Uniform(-downtown_radius, downtown_radius),
+        center.y + rng->Uniform(-downtown_radius, downtown_radius)});
+  }
+
+  // Hospitals: spread across the city.
+  world.hospitals_.reserve(options.num_hospitals);
+  for (size_t i = 0; i < options.num_hospitals; ++i) {
+    world.hospitals_.push_back(
+        geo::Point{rng->Uniform(0.1 * options.width, 0.9 * options.width),
+                   rng->Uniform(0.1 * options.height, 0.9 * options.height)});
+  }
+  return world;
+}
+
+void World::RegisterResident(size_t home_index, mod::UserId resident) {
+  registry_.push_back(HomeRecord{homes_[home_index], resident});
+}
+
+std::optional<mod::UserId> World::LookupResidentNear(
+    const geo::Point& p, double max_distance) const {
+  const HomeRecord* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const HomeRecord& record : registry_) {
+    const double d = geo::Distance(record.address, p);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &record;
+    }
+  }
+  if (best == nullptr || best_distance > max_distance) return std::nullopt;
+  return best->resident;
+}
+
+}  // namespace sim
+}  // namespace histkanon

@@ -1,0 +1,79 @@
+// The synthetic city: a planar region with residential homes, office
+// buildings, and hospitals, plus the ground-truth home registry that plays
+// the role of the paper's external identification source ("a simple look
+// up in a phone book ... can reveal the people who live there", Section 1).
+
+#ifndef HISTKANON_SRC_SIM_WORLD_H_
+#define HISTKANON_SRC_SIM_WORLD_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geo/rect.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace sim {
+
+/// \brief World-generation parameters.
+struct WorldOptions {
+  /// City extent (meters): [0,width] x [0,height].
+  double width = 10000.0;
+  double height = 10000.0;
+  /// Homes are scattered over the whole city; offices cluster downtown.
+  size_t num_homes = 400;
+  size_t num_offices = 12;
+  size_t num_hospitals = 4;
+  /// Downtown (office district) half-extent as a fraction of city size.
+  double downtown_fraction = 0.15;
+  /// Minimum spacing between homes (meters); keeps homes identifiable as
+  /// distinct addresses.
+  double home_spacing = 60.0;
+};
+
+/// \brief A phone-book entry: a home address and its registered resident.
+struct HomeRecord {
+  geo::Point address;
+  mod::UserId resident = mod::kInvalidUser;
+};
+
+/// \brief The synthetic city.
+class World {
+ public:
+  /// Generates a city deterministically from `rng`.
+  static World Generate(const WorldOptions& options, common::Rng* rng);
+
+  const WorldOptions& options() const { return options_; }
+  geo::Rect Bounds() const {
+    return geo::Rect{0.0, 0.0, options_.width, options_.height};
+  }
+
+  const std::vector<geo::Point>& homes() const { return homes_; }
+  const std::vector<geo::Point>& offices() const { return offices_; }
+  const std::vector<geo::Point>& hospitals() const { return hospitals_; }
+
+  /// Registers `resident` as living at home `home_index` (the phone book).
+  void RegisterResident(size_t home_index, mod::UserId resident);
+
+  /// The phone book, in home-index order.
+  const std::vector<HomeRecord>& registry() const { return registry_; }
+
+  /// Phone-book lookup: the resident registered at the home nearest to
+  /// `p`, provided it is within `max_distance` meters (the external-source
+  /// attack of Section 1); nullopt when no registered home is close enough.
+  std::optional<mod::UserId> LookupResidentNear(const geo::Point& p,
+                                                double max_distance) const;
+
+ private:
+  WorldOptions options_;
+  std::vector<geo::Point> homes_;
+  std::vector<geo::Point> offices_;
+  std::vector<geo::Point> hospitals_;
+  std::vector<HomeRecord> registry_;
+};
+
+}  // namespace sim
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_SIM_WORLD_H_

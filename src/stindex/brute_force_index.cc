@@ -1,0 +1,51 @@
+#include "src/stindex/brute_force_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace histkanon {
+namespace stindex {
+
+void BruteForceIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
+  entries_.push_back(Entry{user, sample});
+}
+
+std::vector<Entry> BruteForceIndex::RangeQuery(const geo::STBox& box) const {
+  std::vector<Entry> hits;
+  for (const Entry& entry : entries_) {
+    if (box.Contains(entry.sample)) hits.push_back(entry);
+  }
+  return hits;
+}
+
+std::vector<UserNeighbor> BruteForceIndex::NearestPerUser(
+    const geo::STPoint& query, size_t k, mod::UserId exclude,
+    const geo::STMetric& metric) const {
+  // Nearest sample per user.
+  std::unordered_map<mod::UserId, UserNeighbor> best;
+  for (const Entry& entry : entries_) {
+    if (entry.user == exclude) continue;
+    const double d2 = metric.SquaredDistance(entry.sample, query);
+    auto it = best.find(entry.user);
+    if (it == best.end() || d2 < it->second.distance) {
+      best[entry.user] = UserNeighbor{entry.user, entry.sample, d2};
+    }
+  }
+  std::vector<UserNeighbor> neighbors;
+  neighbors.reserve(best.size());
+  for (auto& [user, neighbor] : best) neighbors.push_back(neighbor);
+  std::sort(neighbors.begin(), neighbors.end(),
+            [](const UserNeighbor& a, const UserNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.user < b.user;
+            });
+  if (neighbors.size() > k) neighbors.resize(k);
+  for (UserNeighbor& neighbor : neighbors) {
+    neighbor.distance = std::sqrt(neighbor.distance);
+  }
+  return neighbors;
+}
+
+}  // namespace stindex
+}  // namespace histkanon

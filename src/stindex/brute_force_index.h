@@ -1,0 +1,37 @@
+// The paper's baseline: "a brute-force algorithm by simply considering the
+// nearest neighbor in the PHL of each user and then taking the closest k
+// points ... worst case complexity O(k*n)" (Section 6.2).
+
+#ifndef HISTKANON_SRC_STINDEX_BRUTE_FORCE_INDEX_H_
+#define HISTKANON_SRC_STINDEX_BRUTE_FORCE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stindex/index.h"
+
+namespace histkanon {
+namespace stindex {
+
+/// \brief Flat-array index; every query scans all samples.
+class BruteForceIndex : public SpatioTemporalIndex {
+ public:
+  BruteForceIndex() = default;
+
+  const std::string& name() const override { return name_; }
+  void Insert(mod::UserId user, const geo::STPoint& sample) override;
+  size_t size() const override { return entries_.size(); }
+  std::vector<Entry> RangeQuery(const geo::STBox& box) const override;
+  std::vector<UserNeighbor> NearestPerUser(
+      const geo::STPoint& query, size_t k, mod::UserId exclude,
+      const geo::STMetric& metric) const override;
+
+ private:
+  std::string name_ = "brute";
+  std::vector<Entry> entries_;
+};
+
+}  // namespace stindex
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_STINDEX_BRUTE_FORCE_INDEX_H_

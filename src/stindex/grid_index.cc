@@ -1,0 +1,188 @@
+#include "src/stindex/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace histkanon {
+namespace stindex {
+
+namespace {
+
+int64_t FloorToCell(double value, double extent) {
+  return static_cast<int64_t>(std::floor(value / extent));
+}
+
+}  // namespace
+
+GridIndex::GridIndex(GridIndexOptions options) : options_(options) {}
+
+GridIndex::CellKey GridIndex::CellOf(const geo::STPoint& sample) const {
+  return CellKey{FloorToCell(sample.p.x, options_.cell_meters),
+                 FloorToCell(sample.p.y, options_.cell_meters),
+                 FloorToCell(static_cast<double>(sample.t),
+                             options_.cell_seconds)};
+}
+
+void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
+  const CellKey key = CellOf(sample);
+  cells_[key].push_back(Entry{user, sample});
+  if (size_ == 0) {
+    min_cell_ = max_cell_ = key;
+  } else {
+    min_cell_.x = std::min(min_cell_.x, key.x);
+    min_cell_.y = std::min(min_cell_.y, key.y);
+    min_cell_.t = std::min(min_cell_.t, key.t);
+    max_cell_.x = std::max(max_cell_.x, key.x);
+    max_cell_.y = std::max(max_cell_.y, key.y);
+    max_cell_.t = std::max(max_cell_.t, key.t);
+  }
+  ++size_;
+}
+
+std::vector<Entry> GridIndex::RangeQuery(const geo::STBox& box) const {
+  std::vector<Entry> hits;
+  if (box.IsEmpty() || size_ == 0) return hits;
+  const int64_t x0 = FloorToCell(box.area.min_x, options_.cell_meters);
+  const int64_t x1 = FloorToCell(box.area.max_x, options_.cell_meters);
+  const int64_t y0 = FloorToCell(box.area.min_y, options_.cell_meters);
+  const int64_t y1 = FloorToCell(box.area.max_y, options_.cell_meters);
+  const int64_t t0 =
+      FloorToCell(static_cast<double>(box.time.lo), options_.cell_seconds);
+  const int64_t t1 =
+      FloorToCell(static_cast<double>(box.time.hi), options_.cell_seconds);
+  for (int64_t x = std::max(x0, min_cell_.x); x <= std::min(x1, max_cell_.x);
+       ++x) {
+    for (int64_t y = std::max(y0, min_cell_.y);
+         y <= std::min(y1, max_cell_.y); ++y) {
+      for (int64_t t = std::max(t0, min_cell_.t);
+           t <= std::min(t1, max_cell_.t); ++t) {
+        const auto it = cells_.find(CellKey{x, y, t});
+        if (it == cells_.end()) continue;
+        for (const Entry& entry : it->second) {
+          if (box.Contains(entry.sample)) hits.push_back(entry);
+        }
+      }
+    }
+  }
+  return hits;
+}
+
+std::vector<UserNeighbor> GridIndex::NearestPerUser(
+    const geo::STPoint& query, size_t k, mod::UserId exclude,
+    const geo::STMetric& metric) const {
+  std::vector<UserNeighbor> result;
+  if (size_ == 0 || k == 0) return result;
+
+  const CellKey center = CellOf(query);
+  // Weighted extent of one cell in each lattice dimension.
+  const double extent_x = options_.cell_meters;
+  const double extent_y = options_.cell_meters;
+  const double extent_t = metric.meters_per_second * options_.cell_seconds;
+  const double min_extent = std::min({extent_x, extent_y, extent_t});
+
+  std::unordered_map<mod::UserId, UserNeighbor> best;  // distance = squared
+
+  auto scan_cell = [&](int64_t x, int64_t y, int64_t t) {
+    const auto it = cells_.find(CellKey{x, y, t});
+    if (it == cells_.end()) return;
+    for (const Entry& entry : it->second) {
+      if (entry.user == exclude) continue;
+      const double d2 = metric.SquaredDistance(entry.sample, query);
+      auto bit = best.find(entry.user);
+      if (bit == best.end() || d2 < bit->second.distance) {
+        best[entry.user] = UserNeighbor{entry.user, entry.sample, d2};
+      }
+    }
+  };
+
+  // k-th smallest per-user best squared distance (infinity when < k users).
+  auto kth_best_d2 = [&]() -> double {
+    if (best.size() < k) return std::numeric_limits<double>::infinity();
+    std::vector<double> d2s;
+    d2s.reserve(best.size());
+    for (const auto& [user, neighbor] : best) d2s.push_back(neighbor.distance);
+    std::nth_element(d2s.begin(), d2s.begin() + (k - 1), d2s.end());
+    return d2s[k - 1];
+  };
+
+  // Clipped iteration helper over one axis range.
+  auto clip_lo = [](int64_t v, int64_t lo) { return std::max(v, lo); };
+  auto clip_hi = [](int64_t v, int64_t hi) { return std::min(v, hi); };
+
+  for (int64_t radius = 0;; ++radius) {
+    // Scan the Chebyshev shell at `radius` — its six faces only, each
+    // clipped to the data's lattice bounding box.  Inner cells were
+    // scanned at smaller radii.
+    const int64_t x0 = center.x - radius;
+    const int64_t x1 = center.x + radius;
+    const int64_t y0 = center.y - radius;
+    const int64_t y1 = center.y + radius;
+    const int64_t t0 = center.t - radius;
+    const int64_t t1 = center.t + radius;
+    if (radius == 0) {
+      scan_cell(center.x, center.y, center.t);
+    } else {
+      // x = x0 and x = x1 faces (full y/t extent).
+      for (const int64_t x : {x0, x1}) {
+        if (x < min_cell_.x || x > max_cell_.x) continue;
+        for (int64_t y = clip_lo(y0, min_cell_.y);
+             y <= clip_hi(y1, max_cell_.y); ++y) {
+          for (int64_t t = clip_lo(t0, min_cell_.t);
+               t <= clip_hi(t1, max_cell_.t); ++t) {
+            scan_cell(x, y, t);
+          }
+        }
+      }
+      // y faces (x interior only, to avoid re-scanning the x-face edges).
+      for (const int64_t y : {y0, y1}) {
+        if (y < min_cell_.y || y > max_cell_.y) continue;
+        for (int64_t x = clip_lo(x0 + 1, min_cell_.x);
+             x <= clip_hi(x1 - 1, max_cell_.x); ++x) {
+          for (int64_t t = clip_lo(t0, min_cell_.t);
+               t <= clip_hi(t1, max_cell_.t); ++t) {
+            scan_cell(x, y, t);
+          }
+        }
+      }
+      // t faces (x and y interior only).
+      for (const int64_t t : {t0, t1}) {
+        if (t < min_cell_.t || t > max_cell_.t) continue;
+        for (int64_t x = clip_lo(x0 + 1, min_cell_.x);
+             x <= clip_hi(x1 - 1, max_cell_.x); ++x) {
+          for (int64_t y = clip_lo(y0 + 1, min_cell_.y);
+               y <= clip_hi(y1 - 1, max_cell_.y); ++y) {
+            scan_cell(x, y, t);
+          }
+        }
+      }
+    }
+
+    // Any unexplored cell lies at Chebyshev lattice distance > radius, so
+    // its contents are at weighted distance >= radius * min_extent.
+    const double unexplored_min = static_cast<double>(radius) * min_extent;
+    if (kth_best_d2() <= unexplored_min * unexplored_min) break;
+
+    // Stop once the search cube covers the whole data lattice.
+    if (x0 <= min_cell_.x && x1 >= max_cell_.x && y0 <= min_cell_.y &&
+        y1 >= max_cell_.y && t0 <= min_cell_.t && t1 >= max_cell_.t) {
+      break;
+    }
+  }
+
+  result.reserve(best.size());
+  for (const auto& [user, neighbor] : best) result.push_back(neighbor);
+  std::sort(result.begin(), result.end(),
+            [](const UserNeighbor& a, const UserNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.user < b.user;
+            });
+  if (result.size() > k) result.resize(k);
+  for (UserNeighbor& neighbor : result) {
+    neighbor.distance = std::sqrt(neighbor.distance);
+  }
+  return result;
+}
+
+}  // namespace stindex
+}  // namespace histkanon

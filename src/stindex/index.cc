@@ -1,0 +1,24 @@
+#include "src/stindex/index.h"
+
+#include <algorithm>
+
+namespace histkanon {
+namespace stindex {
+
+std::vector<mod::UserId> SpatioTemporalIndex::DistinctUsersIn(
+    const geo::STBox& box) const {
+  std::vector<mod::UserId> users;
+  for (const Entry& entry : RangeQuery(box)) users.push_back(entry.user);
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+void LoadFromDb(const mod::MovingObjectDb& db, SpatioTemporalIndex* index) {
+  db.ForEachSample([index](mod::UserId user, const geo::STPoint& sample) {
+    index->Insert(user, sample);
+  });
+}
+
+}  // namespace stindex
+}  // namespace histkanon

@@ -1,0 +1,78 @@
+// Spatio-temporal index interface over PHL samples.
+//
+// Algorithm 1 line 5 needs, for a request point q, the k distinct users
+// whose nearest PHL sample (under a weighted 3D metric) is closest to q.
+// The paper notes the brute-force cost O(k*n) and that "optimizations may
+// be inspired by the work on indexing moving objects"; this module
+// provides the brute-force baseline plus a uniform grid and a 3D R-tree
+// (benchmarked against each other in experiment E4).
+
+#ifndef HISTKANON_SRC_STINDEX_INDEX_H_
+#define HISTKANON_SRC_STINDEX_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/geo/stbox.h"
+#include "src/mod/moving_object_db.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace stindex {
+
+/// \brief One indexed PHL sample.
+struct Entry {
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint sample;
+
+  friend bool operator==(const Entry& a, const Entry& b) {
+    return a.user == b.user && a.sample == b.sample;
+  }
+};
+
+/// \brief A (user, nearest-sample, distance) answer of NearestPerUser.
+struct UserNeighbor {
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint sample;
+  double distance = 0.0;
+};
+
+/// \brief Index over (user, <x,y,t>) samples supporting the queries the
+/// generalization algorithm and anonymity evaluation need.
+class SpatioTemporalIndex {
+ public:
+  virtual ~SpatioTemporalIndex() = default;
+
+  /// Index implementation name ("brute", "grid", "rtree").
+  virtual const std::string& name() const = 0;
+
+  /// Adds one sample.
+  virtual void Insert(mod::UserId user, const geo::STPoint& sample) = 0;
+
+  /// Number of samples indexed.
+  virtual size_t size() const = 0;
+
+  /// All entries whose sample lies inside `box`.
+  virtual std::vector<Entry> RangeQuery(const geo::STBox& box) const = 0;
+
+  /// The `k` distinct users (excluding `exclude`) whose nearest sample to
+  /// `query` under `metric` is smallest, each with that nearest sample,
+  /// sorted by ascending distance.  Returns fewer than k when fewer
+  /// distinct users exist.
+  virtual std::vector<UserNeighbor> NearestPerUser(
+      const geo::STPoint& query, size_t k, mod::UserId exclude,
+      const geo::STMetric& metric) const = 0;
+
+  /// Distinct users with a sample in `box` (derived from RangeQuery; the
+  /// anonymity-set size of the box).
+  std::vector<mod::UserId> DistinctUsersIn(const geo::STBox& box) const;
+};
+
+/// Bulk-loads every sample of `db` into `index`.
+void LoadFromDb(const mod::MovingObjectDb& db, SpatioTemporalIndex* index);
+
+}  // namespace stindex
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_STINDEX_INDEX_H_

@@ -1,0 +1,493 @@
+#include "src/stindex/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace stindex {
+
+namespace {
+
+// Weighted volume of a box, with a small per-axis pad so that degenerate
+// (point-like) boxes still order sensibly under enlargement comparisons.
+double WeightedVolume(const geo::STBox& box, double mps) {
+  if (box.IsEmpty()) return 0.0;
+  constexpr double kPad = 1e-6;
+  return (box.area.Width() + kPad) * (box.area.Height() + kPad) *
+         (mps * static_cast<double>(box.time.Length()) + kPad);
+}
+
+double Enlargement(const geo::STBox& box, const geo::STBox& added,
+                   double mps) {
+  return WeightedVolume(geo::STBox::Union(box, added), mps) -
+         WeightedVolume(box, mps);
+}
+
+// Squared weighted distance from a point to the nearest point of a box
+// (0 when inside).
+double MinSquaredDistance(const geo::STPoint& q, const geo::STBox& box,
+                          const geo::STMetric& metric) {
+  auto axis = [](double v, double lo, double hi) {
+    if (v < lo) return lo - v;
+    if (v > hi) return v - hi;
+    return 0.0;
+  };
+  const double dx = axis(q.p.x, box.area.min_x, box.area.max_x);
+  const double dy = axis(q.p.y, box.area.min_y, box.area.max_y);
+  const double dt =
+      metric.meters_per_second *
+      axis(static_cast<double>(q.t), static_cast<double>(box.time.lo),
+           static_cast<double>(box.time.hi));
+  return dx * dx + dy * dy + dt * dt;
+}
+
+// Guttman's quadratic split over item boxes: returns the item indices of
+// the two groups, each with at least `min_entries` members.
+std::pair<std::vector<int>, std::vector<int>> QuadraticPartition(
+    const std::vector<geo::STBox>& boxes, int min_entries, double mps) {
+  const int n = static_cast<int>(boxes.size());
+  // PickSeeds: the pair wasting the most volume if grouped together.
+  int seed_a = 0;
+  int seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double waste =
+          WeightedVolume(geo::STBox::Union(boxes[i], boxes[j]), mps) -
+          WeightedVolume(boxes[i], mps) - WeightedVolume(boxes[j], mps);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> group_a = {seed_a};
+  std::vector<int> group_b = {seed_b};
+  geo::STBox bounds_a = boxes[seed_a];
+  geo::STBox bounds_b = boxes[seed_b];
+  std::vector<int> remaining;
+  for (int i = 0; i < n; ++i) {
+    if (i != seed_a && i != seed_b) remaining.push_back(i);
+  }
+
+  while (!remaining.empty()) {
+    // If one group must take everything left to reach min_entries, do so.
+    const int left = static_cast<int>(remaining.size());
+    if (static_cast<int>(group_a.size()) + left == min_entries) {
+      for (int i : remaining) group_a.push_back(i);
+      break;
+    }
+    if (static_cast<int>(group_b.size()) + left == min_entries) {
+      for (int i : remaining) group_b.push_back(i);
+      break;
+    }
+    // PickNext: the item with the strongest preference.
+    int best_pos = 0;
+    double best_diff = -1.0;
+    double best_da = 0.0;
+    double best_db = 0.0;
+    for (int pos = 0; pos < left; ++pos) {
+      const double da = Enlargement(bounds_a, boxes[remaining[pos]], mps);
+      const double db = Enlargement(bounds_b, boxes[remaining[pos]], mps);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best_pos = pos;
+        best_da = da;
+        best_db = db;
+      }
+    }
+    const int item = remaining[best_pos];
+    remaining.erase(remaining.begin() + best_pos);
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else if (WeightedVolume(bounds_a, mps) != WeightedVolume(bounds_b, mps)) {
+      to_a = WeightedVolume(bounds_a, mps) < WeightedVolume(bounds_b, mps);
+    } else {
+      to_a = group_a.size() <= group_b.size();
+    }
+    if (to_a) {
+      group_a.push_back(item);
+      bounds_a.ExpandToInclude(boxes[item]);
+    } else {
+      group_b.push_back(item);
+      bounds_b.ExpandToInclude(boxes[item]);
+    }
+  }
+  return {std::move(group_a), std::move(group_b)};
+}
+
+}  // namespace
+
+struct RTree::Node {
+  bool leaf = true;
+  geo::STBox bounds = geo::STBox::Empty();
+  std::vector<Entry> entries;                   // leaf payload
+  std::vector<std::unique_ptr<Node>> children;  // internal payload
+
+  void RecomputeBounds() {
+    bounds = geo::STBox::Empty();
+    if (leaf) {
+      for (const Entry& entry : entries) {
+        bounds.ExpandToInclude(entry.sample);
+      }
+    } else {
+      for (const auto& child : children) {
+        bounds.ExpandToInclude(child->bounds);
+      }
+    }
+  }
+};
+
+RTree::RTree(RTreeOptions options) : options_(options) {
+  // A pathological min_entries (> half of max) would make splits impossible.
+  if (options_.min_entries * 2 > options_.max_entries) {
+    options_.min_entries = options_.max_entries / 2;
+  }
+  if (options_.min_entries < 1) options_.min_entries = 1;
+}
+
+RTree::~RTree() = default;
+
+void RTree::Insert(mod::UserId user, const geo::STPoint& sample) {
+  InsertEntry(Entry{user, sample});
+  ++size_;
+}
+
+void RTree::InsertEntry(const Entry& entry) {
+  const geo::STBox entry_box = geo::STBox::FromPoint(entry.sample);
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    root_->leaf = true;
+    root_->entries.push_back(entry);
+    root_->bounds = entry_box;
+    return;
+  }
+
+  // Recursive insert; returns the new sibling if the node split.
+  const double mps = options_.construction_meters_per_second;
+  std::function<std::unique_ptr<Node>(Node*)> insert_rec =
+      [&](Node* node) -> std::unique_ptr<Node> {
+    node->bounds.ExpandToInclude(entry_box);
+    if (node->leaf) {
+      node->entries.push_back(entry);
+      if (static_cast<int>(node->entries.size()) > options_.max_entries) {
+        return SplitNode(node);
+      }
+      return nullptr;
+    }
+    // ChooseSubtree: least enlargement, ties by smaller volume.
+    Node* chosen = node->children.front().get();
+    double chosen_enlargement =
+        Enlargement(chosen->bounds, entry_box, mps);
+    for (size_t i = 1; i < node->children.size(); ++i) {
+      Node* candidate = node->children[i].get();
+      const double e = Enlargement(candidate->bounds, entry_box, mps);
+      if (e < chosen_enlargement ||
+          (e == chosen_enlargement &&
+           WeightedVolume(candidate->bounds, mps) <
+               WeightedVolume(chosen->bounds, mps))) {
+        chosen = candidate;
+        chosen_enlargement = e;
+      }
+    }
+    std::unique_ptr<Node> sibling = insert_rec(chosen);
+    if (sibling != nullptr) {
+      node->children.push_back(std::move(sibling));
+      if (static_cast<int>(node->children.size()) > options_.max_entries) {
+        return SplitNode(node);
+      }
+    }
+    return nullptr;
+  };
+
+  std::unique_ptr<Node> sibling = insert_rec(root_.get());
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    new_root->RecomputeBounds();
+    root_ = std::move(new_root);
+  }
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  const double mps = options_.construction_meters_per_second;
+  std::vector<geo::STBox> boxes;
+  if (node->leaf) {
+    boxes.reserve(node->entries.size());
+    for (const Entry& entry : node->entries) {
+      boxes.push_back(geo::STBox::FromPoint(entry.sample));
+    }
+  } else {
+    boxes.reserve(node->children.size());
+    for (const auto& child : node->children) boxes.push_back(child->bounds);
+  }
+  auto [group_a, group_b] =
+      QuadraticPartition(boxes, options_.min_entries, mps);
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+  if (node->leaf) {
+    std::vector<Entry> kept;
+    kept.reserve(group_a.size());
+    for (int i : group_a) kept.push_back(node->entries[i]);
+    for (int i : group_b) sibling->entries.push_back(node->entries[i]);
+    node->entries = std::move(kept);
+  } else {
+    std::vector<std::unique_ptr<Node>> kept;
+    kept.reserve(group_a.size());
+    for (int i : group_a) kept.push_back(std::move(node->children[i]));
+    for (int i : group_b) {
+      sibling->children.push_back(std::move(node->children[i]));
+    }
+    node->children = std::move(kept);
+  }
+  node->RecomputeBounds();
+  sibling->RecomputeBounds();
+  return sibling;
+}
+
+RTree RTree::BulkLoad(std::vector<Entry> entries, RTreeOptions options) {
+  RTree tree(options);
+  tree.size_ = entries.size();
+  if (entries.empty()) return tree;
+
+  const int cap = tree.options_.max_entries;
+
+  // Sort-Tile-Recursive packing of the leaf level.
+  auto pack_leaves = [cap](std::vector<Entry> items) {
+    const size_t n = items.size();
+    const size_t leaf_count = (n + cap - 1) / cap;
+    const size_t slabs =
+        static_cast<size_t>(std::ceil(std::cbrt(static_cast<double>(
+            leaf_count))));
+    std::sort(items.begin(), items.end(), [](const Entry& a, const Entry& b) {
+      return a.sample.p.x < b.sample.p.x;
+    });
+    std::vector<std::unique_ptr<Node>> leaves;
+    const size_t slab_size = (n + slabs - 1) / slabs;
+    for (size_t s = 0; s < n; s += slab_size) {
+      const size_t slab_end = std::min(n, s + slab_size);
+      std::sort(items.begin() + s, items.begin() + slab_end,
+                [](const Entry& a, const Entry& b) {
+                  return a.sample.p.y < b.sample.p.y;
+                });
+      const size_t strip_size =
+          (slab_end - s + slabs - 1) / slabs;
+      for (size_t y = s; y < slab_end; y += strip_size) {
+        const size_t strip_end = std::min(slab_end, y + strip_size);
+        std::sort(items.begin() + y, items.begin() + strip_end,
+                  [](const Entry& a, const Entry& b) {
+                    return a.sample.t < b.sample.t;
+                  });
+        for (size_t e = y; e < strip_end; e += cap) {
+          const size_t leaf_end = std::min(strip_end, e + cap);
+          auto leaf = std::make_unique<Node>();
+          leaf->leaf = true;
+          leaf->entries.assign(items.begin() + e, items.begin() + leaf_end);
+          leaf->RecomputeBounds();
+          leaves.push_back(std::move(leaf));
+        }
+      }
+    }
+    return leaves;
+  };
+
+  std::vector<std::unique_ptr<Node>> level = pack_leaves(std::move(entries));
+
+  // Pack upper levels by center coordinates until one root remains.
+  while (level.size() > 1) {
+    const size_t n = level.size();
+    const size_t parent_count = (n + cap - 1) / cap;
+    const size_t slabs = static_cast<size_t>(
+        std::ceil(std::cbrt(static_cast<double>(parent_count))));
+    auto center_x = [](const std::unique_ptr<Node>& node) {
+      return node->bounds.area.Center().x;
+    };
+    auto center_y = [](const std::unique_ptr<Node>& node) {
+      return node->bounds.area.Center().y;
+    };
+    auto center_t = [](const std::unique_ptr<Node>& node) {
+      return node->bounds.time.Center();
+    };
+    std::sort(level.begin(), level.end(),
+              [&](const auto& a, const auto& b) {
+                return center_x(a) < center_x(b);
+              });
+    std::vector<std::unique_ptr<Node>> parents;
+    const size_t slab_size = (n + slabs - 1) / slabs;
+    for (size_t s = 0; s < n; s += slab_size) {
+      const size_t slab_end = std::min(n, s + slab_size);
+      std::sort(level.begin() + s, level.begin() + slab_end,
+                [&](const auto& a, const auto& b) {
+                  return center_y(a) < center_y(b);
+                });
+      const size_t strip_size = (slab_end - s + slabs - 1) / slabs;
+      for (size_t y = s; y < slab_end; y += strip_size) {
+        const size_t strip_end = std::min(slab_end, y + strip_size);
+        std::sort(level.begin() + y, level.begin() + strip_end,
+                  [&](const auto& a, const auto& b) {
+                    return center_t(a) < center_t(b);
+                  });
+        for (size_t c = y; c < strip_end; c += cap) {
+          const size_t node_end = std::min(strip_end, c + cap);
+          auto parent = std::make_unique<Node>();
+          parent->leaf = false;
+          for (size_t i = c; i < node_end; ++i) {
+            parent->children.push_back(std::move(level[i]));
+          }
+          parent->RecomputeBounds();
+          parents.push_back(std::move(parent));
+        }
+      }
+    }
+    level = std::move(parents);
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+std::vector<Entry> RTree::RangeQuery(const geo::STBox& box) const {
+  std::vector<Entry> hits;
+  if (root_ == nullptr || box.IsEmpty()) return hits;
+  std::function<void(const Node*)> visit = [&](const Node* node) {
+    if (!node->bounds.Intersects(box)) return;
+    if (node->leaf) {
+      for (const Entry& entry : node->entries) {
+        if (box.Contains(entry.sample)) hits.push_back(entry);
+      }
+      return;
+    }
+    for (const auto& child : node->children) visit(child.get());
+  };
+  visit(root_.get());
+  return hits;
+}
+
+std::vector<UserNeighbor> RTree::NearestPerUser(
+    const geo::STPoint& query, size_t k, mod::UserId exclude,
+    const geo::STMetric& metric) const {
+  std::vector<UserNeighbor> result;
+  if (root_ == nullptr || k == 0) return result;
+
+  struct QueueItem {
+    double d2 = 0.0;
+    const Node* node = nullptr;    // set for subtree items
+    const Entry* entry = nullptr;  // set for sample items
+  };
+  struct Farther {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      return a.d2 > b.d2;
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Farther> frontier;
+  frontier.push(
+      QueueItem{MinSquaredDistance(query, root_->bounds, metric), root_.get(),
+                nullptr});
+
+  // Best-first traversal yields samples in ascending distance, so the first
+  // sample seen for each user is that user's nearest.
+  std::unordered_set<mod::UserId> seen;
+  while (!frontier.empty() && result.size() < k) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (item.entry != nullptr) {
+      if (item.entry->user == exclude) continue;
+      if (!seen.insert(item.entry->user).second) continue;
+      result.push_back(UserNeighbor{item.entry->user, item.entry->sample,
+                                    std::sqrt(item.d2)});
+      continue;
+    }
+    const Node* node = item.node;
+    if (node->leaf) {
+      for (const Entry& entry : node->entries) {
+        if (entry.user == exclude || seen.count(entry.user) > 0) continue;
+        frontier.push(QueueItem{metric.SquaredDistance(entry.sample, query),
+                                nullptr, &entry});
+      }
+    } else {
+      for (const auto& child : node->children) {
+        frontier.push(QueueItem{
+            MinSquaredDistance(query, child->bounds, metric), child.get(),
+            nullptr});
+      }
+    }
+  }
+  return result;
+}
+
+int RTree::Height() const {
+  int height = 0;
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    ++height;
+    node = node->leaf ? nullptr : node->children.front().get();
+  }
+  return height;
+}
+
+common::Status RTree::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return size_ == 0 ? common::Status::OK()
+                      : common::Status::Internal("null root with entries");
+  }
+  size_t counted = 0;
+  int leaf_depth = -1;
+  std::function<common::Status(const Node*, int)> check =
+      [&](const Node* node, int depth) -> common::Status {
+    if (node->leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (leaf_depth != depth) {
+        return common::Status::Internal(
+            common::Format("leaves at mixed depths %d vs %d", leaf_depth,
+                           depth));
+      }
+      if (node->entries.empty()) {
+        return common::Status::Internal("empty leaf node");
+      }
+      if (static_cast<int>(node->entries.size()) > options_.max_entries) {
+        return common::Status::Internal("leaf fan-out above max_entries");
+      }
+      counted += node->entries.size();
+      for (const Entry& entry : node->entries) {
+        if (!node->bounds.Contains(entry.sample)) {
+          return common::Status::Internal("leaf bounds miss an entry");
+        }
+      }
+      return common::Status::OK();
+    }
+    if (node->children.empty()) {
+      return common::Status::Internal("empty internal node");
+    }
+    if (static_cast<int>(node->children.size()) > options_.max_entries) {
+      return common::Status::Internal("internal fan-out above max_entries");
+    }
+    for (const auto& child : node->children) {
+      if (!node->bounds.Contains(child->bounds)) {
+        return common::Status::Internal("parent bounds miss a child");
+      }
+      HISTKANON_RETURN_NOT_OK(check(child.get(), depth + 1));
+    }
+    return common::Status::OK();
+  };
+  HISTKANON_RETURN_NOT_OK(check(root_.get(), 0));
+  if (counted != size_) {
+    return common::Status::Internal(
+        common::Format("size mismatch: counted %zu, recorded %zu", counted,
+                       size_));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace stindex
+}  // namespace histkanon

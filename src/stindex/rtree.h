@@ -1,0 +1,80 @@
+// A 3D R-tree over (x, y, t) PHL samples: Guttman insertion with quadratic
+// split, STR bulk loading, best-first (priority-queue) nearest-neighbour
+// traversal, and range queries.
+//
+// Because space is in meters and time in seconds, node "volume" and query
+// distances weight the time axis by a meters-per-second factor (see
+// geo::STMetric); the weight used for tree construction is fixed at build
+// time via RTreeOptions.
+
+#ifndef HISTKANON_SRC_STINDEX_RTREE_H_
+#define HISTKANON_SRC_STINDEX_RTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/stindex/index.h"
+
+namespace histkanon {
+namespace stindex {
+
+/// \brief Tuning knobs for RTree.
+struct RTreeOptions {
+  /// Maximum entries per node before a split (Guttman's M).
+  int max_entries = 16;
+  /// Minimum entries assigned to each split half (Guttman's m).
+  int min_entries = 6;
+  /// Time-axis weight (meters per second) used for construction-time
+  /// volume computations.  Query-time distances use the caller's metric.
+  double construction_meters_per_second = 1.4;
+};
+
+/// \brief Dynamic 3D R-tree index over PHL samples.
+class RTree : public SpatioTemporalIndex {
+ public:
+  explicit RTree(RTreeOptions options = RTreeOptions());
+  ~RTree() override;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Builds a tree over `entries` with Sort-Tile-Recursive packing
+  /// (much better node overlap than repeated Insert for static data).
+  static RTree BulkLoad(std::vector<Entry> entries,
+                        RTreeOptions options = RTreeOptions());
+
+  const std::string& name() const override { return name_; }
+  void Insert(mod::UserId user, const geo::STPoint& sample) override;
+  size_t size() const override { return size_; }
+  std::vector<Entry> RangeQuery(const geo::STBox& box) const override;
+  std::vector<UserNeighbor> NearestPerUser(
+      const geo::STPoint& query, size_t k, mod::UserId exclude,
+      const geo::STMetric& metric) const override;
+
+  /// Height of the tree (1 for a single leaf); exposed for tests.
+  int Height() const;
+
+  /// Verifies structural invariants (bounds containment, fan-out limits,
+  /// uniform leaf depth); exposed for tests.
+  common::Status CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  void InsertEntry(const Entry& entry);
+  // Splits `node` (which has overflowed) and returns the new sibling.
+  std::unique_ptr<Node> SplitNode(Node* node);
+
+  std::string name_ = "rtree";
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace stindex
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_STINDEX_RTREE_H_

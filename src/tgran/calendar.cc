@@ -1,0 +1,78 @@
+#include "src/tgran/calendar.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace tgran {
+
+namespace {
+
+// Days between 1970-01-01 and the epoch date (2005-01-03).
+int64_t EpochDaysSince1970() {
+  static const int64_t days = DaysFromCivil(kEpochYear, kEpochMonth, kEpochDay);
+  return days;
+}
+
+const char* const kDayNames[7] = {"Mon", "Tue", "Wed", "Thu",
+                                  "Fri", "Sat", "Sun"};
+
+}  // namespace
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  year -= month <= 2;
+  const int64_t era = FloorDiv(year, 400);
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = FloorDiv(z, 146097);
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+CivilDate CivilFromInstant(Instant t) {
+  return CivilFromDays(DayIndex(t) + EpochDaysSince1970());
+}
+
+Instant InstantFromCivil(const CivilDate& date) {
+  const int64_t days =
+      DaysFromCivil(date.year, date.month, date.day) - EpochDaysSince1970();
+  return days * kSecondsPerDay;
+}
+
+int64_t MonthIndex(Instant t) {
+  const CivilDate d = CivilFromInstant(t);
+  return static_cast<int64_t>(d.year - kEpochYear) * 12 + (d.month - 1);
+}
+
+Instant MonthStart(int64_t month_index) {
+  const int year = kEpochYear + static_cast<int>(FloorDiv(month_index, 12));
+  const int month = 1 + static_cast<int>(FloorMod(month_index, 12));
+  return InstantFromCivil(CivilDate{year, month, 1});
+}
+
+std::string FormatInstant(Instant t) {
+  const int64_t day = DayIndex(t);
+  const int64_t sod = SecondOfDay(t);
+  return common::Format("%s d%lld %02lld:%02lld:%02lld", kDayNames[DayOfWeek(t)],
+                        static_cast<long long>(day),
+                        static_cast<long long>(sod / 3600),
+                        static_cast<long long>((sod % 3600) / 60),
+                        static_cast<long long>(sod % 60));
+}
+
+}  // namespace tgran
+}  // namespace histkanon

@@ -1,0 +1,98 @@
+// Calendar arithmetic on the simulation timeline.
+//
+// The epoch (Instant 0) is Monday 2005-01-03 00:00:00, so weekday and week
+// computations reduce to integer arithmetic, while month granularities use
+// proper civil-calendar conversion.
+
+#ifndef HISTKANON_SRC_TGRAN_CALENDAR_H_
+#define HISTKANON_SRC_TGRAN_CALENDAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/geo/point.h"
+
+namespace histkanon {
+namespace tgran {
+
+using geo::Instant;
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kSecondsPerHour = 3600;
+inline constexpr int64_t kSecondsPerDay = 86400;
+inline constexpr int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Civil-calendar date of the epoch (a Monday).
+inline constexpr int kEpochYear = 2005;
+inline constexpr int kEpochMonth = 1;
+inline constexpr int kEpochDay = 3;
+
+/// Floor division (rounds toward negative infinity).
+constexpr int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Non-negative remainder matching FloorDiv.
+constexpr int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+/// Days elapsed since the epoch day (negative before the epoch).
+constexpr int64_t DayIndex(Instant t) { return FloorDiv(t, kSecondsPerDay); }
+
+/// Weeks elapsed since the epoch week (weeks start Monday 00:00).
+constexpr int64_t WeekIndex(Instant t) { return FloorDiv(t, kSecondsPerWeek); }
+
+/// Day of week: 0 = Monday ... 6 = Sunday.
+constexpr int DayOfWeek(Instant t) {
+  return static_cast<int>(FloorMod(DayIndex(t), 7));
+}
+
+/// Seconds elapsed since the most recent midnight, in [0, 86400).
+constexpr int64_t SecondOfDay(Instant t) { return FloorMod(t, kSecondsPerDay); }
+
+/// \brief A civil (proleptic Gregorian) date.
+struct CivilDate {
+  int year = kEpochYear;
+  int month = kEpochMonth;  // 1..12
+  int day = kEpochDay;      // 1..31
+
+  friend bool operator==(const CivilDate& a, const CivilDate& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day;
+  }
+};
+
+/// Days from civil date to 1970-01-01 (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(int64_t days_since_1970);
+
+/// Civil date containing the given instant.
+CivilDate CivilFromInstant(Instant t);
+
+/// Midnight at the start of the given civil date, as an Instant.
+Instant InstantFromCivil(const CivilDate& date);
+
+/// Months elapsed since the epoch month (January 2005 = 0).
+int64_t MonthIndex(Instant t);
+
+/// Midnight at the start of the month with the given MonthIndex.
+Instant MonthStart(int64_t month_index);
+
+/// Convenience constructor: instant at day `day_index` since epoch, at
+/// `hour`:`minute`:`second`.
+constexpr Instant At(int64_t day_index, int hour, int minute = 0,
+                     int second = 0) {
+  return day_index * kSecondsPerDay + hour * kSecondsPerHour +
+         minute * kSecondsPerMinute + second;
+}
+
+/// Renders an instant as "Www Dn hh:mm:ss" (e.g. "Tue d8 07:30:00") for
+/// report readability.
+std::string FormatInstant(Instant t);
+
+}  // namespace tgran
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TGRAN_CALENDAR_H_

@@ -1,0 +1,134 @@
+#include "src/tgran/granularity.h"
+
+#include <utility>
+
+namespace histkanon {
+namespace tgran {
+
+FixedGranularity::FixedGranularity(std::string name, int64_t period_seconds,
+                                   int64_t offset_seconds)
+    : name_(std::move(name)),
+      period_(period_seconds),
+      offset_(offset_seconds) {}
+
+std::optional<int64_t> FixedGranularity::GranuleOf(Instant t) const {
+  return FloorDiv(t - offset_, period_);
+}
+
+geo::TimeInterval FixedGranularity::GranuleInterval(int64_t index) const {
+  const Instant lo = offset_ + index * period_;
+  return geo::TimeInterval{lo, lo + period_ - 1};
+}
+
+WeekdaysGranularity::WeekdaysGranularity() : name_("weekdays") {}
+
+std::optional<int64_t> WeekdaysGranularity::GranuleOf(Instant t) const {
+  const int64_t day = DayIndex(t);
+  const int dow = static_cast<int>(FloorMod(day, 7));
+  if (dow >= 5) return std::nullopt;  // Saturday/Sunday: gap.
+  return FloorDiv(day, 7) * 5 + dow;
+}
+
+geo::TimeInterval WeekdaysGranularity::GranuleInterval(int64_t index) const {
+  const int64_t week = FloorDiv(index, 5);
+  const int64_t dow = FloorMod(index, 5);
+  const Instant lo = (week * 7 + dow) * kSecondsPerDay;
+  return geo::TimeInterval{lo, lo + kSecondsPerDay - 1};
+}
+
+SpecificWeekdayGranularity::SpecificWeekdayGranularity(int day_of_week)
+    : day_of_week_(day_of_week) {
+  static const char* const kNames[7] = {"mondays",   "tuesdays", "wednesdays",
+                                        "thursdays", "fridays",  "saturdays",
+                                        "sundays"};
+  name_ = kNames[day_of_week_ % 7];
+}
+
+std::optional<int64_t> SpecificWeekdayGranularity::GranuleOf(Instant t) const {
+  if (DayOfWeek(t) != day_of_week_) return std::nullopt;
+  return WeekIndex(t);
+}
+
+geo::TimeInterval SpecificWeekdayGranularity::GranuleInterval(
+    int64_t index) const {
+  const Instant lo = (index * 7 + day_of_week_) * kSecondsPerDay;
+  return geo::TimeInterval{lo, lo + kSecondsPerDay - 1};
+}
+
+MonthsGranularity::MonthsGranularity() : name_("month") {}
+
+std::optional<int64_t> MonthsGranularity::GranuleOf(Instant t) const {
+  return MonthIndex(t);
+}
+
+geo::TimeInterval MonthsGranularity::GranuleInterval(int64_t index) const {
+  return geo::TimeInterval{MonthStart(index), MonthStart(index + 1) - 1};
+}
+
+GroupedGranularity::GroupedGranularity(std::string name, GranularityPtr base,
+                                       int group_size)
+    : name_(std::move(name)), base_(std::move(base)), group_size_(group_size) {}
+
+std::optional<int64_t> GroupedGranularity::GranuleOf(Instant t) const {
+  const std::optional<int64_t> base_index = base_->GranuleOf(t);
+  if (!base_index.has_value()) return std::nullopt;
+  return FloorDiv(*base_index, group_size_);
+}
+
+geo::TimeInterval GroupedGranularity::GranuleInterval(int64_t index) const {
+  const geo::TimeInterval first =
+      base_->GranuleInterval(index * group_size_);
+  const geo::TimeInterval last =
+      base_->GranuleInterval(index * group_size_ + group_size_ - 1);
+  return geo::TimeInterval::Union(first, last);
+}
+
+GranularityRegistry GranularityRegistry::WithDefaults() {
+  GranularityRegistry registry;
+  auto add = [&registry](GranularityPtr g) {
+    // Default names are distinct; ignore the impossible-by-construction
+    // AlreadyExists outcome.
+    registry.Register(std::move(g)).ok();
+  };
+  add(std::make_shared<FixedGranularity>("minute", kSecondsPerMinute));
+  add(std::make_shared<FixedGranularity>("hour", kSecondsPerHour));
+  auto day = std::make_shared<FixedGranularity>("day", kSecondsPerDay);
+  add(day);
+  add(std::make_shared<FixedGranularity>("week", kSecondsPerWeek));
+  add(std::make_shared<MonthsGranularity>());
+  add(std::make_shared<WeekdaysGranularity>());
+  for (int dow = 0; dow < 7; ++dow) {
+    add(std::make_shared<SpecificWeekdayGranularity>(dow));
+  }
+  add(std::make_shared<GroupedGranularity>("daypair", day, 2));
+  return registry;
+}
+
+common::Status GranularityRegistry::Register(GranularityPtr granularity) {
+  const std::string& name = granularity->name();
+  if (by_name_.count(name) > 0) {
+    return common::Status::AlreadyExists("granularity '" + name +
+                                         "' already registered");
+  }
+  by_name_.emplace(name, std::move(granularity));
+  return common::Status::OK();
+}
+
+common::Result<GranularityPtr> GranularityRegistry::Find(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return common::Status::NotFound("no granularity named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> GranularityRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, granularity] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tgran
+}  // namespace histkanon

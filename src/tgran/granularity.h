@@ -1,0 +1,163 @@
+// Time granularities, after Bettini, Jajodia, Wang, "Time Granularities in
+// Databases, Data Mining, and Temporal Reasoning" (paper reference [3]).
+//
+// A granularity partitions part of the timeline into indexed granules
+// (e.g. days, weeks).  Granules may leave gaps (the "Weekdays" granularity
+// has no granule on weekends; "Mondays" has one granule per week).  LBQID
+// recurrence formulas (Definition 1) quantify over granules.
+
+#ifndef HISTKANON_SRC_TGRAN_GRANULARITY_H_
+#define HISTKANON_SRC_TGRAN_GRANULARITY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/geo/interval.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace tgran {
+
+/// \brief A time granularity: an indexed, non-overlapping, ordered family
+/// of granules (intervals) on the timeline, possibly with gaps.
+class Granularity {
+ public:
+  virtual ~Granularity() = default;
+
+  /// Canonical lower-case name ("day", "weekdays", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Index of the granule containing `t`, or nullopt if `t` falls in a gap.
+  virtual std::optional<int64_t> GranuleOf(Instant t) const = 0;
+
+  /// The closed interval spanned by granule `index`.
+  virtual geo::TimeInterval GranuleInterval(int64_t index) const = 0;
+
+  /// Approximate granule length in seconds (used for sizing heuristics).
+  virtual int64_t ApproximateGranuleSeconds() const = 0;
+};
+
+using GranularityPtr = std::shared_ptr<const Granularity>;
+
+/// \brief Granularity with granules of a fixed period and no gaps
+/// (minute, hour, day, week).
+class FixedGranularity : public Granularity {
+ public:
+  /// Granule i covers [offset + i*period, offset + (i+1)*period).
+  FixedGranularity(std::string name, int64_t period_seconds,
+                   int64_t offset_seconds = 0);
+
+  const std::string& name() const override { return name_; }
+  std::optional<int64_t> GranuleOf(Instant t) const override;
+  geo::TimeInterval GranuleInterval(int64_t index) const override;
+  int64_t ApproximateGranuleSeconds() const override { return period_; }
+
+ private:
+  std::string name_;
+  int64_t period_;
+  int64_t offset_;
+};
+
+/// \brief One granule per weekday (Mon-Fri), gaps on weekends; the
+/// granularity used by the paper's running example "3.Weekdays * 2.Weeks".
+class WeekdaysGranularity : public Granularity {
+ public:
+  WeekdaysGranularity();
+
+  const std::string& name() const override { return name_; }
+  std::optional<int64_t> GranuleOf(Instant t) const override;
+  geo::TimeInterval GranuleInterval(int64_t index) const override;
+  int64_t ApproximateGranuleSeconds() const override { return kSecondsPerDay; }
+
+ private:
+  std::string name_;
+};
+
+/// \brief One granule per occurrence of a specific weekday ("Mondays",
+/// "Tuesdays", ...), supporting patterns like "same weekday for at least
+/// 3 weeks" (Section 4).
+class SpecificWeekdayGranularity : public Granularity {
+ public:
+  /// `day_of_week`: 0 = Monday ... 6 = Sunday.
+  explicit SpecificWeekdayGranularity(int day_of_week);
+
+  const std::string& name() const override { return name_; }
+  std::optional<int64_t> GranuleOf(Instant t) const override;
+  geo::TimeInterval GranuleInterval(int64_t index) const override;
+  int64_t ApproximateGranuleSeconds() const override { return kSecondsPerDay; }
+
+ private:
+  std::string name_;
+  int day_of_week_;
+};
+
+/// \brief Civil-calendar months.
+class MonthsGranularity : public Granularity {
+ public:
+  MonthsGranularity();
+
+  const std::string& name() const override { return name_; }
+  std::optional<int64_t> GranuleOf(Instant t) const override;
+  geo::TimeInterval GranuleInterval(int64_t index) const override;
+  int64_t ApproximateGranuleSeconds() const override {
+    return 30 * kSecondsPerDay;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// \brief Groups `group_size` consecutive granules of a base granularity
+/// into one; e.g. GroupedGranularity(day, 2) gives the paper's "granule
+/// composed of 2 contiguous days" (Section 4).
+///
+/// Grouping is by base-granule index: base granules [i*g, (i+1)*g) form
+/// grouped granule i.
+class GroupedGranularity : public Granularity {
+ public:
+  GroupedGranularity(std::string name, GranularityPtr base, int group_size);
+
+  const std::string& name() const override { return name_; }
+  std::optional<int64_t> GranuleOf(Instant t) const override;
+  geo::TimeInterval GranuleInterval(int64_t index) const override;
+  int64_t ApproximateGranuleSeconds() const override {
+    return base_->ApproximateGranuleSeconds() * group_size_;
+  }
+
+ private:
+  std::string name_;
+  GranularityPtr base_;
+  int group_size_;
+};
+
+/// \brief Name -> granularity lookup; the TS resolves recurrence formulas
+/// ("3.weekdays * 2.week") against a registry.
+class GranularityRegistry {
+ public:
+  /// Registry pre-populated with: minute, hour, day, week, month, weekdays,
+  /// mondays..sundays, daypair (2 contiguous days).
+  static GranularityRegistry WithDefaults();
+
+  /// Registers `granularity` under its name.  Fails with AlreadyExists if
+  /// the name is taken.
+  common::Status Register(GranularityPtr granularity);
+
+  /// Looks a granularity up by name (case-sensitive).
+  common::Result<GranularityPtr> Find(const std::string& name) const;
+
+  /// Names of all registered granularities, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, GranularityPtr> by_name_;
+};
+
+}  // namespace tgran
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TGRAN_GRANULARITY_H_

@@ -1,0 +1,145 @@
+#include "src/tgran/recurrence.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace tgran {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Representative instants of the granules (of `granularity`) that contain
+// at least `min_per_granule` of the given instants, counting each granule
+// once.  Instants falling in gaps are ignored.
+std::vector<Instant> GroupByGranule(const std::vector<Instant>& instants,
+                                    const Granularity& granularity,
+                                    int min_per_granule) {
+  std::map<int64_t, std::set<Instant>> per_granule;
+  for (const Instant t : instants) {
+    const std::optional<int64_t> granule = granularity.GranuleOf(t);
+    if (granule.has_value()) per_granule[*granule].insert(t);
+  }
+  std::vector<Instant> representatives;
+  for (const auto& [granule, members] : per_granule) {
+    if (static_cast<int>(members.size()) >= min_per_granule) {
+      representatives.push_back(granularity.GranuleInterval(granule).lo);
+    }
+  }
+  return representatives;
+}
+
+}  // namespace
+
+common::Result<Recurrence> Recurrence::Create(
+    std::vector<RecurrenceTerm> terms) {
+  for (const RecurrenceTerm& term : terms) {
+    if (term.count <= 0) {
+      return common::Status::InvalidArgument(
+          common::Format("recurrence count must be positive; got %d",
+                         term.count));
+    }
+    if (term.granularity == nullptr) {
+      return common::Status::InvalidArgument(
+          "recurrence term has null granularity");
+    }
+  }
+  return Recurrence(std::move(terms));
+}
+
+common::Result<Recurrence> Recurrence::Parse(
+    const std::string& text, const GranularityRegistry& registry) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty() || trimmed == "1.") return Recurrence();
+
+  std::vector<RecurrenceTerm> terms;
+  size_t pos = 0;
+  while (pos <= trimmed.size()) {
+    size_t star = trimmed.find('*', pos);
+    const std::string piece =
+        Trim(trimmed.substr(pos, (star == std::string::npos ? trimmed.size()
+                                                            : star) -
+                                     pos));
+    if (piece.empty()) {
+      return common::Status::InvalidArgument("empty recurrence term in '" +
+                                             text + "'");
+    }
+    const size_t dot = piece.find('.');
+    if (dot == std::string::npos) {
+      return common::Status::InvalidArgument(
+          "recurrence term '" + piece + "' is not of the form r.G");
+    }
+    const std::string count_text = Trim(piece.substr(0, dot));
+    const std::string name = Trim(piece.substr(dot + 1));
+    char* end = nullptr;
+    const long count = std::strtol(count_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || count <= 0) {
+      return common::Status::InvalidArgument(
+          "recurrence count '" + count_text + "' is not a positive integer");
+    }
+    HISTKANON_ASSIGN_OR_RETURN(GranularityPtr granularity,
+                               registry.Find(name));
+    terms.push_back(
+        RecurrenceTerm{static_cast<int>(count), std::move(granularity)});
+    if (star == std::string::npos) break;
+    pos = star + 1;
+  }
+  return Create(std::move(terms));
+}
+
+bool Recurrence::IsSatisfiedBy(
+    const std::vector<Instant>& observation_times) const {
+  return SatisfiedLevels(observation_times) ==
+         static_cast<int>(terms_.size()) &&
+         !observation_times.empty();
+}
+
+int Recurrence::SatisfiedLevels(
+    const std::vector<Instant>& observation_times) const {
+  if (terms_.empty() || observation_times.empty()) return 0;
+
+  // Level-0 units: distinct granules of G1 containing an observation.
+  std::vector<Instant> units =
+      GroupByGranule(observation_times, *terms_[0].granularity, 1);
+  int satisfied = 0;
+  for (size_t i = 1; i < terms_.size(); ++i) {
+    // r_i units of level i-1 within one granule of G_{i+1}.
+    std::vector<Instant> next =
+        GroupByGranule(units, *terms_[i].granularity, terms_[i - 1].count);
+    if (next.empty()) return satisfied;
+    ++satisfied;
+    units = std::move(next);
+  }
+  if (static_cast<int>(units.size()) >= terms_.back().count) ++satisfied;
+  return satisfied;
+}
+
+int64_t Recurrence::MinimumObservations() const {
+  int64_t product = 1;
+  for (const RecurrenceTerm& term : terms_) product *= term.count;
+  return product;
+}
+
+std::string Recurrence::ToString() const {
+  if (terms_.empty()) return "1.";
+  std::vector<std::string> parts;
+  parts.reserve(terms_.size());
+  for (const RecurrenceTerm& term : terms_) {
+    parts.push_back(
+        common::Format("%d.%s", term.count, term.granularity->name().c_str()));
+  }
+  return common::Join(parts, " * ");
+}
+
+}  // namespace tgran
+}  // namespace histkanon

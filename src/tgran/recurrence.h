@@ -1,0 +1,79 @@
+// Recurrence formulas "r1.G1 * r2.G2 * ... * rn.Gn" (Definition 1).
+//
+// Semantics (Section 4): each completed observation of the LBQID's element
+// sequence must fall within a single granule of G1; at least r1 such
+// observations (in distinct G1 granules) must fall within one granule of
+// G2, forming a level-1 occurrence; at least r2 level-1 occurrences within
+// one granule of G3; ...; finally at least rn level-(n-1) occurrences
+// overall.  An empty formula is equivalent to "1." (one observation, any
+// time).
+
+#ifndef HISTKANON_SRC_TGRAN_RECURRENCE_H_
+#define HISTKANON_SRC_TGRAN_RECURRENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/tgran/granularity.h"
+
+namespace histkanon {
+namespace tgran {
+
+/// \brief One "r.G" term of a recurrence formula.
+struct RecurrenceTerm {
+  int count = 1;  ///< r: minimum number of occurrences (positive).
+  GranularityPtr granularity;  ///< G: the granularity grouping them.
+};
+
+/// \brief A full recurrence formula.
+class Recurrence {
+ public:
+  /// The empty formula ("1.": a single observation suffices).
+  Recurrence() = default;
+
+  /// Builds a formula from terms; every count must be positive.
+  static common::Result<Recurrence> Create(std::vector<RecurrenceTerm> terms);
+
+  /// Parses "3.weekdays * 2.week" against a registry.  Whitespace around
+  /// '*' and '.' separators is ignored.
+  static common::Result<Recurrence> Parse(const std::string& text,
+                                          const GranularityRegistry& registry);
+
+  const std::vector<RecurrenceTerm>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  /// The innermost granularity G1 (null for the empty formula).  The LBQID
+  /// matcher constrains each sequence observation to one granule of G1.
+  GranularityPtr InnermostGranularity() const {
+    return terms_.empty() ? nullptr : terms_.front().granularity;
+  }
+
+  /// True iff `observation_times` — the completion instants of the
+  /// element-sequence observations — satisfy this formula.
+  bool IsSatisfiedBy(const std::vector<Instant>& observation_times) const;
+
+  /// Number of satisfied levels [0, terms().size()]: level i is satisfied
+  /// when at least one granule of G(i+2) holds r(i+1) level-i occurrences
+  /// (with level -1 = raw observations).  Full satisfaction equals
+  /// terms().size().  Used for progress reporting.
+  int SatisfiedLevels(const std::vector<Instant>& observation_times) const;
+
+  /// Minimum number of sequence observations any satisfying history needs:
+  /// the product of all counts (1 for the empty formula).
+  int64_t MinimumObservations() const;
+
+  /// "3.weekdays * 2.week" rendering ("1." when empty).
+  std::string ToString() const;
+
+ private:
+  explicit Recurrence(std::vector<RecurrenceTerm> terms)
+      : terms_(std::move(terms)) {}
+
+  std::vector<RecurrenceTerm> terms_;
+};
+
+}  // namespace tgran
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TGRAN_RECURRENCE_H_

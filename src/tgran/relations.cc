@@ -1,0 +1,73 @@
+#include "src/tgran/relations.h"
+
+#include <optional>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace tgran {
+
+namespace {
+
+// Distinct granule indices of `granularity` with an instant in the horizon.
+std::set<int64_t> GranulesInHorizon(const Granularity& granularity,
+                                    const RelationCheckOptions& options) {
+  std::set<int64_t> granules;
+  for (geo::Instant t = options.horizon.lo; t <= options.horizon.hi;
+       t += options.probe_step) {
+    const std::optional<int64_t> granule = granularity.GranuleOf(t);
+    if (granule.has_value()) granules.insert(*granule);
+  }
+  return granules;
+}
+
+}  // namespace
+
+bool GroupsInto(const Granularity& fine, const Granularity& coarse,
+                const RelationCheckOptions& options) {
+  for (const int64_t granule : GranulesInHorizon(fine, options)) {
+    const geo::TimeInterval span = fine.GranuleInterval(granule);
+    // Both endpoints of the fine granule must fall in the SAME coarse
+    // granule (and not in gaps).
+    const std::optional<int64_t> at_lo = coarse.GranuleOf(span.lo);
+    const std::optional<int64_t> at_hi = coarse.GranuleOf(span.hi);
+    if (!at_lo.has_value() || !at_hi.has_value() || *at_lo != *at_hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FinerThan(const Granularity& fine, const Granularity& coarse,
+               const RelationCheckOptions& options) {
+  if (!GroupsInto(fine, coarse, options)) return false;
+  for (geo::Instant t = options.horizon.lo; t <= options.horizon.hi;
+       t += options.probe_step) {
+    if (fine.GranuleOf(t).has_value() && !coarse.GranuleOf(t).has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+common::Status ValidateRecurrence(const Recurrence& recurrence,
+                                  const RelationCheckOptions& options) {
+  const auto& terms = recurrence.terms();
+  for (size_t i = 0; i + 1 < terms.size(); ++i) {
+    if (!GroupsInto(*terms[i].granularity, *terms[i + 1].granularity,
+                    options)) {
+      return common::Status::InvalidArgument(common::Format(
+          "recurrence term %zu: granularity '%s' does not group into '%s' "
+          "(each %s granule must lie within one %s granule)",
+          i + 1, terms[i].granularity->name().c_str(),
+          terms[i + 1].granularity->name().c_str(),
+          terms[i].granularity->name().c_str(),
+          terms[i + 1].granularity->name().c_str()));
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace tgran
+}  // namespace histkanon

@@ -1,0 +1,52 @@
+// Granularity relationships, after the "Time Granularities" framework the
+// paper builds on (reference [3]): groups-into and finer-than checks, and
+// recurrence-formula validation built on them.
+//
+// Granularities here can be arbitrary user types, so the relations are
+// verified empirically over a finite horizon rather than symbolically:
+// the checks are sound over the horizon and reported as such.
+
+#ifndef HISTKANON_SRC_TGRAN_RELATIONS_H_
+#define HISTKANON_SRC_TGRAN_RELATIONS_H_
+
+#include "src/common/status.h"
+#include "src/geo/interval.h"
+#include "src/tgran/granularity.h"
+#include "src/tgran/recurrence.h"
+
+namespace histkanon {
+namespace tgran {
+
+/// \brief Horizon over which relations are verified.
+struct RelationCheckOptions {
+  /// Timeline range examined.
+  geo::TimeInterval horizon{0, 56 * kSecondsPerDay};  // 8 weeks.
+  /// Probe step within each granule (seconds).
+  int64_t probe_step = kSecondsPerHour;
+};
+
+/// \brief True iff, over the horizon, every granule of `fine` lies inside
+/// a single granule of `coarse` ("fine groups into coarse"): e.g. weekdays
+/// group into weeks, days group into months, but weeks do NOT group into
+/// months.
+bool GroupsInto(const Granularity& fine, const Granularity& coarse,
+                const RelationCheckOptions& options = RelationCheckOptions());
+
+/// \brief True iff, over the horizon, every instant covered by `fine` is
+/// also covered by `coarse` AND GroupsInto(fine, coarse) holds — the
+/// "finer-than" partial order of [3] restricted to the horizon.
+bool FinerThan(const Granularity& fine, const Granularity& coarse,
+               const RelationCheckOptions& options = RelationCheckOptions());
+
+/// \brief Validates a recurrence formula's granularity chain: each G(i+1)
+/// must be coarser than G(i) in the GroupsInto sense, otherwise the
+/// formula's semantics ("r_i occurrences within one granule of G(i+1)")
+/// degenerate.  Returns InvalidArgument naming the offending pair.
+common::Status ValidateRecurrence(
+    const Recurrence& recurrence,
+    const RelationCheckOptions& options = RelationCheckOptions());
+
+}  // namespace tgran
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TGRAN_RELATIONS_H_

@@ -1,0 +1,68 @@
+#include "src/tgran/unanchored.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace tgran {
+
+common::Result<UTimeInterval> UTimeInterval::Create(int64_t begin_second_of_day,
+                                                    int64_t end_second_of_day) {
+  if (begin_second_of_day < 0 || begin_second_of_day >= kSecondsPerDay ||
+      end_second_of_day < 0 || end_second_of_day >= kSecondsPerDay) {
+    return common::Status::InvalidArgument(
+        common::Format("U-TimeInterval bounds must be in [0, 86400); got "
+                       "[%lld, %lld]",
+                       static_cast<long long>(begin_second_of_day),
+                       static_cast<long long>(end_second_of_day)));
+  }
+  return UTimeInterval(begin_second_of_day, end_second_of_day);
+}
+
+common::Result<UTimeInterval> UTimeInterval::FromHours(int begin_hour,
+                                                       int end_hour) {
+  if (begin_hour < 0 || begin_hour >= 24 || end_hour < 0 || end_hour >= 24) {
+    return common::Status::InvalidArgument(
+        common::Format("hours must be in [0, 24); got [%d, %d]", begin_hour,
+                       end_hour));
+  }
+  return Create(begin_hour * kSecondsPerHour, end_hour * kSecondsPerHour);
+}
+
+bool UTimeInterval::Contains(Instant t) const {
+  const int64_t sod = SecondOfDay(t);
+  if (!wraps_midnight()) return sod >= begin_ && sod <= end_;
+  return sod >= begin_ || sod <= end_;
+}
+
+geo::TimeInterval UTimeInterval::AnchoredOnDay(int64_t day_index) const {
+  const Instant day_start = day_index * kSecondsPerDay;
+  const Instant lo = day_start + begin_;
+  const Instant hi =
+      wraps_midnight() ? day_start + kSecondsPerDay + end_ : day_start + end_;
+  return geo::TimeInterval{lo, hi};
+}
+
+geo::TimeInterval UTimeInterval::AnchoredInstanceContaining(Instant t) const {
+  int64_t day = DayIndex(t);
+  if (wraps_midnight() && SecondOfDay(t) <= end_) {
+    // In the after-midnight tail: the instance started the previous day.
+    --day;
+  }
+  return AnchoredOnDay(day);
+}
+
+int64_t UTimeInterval::Length() const {
+  if (!wraps_midnight()) return end_ - begin_;
+  return kSecondsPerDay - begin_ + end_;
+}
+
+std::string UTimeInterval::ToString() const {
+  auto hm = [](int64_t sod) {
+    return common::Format("%02lld:%02lld", static_cast<long long>(sod / 3600),
+                          static_cast<long long>((sod % 3600) / 60));
+  };
+  return "[" + hm(begin_) + ", " + hm(end_) + "]";
+}
+
+}  // namespace tgran
+}  // namespace histkanon

@@ -1,0 +1,68 @@
+// Unanchored time intervals: the `U-TimeInterval` of LBQID elements
+// (Definition 1).  "[7am, 9am]" denotes the two-hour span in *every* day,
+// i.e. an infinite family of anchored intervals, one per day.
+
+#ifndef HISTKANON_SRC_TGRAN_UNANCHORED_H_
+#define HISTKANON_SRC_TGRAN_UNANCHORED_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/geo/interval.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace tgran {
+
+/// \brief A daily-recurring interval given by seconds-of-day bounds.
+///
+/// If end < begin the interval wraps past midnight (e.g. [10pm, 2am]); the
+/// anchored instance is then attributed to the day it starts in.
+class UTimeInterval {
+ public:
+  UTimeInterval() = default;
+
+  /// Constructs from seconds-of-day bounds; both must lie in [0, 86400).
+  static common::Result<UTimeInterval> Create(int64_t begin_second_of_day,
+                                              int64_t end_second_of_day);
+
+  /// Convenience constructor from whole hours, e.g. FromHours(7, 9) is
+  /// [7am, 9am].  Hours must lie in [0, 24); equal hours give a degenerate
+  /// one-instant interval.
+  static common::Result<UTimeInterval> FromHours(int begin_hour, int end_hour);
+
+  int64_t begin_second_of_day() const { return begin_; }
+  int64_t end_second_of_day() const { return end_; }
+  bool wraps_midnight() const { return end_ < begin_; }
+
+  /// True iff `t` falls inside some anchored instance of this interval.
+  bool Contains(Instant t) const;
+
+  /// The anchored instance starting on day `day_index`
+  /// (closed; extends into day_index+1 when wrapping).
+  geo::TimeInterval AnchoredOnDay(int64_t day_index) const;
+
+  /// The anchored instance containing `t`; requires Contains(t).
+  geo::TimeInterval AnchoredInstanceContaining(Instant t) const;
+
+  /// Total length of one instance, in seconds.
+  int64_t Length() const;
+
+  /// "[07:00, 09:00]" style rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const UTimeInterval& a, const UTimeInterval& b) {
+    return a.begin_ == b.begin_ && a.end_ == b.end_;
+  }
+
+ private:
+  UTimeInterval(int64_t begin, int64_t end) : begin_(begin), end_(end) {}
+
+  int64_t begin_ = 0;
+  int64_t end_ = 0;
+};
+
+}  // namespace tgran
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TGRAN_UNANCHORED_H_

@@ -1,0 +1,193 @@
+#include "src/ts/adversary.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace ts {
+
+namespace {
+
+// Union-find over dense ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Adversary::Adversary(const sim::World* world, AdversaryOptions options)
+    : world_(world), options_(options), tracker_(options.tracker) {
+  if (tracker_ == nullptr) {
+    tracker_ = std::make_shared<anon::ProximityLinker>(options_.tracking);
+  }
+}
+
+std::vector<std::vector<mod::Pseudonym>> Adversary::LinkPseudonyms(
+    const std::vector<anon::ForwardedRequest>& log) const {
+  // Per-pseudonym trace boundaries: its first and last request in time.
+  // A pseudonym CHANGE leaves a signature the tracker can exploit — one
+  // pseudonym's stream ends where another's begins — so the adversary
+  // tries to stitch trace tails to trace heads.  Transitive closure over
+  // arbitrary co-located requests would merge unrelated users, so a stitch
+  // is committed only when it is kinematically plausible AND unambiguous
+  // (exactly one plausible successor for the tail and one plausible
+  // predecessor for the head): this is exactly the ambiguity a mix-zone
+  // manufactures.
+  std::map<mod::Pseudonym, size_t> ids;
+  std::vector<const anon::ForwardedRequest*> first;
+  std::vector<const anon::ForwardedRequest*> last;
+  std::vector<mod::Pseudonym> names;
+  for (const anon::ForwardedRequest& request : log) {
+    const auto [it, inserted] = ids.emplace(request.pseudonym, ids.size());
+    if (inserted) {
+      first.push_back(&request);
+      last.push_back(&request);
+      names.push_back(request.pseudonym);
+      continue;
+    }
+    const size_t id = it->second;
+    if (request.context.time.lo < first[id]->context.time.lo) {
+      first[id] = &request;
+    }
+    if (request.context.time.hi > last[id]->context.time.hi) {
+      last[id] = &request;
+    }
+  }
+
+  const size_t n = ids.size();
+  // Candidate stitches: tail of A -> head of B.
+  std::vector<std::vector<size_t>> successors(n);
+  std::vector<std::vector<size_t>> predecessors(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const int64_t gap =
+          first[b]->context.time.lo - last[a]->context.time.hi;
+      if (gap <= 0 || gap > options_.tracking.max_time_gap) continue;
+      const std::optional<double> likelihood =
+          tracker_->Link(*last[a], *first[b]);
+      if (likelihood.has_value() && *likelihood >= options_.theta) {
+        successors[a].push_back(b);
+        predecessors[b].push_back(a);
+      }
+    }
+  }
+
+  UnionFind groups(n);
+  for (size_t a = 0; a < n; ++a) {
+    if (successors[a].size() != 1) continue;  // Ambiguous or none.
+    const size_t b = successors[a].front();
+    if (predecessors[b].size() != 1) continue;  // Contested head.
+    groups.Union(a, b);
+  }
+
+  std::map<size_t, std::vector<mod::Pseudonym>> by_root;
+  for (size_t id = 0; id < n; ++id) {
+    by_root[groups.Find(id)].push_back(names[id]);
+  }
+  std::vector<std::vector<mod::Pseudonym>> traces;
+  traces.reserve(by_root.size());
+  for (auto& [root, pseudonyms] : by_root) {
+    traces.push_back(std::move(pseudonyms));
+  }
+  return traces;
+}
+
+std::vector<Identification> Adversary::Attack(
+    const std::vector<anon::ForwardedRequest>& log) const {
+  std::vector<Identification> identifications;
+  const std::vector<std::vector<mod::Pseudonym>> traces = LinkPseudonyms(log);
+
+  // Requests per pseudonym.
+  std::map<mod::Pseudonym, std::vector<const anon::ForwardedRequest*>>
+      by_pseudonym;
+  for (const anon::ForwardedRequest& request : log) {
+    by_pseudonym[request.pseudonym].push_back(&request);
+  }
+
+  for (const std::vector<mod::Pseudonym>& trace : traces) {
+    Identification identification;
+    identification.pseudonyms = trace;
+
+    // Home evidence: small-area contexts at home hours.
+    std::vector<geo::Point> evidence_points;
+    size_t trace_size = 0;
+    for (const mod::Pseudonym& pseudonym : trace) {
+      for (const anon::ForwardedRequest* request : by_pseudonym[pseudonym]) {
+        ++trace_size;
+        const geo::Rect& area = request->context.area;
+        if (area.Width() > options_.max_home_area_extent ||
+            area.Height() > options_.max_home_area_extent) {
+          continue;
+        }
+        const int64_t sod =
+            tgran::SecondOfDay(request->context.time.Center());
+        if (sod >= options_.home_morning_end &&
+            sod < options_.home_evening_start) {
+          continue;
+        }
+        evidence_points.push_back(area.Center());
+      }
+    }
+    identification.trace_size = trace_size;
+    if (evidence_points.size() < options_.min_home_evidence) continue;
+
+    // The densest evidence cluster is the home guess: home-hour requests
+    // from elsewhere (early office arrivals, errands) would otherwise
+    // contaminate a global centroid.  For each point, gather the evidence
+    // within twice the lookup radius; keep the largest such cluster.
+    const double cluster_radius = 2.0 * options_.home_lookup_radius;
+    size_t best_count = 0;
+    geo::Point best_centroid{0, 0};
+    for (const geo::Point& seed : evidence_points) {
+      double sum_x = 0.0;
+      double sum_y = 0.0;
+      size_t count = 0;
+      for (const geo::Point& other : evidence_points) {
+        if (geo::Distance(seed, other) > cluster_radius) continue;
+        sum_x += other.x;
+        sum_y += other.y;
+        ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_centroid = geo::Point{sum_x / static_cast<double>(count),
+                                   sum_y / static_cast<double>(count)};
+      }
+    }
+    identification.evidence = best_count;
+    if (best_count < options_.min_home_evidence) continue;
+
+    const std::optional<mod::UserId> resident =
+        world_->LookupResidentNear(best_centroid,
+                                   options_.home_lookup_radius);
+    if (!resident.has_value()) continue;
+    identification.claimed_user = *resident;
+    identifications.push_back(std::move(identification));
+  }
+  return identifications;
+}
+
+}  // namespace ts
+}  // namespace histkanon

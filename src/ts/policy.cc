@@ -1,0 +1,21 @@
+#include "src/ts/policy.h"
+
+namespace histkanon {
+namespace ts {
+
+std::string_view PrivacyConcernToString(PrivacyConcern concern) {
+  switch (concern) {
+    case PrivacyConcern::kOff:
+      return "off";
+    case PrivacyConcern::kLow:
+      return "low";
+    case PrivacyConcern::kMedium:
+      return "medium";
+    case PrivacyConcern::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+}  // namespace ts
+}  // namespace histkanon

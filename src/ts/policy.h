@@ -1,0 +1,77 @@
+// User privacy policies: "Users can turn on and off a privacy protecting
+// system which has a simplified user interface with qualitative degrees of
+// concern: low, medium, high ... Qualitative privacy preferences provided
+// by each user are translated by the TS into specific parameters"
+// (Section 3).  "The two main parameters defining a level of privacy
+// concern in our framework are k, the anonymity value, and Theta, the
+// linkability likelihood" (Section 5.3).
+
+#ifndef HISTKANON_SRC_TS_POLICY_H_
+#define HISTKANON_SRC_TS_POLICY_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "src/anon/kschedule.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief The qualitative dial the user sees.
+enum class PrivacyConcern { kOff, kLow, kMedium, kHigh };
+
+/// Canonical lower-case name of a concern level.
+std::string_view PrivacyConcernToString(PrivacyConcern concern);
+
+/// \brief The quantitative policy the TS enforces.
+struct PrivacyPolicy {
+  PrivacyConcern concern = PrivacyConcern::kMedium;
+  /// Historical k-anonymity parameter (ignored when concern is kOff).
+  size_t k = 5;
+  /// Unlinking likelihood threshold Theta.
+  double theta = 0.5;
+  /// Anchor schedule (Section 6.2's k' heuristic).
+  anon::KSchedule k_schedule;
+  /// Multiplier on the minimum context extents for NON-LBQID requests.
+  /// Extension beyond the paper's Algorithm 1 (whose scope is LBQID
+  /// matches): Section 7 notes that inference attacks on the remaining
+  /// requests are an open issue — a precise home-hour context still feeds
+  /// the Section-1 phone-book attack, so higher concern levels blur every
+  /// context (still clipped to the service tolerance).
+  double default_context_scale = 1.0;
+
+  /// TS translation of the qualitative dial.
+  static PrivacyPolicy FromConcern(PrivacyConcern concern) {
+    PrivacyPolicy policy;
+    policy.concern = concern;
+    switch (concern) {
+      case PrivacyConcern::kOff:
+        policy.k = 1;
+        policy.theta = 1.0;
+        break;
+      case PrivacyConcern::kLow:
+        policy.k = 3;
+        policy.theta = 0.8;
+        policy.default_context_scale = 3.0;
+        break;
+      case PrivacyConcern::kMedium:
+        policy.k = 5;
+        policy.theta = 0.5;
+        policy.k_schedule = anon::KSchedule{1.5, 1};
+        policy.default_context_scale = 5.0;
+        break;
+      case PrivacyConcern::kHigh:
+        policy.k = 10;
+        policy.theta = 0.3;
+        policy.k_schedule = anon::KSchedule{2.0, 2};
+        policy.default_context_scale = 10.0;
+        break;
+    }
+    return policy;
+  }
+};
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_POLICY_H_

@@ -1,0 +1,199 @@
+#include "src/ts/policy_rules.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/str.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace ts {
+
+namespace {
+
+// Parses "HH:MM" into seconds of day; nullopt on malformed input.
+std::optional<int64_t> ParseHhMm(const std::string& text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const long hours = std::strtol(text.substr(0, colon).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  end = nullptr;
+  const long minutes = std::strtol(text.substr(colon + 1).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  if (hours < 0 || hours >= 24 || minutes < 0 || minutes >= 60) {
+    return std::nullopt;
+  }
+  return hours * 3600 + minutes * 60;
+}
+
+common::Result<PrivacyPolicy> ParseConcern(const std::string& value) {
+  if (value == "off") return PrivacyPolicy::FromConcern(PrivacyConcern::kOff);
+  if (value == "low") return PrivacyPolicy::FromConcern(PrivacyConcern::kLow);
+  if (value == "medium") {
+    return PrivacyPolicy::FromConcern(PrivacyConcern::kMedium);
+  }
+  if (value == "high") {
+    return PrivacyPolicy::FromConcern(PrivacyConcern::kHigh);
+  }
+  return common::Status::InvalidArgument("unknown concern '" + value + "'");
+}
+
+}  // namespace
+
+bool PolicyRule::Matches(mod::ServiceId request_service,
+                         geo::Instant t) const {
+  if (service.has_value() && *service != request_service) return false;
+  if (window.has_value() && !window->Contains(t)) return false;
+  if (weekdays_only.has_value()) {
+    const bool weekday = tgran::DayOfWeek(t) < 5;
+    if (weekday != *weekdays_only) return false;
+  }
+  return true;
+}
+
+common::Result<PolicyRuleSet> PolicyRuleSet::Parse(const std::string& text) {
+  PolicyRuleSet rule_set(PrivacyPolicy::FromConcern(PrivacyConcern::kMedium));
+  bool saw_default = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream clauses(line);
+    std::string clause;
+    PolicyRule rule;
+    bool is_default = false;
+    bool any_clause = false;
+    bool ok = true;
+    std::string error;
+    while (clauses >> clause) {
+      any_clause = true;
+      const size_t eq = clause.find('=');
+      const std::string key =
+          eq == std::string::npos ? clause : clause.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? "" : clause.substr(eq + 1);
+      if (key == "default") {
+        is_default = true;
+      } else if (key == "weekday") {
+        rule.weekdays_only = true;
+      } else if (key == "weekend") {
+        rule.weekdays_only = false;
+      } else if (key == "service") {
+        rule.service = static_cast<mod::ServiceId>(std::atoi(value.c_str()));
+      } else if (key == "time") {
+        // "[HH:MM,HH:MM]"
+        if (value.size() < 2 || value.front() != '[' || value.back() != ']') {
+          ok = false;
+          error = "time window must look like [HH:MM,HH:MM]";
+          break;
+        }
+        const std::string inner = value.substr(1, value.size() - 2);
+        const size_t comma = inner.find(',');
+        if (comma == std::string::npos) {
+          ok = false;
+          error = "time window needs a comma";
+          break;
+        }
+        const auto begin = ParseHhMm(inner.substr(0, comma));
+        const auto end = ParseHhMm(inner.substr(comma + 1));
+        if (!begin.has_value() || !end.has_value()) {
+          ok = false;
+          error = "malformed HH:MM in time window";
+          break;
+        }
+        auto window = tgran::UTimeInterval::Create(*begin, *end);
+        if (!window.ok()) {
+          ok = false;
+          error = window.status().message();
+          break;
+        }
+        rule.window = *window;
+      } else if (key == "concern") {
+        auto policy = ParseConcern(value);
+        if (!policy.ok()) {
+          ok = false;
+          error = policy.status().message();
+          break;
+        }
+        rule.policy = *policy;
+      } else if (key == "k") {
+        const int k = std::atoi(value.c_str());
+        if (k <= 0) {
+          ok = false;
+          error = "k must be positive";
+          break;
+        }
+        rule.policy.k = static_cast<size_t>(k);
+      } else if (key == "theta") {
+        rule.policy.theta = std::atof(value.c_str());
+        if (rule.policy.theta < 0.0 || rule.policy.theta > 1.0) {
+          ok = false;
+          error = "theta must be in [0,1]";
+          break;
+        }
+      } else if (key == "kprime") {
+        // "<factor>/<decrement>"
+        const size_t slash = value.find('/');
+        if (slash == std::string::npos) {
+          ok = false;
+          error = "kprime must look like <factor>/<decrement>";
+          break;
+        }
+        rule.policy.k_schedule.initial_factor =
+            std::atof(value.substr(0, slash).c_str());
+        rule.policy.k_schedule.decrement_per_step = static_cast<size_t>(
+            std::atoi(value.substr(slash + 1).c_str()));
+      } else if (key == "scale") {
+        rule.policy.default_context_scale = std::atof(value.c_str());
+        if (rule.policy.default_context_scale < 1.0) {
+          ok = false;
+          error = "scale must be >= 1";
+          break;
+        }
+      } else {
+        ok = false;
+        error = "unknown clause '" + clause + "'";
+        break;
+      }
+    }
+    if (!ok) {
+      return common::Status::InvalidArgument(common::Format(
+          "rule line %zu: %s", line_number, error.c_str()));
+    }
+    if (!any_clause) continue;  // Blank / comment-only line.
+    if (is_default) {
+      if (saw_default) {
+        return common::Status::InvalidArgument(common::Format(
+            "rule line %zu: multiple default rules", line_number));
+      }
+      if (rule.service.has_value() || rule.window.has_value() ||
+          rule.weekdays_only.has_value()) {
+        return common::Status::InvalidArgument(common::Format(
+            "rule line %zu: the default rule cannot have guards",
+            line_number));
+      }
+      saw_default = true;
+      rule_set.fallback_ = rule.policy;
+      continue;
+    }
+    rule_set.rules_.push_back(std::move(rule));
+  }
+  return rule_set;
+}
+
+const PrivacyPolicy& PolicyRuleSet::PolicyFor(mod::ServiceId service,
+                                              geo::Instant t) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.Matches(service, t)) return rule.policy;
+  }
+  return fallback_;
+}
+
+}  // namespace ts
+}  // namespace histkanon

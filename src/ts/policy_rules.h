@@ -1,0 +1,80 @@
+// Rule-based privacy policies (paper Section 3: "More expert users can
+// have access to more involved rule-based policy specifications", and "The
+// user choice may be applied uniformly to all services or selectively").
+//
+// A rule set is an ordered list of rules; each rule has a guard (service
+// match, time-of-day window, weekday/weekend) and a policy.  The first
+// matching rule wins; a mandatory fallback policy applies otherwise.
+//
+// Text syntax, one rule per line (';'-separated clauses, '#' comments):
+//
+//   service=2 time=[22:00,06:00] concern=high
+//   weekend concern=low k=2
+//   time=[07:00,09:30] k=8 theta=0.4
+//   default concern=medium
+//
+// Recognized clauses: `service=<id>`, `time=[HH:MM,HH:MM]` (may wrap
+// midnight), `weekday`, `weekend`, `default` (marks the fallback rule),
+// `concern=<off|low|medium|high>`, `k=<n>`, `theta=<x>`,
+// `kprime=<factor>/<decrement>`, `scale=<x>`.  `concern=` seeds the policy
+// via PrivacyPolicy::FromConcern; later clauses override fields.
+
+#ifndef HISTKANON_SRC_TS_POLICY_RULES_H_
+#define HISTKANON_SRC_TS_POLICY_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mod/types.h"
+#include "src/tgran/unanchored.h"
+#include "src/ts/policy.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief One policy rule: guard + policy.
+struct PolicyRule {
+  /// Applies only to this service (nullopt: any service).
+  std::optional<mod::ServiceId> service;
+  /// Applies only inside this daily window (nullopt: any time).
+  std::optional<tgran::UTimeInterval> window;
+  /// Day filter: nullopt = any day; true = weekdays only; false = weekends.
+  std::optional<bool> weekdays_only;
+  /// The policy applied when the guard matches.
+  PrivacyPolicy policy;
+
+  /// True iff the guard accepts a request for `service` at instant `t`.
+  bool Matches(mod::ServiceId request_service, geo::Instant t) const;
+};
+
+/// \brief An ordered, first-match rule set with a fallback.
+class PolicyRuleSet {
+ public:
+  /// A rule set whose fallback is `fallback` and with no rules.
+  explicit PolicyRuleSet(PrivacyPolicy fallback) : fallback_(fallback) {}
+
+  /// Parses the text syntax above.  Exactly zero or one `default` rule is
+  /// allowed; without one the fallback is kMedium.
+  static common::Result<PolicyRuleSet> Parse(const std::string& text);
+
+  /// Appends a rule (evaluated after all earlier rules).
+  void AddRule(PolicyRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// The policy for a request: first matching rule, else the fallback.
+  const PrivacyPolicy& PolicyFor(mod::ServiceId service,
+                                 geo::Instant t) const;
+
+  const std::vector<PolicyRule>& rules() const { return rules_; }
+  const PrivacyPolicy& fallback() const { return fallback_; }
+
+ private:
+  std::vector<PolicyRule> rules_;
+  PrivacyPolicy fallback_;
+};
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_POLICY_RULES_H_

@@ -1,0 +1,47 @@
+#include "src/ts/service_provider.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace ts {
+
+ServiceReply ServiceProvider::Handle(const anon::ForwardedRequest& request) {
+  log_.push_back(request);
+
+  ServiceReply reply;
+  reply.msgid = request.msgid;
+  if (world_ == nullptr || world_->hospitals().empty()) {
+    reply.payload = "ack";
+    return reply;
+  }
+  // Nearest hospital to the center of the (generalized) area: the service
+  // quality naturally degrades as the area grows, which is what the
+  // tolerance constraints bound.
+  const geo::Point center = request.context.area.Center();
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_index = 0;
+  for (size_t i = 0; i < world_->hospitals().size(); ++i) {
+    const double d = geo::Distance(world_->hospitals()[i], center);
+    if (d < best) {
+      best = d;
+      best_index = i;
+    }
+  }
+  reply.payload = common::Format("hospital-%zu at %.0fm", best_index, best);
+  return reply;
+}
+
+std::map<mod::Pseudonym, std::vector<size_t>>
+ServiceProvider::RequestsByPseudonym() const {
+  std::map<mod::Pseudonym, std::vector<size_t>> by_pseudonym;
+  for (size_t i = 0; i < log_.size(); ++i) {
+    by_pseudonym[log_[i].pseudonym].push_back(i);
+  }
+  return by_pseudonym;
+}
+
+}  // namespace ts
+}  // namespace histkanon

@@ -1,0 +1,55 @@
+// The (possibly untrusted) service provider: receives forwarded requests,
+// serves them, and keeps the log an adversary could mine.
+
+#ifndef HISTKANON_SRC_TS_SERVICE_PROVIDER_H_
+#define HISTKANON_SRC_TS_SERVICE_PROVIDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/anon/request.h"
+#include "src/anon/tolerance.h"
+#include "src/sim/world.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief A service answer routed back through the TS.
+struct ServiceReply {
+  mod::MessageId msgid = 0;
+  std::string payload;
+};
+
+/// \brief An honest-but-curious service provider.
+///
+/// It fulfils requests (here: nearest-hospital / localized-news style
+/// answers computed from the generalized context) and records everything
+/// it sees — the attack surface of the paper's threat model.
+class ServiceProvider {
+ public:
+  /// `world` supplies the content the services answer with (hospitals,
+  /// news districts); may be null for a log-only provider.
+  explicit ServiceProvider(const sim::World* world = nullptr)
+      : world_(world) {}
+
+  /// Handles one forwarded request, returning the reply the TS relays.
+  ServiceReply Handle(const anon::ForwardedRequest& request);
+
+  /// Everything this provider has observed, in arrival order.
+  const std::vector<anon::ForwardedRequest>& log() const { return log_; }
+
+  /// Requests observed per pseudonym ("sequences ... identified by service
+  /// providers since each request is explicitly associated with a userid",
+  /// Section 5.1).
+  std::map<mod::Pseudonym, std::vector<size_t>> RequestsByPseudonym() const;
+
+ private:
+  const sim::World* world_;
+  std::vector<anon::ForwardedRequest> log_;
+};
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_SERVICE_PROVIDER_H_

@@ -1,0 +1,387 @@
+#include "src/ts/trusted_server.h"
+
+#include <algorithm>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace ts {
+
+std::string_view DispositionToString(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::kForwardedDefault:
+      return "forwarded-default";
+    case Disposition::kForwardedGeneralized:
+      return "forwarded-generalized";
+    case Disposition::kSuppressedMixZone:
+      return "suppressed-mixzone";
+    case Disposition::kUnlinked:
+      return "unlinked";
+    case Disposition::kAtRisk:
+      return "at-risk";
+  }
+  return "unknown";
+}
+
+TrustedServer::TrustedServer(TrustedServerOptions options)
+    : options_(options),
+      index_(options.index),
+      hka_(&db_),
+      pseudonyms_(options.pseudonym_seed),
+      randomizer_(options.randomizer_seed, options.randomizer) {
+  generalizer_ = std::make_unique<anon::Generalizer>(&db_, &index_,
+                                                     options_.generalizer);
+}
+
+common::Status TrustedServer::RegisterService(
+    const anon::ServiceProfile& service) {
+  if (services_.count(service.id) > 0) {
+    return common::Status::AlreadyExists(
+        common::Format("service %d already registered", service.id));
+  }
+  services_.emplace(service.id, service);
+  return common::Status::OK();
+}
+
+common::Status TrustedServer::RegisterUser(mod::UserId user,
+                                           PrivacyPolicy policy) {
+  if (users_.count(user) > 0) {
+    return common::Status::AlreadyExists(common::Format(
+        "user %lld already registered", static_cast<long long>(user)));
+  }
+  UserState state;
+  state.policy = policy;
+  users_.emplace(user, std::move(state));
+  return common::Status::OK();
+}
+
+common::Result<size_t> TrustedServer::RegisterLbqid(mod::UserId user,
+                                                    lbqid::Lbqid lbqid) {
+  if (users_.count(user) == 0) {
+    return common::Status::NotFound(common::Format(
+        "user %lld is not registered", static_cast<long long>(user)));
+  }
+  return monitor_.Register(user, std::move(lbqid));
+}
+
+common::Status TrustedServer::SetUserRules(mod::UserId user,
+                                           PolicyRuleSet rules) {
+  const auto it = users_.find(user);
+  if (it == users_.end()) {
+    return common::Status::NotFound(common::Format(
+        "user %lld is not registered", static_cast<long long>(user)));
+  }
+  it->second.policy = rules.fallback();
+  it->second.rules = std::move(rules);
+  return common::Status::OK();
+}
+
+TrustedServer::UserState& TrustedServer::StateOf(mod::UserId user) {
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    UserState state;
+    state.policy = PrivacyPolicy::FromConcern(PrivacyConcern::kMedium);
+    it = users_.emplace(user, std::move(state)).first;
+  }
+  return it->second;
+}
+
+const PrivacyPolicy& TrustedServer::ResolvePolicy(const UserState& state,
+                                                  mod::ServiceId service,
+                                                  geo::Instant t) const {
+  if (state.rules.has_value()) return state.rules->PolicyFor(service, t);
+  return state.policy;
+}
+
+const anon::ToleranceConstraints& TrustedServer::ToleranceOf(
+    mod::ServiceId service) const {
+  const auto it = services_.find(service);
+  return it == services_.end() ? default_tolerance_ : it->second.tolerance;
+}
+
+void TrustedServer::OnLocationUpdate(mod::UserId user,
+                                     const geo::STPoint& sample) {
+  // Out-of-order updates (same tick as an earlier sample) are dropped.
+  if (db_.Append(user, sample).ok()) index_.Insert(user, sample);
+}
+
+void TrustedServer::OnServiceRequest(mod::UserId user,
+                                     const geo::STPoint& exact,
+                                     const sim::RequestIntent& intent) {
+  ProcessRequest(user, exact, intent.service, intent.data);
+}
+
+void TrustedServer::TrimAnchors(std::vector<mod::UserId>* anchors,
+                                size_t target,
+                                const geo::STPoint& exact) const {
+  if (anchors->size() <= target) return;
+  std::vector<std::pair<double, mod::UserId>> scored;
+  scored.reserve(anchors->size());
+  for (const mod::UserId anchor : *anchors) {
+    const common::Result<const mod::Phl*> phl = db_.GetPhl(anchor);
+    double distance = std::numeric_limits<double>::infinity();
+    if (phl.ok()) {
+      const std::optional<geo::STPoint> nearest =
+          (*phl)->NearestSample(exact, options_.generalizer.metric);
+      if (nearest.has_value()) {
+        distance = options_.generalizer.metric.Distance(*nearest, exact);
+      }
+    }
+    scored.emplace_back(distance, anchor);
+  }
+  std::sort(scored.begin(), scored.end());
+  anchors->clear();
+  for (size_t i = 0; i < target; ++i) anchors->push_back(scored[i].second);
+}
+
+void TrustedServer::Forward(ProcessOutcome* outcome, mod::UserId user,
+                            const geo::STPoint& exact, mod::ServiceId service,
+                            const std::string& data,
+                            const geo::STBox& context) {
+  (void)exact;
+  anon::ForwardedRequest request;
+  request.msgid = next_msgid_++;
+  request.pseudonym = pseudonyms_.Current(user);
+  request.context = context;
+  request.service = service;
+  request.data = data;
+  if (provider_ != nullptr) provider_->Handle(request);
+  outcome->forwarded = true;
+  outcome->forwarded_request = std::move(request);
+}
+
+ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
+                                             const geo::STPoint& exact,
+                                             mod::ServiceId service,
+                                             const std::string& data) {
+  ProcessOutcome outcome;
+  outcome.exact = exact;
+  ++stats_.requests;
+  UserState& state = StateOf(user);
+  const PrivacyPolicy& policy = ResolvePolicy(state, service, exact.t);
+  const anon::ToleranceConstraints& tolerance = ToleranceOf(service);
+
+  // The request's exact point is itself a location update (every request
+  // has a PHL element, Section 5.3).
+  if (db_.Append(user, exact).ok()) index_.Insert(user, exact);
+
+  // Mix-zone quiet period: service disabled (Section 6.3, "temporarily
+  // disabling the use of the service for a number of users in the same
+  // area for the time sufficient to confuse the SP").
+  if (exact.t < state.quiet_until) {
+    outcome.disposition = Disposition::kSuppressedMixZone;
+    ++stats_.suppressed_mixzone;
+    outcomes_.push_back(outcome);
+    return outcome;
+  }
+
+  // Step 1: LBQID monitoring.  The paper assumes each request matches an
+  // element of at most one LBQID; with several, the first match wins.
+  // The automata model what the SP observes; save their state so the
+  // advance can be rolled back if this request ends up not forwarded.
+  const std::vector<lbqid::LbqidMatcher::Snapshot> monitor_snapshot =
+      monitor_.SaveUser(user);
+  const std::vector<lbqid::Observation> observations =
+      monitor_.ProcessPoint(user, exact);
+
+  size_t completions_this_request = 0;
+  if (!observations.empty()) {
+    const lbqid::Observation& observation = observations.front();
+    outcome.matched_lbqid = true;
+    outcome.lbqid_index = observation.lbqid_index;
+    outcome.element_index = observation.event.element_index;
+    // A completed LBQID counts as a (potential) release regardless of the
+    // policy setting — with protection off, it IS released.  A request may
+    // complete several LBQIDs at once.
+    for (const lbqid::Observation& obs : observations) {
+      if (obs.event.outcome == lbqid::MatchOutcome::kLbqidComplete) {
+        ++completions_this_request;
+      }
+    }
+    outcome.lbqid_completed = completions_this_request > 0;
+    stats_.lbqid_completions += completions_this_request;
+  }
+
+  if (observations.empty() || policy.concern == PrivacyConcern::kOff) {
+    outcome.disposition = Disposition::kForwardedDefault;
+    const double scale = policy.concern == PrivacyConcern::kOff
+                             ? 1.0
+                             : policy.default_context_scale;
+    geo::STBox context = generalizer_->DefaultContext(exact, tolerance, scale);
+    if (options_.enable_randomization) {
+      context = randomizer_.TranslateWithin(context, exact);
+    }
+    Forward(&outcome, user, exact, service, data, context);
+    ++stats_.forwarded_default;
+    outcomes_.push_back(outcome);
+    return outcome;
+  }
+
+  // Step 1 continued: Algorithm 1, once per matched LBQID (Section 6.2:
+  // "the algorithm can be easily extended to consider multiple LBQIDs").
+  // Each trace's k-covering box is computed with its own anchors; the
+  // UNION is forwarded — a superset keeps every trace's anchors'
+  // LT-consistency intact.
+  const size_t k = policy.k;
+  struct PendingUpdate {
+    TraceState* trace;
+    std::vector<mod::UserId> anchors;
+  };
+  std::vector<PendingUpdate> updates;
+  geo::STBox union_box = geo::STBox::Empty();
+  bool all_ok = true;
+  for (const lbqid::Observation& obs : observations) {
+    TraceState& trace = state.traces[obs.lbqid_index];
+    // Anchor schedule (Section 6.2's k' heuristic), per trace.
+    std::vector<mod::UserId> anchors = trace.anchors;
+    size_t select_k = k;
+    if (anchors.empty()) {
+      select_k = policy.k_schedule.InitialAnchors(k);
+    } else {
+      TrimAnchors(&anchors, policy.k_schedule.AnchorsAtStep(k, trace.steps),
+                  exact);
+    }
+    const common::Result<anon::GeneralizationResult> generalized =
+        generalizer_->Generalize(exact, user, std::move(anchors), select_k,
+                                 tolerance);
+    if (!generalized.ok()) {
+      all_ok = false;
+      break;
+    }
+    if (!generalized->hk_anonymity) all_ok = false;
+    union_box.ExpandToInclude(generalized->box);
+    updates.push_back(PendingUpdate{&trace, generalized->anchors});
+  }
+  // Individually-fitting boxes can still union past the tolerance.
+  if (all_ok && !tolerance.Satisfies(union_box)) all_ok = false;
+
+  if (all_ok) {
+    geo::STBox context = union_box;
+    if (options_.enable_randomization) {
+      // Expansion (never translation): a superset keeps every anchor's
+      // sample inside, preserving LT-consistency of the traces.
+      context = randomizer_.ExpandWithin(context, tolerance);
+    }
+    for (PendingUpdate& update : updates) {
+      update.trace->anchors = std::move(update.anchors);
+      ++update.trace->steps;
+      update.trace->contexts.push_back(context);
+    }
+    outcome.disposition = Disposition::kForwardedGeneralized;
+    outcome.hk_anonymity = true;
+    Forward(&outcome, user, exact, service, data, context);
+    ++stats_.forwarded_generalized;
+    stats_.generalized_area_sum += context.area.Area();
+    stats_.generalized_window_sum +=
+        static_cast<double>(context.time.Length());
+    outcomes_.push_back(outcome);
+    return outcome;
+  }
+
+  // Step 2: generalization failed -> try to unlink.
+  outcome.hk_anonymity = false;
+  if (options_.enable_unlinking) {
+    ++stats_.unlink_attempts;
+    anon::MixZoneOptions mixzone = options_.mixzone;
+    mixzone.min_diverging_users = std::max(mixzone.min_diverging_users, k);
+    const anon::MixZoneResult zone =
+        anon::TryFormMixZone(db_, exact, user, mixzone);
+    if (zone.success) {
+      ++stats_.unlink_successes;
+      pseudonyms_.Rotate(user);
+      monitor_.ResetUser(user);
+      state.traces.clear();
+      state.quiet_until = zone.quiet_until;
+      outcome.disposition = Disposition::kUnlinked;
+      outcomes_.push_back(outcome);
+      return outcome;
+    }
+  }
+
+  // Step 2 failed: "the user is considered at risk of identification, and
+  // notified about it".
+  ++stats_.at_risk_notifications;
+  outcome.disposition = Disposition::kAtRisk;
+  if (options_.forward_when_at_risk && !updates.empty()) {
+    // Forward the union clipped to tolerance (Algorithm 1 lines 11-12).
+    geo::STBox clipped = union_box;
+    clipped.area = clipped.area.ShrunkToFit(exact.p, tolerance.max_area_width,
+                                            tolerance.max_area_height);
+    clipped.time = clipped.time.ShrunkToFit(exact.t,
+                                            tolerance.max_time_window);
+    for (PendingUpdate& update : updates) {
+      update.trace->anchors = std::move(update.anchors);
+      ++update.trace->steps;
+      update.trace->contexts.push_back(clipped);
+      update.trace->tainted = true;
+    }
+    Forward(&outcome, user, exact, service, data, clipped);
+  } else {
+    // Dropped: the SP never sees this request, so the automata must not
+    // have advanced on it.
+    monitor_.RestoreUser(user, monitor_snapshot);
+    if (outcome.lbqid_completed) {
+      stats_.lbqid_completions -= completions_this_request;
+      outcome.lbqid_completed = false;
+    }
+  }
+  outcomes_.push_back(outcome);
+  return outcome;
+}
+
+std::vector<geo::STBox> TrustedServer::CurrentTraceContexts(
+    mod::UserId user) const {
+  std::vector<geo::STBox> contexts;
+  const auto it = users_.find(user);
+  if (it == users_.end()) return contexts;
+  for (const auto& [lbqid_index, trace] : it->second.traces) {
+    contexts.insert(contexts.end(), trace.contexts.begin(),
+                    trace.contexts.end());
+  }
+  return contexts;
+}
+
+std::vector<geo::STBox> TrustedServer::TraceContextsOf(
+    mod::UserId user, size_t lbqid_index) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return {};
+  const auto trace = it->second.traces.find(lbqid_index);
+  if (trace == it->second.traces.end()) return {};
+  return trace->second.contexts;
+}
+
+anon::HkaResult TrustedServer::EvaluateTraceHka(mod::UserId user,
+                                                size_t lbqid_index) const {
+  const auto it = users_.find(user);
+  const size_t k = it == users_.end() ? 0 : it->second.policy.k;
+  return hka_.Evaluate(user, TraceContextsOf(user, lbqid_index), k);
+}
+
+std::vector<TrustedServer::TraceAudit> TrustedServer::AuditTraces() const {
+  std::vector<TraceAudit> audits;
+  for (const auto& [user, state] : users_) {
+    for (const auto& [lbqid_index, trace] : state.traces) {
+      if (trace.contexts.empty()) continue;
+      TraceAudit audit;
+      audit.user = user;
+      audit.lbqid_index = lbqid_index;
+      audit.steps = trace.contexts.size();
+      audit.tainted = trace.tainted;
+      const anon::HkaResult hka =
+          hka_.Evaluate(user, trace.contexts, state.policy.k);
+      audit.hka_satisfied = hka.satisfied;
+      audit.witnesses = hka.consistent_others;
+      audits.push_back(audit);
+    }
+  }
+  return audits;
+}
+
+anon::HkaResult TrustedServer::EvaluateUserHka(mod::UserId user) const {
+  const auto it = users_.find(user);
+  const size_t k = it == users_.end() ? 0 : it->second.policy.k;
+  return hka_.Evaluate(user, CurrentTraceContexts(user), k);
+}
+
+}  // namespace ts
+}  // namespace histkanon

@@ -1,0 +1,248 @@
+// The Trusted Server (paper Section 3, Figure 1): the privacy-enforcing
+// middleware between users and service providers, implementing the full
+// Section 6.1 strategy:
+//
+//   1. monitor every request against the user's LBQIDs; on an element
+//      match, generalize the spatio-temporal context with Algorithm 1 so
+//      that Historical k-anonymity is preserved;
+//   2. if generalization fails, try to unlink future requests from
+//      previous ones by rotating the pseudonym inside an on-demand
+//      mix-zone; if that also fails, notify the user that identification
+//      is at risk.
+
+#ifndef HISTKANON_SRC_TS_TRUSTED_SERVER_H_
+#define HISTKANON_SRC_TS_TRUSTED_SERVER_H_
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/anon/generalize.h"
+#include "src/anon/hka.h"
+#include "src/anon/mixzone.h"
+#include "src/anon/pseudonym.h"
+#include "src/anon/randomize.h"
+#include "src/anon/request.h"
+#include "src/anon/tolerance.h"
+#include "src/lbqid/monitor.h"
+#include "src/mod/moving_object_db.h"
+#include "src/sim/simulator.h"
+#include "src/stindex/grid_index.h"
+#include "src/ts/policy.h"
+#include "src/ts/policy_rules.h"
+#include "src/ts/service_provider.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief TS construction parameters.
+struct TrustedServerOptions {
+  anon::GeneralizerOptions generalizer;
+  anon::MixZoneOptions mixzone;
+  stindex::GridIndexOptions index;
+  uint64_t pseudonym_seed = 0x6b616e6f6eULL;
+  /// Section 6.1 step 2 on/off (ablated in experiment E6).
+  bool enable_unlinking = true;
+  /// Section 7's randomization against inference attacks (ablated in
+  /// experiment E9): default contexts are uniformly re-placed around the
+  /// true point; Algorithm 1 boxes are randomly expanded (supersets keep
+  /// the anchors' LT-consistency intact).
+  bool enable_randomization = true;
+  anon::RandomizerOptions randomizer;
+  uint64_t randomizer_seed = 0x72616e64ULL;
+  /// When true, a request whose generalization failed AND whose unlinking
+  /// failed is still forwarded (clipped to tolerance) after notifying the
+  /// user; when false it is dropped.
+  bool forward_when_at_risk = true;
+};
+
+/// \brief How the TS disposed of one request.
+enum class Disposition {
+  /// No LBQID element matched: forwarded with the default minimal context.
+  kForwardedDefault,
+  /// LBQID element matched; Algorithm 1 succeeded; forwarded generalized.
+  kForwardedGeneralized,
+  /// Suppressed: the user is inside a mix-zone quiet period.
+  kSuppressedMixZone,
+  /// Generalization failed; unlinking succeeded; this request suppressed
+  /// and the pseudonym rotated.
+  kUnlinked,
+  /// Generalization AND unlinking failed: user notified of identification
+  /// risk (request forwarded clipped, or dropped, per options).
+  kAtRisk,
+};
+
+std::string_view DispositionToString(Disposition disposition);
+
+/// \brief Outcome record for one request (also the unit of the metrics).
+/// TS-side bookkeeping: `exact` never leaves the trusted server.
+struct ProcessOutcome {
+  Disposition disposition = Disposition::kForwardedDefault;
+  bool forwarded = false;
+  /// The request's true position/time (TS-side only).
+  geo::STPoint exact;
+  /// Valid when forwarded.
+  anon::ForwardedRequest forwarded_request;
+  /// Algorithm 1's flag (true when no generalization was needed).
+  bool hk_anonymity = true;
+  /// LBQID bookkeeping (set when an element matched).
+  bool matched_lbqid = false;
+  size_t lbqid_index = 0;
+  size_t element_index = 0;
+  bool lbqid_completed = false;
+};
+
+/// \brief Aggregate counters.
+struct TsStats {
+  size_t requests = 0;
+  size_t forwarded_default = 0;
+  size_t forwarded_generalized = 0;
+  size_t suppressed_mixzone = 0;
+  size_t unlink_attempts = 0;
+  size_t unlink_successes = 0;
+  size_t at_risk_notifications = 0;
+  size_t lbqid_completions = 0;
+  /// Sum of generalized-context area (m^2) and window (s) over
+  /// forwarded_generalized, for QoS metrics.
+  double generalized_area_sum = 0.0;
+  double generalized_window_sum = 0.0;
+};
+
+/// \brief The trusted server.
+class TrustedServer : public sim::EventSink {
+ public:
+  explicit TrustedServer(TrustedServerOptions options = TrustedServerOptions());
+
+  /// Registers a service (tolerance constraints).  Fails on duplicate id.
+  common::Status RegisterService(const anon::ServiceProfile& service);
+
+  /// Registers a user with a privacy policy.  Fails on duplicate user.
+  common::Status RegisterUser(mod::UserId user, PrivacyPolicy policy);
+
+  /// Attaches an expert rule set to a registered user (paper Section 3's
+  /// "rule-based policy specifications"); per-request policies are then
+  /// resolved by the rule set (its fallback replaces the flat policy).
+  common::Status SetUserRules(mod::UserId user, PolicyRuleSet rules);
+
+  /// Attaches an LBQID to a registered user; returns its per-user index.
+  common::Result<size_t> RegisterLbqid(mod::UserId user, lbqid::Lbqid lbqid);
+
+  /// Wires the (single, per the experiments) downstream service provider.
+  void ConnectServiceProvider(ServiceProvider* provider) {
+    provider_ = provider;
+  }
+
+  // sim::EventSink:
+  void OnLocationUpdate(mod::UserId user, const geo::STPoint& sample) override;
+  void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                        const sim::RequestIntent& intent) override;
+
+  /// The full Section 6.1 pipeline for one request; the EventSink entry
+  /// point delegates here.  Unregistered users get an implicit kMedium
+  /// policy; unregistered services get default tolerance.
+  ProcessOutcome ProcessRequest(mod::UserId user, const geo::STPoint& exact,
+                                mod::ServiceId service,
+                                const std::string& data);
+
+  const mod::MovingObjectDb& db() const { return db_; }
+  const stindex::GridIndex& index() const { return index_; }
+  const TsStats& stats() const { return stats_; }
+  const anon::PseudonymManager& pseudonyms() const { return pseudonyms_; }
+  anon::PseudonymManager& pseudonyms() { return pseudonyms_; }
+  const lbqid::LbqidMonitor& monitor() const { return monitor_; }
+
+  /// Every outcome, in processing order (drives the experiment metrics).
+  const std::vector<ProcessOutcome>& outcomes() const { return outcomes_; }
+
+  /// The forwarded spatio-temporal contexts of `user`'s LBQID-matching
+  /// requests under their CURRENT pseudonym (the set Definition 8
+  /// quantifies over), across all of the user's LBQIDs.
+  std::vector<geo::STBox> CurrentTraceContexts(mod::UserId user) const;
+
+  /// Same, restricted to one LBQID (Definition 8 is stated per
+  /// LBQID-matching request set).
+  std::vector<geo::STBox> TraceContextsOf(mod::UserId user,
+                                          size_t lbqid_index) const;
+
+  /// Evaluates Historical k-anonymity of the user's current trace (all
+  /// LBQIDs combined — a conservative check).
+  anon::HkaResult EvaluateUserHka(mod::UserId user) const;
+
+  /// Evaluates Historical k-anonymity of one LBQID's current trace.
+  anon::HkaResult EvaluateTraceHka(mod::UserId user,
+                                   size_t lbqid_index) const;
+
+  /// \brief One row of the Theorem-1 self-audit.
+  struct TraceAudit {
+    mod::UserId user = mod::kInvalidUser;
+    size_t lbqid_index = 0;
+    size_t steps = 0;
+    /// True when some request of this trace was forwarded AT RISK (i.e.
+    /// clipped below the k-covering box) — Theorem 1's precondition
+    /// ("we can always perform Unlinking") was violated for it.
+    bool tainted = false;
+    /// Definition 8 verdict on the trace as forwarded.
+    bool hka_satisfied = false;
+    size_t witnesses = 0;
+  };
+
+  /// Audits every live trace against Theorem 1: a non-tainted trace (all
+  /// requests forwarded through successful Algorithm-1 generalizations)
+  /// must satisfy Historical k-anonymity.  Violations indicate a bug.
+  std::vector<TraceAudit> AuditTraces() const;
+
+ private:
+  struct TraceState {
+    std::vector<mod::UserId> anchors;
+    size_t steps = 0;
+    /// Contexts forwarded for this LBQID under the current pseudonym.
+    std::vector<geo::STBox> contexts;
+    /// True when an at-risk (tolerance-clipped) context was forwarded.
+    bool tainted = false;
+  };
+  struct UserState {
+    PrivacyPolicy policy;
+    /// Expert rule set; when set, per-request policies come from here
+    /// (and `policy` is its fallback, used for trace-level evaluations).
+    std::optional<PolicyRuleSet> rules;
+    geo::Instant quiet_until = std::numeric_limits<geo::Instant>::min();
+    std::map<size_t, TraceState> traces;  // keyed by lbqid index
+  };
+
+  UserState& StateOf(mod::UserId user);
+  // Per-request policy: the rule set when present, else the flat policy.
+  const PrivacyPolicy& ResolvePolicy(const UserState& state,
+                                     mod::ServiceId service,
+                                     geo::Instant t) const;
+  const anon::ToleranceConstraints& ToleranceOf(mod::ServiceId service) const;
+  // Keeps the `target` anchors whose PHLs stay closest to `exact`.
+  void TrimAnchors(std::vector<mod::UserId>* anchors, size_t target,
+                   const geo::STPoint& exact) const;
+  void Forward(ProcessOutcome* outcome, mod::UserId user,
+               const geo::STPoint& exact, mod::ServiceId service,
+               const std::string& data, const geo::STBox& context);
+
+  TrustedServerOptions options_;
+  mod::MovingObjectDb db_;
+  stindex::GridIndex index_;
+  std::unique_ptr<anon::Generalizer> generalizer_;
+  anon::HkaEvaluator hka_;
+  anon::PseudonymManager pseudonyms_;
+  anon::ContextRandomizer randomizer_;
+  lbqid::LbqidMonitor monitor_;
+  std::map<mod::ServiceId, anon::ServiceProfile> services_;
+  std::map<mod::UserId, UserState> users_;
+  ServiceProvider* provider_ = nullptr;
+  mod::MessageId next_msgid_ = 1;
+  TsStats stats_;
+  std::vector<ProcessOutcome> outcomes_;
+  anon::ToleranceConstraints default_tolerance_;
+};
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_TRUSTED_SERVER_H_

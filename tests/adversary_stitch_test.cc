@@ -1,0 +1,114 @@
+// Trace-stitching behaviour of the adversary: boundary matching must link
+// an unambiguous pseudonym change and must NOT link when a mix-zone
+// manufactured ambiguity (several plausible successors).
+
+#include <gtest/gtest.h>
+
+#include "src/ts/adversary.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::TimeInterval;
+
+anon::ForwardedRequest Req(const std::string& pseudonym, double x, double y,
+                           geo::Instant t) {
+  anon::ForwardedRequest request;
+  request.pseudonym = pseudonym;
+  request.context = STBox{Rect::FromCenter({x, y}, 100, 100),
+                          TimeInterval{t, t + 60}};
+  return request;
+}
+
+class AdversaryStitchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(1);
+    world_ = sim::World::Generate(sim::WorldOptions(), &rng);
+  }
+  sim::World world_;
+  AdversaryOptions options_;
+};
+
+TEST_F(AdversaryStitchTest, UnambiguousChangeIsStitched) {
+  // pA ends at (1000,1000) t=1000; pB starts nearby 600 s later; nothing
+  // else around: one plausible successor and one plausible predecessor.
+  const std::vector<anon::ForwardedRequest> log = {
+      Req("pA", 900, 1000, 0),    Req("pA", 1000, 1000, 1000),
+      Req("pB", 1100, 1000, 1660), Req("pB", 1200, 1000, 2600),
+  };
+  Adversary adversary(&world_, options_);
+  const auto traces = adversary.LinkPseudonyms(log);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].size(), 2u);
+}
+
+TEST_F(AdversaryStitchTest, AmbiguousSuccessorsAreNotStitched) {
+  // pA's tail has TWO plausible successors (pB and pC start nearby at the
+  // same time): the stitch is contested and must not be committed.
+  const std::vector<anon::ForwardedRequest> log = {
+      Req("pA", 1000, 1000, 1000),
+      Req("pB", 1100, 1000, 1660),
+      Req("pC", 1000, 1100, 1670),
+  };
+  Adversary adversary(&world_, options_);
+  const auto traces = adversary.LinkPseudonyms(log);
+  EXPECT_EQ(traces.size(), 3u);
+}
+
+TEST_F(AdversaryStitchTest, ContestedHeadIsNotStitched) {
+  // Two tails (pA, pB) both plausibly continue as pC.
+  const std::vector<anon::ForwardedRequest> log = {
+      Req("pA", 1000, 1000, 1000),
+      Req("pB", 1050, 1050, 1010),
+      Req("pC", 1100, 1000, 1700),
+  };
+  Adversary adversary(&world_, options_);
+  EXPECT_EQ(adversary.LinkPseudonyms(log).size(), 3u);
+}
+
+TEST_F(AdversaryStitchTest, ImplausibleSpeedIsNotStitched) {
+  // pB appears 40 km away 10 minutes after pA's tail.
+  const std::vector<anon::ForwardedRequest> log = {
+      Req("pA", 1000, 1000, 1000),
+      Req("pB", 41000, 1000, 1660),
+  };
+  Adversary adversary(&world_, options_);
+  EXPECT_EQ(adversary.LinkPseudonyms(log).size(), 2u);
+}
+
+TEST_F(AdversaryStitchTest, GapBeyondTrackingDomainIsNotStitched) {
+  AdversaryOptions options;
+  options.tracking.max_time_gap = 600;
+  const std::vector<anon::ForwardedRequest> log = {
+      Req("pA", 1000, 1000, 1000),
+      Req("pB", 1010, 1000, 5000),  // ~66 min later.
+  };
+  Adversary adversary(&world_, options);
+  EXPECT_EQ(adversary.LinkPseudonyms(log).size(), 2u);
+}
+
+TEST_F(AdversaryStitchTest, ChainsOfChangesAreFollowed) {
+  // pA -> pB -> pC.  The tracking window is tight enough that pA's only
+  // plausible successor is pB (pC starts too late for pA), so each hop is
+  // unambiguous and the chain merges into one trace of three.
+  AdversaryOptions options;
+  options.tracking.max_time_gap = 1000;
+  const std::vector<anon::ForwardedRequest> log = {
+      Req("pA", 1000, 1000, 0),
+      Req("pB", 1100, 1000, 700),
+      Req("pC", 1200, 1000, 1500),
+  };
+  Adversary adversary(&world_, options);
+  const auto traces = adversary.LinkPseudonyms(log);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

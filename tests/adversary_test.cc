@@ -1,0 +1,142 @@
+// The Section-1 motivating attack as a test: precise home-area requests
+// plus a phone book re-identify a pseudonymous commuter; generalized
+// contexts defeat the lookup.
+
+#include "src/ts/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::TimeInterval;
+using sim::WorldOptions;
+using tgran::At;
+
+class AdversaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorldOptions options;
+    options.num_homes = 20;
+    common::Rng rng(1);
+    world_ = sim::World::Generate(options, &rng);
+    world_.RegisterResident(0, /*resident=*/100);
+    world_.RegisterResident(1, /*resident=*/101);
+  }
+
+  anon::ForwardedRequest HomeRequest(const std::string& pseudonym,
+                                     size_t home_index, int64_t day,
+                                     int hour, double extent) {
+    anon::ForwardedRequest request;
+    request.pseudonym = pseudonym;
+    request.context =
+        STBox{Rect::FromCenter(world_.homes()[home_index], extent, extent),
+              TimeInterval{At(day, hour), At(day, hour) + 60}};
+    request.data = "payload";
+    return request;
+  }
+
+  sim::World world_;
+};
+
+TEST_F(AdversaryTest, PreciseHomeRequestsAreIdentified) {
+  AdversaryOptions options;
+  std::vector<anon::ForwardedRequest> log = {
+      HomeRequest("pA", 0, 0, 7, 100), HomeRequest("pA", 0, 1, 7, 100),
+      HomeRequest("pA", 0, 2, 19, 100)};
+  Adversary adversary(&world_, options);
+  const auto identifications = adversary.Attack(log);
+  ASSERT_EQ(identifications.size(), 1u);
+  EXPECT_EQ(identifications[0].claimed_user, 100);
+  EXPECT_EQ(identifications[0].evidence, 3u);
+}
+
+TEST_F(AdversaryTest, CoarseContextsDefeatTheLookup) {
+  AdversaryOptions options;
+  // Areas generalized to 2 km: beyond max_home_area_extent.
+  std::vector<anon::ForwardedRequest> log = {
+      HomeRequest("pA", 0, 0, 7, 2000), HomeRequest("pA", 0, 1, 7, 2000),
+      HomeRequest("pA", 0, 2, 19, 2000)};
+  Adversary adversary(&world_, options);
+  EXPECT_TRUE(adversary.Attack(log).empty());
+}
+
+TEST_F(AdversaryTest, DaytimeRequestsAreNotHomeEvidence) {
+  AdversaryOptions options;
+  std::vector<anon::ForwardedRequest> log = {
+      HomeRequest("pA", 0, 0, 12, 100), HomeRequest("pA", 0, 1, 13, 100)};
+  Adversary adversary(&world_, options);
+  EXPECT_TRUE(adversary.Attack(log).empty());
+}
+
+TEST_F(AdversaryTest, SingleVisitBelowEvidenceThreshold) {
+  AdversaryOptions options;
+  options.min_home_evidence = 2;
+  std::vector<anon::ForwardedRequest> log = {HomeRequest("pA", 0, 0, 7, 100)};
+  Adversary adversary(&world_, options);
+  EXPECT_TRUE(adversary.Attack(log).empty());
+}
+
+TEST_F(AdversaryTest, LinkPseudonymsStitchesKinematicallyPlausibleChange) {
+  AdversaryOptions options;
+  options.theta = 0.5;
+  // pA's last request and pB's first are 200 m / 300 s apart: linkable.
+  anon::ForwardedRequest a = HomeRequest("pA", 0, 0, 7, 100);
+  anon::ForwardedRequest b = a;
+  b.pseudonym = "pB";
+  b.context.area = a.context.area;  // Same place...
+  b.context.time = TimeInterval{a.context.time.hi + 300,
+                                a.context.time.hi + 360};  // ...just later.
+  Adversary adversary(&world_, options);
+  const auto traces = adversary.LinkPseudonyms({a, b});
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].size(), 2u);
+}
+
+TEST_F(AdversaryTest, LinkPseudonymsKeepsDistantTracesApart) {
+  AdversaryOptions options;
+  anon::ForwardedRequest a = HomeRequest("pA", 0, 0, 7, 100);
+  anon::ForwardedRequest b = HomeRequest("pB", 1, 5, 19, 100);
+  Adversary adversary(&world_, options);
+  EXPECT_EQ(adversary.LinkPseudonyms({a, b}).size(), 2u);
+}
+
+TEST_F(AdversaryTest, ScoreIdentificationsAgainstGroundTruth) {
+  anon::PseudonymManager truth(9);
+  const mod::Pseudonym p100 = truth.Current(100);
+  std::vector<anon::ForwardedRequest> log = {
+      HomeRequest(p100, 0, 0, 7, 100), HomeRequest(p100, 0, 1, 7, 100)};
+  Adversary adversary(&world_, AdversaryOptions());
+  const auto identifications = adversary.Attack(log);
+  ASSERT_EQ(identifications.size(), 1u);
+  const eval::IdentificationScore score =
+      eval::ScoreIdentifications(identifications, truth, 2);
+  EXPECT_EQ(score.claims, 1u);
+  EXPECT_EQ(score.correct, 1u);
+  EXPECT_DOUBLE_EQ(score.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.Recall(), 0.5);
+}
+
+TEST_F(AdversaryTest, WrongClaimScoresZero) {
+  anon::PseudonymManager truth(9);
+  const mod::Pseudonym p_of_55 = truth.Current(55);  // Not user 100.
+  std::vector<anon::ForwardedRequest> log = {
+      HomeRequest(p_of_55, 0, 0, 7, 100), HomeRequest(p_of_55, 0, 1, 7, 100)};
+  Adversary adversary(&world_, AdversaryOptions());
+  const auto identifications = adversary.Attack(log);
+  ASSERT_EQ(identifications.size(), 1u);
+  EXPECT_EQ(identifications[0].claimed_user, 100);  // Phone book says 100...
+  const eval::IdentificationScore score =
+      eval::ScoreIdentifications(identifications, truth, 1);
+  EXPECT_EQ(score.correct, 0u);  // ...but the trace belongs to 55.
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

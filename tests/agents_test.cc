@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/commuter.h"
+#include "src/sim/random_waypoint.h"
+
+namespace histkanon {
+namespace sim {
+namespace {
+
+using tgran::At;
+
+CommuterOptions TestCommuterOptions() {
+  CommuterOptions options;
+  options.depart_home_mean = 7 * 3600 + 50 * 60;
+  options.skip_day_probability = 0.0;  // Deterministic attendance.
+  options.commute_request_probability = 1.0;
+  options.background_rate_per_hour = 0.0;
+  return options;
+}
+
+TEST(CommuterAgentTest, HomeBeforeWorkOfficeAtNoonHomeAtNight) {
+  const geo::Point home{100, 100};
+  const geo::Point office{5000, 5000};
+  CommuterAgent agent(1, home, office, TestCommuterOptions(),
+                      common::Rng(42));
+  EXPECT_EQ(agent.Step(At(0, 5)).position, home);     // Early morning.
+  EXPECT_EQ(agent.Step(At(0, 12)).position, office);  // Midday Monday.
+  EXPECT_EQ(agent.Step(At(0, 23)).position, home);    // Night.
+}
+
+TEST(CommuterAgentTest, WeekendAtHome) {
+  const geo::Point home{100, 100};
+  const geo::Point office{5000, 5000};
+  CommuterAgent agent(1, home, office, TestCommuterOptions(),
+                      common::Rng(42));
+  // Day 5 (Saturday) and 6 (Sunday): home all day.
+  for (const int64_t day : {5, 6}) {
+    for (const int hour : {8, 12, 17}) {
+      EXPECT_EQ(agent.Step(At(day, hour)).position, home)
+          << "day " << day << " hour " << hour;
+    }
+  }
+}
+
+TEST(CommuterAgentTest, FourCommuteRequestsPerWorkday) {
+  const geo::Point home{100, 100};
+  const geo::Point office{3000, 3000};
+  CommuterAgent agent(2, home, office, TestCommuterOptions(),
+                      common::Rng(7));
+  size_t requests = 0;
+  for (geo::Instant t = At(0, 0); t < At(1, 0); t += 60) {
+    requests += agent.Step(t).requests.size();
+  }
+  EXPECT_EQ(requests, 4u);
+}
+
+TEST(CommuterAgentTest, NoCommuteRequestsOnWeekend) {
+  const geo::Point home{100, 100};
+  const geo::Point office{3000, 3000};
+  CommuterAgent agent(2, home, office, TestCommuterOptions(),
+                      common::Rng(7));
+  size_t requests = 0;
+  for (geo::Instant t = At(5, 0); t < At(7, 0); t += 60) {
+    requests += agent.Step(t).requests.size();
+  }
+  EXPECT_EQ(requests, 0u);
+}
+
+TEST(CommuterAgentTest, MorningRequestsHappenInLbqidWindows) {
+  // With the tuned schedule, the first two requests of a workday fall in
+  // [7,9] at home and [7,10] at the office respectively.
+  const geo::Point home{100, 100};
+  const geo::Point office{3000, 3000};
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    CommuterAgent agent(3, home, office, TestCommuterOptions(),
+                        common::Rng(seed));
+    std::vector<std::pair<geo::Instant, geo::Point>> requests;
+    for (geo::Instant t = At(0, 0); t < At(1, 0); t += 60) {
+      const AgentTick tick = agent.Step(t);
+      for (size_t i = 0; i < tick.requests.size(); ++i) {
+        requests.emplace_back(t, tick.position);
+      }
+    }
+    ASSERT_EQ(requests.size(), 4u) << "seed " << seed;
+    // Request 0: at home in the morning window.
+    EXPECT_LT(geo::Distance(requests[0].second, home), 1.0);
+    EXPECT_GE(requests[0].first, At(0, 7));
+    EXPECT_LE(requests[0].first, At(0, 9));
+    // Request 1: at the office in the morning window.
+    EXPECT_LT(geo::Distance(requests[1].second, office), 1.0);
+    EXPECT_LE(requests[1].first, At(0, 10));
+  }
+}
+
+TEST(CommuterAgentTest, SkipDayMeansNoTravel) {
+  CommuterOptions options = TestCommuterOptions();
+  options.skip_day_probability = 1.0;  // Always skip.
+  const geo::Point home{100, 100};
+  CommuterAgent agent(4, home, {3000, 3000}, options, common::Rng(1));
+  EXPECT_EQ(agent.Step(At(0, 12)).position, home);
+  EXPECT_TRUE(agent.Step(At(0, 12, 1)).requests.empty());
+}
+
+TEST(CommuterAgentTest, BackgroundRequestsFollowRate) {
+  CommuterOptions options = TestCommuterOptions();
+  options.commute_request_probability = 0.0;
+  options.background_rate_per_hour = 1.0;
+  CommuterAgent agent(5, {0, 0}, {3000, 3000}, options, common::Rng(3));
+  size_t requests = 0;
+  for (geo::Instant t = At(0, 0); t < At(2, 0); t += 60) {
+    requests += agent.Step(t).requests.size();
+  }
+  // 48 hours at 1/hour: expect roughly 48, very loosely bounded.
+  EXPECT_GT(requests, 20u);
+  EXPECT_LT(requests, 90u);
+}
+
+TEST(RandomWaypointAgentTest, StaysInsideWorld) {
+  const geo::Rect world{0, 0, 2000, 2000};
+  RandomWaypointOptions options;
+  RandomWaypointAgent agent(6, world, options, common::Rng(11));
+  for (geo::Instant t = 0; t < 86400; t += 60) {
+    const geo::Point p = agent.Step(t).position;
+    EXPECT_TRUE(world.Contains(p)) << "t=" << t;
+  }
+}
+
+TEST(RandomWaypointAgentTest, ActuallyMoves) {
+  const geo::Rect world{0, 0, 2000, 2000};
+  RandomWaypointAgent agent(7, world, RandomWaypointOptions(),
+                            common::Rng(13));
+  const geo::Point start = agent.Step(0).position;
+  double max_displacement = 0.0;
+  for (geo::Instant t = 60; t < 7200; t += 60) {
+    max_displacement = std::max(
+        max_displacement, geo::Distance(agent.Step(t).position, start));
+  }
+  EXPECT_GT(max_displacement, 100.0);
+}
+
+TEST(RandomWaypointAgentTest, DeterministicPerSeed) {
+  const geo::Rect world{0, 0, 2000, 2000};
+  RandomWaypointAgent a(8, world, RandomWaypointOptions(), common::Rng(17));
+  RandomWaypointAgent b(8, world, RandomWaypointOptions(), common::Rng(17));
+  for (geo::Instant t = 0; t < 3600; t += 60) {
+    EXPECT_EQ(a.Step(t).position, b.Step(t).position);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace histkanon

@@ -1,0 +1,101 @@
+// Tests for the trajectory-similarity anchor strategy: a co-moving user
+// must beat a momentarily-near stranger.
+
+#include <gtest/gtest.h>
+
+#include "src/anon/generalize.h"
+#include "src/anon/hka.h"
+#include "src/stindex/brute_force_index.h"
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::STPoint;
+
+class AnchorStrategyTest : public ::testing::Test {
+ protected:
+  void Add(mod::UserId user, const STPoint& sample) {
+    ASSERT_TRUE(db_.Append(user, sample).ok());
+    index_.Insert(user, sample);
+  }
+
+  // Requester 0 walks east along y=0; "companion" 1 walks the same line
+  // 30 m north; "stranger" 2 sits exactly at the request point but was far
+  // away the whole previous day.
+  void Populate() {
+    for (int i = 0; i <= 24; ++i) {
+      const geo::Instant t = i * 3600;
+      const double x = 100.0 * i;
+      Add(0, STPoint{{x, 0}, t});
+      Add(1, STPoint{{x, 30}, t});
+      if (i < 24) {
+        Add(2, STPoint{{50000, 50000}, t});
+      } else {
+        Add(2, STPoint{{x, 1}, t});  // Appears next to the requester now.
+      }
+    }
+  }
+
+  mod::MovingObjectDb db_;
+  stindex::BruteForceIndex index_;
+  ToleranceConstraints loose_{1000000.0, 1000000.0, 10000000};
+};
+
+TEST_F(AnchorStrategyTest, NearestSamplePicksTheStranger) {
+  Populate();
+  GeneralizerOptions options;
+  options.anchor_strategy = AnchorStrategy::kNearestSample;
+  const Generalizer generalizer(&db_, &index_, options);
+  const auto result = generalizer.Generalize(
+      STPoint{{2400, 0}, 24 * 3600}, 0, {}, 1, loose_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->anchors.size(), 1u);
+  EXPECT_EQ(result->anchors[0], 2);  // 1 m away beats 30 m away.
+}
+
+TEST_F(AnchorStrategyTest, SimilarityPicksTheCompanion) {
+  Populate();
+  GeneralizerOptions options;
+  options.anchor_strategy = AnchorStrategy::kTrajectorySimilarity;
+  options.similarity_window = 24 * 3600;
+  const Generalizer generalizer(&db_, &index_, options);
+  const auto result = generalizer.Generalize(
+      STPoint{{2400, 0}, 24 * 3600}, 0, {}, 1, loose_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->anchors.size(), 1u);
+  EXPECT_EQ(result->anchors[0], 1);  // 30 m gap all day beats 50 km gap.
+  // The box still covers the chosen anchor's sample (LT-consistency).
+  EXPECT_TRUE(result->hk_anonymity);
+  const HkaResult hka =
+      HkaEvaluator(&db_).Evaluate(0, {result->box}, 2);
+  EXPECT_TRUE(hka.satisfied);
+}
+
+TEST_F(AnchorStrategyTest, SimilarityFallsBackWithoutHistory) {
+  Populate();
+  GeneralizerOptions options;
+  options.anchor_strategy = AnchorStrategy::kTrajectorySimilarity;
+  const Generalizer generalizer(&db_, &index_, options);
+  // Requester 99 has no PHL: proximity fallback still yields anchors.
+  const auto result = generalizer.Generalize(
+      STPoint{{2400, 0}, 24 * 3600}, 99, {}, 2, loose_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->anchors.size(), 2u);
+}
+
+TEST_F(AnchorStrategyTest, SimilarityRespectsK) {
+  Populate();
+  GeneralizerOptions options;
+  options.anchor_strategy = AnchorStrategy::kTrajectorySimilarity;
+  const Generalizer generalizer(&db_, &index_, options);
+  const auto result = generalizer.Generalize(
+      STPoint{{2400, 0}, 24 * 3600}, 0, {}, 2, loose_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->anchors.size(), 2u);
+  EXPECT_TRUE(result->hk_anonymity);
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/clique_cloak.h"
+#include "src/baselines/interval_cloak.h"
+#include "src/baselines/no_privacy.h"
+
+namespace histkanon {
+namespace baselines {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+using geo::STPoint;
+
+sim::RequestIntent Intent() { return sim::RequestIntent{0, "q"}; }
+
+TEST(IntervalCloakTest, CloakCoversKUsersAndShrinksWithDensity) {
+  IntervalCloakOptions options;
+  options.k = 3;
+  IntervalCloakServer server(Rect{0, 0, 8192, 8192}, options);
+  // Dense cluster near (1000,1000).
+  for (mod::UserId u = 1; u <= 10; ++u) {
+    server.OnLocationUpdate(
+        u, STPoint{{1000 + 10.0 * static_cast<double>(u), 1000}, 100});
+  }
+  const geo::STBox cloak = server.Cloak(STPoint{{1050, 1000}, 200});
+  ASSERT_FALSE(cloak.IsEmpty());
+  EXPECT_GE(server.db().CountUsersWithSampleIn(cloak), 3u);
+  // Much smaller than the whole world.
+  EXPECT_LT(cloak.area.Area(), 8192.0 * 8192.0 / 4.0);
+  EXPECT_TRUE(cloak.area.Contains(Point{1050, 1000}));
+}
+
+TEST(IntervalCloakTest, SparseWorldYieldsEmptyCloak) {
+  IntervalCloakOptions options;
+  options.k = 5;
+  IntervalCloakServer server(Rect{0, 0, 8192, 8192}, options);
+  server.OnLocationUpdate(1, STPoint{{100, 100}, 100});
+  EXPECT_TRUE(server.Cloak(STPoint{{100, 100}, 200}).IsEmpty());
+}
+
+TEST(IntervalCloakTest, RequestsCountedAndForwarded) {
+  IntervalCloakOptions options;
+  options.k = 2;
+  IntervalCloakServer server(Rect{0, 0, 8192, 8192}, options);
+  ts::ServiceProvider provider;
+  server.ConnectServiceProvider(&provider);
+  server.OnLocationUpdate(1, STPoint{{500, 500}, 100});
+  server.OnLocationUpdate(2, STPoint{{520, 500}, 110});
+  server.OnServiceRequest(1, STPoint{{510, 500}, 200}, Intent());
+  EXPECT_EQ(server.stats().requests, 1u);
+  EXPECT_EQ(server.stats().forwarded, 1u);
+  ASSERT_EQ(provider.log().size(), 1u);
+  // Stable per-user pseudonym.
+  server.OnServiceRequest(1, STPoint{{515, 500}, 400}, Intent());
+  ASSERT_EQ(provider.log().size(), 2u);
+  EXPECT_EQ(provider.log()[0].pseudonym, provider.log()[1].pseudonym);
+}
+
+TEST(IntervalCloakTest, RejectionCounted) {
+  IntervalCloakOptions options;
+  options.k = 4;
+  IntervalCloakServer server(Rect{0, 0, 8192, 8192}, options);
+  server.OnServiceRequest(1, STPoint{{510, 500}, 200}, Intent());
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_DOUBLE_EQ(server.stats().SuccessRate(), 0.0);
+}
+
+TEST(CliqueCloakTest, GroupFormsWhenKSendersArrive) {
+  CliqueCloakOptions options;
+  options.k = 3;
+  CliqueCloakServer server(options);
+  ts::ServiceProvider provider;
+  server.ConnectServiceProvider(&provider);
+  server.OnServiceRequest(1, STPoint{{100, 100}, 10}, Intent());
+  server.OnServiceRequest(2, STPoint{{150, 100}, 20}, Intent());
+  EXPECT_EQ(provider.log().size(), 0u);  // Still waiting.
+  EXPECT_EQ(server.pending(), 2u);
+  server.OnServiceRequest(3, STPoint{{120, 140}, 30}, Intent());
+  EXPECT_EQ(provider.log().size(), 3u);  // Group released together.
+  EXPECT_EQ(server.pending(), 0u);
+  // All three share one context covering their exact points.
+  const geo::STBox& box = provider.log()[0].context;
+  EXPECT_EQ(provider.log()[1].context, box);
+  EXPECT_TRUE(box.Contains(STPoint{{100, 100}, 10}));
+  EXPECT_TRUE(box.Contains(STPoint{{120, 140}, 30}));
+}
+
+TEST(CliqueCloakTest, SameUserRequestsDoNotFormAGroup) {
+  CliqueCloakOptions options;
+  options.k = 2;
+  CliqueCloakServer server(options);
+  server.OnServiceRequest(1, STPoint{{100, 100}, 10}, Intent());
+  server.OnServiceRequest(1, STPoint{{101, 100}, 20}, Intent());
+  EXPECT_EQ(server.pending(), 2u);
+  EXPECT_EQ(server.stats().forwarded, 0u);
+}
+
+TEST(CliqueCloakTest, FarApartRequestsDoNotGroup) {
+  CliqueCloakOptions options;
+  options.k = 2;
+  options.max_box_extent = 1000.0;
+  CliqueCloakServer server(options);
+  server.OnServiceRequest(1, STPoint{{0, 0}, 10}, Intent());
+  server.OnServiceRequest(2, STPoint{{50000, 0}, 20}, Intent());
+  EXPECT_EQ(server.stats().forwarded, 0u);
+  EXPECT_EQ(server.pending(), 2u);
+}
+
+TEST(CliqueCloakTest, ExpiryRejectsOverdueRequests) {
+  CliqueCloakOptions options;
+  options.k = 2;
+  options.max_defer = 100;
+  CliqueCloakServer server(options);
+  server.OnServiceRequest(1, STPoint{{0, 0}, 10}, Intent());
+  // A late request from far away triggers expiry of the first.
+  server.OnServiceRequest(2, STPoint{{50000, 0}, 500}, Intent());
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.pending(), 1u);
+  server.Flush(1000);
+  EXPECT_EQ(server.stats().rejected, 2u);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(CliqueCloakTest, DeferTimeTracked) {
+  CliqueCloakOptions options;
+  options.k = 2;
+  CliqueCloakServer server(options);
+  server.OnServiceRequest(1, STPoint{{100, 100}, 10}, Intent());
+  server.OnServiceRequest(2, STPoint{{110, 100}, 90}, Intent());
+  EXPECT_EQ(server.stats().forwarded, 2u);
+  // First request waited 80 s; second 0 s.
+  EXPECT_DOUBLE_EQ(server.stats().defer_sum, 80.0);
+}
+
+TEST(NoPrivacyTest, ForwardsExactDegenerateContext) {
+  NoPrivacyServer server;
+  ts::ServiceProvider provider;
+  server.ConnectServiceProvider(&provider);
+  server.OnServiceRequest(1, STPoint{{123, 456}, 789}, Intent());
+  ASSERT_EQ(provider.log().size(), 1u);
+  EXPECT_DOUBLE_EQ(provider.log()[0].context.area.Area(), 0.0);
+  EXPECT_TRUE(provider.log()[0].context.Contains(STPoint{{123, 456}, 789}));
+  EXPECT_EQ(server.stats().forwarded, 1u);
+  // Pseudonyms stable per user, distinct across users.
+  server.OnServiceRequest(1, STPoint{{1, 1}, 800}, Intent());
+  server.OnServiceRequest(2, STPoint{{2, 2}, 801}, Intent());
+  EXPECT_EQ(provider.log()[0].pseudonym, provider.log()[1].pseudonym);
+  EXPECT_NE(provider.log()[0].pseudonym, provider.log()[2].pseudonym);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace histkanon

@@ -1,0 +1,118 @@
+#include "src/tgran/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace tgran {
+namespace {
+
+TEST(FloorDivTest, RoundsTowardNegativeInfinity) {
+  EXPECT_EQ(FloorDiv(7, 3), 2);
+  EXPECT_EQ(FloorDiv(-7, 3), -3);
+  EXPECT_EQ(FloorDiv(-6, 3), -2);
+  EXPECT_EQ(FloorDiv(0, 3), 0);
+}
+
+TEST(FloorModTest, AlwaysNonNegativeForPositiveModulus) {
+  EXPECT_EQ(FloorMod(7, 3), 1);
+  EXPECT_EQ(FloorMod(-7, 3), 2);
+  EXPECT_EQ(FloorMod(-6, 3), 0);
+}
+
+TEST(CalendarTest, EpochIsMondayMidnight) {
+  EXPECT_EQ(DayOfWeek(0), 0);  // Monday.
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(WeekIndex(0), 0);
+  EXPECT_EQ(SecondOfDay(0), 0);
+  EXPECT_EQ(CivilFromInstant(0), (CivilDate{2005, 1, 3}));
+}
+
+TEST(CalendarTest, DayOfWeekCycles) {
+  for (int d = 0; d < 14; ++d) {
+    EXPECT_EQ(DayOfWeek(d * kSecondsPerDay), d % 7);
+  }
+  // Day before the epoch is a Sunday.
+  EXPECT_EQ(DayOfWeek(-1), 6);
+  EXPECT_EQ(DayOfWeek(-kSecondsPerDay), 6);
+}
+
+TEST(CalendarTest, SecondOfDayAndNegativeInstants) {
+  EXPECT_EQ(SecondOfDay(At(3, 7, 30)), 7 * 3600 + 30 * 60);
+  EXPECT_EQ(SecondOfDay(-1), kSecondsPerDay - 1);
+  EXPECT_EQ(DayIndex(-1), -1);
+}
+
+TEST(CalendarTest, WeekIndexBoundaries) {
+  EXPECT_EQ(WeekIndex(7 * kSecondsPerDay - 1), 0);
+  EXPECT_EQ(WeekIndex(7 * kSecondsPerDay), 1);
+  EXPECT_EQ(WeekIndex(-1), -1);
+}
+
+TEST(CalendarTest, AtHelper) {
+  EXPECT_EQ(At(0, 0), 0);
+  EXPECT_EQ(At(1, 7, 30, 15), kSecondsPerDay + 7 * 3600 + 30 * 60 + 15);
+}
+
+TEST(CalendarTest, DaysFromCivilKnownValues) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+}
+
+struct CivilCase {
+  int year;
+  int month;
+  int day;
+};
+
+class CivilRoundTripTest : public ::testing::TestWithParam<CivilCase> {};
+
+TEST_P(CivilRoundTripTest, RoundTripsThroughDays) {
+  const CivilCase c = GetParam();
+  const int64_t days = DaysFromCivil(c.year, c.month, c.day);
+  const CivilDate back = CivilFromDays(days);
+  EXPECT_EQ(back.year, c.year);
+  EXPECT_EQ(back.month, c.month);
+  EXPECT_EQ(back.day, c.day);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, CivilRoundTripTest,
+    ::testing::Values(CivilCase{2005, 1, 3}, CivilCase{2005, 12, 31},
+                      CivilCase{2004, 2, 29},  // Leap day.
+                      CivilCase{2005, 2, 28}, CivilCase{2000, 2, 29},
+                      CivilCase{1900, 3, 1}, CivilCase{2100, 1, 1},
+                      CivilCase{1970, 1, 1}, CivilCase{1969, 7, 20}));
+
+TEST(CalendarTest, CivilInstantRoundTrip) {
+  for (int64_t day = -400; day <= 400; day += 37) {
+    const Instant t = day * kSecondsPerDay;
+    EXPECT_EQ(InstantFromCivil(CivilFromInstant(t)), t);
+  }
+}
+
+TEST(CalendarTest, MonthIndexProgression) {
+  EXPECT_EQ(MonthIndex(0), 0);  // January 2005.
+  // January 2005 has 31 days; the epoch is Jan 3, so Feb 1 is day 29.
+  EXPECT_EQ(MonthIndex(At(28, 12)), 0);   // Jan 31.
+  EXPECT_EQ(MonthIndex(At(29, 0)), 1);    // Feb 1.
+  EXPECT_EQ(MonthIndex(At(29 + 28, 0)), 2);  // Mar 1 (2005 not a leap year).
+}
+
+TEST(CalendarTest, MonthStartInvertsMonthIndex) {
+  for (int64_t m = -14; m <= 26; ++m) {
+    const Instant start = MonthStart(m);
+    EXPECT_EQ(MonthIndex(start), m);
+    EXPECT_EQ(MonthIndex(start - 1), m - 1);
+  }
+}
+
+TEST(CalendarTest, FormatInstantReadable) {
+  EXPECT_EQ(FormatInstant(At(1, 7, 30, 5)), "Tue d1 07:30:05");
+  EXPECT_EQ(FormatInstant(0), "Mon d0 00:00:00");
+}
+
+}  // namespace
+}  // namespace tgran
+}  // namespace histkanon

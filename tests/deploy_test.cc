@@ -1,0 +1,127 @@
+#include "src/deploy/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tgran/calendar.h"
+
+namespace histkanon {
+namespace deploy {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+// A database with a dense, moving crowd in the west half of a 4 km square
+// during morning hours, and nothing in the east half.
+mod::MovingObjectDb MakeLopsidedDb() {
+  mod::MovingObjectDb db;
+  common::Rng rng(9);
+  for (mod::UserId user = 0; user < 60; ++user) {
+    const double base_x = rng.Uniform(100, 1800);
+    const double base_y = rng.Uniform(100, 3900);
+    const double heading = rng.Uniform(0, 2 * M_PI);
+    for (int64_t day = 0; day < 5; ++day) {
+      // Samples every 5 minutes through the 08:00-09:00 window, drifting
+      // along a per-user heading (so mix-zones can see movement).
+      for (int minute = 0; minute <= 60; minute += 5) {
+        const double drift = 1.5 * 60.0 * minute;
+        db.Append(user,
+                  STPoint{{base_x + drift * std::cos(heading) / 60.0,
+                           base_y + drift * std::sin(heading) / 60.0},
+                          At(day, 8, minute)})
+            .ok();
+      }
+    }
+  }
+  return db;
+}
+
+TEST(DeployabilityAnalyzerTest, ValidationErrors) {
+  const mod::MovingObjectDb db;
+  DeployabilityAnalyzer analyzer(&db, DeployabilityOptions());
+  const auto window = *tgran::UTimeInterval::FromHours(8, 9);
+  EXPECT_TRUE(analyzer.Analyze(Rect::Empty(), window, {0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(analyzer.Analyze(Rect{0, 0, 100, 100}, window, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DeployabilityAnalyzerTest, GridDimensionsCoverRegion) {
+  const mod::MovingObjectDb db;
+  DeployabilityOptions options;
+  options.cell_meters = 1000.0;
+  DeployabilityAnalyzer analyzer(&db, options);
+  const auto report = analyzer.Analyze(
+      Rect{0, 0, 2500, 1500}, *tgran::UTimeInterval::FromHours(8, 9), {0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->columns, 3u);
+  EXPECT_EQ(report->rows, 2u);
+  EXPECT_EQ(report->cells.size(), 6u);
+}
+
+TEST(DeployabilityAnalyzerTest, DenseSideDeploysSparseSideDoesNot) {
+  const mod::MovingObjectDb db = MakeLopsidedDb();
+  DeployabilityOptions options;
+  options.cell_meters = 1000.0;
+  options.k = 5;
+  options.tolerance = anon::ToleranceConstraints{1000.0, 1000.0, 900};
+  DeployabilityAnalyzer analyzer(&db, options);
+  const auto report = analyzer.Analyze(
+      Rect{0, 0, 4000, 4000}, *tgran::UTimeInterval::FromHours(8, 9),
+      {0, 1, 2, 3, 4});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->cells.size(), 16u);
+
+  double west_serviceability = 0.0;
+  double east_serviceability = 0.0;
+  for (size_t r = 0; r < report->rows; ++r) {
+    for (size_t c = 0; c < report->columns; ++c) {
+      const CellReport& cell = report->cells[r * report->columns + c];
+      if (c < 2) {
+        west_serviceability += cell.serviceability;
+      } else {
+        east_serviceability += cell.serviceability;
+      }
+    }
+  }
+  EXPECT_GT(west_serviceability, east_serviceability);
+  // The far east column saw no users at all.
+  const CellReport& far_east = report->cells[1 * report->columns + 3];
+  EXPECT_DOUBLE_EQ(far_east.mean_anonymity_set, 0.0);
+  EXPECT_FALSE(far_east.deployable);
+}
+
+TEST(DeployabilityAnalyzerTest, AsciiMapShapeMatchesGrid) {
+  const mod::MovingObjectDb db = MakeLopsidedDb();
+  DeployabilityOptions options;
+  options.cell_meters = 1000.0;
+  DeployabilityAnalyzer analyzer(&db, options);
+  const auto report = analyzer.Analyze(
+      Rect{0, 0, 4000, 3000}, *tgran::UTimeInterval::FromHours(8, 9), {0});
+  ASSERT_TRUE(report.ok());
+  const std::string map = report->RenderAsciiMap();
+  // rows lines of columns characters (+ newline each).
+  EXPECT_EQ(map.size(), report->rows * (report->columns + 1));
+  EXPECT_EQ(static_cast<size_t>(std::count(map.begin(), map.end(), '\n')),
+            report->rows);
+}
+
+TEST(DeployabilityReportTest, FractionArithmetic) {
+  DeployabilityReport report;
+  EXPECT_DOUBLE_EQ(report.DeployableFraction(), 0.0);
+  CellReport yes;
+  yes.deployable = true;
+  CellReport no;
+  report.cells = {yes, no, yes, no};
+  EXPECT_EQ(report.DeployableCells(), 2u);
+  EXPECT_DOUBLE_EQ(report.DeployableFraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace deploy
+}  // namespace histkanon

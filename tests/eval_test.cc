@@ -1,0 +1,42 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/table.h"
+
+namespace histkanon {
+namespace eval {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"k", "success", "area"});
+  table.AddRow({"2", "0.98", "1200.5"});
+  table.AddRow({"10", "0.71", "54000.0"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("k   success  area"), std::string::npos);
+  EXPECT_NE(out.find("10  0.71     54000.0"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table table({"a", "b"});
+  table.AddRow({"only-a"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only-a"), std::string::npos);
+}
+
+TEST(TableTest, ExtraCellsDropped) {
+  Table table({"a"});
+  table.AddRow({"x", "dropped"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str().find("dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace histkanon

@@ -1,0 +1,171 @@
+// Algorithm 1 tests, including the Theorem-1 mechanism: a generalized box
+// anchored on k users is LT-consistent with each anchor's PHL.
+
+#include "src/anon/generalize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/anon/hka.h"
+#include "src/common/rng.h"
+#include "src/stindex/brute_force_index.h"
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::STPoint;
+
+class GeneralizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Ten users on a line x = 100*u at t = 10*u, plus requester 0 at origin.
+    for (mod::UserId user = 1; user <= 10; ++user) {
+      Add(user, STPoint{{100.0 * user, 0.0}, 10 * user});
+    }
+    Add(0, STPoint{{0, 0}, 0});
+  }
+
+  void Add(mod::UserId user, const STPoint& sample) {
+    ASSERT_TRUE(db_.Append(user, sample).ok());
+    index_.Insert(user, sample);
+  }
+
+  Generalizer MakeGeneralizer(GeneralizerOptions options = {}) {
+    return Generalizer(&db_, &index_, options);
+  }
+
+  mod::MovingObjectDb db_;
+  stindex::BruteForceIndex index_;
+  ToleranceConstraints loose_{100000.0, 100000.0, 100000};
+};
+
+TEST_F(GeneralizeTest, FirstElementSelectsKNearestUsers) {
+  const Generalizer generalizer = MakeGeneralizer();
+  const auto result =
+      generalizer.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->hk_anonymity);
+  EXPECT_EQ(result->anchors, (std::vector<mod::UserId>{1, 2, 3}));
+  // Box covers the request point and the anchors' samples.
+  EXPECT_TRUE(result->box.Contains(STPoint{{0, 0}, 0}));
+  EXPECT_TRUE(result->box.Contains(STPoint{{300, 0}, 30}));
+}
+
+TEST_F(GeneralizeTest, AnchoredModeUsesGivenUsers) {
+  const Generalizer generalizer = MakeGeneralizer();
+  const auto result = generalizer.Generalize(STPoint{{500, 0}, 50}, 0,
+                                             {7, 8}, 2, loose_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->hk_anonymity);
+  EXPECT_EQ(result->anchors, (std::vector<mod::UserId>{7, 8}));
+  EXPECT_TRUE(result->box.Contains(STPoint{{700, 0}, 70}));
+  EXPECT_TRUE(result->box.Contains(STPoint{{800, 0}, 80}));
+}
+
+TEST_F(GeneralizeTest, AnchoredModeFailsOnUnknownAnchor) {
+  const Generalizer generalizer = MakeGeneralizer();
+  const auto result =
+      generalizer.Generalize(STPoint{{0, 0}, 0}, 0, {999}, 1, loose_);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(GeneralizeTest, ToleranceClippingClearsHkFlag) {
+  const Generalizer generalizer = MakeGeneralizer();
+  // k=5 needs a box spanning 500 m but tolerance allows 200 m.
+  const ToleranceConstraints tight{200.0, 200.0, 30};
+  const auto result =
+      generalizer.Generalize(STPoint{{0, 0}, 0}, 0, {}, 5, tight);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->hk_anonymity);
+  EXPECT_LE(result->box.area.Width(), 200.0 + 1e-9);
+  EXPECT_LE(result->box.time.Length(), 30);
+  EXPECT_TRUE(result->box.Contains(STPoint{{0, 0}, 0}));
+}
+
+TEST_F(GeneralizeTest, NotEnoughUsersClearsHkFlag) {
+  const Generalizer generalizer = MakeGeneralizer();
+  const auto result =
+      generalizer.Generalize(STPoint{{0, 0}, 0}, 0, {}, 50, loose_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->hk_anonymity);
+  EXPECT_EQ(result->anchors.size(), 10u);
+}
+
+TEST_F(GeneralizeTest, MinimumExtentsApplied) {
+  GeneralizerOptions options;
+  options.min_area_width = 250.0;
+  options.min_area_height = 250.0;
+  options.min_time_window = 120;
+  const Generalizer generalizer = MakeGeneralizer(options);
+  // k=1 with an anchor 100 m away: raw box is 100x0; padding applies.
+  const auto result =
+      generalizer.Generalize(STPoint{{0, 0}, 0}, 0, {}, 1, loose_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->box.area.Width(), 250.0);
+  EXPECT_GE(result->box.area.Height(), 250.0);
+  EXPECT_GE(result->box.time.Length(), 120);
+}
+
+TEST_F(GeneralizeTest, DefaultContextRespectsTolerance) {
+  GeneralizerOptions options;
+  options.min_area_width = 500.0;
+  options.min_time_window = 600;
+  const Generalizer generalizer = MakeGeneralizer(options);
+  const ToleranceConstraints tight{200.0, 200.0, 60};
+  const geo::STBox context =
+      generalizer.DefaultContext(STPoint{{50, 50}, 1000}, tight);
+  EXPECT_LE(context.area.Width(), 200.0);
+  EXPECT_LE(context.time.Length(), 60);
+  EXPECT_TRUE(context.Contains(STPoint{{50, 50}, 1000}));
+}
+
+// The Theorem-1 mechanism as a property test: with random populations, a
+// successful (unclipped) generalization anchored on k users yields a box
+// containing a PHL sample of every anchor, hence each anchor stays
+// LT-consistent with the whole trace and HkA holds.
+class GeneralizeHkaPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneralizeHkaPropertyTest, AnchoredTraceSatisfiesHka) {
+  const size_t k = GetParam();
+  common::Rng rng(k * 7919 + 1);
+  mod::MovingObjectDb db;
+  stindex::BruteForceIndex index;
+  for (mod::UserId user = 0; user < 40; ++user) {
+    geo::Instant t = 0;
+    for (int i = 0; i < 30; ++i) {
+      t += rng.UniformInt(30, 300);
+      const STPoint sample{{rng.Uniform(0, 4000), rng.Uniform(0, 4000)}, t};
+      ASSERT_TRUE(db.Append(user, sample).ok());
+      index.Insert(user, sample);
+    }
+  }
+  const Generalizer generalizer(&db, &index);
+  const HkaEvaluator evaluator(&db);
+  const ToleranceConstraints loose{100000.0, 100000.0, 1000000};
+
+  // A 5-step trace by user 0.
+  std::vector<geo::STBox> contexts;
+  std::vector<mod::UserId> anchors;
+  for (int step = 0; step < 5; ++step) {
+    const STPoint exact{{rng.Uniform(0, 4000), rng.Uniform(0, 4000)},
+                        rng.UniformInt(step * 1000, step * 1000 + 999)};
+    const auto result =
+        generalizer.Generalize(exact, 0, anchors, k, loose);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result->hk_anonymity);
+    ASSERT_EQ(result->anchors.size(), k);
+    anchors = result->anchors;
+    contexts.push_back(result->box);
+  }
+  const HkaResult hka = evaluator.Evaluate(0, contexts, k + 1);
+  // All k anchors must be LT-consistent witnesses: at least k others.
+  EXPECT_GE(hka.consistent_others, k);
+  EXPECT_TRUE(evaluator.Evaluate(0, contexts, k).satisfied);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, GeneralizeHkaPropertyTest,
+                         ::testing::Values(2u, 3u, 5u, 8u, 12u));
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

@@ -1,0 +1,232 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/geo/interval.h"
+#include "src/geo/point.h"
+#include "src/geo/rect.h"
+#include "src/geo/stbox.h"
+
+namespace histkanon {
+namespace geo {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Point{0, 0}, Point{3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+TEST(STMetricTest, WeightsTimeAxis) {
+  STMetric metric{2.0};  // 1 s counts as 2 m.
+  const STPoint a{{0, 0}, 0};
+  const STPoint b{{0, 0}, 10};
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b), 20.0);
+  const STPoint c{{3, 4}, 0};
+  EXPECT_DOUBLE_EQ(metric.Distance(a, c), 5.0);
+}
+
+TEST(STMetricTest, SymmetricInTime) {
+  STMetric metric{1.5};
+  const STPoint a{{1, 2}, 100};
+  const STPoint b{{4, 6}, 40};
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b), metric.Distance(b, a));
+}
+
+TEST(RectTest, ContainsPointsIncludingBoundary) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.Contains(Point{5, 2}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{10, 5}));
+  EXPECT_FALSE(r.Contains(Point{10.001, 5}));
+  EXPECT_FALSE(r.Contains(Point{-0.001, 2}));
+}
+
+TEST(RectTest, EmptyRect) {
+  const Rect empty = Rect::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains(Point{0, 0}));
+  EXPECT_DOUBLE_EQ(empty.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Width(), 0.0);
+}
+
+TEST(RectTest, FromPointIsDegenerate) {
+  const Rect r = Rect::FromPoint(Point{3, 7});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains(Point{3, 7}));
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+}
+
+TEST(RectTest, FromCenter) {
+  const Rect r = Rect::FromCenter(Point{10, 20}, 4, 6);
+  EXPECT_DOUBLE_EQ(r.min_x, 8);
+  EXPECT_DOUBLE_EQ(r.max_x, 12);
+  EXPECT_DOUBLE_EQ(r.min_y, 17);
+  EXPECT_DOUBLE_EQ(r.max_y, 23);
+  EXPECT_EQ(r.Center(), (Point{10, 20}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.Contains(Rect{2, 2, 8, 8}));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect{2, 2, 11, 8}));
+  EXPECT_TRUE(outer.Contains(Rect::Empty()));
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.Intersects(Rect{5, 5, 15, 15}));
+  EXPECT_TRUE(a.Intersects(Rect{10, 10, 20, 20}));  // Shared corner.
+  EXPECT_FALSE(a.Intersects(Rect{11, 0, 20, 10}));
+  EXPECT_FALSE(a.Intersects(Rect::Empty()));
+}
+
+TEST(RectTest, ExpandToInclude) {
+  Rect r = Rect::FromPoint(Point{1, 1});
+  r.ExpandToInclude(Point{5, -2});
+  EXPECT_EQ(r, (Rect{1, -2, 5, 1}));
+  Rect empty = Rect::Empty();
+  empty.ExpandToInclude(Rect{0, 0, 2, 2});
+  EXPECT_EQ(empty, (Rect{0, 0, 2, 2}));
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{2, 2, 6, 6};
+  EXPECT_EQ(Rect::Union(a, b), (Rect{0, 0, 6, 6}));
+  EXPECT_EQ(Rect::Intersection(a, b), (Rect{2, 2, 4, 4}));
+  EXPECT_TRUE(Rect::Intersection(a, Rect{5, 5, 6, 6}).IsEmpty());
+}
+
+TEST(RectTest, BufferedGrowsEverySide) {
+  const Rect r = Rect{1, 1, 3, 3}.Buffered(0.5);
+  EXPECT_EQ(r, (Rect{0.5, 0.5, 3.5, 3.5}));
+}
+
+TEST(RectTest, ShrunkToFitRespectsLimitsAndKeepsAnchor) {
+  const Rect r{0, 0, 100, 60};
+  const Point anchor{90, 10};
+  const Rect shrunk = r.ShrunkToFit(anchor, 20, 20);
+  EXPECT_LE(shrunk.Width(), 20.0 + 1e-9);
+  EXPECT_LE(shrunk.Height(), 20.0 + 1e-9);
+  EXPECT_TRUE(shrunk.Contains(anchor));
+}
+
+TEST(RectTest, ShrunkToFitNoopWhenAlreadySmall) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.ShrunkToFit(Point{5, 5}, 20, 20), r);
+}
+
+TEST(TimeIntervalTest, ContainsAndLength) {
+  const TimeInterval t{10, 20};
+  EXPECT_TRUE(t.Contains(10));
+  EXPECT_TRUE(t.Contains(20));
+  EXPECT_FALSE(t.Contains(21));
+  EXPECT_EQ(t.Length(), 10);
+  EXPECT_EQ(t.Center(), 15);
+}
+
+TEST(TimeIntervalTest, EmptyInterval) {
+  const TimeInterval empty = TimeInterval::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains(0));
+  EXPECT_EQ(empty.Length(), 0);
+}
+
+TEST(TimeIntervalTest, FromCenterCoversRequestedLength) {
+  const TimeInterval t = TimeInterval::FromCenter(100, 60);
+  EXPECT_EQ(t.Length(), 60);
+  EXPECT_TRUE(t.Contains(100));
+}
+
+TEST(TimeIntervalTest, UnionIntersection) {
+  const TimeInterval a{0, 10};
+  const TimeInterval b{5, 20};
+  EXPECT_EQ(TimeInterval::Union(a, b), (TimeInterval{0, 20}));
+  EXPECT_EQ(TimeInterval::Intersection(a, b), (TimeInterval{5, 10}));
+  EXPECT_TRUE(TimeInterval::Intersection(a, TimeInterval{11, 20}).IsEmpty());
+}
+
+TEST(TimeIntervalTest, ShrunkToFit) {
+  const TimeInterval t{0, 1000};
+  const TimeInterval shrunk = t.ShrunkToFit(900, 100);
+  EXPECT_LE(shrunk.Length(), 100);
+  EXPECT_TRUE(shrunk.Contains(900));
+}
+
+TEST(STBoxTest, ContainsRequiresBothDimensions) {
+  const STBox box{Rect{0, 0, 10, 10}, TimeInterval{0, 100}};
+  EXPECT_TRUE(box.Contains(STPoint{{5, 5}, 50}));
+  EXPECT_FALSE(box.Contains(STPoint{{5, 5}, 101}));
+  EXPECT_FALSE(box.Contains(STPoint{{11, 5}, 50}));
+}
+
+TEST(STBoxTest, ExpandFromEmpty) {
+  STBox box = STBox::Empty();
+  EXPECT_TRUE(box.IsEmpty());
+  box.ExpandToInclude(STPoint{{1, 2}, 3});
+  EXPECT_EQ(box, STBox::FromPoint(STPoint{{1, 2}, 3}));
+  box.ExpandToInclude(STPoint{{5, 0}, 10});
+  EXPECT_TRUE(box.Contains(STPoint{{1, 2}, 3}));
+  EXPECT_TRUE(box.Contains(STPoint{{5, 0}, 10}));
+}
+
+TEST(STBoxTest, VolumeIsAreaTimesWindow) {
+  const STBox box{Rect{0, 0, 10, 5}, TimeInterval{0, 100}};
+  EXPECT_DOUBLE_EQ(box.Volume(), 10.0 * 5.0 * 100.0);
+}
+
+// Property sweep: Union always contains both operands; Intersection is
+// contained in both.
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, UnionContainsIntersectionContained) {
+  common::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    auto random_rect = [&rng]() {
+      const double x1 = rng.Uniform(-100, 100);
+      const double x2 = rng.Uniform(-100, 100);
+      const double y1 = rng.Uniform(-100, 100);
+      const double y2 = rng.Uniform(-100, 100);
+      return Rect{std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+                  std::max(y1, y2)};
+    };
+    const Rect a = random_rect();
+    const Rect b = random_rect();
+    const Rect u = Rect::Union(a, b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    const Rect x = Rect::Intersection(a, b);
+    if (!x.IsEmpty()) {
+      EXPECT_TRUE(a.Contains(x));
+      EXPECT_TRUE(b.Contains(x));
+      EXPECT_TRUE(a.Intersects(b));
+    } else {
+      EXPECT_FALSE(a.Intersects(b));
+    }
+  }
+}
+
+TEST_P(RectPropertyTest, ShrunkToFitInvariants) {
+  common::Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 200; ++i) {
+    const Rect r{0, 0, rng.Uniform(1, 500), rng.Uniform(1, 500)};
+    const Point anchor{rng.Uniform(r.min_x, r.max_x),
+                       rng.Uniform(r.min_y, r.max_y)};
+    const double max_w = rng.Uniform(1, 200);
+    const double max_h = rng.Uniform(1, 200);
+    const Rect shrunk = r.ShrunkToFit(anchor, max_w, max_h);
+    EXPECT_LE(shrunk.Width(), max_w + 1e-9);
+    EXPECT_LE(shrunk.Height(), max_h + 1e-9);
+    EXPECT_TRUE(shrunk.Contains(anchor));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace geo
+}  // namespace histkanon

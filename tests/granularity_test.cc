@@ -1,0 +1,122 @@
+#include "src/tgran/granularity.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace tgran {
+namespace {
+
+TEST(FixedGranularityTest, DayGranules) {
+  const FixedGranularity day("day", kSecondsPerDay);
+  EXPECT_EQ(day.GranuleOf(0), 0);
+  EXPECT_EQ(day.GranuleOf(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day.GranuleOf(kSecondsPerDay), 1);
+  EXPECT_EQ(day.GranuleOf(-1), -1);
+  const geo::TimeInterval g0 = day.GranuleInterval(0);
+  EXPECT_EQ(g0.lo, 0);
+  EXPECT_EQ(g0.hi, kSecondsPerDay - 1);
+}
+
+TEST(FixedGranularityTest, OffsetShiftsGranules) {
+  const FixedGranularity shifted("shifted-hour", kSecondsPerHour, 1800);
+  EXPECT_EQ(shifted.GranuleOf(1800), 0);
+  EXPECT_EQ(shifted.GranuleOf(1799), -1);
+  EXPECT_EQ(shifted.GranuleInterval(0).lo, 1800);
+}
+
+TEST(FixedGranularityTest, GranuleOfMatchesInterval) {
+  const FixedGranularity week("week", kSecondsPerWeek);
+  for (Instant t = -2 * kSecondsPerWeek; t < 2 * kSecondsPerWeek;
+       t += 13 * kSecondsPerHour) {
+    const int64_t g = *week.GranuleOf(t);
+    EXPECT_TRUE(week.GranuleInterval(g).Contains(t));
+  }
+}
+
+TEST(WeekdaysGranularityTest, GapsOnWeekends) {
+  const WeekdaysGranularity weekdays;
+  // Epoch (day 0) is Monday.
+  EXPECT_EQ(weekdays.GranuleOf(At(0, 12)), 0);
+  EXPECT_EQ(weekdays.GranuleOf(At(4, 12)), 4);             // Friday.
+  EXPECT_FALSE(weekdays.GranuleOf(At(5, 12)).has_value());  // Saturday.
+  EXPECT_FALSE(weekdays.GranuleOf(At(6, 12)).has_value());  // Sunday.
+  EXPECT_EQ(weekdays.GranuleOf(At(7, 12)), 5);              // Next Monday.
+}
+
+TEST(WeekdaysGranularityTest, IntervalInvertsIndex) {
+  const WeekdaysGranularity weekdays;
+  for (int64_t index = -10; index <= 10; ++index) {
+    const geo::TimeInterval interval = weekdays.GranuleInterval(index);
+    EXPECT_EQ(weekdays.GranuleOf(interval.lo), index);
+    EXPECT_EQ(weekdays.GranuleOf(interval.hi), index);
+  }
+}
+
+TEST(SpecificWeekdayGranularityTest, MondaysOnly) {
+  const SpecificWeekdayGranularity mondays(0);
+  EXPECT_EQ(mondays.name(), "mondays");
+  EXPECT_EQ(mondays.GranuleOf(At(0, 9)), 0);
+  EXPECT_FALSE(mondays.GranuleOf(At(1, 9)).has_value());
+  EXPECT_EQ(mondays.GranuleOf(At(7, 9)), 1);
+  EXPECT_EQ(mondays.GranuleInterval(1).lo, At(7, 0));
+}
+
+TEST(SpecificWeekdayGranularityTest, SundaysName) {
+  const SpecificWeekdayGranularity sundays(6);
+  EXPECT_EQ(sundays.name(), "sundays");
+  EXPECT_EQ(sundays.GranuleOf(At(6, 9)), 0);
+  EXPECT_FALSE(sundays.GranuleOf(At(0, 9)).has_value());
+}
+
+TEST(MonthsGranularityTest, GranulesAreCivilMonths) {
+  const MonthsGranularity months;
+  EXPECT_EQ(months.GranuleOf(0), 0);
+  const geo::TimeInterval january = months.GranuleInterval(0);
+  // January 2005: epoch is Jan 3, so the granule starts 2 days earlier.
+  EXPECT_EQ(january.lo, -2 * kSecondsPerDay);
+  EXPECT_EQ(january.hi, At(29, 0) - 1);  // Last second of Jan 31.
+  EXPECT_EQ(months.GranuleOf(january.hi), 0);
+  EXPECT_EQ(months.GranuleOf(january.hi + 1), 1);
+}
+
+TEST(GroupedGranularityTest, DayPairs) {
+  auto day = std::make_shared<FixedGranularity>("day", kSecondsPerDay);
+  const GroupedGranularity pairs("daypair", day, 2);
+  EXPECT_EQ(pairs.GranuleOf(At(0, 5)), 0);
+  EXPECT_EQ(pairs.GranuleOf(At(1, 5)), 0);
+  EXPECT_EQ(pairs.GranuleOf(At(2, 5)), 1);
+  const geo::TimeInterval g0 = pairs.GranuleInterval(0);
+  EXPECT_EQ(g0.lo, 0);
+  EXPECT_EQ(g0.hi, 2 * kSecondsPerDay - 1);
+}
+
+TEST(GranularityRegistryTest, DefaultsPresent) {
+  const GranularityRegistry registry = GranularityRegistry::WithDefaults();
+  for (const char* name :
+       {"minute", "hour", "day", "week", "month", "weekdays", "mondays",
+        "sundays", "daypair"}) {
+    EXPECT_TRUE(registry.Find(name).ok()) << name;
+  }
+  EXPECT_TRUE(registry.Find("fortnight").status().IsNotFound());
+}
+
+TEST(GranularityRegistryTest, RegisterRejectsDuplicates) {
+  GranularityRegistry registry = GranularityRegistry::WithDefaults();
+  auto duplicate = std::make_shared<FixedGranularity>("day", kSecondsPerDay);
+  EXPECT_TRUE(registry.Register(duplicate).IsAlreadyExists());
+  auto fresh =
+      std::make_shared<FixedGranularity>("decasecond", 10);
+  EXPECT_TRUE(registry.Register(fresh).ok());
+  EXPECT_TRUE(registry.Find("decasecond").ok());
+}
+
+TEST(GranularityRegistryTest, NamesSorted) {
+  const GranularityRegistry registry = GranularityRegistry::WithDefaults();
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_GE(names.size(), 13u);
+}
+
+}  // namespace
+}  // namespace tgran
+}  // namespace histkanon

@@ -1,0 +1,77 @@
+#include "src/anon/hka.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::STPoint;
+using geo::TimeInterval;
+
+class HkaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Users 1..3 commute origin->corner; user 4 stays put at the origin.
+    for (mod::UserId user = 1; user <= 3; ++user) {
+      ASSERT_TRUE(db_.Append(user, STPoint{{10.0 * user, 0}, 0}).ok());
+      ASSERT_TRUE(
+          db_.Append(user, STPoint{{1000 + 10.0 * user, 1000}, 600}).ok());
+    }
+    ASSERT_TRUE(db_.Append(4, STPoint{{5, 5}, 0}).ok());
+    ASSERT_TRUE(db_.Append(4, STPoint{{6, 6}, 600}).ok());
+  }
+
+  mod::MovingObjectDb db_;
+  HkaEvaluator evaluator_{&db_};
+};
+
+TEST_F(HkaTest, SingleContextCountsPotentialSenders) {
+  const STBox origin{Rect{-10, -10, 60, 60}, TimeInterval{0, 100}};
+  // Users 1..4 all have a t=0 sample near the origin.
+  const HkaResult result = evaluator_.Evaluate(1, {origin}, 4);
+  EXPECT_EQ(result.consistent_others, 3u);  // 2, 3, 4.
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.witnesses, (std::vector<mod::UserId>{2, 3, 4}));
+}
+
+TEST_F(HkaTest, TraceEliminatesNonFollowers) {
+  const STBox origin{Rect{-10, -10, 60, 60}, TimeInterval{0, 100}};
+  const STBox corner{Rect{900, 900, 1100, 1100}, TimeInterval{500, 700}};
+  // Only 2 and 3 follow user 1 through both contexts; 4 stayed home.
+  const HkaResult k3 = evaluator_.Evaluate(1, {origin, corner}, 3);
+  EXPECT_EQ(k3.consistent_others, 2u);
+  EXPECT_TRUE(k3.satisfied);
+  const HkaResult k4 = evaluator_.Evaluate(1, {origin, corner}, 4);
+  EXPECT_FALSE(k4.satisfied);
+}
+
+TEST_F(HkaTest, RequesterExcludedFromWitnesses) {
+  const STBox origin{Rect{-10, -10, 60, 60}, TimeInterval{0, 100}};
+  const HkaResult result = evaluator_.Evaluate(4, {origin}, 2);
+  EXPECT_EQ(result.witnesses, (std::vector<mod::UserId>{1, 2, 3}));
+}
+
+TEST_F(HkaTest, EmptyTraceIsVacuouslyAnonymous) {
+  const HkaResult result = evaluator_.Evaluate(1, {}, 3);
+  // Every other user is LT-consistent with an empty request set.
+  EXPECT_EQ(result.consistent_others, 3u);
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST_F(HkaTest, KOneAlwaysSatisfied) {
+  const STBox nowhere{Rect{9000, 9000, 9100, 9100}, TimeInterval{0, 1}};
+  EXPECT_TRUE(evaluator_.Evaluate(1, {nowhere}, 1).satisfied);
+  EXPECT_FALSE(evaluator_.Evaluate(1, {nowhere}, 2).satisfied);
+}
+
+TEST_F(HkaTest, AnonymitySetSizeIncludesRequester) {
+  const STBox origin{Rect{-10, -10, 60, 60}, TimeInterval{0, 100}};
+  EXPECT_EQ(evaluator_.AnonymitySetSize(origin), 4u);
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

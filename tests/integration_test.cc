@@ -1,0 +1,149 @@
+// End-to-end integration: a full (small) city simulation through the
+// trusted server, with the system-wide invariants asserted over every
+// event that crossed the TS->SP boundary.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/sim/population.h"
+#include "src/sim/simulator.h"
+#include "src/ts/adversary.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::PopulationOptions population_options;
+    population_options.num_commuters = 12;
+    population_options.num_wanderers = 60;
+    common::Rng rng(20050101);
+    population_ = sim::BuildPopulation(population_options, &rng);
+
+    server_ = std::make_unique<ts::TrustedServer>();
+    provider_ = std::make_unique<ts::ServiceProvider>(&population_.world);
+    server_->ConnectServiceProvider(provider_.get());
+    server_->RegisterService(anon::service_presets::LocalizedNews(0)).ok();
+    server_->RegisterService(anon::service_presets::LocalizedNews(1)).ok();
+
+    const tgran::GranularityRegistry registry =
+        tgran::GranularityRegistry::WithDefaults();
+    for (const sim::CommuterInfo& commuter : population_.commuters) {
+      server_
+          ->RegisterUser(commuter.user, ts::PrivacyPolicy::FromConcern(
+                                            ts::PrivacyConcern::kMedium))
+          .ok();
+      auto lbqid =
+          sim::MakeCommuteLbqid(commuter, population_options, registry);
+      ASSERT_TRUE(lbqid.ok());
+      server_->RegisterLbqid(commuter.user, *lbqid).ok();
+    }
+
+    sim::SimulationOptions sim_options;
+    sim_options.end = 14 * tgran::kSecondsPerDay;
+    sim::Simulator simulator(std::move(population_.agents), sim_options);
+    simulator.Run(server_.get());
+  }
+
+  sim::Population population_;
+  std::unique_ptr<ts::TrustedServer> server_;
+  std::unique_ptr<ts::ServiceProvider> provider_;
+};
+
+TEST_F(IntegrationTest, SimulationProducedRealTraffic) {
+  EXPECT_GT(server_->stats().requests, 1000u);
+  EXPECT_GT(server_->stats().forwarded_generalized, 100u);
+  EXPECT_GT(provider_->log().size(), 1000u);
+  EXPECT_GT(server_->db().total_samples(), 10000u);
+}
+
+TEST_F(IntegrationTest, EveryForwardedContextContainsTheTruePoint) {
+  for (const ts::ProcessOutcome& outcome : server_->outcomes()) {
+    if (!outcome.forwarded) continue;
+    ASSERT_TRUE(outcome.forwarded_request.context.Contains(outcome.exact))
+        << ts::DispositionToString(outcome.disposition);
+  }
+}
+
+TEST_F(IntegrationTest, NoForwardedRequestLeaksIdentityOrExactPosition) {
+  for (const anon::ForwardedRequest& request : provider_->log()) {
+    // Pseudonyms are opaque tokens, never bare user ids.
+    EXPECT_EQ(request.pseudonym.rfind('p', 0), 0u);
+    EXPECT_GT(request.pseudonym.size(), 8u);
+    // Contexts always have spatial extent (no degenerate point leaks).
+    EXPECT_GT(request.context.area.Area(), 0.0);
+    EXPECT_GT(request.context.time.Length(), 0);
+  }
+}
+
+TEST_F(IntegrationTest, PseudonymsResolveToRegisteredUsersOnly) {
+  std::set<mod::UserId> owners;
+  for (const anon::ForwardedRequest& request : provider_->log()) {
+    const auto owner = server_->pseudonyms().Resolve(request.pseudonym);
+    ASSERT_TRUE(owner.has_value());
+    owners.insert(*owner);
+  }
+  EXPECT_GT(owners.size(), 50u);  // Most of the population spoke.
+}
+
+TEST_F(IntegrationTest, TheoremOneHoldsOnCleanTraces) {
+  size_t clean = 0;
+  for (const ts::TrustedServer::TraceAudit& audit : server_->AuditTraces()) {
+    if (audit.tainted) continue;
+    ++clean;
+    EXPECT_TRUE(audit.hka_satisfied)
+        << "user " << audit.user << " trace of " << audit.steps
+        << " steps has only " << audit.witnesses << " witnesses";
+  }
+  EXPECT_GT(clean, 0u);
+}
+
+TEST_F(IntegrationTest, StatsAreConsistentWithOutcomes) {
+  const ts::TsStats& stats = server_->stats();
+  size_t forwarded_default = 0;
+  size_t forwarded_generalized = 0;
+  size_t suppressed = 0;
+  size_t unlinked = 0;
+  size_t at_risk = 0;
+  for (const ts::ProcessOutcome& outcome : server_->outcomes()) {
+    switch (outcome.disposition) {
+      case ts::Disposition::kForwardedDefault:
+        ++forwarded_default;
+        break;
+      case ts::Disposition::kForwardedGeneralized:
+        ++forwarded_generalized;
+        break;
+      case ts::Disposition::kSuppressedMixZone:
+        ++suppressed;
+        break;
+      case ts::Disposition::kUnlinked:
+        ++unlinked;
+        break;
+      case ts::Disposition::kAtRisk:
+        ++at_risk;
+        break;
+    }
+  }
+  EXPECT_EQ(stats.requests, server_->outcomes().size());
+  EXPECT_EQ(stats.forwarded_default, forwarded_default);
+  EXPECT_EQ(stats.forwarded_generalized, forwarded_generalized);
+  EXPECT_EQ(stats.suppressed_mixzone, suppressed);
+  EXPECT_EQ(stats.unlink_successes, unlinked);
+  EXPECT_EQ(stats.at_risk_notifications, at_risk);
+}
+
+TEST_F(IntegrationTest, AdversaryIsStarvedRelativeToNoPrivacy) {
+  ts::Adversary adversary(&population_.world, ts::AdversaryOptions());
+  const auto identifications = adversary.Attack(provider_->log());
+  const eval::IdentificationScore score = eval::ScoreIdentifications(
+      identifications, server_->pseudonyms(), population_.commuters.size());
+  // Medium policy blurs default contexts past the phone-book radius.
+  EXPECT_EQ(score.correct, 0u);
+}
+
+}  // namespace
+}  // namespace histkanon

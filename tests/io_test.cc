@@ -1,0 +1,95 @@
+#include "src/mod/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace mod {
+namespace {
+
+using geo::STPoint;
+
+MovingObjectDb MakeDb() {
+  MovingObjectDb db;
+  EXPECT_TRUE(db.Append(1, STPoint{{0.5, 1.25}, 10}).ok());
+  EXPECT_TRUE(db.Append(1, STPoint{{100.125, 200.0}, 70}).ok());
+  EXPECT_TRUE(db.Append(7, STPoint{{-3.5, 9000.75}, 5}).ok());
+  return db;
+}
+
+TEST(ModIoTest, RoundTripPreservesEverything) {
+  const MovingObjectDb db = MakeDb();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDb(db, &out).ok());
+
+  std::istringstream in(out.str());
+  const auto loaded = ReadDb(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->user_count(), db.user_count());
+  EXPECT_EQ(loaded->total_samples(), db.total_samples());
+  const Phl* phl = *loaded->GetPhl(1);
+  ASSERT_EQ(phl->size(), 2u);
+  EXPECT_EQ(phl->samples()[0], (STPoint{{0.5, 1.25}, 10}));
+  EXPECT_EQ(phl->samples()[1], (STPoint{{100.125, 200.0}, 70}));
+  EXPECT_EQ((*loaded->GetPhl(7))->samples()[0], (STPoint{{-3.5, 9000.75}, 5}));
+}
+
+TEST(ModIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# header\n\n1 2.0 3.0 4\n# trailing comment\n\n");
+  const auto loaded = ReadDb(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->total_samples(), 1u);
+}
+
+TEST(ModIoTest, MalformedLineReportsLineNumber) {
+  std::istringstream in("1 2.0 3.0 4\nnot a sample\n");
+  const auto loaded = ReadDb(&in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ModIoTest, TrailingFieldsRejected) {
+  std::istringstream in("1 2.0 3.0 4 extra\n");
+  EXPECT_TRUE(ReadDb(&in).status().IsInvalidArgument());
+}
+
+TEST(ModIoTest, OutOfOrderSamplesRejected) {
+  std::istringstream in("1 0 0 100\n1 0 0 50\n");
+  const auto loaded = ReadDb(&in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ModIoTest, FileRoundTrip) {
+  const MovingObjectDb db = MakeDb();
+  const std::string path = ::testing::TempDir() + "/histkanon_mod_io.txt";
+  ASSERT_TRUE(WriteDbToFile(db, path).ok());
+  const auto loaded = ReadDbFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->total_samples(), 3u);
+  EXPECT_TRUE(ReadDbFromFile("/nonexistent/dir/x.txt").status().IsNotFound());
+}
+
+TEST(ModIoTest, CsvLogWithQuoting) {
+  std::vector<anon::ForwardedRequest> log(1);
+  log[0].msgid = 42;
+  log[0].pseudonym = "p1";
+  log[0].service = 3;
+  log[0].context = geo::STBox{geo::Rect{0, 1, 2, 3}, geo::TimeInterval{4, 5}};
+  log[0].data = "hello, \"world\"";
+  std::ostringstream os;
+  ASSERT_TRUE(WriteRequestLogCsv(log, &os).ok());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("msgid,pseudonym"), std::string::npos);
+  EXPECT_NE(out.find("42,p1,3,0.000,1.000,2.000,3.000,4,5,"
+                     "\"hello, \"\"world\"\"\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mod
+}  // namespace histkanon

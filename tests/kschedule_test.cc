@@ -1,0 +1,40 @@
+#include "src/anon/kschedule.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+TEST(KScheduleTest, DefaultIsPaperBaseAlgorithm) {
+  const KSchedule schedule;
+  EXPECT_EQ(schedule.InitialAnchors(5), 5u);
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 0), 5u);
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 10), 5u);
+}
+
+TEST(KScheduleTest, BoostAndDecay) {
+  const KSchedule schedule{2.0, 2};
+  EXPECT_EQ(schedule.InitialAnchors(5), 10u);
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 0), 10u);
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 1), 8u);
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 2), 6u);
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 3), 5u);  // Floors at k.
+  EXPECT_EQ(schedule.AnchorsAtStep(5, 100), 5u);
+}
+
+TEST(KScheduleTest, FractionalFactorRoundsUp) {
+  const KSchedule schedule{1.5, 1};
+  EXPECT_EQ(schedule.InitialAnchors(3), 5u);  // ceil(4.5).
+  EXPECT_EQ(schedule.AnchorsAtStep(3, 1), 4u);
+  EXPECT_EQ(schedule.AnchorsAtStep(3, 2), 3u);
+}
+
+TEST(KScheduleTest, NeverBelowK) {
+  const KSchedule schedule{1.0, 5};
+  EXPECT_EQ(schedule.AnchorsAtStep(7, 3), 7u);
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

@@ -1,0 +1,61 @@
+#include "src/lbqid/lbqid.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace lbqid {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+LbqidElement HomeMorning() {
+  return LbqidElement{Rect{0, 0, 100, 100},
+                      *tgran::UTimeInterval::FromHours(7, 9)};
+}
+
+TEST(LbqidElementTest, MatchesRequiresAreaAndTime) {
+  const LbqidElement element = HomeMorning();
+  EXPECT_TRUE(element.Matches(STPoint{{50, 50}, At(0, 8)}));
+  EXPECT_TRUE(element.Matches(STPoint{{50, 50}, At(3, 7)}));   // Any day.
+  EXPECT_FALSE(element.Matches(STPoint{{150, 50}, At(0, 8)}));  // Outside area.
+  EXPECT_FALSE(element.Matches(STPoint{{50, 50}, At(0, 10)}));  // Outside time.
+}
+
+TEST(LbqidTest, CreateValidates) {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  EXPECT_TRUE(Lbqid::Create("empty", {}, tgran::Recurrence())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Lbqid::Create("bad-area",
+                            {LbqidElement{Rect::Empty(),
+                                          *tgran::UTimeInterval::FromHours(
+                                              7, 9)}},
+                            tgran::Recurrence())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      Lbqid::Create("ok", {HomeMorning()}, tgran::Recurrence()).ok());
+}
+
+TEST(LbqidTest, AccessorsAndToString) {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto recurrence = tgran::Recurrence::Parse("3.weekdays * 2.week", registry);
+  ASSERT_TRUE(recurrence.ok());
+  auto lbqid =
+      Lbqid::Create("commute", {HomeMorning(), HomeMorning()}, *recurrence);
+  ASSERT_TRUE(lbqid.ok());
+  EXPECT_EQ(lbqid->name(), "commute");
+  EXPECT_EQ(lbqid->size(), 2u);
+  EXPECT_TRUE(lbqid->ElementMatches(0, STPoint{{1, 1}, At(0, 8)}));
+  const std::string rendered = lbqid->ToString();
+  EXPECT_NE(rendered.find("commute"), std::string::npos);
+  EXPECT_NE(rendered.find("3.weekdays * 2.week"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbqid
+}  // namespace histkanon

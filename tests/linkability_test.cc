@@ -1,0 +1,155 @@
+#include "src/anon/linkability.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::TimeInterval;
+
+ForwardedRequest Req(const std::string& pseudonym, double x, double y,
+                     geo::Instant t, double extent = 100,
+                     int64_t window = 60) {
+  ForwardedRequest request;
+  request.pseudonym = pseudonym;
+  request.context =
+      STBox{Rect::FromCenter({x, y}, extent, extent),
+            TimeInterval{t, t + window}};
+  return request;
+}
+
+TEST(PseudonymLinkerTest, SamePseudonymLinks) {
+  PseudonymLinker linker;
+  const auto a = Req("p1", 0, 0, 0);
+  const auto b = Req("p1", 9000, 9000, 10);
+  EXPECT_EQ(linker.Link(a, b), 1.0);
+  const auto c = Req("p2", 0, 0, 0);
+  EXPECT_FALSE(linker.Link(a, c).has_value());
+}
+
+TEST(ProximityLinkerTest, SamePseudonymShortCircuits) {
+  ProximityLinker linker;
+  EXPECT_EQ(linker.Link(Req("p", 0, 0, 0), Req("p", 99999, 0, 10)), 1.0);
+}
+
+TEST(ProximityLinkerTest, PlausibleContinuationScoresHigh) {
+  ProximityLinker linker;
+  // 100 m apart, 100 s apart: implied speed ~1 m/s <= typical.
+  const auto a = Req("p1", 0, 0, 0);
+  const auto b = Req("p2", 200, 0, 160);
+  const auto likelihood = linker.Link(a, b);
+  ASSERT_TRUE(likelihood.has_value());
+  EXPECT_DOUBLE_EQ(*likelihood, 1.0);
+}
+
+TEST(ProximityLinkerTest, ImpossibleSpeedScoresZero) {
+  ProximityLinkerOptions options;
+  options.max_speed = 40.0;
+  ProximityLinker linker(options);
+  // ~50 km in 100 s gap: 500 m/s.
+  const auto a = Req("p1", 0, 0, 0);
+  const auto b = Req("p2", 50000, 0, 160);
+  const auto likelihood = linker.Link(a, b);
+  ASSERT_TRUE(likelihood.has_value());
+  EXPECT_DOUBLE_EQ(*likelihood, 0.0);
+}
+
+TEST(ProximityLinkerTest, IntermediateSpeedInterpolates) {
+  ProximityLinkerOptions options;
+  options.typical_speed = 2.0;
+  options.max_speed = 42.0;
+  ProximityLinker linker(options);
+  // Gap 100 s, closest approach 2200 m -> 22 m/s -> halfway.
+  const auto a = Req("p1", 0, 0, 0, 100, 40);
+  const auto b = Req("p2", 2300, 0, 140, 100, 40);
+  const auto likelihood = linker.Link(a, b);
+  ASSERT_TRUE(likelihood.has_value());
+  EXPECT_NEAR(*likelihood, 0.5, 1e-9);
+}
+
+TEST(ProximityLinkerTest, OverlappingWindowsUndefined) {
+  ProximityLinker linker;
+  const auto a = Req("p1", 0, 0, 0, 100, 600);
+  const auto b = Req("p2", 100, 0, 300, 100, 600);
+  EXPECT_FALSE(linker.Link(a, b).has_value());
+}
+
+TEST(ProximityLinkerTest, BeyondMaxGapUndefined) {
+  ProximityLinkerOptions options;
+  options.max_time_gap = 100;
+  ProximityLinker linker(options);
+  const auto a = Req("p1", 0, 0, 0);
+  const auto b = Req("p2", 10, 0, 500);
+  EXPECT_FALSE(linker.Link(a, b).has_value());
+}
+
+TEST(ProximityLinkerTest, Symmetric) {
+  ProximityLinker linker;
+  const auto a = Req("p1", 0, 0, 0);
+  const auto b = Req("p2", 500, 200, 400);
+  EXPECT_EQ(linker.Link(a, b), linker.Link(b, a));
+}
+
+TEST(CompositeLinkerTest, TakesStrongestEvidence) {
+  auto pseudonym = std::make_shared<PseudonymLinker>();
+  auto proximity = std::make_shared<ProximityLinker>();
+  CompositeLinker composite({pseudonym, proximity});
+  // Different pseudonyms, plausible kinematics: proximity decides.
+  const auto a = Req("p1", 0, 0, 0);
+  const auto b = Req("p2", 100, 0, 160);
+  EXPECT_EQ(composite.Link(a, b), 1.0);
+  // Nothing defined: undefined.
+  ProximityLinkerOptions strict;
+  strict.max_time_gap = 1;
+  CompositeLinker narrow({std::make_shared<ProximityLinker>(strict)});
+  EXPECT_FALSE(narrow.Link(a, Req("p2", 0, 0, 5000)).has_value());
+}
+
+TEST(LinkGraphTest, ComponentsViaChains) {
+  // a-b linkable, b-c linkable, d isolated: components {a,b,c}, {d}.
+  std::vector<ForwardedRequest> requests = {
+      Req("p1", 0, 0, 0), Req("p1", 100, 0, 200),  // Same pseudonym.
+      Req("p2", 150, 0, 500),                      // Close to the second.
+      Req("p3", 90000, 90000, 100000),             // Far away and later.
+  };
+  CompositeLinker linker({std::make_shared<PseudonymLinker>(),
+                          std::make_shared<ProximityLinker>()});
+  LinkGraph graph(requests, linker, 0.8);
+  EXPECT_EQ(graph.component_count(), 2u);
+  EXPECT_EQ(graph.ComponentOf(0), graph.ComponentOf(1));
+  EXPECT_EQ(graph.ComponentOf(1), graph.ComponentOf(2));
+  EXPECT_NE(graph.ComponentOf(0), graph.ComponentOf(3));
+  const auto components = graph.Components();
+  ASSERT_EQ(components.size(), 2u);
+}
+
+TEST(LinkGraphTest, ThetaControlsEdgeFormation) {
+  // Implied speed halfway between typical and max: likelihood 0.5.
+  ProximityLinkerOptions options;
+  options.typical_speed = 2.0;
+  options.max_speed = 42.0;
+  std::vector<ForwardedRequest> requests = {
+      Req("p1", 0, 0, 0, 100, 40), Req("p2", 2350, 0, 140, 100, 40)};
+  ProximityLinker linker(options);
+  EXPECT_EQ(LinkGraph(requests, linker, 0.4).component_count(), 1u);
+  EXPECT_EQ(LinkGraph(requests, linker, 0.6).component_count(), 2u);
+}
+
+TEST(IsLinkConnectedTest, Definition5) {
+  PseudonymLinker linker;
+  std::vector<ForwardedRequest> same = {Req("p", 0, 0, 0), Req("p", 1, 1, 10),
+                                        Req("p", 2, 2, 20)};
+  EXPECT_TRUE(IsLinkConnected(same, linker, 1.0));
+  std::vector<ForwardedRequest> mixed = {Req("p", 0, 0, 0),
+                                         Req("q", 1, 1, 10)};
+  EXPECT_FALSE(IsLinkConnected(mixed, linker, 0.5));
+  EXPECT_TRUE(IsLinkConnected({}, linker, 0.5));
+  EXPECT_TRUE(IsLinkConnected({Req("p", 0, 0, 0)}, linker, 0.5));
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

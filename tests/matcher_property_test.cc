@@ -1,0 +1,153 @@
+// Metamorphic property tests for the LBQID automaton: determinism,
+// reset-equals-fresh, snapshot-transparency, and recurrence consistency of
+// reported completions, over randomized LBQIDs and request streams.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/lbqid/matcher.h"
+
+namespace histkanon {
+namespace lbqid {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+
+struct RandomCase {
+  Lbqid lbqid;
+  std::vector<STPoint> stream;
+};
+
+RandomCase MakeCase(common::Rng* rng) {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  // 1-3 elements with random areas in a 1 km square and random windows.
+  const int elements = static_cast<int>(rng->UniformInt(1, 3));
+  std::vector<LbqidElement> element_list;
+  std::vector<Rect> areas;
+  for (int e = 0; e < elements; ++e) {
+    const Rect area = Rect::FromCenter(
+        {rng->Uniform(100, 900), rng->Uniform(100, 900)},
+        rng->Uniform(50, 300), rng->Uniform(50, 300));
+    const int begin = static_cast<int>(rng->UniformInt(0, 20));
+    const int end = begin + static_cast<int>(rng->UniformInt(1, 23 - begin));
+    element_list.push_back(
+        LbqidElement{area, *tgran::UTimeInterval::FromHours(begin, end)});
+    areas.push_back(area);
+  }
+  const char* recurrences[] = {"", "2.day", "2.weekdays * 2.week",
+                               "3.day * 1.week"};
+  auto recurrence = tgran::Recurrence::Parse(
+      recurrences[rng->UniformInt(0, 3)], registry);
+  EXPECT_TRUE(recurrence.ok());
+  RandomCase random_case{
+      *Lbqid::Create("random", std::move(element_list), *recurrence), {}};
+
+  // A stream biased toward the LBQID's own areas so matches happen.
+  geo::Instant t = 0;
+  for (int i = 0; i < 120; ++i) {
+    t += rng->UniformInt(600, 6 * 3600);
+    geo::Point p{rng->Uniform(0, 1000), rng->Uniform(0, 1000)};
+    if (rng->Bernoulli(0.6)) {
+      const Rect& area = areas[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(areas.size()) - 1))];
+      p = geo::Point{rng->Uniform(area.min_x, area.max_x),
+                     rng->Uniform(area.min_y, area.max_y)};
+    }
+    random_case.stream.push_back(STPoint{p, t});
+  }
+  return random_case;
+}
+
+class MatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherPropertyTest, DeterministicReplay) {
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const RandomCase random_case = MakeCase(&rng);
+    LbqidMatcher a(&random_case.lbqid);
+    LbqidMatcher b(&random_case.lbqid);
+    for (const STPoint& point : random_case.stream) {
+      const MatchEvent ea = a.Advance(point);
+      const MatchEvent eb = b.Advance(point);
+      ASSERT_EQ(ea.outcome, eb.outcome);
+      ASSERT_EQ(ea.element_index, eb.element_index);
+    }
+    EXPECT_EQ(a.completions(), b.completions());
+  }
+}
+
+TEST_P(MatcherPropertyTest, ResetEqualsFresh) {
+  common::Rng rng(GetParam() ^ 0x1111);
+  for (int round = 0; round < 20; ++round) {
+    const RandomCase random_case = MakeCase(&rng);
+    LbqidMatcher recycled(&random_case.lbqid);
+    // Pollute with the first half, reset, then feed the second half.
+    const size_t half = random_case.stream.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      recycled.Advance(random_case.stream[i]);
+    }
+    recycled.Reset();
+    LbqidMatcher fresh(&random_case.lbqid);
+    for (size_t i = half; i < random_case.stream.size(); ++i) {
+      const MatchEvent er = recycled.Advance(random_case.stream[i]);
+      const MatchEvent ef = fresh.Advance(random_case.stream[i]);
+      ASSERT_EQ(er.outcome, ef.outcome);
+    }
+    EXPECT_EQ(recycled.completions(), fresh.completions());
+  }
+}
+
+TEST_P(MatcherPropertyTest, SnapshotRoundTripIsTransparent) {
+  common::Rng rng(GetParam() ^ 0x2222);
+  for (int round = 0; round < 20; ++round) {
+    const RandomCase random_case = MakeCase(&rng);
+    LbqidMatcher snapshotted(&random_case.lbqid);
+    LbqidMatcher plain(&random_case.lbqid);
+    for (const STPoint& point : random_case.stream) {
+      // Save/advance/restore/advance must equal a single advance.
+      const LbqidMatcher::Snapshot snapshot = snapshotted.Save();
+      snapshotted.Advance(point);
+      snapshotted.Restore(snapshot);
+      const MatchEvent es = snapshotted.Advance(point);
+      const MatchEvent ep = plain.Advance(point);
+      ASSERT_EQ(es.outcome, ep.outcome);
+      ASSERT_EQ(es.element_index, ep.element_index);
+    }
+    EXPECT_EQ(snapshotted.completions(), plain.completions());
+  }
+}
+
+TEST_P(MatcherPropertyTest, CompletionsAlwaysConsistentWithRecurrence) {
+  common::Rng rng(GetParam() ^ 0x3333);
+  for (int round = 0; round < 20; ++round) {
+    const RandomCase random_case = MakeCase(&rng);
+    LbqidMatcher matcher(&random_case.lbqid);
+    for (const STPoint& point : random_case.stream) {
+      matcher.Advance(point);
+      // The completion flag must equal the recurrence verdict on the
+      // accumulated completion times (monotone once true).
+      const bool satisfied = random_case.lbqid.recurrence().IsSatisfiedBy(
+          matcher.completions());
+      if (matcher.complete()) {
+        EXPECT_TRUE(satisfied);
+      } else {
+        EXPECT_FALSE(satisfied);
+      }
+      // Completion instants are strictly increasing.
+      for (size_t i = 1; i < matcher.completions().size(); ++i) {
+        EXPECT_LT(matcher.completions()[i - 1], matcher.completions()[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherPropertyTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace lbqid
+}  // namespace histkanon

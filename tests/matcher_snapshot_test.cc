@@ -1,0 +1,91 @@
+// Snapshot/rollback semantics of the LBQID automaton: the automaton models
+// what the SP observed, so a tentatively-advanced request that ends up not
+// forwarded must be reversible.
+
+#include <gtest/gtest.h>
+
+#include "src/lbqid/matcher.h"
+#include "src/lbqid/monitor.h"
+
+namespace histkanon {
+namespace lbqid {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+Lbqid TwoStep() {
+  auto lbqid = Lbqid::Create(
+      "two-step",
+      {{Rect{0, 0, 100, 100}, *tgran::UTimeInterval::FromHours(7, 9)},
+       {Rect{200, 200, 300, 300}, *tgran::UTimeInterval::FromHours(7, 10)}},
+      tgran::Recurrence());
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+TEST(MatcherSnapshotTest, RestoreUndoesPartialAdvance) {
+  const Lbqid lbqid = TwoStep();
+  LbqidMatcher matcher(&lbqid);
+  const LbqidMatcher::Snapshot before = matcher.Save();
+  EXPECT_EQ(matcher.Advance(STPoint{{50, 50}, At(0, 8)}).outcome,
+            MatchOutcome::kAdvanced);
+  EXPECT_EQ(matcher.next_element(), 1u);
+  matcher.Restore(before);
+  EXPECT_EQ(matcher.next_element(), 0u);
+  EXPECT_FALSE(matcher.has_partial_instance());
+}
+
+TEST(MatcherSnapshotTest, RestoreUndoesCompletion) {
+  const Lbqid lbqid = TwoStep();
+  LbqidMatcher matcher(&lbqid);
+  matcher.Advance(STPoint{{50, 50}, At(0, 8)});
+  const LbqidMatcher::Snapshot mid = matcher.Save();
+  EXPECT_EQ(matcher.Advance(STPoint{{250, 250}, At(0, 8, 30)}).outcome,
+            MatchOutcome::kLbqidComplete);
+  EXPECT_TRUE(matcher.complete());
+  EXPECT_EQ(matcher.completions().size(), 1u);
+  matcher.Restore(mid);
+  EXPECT_FALSE(matcher.complete());
+  EXPECT_TRUE(matcher.completions().empty());
+  EXPECT_EQ(matcher.next_element(), 1u);
+  // The automaton continues normally after a rollback.
+  EXPECT_EQ(matcher.Advance(STPoint{{250, 250}, At(0, 9)}).outcome,
+            MatchOutcome::kLbqidComplete);
+}
+
+TEST(MatcherSnapshotTest, SaveIsStableAcrossNoOps) {
+  const Lbqid lbqid = TwoStep();
+  LbqidMatcher matcher(&lbqid);
+  matcher.Advance(STPoint{{50, 50}, At(0, 8)});
+  const LbqidMatcher::Snapshot snapshot = matcher.Save();
+  // Non-matching advance changes nothing that Restore would not restore.
+  matcher.Advance(STPoint{{999, 999}, At(0, 8, 10)});
+  matcher.Restore(snapshot);
+  EXPECT_EQ(matcher.next_element(), 1u);
+}
+
+TEST(MonitorSnapshotTest, SaveRestoreAllMatchersOfUser) {
+  LbqidMonitor monitor;
+  monitor.Register(1, TwoStep());
+  monitor.Register(1, TwoStep());
+  const auto before = monitor.SaveUser(1);
+  ASSERT_EQ(before.size(), 2u);
+  monitor.ProcessPoint(1, STPoint{{50, 50}, At(0, 8)});
+  EXPECT_EQ(monitor.MatcherOf(1, 0)->next_element(), 1u);
+  EXPECT_EQ(monitor.MatcherOf(1, 1)->next_element(), 1u);
+  monitor.RestoreUser(1, before);
+  EXPECT_EQ(monitor.MatcherOf(1, 0)->next_element(), 0u);
+  EXPECT_EQ(monitor.MatcherOf(1, 1)->next_element(), 0u);
+}
+
+TEST(MonitorSnapshotTest, UnknownUserIsNoOp) {
+  LbqidMonitor monitor;
+  EXPECT_TRUE(monitor.SaveUser(9).empty());
+  monitor.RestoreUser(9, {});  // Must not crash.
+}
+
+}  // namespace
+}  // namespace lbqid
+}  // namespace histkanon

@@ -1,0 +1,200 @@
+// Timed-automaton matcher tests built around the paper's Example 2 LBQID:
+//   <home,[7,8]> <office,[8,9]> <office,[16,18]> <home,[17,19]>
+//   Recurrence: 3.Weekdays * 2.Weeks
+
+#include "src/lbqid/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace lbqid {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+constexpr Rect kHome{0, 0, 100, 100};
+constexpr Rect kOffice{5000, 5000, 5200, 5200};
+
+Lbqid Example2(const std::string& recurrence_text = "3.weekdays * 2.week") {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto recurrence = tgran::Recurrence::Parse(recurrence_text, registry);
+  EXPECT_TRUE(recurrence.ok());
+  auto hours = [](int a, int b) {
+    return *tgran::UTimeInterval::FromHours(a, b);
+  };
+  auto lbqid = Lbqid::Create("example2",
+                             {{kHome, hours(7, 8)},
+                              {kOffice, hours(8, 9)},
+                              {kOffice, hours(16, 18)},
+                              {kHome, hours(17, 19)}},
+                             *recurrence);
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+STPoint AtHome(int64_t day, int hour, int minute = 0) {
+  return STPoint{{50, 50}, At(day, hour, minute)};
+}
+STPoint AtOffice(int64_t day, int hour, int minute = 0) {
+  return STPoint{{5100, 5100}, At(day, hour, minute)};
+}
+
+// Feeds one full commute day; returns the last outcome.
+MatchOutcome FeedDay(LbqidMatcher* matcher, int64_t day) {
+  EXPECT_EQ(matcher->Advance(AtHome(day, 7, 30)).outcome,
+            MatchOutcome::kAdvanced);
+  EXPECT_EQ(matcher->Advance(AtOffice(day, 8, 15)).outcome,
+            MatchOutcome::kAdvanced);
+  EXPECT_EQ(matcher->Advance(AtOffice(day, 16, 45)).outcome,
+            MatchOutcome::kAdvanced);
+  return matcher->Advance(AtHome(day, 17, 30)).outcome;
+}
+
+TEST(LbqidMatcherTest, SingleDaySequenceCompletes) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  EXPECT_EQ(FeedDay(&matcher, 0), MatchOutcome::kSequenceComplete);
+  EXPECT_EQ(matcher.completions().size(), 1u);
+  EXPECT_FALSE(matcher.complete());
+}
+
+TEST(LbqidMatcherTest, PaperScheduleCompletesLbqid) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  // Week 0: Mon, Tue, Wed.  Week 1: Mon, Tue, Wed (days 7, 8, 9).
+  for (const int64_t day : {0, 1, 2, 7, 8}) {
+    EXPECT_EQ(FeedDay(&matcher, day), MatchOutcome::kSequenceComplete)
+        << "day " << day;
+  }
+  EXPECT_EQ(FeedDay(&matcher, 9), MatchOutcome::kLbqidComplete);
+  EXPECT_TRUE(matcher.complete());
+  EXPECT_EQ(matcher.satisfied_levels(), 2);
+}
+
+TEST(LbqidMatcherTest, TwoDaysPerWeekNeverCompletes) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  for (const int64_t day : {0, 1, 7, 8, 14, 15, 21, 22}) {
+    EXPECT_NE(FeedDay(&matcher, day), MatchOutcome::kLbqidComplete);
+  }
+  EXPECT_FALSE(matcher.complete());
+}
+
+TEST(LbqidMatcherTest, NonMatchingPointsIgnored) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  // Lunch downtown: matches no element (wrong area/time combos).
+  EXPECT_EQ(matcher.Advance(STPoint{{3000, 3000}, At(0, 12)}).outcome,
+            MatchOutcome::kNoMatch);
+  EXPECT_EQ(matcher.Advance(AtOffice(0, 12)).outcome, MatchOutcome::kNoMatch);
+  EXPECT_EQ(matcher.next_element(), 0u);
+}
+
+TEST(LbqidMatcherTest, OutOfOrderElementDoesNotAdvance) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  // Evening office visit first: element 2 cannot start a sequence.
+  EXPECT_EQ(matcher.Advance(AtOffice(0, 16, 30)).outcome,
+            MatchOutcome::kNoMatch);
+  EXPECT_EQ(matcher.next_element(), 0u);
+}
+
+TEST(LbqidMatcherTest, PartialInstanceExpiresWithGranule) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  EXPECT_EQ(matcher.Advance(AtHome(0, 7, 30)).outcome,
+            MatchOutcome::kAdvanced);
+  EXPECT_EQ(matcher.Advance(AtOffice(0, 8, 15)).outcome,
+            MatchOutcome::kAdvanced);
+  // Next day: the Monday partial is stale; a fresh element-0 match starts
+  // a new instance.
+  const MatchEvent restart = matcher.Advance(AtHome(1, 7, 30));
+  EXPECT_EQ(restart.outcome, MatchOutcome::kAdvanced);
+  EXPECT_TRUE(restart.started_instance);
+  EXPECT_EQ(matcher.next_element(), 1u);
+}
+
+TEST(LbqidMatcherTest, RestartWithinSameDay) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  EXPECT_EQ(matcher.Advance(AtHome(0, 7, 10)).outcome,
+            MatchOutcome::kAdvanced);
+  // A second element-0 match restarts rather than advancing.
+  const MatchEvent again = matcher.Advance(AtHome(0, 7, 40));
+  EXPECT_EQ(again.outcome, MatchOutcome::kAdvanced);
+  EXPECT_TRUE(again.started_instance);
+  EXPECT_EQ(matcher.next_element(), 1u);
+}
+
+TEST(LbqidMatcherTest, WeekendObservationsDoNotAdvance) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  // Day 5 is Saturday: in a weekdays-granularity gap.
+  EXPECT_EQ(matcher.Advance(AtHome(5, 7, 30)).outcome,
+            MatchOutcome::kNoMatch);
+}
+
+TEST(LbqidMatcherTest, EmptyRecurrenceCompletesOnFirstSequence) {
+  const Lbqid lbqid = Example2("");
+  LbqidMatcher matcher(&lbqid);
+  EXPECT_EQ(FeedDay(&matcher, 0), MatchOutcome::kLbqidComplete);
+  EXPECT_TRUE(matcher.complete());
+}
+
+TEST(LbqidMatcherTest, EmptyRecurrenceAllowsCrossDaySequence) {
+  // Without a G1 constraint a sequence may span days.
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto lbqid = Lbqid::Create(
+      "two-stop",
+      {{kHome, *tgran::UTimeInterval::FromHours(7, 9)},
+       {kOffice, *tgran::UTimeInterval::FromHours(7, 10)}},
+      tgran::Recurrence());
+  ASSERT_TRUE(lbqid.ok());
+  LbqidMatcher matcher(&*lbqid);
+  EXPECT_EQ(matcher.Advance(AtHome(0, 8)).outcome, MatchOutcome::kAdvanced);
+  EXPECT_EQ(matcher.Advance(AtOffice(3, 8)).outcome,
+            MatchOutcome::kLbqidComplete);
+}
+
+TEST(LbqidMatcherTest, ResetClearsEverything) {
+  const Lbqid lbqid = Example2();
+  LbqidMatcher matcher(&lbqid);
+  for (const int64_t day : {0, 1, 2, 7, 8}) FeedDay(&matcher, day);
+  EXPECT_EQ(matcher.completions().size(), 5u);
+  matcher.Reset();
+  EXPECT_TRUE(matcher.completions().empty());
+  EXPECT_EQ(matcher.next_element(), 0u);
+  EXPECT_FALSE(matcher.complete());
+  // After reset the old progress is gone: one more day is not enough.
+  EXPECT_EQ(FeedDay(&matcher, 9), MatchOutcome::kSequenceComplete);
+  EXPECT_FALSE(matcher.complete());
+}
+
+TEST(RequestSetMatchesTest, DetectsFullMatch) {
+  const Lbqid lbqid = Example2();
+  std::vector<STPoint> points;
+  for (const int64_t day : {0, 1, 2, 7, 8, 9}) {
+    points.push_back(AtHome(day, 7, 30));
+    points.push_back(AtOffice(day, 8, 15));
+    points.push_back(AtOffice(day, 16, 45));
+    points.push_back(AtHome(day, 17, 30));
+  }
+  EXPECT_TRUE(RequestSetMatches(lbqid, points));
+  points.resize(points.size() - 4);  // Drop the last day.
+  EXPECT_FALSE(RequestSetMatches(lbqid, points));
+}
+
+TEST(RequestSetMatchesTest, UnsortedInputHandled) {
+  const Lbqid lbqid = Example2("");
+  std::vector<STPoint> points = {AtHome(0, 17, 30), AtOffice(0, 8, 15),
+                                 AtHome(0, 7, 30), AtOffice(0, 16, 45)};
+  EXPECT_TRUE(RequestSetMatches(lbqid, points));
+}
+
+}  // namespace
+}  // namespace lbqid
+}  // namespace histkanon

@@ -1,0 +1,99 @@
+#include "src/anon/mixzone.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::Point;
+using geo::STPoint;
+
+// A user moving from `from` through `via` (at time t0) onward with the
+// same heading.
+void AddMover(mod::MovingObjectDb* db, mod::UserId user, const Point& via,
+              double heading, geo::Instant t0, double speed = 2.0) {
+  const Point start{via.x - 600 * std::cos(heading) * speed,
+                    via.y - 600 * std::sin(heading) * speed};
+  const Point end{via.x + 600 * std::cos(heading) * speed,
+                  via.y + 600 * std::sin(heading) * speed};
+  ASSERT_TRUE(db->Append(user, STPoint{start, t0 - 600}).ok());
+  ASSERT_TRUE(db->Append(user, STPoint{via, t0}).ok());
+  ASSERT_TRUE(db->Append(user, STPoint{end, t0 + 600}).ok());
+}
+
+TEST(MixZoneTest, DivergingCrowdFormsZone) {
+  mod::MovingObjectDb db;
+  const geo::Instant t0 = 10000;
+  // Requester 0 plus four users crossing the same spot in four directions.
+  AddMover(&db, 0, Point{1000, 1000}, 0.0, t0);
+  AddMover(&db, 1, Point{1010, 1000}, M_PI / 2, t0);
+  AddMover(&db, 2, Point{1000, 1010}, M_PI, t0);
+  AddMover(&db, 3, Point{990, 1000}, -M_PI / 2, t0);
+  AddMover(&db, 4, Point{1000, 990}, M_PI / 4, t0);
+
+  MixZoneOptions options;
+  options.min_diverging_users = 3;
+  const MixZoneResult result =
+      TryFormMixZone(db, STPoint{{1000, 1000}, t0}, 0, options);
+  EXPECT_TRUE(result.success);
+  EXPECT_GE(result.participants.size(), 3u);
+  EXPECT_EQ(result.quiet_until, t0 + options.quiet_period);
+  // Requester never participates in its own confusion set.
+  for (const mod::UserId user : result.participants) EXPECT_NE(user, 0);
+}
+
+TEST(MixZoneTest, ParallelTrafficDoesNotDiverge) {
+  mod::MovingObjectDb db;
+  const geo::Instant t0 = 10000;
+  AddMover(&db, 0, Point{1000, 1000}, 0.0, t0);
+  // Everyone heading the same way (a convoy): headings within tolerance.
+  for (mod::UserId user = 1; user <= 5; ++user) {
+    AddMover(&db, user, Point{1000.0 + 5 * static_cast<double>(user), 1000},
+             0.05 * static_cast<double>(user), t0);
+  }
+  MixZoneOptions options;
+  options.min_diverging_users = 3;
+  const MixZoneResult result =
+      TryFormMixZone(db, STPoint{{1000, 1000}, t0}, 0, options);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(MixZoneTest, StationaryUsersAreSkipped) {
+  mod::MovingObjectDb db;
+  const geo::Instant t0 = 10000;
+  for (mod::UserId user = 1; user <= 5; ++user) {
+    // Present in the zone but not moving.
+    ASSERT_TRUE(
+        db.Append(user, STPoint{{1000, 1000}, t0 - 600}).ok());
+    ASSERT_TRUE(db.Append(user, STPoint{{1001, 1000}, t0 + 600}).ok());
+  }
+  MixZoneOptions options;
+  options.min_diverging_users = 2;
+  EXPECT_FALSE(
+      TryFormMixZone(db, STPoint{{1000, 1000}, t0}, 0, options).success);
+}
+
+TEST(MixZoneTest, FarAwayUsersDoNotCount) {
+  mod::MovingObjectDb db;
+  const geo::Instant t0 = 10000;
+  AddMover(&db, 1, Point{9000, 9000}, 0.0, t0);
+  AddMover(&db, 2, Point{9000, 9050}, M_PI / 2, t0);
+  MixZoneOptions options;
+  options.min_diverging_users = 2;
+  options.radius = 500.0;
+  EXPECT_FALSE(
+      TryFormMixZone(db, STPoint{{1000, 1000}, t0}, 0, options).success);
+}
+
+TEST(MixZoneTest, EmptyDbFails) {
+  mod::MovingObjectDb db;
+  MixZoneOptions options;
+  EXPECT_FALSE(TryFormMixZone(db, STPoint{{0, 0}, 0}, 0, options).success);
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

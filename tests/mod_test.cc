@@ -1,0 +1,82 @@
+#include "src/mod/moving_object_db.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace mod {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::STPoint;
+using geo::TimeInterval;
+
+class MovingObjectDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three users: u1 near the origin, u2 near (1000,1000), u3 visits both.
+    ASSERT_TRUE(db_.Append(1, STPoint{{0, 0}, 0}).ok());
+    ASSERT_TRUE(db_.Append(1, STPoint{{10, 10}, 100}).ok());
+    ASSERT_TRUE(db_.Append(2, STPoint{{1000, 1000}, 0}).ok());
+    ASSERT_TRUE(db_.Append(2, STPoint{{1010, 1010}, 100}).ok());
+    ASSERT_TRUE(db_.Append(3, STPoint{{5, 5}, 10}).ok());
+    ASSERT_TRUE(db_.Append(3, STPoint{{1005, 1005}, 90}).ok());
+  }
+
+  MovingObjectDb db_;
+};
+
+TEST_F(MovingObjectDbTest, AppendCreatesUsersAndCountsSamples) {
+  EXPECT_EQ(db_.user_count(), 3u);
+  EXPECT_EQ(db_.total_samples(), 6u);
+  EXPECT_EQ(db_.Users(), (std::vector<UserId>{1, 2, 3}));
+}
+
+TEST_F(MovingObjectDbTest, AppendRejectsOutOfOrderPerUser) {
+  EXPECT_TRUE(db_.Append(1, STPoint{{0, 0}, 100}).IsFailedPrecondition());
+  EXPECT_TRUE(db_.Append(1, STPoint{{0, 0}, 101}).ok());
+  // Other users are unaffected by user 1's clock.
+  EXPECT_TRUE(db_.Append(2, STPoint{{0, 0}, 101}).ok());
+}
+
+TEST_F(MovingObjectDbTest, GetPhl) {
+  ASSERT_TRUE(db_.GetPhl(1).ok());
+  EXPECT_EQ((*db_.GetPhl(1))->size(), 2u);
+  EXPECT_TRUE(db_.GetPhl(99).status().IsNotFound());
+}
+
+TEST_F(MovingObjectDbTest, UsersWithSampleIn) {
+  const STBox near_origin{Rect{-50, -50, 50, 50}, TimeInterval{0, 50}};
+  EXPECT_EQ(db_.UsersWithSampleIn(near_origin),
+            (std::vector<UserId>{1, 3}));
+  EXPECT_EQ(db_.CountUsersWithSampleIn(near_origin), 2u);
+
+  const STBox nowhere{Rect{400, 400, 600, 600}, TimeInterval{0, 100}};
+  EXPECT_TRUE(db_.UsersWithSampleIn(nowhere).empty());
+}
+
+TEST_F(MovingObjectDbTest, LtConsistentUsersExcludesRequester) {
+  const STBox near_origin{Rect{-50, -50, 50, 50}, TimeInterval{0, 50}};
+  const STBox far_corner{Rect{950, 950, 1050, 1050}, TimeInterval{50, 100}};
+  // Only u3 has samples in both boxes.
+  EXPECT_EQ(db_.LtConsistentUsers({near_origin, far_corner}),
+            (std::vector<UserId>{3}));
+  EXPECT_TRUE(db_.LtConsistentUsers({near_origin, far_corner}, 3).empty());
+  // With a single context, u1 and u3 qualify; excluding u1 leaves u3.
+  EXPECT_EQ(db_.LtConsistentUsers({near_origin}, 1),
+            (std::vector<UserId>{3}));
+}
+
+TEST_F(MovingObjectDbTest, ForEachSampleVisitsEverything) {
+  size_t visits = 0;
+  db_.ForEachSample([&](UserId user, const STPoint& sample) {
+    (void)user;
+    (void)sample;
+    ++visits;
+  });
+  EXPECT_EQ(visits, db_.total_samples());
+}
+
+}  // namespace
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,67 @@
+#include "src/lbqid/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace lbqid {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+Lbqid SimpleLbqid(const Rect& area, int begin_hour, int end_hour,
+                  const std::string& name) {
+  auto lbqid = Lbqid::Create(
+      name, {{area, *tgran::UTimeInterval::FromHours(begin_hour, end_hour)}},
+      tgran::Recurrence());
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+TEST(LbqidMonitorTest, RegisterReturnsSequentialIndices) {
+  LbqidMonitor monitor;
+  EXPECT_EQ(monitor.Register(1, SimpleLbqid(Rect{0, 0, 10, 10}, 7, 9, "a")),
+            0u);
+  EXPECT_EQ(monitor.Register(1, SimpleLbqid(Rect{20, 20, 30, 30}, 7, 9, "b")),
+            1u);
+  EXPECT_EQ(monitor.Register(2, SimpleLbqid(Rect{0, 0, 10, 10}, 7, 9, "c")),
+            0u);
+  EXPECT_EQ(monitor.LbqidsOf(1).size(), 2u);
+  EXPECT_EQ(monitor.LbqidsOf(3).size(), 0u);
+}
+
+TEST(LbqidMonitorTest, ProcessPointReportsOnlyReactions) {
+  LbqidMonitor monitor;
+  monitor.Register(1, SimpleLbqid(Rect{0, 0, 10, 10}, 7, 9, "near-origin"));
+  monitor.Register(1, SimpleLbqid(Rect{50, 50, 60, 60}, 7, 9, "far"));
+
+  const auto observations = monitor.ProcessPoint(1, STPoint{{5, 5}, At(0, 8)});
+  ASSERT_EQ(observations.size(), 1u);
+  EXPECT_EQ(observations[0].lbqid_index, 0u);
+  EXPECT_EQ(observations[0].lbqid->name(), "near-origin");
+  EXPECT_EQ(observations[0].event.outcome, MatchOutcome::kLbqidComplete);
+}
+
+TEST(LbqidMonitorTest, UnknownUserProducesNothing) {
+  LbqidMonitor monitor;
+  EXPECT_TRUE(monitor.ProcessPoint(42, STPoint{{0, 0}, 0}).empty());
+}
+
+TEST(LbqidMonitorTest, AnyCompleteAndReset) {
+  LbqidMonitor monitor;
+  monitor.Register(1, SimpleLbqid(Rect{0, 0, 10, 10}, 7, 9, "x"));
+  EXPECT_FALSE(monitor.AnyComplete(1));
+  monitor.ProcessPoint(1, STPoint{{5, 5}, At(0, 8)});
+  EXPECT_TRUE(monitor.AnyComplete(1));
+  ASSERT_NE(monitor.MatcherOf(1, 0), nullptr);
+  EXPECT_TRUE(monitor.MatcherOf(1, 0)->complete());
+  monitor.ResetUser(1);
+  EXPECT_FALSE(monitor.AnyComplete(1));
+  EXPECT_EQ(monitor.MatcherOf(1, 1), nullptr);
+  EXPECT_EQ(monitor.MatcherOf(9, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace lbqid
+}  // namespace histkanon

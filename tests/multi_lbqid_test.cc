@@ -1,0 +1,101 @@
+// Multiple-LBQID handling (paper Section 6.2: "The algorithm can be easily
+// extended to consider multiple LBQIDs"): a request matching elements of
+// several LBQIDs must yield ONE forwarded context that preserves every
+// trace's anchors.
+
+#include <gtest/gtest.h>
+
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+lbqid::Lbqid OneShot(const std::string& name, const Rect& area, int begin,
+                     int end) {
+  auto lbqid = lbqid::Lbqid::Create(
+      name, {{area, *tgran::UTimeInterval::FromHours(begin, end)}},
+      tgran::Recurrence());
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+class MultiLbqidTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TrustedServerOptions options;
+    options.enable_randomization = false;
+    server_ = std::make_unique<TrustedServer>(options);
+    PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kLow);
+    policy.k_schedule = anon::KSchedule{};
+    ASSERT_TRUE(server_->RegisterUser(0, policy).ok());
+    // Two LBQIDs whose first elements overlap at the home area in the
+    // morning: one request matches both.
+    ASSERT_TRUE(
+        server_->RegisterLbqid(0, OneShot("a", Rect{0, 0, 200, 200}, 7, 9))
+            .ok());
+    ASSERT_TRUE(
+        server_->RegisterLbqid(0, OneShot("b", Rect{50, 50, 300, 300}, 6, 10))
+            .ok());
+    // Companions around the overlap so generalization succeeds (k=3),
+    // with samples near both probe times used by the tests.
+    for (mod::UserId u = 1; u <= 6; ++u) {
+      server_->OnLocationUpdate(
+          u,
+          STPoint{{120 + 4.0 * static_cast<double>(u), 120}, At(0, 6, 28)});
+      server_->OnLocationUpdate(
+          u,
+          STPoint{{120 + 4.0 * static_cast<double>(u), 120}, At(0, 7, 40)});
+    }
+  }
+
+  std::unique_ptr<TrustedServer> server_;
+};
+
+TEST_F(MultiLbqidTest, OneRequestFeedsBothTraces) {
+  const ProcessOutcome outcome =
+      server_->ProcessRequest(0, STPoint{{120, 120}, At(0, 7, 45)}, 0, "x");
+  ASSERT_EQ(outcome.disposition, Disposition::kForwardedGeneralized);
+  // Both traces got the same (union) context.
+  const auto trace_a = server_->TraceContextsOf(0, 0);
+  const auto trace_b = server_->TraceContextsOf(0, 1);
+  ASSERT_EQ(trace_a.size(), 1u);
+  ASSERT_EQ(trace_b.size(), 1u);
+  EXPECT_EQ(trace_a[0], trace_b[0]);
+  EXPECT_EQ(trace_a[0], outcome.forwarded_request.context);
+  // Both traces satisfy HkA on the shared context.
+  EXPECT_TRUE(server_->EvaluateTraceHka(0, 0).satisfied);
+  EXPECT_TRUE(server_->EvaluateTraceHka(0, 1).satisfied);
+  // Both LBQIDs (single-element, empty recurrence) completed and both
+  // count as releases.
+  EXPECT_EQ(server_->stats().lbqid_completions, 2u);
+  EXPECT_TRUE(server_->monitor().MatcherOf(0, 0)->complete());
+  EXPECT_TRUE(server_->monitor().MatcherOf(0, 1)->complete());
+}
+
+TEST_F(MultiLbqidTest, RequestMatchingOnlyOneAdvancesOnlyThatTrace) {
+  // 06:30 is inside LBQID b's window only.
+  const ProcessOutcome outcome =
+      server_->ProcessRequest(0, STPoint{{120, 120}, At(0, 6, 30)}, 0, "x");
+  ASSERT_EQ(outcome.disposition, Disposition::kForwardedGeneralized);
+  EXPECT_TRUE(server_->TraceContextsOf(0, 0).empty());
+  EXPECT_EQ(server_->TraceContextsOf(0, 1).size(), 1u);
+}
+
+TEST_F(MultiLbqidTest, AuditCoversBothTraces) {
+  server_->ProcessRequest(0, STPoint{{120, 120}, At(0, 7, 45)}, 0, "x");
+  const auto audits = server_->AuditTraces();
+  ASSERT_EQ(audits.size(), 2u);
+  for (const TrustedServer::TraceAudit& audit : audits) {
+    EXPECT_FALSE(audit.tainted);
+    EXPECT_TRUE(audit.hka_satisfied);
+  }
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

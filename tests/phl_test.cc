@@ -1,0 +1,126 @@
+#include "src/mod/phl.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace mod {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+using geo::STBox;
+using geo::STPoint;
+using geo::TimeInterval;
+
+Phl MakeLine() {
+  // Straight east-bound walk: (0,0)@0 -> (100,0)@100 -> (200,0)@200.
+  Phl phl;
+  EXPECT_TRUE(phl.Append(STPoint{{0, 0}, 0}).ok());
+  EXPECT_TRUE(phl.Append(STPoint{{100, 0}, 100}).ok());
+  EXPECT_TRUE(phl.Append(STPoint{{200, 0}, 200}).ok());
+  return phl;
+}
+
+TEST(PhlTest, AppendEnforcesStrictTimeOrder) {
+  Phl phl;
+  EXPECT_TRUE(phl.Append(STPoint{{0, 0}, 10}).ok());
+  EXPECT_TRUE(phl.Append(STPoint{{1, 1}, 10}).IsFailedPrecondition());
+  EXPECT_TRUE(phl.Append(STPoint{{1, 1}, 9}).IsFailedPrecondition());
+  EXPECT_TRUE(phl.Append(STPoint{{1, 1}, 11}).ok());
+  EXPECT_EQ(phl.size(), 2u);
+}
+
+TEST(PhlTest, SpanCoversFirstToLast) {
+  const Phl phl = MakeLine();
+  EXPECT_EQ(phl.Span(), (TimeInterval{0, 200}));
+  EXPECT_TRUE(Phl().Span().IsEmpty());
+}
+
+TEST(PhlTest, PositionAtInterpolatesLinearly) {
+  const Phl phl = MakeLine();
+  EXPECT_EQ(*phl.PositionAt(0), (Point{0, 0}));
+  EXPECT_EQ(*phl.PositionAt(50), (Point{50, 0}));
+  EXPECT_EQ(*phl.PositionAt(100), (Point{100, 0}));
+  EXPECT_EQ(*phl.PositionAt(150), (Point{150, 0}));
+  EXPECT_EQ(*phl.PositionAt(200), (Point{200, 0}));
+}
+
+TEST(PhlTest, PositionAtOutsideSpanIsNullopt) {
+  const Phl phl = MakeLine();
+  EXPECT_FALSE(phl.PositionAt(-1).has_value());
+  EXPECT_FALSE(phl.PositionAt(201).has_value());
+  EXPECT_FALSE(Phl().PositionAt(0).has_value());
+}
+
+TEST(PhlTest, NearestSampleUsesWeightedMetric) {
+  const Phl phl = MakeLine();
+  const geo::STMetric metric{1.0};  // 1 s == 1 m.
+  // Query at (100, 50), t=95: sample @100 is closest.
+  const STPoint q{{100, 50}, 95};
+  EXPECT_EQ(phl.NearestSample(q, metric)->t, 100);
+  // A strongly time-weighted metric pulls toward the temporally close one.
+  const geo::STMetric heavy_time{1000.0};
+  EXPECT_EQ(phl.NearestSample(STPoint{{200, 0}, 5}, heavy_time)->t, 0);
+  EXPECT_FALSE(Phl().NearestSample(q, metric).has_value());
+}
+
+TEST(PhlTest, HasSampleInChecksSamplesOnly) {
+  const Phl phl = MakeLine();
+  // Box covering the path midpoint but between sample times narrowly:
+  // samples at t=0/100/200, box time [40,60] area around x=50.
+  const STBox between{Rect{40, -10, 60, 10}, TimeInterval{40, 60}};
+  EXPECT_FALSE(phl.HasSampleIn(between));  // No stored sample inside.
+  EXPECT_TRUE(phl.CrossesBox(between));    // But the trajectory crosses.
+  const STBox at_sample{Rect{90, -10, 110, 10}, TimeInterval{90, 110}};
+  EXPECT_TRUE(phl.HasSampleIn(at_sample));
+}
+
+TEST(PhlTest, CrossesBoxPassThrough) {
+  Phl phl;
+  ASSERT_TRUE(phl.Append(STPoint{{0, 0}, 0}).ok());
+  ASSERT_TRUE(phl.Append(STPoint{{1000, 1000}, 1000}).ok());
+  // Diagonal segment passes through the center box around t=500.
+  const STBox center{Rect{450, 450, 550, 550}, TimeInterval{400, 600}};
+  EXPECT_TRUE(phl.CrossesBox(center));
+  // Same area but a time window when the user was elsewhere.
+  const STBox wrong_time{Rect{450, 450, 550, 550}, TimeInterval{0, 100}};
+  EXPECT_FALSE(phl.CrossesBox(wrong_time));
+  // Time window right but area off the path.
+  const STBox off_path{Rect{450, 0, 550, 100}, TimeInterval{400, 600}};
+  EXPECT_FALSE(phl.CrossesBox(off_path));
+}
+
+TEST(PhlTest, CrossesBoxSinglePoint) {
+  Phl phl;
+  ASSERT_TRUE(phl.Append(STPoint{{5, 5}, 50}).ok());
+  EXPECT_TRUE(
+      phl.CrossesBox(STBox{Rect{0, 0, 10, 10}, TimeInterval{0, 100}}));
+  EXPECT_FALSE(
+      phl.CrossesBox(STBox{Rect{0, 0, 10, 10}, TimeInterval{60, 100}}));
+  EXPECT_FALSE(Phl().CrossesBox(STBox{Rect{0, 0, 10, 10}, {0, 100}}));
+}
+
+TEST(PhlTest, CrossesBoxStationarySegment) {
+  Phl phl;
+  ASSERT_TRUE(phl.Append(STPoint{{5, 5}, 0}).ok());
+  ASSERT_TRUE(phl.Append(STPoint{{5, 5}, 100}).ok());
+  EXPECT_TRUE(
+      phl.CrossesBox(STBox{Rect{0, 0, 10, 10}, TimeInterval{40, 60}}));
+  EXPECT_FALSE(
+      phl.CrossesBox(STBox{Rect{6, 6, 10, 10}, TimeInterval{40, 60}}));
+}
+
+TEST(PhlTest, LtConsistencyRequiresSampleInEveryContext) {
+  const Phl phl = MakeLine();
+  const STBox a{Rect{-10, -10, 10, 10}, TimeInterval{-10, 10}};
+  const STBox b{Rect{190, -10, 210, 10}, TimeInterval{190, 210}};
+  EXPECT_TRUE(phl.LtConsistentWith({a}));
+  EXPECT_TRUE(phl.LtConsistentWith({a, b}));
+  const STBox miss{Rect{500, 500, 600, 600}, TimeInterval{0, 200}};
+  EXPECT_FALSE(phl.LtConsistentWith({a, miss}));
+  EXPECT_TRUE(phl.LtConsistentWith({}));  // Vacuously consistent.
+}
+
+}  // namespace
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,131 @@
+#include "src/ts/policy_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tgran/calendar.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using tgran::At;
+
+TEST(PolicyRuleSetTest, ParseFullSyntax) {
+  const auto rules = PolicyRuleSet::Parse(
+      "# expert policy\n"
+      "service=2 time=[22:00,06:00] concern=high\n"
+      "weekend concern=low k=2\n"
+      "time=[07:00,09:30] k=8 theta=0.4 kprime=2.0/1 scale=6\n"
+      "default concern=medium\n");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules->rules().size(), 3u);
+  EXPECT_EQ(rules->fallback().concern, PrivacyConcern::kMedium);
+
+  const PolicyRule& night = rules->rules()[0];
+  EXPECT_EQ(night.service, 2);
+  ASSERT_TRUE(night.window.has_value());
+  EXPECT_TRUE(night.window->wraps_midnight());
+  EXPECT_EQ(night.policy.concern, PrivacyConcern::kHigh);
+
+  const PolicyRule& weekend = rules->rules()[1];
+  EXPECT_EQ(weekend.weekdays_only, false);
+  EXPECT_EQ(weekend.policy.k, 2u);
+
+  const PolicyRule& rush = rules->rules()[2];
+  EXPECT_EQ(rush.policy.k, 8u);
+  EXPECT_DOUBLE_EQ(rush.policy.theta, 0.4);
+  EXPECT_DOUBLE_EQ(rush.policy.k_schedule.initial_factor, 2.0);
+  EXPECT_EQ(rush.policy.k_schedule.decrement_per_step, 1u);
+  EXPECT_DOUBLE_EQ(rush.policy.default_context_scale, 6.0);
+}
+
+TEST(PolicyRuleSetTest, ParseErrorsNameTheLine) {
+  EXPECT_TRUE(PolicyRuleSet::Parse("k=0\n").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PolicyRuleSet::Parse("theta=1.5\n").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PolicyRuleSet::Parse("time=[25:00,06:00]\n").status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(PolicyRuleSet::Parse("bogus=1\n").status().IsInvalidArgument());
+  const auto multi_default =
+      PolicyRuleSet::Parse("default concern=low\ndefault concern=high\n");
+  ASSERT_FALSE(multi_default.ok());
+  EXPECT_NE(multi_default.status().message().find("line 2"),
+            std::string::npos);
+  EXPECT_TRUE(PolicyRuleSet::Parse("default weekday concern=low\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PolicyRuleSetTest, FirstMatchWinsAndFallback) {
+  const auto rules = PolicyRuleSet::Parse(
+      "service=1 k=9\n"
+      "time=[07:00,09:00] k=7\n"
+      "default k=3\n");
+  ASSERT_TRUE(rules.ok());
+  // Service rule shadows the time rule for service 1 even at 08:00.
+  EXPECT_EQ(rules->PolicyFor(1, At(0, 8)).k, 9u);
+  EXPECT_EQ(rules->PolicyFor(2, At(0, 8)).k, 7u);
+  EXPECT_EQ(rules->PolicyFor(2, At(0, 12)).k, 3u);
+}
+
+TEST(PolicyRuleSetTest, DayGuards) {
+  const auto rules = PolicyRuleSet::Parse(
+      "weekday k=8\n"
+      "weekend k=2\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->PolicyFor(0, At(0, 12)).k, 8u);  // Monday.
+  EXPECT_EQ(rules->PolicyFor(0, At(5, 12)).k, 2u);  // Saturday.
+}
+
+TEST(PolicyRuleSetTest, WrappingNightWindow) {
+  const auto rules = PolicyRuleSet::Parse("time=[22:00,06:00] k=10\n"
+                                          "default k=3\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->PolicyFor(0, At(0, 23)).k, 10u);
+  EXPECT_EQ(rules->PolicyFor(0, At(1, 5)).k, 10u);
+  EXPECT_EQ(rules->PolicyFor(0, At(1, 12)).k, 3u);
+}
+
+TEST(PolicyRuleSetTest, EmptyTextIsJustTheFallback) {
+  const auto rules = PolicyRuleSet::Parse("  \n# only a comment\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->rules().empty());
+  EXPECT_EQ(rules->PolicyFor(0, 0).concern, PrivacyConcern::kMedium);
+}
+
+TEST(TrustedServerRulesTest, RulesSteerPerRequestBehaviour) {
+  TrustedServerOptions options;
+  options.enable_randomization = false;
+  TrustedServer server(options);
+  ASSERT_TRUE(
+      server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+  // Night requests get heavy blurring, day requests stay sharp.
+  auto rules = PolicyRuleSet::Parse(
+      "time=[22:00,06:00] concern=low scale=20\n"
+      "default concern=low scale=1\n");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_TRUE(server.SetUserRules(0, *rules).ok());
+
+  const ProcessOutcome day =
+      server.ProcessRequest(0, {{5000, 5000}, At(0, 12)}, 0, "x");
+  const ProcessOutcome night =
+      server.ProcessRequest(0, {{5000, 5000}, At(0, 23)}, 0, "x");
+  ASSERT_TRUE(day.forwarded);
+  ASSERT_TRUE(night.forwarded);
+  EXPECT_GT(night.forwarded_request.context.area.Width(),
+            day.forwarded_request.context.area.Width() * 5);
+}
+
+TEST(TrustedServerRulesTest, SetRulesRequiresRegisteredUser) {
+  TrustedServer server;
+  auto rules = PolicyRuleSet::Parse("default concern=low\n");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(server.SetUserRules(7, *rules).IsNotFound());
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

@@ -1,0 +1,89 @@
+#include "src/sim/population.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lbqid/matcher.h"
+
+namespace histkanon {
+namespace sim {
+namespace {
+
+TEST(PopulationTest, BuildsRequestedMix) {
+  PopulationOptions options;
+  options.num_commuters = 10;
+  options.num_wanderers = 15;
+  common::Rng rng(1);
+  const Population population = BuildPopulation(options, &rng);
+  EXPECT_EQ(population.agents.size(), 25u);
+  EXPECT_EQ(population.commuters.size(), 10u);
+  // Commuters take ids 0..9; wanderers follow.
+  for (size_t i = 0; i < population.agents.size(); ++i) {
+    EXPECT_EQ(population.agents[i]->user(),
+              static_cast<mod::UserId>(i));
+  }
+  // Every commuter's home is registered in the phone book.
+  EXPECT_EQ(population.world.registry().size(), 10u);
+  for (const CommuterInfo& commuter : population.commuters) {
+    EXPECT_EQ(population.world.LookupResidentNear(commuter.home, 1.0),
+              commuter.user);
+  }
+}
+
+TEST(PopulationTest, HomesGrownToFitCommuters) {
+  PopulationOptions options;
+  options.num_commuters = 30;
+  options.world.num_homes = 5;  // Fewer homes than commuters.
+  common::Rng rng(2);
+  const Population population = BuildPopulation(options, &rng);
+  EXPECT_GE(population.world.homes().size(), 30u);
+}
+
+TEST(PopulationTest, CommuteLbqidMatchesTheCommutersOwnSchedule) {
+  PopulationOptions options;
+  options.num_commuters = 1;
+  options.num_wanderers = 0;
+  options.commuter.skip_day_probability = 0.0;
+  options.commuter.commute_request_probability = 1.0;
+  options.commuter.background_rate_per_hour = 0.0;
+  common::Rng rng(3);
+  Population population = BuildPopulation(options, &rng);
+  const tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto lbqid =
+      MakeCommuteLbqid(population.commuters[0], options, registry);
+  ASSERT_TRUE(lbqid.ok()) << lbqid.status();
+  EXPECT_EQ(lbqid->size(), 4u);
+  EXPECT_EQ(lbqid->recurrence().ToString(), "3.weekdays * 2.week");
+
+  // Drive the commuter for two weeks; its request points must complete
+  // the LBQID (that is exactly the paper's threat).
+  lbqid::LbqidMatcher matcher(&*lbqid);
+  Agent* agent = population.agents[0].get();
+  bool completed = false;
+  for (geo::Instant t = 0; t < 14 * tgran::kSecondsPerDay; t += 60) {
+    const AgentTick tick = agent->Step(t);
+    for (size_t i = 0; i < tick.requests.size(); ++i) {
+      const auto event = matcher.Advance(geo::STPoint{tick.position, t});
+      if (event.outcome == lbqid::MatchOutcome::kLbqidComplete) {
+        completed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(completed);
+}
+
+TEST(PopulationTest, CustomRecurrenceParseErrorsSurface) {
+  PopulationOptions options;
+  options.num_commuters = 1;
+  common::Rng rng(4);
+  const Population population = BuildPopulation(options, &rng);
+  const tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  EXPECT_FALSE(MakeCommuteLbqid(population.commuters[0], options, registry,
+                                "3.bogus")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace histkanon

@@ -1,0 +1,64 @@
+#include "src/anon/pseudonym.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+TEST(PseudonymManagerTest, CurrentIsStableUntilRotation) {
+  PseudonymManager manager(1);
+  const mod::Pseudonym first = manager.Current(7);
+  EXPECT_EQ(manager.Current(7), first);
+  EXPECT_EQ(manager.GenerationOf(7), 1u);
+}
+
+TEST(PseudonymManagerTest, DistinctUsersGetDistinctPseudonyms) {
+  PseudonymManager manager(2);
+  EXPECT_NE(manager.Current(1), manager.Current(2));
+}
+
+TEST(PseudonymManagerTest, RotateChangesPseudonymAndBumpsGeneration) {
+  PseudonymManager manager(3);
+  const mod::Pseudonym old_p = manager.Current(5);
+  const mod::Pseudonym new_p = manager.Rotate(5);
+  EXPECT_NE(old_p, new_p);
+  EXPECT_EQ(manager.Current(5), new_p);
+  EXPECT_EQ(manager.GenerationOf(5), 2u);
+}
+
+TEST(PseudonymManagerTest, ResolveCoversAllGenerations) {
+  PseudonymManager manager(4);
+  const mod::Pseudonym p1 = manager.Current(9);
+  const mod::Pseudonym p2 = manager.Rotate(9);
+  EXPECT_EQ(manager.Resolve(p1), 9);
+  EXPECT_EQ(manager.Resolve(p2), 9);
+  EXPECT_FALSE(manager.Resolve("p-nonexistent").has_value());
+}
+
+TEST(PseudonymManagerTest, GenerationOfUnknownUserIsZero) {
+  PseudonymManager manager(5);
+  EXPECT_EQ(manager.GenerationOf(42), 0u);
+}
+
+TEST(PseudonymManagerTest, ManyRotationsStayUnique) {
+  PseudonymManager manager(6);
+  std::set<mod::Pseudonym> seen;
+  seen.insert(manager.Current(1));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.insert(manager.Rotate(1)).second);
+  }
+}
+
+TEST(PseudonymManagerTest, DeterministicPerSeed) {
+  PseudonymManager a(77);
+  PseudonymManager b(77);
+  EXPECT_EQ(a.Current(1), b.Current(1));
+  EXPECT_EQ(a.Rotate(1), b.Rotate(1));
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

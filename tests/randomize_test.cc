@@ -1,0 +1,107 @@
+#include "src/anon/randomize.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::STPoint;
+using geo::TimeInterval;
+
+TEST(TranslateWithinTest, PreservesDimensionsAndContainsExact) {
+  ContextRandomizer randomizer(1);
+  const STPoint exact{{500, 500}, 1000};
+  const STBox box{Rect::FromCenter(exact.p, 200, 300),
+                  TimeInterval::FromCenter(exact.t, 120)};
+  for (int i = 0; i < 200; ++i) {
+    const STBox out = randomizer.TranslateWithin(box, exact);
+    EXPECT_DOUBLE_EQ(out.area.Width(), 200.0);
+    EXPECT_DOUBLE_EQ(out.area.Height(), 300.0);
+    EXPECT_EQ(out.time.Length(), 120);
+    EXPECT_TRUE(out.Contains(exact));
+  }
+}
+
+TEST(TranslateWithinTest, PlacementIsActuallyRandom) {
+  ContextRandomizer randomizer(2);
+  const STPoint exact{{500, 500}, 1000};
+  const STBox box{Rect::FromCenter(exact.p, 200, 200),
+                  TimeInterval::FromCenter(exact.t, 120)};
+  // The exact point's relative position within the box should span the
+  // whole box, not sit at the center.
+  double min_frac = 1.0;
+  double max_frac = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const STBox out = randomizer.TranslateWithin(box, exact);
+    const double frac = (exact.p.x - out.area.min_x) / out.area.Width();
+    min_frac = std::min(min_frac, frac);
+    max_frac = std::max(max_frac, frac);
+  }
+  EXPECT_LT(min_frac, 0.1);
+  EXPECT_GT(max_frac, 0.9);
+}
+
+TEST(TranslateWithinTest, DegenerateAndMismatchedInputs) {
+  ContextRandomizer randomizer(3);
+  const STPoint exact{{0, 0}, 0};
+  // Point not inside box: returned unchanged.
+  const STBox elsewhere{Rect{100, 100, 200, 200}, TimeInterval{0, 10}};
+  EXPECT_EQ(randomizer.TranslateWithin(elsewhere, exact), elsewhere);
+  // Degenerate box containing the point: stays the point.
+  const STBox degenerate = STBox::FromPoint(exact);
+  const STBox out = randomizer.TranslateWithin(degenerate, exact);
+  EXPECT_TRUE(out.Contains(exact));
+  EXPECT_DOUBLE_EQ(out.area.Width(), 0.0);
+}
+
+TEST(ExpandWithinTest, ReturnsSupersetRespectingTolerance) {
+  ContextRandomizer randomizer(4);
+  const STBox box{Rect{0, 0, 1000, 800}, TimeInterval{0, 600}};
+  const ToleranceConstraints tolerance{2000.0, 2000.0, 1200};
+  for (int i = 0; i < 200; ++i) {
+    const STBox out = randomizer.ExpandWithin(box, tolerance);
+    EXPECT_TRUE(out.Contains(box));
+    EXPECT_LE(out.area.Width(), tolerance.max_area_width + 1e-9);
+    EXPECT_LE(out.area.Height(), tolerance.max_area_height + 1e-9);
+    EXPECT_LE(out.time.Length(), tolerance.max_time_window);
+  }
+}
+
+TEST(ExpandWithinTest, ActuallyGrows) {
+  ContextRandomizer randomizer(5);
+  const STBox box{Rect{0, 0, 1000, 1000}, TimeInterval{0, 600}};
+  const ToleranceConstraints tolerance{10000.0, 10000.0, 6000};
+  double grown = 0;
+  for (int i = 0; i < 100; ++i) {
+    const STBox out = randomizer.ExpandWithin(box, tolerance);
+    if (out.area.Width() > 1000.0) ++grown;
+  }
+  EXPECT_GT(grown, 90);  // Growth is near-certain with continuous draws.
+}
+
+TEST(ExpandWithinTest, AtToleranceStaysPut) {
+  ContextRandomizer randomizer(6);
+  const STBox box{Rect{0, 0, 2000, 2000}, TimeInterval{0, 1200}};
+  const ToleranceConstraints tolerance{2000.0, 2000.0, 1200};
+  const STBox out = randomizer.ExpandWithin(box, tolerance);
+  EXPECT_DOUBLE_EQ(out.area.Width(), 2000.0);
+  EXPECT_EQ(out.time.Length(), 1200);
+  EXPECT_TRUE(out.Contains(box));
+}
+
+TEST(ExpandWithinTest, DeterministicPerSeed) {
+  const STBox box{Rect{0, 0, 500, 500}, TimeInterval{0, 300}};
+  const ToleranceConstraints tolerance{5000.0, 5000.0, 3000};
+  ContextRandomizer a(7);
+  ContextRandomizer b(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.ExpandWithin(box, tolerance), b.ExpandWithin(box, tolerance));
+  }
+}
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

@@ -1,0 +1,159 @@
+#include "src/tgran/recurrence.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace tgran {
+namespace {
+
+class RecurrenceTest : public ::testing::Test {
+ protected:
+  GranularityRegistry registry_ = GranularityRegistry::WithDefaults();
+
+  Recurrence Parse(const std::string& text) {
+    auto result = Recurrence::Parse(text, registry_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+};
+
+TEST_F(RecurrenceTest, ParseEmptyFormula) {
+  EXPECT_TRUE(Parse("").empty());
+  EXPECT_TRUE(Parse("1.").empty());
+  EXPECT_EQ(Parse("").ToString(), "1.");
+}
+
+TEST_F(RecurrenceTest, ParsePaperExample) {
+  const Recurrence r = Parse("3.weekdays * 2.week");
+  ASSERT_EQ(r.terms().size(), 2u);
+  EXPECT_EQ(r.terms()[0].count, 3);
+  EXPECT_EQ(r.terms()[0].granularity->name(), "weekdays");
+  EXPECT_EQ(r.terms()[1].count, 2);
+  EXPECT_EQ(r.terms()[1].granularity->name(), "week");
+  EXPECT_EQ(r.ToString(), "3.weekdays * 2.week");
+  EXPECT_EQ(r.MinimumObservations(), 6);
+}
+
+TEST_F(RecurrenceTest, ParseRejectsMalformedTerms) {
+  EXPECT_TRUE(Recurrence::Parse("3weekdays", registry_)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      Recurrence::Parse("0.weekdays", registry_).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Recurrence::Parse("-2.week", registry_).status().IsInvalidArgument());
+  EXPECT_TRUE(Recurrence::Parse("3.weekdays * * 2.week", registry_)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      Recurrence::Parse("3.fortnight", registry_).status().IsNotFound());
+}
+
+TEST_F(RecurrenceTest, CreateRejectsNonPositiveCounts) {
+  auto day = registry_.Find("day").ValueOrDie();
+  EXPECT_TRUE(Recurrence::Create({RecurrenceTerm{0, day}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Recurrence::Create({RecurrenceTerm{1, nullptr}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(RecurrenceTest, EmptyFormulaNeedsOneObservation) {
+  const Recurrence r = Parse("");
+  EXPECT_FALSE(r.IsSatisfiedBy({}));
+  EXPECT_TRUE(r.IsSatisfiedBy({At(0, 9)}));
+}
+
+TEST_F(RecurrenceTest, PaperExampleSatisfied) {
+  const Recurrence r = Parse("3.weekdays * 2.week");
+  // 3 weekday observations in week 0 and 3 in week 1.
+  const std::vector<Instant> obs = {At(0, 18), At(1, 18), At(2, 18),
+                                    At(7, 18), At(8, 18), At(9, 18)};
+  EXPECT_TRUE(r.IsSatisfiedBy(obs));
+  EXPECT_EQ(r.SatisfiedLevels(obs), 2);
+}
+
+TEST_F(RecurrenceTest, PaperExampleOnlyOneWeek) {
+  const Recurrence r = Parse("3.weekdays * 2.week");
+  const std::vector<Instant> obs = {At(0, 18), At(1, 18), At(2, 18),
+                                    At(3, 18)};
+  EXPECT_FALSE(r.IsSatisfiedBy(obs));
+  EXPECT_EQ(r.SatisfiedLevels(obs), 1);  // One qualifying week, need two.
+}
+
+TEST_F(RecurrenceTest, PaperExampleTooFewDaysPerWeek) {
+  const Recurrence r = Parse("3.weekdays * 2.week");
+  // Only 2 weekdays in each of 3 weeks: never a qualifying week.
+  const std::vector<Instant> obs = {At(0, 18),  At(1, 18),  At(7, 18),
+                                    At(8, 18),  At(14, 18), At(15, 18)};
+  EXPECT_FALSE(r.IsSatisfiedBy(obs));
+  EXPECT_EQ(r.SatisfiedLevels(obs), 0);
+}
+
+TEST_F(RecurrenceTest, WeekendObservationsFallInGaps) {
+  const Recurrence r = Parse("3.weekdays * 2.week");
+  // Saturday/Sunday observations do not occupy weekday granules.
+  const std::vector<Instant> obs = {At(0, 18), At(1, 18), At(5, 18),
+                                    At(6, 18), At(7, 18), At(8, 18),
+                                    At(9, 18)};
+  // Week 0 has only Mon+Tue (Sat/Sun in gaps) -> not qualifying; week 1
+  // has 3 -> one qualifying week only.
+  EXPECT_FALSE(r.IsSatisfiedBy(obs));
+}
+
+TEST_F(RecurrenceTest, MultipleObservationsSameGranuleCountOnce) {
+  const Recurrence r = Parse("3.weekdays * 2.week");
+  // 6 observations but all on two days.
+  const std::vector<Instant> obs = {At(0, 8),  At(0, 12), At(0, 18),
+                                    At(1, 8),  At(1, 12), At(1, 18)};
+  EXPECT_FALSE(r.IsSatisfiedBy(obs));
+}
+
+TEST_F(RecurrenceTest, SingleLevelFormula) {
+  const Recurrence r = Parse("2.week");
+  EXPECT_FALSE(r.IsSatisfiedBy({At(0, 9)}));
+  EXPECT_FALSE(r.IsSatisfiedBy({At(0, 9), At(1, 9)}));  // Same week.
+  EXPECT_TRUE(r.IsSatisfiedBy({At(0, 9), At(7, 9)}));
+}
+
+TEST_F(RecurrenceTest, SameWeekdayForThreeWeeks) {
+  const Recurrence r = Parse("1.mondays * 3.week");
+  EXPECT_TRUE(r.IsSatisfiedBy({At(0, 9), At(7, 9), At(14, 9)}));
+  // Tuesdays never fall in a mondays granule.
+  EXPECT_FALSE(r.IsSatisfiedBy({At(1, 9), At(8, 9), At(15, 9)}));
+  EXPECT_FALSE(r.IsSatisfiedBy({At(0, 9), At(7, 9)}));
+}
+
+TEST_F(RecurrenceTest, ThreeLevelFormula) {
+  const Recurrence r = Parse("2.day * 2.week * 2.month");
+  // Weeks must each contain 2 observation-days; months must each contain
+  // 2 such weeks.  Construct: month of Feb 2005 starts at day 29.
+  std::vector<Instant> obs;
+  for (const int64_t base : {0, 7, 35, 42}) {  // Weeks 0,1 (Jan), 5,6 (Feb).
+    obs.push_back(At(base, 9));
+    obs.push_back(At(base + 1, 9));
+  }
+  EXPECT_TRUE(r.IsSatisfiedBy(obs));
+  EXPECT_EQ(r.SatisfiedLevels(obs), 3);
+  // Drop one observation: week 6 no longer qualifies, so Feb fails.
+  obs.pop_back();
+  EXPECT_FALSE(r.IsSatisfiedBy(obs));
+}
+
+TEST_F(RecurrenceTest, MinimumObservationsIsCountProduct) {
+  EXPECT_EQ(Parse("").MinimumObservations(), 1);
+  EXPECT_EQ(Parse("4.day").MinimumObservations(), 4);
+  EXPECT_EQ(Parse("3.weekdays * 2.week").MinimumObservations(), 6);
+  EXPECT_EQ(Parse("2.day * 2.week * 2.month").MinimumObservations(), 8);
+}
+
+TEST_F(RecurrenceTest, InnermostGranularity) {
+  EXPECT_EQ(Parse("").InnermostGranularity(), nullptr);
+  EXPECT_EQ(Parse("3.weekdays * 2.week").InnermostGranularity()->name(),
+            "weekdays");
+}
+
+}  // namespace
+}  // namespace tgran
+}  // namespace histkanon

@@ -1,0 +1,86 @@
+#include "src/tgran/relations.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace tgran {
+namespace {
+
+class RelationsTest : public ::testing::Test {
+ protected:
+  GranularityRegistry registry_ = GranularityRegistry::WithDefaults();
+
+  const Granularity& Get(const std::string& name) {
+    return *registry_.Find(name).ValueOrDie();
+  }
+};
+
+TEST_F(RelationsTest, ClassicGroupings) {
+  EXPECT_TRUE(GroupsInto(Get("day"), Get("week")));
+  EXPECT_TRUE(GroupsInto(Get("hour"), Get("day")));
+  EXPECT_TRUE(GroupsInto(Get("weekdays"), Get("week")));
+  EXPECT_TRUE(GroupsInto(Get("mondays"), Get("week")));
+  EXPECT_TRUE(GroupsInto(Get("day"), Get("month")));
+  EXPECT_TRUE(GroupsInto(Get("day"), Get("daypair")));
+}
+
+TEST_F(RelationsTest, ClassicNonGroupings) {
+  // A week can straddle two months.
+  EXPECT_FALSE(GroupsInto(Get("week"), Get("month")));
+  // Coarse never groups into fine.
+  EXPECT_FALSE(GroupsInto(Get("week"), Get("day")));
+  EXPECT_FALSE(GroupsInto(Get("month"), Get("week")));
+}
+
+TEST_F(RelationsTest, FinerThanRequiresCoverage) {
+  // Days are finer than weeks: grouping + full coverage.
+  EXPECT_TRUE(FinerThan(Get("day"), Get("week")));
+  // Weekdays group into weeks and weeks cover everything: finer-than.
+  EXPECT_TRUE(FinerThan(Get("weekdays"), Get("week")));
+  // Days do NOT group into weekdays (weekend days fall in gaps), and in
+  // particular days are not finer than weekdays.
+  EXPECT_FALSE(FinerThan(Get("day"), Get("weekdays")));
+}
+
+TEST_F(RelationsTest, SelfRelations) {
+  EXPECT_TRUE(GroupsInto(Get("day"), Get("day")));
+  EXPECT_TRUE(FinerThan(Get("week"), Get("week")));
+}
+
+TEST_F(RelationsTest, ValidateAcceptsThePaperExample) {
+  const auto recurrence =
+      Recurrence::Parse("3.weekdays * 2.week", registry_);
+  ASSERT_TRUE(recurrence.ok());
+  EXPECT_TRUE(ValidateRecurrence(*recurrence).ok());
+}
+
+TEST_F(RelationsTest, ValidateAcceptsLongChains) {
+  const auto recurrence =
+      Recurrence::Parse("2.day * 2.week", registry_);
+  ASSERT_TRUE(recurrence.ok());
+  EXPECT_TRUE(ValidateRecurrence(*recurrence).ok());
+  const auto empty = Recurrence::Parse("", registry_);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(ValidateRecurrence(*empty).ok());
+  const auto single = Recurrence::Parse("5.day", registry_);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(ValidateRecurrence(*single).ok());
+}
+
+TEST_F(RelationsTest, ValidateRejectsDegenerateChains) {
+  // Weeks straddle months: "r weeks within one month" is ill-formed.
+  const auto bad = Recurrence::Parse("2.week * 2.month", registry_);
+  ASSERT_TRUE(bad.ok());
+  const common::Status status = ValidateRecurrence(*bad);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("week"), std::string::npos);
+  EXPECT_NE(status.message().find("month"), std::string::npos);
+  // Inverted order is also rejected.
+  const auto inverted = Recurrence::Parse("2.week * 3.day", registry_);
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_TRUE(ValidateRecurrence(*inverted).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tgran
+}  // namespace histkanon

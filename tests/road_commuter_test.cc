@@ -1,0 +1,95 @@
+#include "src/sim/road_commuter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/population.h"
+
+namespace histkanon {
+namespace sim {
+namespace {
+
+using tgran::At;
+
+CommuterOptions TestOptions() {
+  CommuterOptions options;
+  options.depart_home_mean = 7 * 3600 + 50 * 60;
+  options.skip_day_probability = 0.0;
+  options.commute_request_probability = 1.0;
+  options.background_rate_per_hour = 0.0;
+  return options;
+}
+
+class RoadCommuterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(3);
+    graph_ = roadnet::RoadGraph::MakeGridCity(
+        geo::Rect{0, 0, 8000, 8000}, roadnet::GridCityOptions(), &rng);
+  }
+  roadnet::RoadGraph graph_;
+};
+
+TEST_F(RoadCommuterTest, ScheduleMirrorsStraightLineCommuter) {
+  const geo::Point home{500, 500};
+  const geo::Point office{7000, 7000};
+  RoadCommuterAgent agent(1, home, office, &graph_, TestOptions(),
+                          common::Rng(42));
+  EXPECT_EQ(agent.Step(At(0, 5)).position, home);
+  EXPECT_EQ(agent.Step(At(0, 12)).position, office);
+  EXPECT_EQ(agent.Step(At(0, 23)).position, home);
+  EXPECT_EQ(agent.Step(At(5, 12)).position, home);  // Saturday.
+}
+
+TEST_F(RoadCommuterTest, TravelFollowsTheRoadNetwork) {
+  const geo::Point home{500, 500};
+  const geo::Point office{7000, 7000};
+  RoadCommuterAgent agent(1, home, office, &graph_, TestOptions(),
+                          common::Rng(42));
+  EXPECT_GT(agent.route_time(), 0.0);
+  // Sample positions during the morning trip; at least one must deviate
+  // from the home-office straight line by more than the lattice jitter
+  // (the route is road-constrained).
+  double max_deviation = 0.0;
+  for (geo::Instant t = At(0, 7, 30); t <= At(0, 9); t += 60) {
+    const geo::Point p = agent.Step(t).position;
+    // Distance from the straight line through home-office.
+    const double vx = office.x - home.x;
+    const double vy = office.y - home.y;
+    const double len = std::sqrt(vx * vx + vy * vy);
+    const double deviation =
+        std::abs(vx * (home.y - p.y) - vy * (home.x - p.x)) / len;
+    max_deviation = std::max(max_deviation, deviation);
+  }
+  EXPECT_GT(max_deviation, 100.0);
+}
+
+TEST_F(RoadCommuterTest, FourCommuteRequestsPerWorkday) {
+  RoadCommuterAgent agent(2, {500, 500}, {7000, 7000}, &graph_,
+                          TestOptions(), common::Rng(7));
+  size_t requests = 0;
+  for (geo::Instant t = At(0, 0); t < At(1, 0); t += 60) {
+    requests += agent.Step(t).requests.size();
+  }
+  EXPECT_EQ(requests, 4u);
+}
+
+TEST_F(RoadCommuterTest, PopulationBuildsRoadCommuters) {
+  PopulationOptions options;
+  options.num_commuters = 5;
+  options.num_wanderers = 3;
+  options.use_road_network = true;
+  common::Rng rng(9);
+  const Population population = BuildPopulation(options, &rng);
+  ASSERT_NE(population.road_graph, nullptr);
+  EXPECT_TRUE(population.road_graph->IsConnected());
+  EXPECT_EQ(population.agents.size(), 8u);
+  // The first agents are road commuters (smoke: they step fine).
+  Agent* agent = population.agents[0].get();
+  const AgentTick tick = agent->Step(At(0, 12));
+  EXPECT_TRUE(population.world.Bounds().Buffered(2000).Contains(
+      tick.position));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace histkanon

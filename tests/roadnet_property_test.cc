@@ -1,0 +1,127 @@
+// Property test: RoadGraph::ShortestPath (Dijkstra) must agree with a
+// Floyd-Warshall reference on random small graphs, and returned paths must
+// be internally consistent (edge-connected, times adding up).
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/roadnet/graph.h"
+
+namespace histkanon {
+namespace roadnet {
+namespace {
+
+struct ReferenceMatrix {
+  std::vector<std::vector<double>> time;
+};
+
+ReferenceMatrix FloydWarshall(const RoadGraph& graph) {
+  const size_t n = graph.node_count();
+  const double inf = std::numeric_limits<double>::infinity();
+  ReferenceMatrix reference;
+  reference.time.assign(n, std::vector<double>(n, inf));
+  for (size_t i = 0; i < n; ++i) reference.time[i][i] = 0.0;
+  for (const Edge& edge : graph.edges()) {
+    const auto a = static_cast<size_t>(edge.from);
+    const auto b = static_cast<size_t>(edge.to);
+    reference.time[a][b] = std::min(reference.time[a][b], edge.TravelTime());
+    reference.time[b][a] = std::min(reference.time[b][a], edge.TravelTime());
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        reference.time[i][j] = std::min(
+            reference.time[i][j], reference.time[i][k] + reference.time[k][j]);
+      }
+    }
+  }
+  return reference;
+}
+
+RoadGraph RandomGraph(common::Rng* rng, size_t nodes, double edge_prob) {
+  RoadGraph graph;
+  for (size_t i = 0; i < nodes; ++i) {
+    graph.AddNode(geo::Point{rng->Uniform(0, 2000), rng->Uniform(0, 2000)});
+  }
+  for (size_t a = 0; a < nodes; ++a) {
+    for (size_t b = a + 1; b < nodes; ++b) {
+      if (rng->Bernoulli(edge_prob)) {
+        graph
+            .AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                     rng->Uniform(5.0, 25.0))
+            .ok();
+      }
+    }
+  }
+  return graph;
+}
+
+class RoadnetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoadnetPropertyTest, DijkstraMatchesFloydWarshall) {
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const RoadGraph graph =
+        RandomGraph(&rng, 18, rng.Uniform(0.1, 0.35));
+    const ReferenceMatrix reference = FloydWarshall(graph);
+    for (size_t a = 0; a < graph.node_count(); ++a) {
+      for (size_t b = 0; b < graph.node_count(); ++b) {
+        const auto path = graph.ShortestPath(static_cast<NodeId>(a),
+                                             static_cast<NodeId>(b));
+        const double want = reference.time[a][b];
+        if (std::isinf(want)) {
+          EXPECT_FALSE(path.ok()) << a << "->" << b;
+        } else {
+          ASSERT_TRUE(path.ok()) << a << "->" << b;
+          EXPECT_NEAR(path->travel_time, want, 1e-9) << a << "->" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RoadnetPropertyTest, PathsAreEdgeConnectedAndTimed) {
+  common::Rng rng(GetParam() ^ 0xbeef);
+  const RoadGraph graph = RandomGraph(&rng, 20, 0.3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(graph.node_count()) - 1));
+    const auto b = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(graph.node_count()) - 1));
+    const auto path = graph.ShortestPath(a, b);
+    if (!path.ok()) continue;
+    ASSERT_FALSE(path->nodes.empty());
+    EXPECT_EQ(path->nodes.front(), a);
+    EXPECT_EQ(path->nodes.back(), b);
+    // Every hop is a real edge; hop times sum to the reported total.
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < path->nodes.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Edge& edge : graph.edges()) {
+        if ((edge.from == path->nodes[i] && edge.to == path->nodes[i + 1]) ||
+            (edge.to == path->nodes[i] && edge.from == path->nodes[i + 1])) {
+          best = std::min(best, edge.TravelTime());
+        }
+      }
+      ASSERT_FALSE(std::isinf(best)) << "hop " << i << " is not an edge";
+      total += best;
+    }
+    EXPECT_NEAR(total, path->travel_time, 1e-9);
+
+    // PathTracer endpoints and monotone progress along the route.
+    PathTracer tracer(&graph, *path);
+    EXPECT_EQ(tracer.PositionAt(0.0), graph.node(a).position);
+    EXPECT_EQ(tracer.PositionAt(path->travel_time + 1.0),
+              graph.node(b).position);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoadnetPropertyTest,
+                         ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace roadnet
+}  // namespace histkanon

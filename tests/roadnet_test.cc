@@ -1,0 +1,206 @@
+#include "src/roadnet/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/roadnet/network_linker.h"
+
+namespace histkanon {
+namespace roadnet {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+// A 2x2 square: 0-(100m)-1, 0-(100m)-2, 1-(100m)-3, 2-(100m)-3, at 10 m/s.
+RoadGraph MakeSquare() {
+  RoadGraph graph;
+  graph.AddNode(Point{0, 0});      // 0
+  graph.AddNode(Point{100, 0});    // 1
+  graph.AddNode(Point{0, 100});    // 2
+  graph.AddNode(Point{100, 100});  // 3
+  EXPECT_TRUE(graph.AddEdge(0, 1, 10.0).ok());
+  EXPECT_TRUE(graph.AddEdge(0, 2, 10.0).ok());
+  EXPECT_TRUE(graph.AddEdge(1, 3, 10.0).ok());
+  EXPECT_TRUE(graph.AddEdge(2, 3, 10.0).ok());
+  return graph;
+}
+
+TEST(RoadGraphTest, AddEdgeValidation) {
+  RoadGraph graph;
+  graph.AddNode(Point{0, 0});
+  graph.AddNode(Point{1, 0});
+  EXPECT_TRUE(graph.AddEdge(0, 5, 10.0).IsNotFound());
+  EXPECT_TRUE(graph.AddEdge(0, 0, 10.0).IsInvalidArgument());
+  EXPECT_TRUE(graph.AddEdge(0, 1, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(graph.AddEdge(0, 1, 10.0).ok());
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(graph.edges()[0].length, 1.0);  // Euclidean default.
+}
+
+TEST(RoadGraphTest, ShortestPathOnSquare) {
+  const RoadGraph graph = MakeSquare();
+  const auto path = graph.ShortestPath(0, 3);
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_DOUBLE_EQ(path->length, 200.0);
+  EXPECT_DOUBLE_EQ(path->travel_time, 20.0);
+  EXPECT_EQ(path->nodes.size(), 3u);
+  EXPECT_EQ(path->nodes.front(), 0);
+  EXPECT_EQ(path->nodes.back(), 3);
+}
+
+TEST(RoadGraphTest, ShortestPathPrefersFasterDetour) {
+  // Direct edge 0-1 is slow; the detour through 2 is longer but faster.
+  RoadGraph graph;
+  graph.AddNode(Point{0, 0});
+  graph.AddNode(Point{1000, 0});
+  graph.AddNode(Point{500, 400});
+  ASSERT_TRUE(graph.AddEdge(0, 1, 2.0).ok());    // 1000 m @ 2 m/s = 500 s.
+  ASSERT_TRUE(graph.AddEdge(0, 2, 20.0).ok());   // ~640 m @ 20 m/s = 32 s.
+  ASSERT_TRUE(graph.AddEdge(2, 1, 20.0).ok());
+  const auto path = graph.ShortestPath(0, 1);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0, 2, 1}));
+  EXPECT_LT(path->travel_time, 100.0);
+}
+
+TEST(RoadGraphTest, TrivialAndDisconnectedPaths) {
+  RoadGraph graph;
+  graph.AddNode(Point{0, 0});
+  graph.AddNode(Point{100, 100});
+  const auto self = graph.ShortestPath(0, 0);
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(self->travel_time, 0.0);
+  EXPECT_TRUE(graph.ShortestPath(0, 1).status().IsNotFound());
+  EXPECT_TRUE(graph.ShortestPath(0, 9).status().IsNotFound());
+  EXPECT_FALSE(graph.IsConnected());
+}
+
+TEST(RoadGraphTest, NearestNode) {
+  const RoadGraph graph = MakeSquare();
+  EXPECT_EQ(graph.NearestNode(Point{10, -5}), 0);
+  EXPECT_EQ(graph.NearestNode(Point{95, 95}), 3);
+  EXPECT_EQ(RoadGraph().NearestNode(Point{0, 0}), kInvalidNode);
+}
+
+TEST(RoadGraphTest, TravelTimeBetweenIncludesAccess) {
+  const RoadGraph graph = MakeSquare();
+  // From (0,-14) to (100,114): 14 m + 14 m access at 1.4 m/s = 20 s, plus
+  // 20 s on the network.
+  const double t =
+      graph.TravelTimeBetween(Point{0, -14}, Point{100, 114}, 1.4);
+  EXPECT_NEAR(t, 40.0, 1e-6);
+}
+
+TEST(GridCityTest, GeneratedCityIsConnectedAndSized) {
+  common::Rng rng(11);
+  GridCityOptions options;
+  options.columns = 8;
+  options.rows = 6;
+  options.removal_probability = 0.3;
+  const RoadGraph graph =
+      RoadGraph::MakeGridCity(Rect{0, 0, 7000, 5000}, options, &rng);
+  EXPECT_EQ(graph.node_count(), 48u);
+  EXPECT_TRUE(graph.IsConnected());
+  // Removal dropped some of the 2*8*6 - 8 - 6 = 82 candidate segments,
+  // but the spanning tree (47 edges) survives.
+  EXPECT_GE(graph.edge_count(), 47u);
+  EXPECT_LE(graph.edge_count(), 82u);
+}
+
+TEST(GridCityTest, DeterministicPerSeed) {
+  GridCityOptions options;
+  common::Rng rng_a(5);
+  common::Rng rng_b(5);
+  const RoadGraph a =
+      RoadGraph::MakeGridCity(Rect{0, 0, 1000, 1000}, options, &rng_a);
+  const RoadGraph b =
+      RoadGraph::MakeGridCity(Rect{0, 0, 1000, 1000}, options, &rng_b);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.node(3).position, b.node(3).position);
+}
+
+TEST(PathTracerTest, TracksAlongPath) {
+  const RoadGraph graph = MakeSquare();
+  const auto path = graph.ShortestPath(0, 3);
+  ASSERT_TRUE(path.ok());
+  PathTracer tracer(&graph, *path);
+  EXPECT_DOUBLE_EQ(tracer.total_time(), 20.0);
+  EXPECT_EQ(tracer.PositionAt(-5), graph.node(0).position);
+  EXPECT_EQ(tracer.PositionAt(25), graph.node(3).position);
+  // Halfway through the first hop.
+  const geo::Point mid = tracer.PositionAt(5.0);
+  const geo::Point first = graph.node(path->nodes[0]).position;
+  const geo::Point second = graph.node(path->nodes[1]).position;
+  EXPECT_NEAR(mid.x, (first.x + second.x) / 2, 1e-9);
+  EXPECT_NEAR(mid.y, (first.y + second.y) / 2, 1e-9);
+}
+
+TEST(PathTracerTest, EmptyPathIsSafe) {
+  const RoadGraph graph = MakeSquare();
+  PathTracer tracer(&graph, Path{});
+  EXPECT_EQ(tracer.PositionAt(10.0), (Point{0, 0}));
+}
+
+TEST(NetworkLinkerTest, ComfortableTripLinks) {
+  const RoadGraph graph = MakeSquare();
+  NetworkLinker linker(&graph);
+  anon::ForwardedRequest a;
+  a.pseudonym = "pA";
+  a.context = {geo::Rect::FromCenter({0, 0}, 10, 10), {0, 60}};
+  anon::ForwardedRequest b;
+  b.pseudonym = "pB";
+  // 200 m network trip; 400 s gap: needs ~20 s, very comfortable.
+  b.context = {geo::Rect::FromCenter({100, 100}, 10, 10), {460, 520}};
+  EXPECT_EQ(linker.Link(a, b), 1.0);
+  EXPECT_EQ(linker.Link(b, a), linker.Link(a, b));  // Symmetric.
+}
+
+TEST(NetworkLinkerTest, NetworkDetourBlocksWhatEuclideanAllows) {
+  // Two points 200 m apart straight-line, but the only road between them
+  // is a 4 km detour: the Euclidean linker links, the network one doesn't.
+  RoadGraph graph;
+  graph.AddNode(Point{0, 0});
+  graph.AddNode(Point{200, 0});
+  graph.AddNode(Point{2000, 0});
+  ASSERT_TRUE(graph.AddEdge(0, 2, 10.0).ok());  // 2000 m out...
+  ASSERT_TRUE(graph.AddEdge(2, 1, 10.0).ok());  // ...1800 m back: 380 s.
+  NetworkLinker network(&graph);
+  anon::ProximityLinker euclidean;
+
+  anon::ForwardedRequest a;
+  a.pseudonym = "pA";
+  a.context = {geo::Rect::FromCenter({0, 0}, 10, 10), {0, 60}};
+  anon::ForwardedRequest b;
+  b.pseudonym = "pB";
+  b.context = {geo::Rect::FromCenter({200, 0}, 10, 10), {260, 320}};
+
+  const auto euclidean_score = euclidean.Link(a, b);
+  ASSERT_TRUE(euclidean_score.has_value());
+  EXPECT_GT(*euclidean_score, 0.9);  // 200 m in 200 s: trivial.
+  const auto network_score = network.Link(a, b);
+  ASSERT_TRUE(network_score.has_value());
+  EXPECT_LT(*network_score, 0.1);  // 380 s of driving in a 200 s gap.
+}
+
+TEST(NetworkLinkerTest, DomainBounds) {
+  const RoadGraph graph = MakeSquare();
+  NetworkLinkerOptions options;
+  options.max_time_gap = 100;
+  NetworkLinker linker(&graph, options);
+  anon::ForwardedRequest a;
+  a.pseudonym = "pA";
+  a.context = {geo::Rect::FromCenter({0, 0}, 10, 10), {0, 60}};
+  anon::ForwardedRequest overlapping = a;
+  overlapping.pseudonym = "pB";
+  EXPECT_FALSE(linker.Link(a, overlapping).has_value());
+  anon::ForwardedRequest late = a;
+  late.pseudonym = "pB";
+  late.context.time = {500, 560};
+  EXPECT_FALSE(linker.Link(a, late).has_value());
+  anon::ForwardedRequest same = a;
+  EXPECT_EQ(linker.Link(a, same), 1.0);  // Same pseudonym.
+}
+
+}  // namespace
+}  // namespace roadnet
+}  // namespace histkanon

@@ -1,0 +1,77 @@
+#include "src/ts/service_provider.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+anon::ForwardedRequest Req(const std::string& pseudonym, double x, double y,
+                           geo::Instant t, mod::MessageId msgid = 1) {
+  anon::ForwardedRequest request;
+  request.msgid = msgid;
+  request.pseudonym = pseudonym;
+  request.context = {geo::Rect::FromCenter({x, y}, 100, 100),
+                     geo::TimeInterval{t, t + 60}};
+  request.data = "q";
+  return request;
+}
+
+TEST(ServiceProviderTest, LogOnlyProviderAcks) {
+  ServiceProvider provider;  // No world.
+  const ServiceReply reply = provider.Handle(Req("p1", 0, 0, 0, 42));
+  EXPECT_EQ(reply.msgid, 42);
+  EXPECT_EQ(reply.payload, "ack");
+  EXPECT_EQ(provider.log().size(), 1u);
+}
+
+TEST(ServiceProviderTest, AnswersNearestHospitalFromContextCenter) {
+  sim::WorldOptions options;
+  options.num_hospitals = 2;
+  common::Rng rng(1);
+  const sim::World world = sim::World::Generate(options, &rng);
+  ServiceProvider provider(&world);
+  const geo::Point hospital = world.hospitals()[0];
+  const ServiceReply reply =
+      provider.Handle(Req("p1", hospital.x, hospital.y, 100, 7));
+  EXPECT_EQ(reply.msgid, 7);
+  EXPECT_NE(reply.payload.find("hospital-"), std::string::npos);
+  // Distance from the context center to the nearest hospital is ~0 here.
+  EXPECT_NE(reply.payload.find(" at 0m"), std::string::npos);
+}
+
+TEST(ServiceProviderTest, RequestsByPseudonymGroupsIndices) {
+  ServiceProvider provider;
+  provider.Handle(Req("pA", 0, 0, 0, 1));
+  provider.Handle(Req("pB", 0, 0, 100, 2));
+  provider.Handle(Req("pA", 0, 0, 200, 3));
+  const auto groups = provider.RequestsByPseudonym();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at("pA"), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(groups.at("pB"), (std::vector<size_t>{1}));
+}
+
+TEST(DispositionToStringTest, AllValuesNamed) {
+  EXPECT_EQ(DispositionToString(Disposition::kForwardedDefault),
+            "forwarded-default");
+  EXPECT_EQ(DispositionToString(Disposition::kForwardedGeneralized),
+            "forwarded-generalized");
+  EXPECT_EQ(DispositionToString(Disposition::kSuppressedMixZone),
+            "suppressed-mixzone");
+  EXPECT_EQ(DispositionToString(Disposition::kUnlinked), "unlinked");
+  EXPECT_EQ(DispositionToString(Disposition::kAtRisk), "at-risk");
+}
+
+TEST(PrivacyConcernToStringTest, AllValuesNamed) {
+  EXPECT_EQ(PrivacyConcernToString(PrivacyConcern::kOff), "off");
+  EXPECT_EQ(PrivacyConcernToString(PrivacyConcern::kLow), "low");
+  EXPECT_EQ(PrivacyConcernToString(PrivacyConcern::kMedium), "medium");
+  EXPECT_EQ(PrivacyConcernToString(PrivacyConcern::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

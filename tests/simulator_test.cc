@@ -1,0 +1,108 @@
+#include "src/sim/simulator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/population.h"
+
+namespace histkanon {
+namespace sim {
+namespace {
+
+// Records everything it receives.
+class RecordingSink : public EventSink {
+ public:
+  struct Update {
+    mod::UserId user;
+    geo::STPoint sample;
+  };
+  struct Request {
+    mod::UserId user;
+    geo::STPoint exact;
+    RequestIntent intent;
+  };
+
+  void OnLocationUpdate(mod::UserId user,
+                        const geo::STPoint& sample) override {
+    updates.push_back(Update{user, sample});
+  }
+  void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                        const RequestIntent& intent) override {
+    requests.push_back(Request{user, exact, intent});
+  }
+
+  std::vector<Update> updates;
+  std::vector<Request> requests;
+};
+
+TEST(SimulatorTest, UpdatesArriveAtConfiguredPeriod) {
+  PopulationOptions options;
+  options.num_commuters = 0;
+  options.num_wanderers = 4;
+  common::Rng rng(1);
+  Population population = BuildPopulation(options, &rng);
+  SimulationOptions sim_options;
+  sim_options.start = 0;
+  sim_options.end = 3600;
+  sim_options.tick = 60;
+  sim_options.location_update_period = 300;
+  Simulator simulator(std::move(population.agents), sim_options);
+  RecordingSink sink;
+  simulator.Run(&sink);
+  // 4 agents, 60 ticks, one update each per 5 ticks => 48 updates.
+  EXPECT_EQ(sink.updates.size(), 48u);
+  // Timestamps are tick-aligned and inside the horizon.
+  for (const auto& update : sink.updates) {
+    EXPECT_GE(update.sample.t, 0);
+    EXPECT_LT(update.sample.t, 3600);
+    EXPECT_EQ(update.sample.t % 60, 0);
+  }
+}
+
+TEST(SimulatorTest, StaggeringSpreadsUpdates) {
+  PopulationOptions options;
+  options.num_commuters = 0;
+  options.num_wanderers = 5;
+  common::Rng rng(2);
+  Population population = BuildPopulation(options, &rng);
+  SimulationOptions sim_options;
+  sim_options.start = 0;
+  sim_options.end = 300;
+  sim_options.tick = 60;
+  sim_options.location_update_period = 300;
+  Simulator simulator(std::move(population.agents), sim_options);
+  RecordingSink sink;
+  simulator.Run(&sink);
+  // Each of 5 agents updates once, each on a different tick.
+  ASSERT_EQ(sink.updates.size(), 5u);
+  std::set<geo::Instant> times;
+  for (const auto& update : sink.updates) times.insert(update.sample.t);
+  EXPECT_EQ(times.size(), 5u);
+}
+
+TEST(SimulatorTest, CommutersGenerateRequestsOverAWeek) {
+  PopulationOptions options;
+  options.num_commuters = 5;
+  options.num_wanderers = 0;
+  options.commuter.skip_day_probability = 0.0;
+  options.commuter.commute_request_probability = 1.0;
+  options.commuter.background_rate_per_hour = 0.0;
+  common::Rng rng(3);
+  Population population = BuildPopulation(options, &rng);
+  SimulationOptions sim_options;
+  sim_options.end = 7 * tgran::kSecondsPerDay;
+  Simulator simulator(std::move(population.agents), sim_options);
+  RecordingSink sink;
+  simulator.Run(&sink);
+  // 5 commuters x 5 weekdays x 4 requests.
+  EXPECT_EQ(sink.requests.size(), 100u);
+  for (const auto& request : sink.requests) {
+    EXPECT_EQ(request.intent.data, "commute");
+    EXPECT_LT(request.user, 5);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace histkanon

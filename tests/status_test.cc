@@ -1,0 +1,113 @@
+#include "src/common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace histkanon {
+namespace common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("user 7").message(), "user 7");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("k must be positive").ToString(),
+            "invalid argument: k must be positive");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "internal: boom");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::OutOfRange("index 9"); };
+  auto wrapper = [&]() -> Status {
+    HISTKANON_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsOutOfRange());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOnSuccess) {
+  auto wrapper = []() -> Status {
+    HISTKANON_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsAlreadyExists());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result(Status::NotFound("no such user"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> result(7);
+  EXPECT_EQ(result.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).ValueOrDie();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto source = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Internal("source failed");
+  };
+  auto consumer = [&](bool ok) -> Status {
+    HISTKANON_ASSIGN_OR_RETURN(const int value, source(ok));
+    EXPECT_EQ(value, 5);
+    return Status::OK();
+  };
+  EXPECT_TRUE(consumer(true).ok());
+  EXPECT_TRUE(consumer(false).IsInternal());
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace histkanon

@@ -1,0 +1,247 @@
+// Parameterized equivalence tests: every index implementation must answer
+// range and nearest-per-user queries identically to brute force.
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/stindex/brute_force_index.h"
+#include "src/stindex/grid_index.h"
+#include "src/stindex/rtree.h"
+
+namespace histkanon {
+namespace stindex {
+namespace {
+
+using geo::Rect;
+using geo::STBox;
+using geo::STMetric;
+using geo::STPoint;
+using geo::TimeInterval;
+
+std::unique_ptr<SpatioTemporalIndex> MakeIndex(const std::string& kind) {
+  if (kind == "brute") return std::make_unique<BruteForceIndex>();
+  if (kind == "grid") return std::make_unique<GridIndex>();
+  return std::make_unique<RTree>();
+}
+
+class IndexTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<SpatioTemporalIndex> index_ = MakeIndex(GetParam());
+};
+
+TEST_P(IndexTest, EmptyIndexAnswersEmpty) {
+  EXPECT_EQ(index_->size(), 0u);
+  EXPECT_TRUE(index_->RangeQuery(STBox{Rect{0, 0, 1, 1}, {0, 1}}).empty());
+  EXPECT_TRUE(
+      index_->NearestPerUser(STPoint{{0, 0}, 0}, 3, -1, STMetric{}).empty());
+}
+
+TEST_P(IndexTest, SingleEntryQueries) {
+  index_->Insert(7, STPoint{{10, 20}, 30});
+  EXPECT_EQ(index_->size(), 1u);
+  const auto hits =
+      index_->RangeQuery(STBox{Rect{0, 0, 100, 100}, TimeInterval{0, 100}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].user, 7);
+  const auto neighbors =
+      index_->NearestPerUser(STPoint{{0, 0}, 0}, 1, -1, STMetric{1.0});
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].user, 7);
+  EXPECT_NEAR(neighbors[0].distance,
+              std::sqrt(10.0 * 10 + 20 * 20 + 30 * 30), 1e-9);
+}
+
+TEST_P(IndexTest, RangeQueryBoundaryInclusive) {
+  index_->Insert(1, STPoint{{0, 0}, 0});
+  index_->Insert(2, STPoint{{10, 10}, 10});
+  const auto hits =
+      index_->RangeQuery(STBox{Rect{0, 0, 10, 10}, TimeInterval{0, 10}});
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_P(IndexTest, NearestPerUserExcludesRequester) {
+  index_->Insert(1, STPoint{{0, 0}, 0});
+  index_->Insert(2, STPoint{{5, 0}, 0});
+  index_->Insert(3, STPoint{{10, 0}, 0});
+  const auto neighbors =
+      index_->NearestPerUser(STPoint{{0, 0}, 0}, 2, 1, STMetric{1.0});
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].user, 2);
+  EXPECT_EQ(neighbors[1].user, 3);
+}
+
+TEST_P(IndexTest, NearestPerUserReturnsEachUsersNearestSample) {
+  // User 2 has a far and a near sample; the near one must be reported.
+  index_->Insert(2, STPoint{{1000, 1000}, 0});
+  index_->Insert(2, STPoint{{3, 4}, 0});
+  const auto neighbors =
+      index_->NearestPerUser(STPoint{{0, 0}, 0}, 1, -1, STMetric{1.0});
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_NEAR(neighbors[0].distance, 5.0, 1e-9);
+}
+
+TEST_P(IndexTest, NearestPerUserFewerUsersThanK) {
+  index_->Insert(1, STPoint{{0, 0}, 0});
+  index_->Insert(2, STPoint{{5, 5}, 5});
+  const auto neighbors =
+      index_->NearestPerUser(STPoint{{0, 0}, 0}, 10, -1, STMetric{1.0});
+  EXPECT_EQ(neighbors.size(), 2u);
+}
+
+TEST_P(IndexTest, RandomEquivalenceWithBruteForce) {
+  common::Rng rng(2024);
+  BruteForceIndex reference;
+  const int n = 800;
+  for (int i = 0; i < n; ++i) {
+    const mod::UserId user = rng.UniformInt(0, 40);
+    const STPoint sample{{rng.Uniform(0, 5000), rng.Uniform(0, 5000)},
+                         rng.UniformInt(0, 7200)};
+    index_->Insert(user, sample);
+    reference.Insert(user, sample);
+  }
+  EXPECT_EQ(index_->size(), reference.size());
+
+  const STMetric metric{1.4};
+  for (int trial = 0; trial < 25; ++trial) {
+    // Range queries.
+    const double x = rng.Uniform(0, 5000);
+    const double y = rng.Uniform(0, 5000);
+    const geo::Instant t = rng.UniformInt(0, 7200);
+    const STBox box{Rect{x - 400, y - 400, x + 400, y + 400},
+                    TimeInterval{t - 900, t + 900}};
+    auto sort_entries = [](std::vector<Entry> v) {
+      std::sort(v.begin(), v.end(), [](const Entry& a, const Entry& b) {
+        if (a.user != b.user) return a.user < b.user;
+        if (a.sample.t != b.sample.t) return a.sample.t < b.sample.t;
+        if (a.sample.p.x != b.sample.p.x) return a.sample.p.x < b.sample.p.x;
+        return a.sample.p.y < b.sample.p.y;
+      });
+      return v;
+    };
+    EXPECT_EQ(sort_entries(index_->RangeQuery(box)),
+              sort_entries(reference.RangeQuery(box)))
+        << "trial " << trial;
+
+    // Nearest-per-user queries.
+    const STPoint q{{x, y}, t};
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 12));
+    const auto got = index_->NearestPerUser(q, k, 3, metric);
+    const auto want = reference.NearestPerUser(q, k, 3, metric);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Distances must agree; user identity may differ only on exact ties.
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-6)
+          << "trial " << trial << " position " << i;
+    }
+  }
+}
+
+TEST_P(IndexTest, DistinctUsersIn) {
+  index_->Insert(4, STPoint{{1, 1}, 1});
+  index_->Insert(4, STPoint{{2, 2}, 2});
+  index_->Insert(9, STPoint{{3, 3}, 3});
+  const auto users =
+      index_->DistinctUsersIn(STBox{Rect{0, 0, 10, 10}, TimeInterval{0, 10}});
+  EXPECT_EQ(users, (std::vector<mod::UserId>{4, 9}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexTest,
+                         ::testing::Values("brute", "grid", "rtree"));
+
+TEST(RTreeTest, InvariantsHoldUnderRandomInsertion) {
+  common::Rng rng(99);
+  RTree tree;
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(rng.UniformInt(0, 50),
+                STPoint{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)},
+                        rng.UniformInt(0, 86400)});
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_GE(tree.Height(), 2);
+}
+
+TEST(RTreeTest, BulkLoadMatchesDynamicInsert) {
+  common::Rng rng(123);
+  std::vector<Entry> entries;
+  RTree dynamic;
+  for (int i = 0; i < 1500; ++i) {
+    const Entry entry{rng.UniformInt(0, 30),
+                      STPoint{{rng.Uniform(0, 8000), rng.Uniform(0, 8000)},
+                              rng.UniformInt(0, 7200)}};
+    entries.push_back(entry);
+    dynamic.Insert(entry.user, entry.sample);
+  }
+  RTree packed = RTree::BulkLoad(entries);
+  EXPECT_TRUE(packed.CheckInvariants().ok()) << packed.CheckInvariants();
+  EXPECT_EQ(packed.size(), dynamic.size());
+
+  const STBox box{Rect{1000, 1000, 3000, 3000}, TimeInterval{0, 3600}};
+  EXPECT_EQ(packed.RangeQuery(box).size(), dynamic.RangeQuery(box).size());
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndSmall) {
+  RTree empty = RTree::BulkLoad({});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.CheckInvariants().ok());
+  RTree one = RTree::BulkLoad({Entry{1, STPoint{{0, 0}, 0}}});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.Height(), 1);
+}
+
+TEST(RTreeTest, PathologicalMinEntriesIsClamped) {
+  RTreeOptions options;
+  options.max_entries = 4;
+  options.min_entries = 4;  // Would make splits impossible; must clamp.
+  RTree tree(options);
+  common::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(i % 7, STPoint{{rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                               rng.UniformInt(0, 100)});
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+TEST(GridIndexTest, CellBoundaryStraddling) {
+  GridIndexOptions options;
+  options.cell_meters = 100;
+  options.cell_seconds = 100;
+  GridIndex grid(options);
+  grid.Insert(1, STPoint{{99.5, 99.5}, 99});
+  grid.Insert(2, STPoint{{100.5, 100.5}, 101});
+  // Query box straddles the cell boundary; both must be found.
+  const auto hits = grid.RangeQuery(
+      STBox{Rect{99, 99, 101, 101}, TimeInterval{98, 102}});
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(GridIndexTest, NearestAcrossManyCells) {
+  GridIndexOptions options;
+  options.cell_meters = 10;  // Force a long shell expansion.
+  options.cell_seconds = 10;
+  GridIndex grid(options);
+  grid.Insert(1, STPoint{{500, 0}, 0});
+  grid.Insert(2, STPoint{{0, 500}, 0});
+  const auto neighbors =
+      grid.NearestPerUser(STPoint{{0, 0}, 0}, 2, -1, STMetric{1.0});
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_NEAR(neighbors[0].distance, 500.0, 1e-9);
+  EXPECT_NEAR(neighbors[1].distance, 500.0, 1e-9);
+}
+
+TEST(LoadFromDbTest, LoadsAllSamples) {
+  mod::MovingObjectDb db;
+  ASSERT_TRUE(db.Append(1, STPoint{{0, 0}, 0}).ok());
+  ASSERT_TRUE(db.Append(1, STPoint{{1, 1}, 1}).ok());
+  ASSERT_TRUE(db.Append(2, STPoint{{2, 2}, 2}).ok());
+  BruteForceIndex index;
+  LoadFromDb(db, &index);
+  EXPECT_EQ(index.size(), 3u);
+}
+
+}  // namespace
+}  // namespace stindex
+}  // namespace histkanon

@@ -1,0 +1,45 @@
+#include "src/common/str.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace common {
+namespace {
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(Format("k=%d theta=%.2f", 5, 0.5), "k=5 theta=0.50");
+  EXPECT_EQ(Format("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(Format("plain"), "plain");
+}
+
+TEST(FormatTest, LongOutputNotTruncated) {
+  const std::string long_text(500, 'x');
+  const std::string out = Format("<%s>", long_text.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"", ""}, "-"), "-");
+}
+
+TEST(FormatDurationTest, HoursMinutesSeconds) {
+  EXPECT_EQ(FormatDuration(0), "00:00:00");
+  EXPECT_EQ(FormatDuration(61), "00:01:01");
+  EXPECT_EQ(FormatDuration(3600 + 23 * 60 + 45), "01:23:45");
+}
+
+TEST(FormatDurationTest, DaysAndNegatives) {
+  EXPECT_EQ(FormatDuration(86400 + 3600), "1d 01:00:00");
+  EXPECT_EQ(FormatDuration(3 * 86400), "3d 00:00:00");
+  EXPECT_EQ(FormatDuration(-61), "-00:01:01");
+  EXPECT_EQ(FormatDuration(-(86400 + 1)), "-1d 00:00:01");
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace histkanon

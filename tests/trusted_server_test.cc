@@ -1,0 +1,265 @@
+// Integration tests of the Section 6.1 strategy on the trusted server.
+
+#include "src/ts/trusted_server.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+constexpr Rect kHome{0, 0, 200, 200};
+constexpr Rect kOffice{5000, 5000, 5400, 5400};
+
+lbqid::Lbqid CommuteLbqid() {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto recurrence = tgran::Recurrence::Parse("3.weekdays * 2.week", registry);
+  EXPECT_TRUE(recurrence.ok());
+  auto hours = [](int a, int b) {
+    return *tgran::UTimeInterval::FromHours(a, b);
+  };
+  auto lbqid = lbqid::Lbqid::Create("commute",
+                                    {{kHome, hours(7, 9)},
+                                     {kOffice, hours(7, 10)},
+                                     {kOffice, hours(16, 18)},
+                                     {kHome, hours(16, 19)}},
+                                    *recurrence);
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+class TrustedServerTest : public ::testing::Test {
+ protected:
+  // Populates the MOD with `n` co-moving companions that shadow the
+  // commuter's schedule with small offsets, plus the commuter (user 0).
+  void PopulateCompanions(TrustedServer* server, size_t n) {
+    for (size_t u = 1; u <= n; ++u) {
+      const double offset = 10.0 * static_cast<double>(u);
+      for (int64_t day = 0; day < 14; ++day) {
+        // Morning at home area, morning at office, evening office, home.
+        server->OnLocationUpdate(
+            static_cast<mod::UserId>(u),
+            STPoint{{100 + offset, 100}, At(day, 7, 40)});
+        server->OnLocationUpdate(
+            static_cast<mod::UserId>(u),
+            STPoint{{5200 + offset, 5200}, At(day, 8, 20)});
+        server->OnLocationUpdate(
+            static_cast<mod::UserId>(u),
+            STPoint{{5200 + offset, 5200}, At(day, 16, 50)});
+        server->OnLocationUpdate(
+            static_cast<mod::UserId>(u),
+            STPoint{{100 + offset, 100}, At(day, 17, 40)});
+      }
+    }
+  }
+
+  // The commuter's four daily request points.
+  std::vector<STPoint> DayRequests(int64_t day) {
+    return {STPoint{{100, 100}, At(day, 7, 45)},
+            STPoint{{5200, 5200}, At(day, 8, 25)},
+            STPoint{{5200, 5200}, At(day, 16, 55)},
+            STPoint{{100, 100}, At(day, 17, 45)}};
+  }
+};
+
+TEST_F(TrustedServerTest, NonLbqidRequestForwardedWithDefaultContext) {
+  TrustedServer server;
+  ASSERT_TRUE(
+      server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{3000, 3000}, At(0, 12)}, 0, "x");
+  EXPECT_EQ(outcome.disposition, Disposition::kForwardedDefault);
+  ASSERT_TRUE(outcome.forwarded);
+  EXPECT_FALSE(outcome.matched_lbqid);
+  EXPECT_TRUE(
+      outcome.forwarded_request.context.Contains(STPoint{{3000, 3000},
+                                                         At(0, 12)}));
+  EXPECT_EQ(server.stats().forwarded_default, 1u);
+}
+
+TEST_F(TrustedServerTest, LbqidRequestGeneralizedWithKAnonymity) {
+  TrustedServer server;
+  PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kLow);
+  policy.k_schedule = anon::KSchedule{};  // Plain Algorithm 1.
+  ASSERT_TRUE(server.RegisterUser(0, policy).ok());
+  ASSERT_TRUE(server.RegisterLbqid(0, CommuteLbqid()).ok());
+  PopulateCompanions(&server, 6);
+
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "go");
+  EXPECT_EQ(outcome.disposition, Disposition::kForwardedGeneralized);
+  EXPECT_TRUE(outcome.hk_anonymity);
+  EXPECT_TRUE(outcome.matched_lbqid);
+  EXPECT_EQ(outcome.element_index, 0u);
+  // The generalized context must cover k=3 companions' samples.
+  const anon::HkaResult hka = server.EvaluateTraceHka(0, 0);
+  EXPECT_TRUE(hka.satisfied);
+  EXPECT_GE(hka.consistent_others, 2u);
+}
+
+TEST_F(TrustedServerTest, FullTracePreservesHistoricalKAnonymity) {
+  TrustedServer server;
+  PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kLow);
+  ASSERT_TRUE(server.RegisterUser(0, policy).ok());
+  ASSERT_TRUE(server.RegisterLbqid(0, CommuteLbqid()).ok());
+  PopulateCompanions(&server, 8);
+
+  size_t completions = 0;
+  for (const int64_t day : {0, 1, 2, 7, 8, 9}) {
+    for (const STPoint& exact : DayRequests(day)) {
+      const ProcessOutcome outcome =
+          server.ProcessRequest(0, exact, 0, "data");
+      EXPECT_EQ(outcome.disposition, Disposition::kForwardedGeneralized)
+          << tgran::FormatInstant(exact.t);
+      if (outcome.lbqid_completed) ++completions;
+    }
+  }
+  EXPECT_EQ(completions, 1u);
+  EXPECT_EQ(server.stats().lbqid_completions, 1u);
+  // Theorem 1's conclusion: the whole trace satisfies HkA.
+  const anon::HkaResult hka = server.EvaluateTraceHka(0, 0);
+  EXPECT_TRUE(hka.satisfied) << hka.consistent_others;
+  // Tracked contexts: 24 forwarded generalized requests.
+  EXPECT_EQ(server.TraceContextsOf(0, 0).size(), 24u);
+}
+
+TEST_F(TrustedServerTest, IsolatedUserGoesAtRiskWithoutUnlinking) {
+  TrustedServerOptions options;
+  options.enable_unlinking = false;
+  TrustedServer server(options);
+  PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kMedium);
+  ASSERT_TRUE(server.RegisterUser(0, policy).ok());
+  ASSERT_TRUE(server.RegisterLbqid(0, CommuteLbqid()).ok());
+  // No other users at all: k=5 is unattainable.
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "go");
+  EXPECT_EQ(outcome.disposition, Disposition::kAtRisk);
+  EXPECT_FALSE(outcome.hk_anonymity);
+  EXPECT_TRUE(outcome.forwarded);  // forward_when_at_risk default.
+  EXPECT_EQ(server.stats().at_risk_notifications, 1u);
+  EXPECT_EQ(server.stats().unlink_attempts, 0u);
+}
+
+TEST_F(TrustedServerTest, AtRiskRequestDroppedWhenConfigured) {
+  TrustedServerOptions options;
+  options.enable_unlinking = false;
+  options.forward_when_at_risk = false;
+  TrustedServer server(options);
+  ASSERT_TRUE(server
+                  .RegisterUser(0, PrivacyPolicy::FromConcern(
+                                       PrivacyConcern::kMedium))
+                  .ok());
+  ASSERT_TRUE(server.RegisterLbqid(0, CommuteLbqid()).ok());
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "go");
+  EXPECT_EQ(outcome.disposition, Disposition::kAtRisk);
+  EXPECT_FALSE(outcome.forwarded);
+}
+
+TEST_F(TrustedServerTest, UnlinkingRotatesPseudonymAndResetsTraces) {
+  TrustedServerOptions options;
+  options.mixzone.min_displacement = 5.0;
+  TrustedServer server(options);
+  PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kMedium);
+  policy.k = 50;  // Unattainably high: generalization always fails.
+  ASSERT_TRUE(server.RegisterUser(0, policy).ok());
+  ASSERT_TRUE(server.RegisterLbqid(0, CommuteLbqid()).ok());
+
+  // A diverging crowd around the home point so the mix-zone can form.
+  // (Need >= k others; give 60 users with spread headings.)
+  for (mod::UserId u = 1; u <= 60; ++u) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(u) / 61.0;
+    const Point via{100 + static_cast<double>(u % 7), 100};
+    server.OnLocationUpdate(
+        u, STPoint{{via.x - 500 * std::cos(angle), via.y - 500 * std::sin(
+                                                               angle)},
+                   At(0, 7, 35)});
+    server.OnLocationUpdate(u, STPoint{via, At(0, 7, 45)});
+    server.OnLocationUpdate(
+        u, STPoint{{via.x + 500 * std::cos(angle),
+                    via.y + 500 * std::sin(angle)},
+                   At(0, 7, 55)});
+  }
+
+  const mod::Pseudonym before = server.pseudonyms().Current(0);
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "go");
+  EXPECT_EQ(outcome.disposition, Disposition::kUnlinked);
+  EXPECT_FALSE(outcome.forwarded);
+  EXPECT_NE(server.pseudonyms().Current(0), before);
+  EXPECT_EQ(server.stats().unlink_successes, 1u);
+  EXPECT_TRUE(server.TraceContextsOf(0, 0).empty());
+
+  // During the quiet period the service stays suppressed.
+  const ProcessOutcome quiet =
+      server.ProcessRequest(0, STPoint{{120, 100}, At(0, 7, 50)}, 0, "go");
+  EXPECT_EQ(quiet.disposition, Disposition::kSuppressedMixZone);
+}
+
+TEST_F(TrustedServerTest, PolicyOffBypassesGeneralization) {
+  TrustedServer server;
+  ASSERT_TRUE(
+      server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kOff))
+          .ok());
+  ASSERT_TRUE(server.RegisterLbqid(0, CommuteLbqid()).ok());
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "go");
+  EXPECT_EQ(outcome.disposition, Disposition::kForwardedDefault);
+}
+
+TEST_F(TrustedServerTest, RegistrationErrors) {
+  TrustedServer server;
+  ASSERT_TRUE(
+      server.RegisterUser(1, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+  EXPECT_TRUE(
+      server.RegisterUser(1, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .IsAlreadyExists());
+  EXPECT_TRUE(server.RegisterLbqid(99, CommuteLbqid()).status().IsNotFound());
+  anon::ServiceProfile profile = anon::service_presets::NearestHospital(3);
+  EXPECT_TRUE(server.RegisterService(profile).ok());
+  EXPECT_TRUE(server.RegisterService(profile).IsAlreadyExists());
+}
+
+TEST_F(TrustedServerTest, ForwardedRequestsReachServiceProvider) {
+  TrustedServer server;
+  ServiceProvider provider;
+  server.ConnectServiceProvider(&provider);
+  ASSERT_TRUE(
+      server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+  server.ProcessRequest(0, STPoint{{1, 1}, At(0, 12)}, 0, "hello");
+  ASSERT_EQ(provider.log().size(), 1u);
+  EXPECT_EQ(provider.log()[0].data, "hello");
+  EXPECT_EQ(provider.log()[0].pseudonym, server.pseudonyms().Current(0));
+  // The SP never sees a raw user id equal to the pseudonym.
+  EXPECT_NE(provider.log()[0].pseudonym, "0");
+}
+
+TEST_F(TrustedServerTest, ToleranceConstraintsFromRegisteredService) {
+  TrustedServer server;
+  anon::ServiceProfile tight = anon::service_presets::TurnByTurnNavigation(5);
+  ASSERT_TRUE(server.RegisterService(tight).ok());
+  ASSERT_TRUE(
+      server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{500, 500}, At(0, 12)}, 5, "nav");
+  ASSERT_TRUE(outcome.forwarded);
+  EXPECT_LE(outcome.forwarded_request.context.area.Width(),
+            tight.tolerance.max_area_width + 1e-9);
+  EXPECT_LE(outcome.forwarded_request.context.time.Length(),
+            tight.tolerance.max_time_window);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

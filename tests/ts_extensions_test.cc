@@ -1,0 +1,149 @@
+// Tests for the trusted server's extension features: context
+// randomization, policy-scaled default contexts, the Theorem-1 self-audit,
+// and monitor rollback on dropped requests.
+
+#include <gtest/gtest.h>
+
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+lbqid::Lbqid OneShotLbqid(const Rect& area) {
+  auto lbqid = lbqid::Lbqid::Create(
+      "one-shot", {{area, *tgran::UTimeInterval::FromHours(7, 9)}},
+      tgran::Recurrence());
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+TEST(TsRandomizationTest, DefaultContextNotCenteredWhenEnabled) {
+  TrustedServerOptions options;
+  options.enable_randomization = true;
+  TrustedServer server(options);
+  server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+      .ok();
+  double max_offset = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const STPoint exact{{5000, 5000}, At(0, 12) + i * 60};
+    const ProcessOutcome outcome =
+        server.ProcessRequest(0, exact, 0, "x");
+    ASSERT_TRUE(outcome.forwarded);
+    EXPECT_TRUE(outcome.forwarded_request.context.Contains(exact));
+    max_offset = std::max(
+        max_offset,
+        geo::Distance(outcome.forwarded_request.context.area.Center(),
+                      exact.p));
+  }
+  EXPECT_GT(max_offset, 10.0);  // Some placements are clearly off-center.
+}
+
+TEST(TsRandomizationTest, DefaultContextCenteredWhenDisabled) {
+  TrustedServerOptions options;
+  options.enable_randomization = false;
+  TrustedServer server(options);
+  server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+      .ok();
+  const STPoint exact{{5000, 5000}, At(0, 12)};
+  const ProcessOutcome outcome = server.ProcessRequest(0, exact, 0, "x");
+  ASSERT_TRUE(outcome.forwarded);
+  EXPECT_LT(geo::Distance(outcome.forwarded_request.context.area.Center(),
+                          exact.p),
+            1.0);
+}
+
+TEST(TsPolicyScaleTest, HigherConcernYieldsLargerDefaultContexts) {
+  auto context_width = [](PrivacyConcern concern) {
+    TrustedServerOptions options;
+    options.enable_randomization = false;
+    TrustedServer server(options);
+    server.RegisterUser(0, PrivacyPolicy::FromConcern(concern)).ok();
+    const ProcessOutcome outcome =
+        server.ProcessRequest(0, STPoint{{5000, 5000}, At(0, 12)}, 0, "x");
+    return outcome.forwarded_request.context.area.Width();
+  };
+  const double off = context_width(PrivacyConcern::kOff);
+  const double low = context_width(PrivacyConcern::kLow);
+  const double medium = context_width(PrivacyConcern::kMedium);
+  const double high = context_width(PrivacyConcern::kHigh);
+  EXPECT_LT(off, low);
+  EXPECT_LT(low, medium);
+  EXPECT_LT(medium, high);
+}
+
+TEST(TsAuditTest, CleanTracesSatisfyTheorem) {
+  TrustedServer server;
+  PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kLow);
+  server.RegisterUser(0, policy).ok();
+  server.RegisterLbqid(0, OneShotLbqid(Rect{0, 0, 200, 200})).ok();
+  // Enough companions with samples near the LBQID area.
+  for (mod::UserId u = 1; u <= 6; ++u) {
+    server.OnLocationUpdate(
+        u, STPoint{{100 + 5.0 * static_cast<double>(u), 100}, At(0, 7, 40)});
+  }
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "x");
+  ASSERT_EQ(outcome.disposition, Disposition::kForwardedGeneralized);
+  const auto audits = server.AuditTraces();
+  ASSERT_EQ(audits.size(), 1u);
+  EXPECT_FALSE(audits[0].tainted);
+  EXPECT_TRUE(audits[0].hka_satisfied);
+  EXPECT_GE(audits[0].witnesses, policy.k - 1);
+}
+
+TEST(TsAuditTest, AtRiskForwardingMarksTraceTainted) {
+  TrustedServerOptions options;
+  options.enable_unlinking = false;  // Force at-risk.
+  TrustedServer server(options);
+  server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kMedium))
+      .ok();
+  server.RegisterLbqid(0, OneShotLbqid(Rect{0, 0, 200, 200})).ok();
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "x");
+  ASSERT_EQ(outcome.disposition, Disposition::kAtRisk);
+  ASSERT_TRUE(outcome.forwarded);
+  const auto audits = server.AuditTraces();
+  ASSERT_EQ(audits.size(), 1u);
+  EXPECT_TRUE(audits[0].tainted);
+}
+
+TEST(TsRollbackTest, DroppedAtRiskRequestDoesNotAdvanceAutomaton) {
+  TrustedServerOptions options;
+  options.enable_unlinking = false;
+  options.forward_when_at_risk = false;
+  TrustedServer server(options);
+  server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kMedium))
+      .ok();
+  server.RegisterLbqid(0, OneShotLbqid(Rect{0, 0, 200, 200})).ok();
+  const ProcessOutcome outcome =
+      server.ProcessRequest(0, STPoint{{100, 100}, At(0, 7, 45)}, 0, "x");
+  EXPECT_EQ(outcome.disposition, Disposition::kAtRisk);
+  EXPECT_FALSE(outcome.forwarded);
+  EXPECT_FALSE(outcome.lbqid_completed);
+  // The SP never saw the request: no completion, no stat.
+  EXPECT_EQ(server.stats().lbqid_completions, 0u);
+  const lbqid::LbqidMatcher* matcher = server.monitor().MatcherOf(0, 0);
+  ASSERT_NE(matcher, nullptr);
+  EXPECT_FALSE(matcher->complete());
+  EXPECT_TRUE(matcher->completions().empty());
+}
+
+TEST(TsAuditTest, OutcomeRecordsExactPoint) {
+  TrustedServer server;
+  server.RegisterUser(0, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+      .ok();
+  const STPoint exact{{123, 456}, At(0, 12)};
+  const ProcessOutcome outcome = server.ProcessRequest(0, exact, 0, "x");
+  EXPECT_EQ(outcome.exact, exact);
+  ASSERT_FALSE(server.outcomes().empty());
+  EXPECT_EQ(server.outcomes().back().exact, exact);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

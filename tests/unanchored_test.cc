@@ -1,0 +1,80 @@
+#include "src/tgran/unanchored.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace tgran {
+namespace {
+
+TEST(UTimeIntervalTest, CreateValidatesBounds) {
+  EXPECT_TRUE(UTimeInterval::Create(0, 3600).ok());
+  EXPECT_TRUE(UTimeInterval::Create(-1, 3600).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      UTimeInterval::Create(0, kSecondsPerDay).status().IsInvalidArgument());
+}
+
+TEST(UTimeIntervalTest, FromHoursValidates) {
+  EXPECT_TRUE(UTimeInterval::FromHours(7, 9).ok());
+  EXPECT_TRUE(UTimeInterval::FromHours(24, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(UTimeInterval::FromHours(-1, 1).status().IsInvalidArgument());
+}
+
+TEST(UTimeIntervalTest, ContainsOnEveryDay) {
+  const UTimeInterval morning = *UTimeInterval::FromHours(7, 9);
+  for (int64_t day = -3; day <= 3; ++day) {
+    EXPECT_TRUE(morning.Contains(At(day, 7)));
+    EXPECT_TRUE(morning.Contains(At(day, 8, 30)));
+    EXPECT_TRUE(morning.Contains(At(day, 9)));
+    EXPECT_FALSE(morning.Contains(At(day, 6, 59, 59)));
+    EXPECT_FALSE(morning.Contains(At(day, 9, 0, 1)));
+  }
+}
+
+TEST(UTimeIntervalTest, WrapMidnight) {
+  const UTimeInterval night = *UTimeInterval::FromHours(22, 2);
+  EXPECT_TRUE(night.wraps_midnight());
+  EXPECT_TRUE(night.Contains(At(0, 23)));
+  EXPECT_TRUE(night.Contains(At(1, 1)));
+  EXPECT_FALSE(night.Contains(At(1, 3)));
+  EXPECT_EQ(night.Length(), 4 * kSecondsPerHour);
+}
+
+TEST(UTimeIntervalTest, AnchoredOnDay) {
+  const UTimeInterval morning = *UTimeInterval::FromHours(7, 9);
+  const geo::TimeInterval day2 = morning.AnchoredOnDay(2);
+  EXPECT_EQ(day2.lo, At(2, 7));
+  EXPECT_EQ(day2.hi, At(2, 9));
+}
+
+TEST(UTimeIntervalTest, AnchoredOnDayWrapping) {
+  const UTimeInterval night = *UTimeInterval::FromHours(22, 2);
+  const geo::TimeInterval instance = night.AnchoredOnDay(0);
+  EXPECT_EQ(instance.lo, At(0, 22));
+  EXPECT_EQ(instance.hi, At(1, 2));
+}
+
+TEST(UTimeIntervalTest, AnchoredInstanceContaining) {
+  const UTimeInterval night = *UTimeInterval::FromHours(22, 2);
+  // 01:00 on day 1 belongs to the instance that started on day 0.
+  const geo::TimeInterval instance =
+      night.AnchoredInstanceContaining(At(1, 1));
+  EXPECT_EQ(instance.lo, At(0, 22));
+  EXPECT_EQ(instance.hi, At(1, 2));
+  // 23:00 on day 1 belongs to day 1's instance.
+  EXPECT_EQ(night.AnchoredInstanceContaining(At(1, 23)).lo, At(1, 22));
+}
+
+TEST(UTimeIntervalTest, DegenerateInterval) {
+  const UTimeInterval noon = *UTimeInterval::FromHours(12, 12);
+  EXPECT_EQ(noon.Length(), 0);
+  EXPECT_TRUE(noon.Contains(At(4, 12)));
+  EXPECT_FALSE(noon.Contains(At(4, 12, 0, 1)));
+}
+
+TEST(UTimeIntervalTest, ToStringRendersHoursMinutes) {
+  EXPECT_EQ(UTimeInterval::FromHours(7, 9)->ToString(), "[07:00, 09:00]");
+}
+
+}  // namespace
+}  // namespace tgran
+}  // namespace histkanon

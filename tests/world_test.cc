@@ -1,0 +1,84 @@
+#include "src/sim/world.h"
+
+#include <gtest/gtest.h>
+
+namespace histkanon {
+namespace sim {
+namespace {
+
+TEST(WorldTest, GenerateRespectsCounts) {
+  WorldOptions options;
+  options.num_homes = 50;
+  options.num_offices = 5;
+  options.num_hospitals = 2;
+  common::Rng rng(1);
+  const World world = World::Generate(options, &rng);
+  EXPECT_EQ(world.homes().size(), 50u);
+  EXPECT_EQ(world.offices().size(), 5u);
+  EXPECT_EQ(world.hospitals().size(), 2u);
+}
+
+TEST(WorldTest, EverythingInsideBounds) {
+  WorldOptions options;
+  common::Rng rng(2);
+  const World world = World::Generate(options, &rng);
+  const geo::Rect bounds = world.Bounds().Buffered(
+      options.downtown_fraction * options.width);  // Offices may jitter out.
+  for (const geo::Point& home : world.homes()) {
+    EXPECT_TRUE(world.Bounds().Contains(home));
+  }
+  for (const geo::Point& office : world.offices()) {
+    EXPECT_TRUE(bounds.Contains(office));
+  }
+}
+
+TEST(WorldTest, OfficesClusterDowntown) {
+  WorldOptions options;
+  common::Rng rng(3);
+  const World world = World::Generate(options, &rng);
+  const geo::Point center{options.width / 2, options.height / 2};
+  const double max_radius =
+      options.downtown_fraction * std::min(options.width, options.height) *
+      1.5;  // sqrt(2) diagonal margin.
+  for (const geo::Point& office : world.offices()) {
+    EXPECT_LE(geo::Distance(office, center), max_radius);
+  }
+}
+
+TEST(WorldTest, DeterministicPerSeed) {
+  WorldOptions options;
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  const World a = World::Generate(options, &rng_a);
+  const World b = World::Generate(options, &rng_b);
+  ASSERT_EQ(a.homes().size(), b.homes().size());
+  for (size_t i = 0; i < a.homes().size(); ++i) {
+    EXPECT_EQ(a.homes()[i], b.homes()[i]);
+  }
+}
+
+TEST(WorldTest, RegistryLookup) {
+  WorldOptions options;
+  options.num_homes = 10;
+  common::Rng rng(4);
+  World world = World::Generate(options, &rng);
+  world.RegisterResident(3, 42);
+  world.RegisterResident(7, 43);
+  EXPECT_EQ(world.registry().size(), 2u);
+  EXPECT_EQ(world.LookupResidentNear(world.homes()[3], 50.0), 42);
+  EXPECT_EQ(world.LookupResidentNear(world.homes()[7], 50.0), 43);
+  // A probe far from every registered home yields nothing.
+  const geo::Point far{world.homes()[3].x + 5000, world.homes()[3].y + 5000};
+  EXPECT_FALSE(world.LookupResidentNear(far, 50.0).has_value());
+}
+
+TEST(WorldTest, LookupOnEmptyRegistry) {
+  WorldOptions options;
+  common::Rng rng(5);
+  const World world = World::Generate(options, &rng);
+  EXPECT_FALSE(world.LookupResidentNear({0, 0}, 1e9).has_value());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace histkanon
