@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_d1_deployability.dir/exp_d1_deployability.cc.o"
+  "CMakeFiles/exp_d1_deployability.dir/exp_d1_deployability.cc.o.d"
+  "exp_d1_deployability"
+  "exp_d1_deployability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_d1_deployability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

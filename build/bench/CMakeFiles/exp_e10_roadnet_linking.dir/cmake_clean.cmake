@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e10_roadnet_linking.dir/exp_e10_roadnet_linking.cc.o"
+  "CMakeFiles/exp_e10_roadnet_linking.dir/exp_e10_roadnet_linking.cc.o.d"
+  "exp_e10_roadnet_linking"
+  "exp_e10_roadnet_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e10_roadnet_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

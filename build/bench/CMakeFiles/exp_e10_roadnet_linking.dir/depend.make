@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e10_roadnet_linking.
+# This may be replaced when dependencies are built.

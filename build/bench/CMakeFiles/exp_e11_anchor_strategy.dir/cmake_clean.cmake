@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e11_anchor_strategy.dir/exp_e11_anchor_strategy.cc.o"
+  "CMakeFiles/exp_e11_anchor_strategy.dir/exp_e11_anchor_strategy.cc.o.d"
+  "exp_e11_anchor_strategy"
+  "exp_e11_anchor_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e11_anchor_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e11_anchor_strategy.
+# This may be replaced when dependencies are built.

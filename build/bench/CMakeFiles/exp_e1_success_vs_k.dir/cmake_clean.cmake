@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e1_success_vs_k.dir/exp_e1_success_vs_k.cc.o"
+  "CMakeFiles/exp_e1_success_vs_k.dir/exp_e1_success_vs_k.cc.o.d"
+  "exp_e1_success_vs_k"
+  "exp_e1_success_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e1_success_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e2_qos_vs_k_density.dir/exp_e2_qos_vs_k_density.cc.o"
+  "CMakeFiles/exp_e2_qos_vs_k_density.dir/exp_e2_qos_vs_k_density.cc.o.d"
+  "exp_e2_qos_vs_k_density"
+  "exp_e2_qos_vs_k_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e2_qos_vs_k_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e2_qos_vs_k_density.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e3_trace_length.dir/exp_e3_trace_length.cc.o"
+  "CMakeFiles/exp_e3_trace_length.dir/exp_e3_trace_length.cc.o.d"
+  "exp_e3_trace_length"
+  "exp_e3_trace_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e3_trace_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e3_trace_length.
+# This may be replaced when dependencies are built.

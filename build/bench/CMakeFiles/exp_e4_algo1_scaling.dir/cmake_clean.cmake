@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e4_algo1_scaling.dir/exp_e4_algo1_scaling.cc.o"
+  "CMakeFiles/exp_e4_algo1_scaling.dir/exp_e4_algo1_scaling.cc.o.d"
+  "exp_e4_algo1_scaling"
+  "exp_e4_algo1_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e4_algo1_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

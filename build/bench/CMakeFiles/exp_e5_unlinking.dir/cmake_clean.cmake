@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e5_unlinking.dir/exp_e5_unlinking.cc.o"
+  "CMakeFiles/exp_e5_unlinking.dir/exp_e5_unlinking.cc.o.d"
+  "exp_e5_unlinking"
+  "exp_e5_unlinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e5_unlinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e6_reidentification.dir/exp_e6_reidentification.cc.o"
+  "CMakeFiles/exp_e6_reidentification.dir/exp_e6_reidentification.cc.o.d"
+  "exp_e6_reidentification"
+  "exp_e6_reidentification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e6_reidentification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

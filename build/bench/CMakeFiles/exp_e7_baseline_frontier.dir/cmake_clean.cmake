@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e7_baseline_frontier.dir/exp_e7_baseline_frontier.cc.o"
+  "CMakeFiles/exp_e7_baseline_frontier.dir/exp_e7_baseline_frontier.cc.o.d"
+  "exp_e7_baseline_frontier"
+  "exp_e7_baseline_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e7_baseline_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

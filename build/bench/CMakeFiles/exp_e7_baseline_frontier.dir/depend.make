@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e7_baseline_frontier.
+# This may be replaced when dependencies are built.

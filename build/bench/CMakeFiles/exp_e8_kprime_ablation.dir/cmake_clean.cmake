@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e8_kprime_ablation.dir/exp_e8_kprime_ablation.cc.o"
+  "CMakeFiles/exp_e8_kprime_ablation.dir/exp_e8_kprime_ablation.cc.o.d"
+  "exp_e8_kprime_ablation"
+  "exp_e8_kprime_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e8_kprime_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

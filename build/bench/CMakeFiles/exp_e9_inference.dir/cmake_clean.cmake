@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e9_inference.dir/exp_e9_inference.cc.o"
+  "CMakeFiles/exp_e9_inference.dir/exp_e9_inference.cc.o.d"
+  "exp_e9_inference"
+  "exp_e9_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e9_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t1_theorem_check.dir/exp_t1_theorem_check.cc.o"
+  "CMakeFiles/exp_t1_theorem_check.dir/exp_t1_theorem_check.cc.o.d"
+  "exp_t1_theorem_check"
+  "exp_t1_theorem_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t1_theorem_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_t1_theorem_check.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_linkability.dir/micro_linkability.cc.o"
+  "CMakeFiles/micro_linkability.dir/micro_linkability.cc.o.d"
+  "micro_linkability"
+  "micro_linkability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_linkability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mod.dir/micro_mod.cc.o"
+  "CMakeFiles/micro_mod.dir/micro_mod.cc.o.d"
+  "micro_mod"
+  "micro_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

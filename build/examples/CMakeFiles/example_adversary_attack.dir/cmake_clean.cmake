@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adversary_attack.dir/adversary_attack.cc.o"
+  "CMakeFiles/example_adversary_attack.dir/adversary_attack.cc.o.d"
+  "example_adversary_attack"
+  "example_adversary_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adversary_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_commuter_privacy.dir/commuter_privacy.cc.o"
+  "CMakeFiles/example_commuter_privacy.dir/commuter_privacy.cc.o.d"
+  "example_commuter_privacy"
+  "example_commuter_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_commuter_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nearest_hospital.dir/nearest_hospital.cc.o"
+  "CMakeFiles/example_nearest_hospital.dir/nearest_hospital.cc.o.d"
+  "example_nearest_hospital"
+  "example_nearest_hospital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nearest_hospital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replay_tool.dir/replay_tool.cc.o"
+  "CMakeFiles/example_replay_tool.dir/replay_tool.cc.o.d"
+  "example_replay_tool"
+  "example_replay_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replay_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

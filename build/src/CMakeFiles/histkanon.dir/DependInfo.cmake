@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/generalize.cc" "src/CMakeFiles/histkanon.dir/anon/generalize.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/anon/generalize.cc.o.d"
+  "/root/repo/src/anon/hka.cc" "src/CMakeFiles/histkanon.dir/anon/hka.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/anon/hka.cc.o.d"
+  "/root/repo/src/anon/linkability.cc" "src/CMakeFiles/histkanon.dir/anon/linkability.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/anon/linkability.cc.o.d"
+  "/root/repo/src/anon/mixzone.cc" "src/CMakeFiles/histkanon.dir/anon/mixzone.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/anon/mixzone.cc.o.d"
+  "/root/repo/src/anon/pseudonym.cc" "src/CMakeFiles/histkanon.dir/anon/pseudonym.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/anon/pseudonym.cc.o.d"
+  "/root/repo/src/anon/randomize.cc" "src/CMakeFiles/histkanon.dir/anon/randomize.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/anon/randomize.cc.o.d"
+  "/root/repo/src/baselines/clique_cloak.cc" "src/CMakeFiles/histkanon.dir/baselines/clique_cloak.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/baselines/clique_cloak.cc.o.d"
+  "/root/repo/src/baselines/interval_cloak.cc" "src/CMakeFiles/histkanon.dir/baselines/interval_cloak.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/baselines/interval_cloak.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/histkanon.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/histkanon.dir/common/status.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str.cc" "src/CMakeFiles/histkanon.dir/common/str.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/common/str.cc.o.d"
+  "/root/repo/src/deploy/analyzer.cc" "src/CMakeFiles/histkanon.dir/deploy/analyzer.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/deploy/analyzer.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/histkanon.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/histkanon.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/eval/table.cc.o.d"
+  "/root/repo/src/geo/interval.cc" "src/CMakeFiles/histkanon.dir/geo/interval.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/geo/interval.cc.o.d"
+  "/root/repo/src/geo/rect.cc" "src/CMakeFiles/histkanon.dir/geo/rect.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/geo/rect.cc.o.d"
+  "/root/repo/src/lbqid/lbqid.cc" "src/CMakeFiles/histkanon.dir/lbqid/lbqid.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/lbqid/lbqid.cc.o.d"
+  "/root/repo/src/lbqid/matcher.cc" "src/CMakeFiles/histkanon.dir/lbqid/matcher.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/lbqid/matcher.cc.o.d"
+  "/root/repo/src/lbqid/monitor.cc" "src/CMakeFiles/histkanon.dir/lbqid/monitor.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/lbqid/monitor.cc.o.d"
+  "/root/repo/src/mod/io.cc" "src/CMakeFiles/histkanon.dir/mod/io.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/mod/io.cc.o.d"
+  "/root/repo/src/mod/moving_object_db.cc" "src/CMakeFiles/histkanon.dir/mod/moving_object_db.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/mod/moving_object_db.cc.o.d"
+  "/root/repo/src/mod/phl.cc" "src/CMakeFiles/histkanon.dir/mod/phl.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/mod/phl.cc.o.d"
+  "/root/repo/src/roadnet/graph.cc" "src/CMakeFiles/histkanon.dir/roadnet/graph.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/roadnet/graph.cc.o.d"
+  "/root/repo/src/roadnet/network_linker.cc" "src/CMakeFiles/histkanon.dir/roadnet/network_linker.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/roadnet/network_linker.cc.o.d"
+  "/root/repo/src/sim/commuter.cc" "src/CMakeFiles/histkanon.dir/sim/commuter.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/sim/commuter.cc.o.d"
+  "/root/repo/src/sim/population.cc" "src/CMakeFiles/histkanon.dir/sim/population.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/sim/population.cc.o.d"
+  "/root/repo/src/sim/random_waypoint.cc" "src/CMakeFiles/histkanon.dir/sim/random_waypoint.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/sim/random_waypoint.cc.o.d"
+  "/root/repo/src/sim/road_commuter.cc" "src/CMakeFiles/histkanon.dir/sim/road_commuter.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/sim/road_commuter.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/histkanon.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/CMakeFiles/histkanon.dir/sim/world.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/sim/world.cc.o.d"
+  "/root/repo/src/stindex/brute_force_index.cc" "src/CMakeFiles/histkanon.dir/stindex/brute_force_index.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/stindex/brute_force_index.cc.o.d"
+  "/root/repo/src/stindex/grid_index.cc" "src/CMakeFiles/histkanon.dir/stindex/grid_index.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/stindex/grid_index.cc.o.d"
+  "/root/repo/src/stindex/index.cc" "src/CMakeFiles/histkanon.dir/stindex/index.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/stindex/index.cc.o.d"
+  "/root/repo/src/stindex/rtree.cc" "src/CMakeFiles/histkanon.dir/stindex/rtree.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/stindex/rtree.cc.o.d"
+  "/root/repo/src/tgran/calendar.cc" "src/CMakeFiles/histkanon.dir/tgran/calendar.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/tgran/calendar.cc.o.d"
+  "/root/repo/src/tgran/granularity.cc" "src/CMakeFiles/histkanon.dir/tgran/granularity.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/tgran/granularity.cc.o.d"
+  "/root/repo/src/tgran/recurrence.cc" "src/CMakeFiles/histkanon.dir/tgran/recurrence.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/tgran/recurrence.cc.o.d"
+  "/root/repo/src/tgran/relations.cc" "src/CMakeFiles/histkanon.dir/tgran/relations.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/tgran/relations.cc.o.d"
+  "/root/repo/src/tgran/unanchored.cc" "src/CMakeFiles/histkanon.dir/tgran/unanchored.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/tgran/unanchored.cc.o.d"
+  "/root/repo/src/ts/adversary.cc" "src/CMakeFiles/histkanon.dir/ts/adversary.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/ts/adversary.cc.o.d"
+  "/root/repo/src/ts/policy.cc" "src/CMakeFiles/histkanon.dir/ts/policy.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/ts/policy.cc.o.d"
+  "/root/repo/src/ts/policy_rules.cc" "src/CMakeFiles/histkanon.dir/ts/policy_rules.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/ts/policy_rules.cc.o.d"
+  "/root/repo/src/ts/service_provider.cc" "src/CMakeFiles/histkanon.dir/ts/service_provider.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/ts/service_provider.cc.o.d"
+  "/root/repo/src/ts/trusted_server.cc" "src/CMakeFiles/histkanon.dir/ts/trusted_server.cc.o" "gcc" "src/CMakeFiles/histkanon.dir/ts/trusted_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

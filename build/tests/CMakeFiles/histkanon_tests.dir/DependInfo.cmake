@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary_stitch_test.cc" "tests/CMakeFiles/histkanon_tests.dir/adversary_stitch_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/adversary_stitch_test.cc.o.d"
+  "/root/repo/tests/adversary_test.cc" "tests/CMakeFiles/histkanon_tests.dir/adversary_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/adversary_test.cc.o.d"
+  "/root/repo/tests/agents_test.cc" "tests/CMakeFiles/histkanon_tests.dir/agents_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/agents_test.cc.o.d"
+  "/root/repo/tests/anchor_strategy_test.cc" "tests/CMakeFiles/histkanon_tests.dir/anchor_strategy_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/anchor_strategy_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/histkanon_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/calendar_test.cc" "tests/CMakeFiles/histkanon_tests.dir/calendar_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/calendar_test.cc.o.d"
+  "/root/repo/tests/deploy_test.cc" "tests/CMakeFiles/histkanon_tests.dir/deploy_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/deploy_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/histkanon_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/generalize_test.cc" "tests/CMakeFiles/histkanon_tests.dir/generalize_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/generalize_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/histkanon_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/granularity_test.cc" "tests/CMakeFiles/histkanon_tests.dir/granularity_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/granularity_test.cc.o.d"
+  "/root/repo/tests/hka_test.cc" "tests/CMakeFiles/histkanon_tests.dir/hka_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/hka_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/histkanon_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/histkanon_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kschedule_test.cc" "tests/CMakeFiles/histkanon_tests.dir/kschedule_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/kschedule_test.cc.o.d"
+  "/root/repo/tests/lbqid_test.cc" "tests/CMakeFiles/histkanon_tests.dir/lbqid_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/lbqid_test.cc.o.d"
+  "/root/repo/tests/linkability_test.cc" "tests/CMakeFiles/histkanon_tests.dir/linkability_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/linkability_test.cc.o.d"
+  "/root/repo/tests/matcher_property_test.cc" "tests/CMakeFiles/histkanon_tests.dir/matcher_property_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/matcher_property_test.cc.o.d"
+  "/root/repo/tests/matcher_snapshot_test.cc" "tests/CMakeFiles/histkanon_tests.dir/matcher_snapshot_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/matcher_snapshot_test.cc.o.d"
+  "/root/repo/tests/matcher_test.cc" "tests/CMakeFiles/histkanon_tests.dir/matcher_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/matcher_test.cc.o.d"
+  "/root/repo/tests/mixzone_test.cc" "tests/CMakeFiles/histkanon_tests.dir/mixzone_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/mixzone_test.cc.o.d"
+  "/root/repo/tests/mod_test.cc" "tests/CMakeFiles/histkanon_tests.dir/mod_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/mod_test.cc.o.d"
+  "/root/repo/tests/monitor_test.cc" "tests/CMakeFiles/histkanon_tests.dir/monitor_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/monitor_test.cc.o.d"
+  "/root/repo/tests/multi_lbqid_test.cc" "tests/CMakeFiles/histkanon_tests.dir/multi_lbqid_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/multi_lbqid_test.cc.o.d"
+  "/root/repo/tests/phl_test.cc" "tests/CMakeFiles/histkanon_tests.dir/phl_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/phl_test.cc.o.d"
+  "/root/repo/tests/policy_rules_test.cc" "tests/CMakeFiles/histkanon_tests.dir/policy_rules_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/policy_rules_test.cc.o.d"
+  "/root/repo/tests/population_test.cc" "tests/CMakeFiles/histkanon_tests.dir/population_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/population_test.cc.o.d"
+  "/root/repo/tests/pseudonym_test.cc" "tests/CMakeFiles/histkanon_tests.dir/pseudonym_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/pseudonym_test.cc.o.d"
+  "/root/repo/tests/randomize_test.cc" "tests/CMakeFiles/histkanon_tests.dir/randomize_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/randomize_test.cc.o.d"
+  "/root/repo/tests/recurrence_test.cc" "tests/CMakeFiles/histkanon_tests.dir/recurrence_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/recurrence_test.cc.o.d"
+  "/root/repo/tests/relations_test.cc" "tests/CMakeFiles/histkanon_tests.dir/relations_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/relations_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/histkanon_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/road_commuter_test.cc" "tests/CMakeFiles/histkanon_tests.dir/road_commuter_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/road_commuter_test.cc.o.d"
+  "/root/repo/tests/roadnet_property_test.cc" "tests/CMakeFiles/histkanon_tests.dir/roadnet_property_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/roadnet_property_test.cc.o.d"
+  "/root/repo/tests/roadnet_test.cc" "tests/CMakeFiles/histkanon_tests.dir/roadnet_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/roadnet_test.cc.o.d"
+  "/root/repo/tests/service_provider_test.cc" "tests/CMakeFiles/histkanon_tests.dir/service_provider_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/service_provider_test.cc.o.d"
+  "/root/repo/tests/simulator_test.cc" "tests/CMakeFiles/histkanon_tests.dir/simulator_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/simulator_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/histkanon_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/stindex_test.cc" "tests/CMakeFiles/histkanon_tests.dir/stindex_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/stindex_test.cc.o.d"
+  "/root/repo/tests/str_test.cc" "tests/CMakeFiles/histkanon_tests.dir/str_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/str_test.cc.o.d"
+  "/root/repo/tests/trusted_server_test.cc" "tests/CMakeFiles/histkanon_tests.dir/trusted_server_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/trusted_server_test.cc.o.d"
+  "/root/repo/tests/ts_extensions_test.cc" "tests/CMakeFiles/histkanon_tests.dir/ts_extensions_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/ts_extensions_test.cc.o.d"
+  "/root/repo/tests/unanchored_test.cc" "tests/CMakeFiles/histkanon_tests.dir/unanchored_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/unanchored_test.cc.o.d"
+  "/root/repo/tests/world_test.cc" "tests/CMakeFiles/histkanon_tests.dir/world_test.cc.o" "gcc" "tests/CMakeFiles/histkanon_tests.dir/world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/histkanon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
