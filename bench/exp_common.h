@@ -5,6 +5,7 @@
 #ifndef HISTKANON_BENCH_EXP_COMMON_H_
 #define HISTKANON_BENCH_EXP_COMMON_H_
 
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,9 @@
 #include "src/common/str.h"
 #include "src/eval/metrics.h"
 #include "src/eval/table.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 #include "src/sim/population.h"
 #include "src/sim/simulator.h"
 #include "src/ts/adversary.h"
@@ -36,6 +40,12 @@ struct Scenario {
   int days = 14;
   uint64_t seed = 2005;
   std::string recurrence = "3.weekdays * 2.week";
+  /// Optional observability for the run (not owned); forwarded into
+  /// ts_options so the server, index, generalizer, and monitor all record
+  /// into the same registry.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::EventSink* event_sink = nullptr;
 };
 
 /// \brief A completed run with everything the metrics need.
@@ -72,7 +82,13 @@ inline ScenarioRun RunScenario(const Scenario& scenario) {
   run.world = std::make_unique<sim::World>(std::move(population.world));
   run.commuters = population.commuters;
 
-  run.server = std::make_unique<ts::TrustedServer>(scenario.ts_options);
+  ts::TrustedServerOptions ts_options = scenario.ts_options;
+  if (scenario.registry != nullptr) ts_options.registry = scenario.registry;
+  if (scenario.tracer != nullptr) ts_options.tracer = scenario.tracer;
+  if (scenario.event_sink != nullptr) {
+    ts_options.event_sink = scenario.event_sink;
+  }
+  run.server = std::make_unique<ts::TrustedServer>(ts_options);
   run.provider = std::make_unique<ts::ServiceProvider>(run.world.get());
   run.server->ConnectServiceProvider(run.provider.get());
   anon::ServiceProfile commute = scenario.commute_service;
@@ -97,6 +113,62 @@ inline ScenarioRun RunScenario(const Scenario& scenario) {
   sim::Simulator simulator(std::move(population.agents), sim_options);
   simulator.Run(run.server.get());
   return run;
+}
+
+/// Writes the per-stage latency quantiles of `registry`'s
+/// `ts_stage_*_seconds` / `ts_request_seconds` histograms as one JSON
+/// object — the machine-readable perf trajectory
+/// (`BENCH_pipeline.json`).  Returns false when the file cannot be
+/// opened.
+inline bool WritePipelineJson(const obs::Registry& registry,
+                              const std::string& bench_name,
+                              const std::string& path) {
+  obs::JsonObject stages;
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    const std::string stage_prefix = "ts_stage_";
+    const std::string stage_suffix = "_seconds";
+    std::string stage;
+    if (name == "ts_request_seconds") {
+      stage = "request";
+    } else if (name.size() > stage_prefix.size() + stage_suffix.size() &&
+               name.compare(0, stage_prefix.size(), stage_prefix) == 0 &&
+               name.compare(name.size() - stage_suffix.size(),
+                            stage_suffix.size(), stage_suffix) == 0) {
+      stage = name.substr(stage_prefix.size(),
+                          name.size() - stage_prefix.size() -
+                              stage_suffix.size());
+    } else {
+      continue;
+    }
+    obs::JsonObject entry;
+    entry.SetUint("count", histogram->count());
+    entry.SetNumber("p50_us", histogram->Quantile(0.50) * 1e6);
+    entry.SetNumber("p95_us", histogram->Quantile(0.95) * 1e6);
+    entry.SetNumber("p99_us", histogram->Quantile(0.99) * 1e6);
+    entry.SetNumber("mean_us",
+                    histogram->count() == 0
+                        ? 0.0
+                        : histogram->sum() * 1e6 /
+                              static_cast<double>(histogram->count()));
+    stages.SetRaw(stage, entry.ToString());
+  }
+  obs::JsonObject root;
+  root.SetString("bench", bench_name);
+  root.SetRaw("stages", stages.ToString());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << root.ToString() << '\n';
+  return out.good();
+}
+
+/// Writes `table` as CSV next to its pretty print.  Returns false when
+/// the file cannot be opened.
+inline bool WriteTableCsv(const eval::Table& table,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  table.ToCsv(out);
+  return out.good();
 }
 
 /// Formats a fraction as "0.93".

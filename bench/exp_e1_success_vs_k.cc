@@ -52,6 +52,9 @@ int main() {
                   bench::Count(leaks / seeds)});
   }
   table.Print(std::cout);
+  if (bench::WriteTableCsv(table, "BENCH_e1_success_vs_k.csv")) {
+    std::printf("\nwrote BENCH_e1_success_vs_k.csv\n");
+  }
   std::printf(
       "\nexpected shape: gen-success falls and incident counters rise\n"
       "monotonically with k (larger k needs larger boxes that overrun\n"

@@ -1,0 +1,121 @@
+// Microbenchmark: TrustedServer::ProcessRequest with and without the
+// observability registry attached.  The instrumented run pays two clock
+// reads per stage plus a handful of relaxed atomic increments; the
+// uninstrumented run must stay on the untimed fast path (the null-object
+// contract of src/obs/).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/anon/tolerance.h"
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/sim/population.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace {
+
+struct PipelineFixture {
+  explicit PipelineFixture(obs::Registry* registry) {
+    common::Rng rng(2005);
+    sim::PopulationOptions population_options;
+    population_options.num_commuters = 10;
+    population_options.num_wanderers = 40;
+    population = std::make_unique<sim::Population>(
+        sim::BuildPopulation(population_options, &rng));
+    world = &population->world;
+
+    ts::TrustedServerOptions options;
+    options.registry = registry;
+    server = std::make_unique<ts::TrustedServer>(options);
+    provider = std::make_unique<ts::ServiceProvider>(world);
+    server->ConnectServiceProvider(provider.get());
+    server->RegisterService(anon::service_presets::LocalizedNews(0)).ok();
+    const tgran::GranularityRegistry granularities =
+        tgran::GranularityRegistry::WithDefaults();
+    for (const sim::CommuterInfo& commuter : population->commuters) {
+      server
+          ->RegisterUser(commuter.user, ts::PrivacyPolicy::FromConcern(
+                                            ts::PrivacyConcern::kMedium))
+          .ok();
+      auto lbqid = sim::MakeCommuteLbqid(commuter, population_options,
+                                         granularities);
+      if (lbqid.ok()) server->RegisterLbqid(commuter.user, *lbqid).ok();
+    }
+    // Give every user one location fix so requests have a current position.
+    for (const sim::CommuterInfo& commuter : population->commuters) {
+      server->OnLocationUpdate(
+          commuter.user, {commuter.home, tgran::At(0, 8, 0)});
+    }
+  }
+
+  geo::STPoint RequestPoint(size_t i) const {
+    const sim::CommuterInfo& commuter =
+        population->commuters[i % population->commuters.size()];
+    return {commuter.home,
+            tgran::At(0, 8, 0) + static_cast<geo::Instant>(i % 3600)};
+  }
+
+  std::unique_ptr<sim::Population> population;
+  sim::World* world = nullptr;
+  std::unique_ptr<ts::TrustedServer> server;
+  std::unique_ptr<ts::ServiceProvider> provider;
+};
+
+void BM_ProcessRequestNoObs(benchmark::State& state) {
+  PipelineFixture fixture(nullptr);
+  size_t i = 0;
+  for (auto _ : state) {
+    const sim::CommuterInfo& commuter =
+        fixture.population->commuters[i % fixture.population->commuters
+                                              .size()];
+    benchmark::DoNotOptimize(fixture.server->ProcessRequest(
+        commuter.user, fixture.RequestPoint(i), 0, "bench"));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcessRequestNoObs);
+
+void BM_ProcessRequestWithRegistry(benchmark::State& state) {
+  obs::Registry registry;
+  PipelineFixture fixture(&registry);
+  size_t i = 0;
+  for (auto _ : state) {
+    const sim::CommuterInfo& commuter =
+        fixture.population->commuters[i % fixture.population->commuters
+                                              .size()];
+    benchmark::DoNotOptimize(fixture.server->ProcessRequest(
+        commuter.user, fixture.RequestPoint(i), 0, "bench"));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcessRequestWithRegistry);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("bench_observe_seconds");
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram->Observe(value);
+    value = value > 1.0 ? 1e-6 : value * 1.07;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedTimer timer(nullptr);
+    benchmark::DoNotOptimize(timer);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+}  // namespace
+}  // namespace histkanon

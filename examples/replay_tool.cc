@@ -1,11 +1,12 @@
 // An offline analyst tool: generate (or load) a mobility history, replay a
 // request workload through the trusted server under an expert rule-based
 // policy, and export what the service provider saw as CSV — demonstrating
-// persistence (src/mod/io), rule policies (src/ts/policy_rules), and the
-// Theorem-1 self-audit on a stored dataset.
+// persistence (src/mod/io), rule policies (src/ts/policy_rules), the
+// structured event log (src/obs/event_log), and the Theorem-1 self-audit
+// on a stored dataset.
 //
 // Usage:
-//   example_replay_tool [mod_file [csv_file]]
+//   example_replay_tool [mod_file [csv_file [events_file]]]
 // With no arguments, writes/reads under /tmp.
 
 #include <cstdio>
@@ -15,6 +16,9 @@
 #include "src/common/str.h"
 #include "src/eval/table.h"
 #include "src/mod/io.h"
+#include "src/obs/event_log.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/sim/population.h"
 #include "src/sim/simulator.h"
 #include "src/ts/trusted_server.h"
@@ -57,6 +61,8 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1] : "/tmp/histkanon_replay_mod.txt";
   const std::string csv_path =
       argc > 2 ? argv[2] : "/tmp/histkanon_replay_log.csv";
+  const std::string events_path =
+      argc > 3 ? argv[3] : "/tmp/histkanon_replay_events.jsonl";
 
   // 1. Capture one week of mobility and requests.
   std::printf("capturing one simulated week...\n");
@@ -100,7 +106,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ts::TrustedServer server;
+  obs::Registry metrics;
+  obs::FileEventSink events(events_path);
+  if (!events.ok()) {
+    std::printf("cannot open event log %s\n", events_path.c_str());
+    return 1;
+  }
+  ts::TrustedServerOptions ts_options;
+  ts_options.registry = &metrics;
+  ts_options.event_sink = &events;
+  ts::TrustedServer server(ts_options);
   ts::ServiceProvider provider(&population.world);
   server.ConnectServiceProvider(&provider);
   server.RegisterService(anon::service_presets::LocalizedNews(0)).ok();
@@ -164,5 +179,40 @@ int main(int argc, char** argv) {
     std::printf("SP log (%zu rows) exported to %s\n", provider.log().size(),
                 csv_path.c_str());
   }
-  return clean == clean_ok ? 0 : 1;
+
+  // 5. The structured event log: one JSONL record per request.  Read it
+  //    back through the parser and cross-check against the server stats.
+  events.Flush();
+  auto replayed_events = obs::ReadEventLogFile(events_path);
+  if (!replayed_events.ok()) {
+    std::printf("event log read failed: %s\n",
+                replayed_events.status().ToString().c_str());
+    return 1;
+  }
+  size_t generalized_events = 0;
+  for (const auto& event : *replayed_events) {
+    const auto it = event.find("disposition");
+    if (it != event.end() && it->second == "forwarded-generalized") {
+      ++generalized_events;
+    }
+  }
+  const bool events_consistent =
+      replayed_events->size() == stats.requests &&
+      generalized_events == stats.forwarded_generalized;
+  std::printf("\nevent log %s: %zu events round-tripped "
+              "(%zu forwarded-generalized) — %s\n",
+              events_path.c_str(), replayed_events->size(),
+              generalized_events,
+              events_consistent ? "consistent with server stats"
+                                : "INCONSISTENT with server stats");
+
+  // 6. Metrics snapshot in Prometheus exposition format.
+  std::printf("\nmetrics snapshot (counters only):\n");
+  for (const auto& [name, value] : metrics.CounterValues()) {
+    std::printf("  %s = %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("(full exposition: obs::ToPrometheusText / obs::ToJson)\n");
+
+  return clean == clean_ok && events_consistent ? 0 : 1;
 }

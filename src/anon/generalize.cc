@@ -11,7 +11,17 @@ namespace anon {
 Generalizer::Generalizer(const mod::MovingObjectDb* db,
                          const stindex::SpatioTemporalIndex* index,
                          GeneralizerOptions options)
-    : db_(db), index_(index), options_(options) {}
+    : db_(db), index_(index), options_(options) {
+  if (options_.registry != nullptr) {
+    calls_ = options_.registry->GetCounter("anon_generalize_calls_total");
+    clipped_ =
+        options_.registry->GetCounter("anon_generalize_clipped_total");
+    failures_ =
+        options_.registry->GetCounter("anon_generalize_failures_total");
+    default_contexts_ =
+        options_.registry->GetCounter("anon_default_contexts_total");
+  }
+}
 
 geo::STBox Generalizer::PadToMinimum(geo::STBox box,
                                      const geo::STPoint& exact) const {
@@ -37,6 +47,21 @@ geo::STBox Generalizer::PadToMinimum(geo::STBox box,
 }
 
 common::Result<GeneralizationResult> Generalizer::Generalize(
+    const geo::STPoint& exact, mod::UserId requester,
+    std::vector<mod::UserId> anchors, size_t k,
+    const ToleranceConstraints& tolerance) const {
+  if (calls_ != nullptr) calls_->Increment();
+  common::Result<GeneralizationResult> result =
+      GeneralizeImpl(exact, requester, std::move(anchors), k, tolerance);
+  if (!result.ok()) {
+    if (failures_ != nullptr) failures_->Increment();
+  } else if (!result->hk_anonymity) {
+    if (clipped_ != nullptr) clipped_->Increment();
+  }
+  return result;
+}
+
+common::Result<GeneralizationResult> Generalizer::GeneralizeImpl(
     const geo::STPoint& exact, mod::UserId requester,
     std::vector<mod::UserId> anchors, size_t k,
     const ToleranceConstraints& tolerance) const {
@@ -149,6 +174,7 @@ std::vector<stindex::UserNeighbor> Generalizer::SelectAnchors(
 geo::STBox Generalizer::DefaultContext(const geo::STPoint& exact,
                                        const ToleranceConstraints& tolerance,
                                        double scale) const {
+  if (default_contexts_ != nullptr) default_contexts_->Increment();
   scale = std::max(1.0, scale);
   const double width =
       std::min(options_.min_area_width * scale, tolerance.max_area_width);

@@ -20,6 +20,7 @@
 #include "src/common/result.h"
 #include "src/geo/stbox.h"
 #include "src/mod/moving_object_db.h"
+#include "src/obs/metrics.h"
 #include "src/stindex/index.h"
 
 namespace histkanon {
@@ -55,6 +56,9 @@ struct GeneralizerOptions {
   int similarity_probes = 8;
   /// kTrajectorySimilarity: candidate pool size, as a multiple of k.
   size_t similarity_candidate_factor = 4;
+  /// Optional metrics (not owned, must outlive the generalizer); nullptr
+  /// disables all observation.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Output of one generalization (Algorithm 1's Output block).
@@ -103,6 +107,11 @@ class Generalizer {
   const GeneralizerOptions& options() const { return options_; }
 
  private:
+  // Algorithm 1 proper; Generalize() wraps it with metric accounting.
+  common::Result<GeneralizationResult> GeneralizeImpl(
+      const geo::STPoint& exact, mod::UserId requester,
+      std::vector<mod::UserId> anchors, size_t k,
+      const ToleranceConstraints& tolerance) const;
   // Pads `box` to the configured minimum extents around `exact`.
   geo::STBox PadToMinimum(geo::STBox box, const geo::STPoint& exact) const;
   // First-element anchor selection per the configured strategy; returns
@@ -118,6 +127,11 @@ class Generalizer {
   const mod::MovingObjectDb* db_;
   const stindex::SpatioTemporalIndex* index_;
   GeneralizerOptions options_;
+  // Pre-resolved metric handles (nullptr without a registry).
+  obs::Counter* calls_ = nullptr;
+  obs::Counter* clipped_ = nullptr;
+  obs::Counter* failures_ = nullptr;
+  obs::Counter* default_contexts_ = nullptr;
 };
 
 }  // namespace anon

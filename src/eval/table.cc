@@ -36,5 +36,29 @@ void Table::Print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void Table::ToCsv(std::ostream& os) const {
+  const auto print_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char c : cell) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ',';
+      print_cell(c < cells.size() ? cells[c] : std::string());
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
 }  // namespace eval
 }  // namespace histkanon

@@ -23,6 +23,11 @@ class Table {
   /// Renders with a header rule, columns padded to content width.
   void Print(std::ostream& os) const;
 
+  /// Renders as RFC-4180-style CSV (header row first; cells containing
+  /// commas, quotes, or newlines are quoted) — the machine-readable twin
+  /// of Print() used by the bench binaries.
+  void ToCsv(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

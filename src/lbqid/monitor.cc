@@ -3,6 +3,17 @@
 namespace histkanon {
 namespace lbqid {
 
+void LbqidMonitor::AttachRegistry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    points_ = observations_ = completions_ = resets_ = nullptr;
+    return;
+  }
+  points_ = registry->GetCounter("lbqid_monitor_points_total");
+  observations_ = registry->GetCounter("lbqid_monitor_observations_total");
+  completions_ = registry->GetCounter("lbqid_monitor_completions_total");
+  resets_ = registry->GetCounter("lbqid_monitor_resets_total");
+}
+
 size_t LbqidMonitor::Register(mod::UserId user, Lbqid lbqid) {
   PerUser& per_user = users_[user];
   per_user.lbqids.push_back(std::make_unique<Lbqid>(std::move(lbqid)));
@@ -13,12 +24,18 @@ size_t LbqidMonitor::Register(mod::UserId user, Lbqid lbqid) {
 
 std::vector<Observation> LbqidMonitor::ProcessPoint(
     mod::UserId user, const geo::STPoint& exact) {
+  if (points_ != nullptr) points_->Increment();
   std::vector<Observation> observations;
   const auto it = users_.find(user);
   if (it == users_.end()) return observations;
   for (size_t i = 0; i < it->second.matchers.size(); ++i) {
     const MatchEvent event = it->second.matchers[i]->Advance(exact);
     if (event.outcome == MatchOutcome::kNoMatch) continue;
+    if (observations_ != nullptr) observations_->Increment();
+    if (completions_ != nullptr &&
+        event.outcome == MatchOutcome::kLbqidComplete) {
+      completions_->Increment();
+    }
     observations.push_back(
         Observation{i, it->second.lbqids[i].get(), event});
   }
@@ -26,6 +43,7 @@ std::vector<Observation> LbqidMonitor::ProcessPoint(
 }
 
 void LbqidMonitor::ResetUser(mod::UserId user) {
+  if (resets_ != nullptr) resets_->Increment();
   const auto it = users_.find(user);
   if (it == users_.end()) return;
   for (auto& matcher : it->second.matchers) matcher->Reset();

@@ -12,6 +12,7 @@
 #include "src/common/status.h"
 #include "src/lbqid/matcher.h"
 #include "src/mod/types.h"
+#include "src/obs/metrics.h"
 
 namespace histkanon {
 namespace lbqid {
@@ -28,6 +29,10 @@ struct Observation {
 class LbqidMonitor {
  public:
   LbqidMonitor() = default;
+
+  /// Attaches surveillance counters to `registry` (nullptr detaches —
+  /// the default, costing nothing on the processing path).
+  void AttachRegistry(obs::Registry* registry);
 
   /// Registers an LBQID for a user; returns its index for that user.
   size_t Register(mod::UserId user, Lbqid lbqid);
@@ -65,6 +70,11 @@ class LbqidMonitor {
     std::vector<std::unique_ptr<LbqidMatcher>> matchers;
   };
   std::map<mod::UserId, PerUser> users_;
+  // Pre-resolved metric handles (nullptr without a registry).
+  obs::Counter* points_ = nullptr;
+  obs::Counter* observations_ = nullptr;
+  obs::Counter* completions_ = nullptr;
+  obs::Counter* resets_ = nullptr;
 };
 
 }  // namespace lbqid

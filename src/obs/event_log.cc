@@ -1,0 +1,34 @@
+#include "src/obs/event_log.h"
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace obs {
+
+common::Result<std::vector<std::map<std::string, std::string>>>
+ReadEventLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return common::Status::NotFound(
+        common::Format("cannot open event log %s", path.c_str()));
+  }
+  std::vector<std::map<std::string, std::string>> events;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    common::Result<std::map<std::string, std::string>> parsed =
+        ParseFlatJson(line);
+    if (!parsed.ok()) {
+      return common::Status::InvalidArgument(
+          common::Format("%s line %zu: %s", path.c_str(), line_number,
+                         parsed.status().message().c_str()));
+    }
+    events.push_back(std::move(parsed).ValueOrDie());
+  }
+  return events;
+}
+
+}  // namespace obs
+}  // namespace histkanon

@@ -1,0 +1,80 @@
+// Structured event log: the trusted server appends one JSONL record per
+// processed request through a pluggable EventSink.  Sinks are intentionally
+// dumb (they persist already-rendered lines) so the serving path controls
+// the record schema and sinks control the medium (memory for tests, a
+// stream or file for offline replay/inspection).
+
+#ifndef HISTKANON_SRC_OBS_EVENT_LOG_H_
+#define HISTKANON_SRC_OBS_EVENT_LOG_H_
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/obs/json.h"
+
+namespace histkanon {
+namespace obs {
+
+/// \brief Destination for JSONL event records.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Persists one record (a rendered JSON object, no trailing newline).
+  virtual void Append(const std::string& line) = 0;
+};
+
+/// \brief In-memory sink for tests and tools.
+class VectorEventSink : public EventSink {
+ public:
+  void Append(const std::string& line) override { lines_.push_back(line); }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// \brief Writes one line per record to a caller-owned stream.
+class StreamEventSink : public EventSink {
+ public:
+  /// `os` must outlive the sink.
+  explicit StreamEventSink(std::ostream* os) : os_(os) {}
+  void Append(const std::string& line) override { *os_ << line << '\n'; }
+
+ private:
+  std::ostream* os_;
+};
+
+/// \brief Appends records to a file (truncates on open).
+class FileEventSink : public EventSink {
+ public:
+  explicit FileEventSink(const std::string& path)
+      : out_(path, std::ios::trunc) {}
+
+  /// False when the file could not be opened; appends are then dropped.
+  bool ok() const { return out_.is_open(); }
+
+  void Append(const std::string& line) override {
+    if (out_.is_open()) out_ << line << '\n';
+  }
+
+  /// Flushes buffered records to disk.
+  void Flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Reads a JSONL event file back as per-line flat field maps (see
+/// obs::ParseFlatJson); blank lines are skipped, the first malformed line
+/// fails the whole read.
+common::Result<std::vector<std::map<std::string, std::string>>>
+ReadEventLogFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_EVENT_LOG_H_

@@ -1,0 +1,118 @@
+#include "src/obs/export.h"
+
+#include <cmath>
+
+#include "src/common/str.h"
+#include "src/obs/json.h"
+
+namespace histkanon {
+namespace obs {
+
+namespace {
+
+// Prometheus sample values: integral doubles print as integers.
+std::string PromNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    return common::Format("%lld", static_cast<long long>(value));
+  }
+  return common::Format("%.9g", value);
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string ToPrometheusText(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    const std::string prom = SanitizeMetricName(name);
+    out += common::Format("# TYPE %s counter\n", prom.c_str());
+    out += common::Format("%s %llu\n", prom.c_str(),
+                          static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    const std::string prom = SanitizeMetricName(name);
+    out += common::Format("# TYPE %s gauge\n", prom.c_str());
+    out += common::Format("%s %s\n", prom.c_str(),
+                          PromNumber(value).c_str());
+  }
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    const std::string prom = SanitizeMetricName(name);
+    out += common::Format("# TYPE %s histogram\n", prom.c_str());
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += common::Format(
+          "%s_bucket{le=\"%s\"} %llu\n", prom.c_str(),
+          PromNumber(bounds[i]).c_str(),
+          static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += counts[bounds.size()];
+    out += common::Format("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                          static_cast<unsigned long long>(cumulative));
+    out += common::Format("%s_sum %s\n", prom.c_str(),
+                          PromNumber(histogram->sum()).c_str());
+    out += common::Format("%s_count %llu\n", prom.c_str(),
+                          static_cast<unsigned long long>(
+                              histogram->count()));
+  }
+  return out;
+}
+
+std::string ToJson(const Registry& registry) {
+  JsonObject counters;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    counters.SetUint(name, value);
+  }
+  JsonObject gauges;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    gauges.SetNumber(name, value);
+  }
+  JsonObject histograms;
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    JsonObject entry;
+    entry.SetUint("count", histogram->count());
+    entry.SetNumber("sum", histogram->sum());
+    entry.SetNumber("p50", histogram->Quantile(0.50));
+    entry.SetNumber("p95", histogram->Quantile(0.95));
+    entry.SetNumber("p99", histogram->Quantile(0.99));
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    std::string buckets = "[";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) buckets += ',';
+      JsonObject bucket;
+      if (i < bounds.size()) {
+        bucket.SetNumber("le", bounds[i]);
+      } else {
+        bucket.SetRaw("le", "null");
+      }
+      bucket.SetUint("count", counts[i]);
+      buckets += bucket.ToString();
+    }
+    buckets += ']';
+    entry.SetRaw("buckets", std::move(buckets));
+    histograms.SetRaw(name, entry.ToString());
+  }
+  JsonObject root;
+  root.SetRaw("counters", counters.ToString());
+  root.SetRaw("gauges", gauges.ToString());
+  root.SetRaw("histograms", histograms.ToString());
+  return root.ToString();
+}
+
+}  // namespace obs
+}  // namespace histkanon

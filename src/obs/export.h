@@ -1,0 +1,37 @@
+// Registry exporters: Prometheus text exposition format (for scraping)
+// and a JSON snapshot (for the bench harness's machine-readable perf
+// trajectory).
+
+#ifndef HISTKANON_SRC_OBS_EXPORT_H_
+#define HISTKANON_SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+
+/// Maps an arbitrary metric name onto the Prometheus charset
+/// [a-zA-Z0-9_:] (other characters become '_', a leading digit gains a
+/// '_' prefix).
+std::string SanitizeMetricName(const std::string& name);
+
+/// Prometheus text exposition format, version 0.0.4: counters, gauges,
+/// then histograms (cumulative `_bucket{le=...}` series plus `_sum` and
+/// `_count`), each group sorted by name.
+std::string ToPrometheusText(const Registry& registry);
+
+/// One JSON object:
+///   {"counters":{..},"gauges":{..},
+///    "histograms":{"name":{"count":..,"sum":..,
+///                          "p50":..,"p95":..,"p99":..,
+///                          "buckets":[{"le":..,"count":..},..]}}}
+/// Bucket counts are per-bucket (non-cumulative); the final bucket's
+/// "le" is null, standing for +Inf.
+std::string ToJson(const Registry& registry);
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_EXPORT_H_

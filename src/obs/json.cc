@@ -1,0 +1,284 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::Format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return common::Format("%lld", static_cast<long long>(value));
+  }
+  return common::Format("%.9g", value);
+}
+
+JsonObject& JsonObject::SetString(std::string key, std::string_view value) {
+  fields_.emplace_back(std::move(key), "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::SetNumber(std::string key, double value) {
+  fields_.emplace_back(std::move(key), JsonNumber(value));
+  return *this;
+}
+
+JsonObject& JsonObject::SetInt(std::string key, int64_t value) {
+  fields_.emplace_back(std::move(key),
+                       common::Format("%lld", static_cast<long long>(value)));
+  return *this;
+}
+
+JsonObject& JsonObject::SetUint(std::string key, uint64_t value) {
+  fields_.emplace_back(
+      std::move(key),
+      common::Format("%llu", static_cast<unsigned long long>(value)));
+  return *this;
+}
+
+JsonObject& JsonObject::SetBool(std::string key, bool value) {
+  fields_.emplace_back(std::move(key), value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::SetRaw(std::string key, std::string raw_json) {
+  fields_.emplace_back(std::move(key), std::move(raw_json));
+  return *this;
+}
+
+std::string JsonObject::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += JsonEscape(fields_[i].first);
+    out += "\":";
+    out += fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+// Cursor over the input with the few scanning primitives the flat parser
+// needs.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos;
+    }
+  }
+};
+
+common::Status Malformed(const Cursor& cursor, const char* what) {
+  return common::Status::InvalidArgument(
+      common::Format("malformed JSON at offset %zu: %s", cursor.pos, what));
+}
+
+// Parses a quoted string starting at the opening quote; returns the
+// unescaped content and leaves the cursor past the closing quote.
+common::Result<std::string> ParseString(Cursor* cursor) {
+  if (cursor->AtEnd() || cursor->Peek() != '"') {
+    return Malformed(*cursor, "expected '\"'");
+  }
+  ++cursor->pos;
+  std::string out;
+  while (!cursor->AtEnd()) {
+    const char c = cursor->text[cursor->pos++];
+    if (c == '"') return out;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (cursor->AtEnd()) break;
+    const char escaped = cursor->text[cursor->pos++];
+    switch (escaped) {
+      case '"':
+      case '\\':
+      case '/':
+        out += escaped;
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (cursor->pos + 4 > cursor->text.size()) {
+          return Malformed(*cursor, "truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cursor->text[cursor->pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code += static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code += static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code += static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return Malformed(*cursor, "bad \\u escape digit");
+          }
+        }
+        // Flat event records only carry ASCII control escapes; anything
+        // beyond Latin-1 is preserved as '?' rather than re-encoded.
+        out += code < 0x100 ? static_cast<char>(code) : '?';
+        break;
+      }
+      default:
+        return Malformed(*cursor, "unknown escape");
+    }
+  }
+  return Malformed(*cursor, "unterminated string");
+}
+
+// Captures a nested object/array verbatim, tracking brace depth and
+// skipping over strings.
+common::Result<std::string> ParseNestedRaw(Cursor* cursor) {
+  const size_t start = cursor->pos;
+  const char open = cursor->Peek();
+  const char close = open == '{' ? '}' : ']';
+  int depth = 0;
+  while (!cursor->AtEnd()) {
+    const char c = cursor->Peek();
+    if (c == '"') {
+      HISTKANON_ASSIGN_OR_RETURN(const std::string skipped,
+                                 ParseString(cursor));
+      (void)skipped;
+      continue;
+    }
+    ++cursor->pos;
+    if (c == open) ++depth;
+    if (c == close) {
+      --depth;
+      if (depth == 0) {
+        return std::string(cursor->text.substr(start, cursor->pos - start));
+      }
+    }
+  }
+  return Malformed(*cursor, "unterminated nesting");
+}
+
+// Scans a number / true / false / null literal.
+common::Result<std::string> ParseLiteral(Cursor* cursor) {
+  const size_t start = cursor->pos;
+  while (!cursor->AtEnd()) {
+    const char c = cursor->Peek();
+    if (c == ',' || c == '}' || c == ' ' || c == '\t' || c == '\n' ||
+        c == '\r') {
+      break;
+    }
+    ++cursor->pos;
+  }
+  if (cursor->pos == start) return Malformed(*cursor, "expected value");
+  return std::string(cursor->text.substr(start, cursor->pos - start));
+}
+
+}  // namespace
+
+common::Result<std::map<std::string, std::string>> ParseFlatJson(
+    std::string_view line) {
+  Cursor cursor{line};
+  cursor.SkipSpace();
+  if (cursor.AtEnd() || cursor.Peek() != '{') {
+    return Malformed(cursor, "expected '{'");
+  }
+  ++cursor.pos;
+  std::map<std::string, std::string> fields;
+  cursor.SkipSpace();
+  if (!cursor.AtEnd() && cursor.Peek() == '}') {
+    ++cursor.pos;
+    return fields;
+  }
+  while (true) {
+    cursor.SkipSpace();
+    HISTKANON_ASSIGN_OR_RETURN(std::string key, ParseString(&cursor));
+    cursor.SkipSpace();
+    if (cursor.AtEnd() || cursor.Peek() != ':') {
+      return Malformed(cursor, "expected ':'");
+    }
+    ++cursor.pos;
+    cursor.SkipSpace();
+    if (cursor.AtEnd()) return Malformed(cursor, "expected value");
+    std::string value;
+    if (cursor.Peek() == '"') {
+      HISTKANON_ASSIGN_OR_RETURN(value, ParseString(&cursor));
+    } else if (cursor.Peek() == '{' || cursor.Peek() == '[') {
+      HISTKANON_ASSIGN_OR_RETURN(value, ParseNestedRaw(&cursor));
+    } else {
+      HISTKANON_ASSIGN_OR_RETURN(value, ParseLiteral(&cursor));
+    }
+    fields[std::move(key)] = std::move(value);
+    cursor.SkipSpace();
+    if (cursor.AtEnd()) return Malformed(cursor, "unterminated object");
+    if (cursor.Peek() == ',') {
+      ++cursor.pos;
+      continue;
+    }
+    if (cursor.Peek() == '}') {
+      ++cursor.pos;
+      return fields;
+    }
+    return Malformed(cursor, "expected ',' or '}'");
+  }
+}
+
+}  // namespace obs
+}  // namespace histkanon

@@ -1,0 +1,59 @@
+// Minimal JSON emission and flat-object parsing for the observability
+// subsystem (metrics export, structured event log).  Deliberately tiny:
+// the event log and exporters only need flat objects of scalars plus the
+// occasional nested raw fragment, so no general JSON DOM is built.
+
+#ifndef HISTKANON_SRC_OBS_JSON_H_
+#define HISTKANON_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace histkanon {
+namespace obs {
+
+/// Escapes `text` for use inside a JSON string literal (quotes excluded).
+std::string JsonEscape(std::string_view text);
+
+/// Renders a double as a JSON number: integral values print without a
+/// fraction, non-finite values print as null (JSON has no Inf/NaN).
+std::string JsonNumber(double value);
+
+/// \brief Incremental writer for one JSON object; keys keep insertion
+/// order so emitted records are stable and diffable.
+class JsonObject {
+ public:
+  JsonObject& SetString(std::string key, std::string_view value);
+  JsonObject& SetNumber(std::string key, double value);
+  JsonObject& SetInt(std::string key, int64_t value);
+  JsonObject& SetUint(std::string key, uint64_t value);
+  JsonObject& SetBool(std::string key, bool value);
+  /// Inserts `raw_json` verbatim — for nested objects/arrays.
+  JsonObject& SetRaw(std::string key, std::string raw_json);
+
+  bool empty() const { return fields_.empty(); }
+
+  /// Renders `{"k":v,...}` with no whitespace (one JSONL record).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, raw value
+};
+
+/// Parses one flat JSON object (as produced by JsonObject) into a
+/// key -> value-text map: string values are unescaped, numbers/booleans/
+/// null keep their literal spelling, nested objects/arrays keep their raw
+/// JSON text.  Fails on malformed input.
+common::Result<std::map<std::string, std::string>> ParseFlatJson(
+    std::string_view line);
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_JSON_H_

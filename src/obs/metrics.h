@@ -1,0 +1,156 @@
+// Lock-cheap metrics for the serving path: named counters, gauges, and
+// fixed-bucket histograms behind a Registry.  Registration (name lookup)
+// takes a mutex once; the returned handles are stable for the registry's
+// lifetime and every update on them is a relaxed atomic, so instrumented
+// code pre-resolves its handles at construction and pays a few atomic adds
+// per event.  Everything is optional by convention: instrumented
+// components hold `obs::Registry*` defaulting to nullptr and skip all
+// observation (including clock reads) when unset — the null-object path
+// must keep behavior bit-identical to uninstrumented code.
+
+#ifndef HISTKANON_SRC_OBS_METRICS_H_
+#define HISTKANON_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace histkanon {
+namespace obs {
+
+/// Monotonic timestamp (steady_clock) in nanoseconds.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram (Prometheus-style cumulative export).
+///
+/// Bucket i counts observations with value <= upper_bounds[i] (and greater
+/// than the previous bound); one implicit overflow bucket catches the
+/// rest.  Bounds are fixed at construction so Observe() is a binary search
+/// plus three relaxed atomic adds.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is the
+  /// overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// covering bucket; the overflow bucket reports its lower bound.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds for request/stage latencies, in seconds
+/// (1 microsecond .. 10 seconds, roughly logarithmic).
+const std::vector<double>& DefaultLatencyBounds();
+
+/// \brief Name -> metric registry.  Get* calls are find-or-create and
+/// return handles that stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used only when `name` is first created.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds =
+                              DefaultLatencyBounds());
+
+  /// Snapshots for the exporters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief RAII stage timer: observes elapsed seconds into a histogram at
+/// scope exit.  A nullptr histogram disables it entirely (no clock read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_ns_(histogram == nullptr ? 0 : MonotonicNanos()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Records now (idempotent); returns elapsed seconds (0 when disabled).
+  double Stop() {
+    if (histogram_ == nullptr) return 0.0;
+    const double seconds =
+        static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9;
+    histogram_->Observe(seconds);
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_METRICS_H_

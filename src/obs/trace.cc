@@ -1,0 +1,53 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+
+void Span::AddAttribute(std::string key, std::string value) {
+  if (tracer_ == nullptr || index_ >= tracer_->spans_.size()) return;
+  tracer_->spans_[index_].attributes.emplace_back(std::move(key),
+                                                 std::move(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->EndSpan(index_);
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer() : epoch_ns_(MonotonicNanos()) {}
+
+Span Tracer::StartSpan(std::string name) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.start_ns = MonotonicNanos() - epoch_ns_;
+  record.parent = stack_.empty() ? -1 : static_cast<int>(stack_.back());
+  const size_t index = spans_.size();
+  spans_.push_back(std::move(record));
+  stack_.push_back(index);
+  return Span(this, index);
+}
+
+void Tracer::EndSpan(size_t index) {
+  if (index >= spans_.size()) return;  // stale handle after Reset()
+  SpanRecord& record = spans_[index];
+  if (record.duration_ns >= 0) return;  // already ended
+  record.duration_ns =
+      MonotonicNanos() - epoch_ns_ - record.start_ns;
+  // RAII scoping ends spans innermost-first; tolerate out-of-order ends
+  // (e.g. a moved-from span outliving its children) by popping through.
+  const auto it = std::find(stack_.begin(), stack_.end(), index);
+  if (it != stack_.end()) stack_.erase(it, stack_.end());
+}
+
+void Tracer::Reset() {
+  spans_.clear();
+  stack_.clear();
+}
+
+}  // namespace obs
+}  // namespace histkanon

@@ -1,0 +1,106 @@
+// Request tracing: RAII spans with steady_clock timing, parent/child
+// nesting, and per-span string attributes.  A Tracer accumulates finished
+// SpanRecords (the TS starts one root span per request, with one child per
+// pipeline stage); the caller drains them with spans()/Reset().
+//
+// Null-object contract: a default-constructed Span is inert, and
+// StartSpan(nullptr, ...) returns one, so instrumented code never branches
+// on "is tracing on" — it just creates spans.
+
+#ifndef HISTKANON_SRC_OBS_TRACE_H_
+#define HISTKANON_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace histkanon {
+namespace obs {
+
+class Tracer;
+
+/// \brief One finished (or open) span.
+struct SpanRecord {
+  std::string name;
+  /// Start offset from the tracer's epoch, nanoseconds (steady clock).
+  int64_t start_ns = 0;
+  /// -1 while the span is open.
+  int64_t duration_ns = -1;
+  /// Index of the parent span in the tracer's record list; -1 for roots.
+  int parent = -1;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// \brief RAII handle over one open span; ends it on destruction.
+/// Move-only; a default-constructed Span is a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    End();
+    tracer_ = other.tracer_;
+    index_ = other.index_;
+    other.tracer_ = nullptr;
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// True when this handle controls an open span.
+  bool active() const { return tracer_ != nullptr; }
+
+  void AddAttribute(std::string key, std::string value);
+
+  /// Ends the span now (idempotent; the destructor calls this).
+  void End();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, size_t index) : tracer_(tracer), index_(index) {}
+
+  Tracer* tracer_ = nullptr;
+  size_t index_ = 0;
+};
+
+/// \brief Collects span records for one thread of execution.  Spans
+/// started while another span is open become its children (LIFO stack
+/// discipline, which RAII scoping guarantees).
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span whose parent is the innermost still-open span.
+  Span StartSpan(std::string name);
+
+  /// All records so far, in start order (open spans have duration -1).
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Number of spans started and not yet ended.
+  size_t open_spans() const { return stack_.size(); }
+
+  /// Drops all records and open-span state (epoch is preserved).
+  void Reset();
+
+ private:
+  friend class Span;
+  void EndSpan(size_t index);
+
+  int64_t epoch_ns_ = 0;
+  std::vector<SpanRecord> spans_;
+  std::vector<size_t> stack_;  // indices of open spans, outermost first
+};
+
+/// Null-safe span start: inert span when `tracer` is nullptr.
+inline Span StartSpan(Tracer* tracer, std::string name) {
+  return tracer == nullptr ? Span() : tracer->StartSpan(std::move(name));
+}
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_TRACE_H_

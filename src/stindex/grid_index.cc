@@ -15,7 +15,20 @@ int64_t FloorToCell(double value, double extent) {
 
 }  // namespace
 
-GridIndex::GridIndex(GridIndexOptions options) : options_(options) {}
+GridIndex::GridIndex(GridIndexOptions options) : options_(options) {
+  if (options_.registry != nullptr) {
+    inserts_ = options_.registry->GetCounter("stindex_grid_inserts_total");
+    range_queries_ =
+        options_.registry->GetCounter("stindex_grid_range_queries_total");
+    nearest_queries_ =
+        options_.registry->GetCounter("stindex_grid_nearest_queries_total");
+    // Chebyshev shells explored per nearest-per-user query: the direct
+    // cost driver of Algorithm 1's anchor selection.
+    nearest_shells_ = options_.registry->GetHistogram(
+        "stindex_grid_nearest_shells",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  }
+}
 
 GridIndex::CellKey GridIndex::CellOf(const geo::STPoint& sample) const {
   return CellKey{FloorToCell(sample.p.x, options_.cell_meters),
@@ -25,6 +38,7 @@ GridIndex::CellKey GridIndex::CellOf(const geo::STPoint& sample) const {
 }
 
 void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
+  if (inserts_ != nullptr) inserts_->Increment();
   const CellKey key = CellOf(sample);
   cells_[key].push_back(Entry{user, sample});
   if (size_ == 0) {
@@ -41,6 +55,7 @@ void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
 }
 
 std::vector<Entry> GridIndex::RangeQuery(const geo::STBox& box) const {
+  if (range_queries_ != nullptr) range_queries_->Increment();
   std::vector<Entry> hits;
   if (box.IsEmpty() || size_ == 0) return hits;
   const int64_t x0 = FloorToCell(box.area.min_x, options_.cell_meters);
@@ -71,8 +86,10 @@ std::vector<Entry> GridIndex::RangeQuery(const geo::STBox& box) const {
 std::vector<UserNeighbor> GridIndex::NearestPerUser(
     const geo::STPoint& query, size_t k, mod::UserId exclude,
     const geo::STMetric& metric) const {
+  if (nearest_queries_ != nullptr) nearest_queries_->Increment();
   std::vector<UserNeighbor> result;
   if (size_ == 0 || k == 0) return result;
+  int64_t shells_explored = 0;
 
   const CellKey center = CellOf(query);
   // Weighted extent of one cell in each lattice dimension.
@@ -111,6 +128,7 @@ std::vector<UserNeighbor> GridIndex::NearestPerUser(
   auto clip_hi = [](int64_t v, int64_t hi) { return std::min(v, hi); };
 
   for (int64_t radius = 0;; ++radius) {
+    ++shells_explored;
     // Scan the Chebyshev shell at `radius` — its six faces only, each
     // clipped to the data's lattice bounding box.  Inner cells were
     // scanned at smaller radii.
@@ -170,6 +188,9 @@ std::vector<UserNeighbor> GridIndex::NearestPerUser(
     }
   }
 
+  if (nearest_shells_ != nullptr) {
+    nearest_shells_->Observe(static_cast<double>(shells_explored));
+  }
   result.reserve(best.size());
   for (const auto& [user, neighbor] : best) result.push_back(neighbor);
   std::sort(result.begin(), result.end(),

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/stindex/index.h"
 
 namespace histkanon {
@@ -20,6 +21,9 @@ struct GridIndexOptions {
   double cell_meters = 250.0;
   /// Temporal cell extent (seconds).
   double cell_seconds = 600.0;
+  /// Optional metrics (not owned, must outlive the index); nullptr
+  /// disables all observation.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Hash-grid index: each sample lives in the cell of a uniform
@@ -66,6 +70,11 @@ class GridIndex : public SpatioTemporalIndex {
 
   std::string name_ = "grid";
   GridIndexOptions options_;
+  // Pre-resolved metric handles (nullptr without a registry).
+  obs::Counter* inserts_ = nullptr;
+  obs::Counter* range_queries_ = nullptr;
+  obs::Counter* nearest_queries_ = nullptr;
+  obs::Histogram* nearest_shells_ = nullptr;
   std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
   size_t size_ = 0;
   // Bounding lattice range of inserted data (valid when size_ > 0).

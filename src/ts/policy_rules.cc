@@ -15,11 +15,14 @@ namespace {
 std::optional<int64_t> ParseHhMm(const std::string& text) {
   const size_t colon = text.find(':');
   if (colon == std::string::npos) return std::nullopt;
+  // The substrings must outlive `end`, which points into their buffers.
+  const std::string hours_text = text.substr(0, colon);
+  const std::string minutes_text = text.substr(colon + 1);
   char* end = nullptr;
-  const long hours = std::strtol(text.substr(0, colon).c_str(), &end, 10);
+  const long hours = std::strtol(hours_text.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return std::nullopt;
   end = nullptr;
-  const long minutes = std::strtol(text.substr(colon + 1).c_str(), &end, 10);
+  const long minutes = std::strtol(minutes_text.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return std::nullopt;
   if (hours < 0 || hours >= 24 || minutes < 0 || minutes >= 60) {
     return std::nullopt;

@@ -7,6 +7,62 @@
 namespace histkanon {
 namespace ts {
 
+namespace {
+
+// Context-size histogram bounds: generalized areas span city blocks to
+// whole cities (m^2), windows span minutes to a week (s).
+const std::vector<double>& AreaBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+  return *bounds;
+}
+
+const std::vector<double>& WindowBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      60, 300, 900, 3600, 4.0 * 3600, 24.0 * 3600, 7.0 * 24 * 3600};
+  return *bounds;
+}
+
+// Propagates the TS registry into the index options (the index is
+// constructed in the member-initializer list, before the body can run).
+stindex::GridIndexOptions IndexOptions(const TrustedServerOptions& options) {
+  stindex::GridIndexOptions index = options.index;
+  index.registry = options.registry;
+  return index;
+}
+
+// RAII per-stage instrumentation: opens a trace span and accumulates the
+// stage's wall time into the request telemetry.  Does nothing — not even
+// a clock read — when telemetry is disabled.
+class StageScope {
+ public:
+  StageScope(RequestTelemetry* telemetry, Stage stage, obs::Tracer* tracer)
+      : telemetry_(telemetry), stage_(static_cast<size_t>(stage)) {
+    if (!telemetry_->enabled) return;
+    span_ = obs::StartSpan(tracer, std::string(StageToString(stage)));
+    start_ns_ = obs::MonotonicNanos();
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  ~StageScope() {
+    if (!telemetry_->enabled) return;
+    span_.End();
+    telemetry_->ran[stage_] = true;
+    telemetry_->seconds[stage_] +=
+        static_cast<double>(obs::MonotonicNanos() - start_ns_) * 1e-9;
+  }
+
+ private:
+  RequestTelemetry* telemetry_;
+  size_t stage_;
+  obs::Span span_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace
+
 std::string_view DispositionToString(Disposition disposition) {
   switch (disposition) {
     case Disposition::kForwardedDefault:
@@ -23,14 +79,63 @@ std::string_view DispositionToString(Disposition disposition) {
   return "unknown";
 }
 
+std::string_view StageToString(Stage stage) {
+  switch (stage) {
+    case Stage::kLbqidMatch:
+      return "lbqid_match";
+    case Stage::kGeneralize:
+      return "generalize";
+    case Stage::kHkaEval:
+      return "hka_eval";
+    case Stage::kRandomize:
+      return "randomize";
+    case Stage::kUnlink:
+      return "unlink";
+    case Stage::kForward:
+      return "forward";
+  }
+  return "unknown";
+}
+
 TrustedServer::TrustedServer(TrustedServerOptions options)
     : options_(options),
-      index_(options.index),
+      index_(IndexOptions(options)),
       hka_(&db_),
       pseudonyms_(options.pseudonym_seed),
       randomizer_(options.randomizer_seed, options.randomizer) {
+  options_.generalizer.registry = options_.registry;
   generalizer_ = std::make_unique<anon::Generalizer>(&db_, &index_,
                                                      options_.generalizer);
+  monitor_.AttachRegistry(options_.registry);
+  obs_.enabled = options_.registry != nullptr || options_.tracer != nullptr ||
+                 options_.event_sink != nullptr;
+  if (options_.registry != nullptr) {
+    obs::Registry& registry = *options_.registry;
+    obs_.requests = registry.GetCounter("ts_requests_total");
+    for (size_t d = 0; d < 5; ++d) {
+      std::string name = common::Format(
+          "ts_disposition_%s_total",
+          std::string(DispositionToString(static_cast<Disposition>(d)))
+              .c_str());
+      std::replace(name.begin(), name.end(), '-', '_');
+      obs_.disposition[d] = registry.GetCounter(name);
+    }
+    obs_.lbqid_completions =
+        registry.GetCounter("ts_lbqid_completed_requests_total");
+    obs_.unlink_attempts = registry.GetCounter("ts_unlink_attempts_total");
+    obs_.unlink_successes = registry.GetCounter("ts_unlink_successes_total");
+    for (size_t i = 0; i < kStageCount; ++i) {
+      obs_.stage[i] = registry.GetHistogram(common::Format(
+          "ts_stage_%s_seconds",
+          std::string(StageToString(static_cast<Stage>(i))).c_str()));
+    }
+    obs_.request_seconds = registry.GetHistogram("ts_request_seconds");
+    obs_.generalized_area =
+        registry.GetHistogram("ts_generalized_area_m2", AreaBounds());
+    obs_.generalized_window =
+        registry.GetHistogram("ts_generalized_window_seconds",
+                              WindowBounds());
+  }
 }
 
 common::Status TrustedServer::RegisterService(
@@ -154,6 +259,35 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
                                              const geo::STPoint& exact,
                                              mod::ServiceId service,
                                              const std::string& data) {
+  RequestTelemetry telemetry;
+  telemetry.enabled = obs_.enabled;
+  if (!telemetry.enabled) {
+    // Null-object fast path: no clock reads, no allocations beyond the
+    // pipeline's own.
+    return ProcessRequestImpl(user, exact, service, data, &telemetry);
+  }
+  obs::Span root = obs::StartSpan(options_.tracer, "process_request");
+  const int64_t start_ns = obs::MonotonicNanos();
+  const ProcessOutcome outcome =
+      ProcessRequestImpl(user, exact, service, data, &telemetry);
+  const double total_seconds =
+      static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+  if (root.active()) {
+    root.AddAttribute("user",
+                      common::Format("%lld", static_cast<long long>(user)));
+    root.AddAttribute("disposition",
+                      std::string(DispositionToString(outcome.disposition)));
+  }
+  root.End();
+  RecordRequest(outcome, telemetry, user, service, total_seconds);
+  return outcome;
+}
+
+ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
+                                                 const geo::STPoint& exact,
+                                                 mod::ServiceId service,
+                                                 const std::string& data,
+                                                 RequestTelemetry* telemetry) {
   ProcessOutcome outcome;
   outcome.exact = exact;
   ++stats_.requests;
@@ -179,10 +313,13 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
   // element of at most one LBQID; with several, the first match wins.
   // The automata model what the SP observes; save their state so the
   // advance can be rolled back if this request ends up not forwarded.
-  const std::vector<lbqid::LbqidMatcher::Snapshot> monitor_snapshot =
-      monitor_.SaveUser(user);
-  const std::vector<lbqid::Observation> observations =
-      monitor_.ProcessPoint(user, exact);
+  std::vector<lbqid::LbqidMatcher::Snapshot> monitor_snapshot;
+  std::vector<lbqid::Observation> observations;
+  {
+    StageScope stage(telemetry, Stage::kLbqidMatch, options_.tracer);
+    monitor_snapshot = monitor_.SaveUser(user);
+    observations = monitor_.ProcessPoint(user, exact);
+  }
 
   size_t completions_this_request = 0;
   if (!observations.empty()) {
@@ -193,8 +330,8 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
     // A completed LBQID counts as a (potential) release regardless of the
     // policy setting — with protection off, it IS released.  A request may
     // complete several LBQIDs at once.
-    for (const lbqid::Observation& obs : observations) {
-      if (obs.event.outcome == lbqid::MatchOutcome::kLbqidComplete) {
+    for (const lbqid::Observation& observed : observations) {
+      if (observed.event.outcome == lbqid::MatchOutcome::kLbqidComplete) {
         ++completions_this_request;
       }
     }
@@ -209,9 +346,13 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
                              : policy.default_context_scale;
     geo::STBox context = generalizer_->DefaultContext(exact, tolerance, scale);
     if (options_.enable_randomization) {
+      StageScope stage(telemetry, Stage::kRandomize, options_.tracer);
       context = randomizer_.TranslateWithin(context, exact);
     }
-    Forward(&outcome, user, exact, service, data, context);
+    {
+      StageScope stage(telemetry, Stage::kForward, options_.tracer);
+      Forward(&outcome, user, exact, service, data, context);
+    }
     ++stats_.forwarded_default;
     outcomes_.push_back(outcome);
     return outcome;
@@ -230,36 +371,44 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
   std::vector<PendingUpdate> updates;
   geo::STBox union_box = geo::STBox::Empty();
   bool all_ok = true;
-  for (const lbqid::Observation& obs : observations) {
-    TraceState& trace = state.traces[obs.lbqid_index];
-    // Anchor schedule (Section 6.2's k' heuristic), per trace.
-    std::vector<mod::UserId> anchors = trace.anchors;
-    size_t select_k = k;
-    if (anchors.empty()) {
-      select_k = policy.k_schedule.InitialAnchors(k);
-    } else {
-      TrimAnchors(&anchors, policy.k_schedule.AnchorsAtStep(k, trace.steps),
-                  exact);
+  {
+    StageScope stage(telemetry, Stage::kGeneralize, options_.tracer);
+    for (const lbqid::Observation& observed : observations) {
+      TraceState& trace = state.traces[observed.lbqid_index];
+      // Anchor schedule (Section 6.2's k' heuristic), per trace.
+      std::vector<mod::UserId> anchors = trace.anchors;
+      size_t select_k = k;
+      if (anchors.empty()) {
+        select_k = policy.k_schedule.InitialAnchors(k);
+      } else {
+        TrimAnchors(&anchors, policy.k_schedule.AnchorsAtStep(k, trace.steps),
+                    exact);
+      }
+      const common::Result<anon::GeneralizationResult> generalized =
+          generalizer_->Generalize(exact, user, std::move(anchors), select_k,
+                                   tolerance);
+      if (!generalized.ok()) {
+        all_ok = false;
+        break;
+      }
+      if (!generalized->hk_anonymity) all_ok = false;
+      union_box.ExpandToInclude(generalized->box);
+      updates.push_back(PendingUpdate{&trace, generalized->anchors});
     }
-    const common::Result<anon::GeneralizationResult> generalized =
-        generalizer_->Generalize(exact, user, std::move(anchors), select_k,
-                                 tolerance);
-    if (!generalized.ok()) {
-      all_ok = false;
-      break;
-    }
-    if (!generalized->hk_anonymity) all_ok = false;
-    union_box.ExpandToInclude(generalized->box);
-    updates.push_back(PendingUpdate{&trace, generalized->anchors});
   }
-  // Individually-fitting boxes can still union past the tolerance.
-  if (all_ok && !tolerance.Satisfies(union_box)) all_ok = false;
+  {
+    // HkA verdict on the combined context: individually-fitting boxes can
+    // still union past the tolerance.
+    StageScope stage(telemetry, Stage::kHkaEval, options_.tracer);
+    if (all_ok && !tolerance.Satisfies(union_box)) all_ok = false;
+  }
 
   if (all_ok) {
     geo::STBox context = union_box;
     if (options_.enable_randomization) {
       // Expansion (never translation): a superset keeps every anchor's
       // sample inside, preserving LT-consistency of the traces.
+      StageScope stage(telemetry, Stage::kRandomize, options_.tracer);
       context = randomizer_.ExpandWithin(context, tolerance);
     }
     for (PendingUpdate& update : updates) {
@@ -269,7 +418,10 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
     }
     outcome.disposition = Disposition::kForwardedGeneralized;
     outcome.hk_anonymity = true;
-    Forward(&outcome, user, exact, service, data, context);
+    {
+      StageScope stage(telemetry, Stage::kForward, options_.tracer);
+      Forward(&outcome, user, exact, service, data, context);
+    }
     ++stats_.forwarded_generalized;
     stats_.generalized_area_sum += context.area.Area();
     stats_.generalized_window_sum +=
@@ -281,6 +433,7 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
   // Step 2: generalization failed -> try to unlink.
   outcome.hk_anonymity = false;
   if (options_.enable_unlinking) {
+    StageScope stage(telemetry, Stage::kUnlink, options_.tracer);
     ++stats_.unlink_attempts;
     anon::MixZoneOptions mixzone = options_.mixzone;
     mixzone.min_diverging_users = std::max(mixzone.min_diverging_users, k);
@@ -315,6 +468,7 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
       update.trace->contexts.push_back(clipped);
       update.trace->tainted = true;
     }
+    StageScope stage(telemetry, Stage::kForward, options_.tracer);
     Forward(&outcome, user, exact, service, data, clipped);
   } else {
     // Dropped: the SP never sees this request, so the automata must not
@@ -327,6 +481,68 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
   }
   outcomes_.push_back(outcome);
   return outcome;
+}
+
+void TrustedServer::RecordRequest(const ProcessOutcome& outcome,
+                                  const RequestTelemetry& telemetry,
+                                  mod::UserId user, mod::ServiceId service,
+                                  double total_seconds) {
+  if (options_.registry != nullptr) {
+    obs_.requests->Increment();
+    obs_.disposition[static_cast<size_t>(outcome.disposition)]->Increment();
+    if (outcome.lbqid_completed) obs_.lbqid_completions->Increment();
+    if (telemetry.ran[static_cast<size_t>(Stage::kUnlink)]) {
+      obs_.unlink_attempts->Increment();
+    }
+    if (outcome.disposition == Disposition::kUnlinked) {
+      obs_.unlink_successes->Increment();
+    }
+    for (size_t i = 0; i < kStageCount; ++i) {
+      if (telemetry.ran[i]) obs_.stage[i]->Observe(telemetry.seconds[i]);
+    }
+    obs_.request_seconds->Observe(total_seconds);
+    if (outcome.disposition == Disposition::kForwardedGeneralized) {
+      const geo::STBox& context = outcome.forwarded_request.context;
+      obs_.generalized_area->Observe(context.area.Area());
+      obs_.generalized_window->Observe(
+          static_cast<double>(context.time.Length()));
+    }
+  }
+  if (options_.event_sink != nullptr) {
+    obs::JsonObject event;
+    event.SetUint("seq", stats_.requests);
+    event.SetInt("t", outcome.exact.t);
+    // The event log leaves the trusted boundary only pseudonymized; after
+    // an unlink this is already the rotated pseudonym.
+    event.SetString("pseudonym", outcome.forwarded
+                                     ? outcome.forwarded_request.pseudonym
+                                     : pseudonyms_.Current(user));
+    event.SetInt("service", service);
+    event.SetString("disposition",
+                    DispositionToString(outcome.disposition));
+    event.SetBool("forwarded", outcome.forwarded);
+    event.SetBool("hk_anonymity", outcome.hk_anonymity);
+    event.SetBool("matched_lbqid", outcome.matched_lbqid);
+    if (outcome.matched_lbqid) {
+      event.SetUint("lbqid_index", outcome.lbqid_index);
+      event.SetUint("element_index", outcome.element_index);
+      event.SetBool("lbqid_completed", outcome.lbqid_completed);
+    }
+    if (outcome.forwarded) {
+      const geo::STBox& context = outcome.forwarded_request.context;
+      event.SetNumber("area_m2", context.area.Area());
+      event.SetInt("window_s", context.time.Length());
+    }
+    obs::JsonObject stages;
+    for (size_t i = 0; i < kStageCount; ++i) {
+      if (!telemetry.ran[i]) continue;
+      stages.SetNumber(std::string(StageToString(static_cast<Stage>(i))),
+                       telemetry.seconds[i] * 1e6);
+    }
+    if (!stages.empty()) event.SetRaw("stages_us", stages.ToString());
+    event.SetNumber("total_us", total_seconds * 1e6);
+    options_.event_sink->Append(event.ToString());
+  }
 }
 
 std::vector<geo::STBox> TrustedServer::CurrentTraceContexts(
@@ -352,6 +568,7 @@ std::vector<geo::STBox> TrustedServer::TraceContextsOf(
 
 anon::HkaResult TrustedServer::EvaluateTraceHka(mod::UserId user,
                                                 size_t lbqid_index) const {
+  obs::ScopedTimer timer(obs_.stage[static_cast<size_t>(Stage::kHkaEval)]);
   const auto it = users_.find(user);
   const size_t k = it == users_.end() ? 0 : it->second.policy.k;
   return hka_.Evaluate(user, TraceContextsOf(user, lbqid_index), k);
@@ -367,8 +584,11 @@ std::vector<TrustedServer::TraceAudit> TrustedServer::AuditTraces() const {
       audit.lbqid_index = lbqid_index;
       audit.steps = trace.contexts.size();
       audit.tainted = trace.tainted;
+      obs::ScopedTimer timer(
+          obs_.stage[static_cast<size_t>(Stage::kHkaEval)]);
       const anon::HkaResult hka =
           hka_.Evaluate(user, trace.contexts, state.policy.k);
+      timer.Stop();
       audit.hka_satisfied = hka.satisfied;
       audit.witnesses = hka.consistent_others;
       audits.push_back(audit);
@@ -378,6 +598,7 @@ std::vector<TrustedServer::TraceAudit> TrustedServer::AuditTraces() const {
 }
 
 anon::HkaResult TrustedServer::EvaluateUserHka(mod::UserId user) const {
+  obs::ScopedTimer timer(obs_.stage[static_cast<size_t>(Stage::kHkaEval)]);
   const auto it = users_.find(user);
   const size_t k = it == users_.end() ? 0 : it->second.policy.k;
   return hka_.Evaluate(user, CurrentTraceContexts(user), k);

@@ -29,6 +29,9 @@
 #include "src/anon/tolerance.h"
 #include "src/lbqid/monitor.h"
 #include "src/mod/moving_object_db.h"
+#include "src/obs/event_log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/stindex/grid_index.h"
 #include "src/ts/policy.h"
@@ -57,6 +60,13 @@ struct TrustedServerOptions {
   /// failed is still forwarded (clipped to tolerance) after notifying the
   /// user; when false it is dropped.
   bool forward_when_at_risk = true;
+  /// Observability (all optional, not owned, must outlive the server).
+  /// When unset the pipeline takes the null-object path: no counters, no
+  /// clock reads, behavior bit-identical to an uninstrumented server.
+  /// The registry is shared with the index, generalizer, and monitor.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::EventSink* event_sink = nullptr;
 };
 
 /// \brief How the TS disposed of one request.
@@ -76,6 +86,31 @@ enum class Disposition {
 };
 
 std::string_view DispositionToString(Disposition disposition);
+
+/// \brief The instrumented stages of the Section 6.1 pipeline, in
+/// execution order.  Each stage gets a trace span, a latency histogram
+/// (`ts_stage_<name>_seconds`), and a per-request latency field in the
+/// structured event log.
+enum class Stage : size_t {
+  kLbqidMatch = 0,  ///< Automata advance over the user's LBQIDs.
+  kGeneralize,      ///< Algorithm 1 over each matched LBQID's trace.
+  kHkaEval,         ///< HkA verdict: union tolerance check / Definition 8.
+  kRandomize,       ///< Section 7 context randomization.
+  kUnlink,          ///< Mix-zone formation attempt (Section 6.3).
+  kForward,         ///< Hand-off to the service provider.
+};
+
+inline constexpr size_t kStageCount = 6;
+
+std::string_view StageToString(Stage stage);
+
+/// \brief Per-request stage bookkeeping, filled only when observability is
+/// attached (zero clock reads otherwise).
+struct RequestTelemetry {
+  bool enabled = false;
+  bool ran[kStageCount] = {};
+  double seconds[kStageCount] = {};
+};
 
 /// \brief Outcome record for one request (also the unit of the metrics).
 /// TS-side bookkeeping: `exact` never leaves the trusted server.
@@ -212,7 +247,32 @@ class TrustedServer : public sim::EventSink {
     std::map<size_t, TraceState> traces;  // keyed by lbqid index
   };
 
+  /// Pre-resolved metric handles (all nullptr without a registry).
+  struct ObsHandles {
+    bool enabled = false;
+    obs::Counter* requests = nullptr;
+    obs::Counter* disposition[5] = {};  // indexed by Disposition
+    obs::Counter* lbqid_completions = nullptr;
+    obs::Counter* unlink_attempts = nullptr;
+    obs::Counter* unlink_successes = nullptr;
+    obs::Histogram* stage[kStageCount] = {};
+    obs::Histogram* request_seconds = nullptr;
+    obs::Histogram* generalized_area = nullptr;
+    obs::Histogram* generalized_window = nullptr;
+  };
+
   UserState& StateOf(mod::UserId user);
+  // The pipeline body; `telemetry` collects per-stage timings when
+  // observability is attached.
+  ProcessOutcome ProcessRequestImpl(mod::UserId user,
+                                    const geo::STPoint& exact,
+                                    mod::ServiceId service,
+                                    const std::string& data,
+                                    RequestTelemetry* telemetry);
+  // Folds one finished request into counters/histograms and the event log.
+  void RecordRequest(const ProcessOutcome& outcome,
+                     const RequestTelemetry& telemetry, mod::UserId user,
+                     mod::ServiceId service, double total_seconds);
   // Per-request policy: the rule set when present, else the flat policy.
   const PrivacyPolicy& ResolvePolicy(const UserState& state,
                                      mod::ServiceId service,
@@ -237,6 +297,7 @@ class TrustedServer : public sim::EventSink {
   std::map<mod::UserId, UserState> users_;
   ServiceProvider* provider_ = nullptr;
   mod::MessageId next_msgid_ = 1;
+  ObsHandles obs_;
   TsStats stats_;
   std::vector<ProcessOutcome> outcomes_;
   anon::ToleranceConstraints default_tolerance_;

@@ -37,6 +37,35 @@ TEST(TableTest, ExtraCellsDropped) {
   EXPECT_EQ(os.str().find("dropped"), std::string::npos);
 }
 
+TEST(TableTest, ToCsvPlainCells) {
+  Table table({"k", "success"});
+  table.AddRow({"2", "0.98"});
+  table.AddRow({"10", "0.71"});
+  std::ostringstream os;
+  table.ToCsv(os);
+  EXPECT_EQ(os.str(), "k,success\n2,0.98\n10,0.71\n");
+}
+
+TEST(TableTest, ToCsvQuotesSpecialCells) {
+  Table table({"name", "note"});
+  table.AddRow({"a,b", "he said \"hi\""});
+  table.AddRow({"line\nbreak", "plain"});
+  std::ostringstream os;
+  table.ToCsv(os);
+  EXPECT_EQ(os.str(),
+            "name,note\n"
+            "\"a,b\",\"he said \"\"hi\"\"\"\n"
+            "\"line\nbreak\",plain\n");
+}
+
+TEST(TableTest, ToCsvPadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"only-a"});
+  std::ostringstream os;
+  table.ToCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly-a,,\n");
+}
+
 }  // namespace
 }  // namespace eval
 }  // namespace histkanon

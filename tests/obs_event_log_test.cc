@@ -1,0 +1,140 @@
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/event_log.h"
+#include "src/obs/json.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonNumberTest, IntegralAndNonFiniteHandling) {
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(JsonNumber(-2.0), "-2");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "null");
+}
+
+TEST(JsonObjectTest, KeepsInsertionOrder) {
+  JsonObject object;
+  object.SetString("z", "last? no — first")
+      .SetInt("neg", -7)
+      .SetUint("big", 18446744073709551615ull)
+      .SetBool("flag", true)
+      .SetRaw("nested", "{\"a\":1}");
+  EXPECT_EQ(object.ToString(),
+            "{\"z\":\"last? no — first\",\"neg\":-7,"
+            "\"big\":18446744073709551615,\"flag\":true,"
+            "\"nested\":{\"a\":1}}");
+  EXPECT_FALSE(object.empty());
+  EXPECT_TRUE(JsonObject().empty());
+}
+
+TEST(ParseFlatJsonTest, RoundTripsJsonObjectOutput) {
+  JsonObject object;
+  object.SetString("pseudonym", "p\"42\"")
+      .SetString("disposition", "forwarded-generalized")
+      .SetNumber("area_m2", 1250.5)
+      .SetInt("window_s", 180)
+      .SetBool("forwarded", true)
+      .SetRaw("stages_us", "{\"lbqid_match\":1.5,\"forward\":2}");
+  const auto parsed = ParseFlatJson(object.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("pseudonym"), "p\"42\"");
+  EXPECT_EQ(parsed->at("disposition"), "forwarded-generalized");
+  EXPECT_EQ(parsed->at("area_m2"), "1250.5");
+  EXPECT_EQ(parsed->at("window_s"), "180");
+  EXPECT_EQ(parsed->at("forwarded"), "true");
+  // Nested objects come back as raw JSON text.
+  EXPECT_EQ(parsed->at("stages_us"),
+            "{\"lbqid_match\":1.5,\"forward\":2}");
+}
+
+TEST(ParseFlatJsonTest, ToleratesWhitespaceAndEmptyObject) {
+  const auto empty = ParseFlatJson("  { }  ");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  const auto spaced = ParseFlatJson("{ \"a\" : 1 , \"b\" : \"x\" }");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced->at("a"), "1");
+  EXPECT_EQ(spaced->at("b"), "x");
+}
+
+TEST(ParseFlatJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFlatJson("").ok());
+  EXPECT_FALSE(ParseFlatJson("[1,2]").ok());
+  EXPECT_FALSE(ParseFlatJson("{\"a\":1").ok());
+  EXPECT_FALSE(ParseFlatJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseFlatJson("{\"a\":\"unterminated}").ok());
+}
+
+TEST(EventSinkTest, VectorSinkCollectsLines) {
+  VectorEventSink sink;
+  sink.Append("{\"seq\":1}");
+  sink.Append("{\"seq\":2}");
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(sink.lines()[1], "{\"seq\":2}");
+}
+
+TEST(EventSinkTest, StreamSinkWritesJsonl) {
+  std::ostringstream os;
+  StreamEventSink sink(&os);
+  sink.Append("{\"a\":1}");
+  sink.Append("{\"b\":2}");
+  EXPECT_EQ(os.str(), "{\"a\":1}\n{\"b\":2}\n");
+}
+
+TEST(EventLogFileTest, FileRoundTrip) {
+  const std::string path =
+      testing::TempDir() + "/histkanon_event_log_test.jsonl";
+  {
+    FileEventSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    JsonObject first;
+    first.SetUint("seq", 1).SetString("disposition", "forwarded-default");
+    JsonObject second;
+    second.SetUint("seq", 2).SetString("disposition", "unlinked");
+    sink.Append(first.ToString());
+    sink.Append(second.ToString());
+    sink.Flush();
+  }
+  const auto events = ReadEventLogFile(path);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].at("seq"), "1");
+  EXPECT_EQ((*events)[0].at("disposition"), "forwarded-default");
+  EXPECT_EQ((*events)[1].at("disposition"), "unlinked");
+  std::remove(path.c_str());
+}
+
+TEST(EventLogFileTest, MalformedLineFailsWithLineNumber) {
+  const std::string path =
+      testing::TempDir() + "/histkanon_event_log_bad.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"seq\":1}\n\nnot json\n";
+  }
+  const auto events = ReadEventLogFile(path);
+  ASSERT_FALSE(events.ok());
+  EXPECT_NE(events.status().ToString().find("line 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogFileTest, MissingFileFails) {
+  EXPECT_FALSE(ReadEventLogFile("/nonexistent/event.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon

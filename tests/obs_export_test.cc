@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(SanitizeMetricNameTest, MapsOntoPrometheusCharset) {
+  EXPECT_EQ(SanitizeMetricName("ts_requests_total"), "ts_requests_total");
+  EXPECT_EQ(SanitizeMetricName("ns:stage.latency-ms"), "ns:stage_latency_ms");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName(""), "");
+}
+
+TEST(ToPrometheusTextTest, GoldenOutput) {
+  Registry registry;
+  registry.GetCounter("requests_total")->Increment(3);
+  registry.GetGauge("load")->Set(0.25);
+  Histogram* histogram = registry.GetHistogram("latency_seconds",
+                                               {0.001, 0.01});
+  histogram->Observe(0.0005);
+  histogram->Observe(0.005);
+  histogram->Observe(0.005);
+  histogram->Observe(5.0);
+
+  EXPECT_EQ(ToPrometheusText(registry),
+            "# TYPE requests_total counter\n"
+            "requests_total 3\n"
+            "# TYPE load gauge\n"
+            "load 0.25\n"
+            "# TYPE latency_seconds histogram\n"
+            "latency_seconds_bucket{le=\"0.001\"} 1\n"
+            "latency_seconds_bucket{le=\"0.01\"} 3\n"
+            "latency_seconds_bucket{le=\"+Inf\"} 4\n"
+            "latency_seconds_sum 5.0105\n"
+            "latency_seconds_count 4\n");
+}
+
+TEST(ToPrometheusTextTest, IntegralSamplesPrintWithoutFraction) {
+  Registry registry;
+  registry.GetGauge("users")->Set(12.0);
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("users 12\n"), std::string::npos);
+}
+
+TEST(ToJsonTest, GoldenOutput) {
+  Registry registry;
+  registry.GetCounter("hits")->Increment(2);
+  registry.GetGauge("ratio")->Set(0.5);
+  Histogram* histogram = registry.GetHistogram("h", {1.0});
+  histogram->Observe(0.5);
+  histogram->Observe(0.5);
+
+  EXPECT_EQ(ToJson(registry),
+            "{\"counters\":{\"hits\":2},"
+            "\"gauges\":{\"ratio\":0.5},"
+            "\"histograms\":{\"h\":{\"count\":2,\"sum\":1,"
+            "\"p50\":0.5,\"p95\":0.95,\"p99\":0.99,"
+            "\"buckets\":[{\"le\":1,\"count\":2},"
+            "{\"le\":null,\"count\":0}]}}}");
+}
+
+TEST(ToJsonTest, EmptyRegistry) {
+  Registry registry;
+  EXPECT_EQ(ToJson(registry),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ToJsonTest, ParsesBackAsFlatObjectOfRawSections) {
+  Registry registry;
+  registry.GetCounter("a")->Increment();
+  const auto parsed = ParseFlatJson(ToJson(registry));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("counters"), "{\"a\":1}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon

@@ -1,0 +1,150 @@
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.Set(2.5);
+  gauge.Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  gauge.Set(7.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusive) {
+  // Bucket i counts value <= bounds[i]; the last slot is the overflow.
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);  // bucket 0
+  histogram.Observe(1.0);  // bucket 0 (boundary is inclusive)
+  histogram.Observe(1.5);  // bucket 1
+  histogram.Observe(2.0);  // bucket 1
+  histogram.Observe(4.0);  // bucket 2
+  histogram.Observe(9.0);  // overflow
+  const std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBucket) {
+  Histogram histogram({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) histogram.Observe(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) histogram.Observe(15.0);   // bucket (10, 20]
+  // p50 sits exactly at the first bucket's upper bound.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 10.0);
+  // p75 is halfway through the second bucket: 10 + 0.5 * (20 - 10).
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  // Everything in the overflow bucket: the estimate degrades to the
+  // largest finite bound rather than inventing a value.
+  Histogram overflow({1.0});
+  overflow.Observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 1.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double>& bounds = DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableHandles) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("requests");
+  EXPECT_EQ(registry.GetCounter("requests"), counter);
+  counter->Increment();
+  EXPECT_EQ(registry.GetCounter("requests")->value(), 1u);
+
+  Histogram* histogram = registry.GetHistogram("latency", {1.0, 2.0});
+  // Second lookup ignores the (different) bounds argument.
+  EXPECT_EQ(registry.GetHistogram("latency", {5.0}), histogram);
+  EXPECT_EQ(histogram->upper_bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotsAreSortedByName) {
+  Registry registry;
+  registry.GetCounter("zeta")->Increment(3);
+  registry.GetCounter("alpha")->Increment(1);
+  registry.GetGauge("mid")->Set(0.5);
+  const auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[0].second, 1u);
+  EXPECT_EQ(counters[1].first, "zeta");
+  EXPECT_EQ(counters[1].second, 3u);
+  const auto gauges = registry.GaugeValues();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].second, 0.5);
+}
+
+TEST(RegistryTest, ConcurrentUpdatesDoNotLoseCounts) {
+  Registry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("shared");
+      Histogram* histogram = registry.GetHistogram("shared_h");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(1e-5);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared")->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("shared_h")->count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ScopedTimerTest, ObservesElapsedOnce) {
+  Histogram histogram({1.0});
+  {
+    ScopedTimer timer(&histogram);
+    const double seconds = timer.Stop();
+    EXPECT_GE(seconds, 0.0);
+    EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);  // Idempotent.
+  }  // Destructor must not double-observe.
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsInert) {
+  ScopedTimer timer(nullptr);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon

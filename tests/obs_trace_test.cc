@@ -1,0 +1,116 @@
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(TracerTest, RecordsSpansInStartOrder) {
+  Tracer tracer;
+  {
+    Span a = tracer.StartSpan("a");
+  }
+  {
+    Span b = tracer.StartSpan("b");
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "a");
+  EXPECT_EQ(tracer.spans()[1].name, "b");
+  EXPECT_EQ(tracer.spans()[0].parent, -1);
+  EXPECT_EQ(tracer.spans()[1].parent, -1);
+  EXPECT_GE(tracer.spans()[0].duration_ns, 0);
+  EXPECT_LE(tracer.spans()[0].start_ns, tracer.spans()[1].start_ns);
+}
+
+TEST(TracerTest, NestedSpansGetParentIndices) {
+  Tracer tracer;
+  {
+    Span root = tracer.StartSpan("request");
+    {
+      Span child = tracer.StartSpan("stage1");
+    }
+    {
+      Span child = tracer.StartSpan("stage2");
+      Span grandchild = tracer.StartSpan("inner");
+    }
+  }
+  ASSERT_EQ(tracer.spans().size(), 4u);
+  EXPECT_EQ(tracer.spans()[0].name, "request");
+  EXPECT_EQ(tracer.spans()[0].parent, -1);
+  EXPECT_EQ(tracer.spans()[1].name, "stage1");
+  EXPECT_EQ(tracer.spans()[1].parent, 0);
+  EXPECT_EQ(tracer.spans()[2].name, "stage2");
+  EXPECT_EQ(tracer.spans()[2].parent, 0);
+  EXPECT_EQ(tracer.spans()[3].name, "inner");
+  EXPECT_EQ(tracer.spans()[3].parent, 2);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(TracerTest, AttributesAttachToTheirSpan) {
+  Tracer tracer;
+  {
+    Span span = tracer.StartSpan("s");
+    span.AddAttribute("user", "42");
+    span.AddAttribute("disposition", "forwarded-generalized");
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const SpanRecord& record = tracer.spans()[0];
+  ASSERT_EQ(record.attributes.size(), 2u);
+  EXPECT_EQ(record.attributes[0].first, "user");
+  EXPECT_EQ(record.attributes[0].second, "42");
+  EXPECT_EQ(record.attributes[1].first, "disposition");
+}
+
+TEST(TracerTest, EndIsIdempotentAndExplicit) {
+  Tracer tracer;
+  Span span = tracer.StartSpan("s");
+  EXPECT_TRUE(span.active());
+  EXPECT_EQ(tracer.spans()[0].duration_ns, -1);  // Still open.
+  span.End();
+  EXPECT_FALSE(span.active());
+  const int64_t duration = tracer.spans()[0].duration_ns;
+  EXPECT_GE(duration, 0);
+  span.End();  // No-op.
+  EXPECT_EQ(tracer.spans()[0].duration_ns, duration);
+}
+
+TEST(TracerTest, MoveTransfersOwnership) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("s");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): probing.
+  EXPECT_TRUE(b.active());
+  a.End();  // Must not end b's span.
+  EXPECT_EQ(tracer.spans()[0].duration_ns, -1);
+  b.End();
+  EXPECT_GE(tracer.spans()[0].duration_ns, 0);
+}
+
+TEST(TracerTest, ResetDropsRecordsAndOpenState) {
+  Tracer tracer;
+  Span span = tracer.StartSpan("s");
+  tracer.Reset();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  span.End();  // Stale handle after Reset must be harmless.
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(SpanTest, DefaultConstructedIsInert) {
+  Span span;
+  EXPECT_FALSE(span.active());
+  span.AddAttribute("k", "v");
+  span.End();
+}
+
+TEST(SpanTest, NullSafeStartSpanHelper) {
+  Span span = StartSpan(nullptr, "anything");
+  EXPECT_FALSE(span.active());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon
