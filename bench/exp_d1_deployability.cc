@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench/exp_common.h"
+#include "src/mod/moving_object_db.h"
 #include "src/deploy/analyzer.h"
 
 using namespace histkanon;  // NOLINT: harness brevity.

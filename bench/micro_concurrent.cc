@@ -1,0 +1,144 @@
+// Throughput of the sharded Trusted Server vs the serial one on the
+// hotspot workload (the skew-heavy shape), sweeping the shard count.
+// Writes BENCH_concurrent.json with requests/sec per shard count plus the
+// 4-shard speedup — the machine-readable scaling trajectory.  The JSON
+// records hardware_threads: on a single-core runner the sharded rows
+// measure pure overhead; the scaling claim is meaningful on >= 4 cores
+// (the CI runners).
+//
+// Unlike the other micro_* benches this is a plain binary (wall-clock
+// epochs through two different server front-ends don't fit the
+// google-benchmark fixture model).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/trusted_server.h"
+#include "src/ts/workload.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+ts::TrustedServerOptions ServerOptions() {
+  ts::TrustedServerOptions options;
+  options.per_request_randomization = true;
+  return options;
+}
+
+bool SameDispositions(const std::vector<ts::ProcessOutcome>& a,
+                      const std::vector<ts::ProcessOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].disposition != b[i].disposition) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ts::SyntheticWorkloadOptions workload_options;
+  workload_options.num_users = 48;
+  workload_options.num_epochs = 10;
+  workload_options.requests_per_epoch = 250;
+  workload_options.seed = 2005;
+  if (argc > 1) workload_options.num_users = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) workload_options.num_epochs = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) {
+    workload_options.requests_per_epoch = std::strtoul(argv[3], nullptr, 10);
+  }
+
+  const ts::EpochedWorkload workload =
+      ts::MakeHotspotWorkload(workload_options);
+  const size_t requests = workload.request_count();
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+
+  std::printf("micro_concurrent: hotspot workload, %zu users, %zu epochs, "
+              "%zu requests, %u hardware threads\n\n",
+              workload_options.num_users, workload_options.num_epochs,
+              requests, hardware_threads);
+  std::printf("%-10s %10s %12s\n", "config", "seconds", "requests/s");
+
+  // Serial baseline.
+  std::vector<ts::ProcessOutcome> serial_outcomes;
+  double serial_rps = 0.0;
+  {
+    ts::TrustedServer server(ServerOptions());
+    const auto start = std::chrono::steady_clock::now();
+    serial_outcomes = ts::ReplayEpochsSerial(workload, &server);
+    const double seconds = SecondsSince(start);
+    serial_rps = static_cast<double>(requests) / seconds;
+    std::printf("%-10s %10.3f %12.0f\n", "serial", seconds, serial_rps);
+  }
+
+  std::string series = "[";
+  double rps_1 = 0.0;
+  double rps_4 = 0.0;
+  bool all_match = true;
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    ts::ConcurrentServerOptions options;
+    options.num_shards = shards;
+    options.queue_capacity = 4096;
+    options.server = ServerOptions();
+    ts::ConcurrentServer server(options);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ts::ProcessOutcome> outcomes =
+        ts::ReplayEpochsConcurrent(workload, &server);
+    const double seconds = SecondsSince(start);
+    const double rps = static_cast<double>(requests) / seconds;
+    all_match = all_match && SameDispositions(serial_outcomes, outcomes);
+    if (shards == 1) rps_1 = rps;
+    if (shards == 4) rps_4 = rps;
+
+    const std::string label = std::to_string(shards) + " shard" +
+                              (shards == 1 ? "" : "s");
+    std::printf("%-10s %10.3f %12.0f\n", label.c_str(), seconds, rps);
+
+    obs::JsonObject row;
+    row.SetUint("shards", shards);
+    row.SetNumber("seconds", seconds);
+    row.SetNumber("rps", rps);
+    if (series.size() > 1) series += ",";
+    series += row.ToString();
+  }
+  series += "]";
+
+  const double speedup = rps_1 > 0.0 ? rps_4 / rps_1 : 0.0;
+  std::printf("\n4-shard speedup vs 1 shard: %.2fx; dispositions match "
+              "serial: %s\n",
+              speedup, all_match ? "yes" : "NO");
+
+  obs::JsonObject report;
+  report.SetString("bench", "micro_concurrent");
+  report.SetString("workload", "hotspot");
+  report.SetUint("users", workload_options.num_users);
+  report.SetUint("epochs", workload_options.num_epochs);
+  report.SetUint("requests", requests);
+  report.SetUint("hardware_threads", hardware_threads);
+  report.SetNumber("serial_rps", serial_rps);
+  report.SetRaw("series", series);
+  report.SetNumber("speedup_4x_vs_1x", speedup);
+  report.SetBool("outcomes_match_serial", all_match);
+
+  std::ofstream out("BENCH_concurrent.json", std::ios::trunc);
+  out << report.ToString() << "\n";
+  const bool json_ok = out.good();
+  out.close();
+  std::printf("wrote BENCH_concurrent.json (%s)\n",
+              json_ok ? "ok" : "FAILED");
+  return json_ok && all_match ? 0 : 1;
+}

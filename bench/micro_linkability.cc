@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/mod/moving_object_db.h"
 #include "src/anon/generalize.h"
 #include "src/anon/linkability.h"
 #include "src/common/rng.h"

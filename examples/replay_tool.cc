@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/mod/moving_object_db.h"
 #include "src/common/str.h"
 #include "src/eval/table.h"
 #include "src/mod/io.h"

@@ -8,7 +8,7 @@
 namespace histkanon {
 namespace anon {
 
-Generalizer::Generalizer(const mod::MovingObjectDb* db,
+Generalizer::Generalizer(const mod::ObjectStore* db,
                          const stindex::SpatioTemporalIndex* index,
                          GeneralizerOptions options)
     : db_(db), index_(index), options_(options) {

@@ -19,7 +19,7 @@
 #include "src/anon/tolerance.h"
 #include "src/common/result.h"
 #include "src/geo/stbox.h"
-#include "src/mod/moving_object_db.h"
+#include "src/mod/object_store.h"
 #include "src/obs/metrics.h"
 #include "src/stindex/index.h"
 
@@ -79,7 +79,7 @@ class Generalizer {
  public:
   /// `db` and `index` must outlive the generalizer; `index` must contain
   /// the samples of `db` (kept in sync by the caller).
-  Generalizer(const mod::MovingObjectDb* db,
+  Generalizer(const mod::ObjectStore* db,
               const stindex::SpatioTemporalIndex* index,
               GeneralizerOptions options = GeneralizerOptions());
 
@@ -124,7 +124,7 @@ class Generalizer {
                        const mod::Phl& candidate_phl,
                        geo::Instant now) const;
 
-  const mod::MovingObjectDb* db_;
+  const mod::ObjectStore* db_;
   const stindex::SpatioTemporalIndex* index_;
   GeneralizerOptions options_;
   // Pre-resolved metric handles (nullptr without a registry).

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "src/geo/stbox.h"
-#include "src/mod/moving_object_db.h"
+#include "src/mod/object_store.h"
 
 namespace histkanon {
 namespace anon {
@@ -27,11 +27,12 @@ struct HkaResult {
   std::vector<mod::UserId> witnesses;
 };
 
-/// \brief Checks Historical k-anonymity against the TS's moving-object DB.
+/// \brief Checks Historical k-anonymity against the TS's moving-object
+/// store (the concrete DB, or a sharded fan-out view of several).
 class HkaEvaluator {
  public:
   /// `db` must outlive the evaluator.
-  explicit HkaEvaluator(const mod::MovingObjectDb* db) : db_(db) {}
+  explicit HkaEvaluator(const mod::ObjectStore* db) : db_(db) {}
 
   /// Evaluates Definition 8 for the request set of `user` whose forwarded
   /// spatio-temporal contexts are `contexts`.
@@ -45,7 +46,7 @@ class HkaEvaluator {
   size_t AnonymitySetSize(const geo::STBox& context) const;
 
  private:
-  const mod::MovingObjectDb* db_;
+  const mod::ObjectStore* db_;
 };
 
 }  // namespace anon

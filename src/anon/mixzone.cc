@@ -15,7 +15,7 @@ struct Candidate {
 
 }  // namespace
 
-MixZoneResult TryFormMixZone(const mod::MovingObjectDb& db,
+MixZoneResult TryFormMixZone(const mod::ObjectStore& db,
                              const geo::STPoint& center,
                              mod::UserId requester,
                              const MixZoneOptions& options) {

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "src/geo/stbox.h"
-#include "src/mod/moving_object_db.h"
+#include "src/mod/object_store.h"
 
 namespace histkanon {
 namespace anon {
@@ -63,7 +63,7 @@ struct MixZoneResult {
 /// `heading_lookback` of history) cover at least `min_distinct_directions`
 /// directions pairwise separated by `min_divergence` — the Section 6.3
 /// "diverging trajectories" criterion.
-MixZoneResult TryFormMixZone(const mod::MovingObjectDb& db,
+MixZoneResult TryFormMixZone(const mod::ObjectStore& db,
                              const geo::STPoint& center,
                              mod::UserId requester,
                              const MixZoneOptions& options);

@@ -5,8 +5,8 @@
 namespace histkanon {
 namespace anon {
 
-geo::STBox ContextRandomizer::TranslateWithin(const geo::STBox& box,
-                                              const geo::STPoint& exact) {
+geo::STBox TranslateWithin(common::Rng* rng, const geo::STBox& box,
+                           const geo::STPoint& exact) {
   if (box.IsEmpty() || !box.Contains(exact)) return box;
   const double width = box.area.Width();
   const double height = box.area.Height();
@@ -14,30 +14,31 @@ geo::STBox ContextRandomizer::TranslateWithin(const geo::STBox& box,
 
   geo::STBox out = box;
   // New min so that exact stays inside: min in [exact - extent, exact].
-  out.area.min_x = rng_.Uniform(exact.p.x - width, exact.p.x);
+  out.area.min_x = rng->Uniform(exact.p.x - width, exact.p.x);
   out.area.max_x = out.area.min_x + width;
-  out.area.min_y = rng_.Uniform(exact.p.y - height, exact.p.y);
+  out.area.min_y = rng->Uniform(exact.p.y - height, exact.p.y);
   out.area.max_y = out.area.min_y + height;
   out.time.lo =
-      window == 0 ? exact.t : rng_.UniformInt(exact.t - window, exact.t);
+      window == 0 ? exact.t : rng->UniformInt(exact.t - window, exact.t);
   out.time.hi = out.time.lo + window;
   return out;
 }
 
-geo::STBox ContextRandomizer::ExpandWithin(
-    const geo::STBox& box, const ToleranceConstraints& tolerance) {
+geo::STBox ExpandWithin(common::Rng* rng, const geo::STBox& box,
+                        const ToleranceConstraints& tolerance,
+                        const RandomizerOptions& options) {
   if (box.IsEmpty()) return box;
   geo::STBox out = box;
 
   // Spatial growth: draw both side margins, then clip total width/height
   // to tolerance (splitting the allowed slack proportionally).
-  auto grow_axis = [this](double lo, double hi, double max_extent,
-                          double* new_lo, double* new_hi) {
+  auto grow_axis = [rng, &options](double lo, double hi, double max_extent,
+                                   double* new_lo, double* new_hi) {
     const double extent = hi - lo;
     double margin_lo =
-        rng_.Uniform(0.0, options_.max_expand_fraction) * extent;
+        rng->Uniform(0.0, options.max_expand_fraction) * extent;
     double margin_hi =
-        rng_.Uniform(0.0, options_.max_expand_fraction) * extent;
+        rng->Uniform(0.0, options.max_expand_fraction) * extent;
     if (extent < max_extent) {
       const double slack = max_extent - extent;
       const double total = margin_lo + margin_hi;
@@ -59,12 +60,12 @@ geo::STBox ContextRandomizer::ExpandWithin(
   // Temporal growth, same scheme in integer seconds.
   const int64_t window = box.time.Length();
   if (window < tolerance.max_time_window) {
-    int64_t margin_lo = rng_.UniformInt(
-        0, static_cast<int64_t>(options_.max_expand_fraction *
+    int64_t margin_lo = rng->UniformInt(
+        0, static_cast<int64_t>(options.max_expand_fraction *
                                 static_cast<double>(std::max<int64_t>(
                                     1, window))));
-    int64_t margin_hi = rng_.UniformInt(
-        0, static_cast<int64_t>(options_.max_expand_fraction *
+    int64_t margin_hi = rng->UniformInt(
+        0, static_cast<int64_t>(options.max_expand_fraction *
                                 static_cast<double>(std::max<int64_t>(
                                     1, window))));
     const int64_t slack = tolerance.max_time_window - window;

@@ -36,25 +36,44 @@ struct RandomizerOptions {
   double max_expand_fraction = 0.5;
 };
 
+/// Returns a box of identical dimensions, uniformly re-placed among the
+/// positions that still contain `exact`, drawing from `rng`.  The true
+/// point becomes uniformly distributed within the returned box.
+geo::STBox TranslateWithin(common::Rng* rng, const geo::STBox& box,
+                           const geo::STPoint& exact);
+
+/// Returns a superset of `box`, grown by independent random margins on
+/// every side (space and time) drawn from `rng`, clipped so the result
+/// still satisfies `tolerance`.  When `box` already exceeds a tolerance
+/// dimension, that dimension is left unchanged.
+geo::STBox ExpandWithin(common::Rng* rng, const geo::STBox& box,
+                        const ToleranceConstraints& tolerance,
+                        const RandomizerOptions& options = RandomizerOptions());
+
 /// \brief Seeded context randomizer (deterministic per seed, like all
 /// randomness in histkanon).
+///
+/// Draws from ONE sequential stream, so outputs depend on call order;
+/// executions that must be order-independent (the sharded server's
+/// differential harness) instead derive a per-request Rng via
+/// common::MixSeed and call the free functions above.
 class ContextRandomizer {
  public:
   explicit ContextRandomizer(uint64_t seed,
                              RandomizerOptions options = RandomizerOptions())
       : rng_(seed), options_(options) {}
 
-  /// Returns a box of identical dimensions, uniformly re-placed among the
-  /// positions that still contain `exact`.  The true point becomes
-  /// uniformly distributed within the returned box.
-  geo::STBox TranslateWithin(const geo::STBox& box, const geo::STPoint& exact);
+  /// Free-function TranslateWithin drawing from the internal stream.
+  geo::STBox TranslateWithin(const geo::STBox& box,
+                             const geo::STPoint& exact) {
+    return anon::TranslateWithin(&rng_, box, exact);
+  }
 
-  /// Returns a superset of `box`, grown by independent random margins on
-  /// every side (space and time), clipped so the result still satisfies
-  /// `tolerance`.  When `box` already exceeds a tolerance dimension, that
-  /// dimension is left unchanged.
+  /// Free-function ExpandWithin drawing from the internal stream.
   geo::STBox ExpandWithin(const geo::STBox& box,
-                          const ToleranceConstraints& tolerance);
+                          const ToleranceConstraints& tolerance) {
+    return anon::ExpandWithin(&rng_, box, tolerance, options_);
+  }
 
  private:
   common::Rng rng_;

@@ -106,5 +106,12 @@ int64_t Rng::Poisson(double mean) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t state = seed;
+  state = SplitMix64(&state) ^ (0x9e3779b97f4a7c15ULL * (a + 1));
+  state = SplitMix64(&state) ^ (0x9e3779b97f4a7c15ULL * (b + 1));
+  return SplitMix64(&state);
+}
+
 }  // namespace common
 }  // namespace histkanon

@@ -73,6 +73,13 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Deterministically derives an independent seed from a base seed and up
+/// to two stream identifiers (splitmix64 mixing).  Used wherever a shared
+/// sequential RNG would make results depend on processing order: each
+/// (user, ordinal) or (shard) stream gets its own derived generator, so
+/// serial and sharded executions draw identical values.
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b = 0);
+
 }  // namespace common
 }  // namespace histkanon
 

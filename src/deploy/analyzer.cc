@@ -42,7 +42,7 @@ std::string DeployabilityReport::RenderAsciiMap() const {
   return out;
 }
 
-DeployabilityAnalyzer::DeployabilityAnalyzer(const mod::MovingObjectDb* db,
+DeployabilityAnalyzer::DeployabilityAnalyzer(const mod::ObjectStore* db,
                                              DeployabilityOptions options)
     : db_(db), options_(options) {
   stindex::LoadFromDb(*db_, &index_);

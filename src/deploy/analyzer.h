@@ -21,7 +21,7 @@
 #include "src/anon/mixzone.h"
 #include "src/anon/tolerance.h"
 #include "src/common/result.h"
-#include "src/mod/moving_object_db.h"
+#include "src/mod/object_store.h"
 #include "src/stindex/grid_index.h"
 #include "src/tgran/unanchored.h"
 
@@ -80,7 +80,7 @@ struct DeployabilityReport {
 /// \brief The analyzer.  The database must outlive it.
 class DeployabilityAnalyzer {
  public:
-  DeployabilityAnalyzer(const mod::MovingObjectDb* db,
+  DeployabilityAnalyzer(const mod::ObjectStore* db,
                         DeployabilityOptions options);
 
   /// Analyzes `region` for the recurring daily `window`, probing each cell
@@ -91,7 +91,7 @@ class DeployabilityAnalyzer {
       const std::vector<int64_t>& days) const;
 
  private:
-  const mod::MovingObjectDb* db_;
+  const mod::ObjectStore* db_;
   DeployabilityOptions options_;
   stindex::GridIndex index_;
 };

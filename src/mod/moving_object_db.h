@@ -12,14 +12,16 @@
 
 #include "src/common/result.h"
 #include "src/geo/stbox.h"
+#include "src/mod/object_store.h"
 #include "src/mod/phl.h"
 #include "src/mod/types.h"
 
 namespace histkanon {
 namespace mod {
 
-/// \brief In-memory moving-object store: one PHL per user.
-class MovingObjectDb {
+/// \brief In-memory moving-object store: one PHL per user.  Implements
+/// the read-only ObjectStore interface; Append is the single write path.
+class MovingObjectDb : public ObjectStore {
  public:
   MovingObjectDb() = default;
 
@@ -28,34 +30,35 @@ class MovingObjectDb {
   common::Status Append(UserId user, const geo::STPoint& sample);
 
   /// The user's PHL; NotFound if the user has never reported a location.
-  common::Result<const Phl*> GetPhl(UserId user) const;
+  common::Result<const Phl*> GetPhl(UserId user) const override;
 
   /// All known user ids, ascending.
-  std::vector<UserId> Users() const;
+  std::vector<UserId> Users() const override;
 
-  size_t user_count() const { return phls_.size(); }
+  size_t user_count() const override { return phls_.size(); }
 
   /// Total samples across all PHLs (the `n` of Algorithm 1's O(k*n)).
-  size_t total_samples() const { return total_samples_; }
+  size_t total_samples() const override { return total_samples_; }
 
   /// Users with at least one PHL sample inside `box` — the potential
   /// senders forming the anonymity set for that spatio-temporal context.
-  std::vector<UserId> UsersWithSampleIn(const geo::STBox& box) const;
+  std::vector<UserId> UsersWithSampleIn(const geo::STBox& box) const override;
 
   /// Count-only variant of UsersWithSampleIn.
-  size_t CountUsersWithSampleIn(const geo::STBox& box) const;
+  size_t CountUsersWithSampleIn(const geo::STBox& box) const override;
 
   /// Users (excluding `exclude`) whose PHL is LT-consistent with all the
   /// given contexts (Definition 7) — the candidates for the k-1 "other"
   /// histories of Historical k-anonymity (Definition 8).
   std::vector<UserId> LtConsistentUsers(
       const std::vector<geo::STBox>& contexts,
-      UserId exclude = kInvalidUser) const;
+      UserId exclude = kInvalidUser) const override;
 
   /// Invokes `fn(user, sample)` over every sample of every PHL (used to
   /// build spatio-temporal indexes).
   void ForEachSample(
-      const std::function<void(UserId, const geo::STPoint&)>& fn) const;
+      const std::function<void(UserId, const geo::STPoint&)>& fn)
+      const override;
 
  private:
   std::map<UserId, Phl> phls_;

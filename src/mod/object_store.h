@@ -1,0 +1,72 @@
+// Read-only interface over a moving-object history.
+//
+// The anonymity layers (Algorithm 1 generalization, Historical
+// k-anonymity evaluation, mix-zone formation, deployability analysis)
+// only ever READ the moving-object database.  Splitting that read surface
+// into an abstract interface lets the concurrent sharded Trusted Server
+// substitute a fan-out view over per-shard databases (see
+// src/mod/sharded_store.h) without the anonymity code knowing; writes
+// (Append) stay on the concrete per-shard MovingObjectDb.
+
+#ifndef HISTKANON_SRC_MOD_OBJECT_STORE_H_
+#define HISTKANON_SRC_MOD_OBJECT_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/geo/stbox.h"
+#include "src/mod/phl.h"
+#include "src/mod/types.h"
+
+namespace histkanon {
+namespace mod {
+
+/// \brief Read-only view of per-user location histories.
+///
+/// Implementations must agree on ordering so that exchanging one for
+/// another is observationally transparent: Users(), UsersWithSampleIn()
+/// and LtConsistentUsers() return ascending user ids, and ForEachSample()
+/// visits users in ascending order with each user's samples in time
+/// order.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// The user's PHL; NotFound if the user has never reported a location.
+  virtual common::Result<const Phl*> GetPhl(UserId user) const = 0;
+
+  /// All known user ids, ascending.
+  virtual std::vector<UserId> Users() const = 0;
+
+  virtual size_t user_count() const = 0;
+
+  /// Total samples across all PHLs (the `n` of Algorithm 1's O(k*n)).
+  virtual size_t total_samples() const = 0;
+
+  /// Users with at least one PHL sample inside `box` — the potential
+  /// senders forming the anonymity set for that spatio-temporal context.
+  virtual std::vector<UserId> UsersWithSampleIn(
+      const geo::STBox& box) const = 0;
+
+  /// Count-only variant of UsersWithSampleIn.
+  virtual size_t CountUsersWithSampleIn(const geo::STBox& box) const = 0;
+
+  /// Users (excluding `exclude`) whose PHL is LT-consistent with all the
+  /// given contexts (Definition 7) — the candidates for the k-1 "other"
+  /// histories of Historical k-anonymity (Definition 8).
+  virtual std::vector<UserId> LtConsistentUsers(
+      const std::vector<geo::STBox>& contexts,
+      UserId exclude = kInvalidUser) const = 0;
+
+  /// Invokes `fn(user, sample)` over every sample of every PHL (used to
+  /// build spatio-temporal indexes).
+  virtual void ForEachSample(
+      const std::function<void(UserId, const geo::STPoint&)>& fn) const = 0;
+};
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_OBJECT_STORE_H_

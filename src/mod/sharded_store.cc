@@ -1,0 +1,92 @@
+#include "src/mod/sharded_store.h"
+
+#include <algorithm>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace mod {
+
+namespace {
+
+// Slices hold disjoint user sets, each already ascending; a sort of the
+// concatenation reproduces the global std::map iteration order.
+std::vector<UserId> MergeSorted(std::vector<UserId> users) {
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+}  // namespace
+
+common::Result<const Phl*> ShardedObjectStore::GetPhl(UserId user) const {
+  if (slices_.empty()) {
+    return common::Status::NotFound(
+        common::Format("no PHL for user %lld", static_cast<long long>(user)));
+  }
+  return slices_[SliceOf(user)]->GetPhl(user);
+}
+
+std::vector<UserId> ShardedObjectStore::Users() const {
+  std::vector<UserId> users;
+  for (const ObjectStore* slice : slices_) {
+    const std::vector<UserId> part = slice->Users();
+    users.insert(users.end(), part.begin(), part.end());
+  }
+  return MergeSorted(std::move(users));
+}
+
+size_t ShardedObjectStore::user_count() const {
+  size_t count = 0;
+  for (const ObjectStore* slice : slices_) count += slice->user_count();
+  return count;
+}
+
+size_t ShardedObjectStore::total_samples() const {
+  size_t count = 0;
+  for (const ObjectStore* slice : slices_) count += slice->total_samples();
+  return count;
+}
+
+std::vector<UserId> ShardedObjectStore::UsersWithSampleIn(
+    const geo::STBox& box) const {
+  std::vector<UserId> users;
+  for (const ObjectStore* slice : slices_) {
+    const std::vector<UserId> part = slice->UsersWithSampleIn(box);
+    users.insert(users.end(), part.begin(), part.end());
+  }
+  return MergeSorted(std::move(users));
+}
+
+size_t ShardedObjectStore::CountUsersWithSampleIn(
+    const geo::STBox& box) const {
+  size_t count = 0;
+  for (const ObjectStore* slice : slices_) {
+    count += slice->CountUsersWithSampleIn(box);
+  }
+  return count;
+}
+
+std::vector<UserId> ShardedObjectStore::LtConsistentUsers(
+    const std::vector<geo::STBox>& contexts, UserId exclude) const {
+  std::vector<UserId> users;
+  for (const ObjectStore* slice : slices_) {
+    const std::vector<UserId> part =
+        slice->LtConsistentUsers(contexts, exclude);
+    users.insert(users.end(), part.begin(), part.end());
+  }
+  return MergeSorted(std::move(users));
+}
+
+void ShardedObjectStore::ForEachSample(
+    const std::function<void(UserId, const geo::STPoint&)>& fn) const {
+  // Visit users in global ascending order (not slice by slice) so index
+  // bulk-loads observe the same sample stream a single DB would produce.
+  for (const UserId user : Users()) {
+    const common::Result<const Phl*> phl = GetPhl(user);
+    if (!phl.ok()) continue;
+    for (const geo::STPoint& sample : (*phl)->samples()) fn(user, sample);
+  }
+}
+
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,73 @@
+// Fan-out ObjectStore over per-shard MovingObjectDbs.
+//
+// The concurrent Trusted Server (src/ts/concurrent_server.h) partitions
+// users across shards; each shard owns the MovingObjectDb slice of its
+// users.  Cross-shard reads (anchor selection, LT-consistency scans,
+// mix-zone candidate enumeration) go through this view, which merges the
+// slices so that the anonymity layers observe exactly what a single
+// global MovingObjectDb holding every user would expose — including
+// ordering: all user lists come back ascending, matching std::map
+// iteration in the concrete DB.
+//
+// Thread-safety contract: the view itself is immutable after setup
+// (AddSlice); the slices are read concurrently by the shard workers ONLY
+// during the serve phase of an epoch, when no shard mutates its DB (see
+// the determinism contract in DESIGN.md §10).
+
+#ifndef HISTKANON_SRC_MOD_SHARDED_STORE_H_
+#define HISTKANON_SRC_MOD_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mod/object_store.h"
+
+namespace histkanon {
+namespace mod {
+
+/// Deterministic owner slice of a user: user id modulo slice count.
+inline size_t SliceOfUser(UserId user, size_t num_slices) {
+  return static_cast<size_t>(static_cast<uint64_t>(user) % num_slices);
+}
+
+/// \brief Read-only merge of disjoint per-slice object stores.
+///
+/// Slices must partition the user space by SliceOfUser(user, n) where n
+/// is the final slice count: point lookups (GetPhl) are routed, scans are
+/// fanned out and merged.
+class ShardedObjectStore : public ObjectStore {
+ public:
+  ShardedObjectStore() = default;
+
+  /// Adds the next slice (slice index = call order).  Not thread-safe;
+  /// complete all AddSlice calls before any concurrent reads.
+  void AddSlice(const ObjectStore* slice) { slices_.push_back(slice); }
+
+  size_t slice_count() const { return slices_.size(); }
+  const ObjectStore* slice(size_t i) const { return slices_[i]; }
+  size_t SliceOf(UserId user) const {
+    return SliceOfUser(user, slices_.size());
+  }
+
+  // ObjectStore:
+  common::Result<const Phl*> GetPhl(UserId user) const override;
+  std::vector<UserId> Users() const override;
+  size_t user_count() const override;
+  size_t total_samples() const override;
+  std::vector<UserId> UsersWithSampleIn(const geo::STBox& box) const override;
+  size_t CountUsersWithSampleIn(const geo::STBox& box) const override;
+  std::vector<UserId> LtConsistentUsers(
+      const std::vector<geo::STBox>& contexts,
+      UserId exclude = kInvalidUser) const override;
+  void ForEachSample(
+      const std::function<void(UserId, const geo::STPoint&)>& fn)
+      const override;
+
+ private:
+  std::vector<const ObjectStore*> slices_;
+};
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_SHARDED_STORE_H_

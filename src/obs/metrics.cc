@@ -48,7 +48,25 @@ double Histogram::Quantile(double q) const {
     // inside the bucket's count.
     if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
     const double upper = bounds_[i];
-    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    double lower;
+    if (i > 0) {
+      lower = bounds_[i - 1];
+    } else if (upper > 0.0) {
+      // Latency-style histograms: the first bucket is (0, upper].
+      lower = 0.0;
+    } else {
+      // upper <= 0: anchoring at 0 would make the bucket zero-width (or
+      // inverted) and every quantile would degenerate to `upper`.
+      // Synthesize a finite width: the next bucket's width, else |upper|,
+      // else 1.
+      double width = 1.0;
+      if (bounds_.size() > 1) {
+        width = bounds_[1] - bounds_[0];
+      } else if (upper < 0.0) {
+        width = -upper;
+      }
+      lower = upper - width;
+    }
     const double fraction =
         (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
     return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);

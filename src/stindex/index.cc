@@ -14,7 +14,7 @@ std::vector<mod::UserId> SpatioTemporalIndex::DistinctUsersIn(
   return users;
 }
 
-void LoadFromDb(const mod::MovingObjectDb& db, SpatioTemporalIndex* index) {
+void LoadFromDb(const mod::ObjectStore& db, SpatioTemporalIndex* index) {
   db.ForEachSample([index](mod::UserId user, const geo::STPoint& sample) {
     index->Insert(user, sample);
   });

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "src/geo/stbox.h"
-#include "src/mod/moving_object_db.h"
+#include "src/mod/object_store.h"
 #include "src/mod/types.h"
 
 namespace histkanon {
@@ -70,7 +70,7 @@ class SpatioTemporalIndex {
 };
 
 /// Bulk-loads every sample of `db` into `index`.
-void LoadFromDb(const mod::MovingObjectDb& db, SpatioTemporalIndex* index);
+void LoadFromDb(const mod::ObjectStore& db, SpatioTemporalIndex* index);
 
 }  // namespace stindex
 }  // namespace histkanon

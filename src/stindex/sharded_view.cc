@@ -1,0 +1,56 @@
+#include "src/stindex/sharded_view.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace histkanon {
+namespace stindex {
+
+void ShardedIndexView::Insert(mod::UserId user, const geo::STPoint& sample) {
+  (void)user;
+  (void)sample;
+  assert(false && "ShardedIndexView is read-only: insert into the slice");
+}
+
+size_t ShardedIndexView::size() const {
+  size_t total = 0;
+  for (const SpatioTemporalIndex* slice : slices_) total += slice->size();
+  return total;
+}
+
+std::vector<Entry> ShardedIndexView::RangeQuery(const geo::STBox& box) const {
+  std::vector<Entry> entries;
+  for (const SpatioTemporalIndex* slice : slices_) {
+    const std::vector<Entry> part = slice->RangeQuery(box);
+    entries.insert(entries.end(), part.begin(), part.end());
+  }
+  return entries;
+}
+
+std::vector<UserNeighbor> ShardedIndexView::NearestPerUser(
+    const geo::STPoint& query, size_t k, mod::UserId exclude,
+    const geo::STMetric& metric) const {
+  std::vector<UserNeighbor> merged;
+  for (const SpatioTemporalIndex* slice : slices_) {
+    // Each slice's top-k per-user minima are a superset of its users'
+    // contribution to the global top-k (users are disjoint by slice).
+    const std::vector<UserNeighbor> part =
+        slice->NearestPerUser(query, k, exclude, metric);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  // Re-rank exactly like a single index: compare SQUARED distances (the
+  // concrete indexes' internal key, immune to sqrt rounding) with the
+  // shared (distance, user) tie-break, then keep the first k.
+  std::sort(merged.begin(), merged.end(),
+            [&metric, &query](const UserNeighbor& a, const UserNeighbor& b) {
+              const double da = metric.SquaredDistance(a.sample, query);
+              const double db = metric.SquaredDistance(b.sample, query);
+              if (da != db) return da < db;
+              return a.user < b.user;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+}  // namespace stindex
+}  // namespace histkanon

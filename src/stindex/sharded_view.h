@@ -1,0 +1,59 @@
+// Fan-out SpatioTemporalIndex over per-shard indexes.
+//
+// The concurrent Trusted Server gives every shard its own GridIndex
+// holding only its users' samples; cross-shard k-anonymity lookups
+// (Algorithm 1 line 5's k-nearest distinct users) go through this view,
+// which queries every slice and re-merges so the result is identical to
+// a single index over all samples.
+//
+// Merge correctness for NearestPerUser: each user's samples live in
+// exactly one slice, so the per-slice per-user minima ARE the global
+// per-user minima; the view re-ranks the union by squared distance with
+// the same (distance, user) tie-break the concrete indexes use, making
+// the selected k and their order bit-identical to the unsharded answer.
+
+#ifndef HISTKANON_SRC_STINDEX_SHARDED_VIEW_H_
+#define HISTKANON_SRC_STINDEX_SHARDED_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stindex/index.h"
+
+namespace histkanon {
+namespace stindex {
+
+/// \brief Read-only merge of disjoint per-slice indexes.
+class ShardedIndexView : public SpatioTemporalIndex {
+ public:
+  ShardedIndexView() = default;
+
+  /// Adds the next slice.  Not thread-safe; complete setup before any
+  /// concurrent reads.
+  void AddSlice(const SpatioTemporalIndex* slice) {
+    slices_.push_back(slice);
+  }
+
+  size_t slice_count() const { return slices_.size(); }
+
+  const std::string& name() const override { return name_; }
+
+  /// The view is read-only: samples are inserted into the owning shard's
+  /// index, never through the view.
+  void Insert(mod::UserId user, const geo::STPoint& sample) override;
+
+  size_t size() const override;
+  std::vector<Entry> RangeQuery(const geo::STBox& box) const override;
+  std::vector<UserNeighbor> NearestPerUser(
+      const geo::STPoint& query, size_t k, mod::UserId exclude,
+      const geo::STMetric& metric) const override;
+
+ private:
+  std::vector<const SpatioTemporalIndex*> slices_;
+  std::string name_ = "sharded";
+};
+
+}  // namespace stindex
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_STINDEX_SHARDED_VIEW_H_

@@ -1,0 +1,203 @@
+#include "src/ts/concurrent_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace histkanon {
+namespace ts {
+
+ConcurrentServer::ConcurrentServer(ConcurrentServerOptions options)
+    : options_(std::move(options)) {
+  const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
+  store_ = std::make_unique<mod::ShardedObjectStore>();
+  view_ = std::make_unique<stindex::ShardedIndexView>();
+  ingest_done_ = std::make_unique<std::barrier<>>(static_cast<ptrdiff_t>(n));
+  step_ = std::make_unique<std::barrier<>>(static_cast<ptrdiff_t>(n));
+  serve_done_ = std::make_unique<std::barrier<>>(static_cast<ptrdiff_t>(n));
+  pending_counts_.assign(n, 0);
+  per_shard_requests_.assign(n, 0);
+
+  Shard::SharedPhase phase;
+  phase.ingest_done = ingest_done_.get();
+  phase.step = step_.get();
+  phase.serve_done = serve_done_.get();
+  phase.pending_counts = &pending_counts_;
+  phase.lockstep = options_.lockstep;
+
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TrustedServerOptions shard_options = options_.server;
+    // Distinct per-shard pseudonym streams (two shards must never issue
+    // the same pseudonym for different users).
+    shard_options.pseudonym_seed =
+        common::MixSeed(options_.server.pseudonym_seed, i);
+    // The determinism contract requires order-independent draws.
+    shard_options.per_request_randomization = true;
+    // Global fan-out views for the anonymity layers' reads.
+    shard_options.read_store = store_.get();
+    shard_options.read_index = view_.get();
+    // Tracer and event sink are not thread-safe; the registry's handles
+    // are atomic and stay shared.
+    shard_options.tracer = nullptr;
+    shard_options.event_sink = nullptr;
+    shards_.push_back(std::make_unique<Shard>(i, options_.queue_capacity,
+                                              shard_options, phase));
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    store_->AddSlice(&shard->server().db());
+    view_->AddSlice(&shard->server().index());
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) shard->Start();
+}
+
+ConcurrentServer::~ConcurrentServer() { Finish(); }
+
+common::Status ConcurrentServer::RegisterService(
+    const anon::ServiceProfile& service) {
+  common::Status status = common::Status::OK();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    common::Status s = shard->server().RegisterService(service);
+    if (!s.ok()) status = s;
+  }
+  return status;
+}
+
+common::Status ConcurrentServer::RegisterUser(mod::UserId user,
+                                              PrivacyPolicy policy) {
+  return OwnerOf(user)->server().RegisterUser(user, policy);
+}
+
+common::Result<size_t> ConcurrentServer::RegisterLbqid(mod::UserId user,
+                                                       lbqid::Lbqid lbqid) {
+  return OwnerOf(user)->server().RegisterLbqid(user, std::move(lbqid));
+}
+
+common::Status ConcurrentServer::SetUserRules(mod::UserId user,
+                                              PolicyRuleSet rules) {
+  return OwnerOf(user)->server().SetUserRules(user, std::move(rules));
+}
+
+void ConcurrentServer::SubmitLocationUpdate(mod::UserId user,
+                                            const geo::STPoint& sample) {
+  ShardEvent event;
+  event.kind = ShardEvent::Kind::kLocationUpdate;
+  event.user = user;
+  event.point = sample;
+  OwnerOf(user)->Enqueue(std::move(event));
+}
+
+size_t ConcurrentServer::SubmitRequest(mod::UserId user,
+                                       const geo::STPoint& exact,
+                                       mod::ServiceId service,
+                                       std::string data) {
+  const size_t shard = ShardOf(user);
+  ShardEvent event;
+  event.kind = ShardEvent::Kind::kRequest;
+  event.user = user;
+  event.point = exact;
+  event.service = service;
+  event.data = std::move(data);
+  const size_t seq = submissions_.size();
+  submissions_.emplace_back(shard, per_shard_requests_[shard]++);
+  shards_[shard]->Enqueue(std::move(event));
+  return seq;
+}
+
+void ConcurrentServer::SubmitRegisterUser(mod::UserId user,
+                                          PrivacyPolicy policy) {
+  ShardEvent event;
+  event.kind = ShardEvent::Kind::kRegisterUser;
+  event.user = user;
+  event.policy = policy;
+  OwnerOf(user)->Enqueue(std::move(event));
+}
+
+void ConcurrentServer::SubmitRegisterLbqid(mod::UserId user,
+                                           lbqid::Lbqid lbqid) {
+  ShardEvent event;
+  event.kind = ShardEvent::Kind::kRegisterLbqid;
+  event.user = user;
+  event.lbqid = std::make_shared<const lbqid::Lbqid>(std::move(lbqid));
+  OwnerOf(user)->Enqueue(std::move(event));
+}
+
+void ConcurrentServer::SubmitSetUserRules(mod::UserId user,
+                                          PolicyRuleSet rules) {
+  ShardEvent event;
+  event.kind = ShardEvent::Kind::kSetUserRules;
+  event.user = user;
+  event.rules = std::make_shared<const PolicyRuleSet>(std::move(rules));
+  OwnerOf(user)->Enqueue(std::move(event));
+}
+
+void ConcurrentServer::EndEpoch() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ShardEvent event;
+    event.kind = ShardEvent::Kind::kEpochEnd;
+    shard->Enqueue(std::move(event));
+  }
+}
+
+void ConcurrentServer::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  // A final (possibly empty) epoch flushes whatever was submitted since
+  // the last EndEpoch, then the workers exit.
+  EndEpoch();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ShardEvent event;
+    event.kind = ShardEvent::Kind::kShutdown;
+    shard->Enqueue(std::move(event));
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) shard->Join();
+  // Realign the per-shard processing logs into global submission order.
+  outcomes_.clear();
+  outcomes_.reserve(submissions_.size());
+  for (const auto& [shard, ordinal] : submissions_) {
+    outcomes_.push_back(shards_[shard]->server().outcomes()[ordinal]);
+  }
+}
+
+TsStats ConcurrentServer::stats() const {
+  TsStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const TsStats& s = shard->server().stats();
+    total.requests += s.requests;
+    total.forwarded_default += s.forwarded_default;
+    total.forwarded_generalized += s.forwarded_generalized;
+    total.suppressed_mixzone += s.suppressed_mixzone;
+    total.unlink_attempts += s.unlink_attempts;
+    total.unlink_successes += s.unlink_successes;
+    total.at_risk_notifications += s.at_risk_notifications;
+    total.lbqid_completions += s.lbqid_completions;
+    total.generalized_area_sum += s.generalized_area_sum;
+    total.generalized_window_sum += s.generalized_window_sum;
+  }
+  return total;
+}
+
+std::vector<TrustedServer::TraceAudit> ConcurrentServer::AuditTraces() const {
+  std::vector<TrustedServer::TraceAudit> audits;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<TrustedServer::TraceAudit> part =
+        shard->server().AuditTraces();
+    audits.insert(audits.end(), part.begin(), part.end());
+  }
+  std::sort(audits.begin(), audits.end(),
+            [](const TrustedServer::TraceAudit& a,
+               const TrustedServer::TraceAudit& b) {
+              if (a.user != b.user) return a.user < b.user;
+              return a.lbqid_index < b.lbqid_index;
+            });
+  return audits;
+}
+
+anon::HkaResult ConcurrentServer::EvaluateTraceHka(mod::UserId user,
+                                                   size_t lbqid_index) const {
+  return shards_[ShardOf(user)]->server().EvaluateTraceHka(user, lbqid_index);
+}
+
+}  // namespace ts
+}  // namespace histkanon

@@ -1,0 +1,148 @@
+// The concurrent request front-end for the Trusted Server: N shards, each
+// a worker thread owning the TrustedServer for user ids with
+// user % N == shard, consuming a bounded MPSC queue.  Cross-shard
+// k-anonymity reads (anchor selection, LT-consistency, mix-zones) go
+// through fan-out views (mod::ShardedObjectStore, stindex::
+// ShardedIndexView) spanning every shard's db/index, so each shard's
+// pipeline observes the same global population a single serial
+// TrustedServer would.
+//
+// Determinism contract (proved by tests/concurrent_differential_test.cc):
+// with per-request randomization, the outcome of every request — its
+// disposition and the exact generalized box — is byte-identical to a
+// serial TrustedServer fed the same epochs in "normalized" order (all of
+// an epoch's ingests, then its requests in submission order; see
+// ts::ReplayEpochsSerial).  Pseudonyms and message ids are the exception:
+// they come from per-shard sequential streams and are compared only for
+// consistency, not equality.
+
+#ifndef HISTKANON_SRC_TS_CONCURRENT_SERVER_H_
+#define HISTKANON_SRC_TS_CONCURRENT_SERVER_H_
+
+#include <barrier>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mod/sharded_store.h"
+#include "src/stindex/sharded_view.h"
+#include "src/ts/shard.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief Construction parameters for the sharded server.
+struct ConcurrentServerOptions {
+  size_t num_shards = 4;
+  /// Bounded capacity of each shard's event queue (backpressure: Submit*
+  /// blocks while the owning shard's queue is full).
+  size_t queue_capacity = 1024;
+  /// Barrier-stepped serve phase (deterministic stress schedule).
+  bool lockstep = false;
+  /// Template for every shard's TrustedServer.  Per-shard adjustments:
+  /// pseudonym_seed is remixed per shard (distinct pseudonym streams),
+  /// per_request_randomization is forced ON (the determinism contract
+  /// requires order-independent draws), and tracer/event_sink are cleared
+  /// (they are not thread-safe; the registry IS shared — its handles are
+  /// atomic).  read_store/read_index must be left unset.
+  TrustedServerOptions server;
+};
+
+/// \brief The sharded Trusted Server.  Single producer: the Submit*/
+/// EndEpoch/Finish stream must come from one thread.
+class ConcurrentServer {
+ public:
+  explicit ConcurrentServer(
+      ConcurrentServerOptions options = ConcurrentServerOptions());
+  ~ConcurrentServer();
+
+  ConcurrentServer(const ConcurrentServer&) = delete;
+  ConcurrentServer& operator=(const ConcurrentServer&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t ShardOf(mod::UserId user) const {
+    return mod::SliceOfUser(user, shards_.size());
+  }
+
+  // -- Setup (before the first Submit*): applied synchronously to the
+  // shard servers; the queue-mutex handoff on the first Submit publishes
+  // these writes to the workers.
+
+  /// Registers a service on EVERY shard (tolerances are global).
+  common::Status RegisterService(const anon::ServiceProfile& service);
+  /// Registers a user on the owning shard.
+  common::Status RegisterUser(mod::UserId user, PrivacyPolicy policy);
+  /// Attaches an LBQID to a registered user (owning shard).
+  common::Result<size_t> RegisterLbqid(mod::UserId user, lbqid::Lbqid lbqid);
+  /// Attaches an expert rule set (owning shard).
+  common::Status SetUserRules(mod::UserId user, PolicyRuleSet rules);
+
+  // -- Streaming: events queue to the owning shard and take effect in the
+  // epoch they are submitted in (registrations during its ingest phase).
+
+  void SubmitLocationUpdate(mod::UserId user, const geo::STPoint& sample);
+  /// Returns the request's global submission ordinal (its index in
+  /// outcomes()).
+  size_t SubmitRequest(mod::UserId user, const geo::STPoint& exact,
+                       mod::ServiceId service, std::string data);
+  void SubmitRegisterUser(mod::UserId user, PrivacyPolicy policy);
+  void SubmitRegisterLbqid(mod::UserId user, lbqid::Lbqid lbqid);
+  void SubmitSetUserRules(mod::UserId user, PolicyRuleSet rules);
+
+  /// Closes the current epoch: every shard ingests what was submitted,
+  /// meets the barrier, serves its requests, and meets again.  Returns
+  /// after enqueueing the markers (workers proceed asynchronously).
+  void EndEpoch();
+
+  /// Closes any open epoch, stops the workers, and joins them.  Must be
+  /// called (or the destructor will) before reading results.  Idempotent.
+  void Finish();
+
+  // -- Results (valid after Finish()):
+
+  /// Every request outcome, in GLOBAL submission order (realigned from
+  /// the per-shard processing logs).
+  const std::vector<ProcessOutcome>& outcomes() const { return outcomes_; }
+
+  /// Aggregate counters summed across shards.
+  TsStats stats() const;
+
+  /// Theorem-1 self-audit across all shards, sorted by (user, lbqid) —
+  /// the order a serial server's audit reports.
+  std::vector<TrustedServer::TraceAudit> AuditTraces() const;
+
+  /// HkA of one LBQID trace, evaluated on the owning shard against the
+  /// GLOBAL store view.
+  anon::HkaResult EvaluateTraceHka(mod::UserId user,
+                                   size_t lbqid_index) const;
+
+  const TrustedServer& shard_server(size_t shard) const {
+    return shards_[shard]->server();
+  }
+  const mod::ShardedObjectStore& store() const { return *store_; }
+  const stindex::ShardedIndexView& index_view() const { return *view_; }
+
+ private:
+  Shard* OwnerOf(mod::UserId user) { return shards_[ShardOf(user)].get(); }
+
+  ConcurrentServerOptions options_;
+  std::unique_ptr<mod::ShardedObjectStore> store_;
+  std::unique_ptr<stindex::ShardedIndexView> view_;
+  std::unique_ptr<std::barrier<>> ingest_done_;
+  std::unique_ptr<std::barrier<>> step_;
+  std::unique_ptr<std::barrier<>> serve_done_;
+  std::vector<size_t> pending_counts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// (shard, per-shard ordinal) of every submitted request, in global
+  /// submission order — the realignment map for outcomes().
+  std::vector<std::pair<size_t, size_t>> submissions_;
+  std::vector<size_t> per_shard_requests_;
+  bool finished_ = false;
+  std::vector<ProcessOutcome> outcomes_;
+};
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_CONCURRENT_SERVER_H_

@@ -1,5 +1,6 @@
 #include "src/ts/policy_rules.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -64,9 +65,10 @@ common::Result<PolicyRuleSet> PolicyRuleSet::Parse(const std::string& text) {
   size_t line_number = 0;
   while (std::getline(lines, line)) {
     ++line_number;
-    // Strip comments and whitespace.
+    // Strip comments and whitespace; ';' separates clauses like spaces do.
     const size_t hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
+    std::replace(line.begin(), line.end(), ';', ' ');
     std::istringstream clauses(line);
     std::string clause;
     PolicyRule rule;

@@ -1,0 +1,130 @@
+#include "src/ts/shard.h"
+
+#include <algorithm>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace ts {
+
+void BoundedEventQueue::Push(ShardEvent event) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+  items_.push_back(std::move(event));
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+ShardEvent BoundedEventQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !items_.empty(); });
+  ShardEvent event = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return event;
+}
+
+size_t BoundedEventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+Shard::Shard(size_t index, size_t queue_capacity,
+             const TrustedServerOptions& server_options, SharedPhase phase)
+    : index_(index),
+      queue_(queue_capacity),
+      server_(server_options),
+      phase_(phase) {
+  if (server_options.registry != nullptr) {
+    obs::Registry& registry = *server_options.registry;
+    depth_gauge_ = registry.GetGauge(
+        common::Format("ts_shard_%zu_queue_depth", index_));
+    latency_ = registry.GetHistogram(
+        common::Format("ts_shard_%zu_request_seconds", index_));
+  }
+}
+
+void Shard::Enqueue(ShardEvent event) {
+  queue_.Push(std::move(event));
+  UpdateDepthGauge();
+}
+
+void Shard::Start() {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Shard::Join() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void Shard::UpdateDepthGauge() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+}
+
+void Shard::Serve(const ShardEvent& event) {
+  obs::ScopedTimer timer(latency_);
+  server_.ProcessRequest(event.user, event.point, event.service, event.data);
+}
+
+void Shard::WorkerLoop() {
+  std::vector<ShardEvent> pending;
+  for (;;) {
+    ShardEvent event = queue_.Pop();
+    UpdateDepthGauge();
+    switch (event.kind) {
+      case ShardEvent::Kind::kLocationUpdate:
+        server_.OnLocationUpdate(event.user, event.point);
+        break;
+      case ShardEvent::Kind::kRequest:
+        // Ingest the exact point now (Section 5.3: every request is also
+        // a location update); the pipeline's own append after the barrier
+        // then no-ops, keeping the serve phase write-free.
+        server_.OnLocationUpdate(event.user, event.point);
+        pending.push_back(std::move(event));
+        break;
+      case ShardEvent::Kind::kRegisterUser:
+        (void)server_.RegisterUser(event.user, event.policy).ok();
+        break;
+      case ShardEvent::Kind::kRegisterLbqid:
+        if (event.lbqid != nullptr) {
+          (void)server_.RegisterLbqid(event.user, *event.lbqid).ok();
+        }
+        break;
+      case ShardEvent::Kind::kSetUserRules:
+        if (event.rules != nullptr) {
+          (void)server_.SetUserRules(event.user, *event.rules).ok();
+        }
+        break;
+      case ShardEvent::Kind::kEpochEnd: {
+        // Publish how many requests this shard buffered, then close the
+        // write phase: after the barrier every shard's ingest is visible
+        // and nobody writes shared state until serve_done.
+        (*phase_.pending_counts)[index_] = pending.size();
+        phase_.ingest_done->arrive_and_wait();
+        if (phase_.lockstep) {
+          // Deterministic schedule: all shards serve their i-th request,
+          // then meet; rounds = the max pending count across shards.
+          const size_t rounds = *std::max_element(
+              phase_.pending_counts->begin(), phase_.pending_counts->end());
+          for (size_t round = 0; round < rounds; ++round) {
+            if (round < pending.size()) Serve(pending[round]);
+            phase_.step->arrive_and_wait();
+          }
+        } else {
+          for (const ShardEvent& request : pending) Serve(request);
+        }
+        pending.clear();
+        phase_.serve_done->arrive_and_wait();
+        break;
+      }
+      case ShardEvent::Kind::kShutdown:
+        return;
+    }
+  }
+}
+
+}  // namespace ts
+}  // namespace histkanon

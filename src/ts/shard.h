@@ -1,0 +1,131 @@
+// One shard of the concurrent Trusted Server: a worker thread owning the
+// TrustedServer instance for its slice of the user space, fed through a
+// bounded MPSC event queue.
+//
+// Epoch protocol (the determinism contract, DESIGN.md §10): events arrive
+// tagged to an epoch, terminated by an kEpochEnd marker fanned out to
+// every shard.  Each worker first INGESTS its epoch events — location
+// updates, the exact points of requests (a request is itself a location
+// update, paper Section 5.3), and user registrations — mutating only its
+// own db/index/monitor state.  All workers then meet at a barrier; after
+// it, every shard's writes for the epoch are visible and no shard writes
+// again until the next epoch.  Each worker then SERVES its buffered
+// requests read-only against the global (cross-shard) views, and a second
+// barrier closes the epoch.  Because the serve phase re-appends an
+// already-ingested point, the db/index self-writes always no-op, keeping
+// the phase free of shared-state mutation (ThreadSanitizer-verifiable).
+//
+// Lockstep mode replaces the free-running serve phase with a
+// barrier-stepped schedule: all shards serve their i-th pending request,
+// then meet at a barrier, for max-pending rounds.  This pins a single
+// deterministic interleaving for the stress harness.
+
+#ifndef HISTKANON_SRC_TS_SHARD_H_
+#define HISTKANON_SRC_TS_SHARD_H_
+
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/lbqid/lbqid.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief One queued event for a shard worker.
+struct ShardEvent {
+  enum class Kind {
+    kLocationUpdate,  ///< Ingest: db/index append.
+    kRequest,         ///< Ingest exact point now, serve after the barrier.
+    kRegisterUser,    ///< Ingest: apply registration (duplicate = no-op).
+    kRegisterLbqid,   ///< Ingest: attach LBQID (unknown user = no-op).
+    kSetUserRules,    ///< Ingest: attach rule set (unknown user = no-op).
+    kEpochEnd,        ///< Epoch marker: barrier, serve, barrier.
+    kShutdown,        ///< Worker exits (preceded by a final kEpochEnd).
+  };
+
+  Kind kind = Kind::kLocationUpdate;
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint point;
+  mod::ServiceId service = 0;
+  std::string data;
+  PrivacyPolicy policy;
+  std::shared_ptr<const lbqid::Lbqid> lbqid;
+  std::shared_ptr<const PolicyRuleSet> rules;
+};
+
+/// \brief Bounded multi-producer single-consumer event queue
+/// (mutex + condvar; Push blocks while full, Pop while empty).
+class BoundedEventQueue {
+ public:
+  explicit BoundedEventQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Push(ShardEvent event);
+  ShardEvent Pop();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<ShardEvent> items_;
+  const size_t capacity_;
+};
+
+/// \brief One worker shard.  Owned and orchestrated by ConcurrentServer.
+class Shard {
+ public:
+  /// Synchronization shared across all shards of one ConcurrentServer.
+  struct SharedPhase {
+    std::barrier<>* ingest_done = nullptr;  ///< End of the write phase.
+    std::barrier<>* step = nullptr;         ///< Lockstep per-round barrier.
+    std::barrier<>* serve_done = nullptr;   ///< End of the read phase.
+    /// Per-shard buffered-request counts, published before ingest_done and
+    /// read by every worker after it (the lockstep round count).
+    std::vector<size_t>* pending_counts = nullptr;
+    bool lockstep = false;
+  };
+
+  Shard(size_t index, size_t queue_capacity,
+        const TrustedServerOptions& server_options, SharedPhase phase);
+
+  TrustedServer& server() { return server_; }
+  const TrustedServer& server() const { return server_; }
+  size_t index() const { return index_; }
+
+  /// Enqueues an event (blocks while the queue is full).  Multi-producer
+  /// safe; event order from a single producer is preserved.
+  void Enqueue(ShardEvent event);
+
+  void Start();
+  void Join();
+
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void WorkerLoop();
+  void Serve(const ShardEvent& event);
+  void UpdateDepthGauge();
+
+  const size_t index_;
+  BoundedEventQueue queue_;
+  TrustedServer server_;
+  SharedPhase phase_;
+  /// Per-shard observability (nullptr without a registry).
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Histogram* latency_ = nullptr;
+  std::thread worker_;
+};
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_SHARD_H_

@@ -100,11 +100,14 @@ std::string_view StageToString(Stage stage) {
 TrustedServer::TrustedServer(TrustedServerOptions options)
     : options_(options),
       index_(IndexOptions(options)),
-      hka_(&db_),
+      read_store_(options.read_store != nullptr ? options.read_store : &db_),
+      read_index_(options.read_index != nullptr ? options.read_index
+                                                : &index_),
+      hka_(read_store_),
       pseudonyms_(options.pseudonym_seed),
       randomizer_(options.randomizer_seed, options.randomizer) {
   options_.generalizer.registry = options_.registry;
-  generalizer_ = std::make_unique<anon::Generalizer>(&db_, &index_,
+  generalizer_ = std::make_unique<anon::Generalizer>(read_store_, read_index_,
                                                      options_.generalizer);
   monitor_.AttachRegistry(options_.registry);
   obs_.enabled = options_.registry != nullptr || options_.tracer != nullptr ||
@@ -223,7 +226,7 @@ void TrustedServer::TrimAnchors(std::vector<mod::UserId>* anchors,
   std::vector<std::pair<double, mod::UserId>> scored;
   scored.reserve(anchors->size());
   for (const mod::UserId anchor : *anchors) {
-    const common::Result<const mod::Phl*> phl = db_.GetPhl(anchor);
+    const common::Result<const mod::Phl*> phl = read_store_->GetPhl(anchor);
     double distance = std::numeric_limits<double>::infinity();
     if (phl.ok()) {
       const std::optional<geo::STPoint> nearest =
@@ -237,6 +240,29 @@ void TrustedServer::TrimAnchors(std::vector<mod::UserId>* anchors,
   std::sort(scored.begin(), scored.end());
   anchors->clear();
   for (size_t i = 0; i < target; ++i) anchors->push_back(scored[i].second);
+}
+
+geo::STBox TrustedServer::RandomizeTranslate(const geo::STBox& box,
+                                             const geo::STPoint& exact,
+                                             mod::UserId user,
+                                             uint64_t ordinal) {
+  if (!options_.per_request_randomization) {
+    return randomizer_.TranslateWithin(box, exact);
+  }
+  common::Rng rng(common::MixSeed(options_.randomizer_seed,
+                                  static_cast<uint64_t>(user), ordinal));
+  return anon::TranslateWithin(&rng, box, exact);
+}
+
+geo::STBox TrustedServer::RandomizeExpand(
+    const geo::STBox& box, const anon::ToleranceConstraints& tolerance,
+    mod::UserId user, uint64_t ordinal) {
+  if (!options_.per_request_randomization) {
+    return randomizer_.ExpandWithin(box, tolerance);
+  }
+  common::Rng rng(common::MixSeed(options_.randomizer_seed,
+                                  static_cast<uint64_t>(user), ordinal));
+  return anon::ExpandWithin(&rng, box, tolerance, options_.randomizer);
 }
 
 void TrustedServer::Forward(ProcessOutcome* outcome, mod::UserId user,
@@ -292,6 +318,7 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
   outcome.exact = exact;
   ++stats_.requests;
   UserState& state = StateOf(user);
+  const uint64_t ordinal = state.requests_seen++;
   const PrivacyPolicy& policy = ResolvePolicy(state, service, exact.t);
   const anon::ToleranceConstraints& tolerance = ToleranceOf(service);
 
@@ -347,7 +374,7 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
     geo::STBox context = generalizer_->DefaultContext(exact, tolerance, scale);
     if (options_.enable_randomization) {
       StageScope stage(telemetry, Stage::kRandomize, options_.tracer);
-      context = randomizer_.TranslateWithin(context, exact);
+      context = RandomizeTranslate(context, exact, user, ordinal);
     }
     {
       StageScope stage(telemetry, Stage::kForward, options_.tracer);
@@ -409,7 +436,7 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
       // Expansion (never translation): a superset keeps every anchor's
       // sample inside, preserving LT-consistency of the traces.
       StageScope stage(telemetry, Stage::kRandomize, options_.tracer);
-      context = randomizer_.ExpandWithin(context, tolerance);
+      context = RandomizeExpand(context, tolerance, user, ordinal);
     }
     for (PendingUpdate& update : updates) {
       update.trace->anchors = std::move(update.anchors);
@@ -438,7 +465,7 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
     anon::MixZoneOptions mixzone = options_.mixzone;
     mixzone.min_diverging_users = std::max(mixzone.min_diverging_users, k);
     const anon::MixZoneResult zone =
-        anon::TryFormMixZone(db_, exact, user, mixzone);
+        anon::TryFormMixZone(*read_store_, exact, user, mixzone);
     if (zone.success) {
       ++stats_.unlink_successes;
       pseudonyms_.Rotate(user);

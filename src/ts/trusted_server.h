@@ -60,6 +60,22 @@ struct TrustedServerOptions {
   /// failed is still forwarded (clipped to tolerance) after notifying the
   /// user; when false it is dropped.
   bool forward_when_at_risk = true;
+  /// Randomization draw streams.  False (default): one sequential stream,
+  /// byte-compatible with historical behavior but dependent on global
+  /// request order.  True: each request draws from a generator derived
+  /// via common::MixSeed(randomizer_seed, user, per-user ordinal), so the
+  /// boxes depend only on the per-user request sequence — the property
+  /// that lets the sharded server reproduce serial output exactly.
+  bool per_request_randomization = false;
+  /// External read views (not owned, must outlive the server).  When set,
+  /// the anonymity layers (anchor selection, HkA, mix-zones) read THROUGH
+  /// these instead of the server's own db/index — the sharded server
+  /// passes fan-out views spanning every shard so cross-shard k-anonymity
+  /// sees the global population.  The server's own db/index must be
+  /// reachable from the views (they are one slice).  Unset: the server's
+  /// own db/index (the classic single-node wiring).
+  const mod::ObjectStore* read_store = nullptr;
+  const stindex::SpatioTemporalIndex* read_index = nullptr;
   /// Observability (all optional, not owned, must outlive the server).
   /// When unset the pipeline takes the null-object path: no counters, no
   /// clock reads, behavior bit-identical to an uninstrumented server.
@@ -245,6 +261,10 @@ class TrustedServer : public sim::EventSink {
     std::optional<PolicyRuleSet> rules;
     geo::Instant quiet_until = std::numeric_limits<geo::Instant>::min();
     std::map<size_t, TraceState> traces;  // keyed by lbqid index
+    /// Requests processed for this user (the per-request randomization
+    /// stream ordinal — a per-user count, so it is identical whether the
+    /// workload ran serially or sharded).
+    uint64_t requests_seen = 0;
   };
 
   /// Pre-resolved metric handles (all nullptr without a registry).
@@ -281,6 +301,14 @@ class TrustedServer : public sim::EventSink {
   // Keeps the `target` anchors whose PHLs stay closest to `exact`.
   void TrimAnchors(std::vector<mod::UserId>* anchors, size_t target,
                    const geo::STPoint& exact) const;
+  // Randomization entry points: sequential stream, or a per-(user,
+  // ordinal) derived stream under per_request_randomization.
+  geo::STBox RandomizeTranslate(const geo::STBox& box,
+                                const geo::STPoint& exact, mod::UserId user,
+                                uint64_t ordinal);
+  geo::STBox RandomizeExpand(const geo::STBox& box,
+                             const anon::ToleranceConstraints& tolerance,
+                             mod::UserId user, uint64_t ordinal);
   void Forward(ProcessOutcome* outcome, mod::UserId user,
                const geo::STPoint& exact, mod::ServiceId service,
                const std::string& data, const geo::STBox& context);
@@ -288,6 +316,10 @@ class TrustedServer : public sim::EventSink {
   TrustedServerOptions options_;
   mod::MovingObjectDb db_;
   stindex::GridIndex index_;
+  /// What the anonymity layers read: the external views when configured,
+  /// else &db_ / &index_.
+  const mod::ObjectStore* read_store_;
+  const stindex::SpatioTemporalIndex* read_index_;
   std::unique_ptr<anon::Generalizer> generalizer_;
   anon::HkaEvaluator hka_;
   anon::PseudonymManager pseudonyms_;

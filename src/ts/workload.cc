@@ -1,0 +1,325 @@
+#include "src/ts/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/sim/population.h"
+#include "src/sim/simulator.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+WorkloadEvent MakeRegisterUser(mod::UserId user, PrivacyPolicy policy) {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kRegisterUser;
+  event.user = user;
+  event.policy = policy;
+  return event;
+}
+
+WorkloadEvent MakeRegisterLbqid(mod::UserId user, lbqid::Lbqid lbqid) {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kRegisterLbqid;
+  event.user = user;
+  event.lbqid = std::make_shared<const lbqid::Lbqid>(std::move(lbqid));
+  return event;
+}
+
+WorkloadEvent MakeUpdate(mod::UserId user, const geo::STPoint& sample) {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kUpdate;
+  event.user = user;
+  event.point = sample;
+  return event;
+}
+
+WorkloadEvent MakeRequest(mod::UserId user, const geo::STPoint& exact,
+                          mod::ServiceId service, std::string data) {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kRequest;
+  event.user = user;
+  event.point = exact;
+  event.service = service;
+  event.data = std::move(data);
+  return event;
+}
+
+/// Shared synthetic scaffold: per-user base positions drawn by `place`,
+/// request issuers drawn by `issuer`.  Epoch 0 opens with the user (and
+/// LBQID) registrations; every epoch then carries one jittered location
+/// update per user followed by the epoch's requests.
+template <typename PlaceFn, typename IssuerFn>
+EpochedWorkload MakeSyntheticWorkload(const SyntheticWorkloadOptions& options,
+                                      PlaceFn place, IssuerFn issuer) {
+  EpochedWorkload workload;
+  workload.services.push_back(anon::service_presets::LocalizedNews(0));
+
+  common::Rng rng(options.seed);
+  std::vector<geo::Point> base(options.num_users);
+  for (size_t u = 0; u < options.num_users; ++u) {
+    base[u] = place(&rng, u);
+  }
+
+  const tgran::GranularityRegistry granularities =
+      tgran::GranularityRegistry::WithDefaults();
+  sim::PopulationOptions lbqid_options;
+
+  workload.epochs.resize(options.num_epochs);
+  for (size_t epoch = 0; epoch < options.num_epochs; ++epoch) {
+    std::vector<WorkloadEvent>& events = workload.epochs[epoch];
+    const geo::Instant t0 =
+        options.start +
+        static_cast<geo::Instant>(epoch) * options.epoch_seconds;
+    if (epoch == 0) {
+      for (size_t u = 0; u < options.num_users; ++u) {
+        const mod::UserId user = static_cast<mod::UserId>(u);
+        events.push_back(MakeRegisterUser(
+            user,
+            PrivacyPolicy::FromConcern(PrivacyConcern::kMedium)));
+        if (options.lbqid_every != 0 && u % options.lbqid_every == 0) {
+          // A commute-style LBQID anchored at the user's base position:
+          // its first element (<home area, [7,9]>) matches the synthetic
+          // morning requests, driving the generalization pipeline.
+          sim::CommuterInfo info;
+          info.user = user;
+          info.home = base[u];
+          info.office = {base[u].x + 1500.0, base[u].y + 900.0};
+          auto lbqid =
+              sim::MakeCommuteLbqid(info, lbqid_options, granularities);
+          if (lbqid.ok()) {
+            events.push_back(MakeRegisterLbqid(user, *lbqid));
+          }
+        }
+      }
+    }
+    for (size_t u = 0; u < options.num_users; ++u) {
+      const geo::Point jittered = {base[u].x + rng.Uniform(-40.0, 40.0),
+                                   base[u].y + rng.Uniform(-40.0, 40.0)};
+      events.push_back(MakeUpdate(
+          static_cast<mod::UserId>(u),
+          {jittered, t0 + rng.UniformInt(0, options.epoch_seconds / 2)}));
+    }
+    for (size_t r = 0; r < options.requests_per_epoch; ++r) {
+      const size_t u = issuer(&rng, r);
+      const geo::Point at = {base[u].x + rng.Uniform(-25.0, 25.0),
+                             base[u].y + rng.Uniform(-25.0, 25.0)};
+      const geo::Instant t =
+          t0 + options.epoch_seconds / 2 +
+          rng.UniformInt(0, options.epoch_seconds / 2 - 1);
+      events.push_back(MakeRequest(static_cast<mod::UserId>(u), {at, t}, 0,
+                                   "q"));
+    }
+  }
+  return workload;
+}
+
+}  // namespace
+
+size_t EpochedWorkload::request_count() const {
+  size_t count = 0;
+  for (const std::vector<WorkloadEvent>& epoch : epochs) {
+    for (const WorkloadEvent& event : epoch) {
+      if (event.kind == WorkloadEvent::Kind::kRequest) ++count;
+    }
+  }
+  return count;
+}
+
+EpochedWorkload MakeUniformWorkload(const SyntheticWorkloadOptions& options) {
+  const double extent = options.extent;
+  return MakeSyntheticWorkload(
+      options,
+      [extent](common::Rng* rng, size_t) {
+        return geo::Point{rng->Uniform(0.0, extent),
+                          rng->Uniform(0.0, extent)};
+      },
+      [&options](common::Rng* rng, size_t) {
+        return static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(options.num_users) - 1));
+      });
+}
+
+EpochedWorkload MakeHotspotWorkload(const SyntheticWorkloadOptions& options) {
+  const double extent = options.extent;
+  // The central hotspot square and its resident users.
+  const double hot_lo = extent * 0.45;
+  const double hot_hi = extent * 0.55;
+  const size_t hot_users = std::max<size_t>(1, options.num_users / 4);
+  return MakeSyntheticWorkload(
+      options,
+      [=](common::Rng* rng, size_t u) {
+        if (u < hot_users) {
+          return geo::Point{rng->Uniform(hot_lo, hot_hi),
+                            rng->Uniform(hot_lo, hot_hi)};
+        }
+        return geo::Point{rng->Uniform(0.0, extent),
+                          rng->Uniform(0.0, extent)};
+      },
+      [&options, hot_users](common::Rng* rng, size_t) {
+        if (rng->Bernoulli(0.8)) {
+          return static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int64_t>(hot_users) - 1));
+        }
+        return static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(options.num_users) - 1));
+      });
+}
+
+namespace {
+
+/// Records the simulator's event stream verbatim (with timestamps, so the
+/// recording can be cut into epochs afterwards).
+class RecordingSink : public sim::EventSink {
+ public:
+  struct Recorded {
+    WorkloadEvent event;
+    geo::Instant t = 0;
+  };
+
+  void OnLocationUpdate(mod::UserId user,
+                        const geo::STPoint& sample) override {
+    recorded_.push_back({MakeUpdate(user, sample), sample.t});
+  }
+
+  void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
+                        const sim::RequestIntent& intent) override {
+    recorded_.push_back(
+        {MakeRequest(user, exact, intent.service, intent.data), exact.t});
+  }
+
+  std::vector<Recorded>& recorded() { return recorded_; }
+
+ private:
+  std::vector<Recorded> recorded_;
+};
+
+}  // namespace
+
+EpochedWorkload MakeCommuterWorkload(const CommuterWorkloadOptions& options) {
+  EpochedWorkload workload;
+  workload.services.push_back(anon::service_presets::LocalizedNews(0));
+
+  common::Rng rng(options.seed);
+  sim::PopulationOptions population_options;
+  population_options.num_commuters = options.num_commuters;
+  population_options.num_wanderers = options.num_wanderers;
+  sim::Population population =
+      sim::BuildPopulation(population_options, &rng);
+
+  sim::SimulationOptions sim_options;
+  sim_options.start = tgran::At(0, 7, 30);
+  sim_options.end = sim_options.start + options.duration;
+  RecordingSink sink;
+  sim::Simulator simulator(std::move(population.agents), sim_options);
+  simulator.Run(&sink);
+
+  const size_t num_epochs = static_cast<size_t>(
+      (options.duration + options.epoch_seconds - 1) / options.epoch_seconds);
+  workload.epochs.resize(std::max<size_t>(1, num_epochs));
+
+  // Epoch 0 opens with the registrations (commuters carry the Example-2
+  // LBQID; wanderers are plain anonymity-set users).
+  std::vector<WorkloadEvent>& setup = workload.epochs[0];
+  const tgran::GranularityRegistry granularities =
+      tgran::GranularityRegistry::WithDefaults();
+  const size_t total_users = options.num_commuters + options.num_wanderers;
+  for (size_t u = 0; u < total_users; ++u) {
+    setup.push_back(MakeRegisterUser(
+        static_cast<mod::UserId>(u),
+        PrivacyPolicy::FromConcern(PrivacyConcern::kMedium)));
+  }
+  for (const sim::CommuterInfo& commuter : population.commuters) {
+    auto lbqid =
+        sim::MakeCommuteLbqid(commuter, population_options, granularities);
+    if (lbqid.ok()) setup.push_back(MakeRegisterLbqid(commuter.user, *lbqid));
+  }
+
+  for (RecordingSink::Recorded& item : sink.recorded()) {
+    size_t epoch = static_cast<size_t>(
+        (item.t - sim_options.start) / options.epoch_seconds);
+    epoch = std::min(epoch, workload.epochs.size() - 1);
+    workload.epochs[epoch].push_back(std::move(item.event));
+  }
+  return workload;
+}
+
+std::vector<ProcessOutcome> ReplayEpochsSerial(const EpochedWorkload& workload,
+                                               TrustedServer* server) {
+  for (const anon::ServiceProfile& service : workload.services) {
+    (void)server->RegisterService(service).ok();
+  }
+  std::vector<ProcessOutcome> outcomes;
+  for (const std::vector<WorkloadEvent>& epoch : workload.epochs) {
+    // Pass 1: ingest everything — a request's exact point is a location
+    // update (Section 5.3), matching the sharded ingest phase.
+    for (const WorkloadEvent& event : epoch) {
+      switch (event.kind) {
+        case WorkloadEvent::Kind::kUpdate:
+        case WorkloadEvent::Kind::kRequest:
+          server->OnLocationUpdate(event.user, event.point);
+          break;
+        case WorkloadEvent::Kind::kRegisterUser:
+          (void)server->RegisterUser(event.user, event.policy).ok();
+          break;
+        case WorkloadEvent::Kind::kRegisterLbqid:
+          if (event.lbqid != nullptr) {
+            (void)server->RegisterLbqid(event.user, *event.lbqid).ok();
+          }
+          break;
+        case WorkloadEvent::Kind::kSetRules:
+          if (event.rules != nullptr) {
+            (void)server->SetUserRules(event.user, *event.rules).ok();
+          }
+          break;
+      }
+    }
+    // Pass 2: serve the epoch's requests in submission order.
+    for (const WorkloadEvent& event : epoch) {
+      if (event.kind != WorkloadEvent::Kind::kRequest) continue;
+      outcomes.push_back(server->ProcessRequest(event.user, event.point,
+                                                event.service, event.data));
+    }
+  }
+  return outcomes;
+}
+
+std::vector<ProcessOutcome> ReplayEpochsConcurrent(
+    const EpochedWorkload& workload, ConcurrentServer* server) {
+  for (const anon::ServiceProfile& service : workload.services) {
+    (void)server->RegisterService(service).ok();
+  }
+  for (const std::vector<WorkloadEvent>& epoch : workload.epochs) {
+    for (const WorkloadEvent& event : epoch) {
+      switch (event.kind) {
+        case WorkloadEvent::Kind::kUpdate:
+          server->SubmitLocationUpdate(event.user, event.point);
+          break;
+        case WorkloadEvent::Kind::kRequest:
+          server->SubmitRequest(event.user, event.point, event.service,
+                                event.data);
+          break;
+        case WorkloadEvent::Kind::kRegisterUser:
+          server->SubmitRegisterUser(event.user, event.policy);
+          break;
+        case WorkloadEvent::Kind::kRegisterLbqid:
+          if (event.lbqid != nullptr) {
+            server->SubmitRegisterLbqid(event.user, *event.lbqid);
+          }
+          break;
+        case WorkloadEvent::Kind::kSetRules:
+          if (event.rules != nullptr) {
+            server->SubmitSetUserRules(event.user, *event.rules);
+          }
+          break;
+      }
+    }
+    server->EndEpoch();
+  }
+  server->Finish();
+  return server->outcomes();
+}
+
+}  // namespace ts
+}  // namespace histkanon

@@ -1,0 +1,106 @@
+// Epoched workloads for the serial/sharded differential harness: three
+// workload shapes (uniform, hotspot, commuter) plus replay drivers that
+// feed the SAME event stream to a serial TrustedServer (in the epoch-
+// normalized order the determinism contract is stated against) and to a
+// ConcurrentServer (via Submit*/EndEpoch).
+
+#ifndef HISTKANON_SRC_TS_WORKLOAD_H_
+#define HISTKANON_SRC_TS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/anon/tolerance.h"
+#include "src/lbqid/lbqid.h"
+#include "src/tgran/calendar.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+
+/// \brief One workload event (the submission-order unit of an epoch).
+struct WorkloadEvent {
+  enum class Kind {
+    kUpdate,
+    kRequest,
+    kRegisterUser,
+    kRegisterLbqid,
+    kSetRules,
+  };
+
+  Kind kind = Kind::kUpdate;
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint point;
+  mod::ServiceId service = 0;
+  std::string data;
+  PrivacyPolicy policy;
+  std::shared_ptr<const lbqid::Lbqid> lbqid;
+  std::shared_ptr<const PolicyRuleSet> rules;
+};
+
+/// \brief An epoch-partitioned event stream.  Services are global setup
+/// (registered on every shard before streaming); everything else —
+/// including user/LBQID registrations — is an in-stream event.
+struct EpochedWorkload {
+  std::vector<anon::ServiceProfile> services;
+  std::vector<std::vector<WorkloadEvent>> epochs;
+
+  size_t request_count() const;
+};
+
+/// \brief Parameters of the synthetic (uniform / hotspot) generators.
+struct SyntheticWorkloadOptions {
+  size_t num_users = 32;
+  size_t num_epochs = 6;
+  /// Service requests per epoch (issuers drawn per the workload shape).
+  size_t requests_per_epoch = 48;
+  uint64_t seed = 7;
+  /// Side of the square world (meters).
+  double extent = 8000.0;
+  /// Every user with user id % lbqid_every == 0 carries a commute-style
+  /// LBQID anchored at their base position (exercises the generalization
+  /// pipeline).  0 disables LBQIDs.
+  size_t lbqid_every = 2;
+  geo::Instant start = tgran::At(0, 8, 0);
+  int64_t epoch_seconds = 120;
+};
+
+/// Uniform shape: every user wanders the whole world; requests come from
+/// users drawn uniformly.
+EpochedWorkload MakeUniformWorkload(const SyntheticWorkloadOptions& options);
+
+/// Hotspot shape: a quarter of the users are confined to a small central
+/// square and issue ~80% of the requests (the shard-imbalance stressor).
+EpochedWorkload MakeHotspotWorkload(const SyntheticWorkloadOptions& options);
+
+/// Commuter shape: a small sim::Population driven through sim::Simulator,
+/// recorded and cut into epochs of `epoch_seconds`; commuters carry the
+/// Example-2 home/office LBQID.
+struct CommuterWorkloadOptions {
+  size_t num_commuters = 8;
+  size_t num_wanderers = 24;
+  uint64_t seed = 11;
+  /// Simulated span (seconds), starting 07:30 on day 0.
+  int64_t duration = 2 * 3600;
+  int64_t epoch_seconds = 300;
+};
+EpochedWorkload MakeCommuterWorkload(const CommuterWorkloadOptions& options);
+
+/// Replays the workload on a serial server in epoch-normalized order: per
+/// epoch, pass 1 ingests every event (a request's exact point counts as a
+/// location update) in submission order; pass 2 processes the requests in
+/// submission order.  Returns the outcomes in global submission order.
+std::vector<ProcessOutcome> ReplayEpochsSerial(const EpochedWorkload& workload,
+                                               TrustedServer* server);
+
+/// Streams the workload through Submit*/EndEpoch and Finish()es the
+/// server.  Returns the outcomes in global submission order.
+std::vector<ProcessOutcome> ReplayEpochsConcurrent(
+    const EpochedWorkload& workload, ConcurrentServer* server);
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_WORKLOAD_H_

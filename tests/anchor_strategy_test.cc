@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/mod/moving_object_db.h"
 #include "src/anon/generalize.h"
 #include "src/anon/hka.h"
 #include "src/stindex/brute_force_index.h"

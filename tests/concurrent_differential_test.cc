@@ -1,0 +1,253 @@
+// The differential harness for the sharded Trusted Server (DESIGN.md §10):
+// the same epoched workload is replayed on a serial TrustedServer (in
+// epoch-normalized order) and on a ts::ConcurrentServer with 1, 2, and 4
+// shards, and every request's outcome must be byte-identical — the
+// disposition, the pipeline flags, the LBQID bookkeeping, and the exact
+// generalized spatio-temporal box.  Pseudonyms and message ids are
+// intentionally out of scope (per-shard streams); they get their own
+// collision checks instead.
+//
+// Three workload shapes cover the interesting regimes: uniform (balanced
+// shards), hotspot (one shard saturated — worst-case skew), and commuter
+// (the paper's simulation population, LBQID-heavy).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/ts/concurrent_server.h"
+#include "src/ts/trusted_server.h"
+#include "src/ts/workload.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+// Serial reference: per-request randomization ON (the order-independent
+// draw streams both sides share); everything else defaults.
+TrustedServerOptions ReferenceOptions() {
+  TrustedServerOptions options;
+  options.per_request_randomization = true;
+  return options;
+}
+
+void ExpectSameBox(const geo::STBox& a, const geo::STBox& b, size_t i) {
+  EXPECT_EQ(a.area.min_x, b.area.min_x) << "request " << i;
+  EXPECT_EQ(a.area.min_y, b.area.min_y) << "request " << i;
+  EXPECT_EQ(a.area.max_x, b.area.max_x) << "request " << i;
+  EXPECT_EQ(a.area.max_y, b.area.max_y) << "request " << i;
+  EXPECT_EQ(a.time.lo, b.time.lo) << "request " << i;
+  EXPECT_EQ(a.time.hi, b.time.hi) << "request " << i;
+}
+
+void ExpectSameOutcomes(const std::vector<ProcessOutcome>& serial,
+                        const std::vector<ProcessOutcome>& sharded) {
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const ProcessOutcome& a = serial[i];
+    const ProcessOutcome& b = sharded[i];
+    EXPECT_EQ(a.disposition, b.disposition) << "request " << i;
+    EXPECT_EQ(a.forwarded, b.forwarded) << "request " << i;
+    EXPECT_EQ(a.hk_anonymity, b.hk_anonymity) << "request " << i;
+    EXPECT_EQ(a.matched_lbqid, b.matched_lbqid) << "request " << i;
+    EXPECT_EQ(a.lbqid_index, b.lbqid_index) << "request " << i;
+    EXPECT_EQ(a.element_index, b.element_index) << "request " << i;
+    EXPECT_EQ(a.lbqid_completed, b.lbqid_completed) << "request " << i;
+    EXPECT_EQ(a.exact, b.exact) << "request " << i;
+    if (a.forwarded && b.forwarded) {
+      ExpectSameBox(a.forwarded_request.context, b.forwarded_request.context,
+                    i);
+      EXPECT_EQ(a.forwarded_request.service, b.forwarded_request.service)
+          << "request " << i;
+      EXPECT_EQ(a.forwarded_request.data, b.forwarded_request.data)
+          << "request " << i;
+    }
+  }
+}
+
+void ExpectSameStats(const TsStats& a, const TsStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.forwarded_default, b.forwarded_default);
+  EXPECT_EQ(a.forwarded_generalized, b.forwarded_generalized);
+  EXPECT_EQ(a.suppressed_mixzone, b.suppressed_mixzone);
+  EXPECT_EQ(a.unlink_attempts, b.unlink_attempts);
+  EXPECT_EQ(a.unlink_successes, b.unlink_successes);
+  EXPECT_EQ(a.at_risk_notifications, b.at_risk_notifications);
+  EXPECT_EQ(a.lbqid_completions, b.lbqid_completions);
+  // Double sums accumulate in shard-dependent order.
+  EXPECT_NEAR(a.generalized_area_sum, b.generalized_area_sum,
+              1e-6 * (1.0 + std::abs(a.generalized_area_sum)));
+  EXPECT_NEAR(a.generalized_window_sum, b.generalized_window_sum,
+              1e-6 * (1.0 + std::abs(a.generalized_window_sum)));
+}
+
+void ExpectSameAudits(
+    const std::vector<TrustedServer::TraceAudit>& serial,
+    const std::vector<TrustedServer::TraceAudit>& sharded) {
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].user, sharded[i].user);
+    EXPECT_EQ(serial[i].lbqid_index, sharded[i].lbqid_index);
+    EXPECT_EQ(serial[i].steps, sharded[i].steps);
+    EXPECT_EQ(serial[i].tainted, sharded[i].tainted);
+    EXPECT_EQ(serial[i].hka_satisfied, sharded[i].hka_satisfied);
+    EXPECT_EQ(serial[i].witnesses, sharded[i].witnesses);
+  }
+}
+
+// The issuing user of every request, in global submission order (the
+// outcome vector's alignment).
+std::vector<mod::UserId> RequestUsers(const EpochedWorkload& workload) {
+  std::vector<mod::UserId> users;
+  for (const std::vector<WorkloadEvent>& epoch : workload.epochs) {
+    for (const WorkloadEvent& event : epoch) {
+      if (event.kind == WorkloadEvent::Kind::kRequest) {
+        users.push_back(event.user);
+      }
+    }
+  }
+  return users;
+}
+
+void RunDifferential(const EpochedWorkload& workload) {
+  ASSERT_GT(workload.request_count(), 0u);
+
+  TrustedServer serial(ReferenceOptions());
+  const std::vector<ProcessOutcome> reference =
+      ReplayEpochsSerial(workload, &serial);
+  ASSERT_EQ(reference.size(), workload.request_count());
+
+  // The workload must drive the interesting paths: without LBQID matches
+  // the differential would only cover default forwarding.
+  size_t matched = 0;
+  for (const ProcessOutcome& outcome : reference) {
+    if (outcome.matched_lbqid) ++matched;
+  }
+  ASSERT_GT(matched, 0u) << "workload never matched an LBQID element";
+
+  for (size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << shards << " shards");
+    ConcurrentServerOptions options;
+    options.num_shards = shards;
+    options.server = ReferenceOptions();
+    ConcurrentServer concurrent(options);
+    const std::vector<ProcessOutcome> outcomes =
+        ReplayEpochsConcurrent(workload, &concurrent);
+    ExpectSameOutcomes(reference, outcomes);
+    ExpectSameStats(serial.stats(), concurrent.stats());
+    ExpectSameAudits(serial.AuditTraces(), concurrent.AuditTraces());
+  }
+}
+
+TEST(ConcurrentDifferentialTest, UniformWorkloadMatchesSerial) {
+  SyntheticWorkloadOptions options;
+  options.num_users = 24;
+  options.num_epochs = 5;
+  options.requests_per_epoch = 40;
+  options.seed = 101;
+  RunDifferential(MakeUniformWorkload(options));
+}
+
+TEST(ConcurrentDifferentialTest, HotspotWorkloadMatchesSerial) {
+  SyntheticWorkloadOptions options;
+  options.num_users = 24;
+  options.num_epochs = 5;
+  options.requests_per_epoch = 40;
+  options.seed = 202;
+  RunDifferential(MakeHotspotWorkload(options));
+}
+
+TEST(ConcurrentDifferentialTest, CommuterWorkloadMatchesSerial) {
+  CommuterWorkloadOptions options;
+  options.num_commuters = 6;
+  options.num_wanderers = 18;
+  options.seed = 303;
+  options.duration = 90 * 60;
+  RunDifferential(MakeCommuterWorkload(options));
+}
+
+// A shard count that does not divide the user population (7 shards, 24
+// users) — the merge paths see empty and uneven slices.
+TEST(ConcurrentDifferentialTest, OddShardCountMatchesSerial) {
+  SyntheticWorkloadOptions options;
+  options.num_users = 24;
+  options.num_epochs = 4;
+  options.requests_per_epoch = 30;
+  options.seed = 404;
+  const EpochedWorkload workload = MakeHotspotWorkload(options);
+
+  TrustedServer serial(ReferenceOptions());
+  const std::vector<ProcessOutcome> reference =
+      ReplayEpochsSerial(workload, &serial);
+
+  ConcurrentServerOptions concurrent_options;
+  concurrent_options.num_shards = 7;
+  concurrent_options.server = ReferenceOptions();
+  ConcurrentServer concurrent(concurrent_options);
+  ExpectSameOutcomes(reference,
+                     ReplayEpochsConcurrent(workload, &concurrent));
+}
+
+TEST(ConcurrentDifferentialTest, ShardedRunsAreDeterministic) {
+  SyntheticWorkloadOptions options;
+  options.num_users = 16;
+  options.num_epochs = 4;
+  options.requests_per_epoch = 24;
+  options.seed = 505;
+  const EpochedWorkload workload = MakeUniformWorkload(options);
+
+  std::vector<ProcessOutcome> first;
+  {
+    ConcurrentServerOptions concurrent_options;
+    concurrent_options.num_shards = 4;
+    concurrent_options.server = ReferenceOptions();
+    ConcurrentServer server(concurrent_options);
+    first = ReplayEpochsConcurrent(workload, &server);
+  }
+  ConcurrentServerOptions concurrent_options;
+  concurrent_options.num_shards = 4;
+  concurrent_options.server = ReferenceOptions();
+  ConcurrentServer server(concurrent_options);
+  ExpectSameOutcomes(first, ReplayEpochsConcurrent(workload, &server));
+}
+
+// Pseudonym streams are per-shard (seeds remixed per shard): a pseudonym
+// observed on the wire must never be held by two different users.
+TEST(ConcurrentDifferentialTest, PseudonymStreamsDoNotCollide) {
+  SyntheticWorkloadOptions options;
+  options.num_users = 16;
+  options.num_epochs = 3;
+  options.requests_per_epoch = 24;
+  options.seed = 606;
+  const EpochedWorkload workload = MakeUniformWorkload(options);
+  const std::vector<mod::UserId> users = RequestUsers(workload);
+
+  ConcurrentServerOptions concurrent_options;
+  concurrent_options.num_shards = 4;
+  concurrent_options.server = ReferenceOptions();
+  ConcurrentServer server(concurrent_options);
+  const std::vector<ProcessOutcome> outcomes =
+      ReplayEpochsConcurrent(workload, &server);
+  ASSERT_EQ(outcomes.size(), users.size());
+
+  std::map<mod::Pseudonym, std::set<mod::UserId>> holders;
+  size_t forwarded = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].forwarded) continue;
+    ++forwarded;
+    holders[outcomes[i].forwarded_request.pseudonym].insert(users[i]);
+  }
+  ASSERT_GT(forwarded, 0u);
+  for (const auto& [pseudonym, held_by] : holders) {
+    EXPECT_EQ(held_by.size(), 1u)
+        << "pseudonym " << pseudonym << " held by " << held_by.size()
+        << " users";
+  }
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

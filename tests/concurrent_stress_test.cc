@@ -1,0 +1,197 @@
+// Stress harness for the sharded Trusted Server: the lockstep mode pins a
+// single deterministic serve-phase interleaving (all shards serve their
+// i-th request, barrier, repeat), which lets us assert byte-identical
+// results for adversarial configurations — mid-stream registrations,
+// unlink-heavy policies (generalization starved of anchors), many small
+// epochs, and a shared metrics registry — and doubles as a schedule the
+// ThreadSanitizer CI job can exhaustively check.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/trusted_server.h"
+#include "src/ts/workload.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+TrustedServerOptions ReferenceOptions() {
+  TrustedServerOptions options;
+  options.per_request_randomization = true;
+  return options;
+}
+
+void ExpectSameOutcomes(const std::vector<ProcessOutcome>& a,
+                        const std::vector<ProcessOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].disposition, b[i].disposition) << "request " << i;
+    EXPECT_EQ(a[i].forwarded, b[i].forwarded) << "request " << i;
+    EXPECT_EQ(a[i].hk_anonymity, b[i].hk_anonymity) << "request " << i;
+    EXPECT_EQ(a[i].matched_lbqid, b[i].matched_lbqid) << "request " << i;
+    EXPECT_EQ(a[i].lbqid_completed, b[i].lbqid_completed) << "request " << i;
+    EXPECT_EQ(a[i].exact, b[i].exact) << "request " << i;
+    if (a[i].forwarded && b[i].forwarded) {
+      const geo::STBox& ca = a[i].forwarded_request.context;
+      const geo::STBox& cb = b[i].forwarded_request.context;
+      EXPECT_EQ(ca.area.min_x, cb.area.min_x) << "request " << i;
+      EXPECT_EQ(ca.area.min_y, cb.area.min_y) << "request " << i;
+      EXPECT_EQ(ca.area.max_x, cb.area.max_x) << "request " << i;
+      EXPECT_EQ(ca.area.max_y, cb.area.max_y) << "request " << i;
+      EXPECT_EQ(ca.time.lo, cb.time.lo) << "request " << i;
+      EXPECT_EQ(ca.time.hi, cb.time.hi) << "request " << i;
+    }
+  }
+}
+
+// An unlink-heavy workload: kHigh policies (k = 10) over a small, sparse
+// population starve Algorithm 1 of LT-consistent anchors, driving the
+// mix-zone/at-risk paths.  Half the users register MID-STREAM (epoch 2),
+// exercising registration events racing the serving epochs.
+EpochedWorkload MakeStressWorkload(uint64_t seed) {
+  SyntheticWorkloadOptions options;
+  options.num_users = 12;
+  options.num_epochs = 6;
+  options.requests_per_epoch = 30;
+  options.seed = seed;
+  options.extent = 20000.0;  // sparse: anchors are far apart
+  EpochedWorkload workload = MakeHotspotWorkload(options);
+
+  // Re-policy every registration to kHigh and defer half of them (and
+  // their LBQIDs) to epoch 2.
+  std::vector<WorkloadEvent> deferred;
+  std::vector<WorkloadEvent> kept;
+  for (WorkloadEvent& event : workload.epochs[0]) {
+    if (event.kind == WorkloadEvent::Kind::kRegisterUser) {
+      event.policy = PrivacyPolicy::FromConcern(PrivacyConcern::kHigh);
+    }
+    const bool is_registration =
+        event.kind == WorkloadEvent::Kind::kRegisterUser ||
+        event.kind == WorkloadEvent::Kind::kRegisterLbqid;
+    if (is_registration && event.user % 2 == 1) {
+      deferred.push_back(std::move(event));
+    } else {
+      kept.push_back(std::move(event));
+    }
+  }
+  workload.epochs[0] = std::move(kept);
+  workload.epochs[2].insert(workload.epochs[2].begin(), deferred.begin(),
+                            deferred.end());
+  return workload;
+}
+
+TEST(ConcurrentStressTest, LockstepMatchesSerial) {
+  const EpochedWorkload workload = MakeStressWorkload(909);
+
+  TrustedServer serial(ReferenceOptions());
+  const std::vector<ProcessOutcome> reference =
+      ReplayEpochsSerial(workload, &serial);
+
+  // The stress config must actually stress: some generalization failures
+  // (unlink attempts or at-risk notifications) must occur.
+  EXPECT_GT(serial.stats().unlink_attempts + serial.stats().at_risk_notifications,
+            0u);
+
+  for (size_t shards : {2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << shards << " shards");
+    ConcurrentServerOptions options;
+    options.num_shards = shards;
+    options.lockstep = true;
+    options.server = ReferenceOptions();
+    ConcurrentServer concurrent(options);
+    ExpectSameOutcomes(reference,
+                       ReplayEpochsConcurrent(workload, &concurrent));
+  }
+}
+
+TEST(ConcurrentStressTest, LockstepAndFreeRunAgree) {
+  const EpochedWorkload workload = MakeStressWorkload(910);
+
+  std::vector<ProcessOutcome> lockstep;
+  {
+    ConcurrentServerOptions options;
+    options.num_shards = 4;
+    options.lockstep = true;
+    options.server = ReferenceOptions();
+    ConcurrentServer server(options);
+    lockstep = ReplayEpochsConcurrent(workload, &server);
+  }
+  ConcurrentServerOptions options;
+  options.num_shards = 4;
+  options.lockstep = false;
+  options.server = ReferenceOptions();
+  ConcurrentServer server(options);
+  ExpectSameOutcomes(lockstep, ReplayEpochsConcurrent(workload, &server));
+}
+
+TEST(ConcurrentStressTest, RegistryDoesNotPerturbResults) {
+  const EpochedWorkload workload = MakeStressWorkload(911);
+
+  std::vector<ProcessOutcome> without;
+  {
+    ConcurrentServerOptions options;
+    options.num_shards = 4;
+    options.server = ReferenceOptions();
+    ConcurrentServer server(options);
+    without = ReplayEpochsConcurrent(workload, &server);
+  }
+
+  obs::Registry registry;
+  ConcurrentServerOptions options;
+  options.num_shards = 4;
+  options.lockstep = true;
+  options.server = ReferenceOptions();
+  options.server.registry = &registry;
+  ConcurrentServer server(options);
+  ExpectSameOutcomes(without, ReplayEpochsConcurrent(workload, &server));
+
+  // Per-shard instrumentation exists and observed the requests.
+  size_t observed = 0;
+  for (size_t shard = 0; shard < 4; ++shard) {
+    obs::Histogram* latency = registry.GetHistogram(
+        "ts_shard_" + std::to_string(shard) + "_request_seconds");
+    ASSERT_NE(latency, nullptr);
+    observed += latency->count();
+  }
+  EXPECT_EQ(observed, workload.request_count());
+}
+
+TEST(ConcurrentStressTest, ManyTinyEpochs) {
+  // 30 epochs of 1-4 events stress the barrier protocol itself (empty
+  // serve phases, empty shards, back-to-back epoch markers).
+  SyntheticWorkloadOptions options;
+  options.num_users = 6;
+  options.num_epochs = 30;
+  options.requests_per_epoch = 2;
+  options.seed = 912;
+  const EpochedWorkload workload = MakeUniformWorkload(options);
+
+  TrustedServer serial(ReferenceOptions());
+  const std::vector<ProcessOutcome> reference =
+      ReplayEpochsSerial(workload, &serial);
+
+  ConcurrentServerOptions concurrent_options;
+  concurrent_options.num_shards = 4;
+  concurrent_options.lockstep = true;
+  concurrent_options.server = ReferenceOptions();
+  ConcurrentServer server(concurrent_options);
+  ExpectSameOutcomes(reference, ReplayEpochsConcurrent(workload, &server));
+}
+
+TEST(ConcurrentStressTest, FinishWithoutEventsIsClean) {
+  ConcurrentServerOptions options;
+  options.num_shards = 4;
+  options.server = ReferenceOptions();
+  ConcurrentServer server(options);
+  server.Finish();
+  EXPECT_TRUE(server.outcomes().empty());
+  EXPECT_EQ(server.stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

@@ -1,3 +1,4 @@
+#include "src/mod/moving_object_db.h"
 #include "src/deploy/analyzer.h"
 
 #include <gtest/gtest.h>

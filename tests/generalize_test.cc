@@ -1,6 +1,7 @@
 // Algorithm 1 tests, including the Theorem-1 mechanism: a generalized box
 // anchored on k users is LT-consistent with each anchor's PHL.
 
+#include "src/mod/moving_object_db.h"
 #include "src/anon/generalize.h"
 
 #include <gtest/gtest.h>

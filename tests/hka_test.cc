@@ -1,3 +1,4 @@
+#include "src/mod/moving_object_db.h"
 #include "src/anon/hka.h"
 
 #include <gtest/gtest.h>

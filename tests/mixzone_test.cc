@@ -1,3 +1,4 @@
+#include "src/mod/moving_object_db.h"
 #include "src/anon/mixzone.h"
 
 #include <cmath>

@@ -68,6 +68,40 @@ TEST(HistogramTest, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 1.0);
 }
 
+TEST(HistogramTest, QuantileMidpointContract) {
+  // All samples inside one interior bucket: the median is the bucket
+  // midpoint (linear interpolation, not a bound).
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (int i = 0; i < 8; ++i) histogram.Observe(1.5);  // bucket (1, 2]
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1.5);
+
+  // Single positive bucket anchors at 0: median of (0, 10] is 5.
+  Histogram single({10.0});
+  single.Observe(3.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 5.0);
+}
+
+TEST(HistogramTest, QuantileFirstBucketWithNegativeBound) {
+  // Regression: the first bucket used to anchor at min(0, upper), which
+  // is zero-width when upper <= 0 — every quantile collapsed to the
+  // bucket bound.  The synthesized width is the next bucket's width.
+  Histogram histogram({-2.0, -1.0});
+  histogram.Observe(-3.0);  // first bucket, (-inf, -2]
+  // Width 1 borrowed from (-2, -1]: interpolates over (-3, -2].
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), -2.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), -2.0);
+
+  // Single negative bound: width falls back to |upper|.
+  Histogram single({-5.0});
+  single.Observe(-10.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), -7.5);
+
+  // Single zero bound: width falls back to 1.
+  Histogram zero({0.0});
+  zero.Observe(-0.25);
+  EXPECT_DOUBLE_EQ(zero.Quantile(0.5), -0.5);
+}
+
 TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
   const std::vector<double>& bounds = DefaultLatencyBounds();
   ASSERT_GE(bounds.size(), 2u);

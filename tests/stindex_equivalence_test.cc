@@ -1,0 +1,186 @@
+// Property test: every SpatioTemporalIndex implementation — brute force,
+// uniform grid, 3D R-tree, and the cross-shard fan-out view — answers the
+// same queries identically on the same random data.  Continuous random
+// coordinates make distance ties measure-zero, so NearestPerUser rankings
+// are comparable across implementations that break exact ties differently
+// (grid/brute tie-break on user id; the R-tree's traversal order differs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mod/sharded_store.h"
+#include "src/stindex/brute_force_index.h"
+#include "src/stindex/grid_index.h"
+#include "src/stindex/rtree.h"
+#include "src/stindex/sharded_view.h"
+
+namespace histkanon {
+namespace stindex {
+namespace {
+
+struct Sample {
+  mod::UserId user;
+  geo::STPoint point;
+};
+
+std::vector<Sample> RandomSamples(common::Rng* rng, size_t num_users,
+                                  size_t samples_per_user) {
+  std::vector<Sample> samples;
+  for (size_t u = 0; u < num_users; ++u) {
+    for (size_t s = 0; s < samples_per_user; ++s) {
+      samples.push_back({static_cast<mod::UserId>(u),
+                         {{rng->Uniform(0.0, 5000.0),
+                           rng->Uniform(0.0, 5000.0)},
+                          rng->UniformInt(0, 7200)}});
+    }
+  }
+  return samples;
+}
+
+std::vector<Entry> Canonical(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.user != b.user) return a.user < b.user;
+              if (a.sample.t != b.sample.t) return a.sample.t < b.sample.t;
+              if (a.sample.p.x != b.sample.p.x)
+                return a.sample.p.x < b.sample.p.x;
+              return a.sample.p.y < b.sample.p.y;
+            });
+  return entries;
+}
+
+class StindexEquivalenceTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t seed, size_t num_users, size_t samples_per_user) {
+    common::Rng rng(seed);
+    samples_ = RandomSamples(&rng, num_users, samples_per_user);
+
+    brute_ = std::make_unique<BruteForceIndex>();
+    grid_ = std::make_unique<GridIndex>();
+    rtree_ = std::make_unique<RTree>();
+    for (const Sample& s : samples_) {
+      brute_->Insert(s.user, s.point);
+      grid_->Insert(s.user, s.point);
+      rtree_->Insert(s.user, s.point);
+    }
+
+    // The fan-out view: three grid slices partitioned by user % 3 (the
+    // sharded server's layout).
+    view_ = std::make_unique<ShardedIndexView>();
+    slices_.clear();
+    for (size_t i = 0; i < 3; ++i) {
+      slices_.push_back(std::make_unique<GridIndex>());
+    }
+    for (const Sample& s : samples_) {
+      slices_[mod::SliceOfUser(s.user, 3)]->Insert(s.user, s.point);
+    }
+    for (const std::unique_ptr<GridIndex>& slice : slices_) {
+      view_->AddSlice(slice.get());
+    }
+
+    indexes_ = {brute_.get(), grid_.get(), rtree_.get(), view_.get()};
+  }
+
+  std::vector<Sample> samples_;
+  std::unique_ptr<BruteForceIndex> brute_;
+  std::unique_ptr<GridIndex> grid_;
+  std::unique_ptr<RTree> rtree_;
+  std::vector<std::unique_ptr<GridIndex>> slices_;
+  std::unique_ptr<ShardedIndexView> view_;
+  std::vector<const SpatioTemporalIndex*> indexes_;
+};
+
+TEST_F(StindexEquivalenceTest, SizeAgrees) {
+  Build(1, 20, 8);
+  for (const SpatioTemporalIndex* index : indexes_) {
+    EXPECT_EQ(index->size(), samples_.size()) << index->name();
+  }
+}
+
+TEST_F(StindexEquivalenceTest, RangeQueryAgrees) {
+  Build(2, 25, 6);
+  common::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.Uniform(-500.0, 5000.0);
+    const double y = rng.Uniform(-500.0, 5000.0);
+    const geo::STBox box{
+        {x, y, x + rng.Uniform(0.0, 2500.0), y + rng.Uniform(0.0, 2500.0)},
+        {rng.UniformInt(0, 3600), rng.UniformInt(3600, 7800)}};
+    const std::vector<Entry> expected = Canonical(brute_->RangeQuery(box));
+    for (const SpatioTemporalIndex* index : indexes_) {
+      EXPECT_EQ(Canonical(index->RangeQuery(box)), expected)
+          << index->name() << " trial " << trial;
+    }
+  }
+}
+
+TEST_F(StindexEquivalenceTest, DistinctUsersAgree) {
+  Build(3, 25, 6);
+  common::Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.Uniform(0.0, 4000.0);
+    const double y = rng.Uniform(0.0, 4000.0);
+    const geo::STBox box{
+        {x, y, x + rng.Uniform(100.0, 3000.0),
+         y + rng.Uniform(100.0, 3000.0)},
+        {rng.UniformInt(0, 3600), rng.UniformInt(3600, 7800)}};
+    const std::vector<mod::UserId> expected = brute_->DistinctUsersIn(box);
+    for (const SpatioTemporalIndex* index : indexes_) {
+      EXPECT_EQ(index->DistinctUsersIn(box), expected)
+          << index->name() << " trial " << trial;
+    }
+  }
+}
+
+TEST_F(StindexEquivalenceTest, NearestPerUserAgrees) {
+  Build(4, 30, 5);
+  common::Rng rng(55);
+  const geo::STMetric metric;
+  for (int trial = 0; trial < 40; ++trial) {
+    const geo::STPoint query{
+        {rng.Uniform(0.0, 5000.0), rng.Uniform(0.0, 5000.0)},
+        rng.UniformInt(0, 7200)};
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 12));
+    const mod::UserId exclude =
+        trial % 3 == 0 ? static_cast<mod::UserId>(trial % 30)
+                       : mod::kInvalidUser;
+    const std::vector<UserNeighbor> expected =
+        brute_->NearestPerUser(query, k, exclude, metric);
+    for (const SpatioTemporalIndex* index : indexes_) {
+      const std::vector<UserNeighbor> got =
+          index->NearestPerUser(query, k, exclude, metric);
+      ASSERT_EQ(got.size(), expected.size())
+          << index->name() << " trial " << trial;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].user, expected[i].user)
+            << index->name() << " trial " << trial << " rank " << i;
+        EXPECT_EQ(got[i].sample, expected[i].sample)
+            << index->name() << " trial " << trial << " rank " << i;
+        EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9)
+            << index->name() << " trial " << trial << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST_F(StindexEquivalenceTest, EmptyIndexesAgree) {
+  Build(5, 0, 0);
+  const geo::STBox box{{0.0, 0.0, 1000.0, 1000.0}, {0, 3600}};
+  const geo::STMetric metric;
+  for (const SpatioTemporalIndex* index : indexes_) {
+    EXPECT_EQ(index->size(), 0u) << index->name();
+    EXPECT_TRUE(index->RangeQuery(box).empty()) << index->name();
+    EXPECT_TRUE(
+        index->NearestPerUser({{0.0, 0.0}, 0}, 5, mod::kInvalidUser, metric)
+            .empty())
+        << index->name();
+  }
+}
+
+}  // namespace
+}  // namespace stindex
+}  // namespace histkanon

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/mod/moving_object_db.h"
 #include "src/common/rng.h"
 #include "src/stindex/brute_force_index.h"
 #include "src/stindex/grid_index.h"
