@@ -1,0 +1,177 @@
+// Cost of crash safety: journal append overhead on the ingest path,
+// snapshot size and capture time, and the recovery path itself (scan +
+// restore + replay).  Writes BENCH_recovery.json and exits non-zero if
+// the recovered server's whole-state snapshot is not byte-identical to
+// the uninterrupted run's — the benchmark doubles as a smoke-proof of the
+// recovery invariant.
+//
+// Plain wall-clock binary (like micro_concurrent): the workload replay /
+// recover phases don't fit the google-benchmark fixture model.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/tgran/granularity.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+#include "src/ts/workload.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ts::SyntheticWorkloadOptions workload_options;
+  workload_options.num_users = 24;
+  workload_options.num_epochs = 4;
+  workload_options.requests_per_epoch = 60;
+  workload_options.seed = 2005;
+  if (argc > 1) workload_options.num_users = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) workload_options.num_epochs = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) {
+    workload_options.requests_per_epoch = std::strtoul(argv[3], nullptr, 10);
+  }
+
+  const tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  const ts::EpochedWorkload workload =
+      ts::MakeUniformWorkload(workload_options);
+  const std::vector<ts::JournalEvent> events =
+      ts::FlattenSerialWorkload(workload);
+
+  std::printf("micro_recovery: uniform workload, %zu users, %zu epochs, "
+              "%zu journal events\n\n",
+              workload_options.num_users, workload_options.num_epochs,
+              events.size());
+
+  // Baseline: the same event stream with no journal attached.
+  double baseline_eps = 0.0;
+  {
+    ts::TrustedServer server;
+    const auto start = std::chrono::steady_clock::now();
+    for (const ts::JournalEvent& event : events) {
+      ts::ApplyJournalEvent(&server, event);
+    }
+    const double seconds = SecondsSince(start);
+    baseline_eps = static_cast<double>(events.size()) / seconds;
+    std::printf("%-28s %10.3f s %12.0f events/s\n", "apply (no journal)",
+                seconds, baseline_eps);
+  }
+
+  // Journaled run, with one mid-stream checkpoint (the recovery artifact).
+  ts::TsJournal journal;
+  ts::TrustedServer golden;
+  golden.AttachJournal(&journal);
+  double journaled_eps = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < events.size(); ++i) {
+      ts::ApplyJournalEvent(&golden, events[i]);
+      if (i == events.size() / 2 && !golden.WriteCheckpoint().ok()) {
+        std::fprintf(stderr, "mid-stream checkpoint failed\n");
+        return 1;
+      }
+    }
+    const double seconds = SecondsSince(start);
+    journaled_eps = static_cast<double>(events.size()) / seconds;
+    std::printf("%-28s %10.3f s %12.0f events/s\n", "apply (journaled)",
+                seconds, journaled_eps);
+  }
+  std::printf("%-28s %10zu bytes (%.1f bytes/event)\n", "journal size",
+              journal.size(),
+              static_cast<double>(journal.size()) /
+                  static_cast<double>(events.size()));
+
+  // Snapshot capture.
+  double checkpoint_seconds = 0.0;
+  size_t snapshot_bytes = 0;
+  std::string golden_blob;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto blob = golden.Checkpoint();
+    checkpoint_seconds = SecondsSince(start);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n",
+                   blob.status().ToString().c_str());
+      return 1;
+    }
+    golden_blob = *blob;
+    snapshot_bytes = golden_blob.size();
+    std::printf("%-28s %10.6f s %12zu bytes\n", "checkpoint", checkpoint_seconds,
+                snapshot_bytes);
+  }
+
+  // Scan alone, then full recovery (scan + restore + replay).
+  double scan_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto scanned = ts::ScanJournal(journal.bytes(), registry);
+    scan_seconds = SecondsSince(start);
+    if (!scanned.ok() || !scanned->clean) {
+      std::fprintf(stderr, "journal scan failed\n");
+      return 1;
+    }
+    std::printf("%-28s %10.6f s %12zu events\n", "scan", scan_seconds,
+                scanned->total_events);
+  }
+
+  double recover_seconds = 0.0;
+  double replay_eps = 0.0;
+  bool state_matches = false;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto recovered = ts::RecoverTrustedServer(
+        journal.bytes(), ts::TrustedServerOptions(), registry);
+    recover_seconds = SecondsSince(start);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    replay_eps =
+        static_cast<double>(recovered->events_applied) / recover_seconds;
+    std::printf("%-28s %10.3f s %12.0f events/s\n", "recover (scan+replay)",
+                recover_seconds, replay_eps);
+
+    const auto recovered_blob = recovered->server->Checkpoint();
+    state_matches = recovered_blob.ok() && *recovered_blob == golden_blob;
+  }
+  std::printf("\nrecovered state matches uninterrupted run: %s\n",
+              state_matches ? "yes" : "NO");
+
+  obs::JsonObject report;
+  report.SetString("bench", "micro_recovery");
+  report.SetString("workload", "uniform");
+  report.SetUint("users", workload_options.num_users);
+  report.SetUint("epochs", workload_options.num_epochs);
+  report.SetUint("events", events.size());
+  report.SetNumber("apply_eps_no_journal", baseline_eps);
+  report.SetNumber("apply_eps_journaled", journaled_eps);
+  report.SetUint("journal_bytes", journal.size());
+  report.SetNumber("checkpoint_seconds", checkpoint_seconds);
+  report.SetUint("snapshot_bytes", snapshot_bytes);
+  report.SetNumber("scan_seconds", scan_seconds);
+  report.SetNumber("recover_seconds", recover_seconds);
+  report.SetNumber("replay_eps", replay_eps);
+  report.SetBool("recovered_state_matches", state_matches);
+
+  std::ofstream out("BENCH_recovery.json", std::ios::trunc);
+  out << report.ToString() << "\n";
+  const bool json_ok = out.good();
+  out.close();
+  std::printf("wrote BENCH_recovery.json (%s)\n", json_ok ? "ok" : "FAILED");
+  return json_ok && state_matches ? 0 : 1;
+}

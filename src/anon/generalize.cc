@@ -114,7 +114,11 @@ double Generalizer::TrajectoryGap(const mod::Phl& requester_phl,
                                   const mod::Phl& candidate_phl,
                                   geo::Instant now) const {
   const int probes = std::max(1, options_.similarity_probes);
-  const int64_t step = options_.similarity_window / probes;
+  // With more probes than window seconds the integer division truncates to
+  // zero, collapsing every probe onto `now` (the gap degenerates to a
+  // point distance); probe at least one second apart instead.
+  const int64_t step =
+      std::max<int64_t>(1, options_.similarity_window / probes);
   double gap_sum = 0.0;
   int defined = 0;
   for (int i = 0; i < probes; ++i) {

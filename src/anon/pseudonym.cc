@@ -46,5 +46,21 @@ std::optional<mod::UserId> PseudonymManager::Resolve(
   return it->second;
 }
 
+PseudonymManager::DurableState PseudonymManager::SaveDurable() const {
+  DurableState state;
+  state.rng = rng_.SaveState();
+  state.current = current_;
+  state.generation = generation_;
+  state.reverse = reverse_;
+  return state;
+}
+
+void PseudonymManager::RestoreDurable(DurableState state) {
+  rng_.RestoreState(state.rng);
+  current_ = std::move(state.current);
+  generation_ = std::move(state.generation);
+  reverse_ = std::move(state.reverse);
+}
+
 }  // namespace anon
 }  // namespace histkanon

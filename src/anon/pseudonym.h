@@ -37,6 +37,23 @@ class PseudonymManager {
   /// nullopt for unknown pseudonyms.
   std::optional<mod::UserId> Resolve(const mod::Pseudonym& pseudonym) const;
 
+  /// \brief Complete manager state for checkpoint/restore.  Includes the
+  /// FULL reverse map (retired pseudonyms included), because Fresh()
+  /// rejects collisions against it — a restored manager must reproduce
+  /// the exact same draw sequence the crashed one would have.
+  struct DurableState {
+    common::Rng::State rng;
+    std::map<mod::UserId, mod::Pseudonym> current;
+    std::map<mod::UserId, size_t> generation;
+    std::map<mod::Pseudonym, mod::UserId> reverse;
+  };
+
+  /// Captures the current state.
+  DurableState SaveDurable() const;
+
+  /// Overwrites the manager with a previously captured state.
+  void RestoreDurable(DurableState state);
+
  private:
   mod::Pseudonym Fresh();
 

@@ -75,6 +75,13 @@ class ContextRandomizer {
     return anon::ExpandWithin(&rng_, box, tolerance, options_);
   }
 
+  /// Sequential-stream state, for checkpoint/restore (a restored
+  /// randomizer continues the exact draw sequence).
+  common::Rng::State SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const common::Rng::State& state) {
+    rng_.RestoreState(state);
+  }
+
  private:
   common::Rng rng_;
   RandomizerOptions options_;

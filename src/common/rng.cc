@@ -106,6 +106,20 @@ int64_t Rng::Poisson(double mean) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
   uint64_t state = seed;
   state = SplitMix64(&state) ^ (0x9e3779b97f4a7c15ULL * (a + 1));

@@ -67,6 +67,21 @@ class Rng {
   /// each simulated agent an independent deterministic stream.
   Rng Fork();
 
+  /// \brief Complete generator state (xoshiro words + the Box-Muller
+  /// cache), for checkpoint/restore.  A restored generator continues the
+  /// exact stream the saved one would have produced.
+  struct State {
+    uint64_t s[4] = {};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  /// Captures the current state.
+  State SaveState() const;
+
+  /// Overwrites the generator with a previously captured state.
+  void RestoreState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

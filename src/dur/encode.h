@@ -1,0 +1,158 @@
+// Little-endian binary encoding primitives for the durability layer
+// (journal records and state snapshots).
+//
+// Encoding is explicitly byte-shifted (not memcpy of host integers), so a
+// journal written on one platform replays on any other.  Doubles travel as
+// their raw IEEE-754 bit pattern, which makes snapshot/restore byte-exact:
+// the restored server computes with the very same values the crashed one
+// held, the property the kill-point differential test asserts.
+//
+// ByteReader returns Status instead of asserting: journal bytes come from
+// disk and may be torn or corrupted, so every decoder treats truncation as
+// a recoverable error, never UB.
+
+#ifndef HISTKANON_SRC_DUR_ENCODE_H_
+#define HISTKANON_SRC_DUR_ENCODE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace histkanon {
+namespace dur {
+
+/// \brief Appends little-endian primitives to an owned byte string.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t value) { bytes_.push_back(static_cast<char>(value)); }
+
+  void PutU32(uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      bytes_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+
+  void PutU64(uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      bytes_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+
+  void PutI32(int32_t value) { PutU32(static_cast<uint32_t>(value)); }
+  void PutI64(int64_t value) { PutU64(static_cast<uint64_t>(value)); }
+  void PutBool(bool value) { PutU8(value ? 1 : 0); }
+
+  void PutDouble(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value), "IEEE-754 binary64");
+    std::memcpy(&bits, &value, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// Length-prefixed byte string (u64 length + raw bytes).
+  void PutString(std::string_view value) {
+    PutU64(value.size());
+    bytes_.append(value.data(), value.size());
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string&& TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// \brief Status-returning reader over a byte view; every Read* fails with
+/// OutOfRange on truncation instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  common::Status ReadU8(uint8_t* out) {
+    if (remaining() < 1) return Truncated("u8");
+    *out = static_cast<uint8_t>(bytes_[pos_++]);
+    return common::Status::OK();
+  }
+
+  common::Status ReadU32(uint32_t* out) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+               << shift;
+    }
+    *out = value;
+    return common::Status::OK();
+  }
+
+  common::Status ReadU64(uint64_t* out) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+               << shift;
+    }
+    *out = value;
+    return common::Status::OK();
+  }
+
+  common::Status ReadI32(int32_t* out) {
+    uint32_t raw = 0;
+    HISTKANON_RETURN_NOT_OK(ReadU32(&raw));
+    *out = static_cast<int32_t>(raw);
+    return common::Status::OK();
+  }
+
+  common::Status ReadI64(int64_t* out) {
+    uint64_t raw = 0;
+    HISTKANON_RETURN_NOT_OK(ReadU64(&raw));
+    *out = static_cast<int64_t>(raw);
+    return common::Status::OK();
+  }
+
+  common::Status ReadBool(bool* out) {
+    uint8_t raw = 0;
+    HISTKANON_RETURN_NOT_OK(ReadU8(&raw));
+    if (raw > 1) return common::Status::InvalidArgument("bool byte not 0/1");
+    *out = raw != 0;
+    return common::Status::OK();
+  }
+
+  common::Status ReadDouble(double* out) {
+    uint64_t bits = 0;
+    HISTKANON_RETURN_NOT_OK(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(bits));
+    return common::Status::OK();
+  }
+
+  common::Status ReadString(std::string* out) {
+    uint64_t length = 0;
+    HISTKANON_RETURN_NOT_OK(ReadU64(&length));
+    if (length > remaining()) return Truncated("string body");
+    out->assign(bytes_.data() + pos_, length);
+    pos_ += length;
+    return common::Status::OK();
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  common::Status Truncated(const char* what) const {
+    return common::Status::OutOfRange(std::string("truncated ") + what);
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dur
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_DUR_ENCODE_H_

@@ -100,6 +100,22 @@ void LbqidMatcher::Restore(const Snapshot& snapshot) {
   complete_ = snapshot.complete;
 }
 
+LbqidMatcher::DurableState LbqidMatcher::SaveDurable() const {
+  DurableState state;
+  state.partial_times = partial_times_;
+  state.partial_granule = partial_granule_;
+  state.completions = completions_;
+  state.complete = complete_;
+  return state;
+}
+
+void LbqidMatcher::RestoreDurable(DurableState state) {
+  partial_times_ = std::move(state.partial_times);
+  partial_granule_ = state.partial_granule;
+  completions_ = std::move(state.completions);
+  complete_ = state.complete;
+}
+
 void LbqidMatcher::Reset() {
   partial_times_.clear();
   partial_granule_.reset();

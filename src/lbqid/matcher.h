@@ -86,6 +86,24 @@ class LbqidMatcher {
   /// this matcher and completions must not have been Reset() in between.
   void Restore(const Snapshot& snapshot);
 
+  /// \brief Full automaton state for checkpoint/restore.  Unlike Snapshot
+  /// (an in-process rollback aid that only counts completions), this
+  /// carries the completion instants themselves, so it round-trips across
+  /// a process boundary into a freshly constructed matcher.
+  struct DurableState {
+    std::vector<geo::Instant> partial_times;
+    std::optional<int64_t> partial_granule;
+    std::vector<geo::Instant> completions;
+    bool complete = false;
+  };
+
+  /// Captures the complete state.
+  DurableState SaveDurable() const;
+
+  /// Overwrites the automaton with a previously captured state.  The
+  /// matcher must track the same LBQID the state was saved against.
+  void RestoreDurable(DurableState state);
+
   const Lbqid& lbqid() const { return *lbqid_; }
 
   /// Index of the element the automaton expects next (0 = start).

@@ -89,6 +89,21 @@ const LbqidMatcher* LbqidMonitor::MatcherOf(mod::UserId user,
   return it->second.matchers[index].get();
 }
 
+LbqidMatcher* LbqidMonitor::MutableMatcherOf(mod::UserId user, size_t index) {
+  const auto it = users_.find(user);
+  if (it == users_.end() || index >= it->second.matchers.size()) {
+    return nullptr;
+  }
+  return it->second.matchers[index].get();
+}
+
+std::vector<mod::UserId> LbqidMonitor::Users() const {
+  std::vector<mod::UserId> users;
+  users.reserve(users_.size());
+  for (const auto& [user, per_user] : users_) users.push_back(user);
+  return users;
+}
+
 bool LbqidMonitor::AnyComplete(mod::UserId user) const {
   const auto it = users_.find(user);
   if (it == users_.end()) return false;

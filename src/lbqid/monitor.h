@@ -61,6 +61,14 @@ class LbqidMonitor {
   /// The live matcher for (user, index); nullptr when unknown.
   const LbqidMatcher* MatcherOf(mod::UserId user, size_t index) const;
 
+  /// Mutable access to a live matcher, for durability restore (the
+  /// checkpoint re-registers the LBQIDs, then overwrites each fresh
+  /// matcher's automaton state).  nullptr when unknown.
+  LbqidMatcher* MutableMatcherOf(mod::UserId user, size_t index);
+
+  /// Every user with at least one registered LBQID, ascending.
+  std::vector<mod::UserId> Users() const;
+
   /// True if any of the user's LBQIDs has been fully matched.
   bool AnyComplete(mod::UserId user) const;
 

@@ -1,5 +1,6 @@
 #include "src/mod/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -54,6 +55,13 @@ common::Result<MovingObjectDb> ReadDb(std::istream* is) {
       return common::Status::InvalidArgument(
           common::Format("trailing data at line %zu: '%s'", line_number,
                          excess.c_str()));
+    }
+    // operator>> happily parses "nan"/"inf"; those would be UB once the
+    // sample reaches GridIndex::CellOf (float-to-int cast of non-finite).
+    if (!std::isfinite(sample.p.x) || !std::isfinite(sample.p.y)) {
+      return common::Status::InvalidArgument(
+          common::Format("non-finite coordinates at line %zu: '%s'",
+                         line_number, line.c_str()));
     }
     const common::Status append = db.Append(user, sample);
     if (!append.ok()) {

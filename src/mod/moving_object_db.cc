@@ -1,5 +1,7 @@
 #include "src/mod/moving_object_db.h"
 
+#include <cmath>
+
 #include "src/common/str.h"
 
 namespace histkanon {
@@ -7,6 +9,13 @@ namespace mod {
 
 common::Status MovingObjectDb::Append(UserId user,
                                       const geo::STPoint& sample) {
+  // Non-finite coordinates would be UB downstream (GridIndex::CellOf
+  // floors them into an int64_t); reject before creating the user's PHL.
+  if (!std::isfinite(sample.p.x) || !std::isfinite(sample.p.y)) {
+    return common::Status::InvalidArgument(
+        common::Format("non-finite sample coordinates for user %lld",
+                       static_cast<long long>(user)));
+  }
   HISTKANON_RETURN_NOT_OK(phls_[user].Append(sample));
   ++total_samples_;
   return common::Status::OK();

@@ -56,6 +56,9 @@ ConcurrentServer::~ConcurrentServer() { Finish(); }
 
 common::Status ConcurrentServer::RegisterService(
     const anon::ServiceProfile& service) {
+  // Write-ahead: journal before applying.  A failing call is journaled
+  // too — the pipeline is deterministic, so replay fails it identically.
+  JournalRegisterService(service);
   common::Status status = common::Status::OK();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     common::Status s = shard->server().RegisterService(service);
@@ -66,21 +69,26 @@ common::Status ConcurrentServer::RegisterService(
 
 common::Status ConcurrentServer::RegisterUser(mod::UserId user,
                                               PrivacyPolicy policy) {
+  JournalRegisterUser(user, policy);
   return OwnerOf(user)->server().RegisterUser(user, policy);
 }
 
 common::Result<size_t> ConcurrentServer::RegisterLbqid(mod::UserId user,
                                                        lbqid::Lbqid lbqid) {
+  JournalRegisterLbqid(user, lbqid);
   return OwnerOf(user)->server().RegisterLbqid(user, std::move(lbqid));
 }
 
 common::Status ConcurrentServer::SetUserRules(mod::UserId user,
                                               PolicyRuleSet rules) {
+  JournalSetUserRules(user, rules);
   return OwnerOf(user)->server().SetUserRules(user, std::move(rules));
 }
 
 void ConcurrentServer::SubmitLocationUpdate(mod::UserId user,
                                             const geo::STPoint& sample) {
+  JournalUpdate(user, sample);
+  streaming_started_ = true;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kLocationUpdate;
   event.user = user;
@@ -92,6 +100,8 @@ size_t ConcurrentServer::SubmitRequest(mod::UserId user,
                                        const geo::STPoint& exact,
                                        mod::ServiceId service,
                                        std::string data) {
+  JournalRequest(user, exact, service, data);
+  streaming_started_ = true;
   const size_t shard = ShardOf(user);
   ShardEvent event;
   event.kind = ShardEvent::Kind::kRequest;
@@ -107,6 +117,8 @@ size_t ConcurrentServer::SubmitRequest(mod::UserId user,
 
 void ConcurrentServer::SubmitRegisterUser(mod::UserId user,
                                           PrivacyPolicy policy) {
+  JournalRegisterUser(user, policy);
+  streaming_started_ = true;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kRegisterUser;
   event.user = user;
@@ -116,6 +128,8 @@ void ConcurrentServer::SubmitRegisterUser(mod::UserId user,
 
 void ConcurrentServer::SubmitRegisterLbqid(mod::UserId user,
                                            lbqid::Lbqid lbqid) {
+  JournalRegisterLbqid(user, lbqid);
+  streaming_started_ = true;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kRegisterLbqid;
   event.user = user;
@@ -125,6 +139,8 @@ void ConcurrentServer::SubmitRegisterLbqid(mod::UserId user,
 
 void ConcurrentServer::SubmitSetUserRules(mod::UserId user,
                                           PolicyRuleSet rules) {
+  JournalSetUserRules(user, rules);
+  streaming_started_ = true;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kSetUserRules;
   event.user = user;
@@ -133,6 +149,8 @@ void ConcurrentServer::SubmitSetUserRules(mod::UserId user,
 }
 
 void ConcurrentServer::EndEpoch() {
+  JournalEpochEnd();
+  streaming_started_ = true;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     ShardEvent event;
     event.kind = ShardEvent::Kind::kEpochEnd;

@@ -47,6 +47,11 @@ struct ConcurrentServerOptions {
   /// (they are not thread-safe; the registry IS shared — its handles are
   /// atomic).  read_store/read_index must be left unset.
   TrustedServerOptions server;
+  /// Write-ahead journal for the FRONT-END submission stream (not owned,
+  /// must outlive the server; nullptr = no journaling).  Register*/
+  /// Submit*/EndEpoch journal from the producer thread before enqueueing;
+  /// the shard servers themselves never journal.
+  TsJournal* journal = nullptr;
 };
 
 /// \brief The sharded Trusted Server.  Single producer: the Submit*/
@@ -123,8 +128,36 @@ class ConcurrentServer {
   const mod::ShardedObjectStore& store() const { return *store_; }
   const stindex::ShardedIndexView& index_view() const { return *view_; }
 
+  // -- Durability (implemented in src/ts/durability.cc).
+
+  /// Closes the current epoch, then serializes every shard's server plus
+  /// the front-end realignment state into one composite snapshot blob
+  /// (appended to the attached journal, if any).  Blocks the producer
+  /// until every worker has serialized itself, so no events race the
+  /// capture.  Callable between epochs of a live stream.
+  common::Result<std::string> Checkpoint();
+
+  /// Restores a Checkpoint() blob.  The server must be fresh (nothing
+  /// submitted yet, FailedPrecondition otherwise) and constructed with
+  /// the same shard count and determinism-relevant server options as the
+  /// checkpointed one.  On failure the server is in an undefined state
+  /// and must be discarded.
+  common::Status RestoreFrom(std::string_view snapshot,
+                             const tgran::GranularityRegistry& registry);
+
  private:
   Shard* OwnerOf(mod::UserId user) { return shards_[ShardOf(user)].get(); }
+
+  // Write-ahead journaling hooks for the front-end stream (no-ops without
+  // a journal); defined in durability.cc next to the record codec.
+  void JournalRegisterService(const anon::ServiceProfile& service);
+  void JournalRegisterUser(mod::UserId user, const PrivacyPolicy& policy);
+  void JournalRegisterLbqid(mod::UserId user, const lbqid::Lbqid& lbqid);
+  void JournalSetUserRules(mod::UserId user, const PolicyRuleSet& rules);
+  void JournalUpdate(mod::UserId user, const geo::STPoint& sample);
+  void JournalRequest(mod::UserId user, const geo::STPoint& exact,
+                      mod::ServiceId service, const std::string& data);
+  void JournalEpochEnd();
 
   ConcurrentServerOptions options_;
   std::unique_ptr<mod::ShardedObjectStore> store_;
@@ -138,6 +171,9 @@ class ConcurrentServer {
   /// submission order — the realignment map for outcomes().
   std::vector<std::pair<size_t, size_t>> submissions_;
   std::vector<size_t> per_shard_requests_;
+  /// True once anything has been streamed (Submit*/EndEpoch) — the
+  /// RestoreFrom freshness precondition.
+  bool streaming_started_ = false;
   bool finished_ = false;
   std::vector<ProcessOutcome> outcomes_;
 };

@@ -1,0 +1,212 @@
+// Crash safety for the Trusted Server: a write-ahead journal of every
+// ingested event, versioned whole-state snapshots, and replay-based
+// recovery.
+//
+// The durability model (DESIGN.md §11):
+//
+//  - every entry point (service/user/LBQID registration, rule attachment,
+//    location update, request) is journaled BEFORE it is applied; the
+//    pipeline is deterministic given the journaled stream and the
+//    checkpointed RNG states, so replaying the journal against the last
+//    intact snapshot reproduces the crashed server's state — including
+//    pseudonyms and message ids — byte for byte;
+//  - snapshots are embedded in the journal as records of their own type,
+//    so a snapshot torn by the crash is discarded by the same CRC/length
+//    scan that discards torn events, and recovery falls back to the
+//    previous intact snapshot (or genesis) plus a longer replay;
+//  - the framing (src/dur/framing.h) guarantees torn tails and corrupted
+//    records are detected and cleanly discarded, never replayed.
+//
+// The recovery invariant, proved by tests/recovery_differential_test.cc:
+// for a crash after ANY journal byte, RecoverTrustedServer + replay of the
+// not-yet-journaled suffix yields SP-visible output (dispositions, boxes,
+// stats, Theorem-1 audits, pseudonyms, msgids) identical to a run that
+// never crashed.
+
+#ifndef HISTKANON_SRC_TS_DURABILITY_H_
+#define HISTKANON_SRC_TS_DURABILITY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/tgran/granularity.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/trusted_server.h"
+#include "src/ts/workload.h"
+
+namespace histkanon {
+namespace ts {
+
+/// Journal record types (first payload byte of every framed record).
+inline constexpr uint8_t kJournalEventRecord = 0x01;
+inline constexpr uint8_t kJournalSnapshotRecord = 0x02;
+
+/// \brief One journaled Trusted-Server input event.
+struct JournalEvent {
+  enum class Kind : uint8_t {
+    kRegisterService = 1,
+    kRegisterUser = 2,
+    kRegisterLbqid = 3,
+    kSetRules = 4,
+    kUpdate = 5,
+    kRequest = 6,
+    /// Epoch boundary of a ConcurrentServer stream (no-op on a serial
+    /// replay, EndEpoch on a concurrent one).
+    kEpochEnd = 7,
+  };
+
+  Kind kind = Kind::kUpdate;
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint point;
+  mod::ServiceId service_id = 0;
+  std::string data;
+  /// kRegisterService payload.
+  anon::ServiceProfile service;
+  /// kRegisterUser payload.
+  PrivacyPolicy policy;
+  /// kRegisterLbqid payload.
+  std::shared_ptr<const lbqid::Lbqid> lbqid;
+  /// kSetRules payload.
+  std::shared_ptr<const PolicyRuleSet> rules;
+};
+
+/// Serializes an event into a record payload (kJournalEventRecord-tagged).
+std::string EncodeJournalEvent(const JournalEvent& event);
+
+/// Decodes an event payload.  Granularity names inside LBQID recurrences
+/// are resolved through `registry`; unknown names fail (custom
+/// granularities must be re-registered before recovery).
+common::Result<JournalEvent> DecodeJournalEvent(
+    std::string_view payload, const tgran::GranularityRegistry& registry);
+
+/// \brief An in-memory write-ahead journal (the byte string is the
+/// durable artifact: persist it with WriteToFile or your own I/O, append
+/// granularity = one framed record).
+class TsJournal {
+ public:
+  TsJournal();
+
+  /// Appends one event record.
+  void AppendEvent(const JournalEvent& event);
+
+  /// Appends a snapshot record embedding `snapshot` (a TrustedServer::
+  /// Checkpoint() or ConcurrentServer::Checkpoint() blob) tagged with the
+  /// number of events journaled so far — recovery replays only the events
+  /// after the last intact snapshot.
+  void AppendSnapshot(std::string_view snapshot);
+
+  /// The journal bytes (magic + records), crash-consistent at any record
+  /// boundary.
+  const std::string& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+  /// Events appended so far (snapshot records do not count).
+  size_t event_count() const { return event_count_; }
+
+  common::Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::string bytes_;
+  size_t event_count_ = 0;
+};
+
+/// \brief What a scan recovered from (possibly damaged) journal bytes.
+struct RecoveredJournal {
+  /// The last intact snapshot blob (empty: recover from genesis).
+  std::string snapshot;
+  /// Events journaled before that snapshot (skipped by replay).
+  size_t events_before_snapshot = 0;
+  /// The intact events AFTER the snapshot, in journal order.
+  std::vector<JournalEvent> events;
+  /// events_before_snapshot + events.size(): the journal position a
+  /// recovered server resumes from.
+  size_t total_events = 0;
+  /// Bytes of the intact prefix (truncate the file here to clean it).
+  size_t valid_bytes = 0;
+  /// False when a torn or corrupted tail was discarded.
+  bool clean = true;
+  std::string tail_error;
+};
+
+/// Scans journal bytes, decoding events and locating the last intact
+/// snapshot.  Damage (torn tail, CRC mismatch, undecodable record) stops
+/// the scan: everything after the last intact record is discarded and
+/// reported via clean/tail_error.  Fails only when the bytes are not a
+/// journal at all.
+common::Result<RecoveredJournal> ScanJournal(
+    std::string_view bytes, const tgran::GranularityRegistry& registry);
+
+/// Every intact event in the journal, ignoring snapshots (the full input
+/// stream — the kill-point harness uses it to continue a recovered run).
+common::Result<std::vector<JournalEvent>> DecodeAllEvents(
+    std::string_view bytes, const tgran::GranularityRegistry& registry);
+
+/// Applies one event to a serial server by invoking the corresponding
+/// entry point (kEpochEnd is a no-op: the serial replay order already is
+/// the epoch-normalized order).  Failing registrations are ignored — the
+/// original call failed identically.
+void ApplyJournalEvent(TrustedServer* server, const JournalEvent& event);
+
+/// Applies one event to a concurrent server (Submit*/EndEpoch;
+/// kRegisterService applies synchronously and must precede streaming,
+/// which journal order guarantees).
+void ApplyConcurrentJournalEvent(ConcurrentServer* server,
+                                 const JournalEvent& event);
+
+/// The exact call sequence ReplayEpochsSerial makes, as journal events:
+/// service registrations, then per epoch the ingest pass (every event;
+/// requests contribute their exact point as a kUpdate) followed by the
+/// serve pass (kRequest).  Feeding these through ApplyJournalEvent
+/// reproduces ReplayEpochsSerial(workload, server) exactly.
+std::vector<JournalEvent> FlattenSerialWorkload(
+    const EpochedWorkload& workload);
+
+/// The ReplayEpochsConcurrent submission stream as journal events (every
+/// epoch's events in submission order, each epoch closed by kEpochEnd).
+std::vector<JournalEvent> FlattenConcurrentWorkload(
+    const EpochedWorkload& workload);
+
+/// \brief A server rebuilt from a journal.
+struct RecoveredServer {
+  std::unique_ptr<TrustedServer> server;
+  /// Journal position recovered to: the caller resumes the input stream
+  /// from this event index.
+  size_t events_applied = 0;
+  bool clean_tail = true;
+  std::string tail_error;
+};
+
+/// Rebuilds a serial server from journal bytes: constructs it with
+/// `options`, restores the last intact snapshot, replays the intact event
+/// suffix.  The recovered server has NO journal attached; attach a fresh
+/// one before resuming ingestion.  `options` must match the crashed
+/// server's (the snapshot fingerprint is verified).
+common::Result<RecoveredServer> RecoverTrustedServer(
+    std::string_view journal_bytes, const TrustedServerOptions& options,
+    const tgran::GranularityRegistry& registry);
+
+/// \brief A concurrent server rebuilt from a journal.
+struct RecoveredConcurrentServer {
+  std::unique_ptr<ConcurrentServer> server;
+  size_t events_applied = 0;
+  bool clean_tail = true;
+  std::string tail_error;
+};
+
+/// Rebuilds a sharded server from journal bytes: constructs it with
+/// `options` (same shard count as the crashed server), restores the last
+/// intact composite snapshot into the shards, and re-submits the intact
+/// event suffix.  The caller resumes the submission stream from
+/// events_applied and must still EndEpoch/Finish as usual.
+common::Result<RecoveredConcurrentServer> RecoverConcurrentServer(
+    std::string_view journal_bytes, ConcurrentServerOptions options,
+    const tgran::GranularityRegistry& registry);
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_DURABILITY_H_

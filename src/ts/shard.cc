@@ -120,6 +120,23 @@ void Shard::WorkerLoop() {
         phase_.serve_done->arrive_and_wait();
         break;
       }
+      case ShardEvent::Kind::kCheckpoint: {
+        // Serialize this shard's server (only this worker touches it) and
+        // hand the blob to the blocked producer.
+        if (event.checkpoint != nullptr) {
+          common::Result<std::string> blob = server_.Checkpoint();
+          std::lock_guard<std::mutex> lock(event.checkpoint->mu);
+          if (blob.ok()) {
+            event.checkpoint->blobs[index_] = std::move(*blob);
+          } else {
+            event.checkpoint->errors[index_] = blob.status().ToString();
+          }
+          if (--event.checkpoint->remaining == 0) {
+            event.checkpoint->cv.notify_all();
+          }
+        }
+        break;
+      }
       case ShardEvent::Kind::kShutdown:
         return;
     }

@@ -39,6 +39,18 @@
 namespace histkanon {
 namespace ts {
 
+/// \brief Rendezvous for a checkpoint fanned out to every shard: each
+/// worker serializes its own server and deposits the blob (or error) at
+/// its shard index; the producer blocks until `remaining` hits zero.
+struct CheckpointCollector {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+  std::vector<std::string> blobs;
+  /// Per-shard error message; empty = the shard checkpointed fine.
+  std::vector<std::string> errors;
+};
+
 /// \brief One queued event for a shard worker.
 struct ShardEvent {
   enum class Kind {
@@ -48,6 +60,7 @@ struct ShardEvent {
     kRegisterLbqid,   ///< Ingest: attach LBQID (unknown user = no-op).
     kSetUserRules,    ///< Ingest: attach rule set (unknown user = no-op).
     kEpochEnd,        ///< Epoch marker: barrier, serve, barrier.
+    kCheckpoint,      ///< Serialize own server into the shared collector.
     kShutdown,        ///< Worker exits (preceded by a final kEpochEnd).
   };
 
@@ -59,6 +72,7 @@ struct ShardEvent {
   PrivacyPolicy policy;
   std::shared_ptr<const lbqid::Lbqid> lbqid;
   std::shared_ptr<const PolicyRuleSet> rules;
+  std::shared_ptr<CheckpointCollector> checkpoint;
 };
 
 /// \brief Bounded multi-producer single-consumer event queue

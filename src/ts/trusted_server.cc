@@ -143,6 +143,9 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
 
 common::Status TrustedServer::RegisterService(
     const anon::ServiceProfile& service) {
+  // Write-ahead: journal before applying.  Failing calls are journaled
+  // too — the pipeline is deterministic, so replay fails them identically.
+  JournalRegisterService(service);
   if (services_.count(service.id) > 0) {
     return common::Status::AlreadyExists(
         common::Format("service %d already registered", service.id));
@@ -153,6 +156,7 @@ common::Status TrustedServer::RegisterService(
 
 common::Status TrustedServer::RegisterUser(mod::UserId user,
                                            PrivacyPolicy policy) {
+  JournalRegisterUser(user, policy);
   if (users_.count(user) > 0) {
     return common::Status::AlreadyExists(common::Format(
         "user %lld already registered", static_cast<long long>(user)));
@@ -165,6 +169,7 @@ common::Status TrustedServer::RegisterUser(mod::UserId user,
 
 common::Result<size_t> TrustedServer::RegisterLbqid(mod::UserId user,
                                                     lbqid::Lbqid lbqid) {
+  JournalRegisterLbqid(user, lbqid);
   if (users_.count(user) == 0) {
     return common::Status::NotFound(common::Format(
         "user %lld is not registered", static_cast<long long>(user)));
@@ -174,6 +179,7 @@ common::Result<size_t> TrustedServer::RegisterLbqid(mod::UserId user,
 
 common::Status TrustedServer::SetUserRules(mod::UserId user,
                                            PolicyRuleSet rules) {
+  JournalSetUserRules(user, rules);
   const auto it = users_.find(user);
   if (it == users_.end()) {
     return common::Status::NotFound(common::Format(
@@ -209,6 +215,7 @@ const anon::ToleranceConstraints& TrustedServer::ToleranceOf(
 
 void TrustedServer::OnLocationUpdate(mod::UserId user,
                                      const geo::STPoint& sample) {
+  JournalUpdate(user, sample);
   // Out-of-order updates (same tick as an earlier sample) are dropped.
   if (db_.Append(user, sample).ok()) index_.Insert(user, sample);
 }
@@ -285,6 +292,7 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
                                              const geo::STPoint& exact,
                                              mod::ServiceId service,
                                              const std::string& data) {
+  JournalRequest(user, exact, service, data);
   RequestTelemetry telemetry;
   telemetry.enabled = obs_.enabled;
   if (!telemetry.enabled) {

@@ -41,6 +41,8 @@
 namespace histkanon {
 namespace ts {
 
+class TsJournal;
+
 /// \brief TS construction parameters.
 struct TrustedServerOptions {
   anon::GeneralizerOptions generalizer;
@@ -245,6 +247,32 @@ class TrustedServer : public sim::EventSink {
   /// must satisfy Historical k-anonymity.  Violations indicate a bug.
   std::vector<TraceAudit> AuditTraces() const;
 
+  // -- Durability (implemented in src/ts/durability.cc).
+
+  /// Attaches a write-ahead journal (not owned, must outlive the server).
+  /// Every subsequent registration, location update, and request is
+  /// journaled BEFORE it is applied.  nullptr detaches.
+  void AttachJournal(TsJournal* journal) { journal_ = journal; }
+  TsJournal* journal() const { return journal_; }
+
+  /// Serializes the COMPLETE server state — db + index contents, LBQID
+  /// automata, pseudonym/unlink state, RNG streams, per-user traces,
+  /// stats, and the outcome log — into a versioned snapshot blob.
+  common::Result<std::string> Checkpoint() const;
+
+  /// Restores a Checkpoint() blob into this server.  The server must be
+  /// freshly constructed (FailedPrecondition otherwise) with options whose
+  /// determinism-relevant fields (seeds, flags) match the checkpointed
+  /// server's — the blob carries a fingerprint that is verified.  Custom
+  /// time granularities must be resolvable through `registry`.
+  common::Status RestoreFrom(std::string_view snapshot,
+                             const tgran::GranularityRegistry& registry);
+
+  /// Checkpoint() + append the snapshot to the attached journal (recovery
+  /// then replays only the events after it).  FailedPrecondition without
+  /// an attached journal.
+  common::Status WriteCheckpoint();
+
  private:
   struct TraceState {
     std::vector<mod::UserId> anchors;
@@ -313,6 +341,16 @@ class TrustedServer : public sim::EventSink {
                const geo::STPoint& exact, mod::ServiceId service,
                const std::string& data, const geo::STBox& context);
 
+  // Write-ahead journaling hooks (no-ops when no journal is attached);
+  // defined in durability.cc next to the record codec.
+  void JournalRegisterService(const anon::ServiceProfile& service);
+  void JournalRegisterUser(mod::UserId user, const PrivacyPolicy& policy);
+  void JournalRegisterLbqid(mod::UserId user, const lbqid::Lbqid& lbqid);
+  void JournalSetUserRules(mod::UserId user, const PolicyRuleSet& rules);
+  void JournalUpdate(mod::UserId user, const geo::STPoint& sample);
+  void JournalRequest(mod::UserId user, const geo::STPoint& exact,
+                      mod::ServiceId service, const std::string& data);
+
   TrustedServerOptions options_;
   mod::MovingObjectDb db_;
   stindex::GridIndex index_;
@@ -328,6 +366,7 @@ class TrustedServer : public sim::EventSink {
   std::map<mod::ServiceId, anon::ServiceProfile> services_;
   std::map<mod::UserId, UserState> users_;
   ServiceProvider* provider_ = nullptr;
+  TsJournal* journal_ = nullptr;
   mod::MessageId next_msgid_ = 1;
   ObsHandles obs_;
   TsStats stats_;

@@ -97,6 +97,35 @@ TEST_F(AnchorStrategyTest, SimilarityRespectsK) {
   EXPECT_TRUE(result->hk_anonymity);
 }
 
+TEST_F(AnchorStrategyTest, TinyWindowStillProbesThePast) {
+  // Regression: with similarity_window < similarity_probes the probe step
+  // (window / probes) used to truncate to zero, collapsing every probe
+  // onto `now` and degenerating the trajectory gap into a point distance
+  // — which let a "teleporter" who materializes beside the requester beat
+  // a steady companion.  The step is now clamped to one second.
+  const geo::Instant now = 100;
+  for (int t = 0; t <= 100; ++t) {
+    const double x = static_cast<double>(t);
+    Add(0, STPoint{{x, 0}, t});
+    Add(1, STPoint{{x, 30}, t});  // co-mover, 30 m north the whole time
+    if (t < 100) {
+      Add(2, STPoint{{50000, 50000}, t});  // far away until...
+    } else {
+      Add(2, STPoint{{x, 1}, t});  // ...teleporting in 1 m away at `now`
+    }
+  }
+  GeneralizerOptions options;
+  options.anchor_strategy = AnchorStrategy::kTrajectorySimilarity;
+  options.similarity_window = 4;  // deliberately smaller than the probes
+  options.similarity_probes = 8;
+  const Generalizer generalizer(&db_, &index_, options);
+  const auto result =
+      generalizer.Generalize(STPoint{{100.0, 0}, now}, 0, {}, 1, loose_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->anchors.size(), 1u);
+  EXPECT_EQ(result->anchors[0], 1);  // the companion, not the teleporter
+}
+
 }  // namespace
 }  // namespace anon
 }  // namespace histkanon

@@ -90,6 +90,19 @@ TEST(ModIoTest, CsvLogWithQuoting) {
             std::string::npos);
 }
 
+TEST(ModIoTest, NonFiniteCoordinatesRejected) {
+  // operator>> parses "nan"/"inf" into doubles; ReadDb must refuse them
+  // before they reach the float-to-int casts in GridIndex::CellOf.
+  for (const char* line :
+       {"1 nan 3.0 4\n", "1 2.0 inf 4\n", "1 -inf 3.0 4\n",
+        "1 2.0 -nan 4\n"}) {
+    std::istringstream in(std::string("1 2.0 3.0 2\n") + line);
+    const auto loaded = ReadDb(&in);
+    ASSERT_FALSE(loaded.ok()) << "accepted: " << line;
+    EXPECT_TRUE(loaded.status().IsInvalidArgument()) << line;
+  }
+}
+
 }  // namespace
 }  // namespace mod
 }  // namespace histkanon

@@ -1,5 +1,7 @@
 #include "src/mod/moving_object_db.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace histkanon {
@@ -75,6 +77,22 @@ TEST_F(MovingObjectDbTest, ForEachSampleVisitsEverything) {
     ++visits;
   });
   EXPECT_EQ(visits, db_.total_samples());
+}
+
+TEST_F(MovingObjectDbTest, AppendRejectsNonFiniteCoordinates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const STPoint& bad :
+       {STPoint{{nan, 0.0}, 200}, STPoint{{0.0, nan}, 200},
+        STPoint{{inf, 0.0}, 200}, STPoint{{0.0, -inf}, 200}}) {
+    const common::Status status = db_.Append(1, bad);
+    EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  }
+  // The guard rejected before mutating: counts and the PHL tail are
+  // untouched, and a good append still works.
+  EXPECT_EQ(db_.total_samples(), 6u);
+  EXPECT_TRUE(db_.Append(1, STPoint{{20, 20}, 200}).ok());
+  EXPECT_EQ(db_.total_samples(), 7u);
 }
 
 }  // namespace
