@@ -1,0 +1,173 @@
+// Overload-protection microbenchmarks: the cost of a DISARMED failpoint
+// site (against a site-free control loop), shed throughput when a stalled
+// shard forces the non-blocking full-queue policies, and the breaker's
+// trip/probe/recovery cycle under a periodic journal fault.  Writes
+// BENCH_overload.json.
+//
+// Plain wall-clock binary (like micro_concurrent / micro_recovery): the
+// stalled-shard scenario doesn't fit the google-benchmark fixture model.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/obs/json.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// A cheap data dependency that keeps both loops honest without memory
+// traffic (the same body runs with and without the failpoint site).
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  return x;
+}
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t iterations = 20'000'000;
+  size_t shed_events = 200'000;
+  if (argc > 1) iterations = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) shed_events = std::strtoul(argv[2], nullptr, 10);
+
+  std::printf("micro_overload: failpoints %s, %zu site evals, %zu shed "
+              "submissions\n\n",
+              fail::kCompiledIn ? "compiled in" : "compiled OUT",
+              iterations, shed_events);
+
+  // -- 1. Disarmed-site overhead vs a site-free control loop. ---------------
+  uint64_t sink = 0x9e3779b97f4a7c15ULL;
+  double control_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iterations; ++i) sink = Mix(sink + i);
+    control_seconds = SecondsSince(start);
+  }
+  double site_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iterations; ++i) {
+      HISTKANON_FAILPOINT_HIT(fail::kBenchNoop);
+      sink = Mix(sink + i);
+    }
+    site_seconds = SecondsSince(start);
+  }
+  const double control_ns =
+      control_seconds * 1e9 / static_cast<double>(iterations);
+  const double site_ns = site_seconds * 1e9 / static_cast<double>(iterations);
+  std::printf("%-32s %10.3f ns/iter\n", "control loop (no site)", control_ns);
+  std::printf("%-32s %10.3f ns/iter (+%.3f ns)\n", "disarmed failpoint site",
+              site_ns, site_ns - control_ns);
+  if (sink == 0) std::printf("(sink drained)\n");  // defeat DCE
+
+  // -- 2. Shed throughput: non-blocking policy against a wedged shard. ------
+  double shed_eps = 0.0;
+  uint64_t sheds = 0;
+  {
+    if (fail::kCompiledIn) {
+      // Wedge the worker so the queue stays full and every overflow
+      // submission exercises the shed path.
+      fail::Registry::Instance()
+          .Get(fail::kTsShardWorkerStall)
+          ->Arm(fail::DelayAction(1), fail::Always());
+    }
+    ts::ConcurrentServerOptions options;
+    options.num_shards = 1;
+    options.queue_capacity = 64;
+    options.full_queue_policy = ts::FullQueuePolicy::kFail;
+    ts::ConcurrentServer server(options);
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < shed_events; ++i) {
+      (void)server.SubmitLocationUpdate(
+          1, PointAt(10, 10, static_cast<int64_t>(100 + i)));
+    }
+    const double seconds = SecondsSince(start);
+    sheds = server.shed_queue_full();
+    shed_eps = static_cast<double>(shed_events) / seconds;
+    fail::Registry::Instance().DisarmAll();
+    server.Finish();
+    std::printf("%-32s %10.0f submissions/s (%llu shed)\n",
+                "kFail policy, wedged shard", shed_eps,
+                static_cast<unsigned long long>(sheds));
+  }
+
+  // -- 3. Breaker trip/probe/recovery cycling under a periodic fault. -------
+  uint64_t trips = 0;
+  uint64_t recoveries = 0;
+  uint64_t suppressed = 0;
+  double breaker_eps = 0.0;
+  if (fail::kCompiledIn) {
+    fail::Registry::Instance()
+        .Get(fail::kDurJournalAppend)
+        ->Arm(fail::ErrorAction(common::StatusCode::kInternal, "bench fault"),
+              fail::EveryNth(50));
+    ts::TrustedServerOptions options;
+    options.overload.breaker.probe_after = 4;
+    ts::TsJournal journal;
+    ts::TrustedServer server(options);
+    server.AttachJournal(&journal);
+    const size_t updates = 50'000;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < updates; ++i) {
+      (void)server.ApplyLocationUpdate(
+          1, PointAt(10, 10, static_cast<int64_t>(100 + i)));
+    }
+    const double seconds = SecondsSince(start);
+    fail::Registry::Instance().DisarmAll();
+    trips = server.breaker().trips();
+    recoveries = server.breaker().recoveries();
+    suppressed = server.breaker().suppressed();
+    breaker_eps = static_cast<double>(updates) / seconds;
+    std::printf("%-32s %10.0f events/s (%llu trips, %llu recoveries, "
+                "%llu suppressed)\n",
+                "breaker cycle (fault 1-in-50)", breaker_eps,
+                static_cast<unsigned long long>(trips),
+                static_cast<unsigned long long>(recoveries),
+                static_cast<unsigned long long>(suppressed));
+  } else {
+    std::printf("%-32s skipped (failpoints compiled out)\n", "breaker cycle");
+  }
+
+  obs::JsonObject report;
+  report.SetString("bench", "micro_overload");
+  report.SetBool("failpoints_compiled_in", fail::kCompiledIn);
+  report.SetUint("site_eval_iterations", iterations);
+  report.SetNumber("control_ns_per_iter", control_ns);
+  report.SetNumber("disarmed_site_ns_per_iter", site_ns);
+  report.SetNumber("disarmed_site_overhead_ns", site_ns - control_ns);
+  report.SetUint("shed_submissions", shed_events);
+  report.SetNumber("shed_submissions_per_second", shed_eps);
+  report.SetUint("shed_queue_full", sheds);
+  report.SetUint("breaker_trips", trips);
+  report.SetUint("breaker_recoveries", recoveries);
+  report.SetUint("breaker_suppressed", suppressed);
+  report.SetNumber("breaker_events_per_second", breaker_eps);
+
+  std::ofstream out("BENCH_overload.json", std::ios::trunc);
+  out << report.ToString() << "\n";
+  const bool json_ok = out.good();
+  out.close();
+  std::printf("\nwrote BENCH_overload.json (%s)\n", json_ok ? "ok" : "FAILED");
+  return json_ok ? 0 : 1;
+}

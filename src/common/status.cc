@@ -21,6 +21,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kUnavailable = 8,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -76,6 +77,11 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  /// \brief The service is temporarily unable to take the operation
+  /// (overload shed, degraded mode); retrying later may succeed.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -95,6 +101,7 @@ class Status {
   }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders as "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,106 @@
+#include "src/dur/sink.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace histkanon {
+namespace dur {
+
+namespace {
+
+std::string ErrnoSuffix() {
+  if (errno == 0) return "";
+  std::string out = " (";
+  out += std::strerror(errno);
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<FileSink>> FileSink::Open(std::string path) {
+  HISTKANON_FAILPOINT_RETURN(fail::kDurFileOpen);
+  errno = 0;
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return common::Status::NotFound("cannot open journal file '" + path +
+                                    "' for writing" + ErrnoSuffix());
+  }
+  return std::unique_ptr<FileSink>(new FileSink(file, std::move(path)));
+}
+
+FileSink::FileSink(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)) {}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+common::Status FileSink::Append(std::string_view bytes) {
+  if (file_ == nullptr) {
+    return common::Status::FailedPrecondition("journal sink '" + path_ +
+                                              "' is closed");
+  }
+  HISTKANON_FAILPOINT_RETURN(fail::kDurFileWrite);
+  // An injected short write puts a REAL torn prefix in the file — the
+  // recovery scan must discard it by CRC, not by trusting the writer.
+  const size_t keep = HISTKANON_FAILPOINT_CLIP(fail::kDurFilePartialWrite,
+                                               bytes.size());
+  errno = 0;
+  const size_t wrote =
+      keep == 0 ? 0 : std::fwrite(bytes.data(), 1, keep, file_);
+  if (wrote != bytes.size()) {
+    return common::Status::Internal(
+        "short write to journal file '" + path_ + "': " +
+        std::to_string(wrote) + " of " + std::to_string(bytes.size()) +
+        " bytes" + ErrnoSuffix());
+  }
+  return common::Status::OK();
+}
+
+common::Status FileSink::Sync() {
+  if (file_ == nullptr) {
+    return common::Status::FailedPrecondition("journal sink '" + path_ +
+                                              "' is closed");
+  }
+  HISTKANON_FAILPOINT_RETURN(fail::kDurFileFlush);
+  errno = 0;
+  if (std::fflush(file_) != 0) {
+    return common::Status::Internal("fflush failed on journal file '" +
+                                    path_ + "'" + ErrnoSuffix());
+  }
+  HISTKANON_FAILPOINT_RETURN(fail::kDurFileSync);
+#if !defined(_WIN32)
+  errno = 0;
+  if (fsync(fileno(file_)) != 0) {
+    return common::Status::Internal("fsync failed on journal file '" + path_ +
+                                    "'" + ErrnoSuffix());
+  }
+#endif
+  return common::Status::OK();
+}
+
+common::Status FileSink::Close() {
+  if (file_ == nullptr) return common::Status::OK();
+  common::Status synced = Sync();
+  errno = 0;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!synced.ok()) return synced;
+  if (rc != 0) {
+    return common::Status::Internal("fclose failed on journal file '" +
+                                    path_ + "'" + ErrnoSuffix());
+  }
+  return common::Status::OK();
+}
+
+}  // namespace dur
+}  // namespace histkanon

@@ -1,0 +1,89 @@
+// Journal byte sinks: where TsJournal streams its records as they are
+// appended (in addition to its in-memory buffer).
+//
+// FileSink is the real-I/O path, written against C stdio (fopen/fwrite/
+// fflush + POSIX fsync) with every syscall result checked and surfaced as
+// a typed common::Status, and a failpoint at each fault boundary
+// (src/fail/sites.h: dur.file.*) so tests can inject disk-full, short
+// writes, and torn syncs deterministically.
+
+#ifndef HISTKANON_SRC_DUR_SINK_H_
+#define HISTKANON_SRC_DUR_SINK_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace histkanon {
+namespace dur {
+
+/// \brief Destination for journal bytes.  Append-only; Sync() makes
+/// everything appended so far durable.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  /// Appends `bytes` atomically from the JOURNAL's point of view: on a
+  /// non-OK return the journal treats the record as not written, even if
+  /// a prefix physically reached the medium (a torn tail the recovery
+  /// scan discards).
+  virtual common::Status Append(std::string_view bytes) = 0;
+
+  /// Flushes buffered bytes to the medium.
+  virtual common::Status Sync() = 0;
+};
+
+/// \brief In-memory sink for tests (no failpoints: it models a perfect
+/// medium; use FileSink or the dur.journal.* sites to inject faults).
+class MemorySink final : public JournalSink {
+ public:
+  common::Status Append(std::string_view bytes) override {
+    bytes_.append(bytes);
+    return common::Status::OK();
+  }
+  common::Status Sync() override { return common::Status::OK(); }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// \brief Append-only file sink over C stdio.  Not thread-safe.
+class FileSink final : public JournalSink {
+ public:
+  /// Opens (truncating) `path` for writing.
+  static common::Result<std::unique_ptr<FileSink>> Open(std::string path);
+
+  ~FileSink() override;  // closes, ignoring errors; call Close() to check
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  /// Appends `bytes`; an injected partial write leaves a real torn prefix
+  /// in the file and reports the short count.
+  common::Status Append(std::string_view bytes) override;
+
+  /// fflush + fsync.
+  common::Status Sync() override;
+
+  /// Flushes and closes; idempotent.  Append/Sync after Close fail.
+  common::Status Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileSink(std::FILE* file, std::string path);
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+}  // namespace dur
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_DUR_SINK_H_

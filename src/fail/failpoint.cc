@@ -1,0 +1,179 @@
+#include "src/fail/failpoint.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/fail/sites.h"
+
+namespace histkanon {
+namespace fail {
+
+common::Status Action::ToStatus() const {
+  if (kind != ActionKind::kError) return common::Status::OK();
+  std::string what = message;
+  if (what.empty()) what = "injected fault";
+  if (!site.empty()) {
+    what += " at ";
+    what += site;
+  }
+  return common::Status(code, std::move(what));
+}
+
+Action ErrorAction(common::StatusCode code, std::string message) {
+  Action action;
+  action.kind = ActionKind::kError;
+  action.code = code;
+  action.message = std::move(message);
+  return action;
+}
+
+Action DelayAction(int64_t delay_ms) {
+  Action action;
+  action.kind = ActionKind::kDelay;
+  action.delay_ms = delay_ms;
+  return action;
+}
+
+Action PartialWriteAction(double keep_fraction) {
+  Action action;
+  action.kind = ActionKind::kPartialWrite;
+  action.keep_fraction = keep_fraction;
+  return action;
+}
+
+Schedule Always() { return Schedule{}; }
+
+Schedule OnNth(uint64_t n) {
+  Schedule schedule;
+  schedule.kind = ScheduleKind::kOnNth;
+  schedule.n = n;
+  return schedule;
+}
+
+Schedule EveryNth(uint64_t n) {
+  Schedule schedule;
+  schedule.kind = ScheduleKind::kEveryNth;
+  schedule.n = n;
+  return schedule;
+}
+
+Schedule WithProbability(double p, uint64_t seed) {
+  Schedule schedule;
+  schedule.kind = ScheduleKind::kProbability;
+  schedule.probability = p;
+  schedule.seed = seed;
+  return schedule;
+}
+
+size_t ClipWrite(const Action& action, size_t n) {
+  if (action.kind != ActionKind::kPartialWrite) return n;
+  double keep = action.keep_fraction;
+  if (keep < 0.0) keep = 0.0;
+  if (keep > 1.0) keep = 1.0;
+  return static_cast<size_t>(static_cast<double>(n) * keep);
+}
+
+FailPoint::FailPoint(std::string name) : name_(std::move(name)) {}
+
+FailPoint::~FailPoint() = default;
+
+void FailPoint::Arm(const Action& action, const Schedule& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  action_ = action;
+  schedule_ = schedule;
+  hit_counter_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  rng_.reset();
+  if (schedule.kind == ScheduleKind::kProbability) {
+    rng_ = std::make_unique<common::Rng>(schedule.seed);
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FailPoint::Disarm() { armed_.store(false, std::memory_order_release); }
+
+Action FailPoint::Evaluate() {
+  // Disarmed fast path: this load is the entire cost of a quiet site.
+  if (!armed_.load(std::memory_order_relaxed)) return Action{};
+  Action fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return Action{};  // raced
+    const uint64_t hit = ++hit_counter_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bool fire = false;
+    switch (schedule_.kind) {
+      case ScheduleKind::kAlways:
+        fire = true;
+        break;
+      case ScheduleKind::kOnNth:
+        fire = schedule_.n != 0 && hit == schedule_.n;
+        break;
+      case ScheduleKind::kEveryNth:
+        fire = schedule_.n != 0 && hit % schedule_.n == 0;
+        break;
+      case ScheduleKind::kProbability:
+        fire = rng_ != nullptr && rng_->Bernoulli(schedule_.probability);
+        break;
+    }
+    if (!fire) return Action{};
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    fired = action_;
+    fired.site = name_;
+  }
+  // Delays sleep here, outside the lock, so a stalled site cannot block
+  // Arm/Disarm or other threads hitting the same site.
+  if (fired.kind == ActionKind::kDelay && fired.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+  }
+  return fired;
+}
+
+Registry& Registry::Instance() {
+  static Registry* const kInstance = new Registry();  // never destroyed
+  return *kInstance;
+}
+
+Registry::Registry() {
+  for (const char* name : kAllSites) {
+    sites_.emplace(name, std::make_unique<FailPoint>(name));
+  }
+}
+
+FailPoint* Registry::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(name),
+                        std::make_unique<FailPoint>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<FailPoint*> Registry::Sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailPoint*> sites;
+  sites.reserve(sites_.size());
+  for (const auto& [name, point] : sites_) sites.push_back(point.get());
+  return sites;  // std::map iterates in name order
+}
+
+void Registry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, point] : sites_) point->Disarm();
+}
+
+ScopedFailPoint::ScopedFailPoint(std::string_view site, const Action& action,
+                                 const Schedule& schedule)
+    : point_(Registry::Instance().Get(site)) {
+  point_->Arm(action, schedule);
+}
+
+ScopedFailPoint::~ScopedFailPoint() { point_->Disarm(); }
+
+}  // namespace fail
+}  // namespace histkanon

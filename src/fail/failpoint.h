@@ -1,0 +1,272 @@
+// Deterministic fault injection: named failpoint sites threaded through
+// the I/O and concurrency layers, armed per-test with a schedule (fire on
+// the Nth hit, every Nth hit, or with a seeded probability) and an action
+// (inject a typed error Status, stall the caller, or truncate a write).
+//
+// Cost model: a DISARMED site is a single relaxed atomic load behind a
+// function-local static pointer (no registry lookup after the first hit);
+// with -DHISTKANON_NO_FAILPOINTS (CMake: -DHISTKANON_FAILPOINTS=OFF) every
+// site macro compiles to nothing at all.  bench/micro_overload.cc measures
+// the disarmed-site cost and gates it against a no-site control loop.
+//
+// Usage at a site:
+//
+//   common::Status FileSink::Append(std::string_view bytes) {
+//     HISTKANON_FAILPOINT_RETURN(fail::kDurFileWrite);   // injected errors
+//     size_t keep = HISTKANON_FAILPOINT_CLIP(fail::kDurFilePartialWrite,
+//                                            bytes.size());
+//     ...
+//
+// Usage in a test:
+//
+//   fail::ScopedFailPoint fp(fail::kDurFileWrite,
+//                            fail::ErrorAction(common::StatusCode::kInternal,
+//                                              "disk full"),
+//                            fail::OnNth(2));          // disarmed on exit
+
+#ifndef HISTKANON_SRC_FAIL_FAILPOINT_H_
+#define HISTKANON_SRC_FAIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace histkanon {
+namespace common {
+class Rng;
+}  // namespace common
+
+namespace fail {
+
+/// True when failpoint sites are compiled into the library.  Tests that
+/// need sites to fire should GTEST_SKIP when this is false (the
+/// HISTKANON_FAILPOINTS=OFF build still compiles and links everything).
+#ifdef HISTKANON_NO_FAILPOINTS
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// What a firing site does to its caller.
+enum class ActionKind : uint8_t {
+  kOff = 0,           ///< Did not fire; the site proceeds normally.
+  kError = 1,         ///< Inject a typed common::Status error.
+  kDelay = 2,         ///< Stall the calling thread for delay_ms.
+  kPartialWrite = 3,  ///< Truncate the site's write to keep_fraction.
+};
+
+/// \brief The effect evaluated at a site.  A default-constructed Action is
+/// kOff ("nothing fired").
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  /// kError: the injected status code.
+  common::StatusCode code = common::StatusCode::kInternal;
+  /// kError: the injected message ("injected fault at <site>" if empty).
+  std::string message;
+  /// kDelay: how long Evaluate() stalls the caller, in milliseconds.
+  int64_t delay_ms = 0;
+  /// kPartialWrite: fraction of the write to keep, in [0, 1).
+  double keep_fraction = 0.0;
+  /// Name of the site that fired (filled in by Evaluate()).
+  std::string site;
+
+  /// True iff the action fired (any kind but kOff).
+  bool fired() const { return kind != ActionKind::kOff; }
+  /// The injected error for a kError action; OK for every other kind.
+  common::Status ToStatus() const;
+};
+
+/// An error-injecting action.
+Action ErrorAction(common::StatusCode code, std::string message = "");
+/// A caller-stalling action.
+Action DelayAction(int64_t delay_ms);
+/// A write-truncating action (keep_fraction of the bytes reach the sink).
+Action PartialWriteAction(double keep_fraction);
+
+/// When an armed site fires, as a function of its hit count since arming.
+enum class ScheduleKind : uint8_t {
+  kAlways = 0,       ///< Every hit.
+  kOnNth = 1,        ///< Exactly the Nth hit (1-based), once.
+  kEveryNth = 2,     ///< Every Nth hit (N, 2N, 3N, ...).
+  kProbability = 3,  ///< Each hit independently with probability p (seeded).
+};
+
+/// \brief Firing schedule for an armed site.
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::kAlways;
+  /// kOnNth / kEveryNth: the N (1-based; 0 never fires).
+  uint64_t n = 1;
+  /// kProbability: per-hit firing probability in [0, 1].
+  double probability = 1.0;
+  /// kProbability: seed of the schedule's private RNG stream — two runs
+  /// with the same seed fire on the same hit numbers.
+  uint64_t seed = 0;
+};
+
+/// Fire on every hit.
+Schedule Always();
+/// Fire exactly once, on the Nth hit (1-based).
+Schedule OnNth(uint64_t n);
+/// Fire on hits N, 2N, 3N, ...
+Schedule EveryNth(uint64_t n);
+/// Fire each hit independently with probability p, from a seeded stream.
+Schedule WithProbability(double p, uint64_t seed);
+
+/// \brief One named injection site.  Sites are created once (by the
+/// registry) and never destroyed; Evaluate() is safe from any thread.
+class FailPoint {
+ public:
+  explicit FailPoint(std::string name);
+  ~FailPoint();
+
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Arms the site: subsequent Evaluate() calls run `schedule` and return
+  /// `action` on the hits it selects.  Resets the hit counter.
+  void Arm(const Action& action, const Schedule& schedule);
+
+  /// Disarms the site (Evaluate() returns kOff again).  Counters persist
+  /// until the next Arm.
+  void Disarm();
+
+  /// True while armed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// \brief The hot path, called at the site.  Disarmed: one relaxed
+  /// atomic load, returns kOff.  Armed: runs the schedule; a kDelay action
+  /// sleeps HERE (callers need no delay handling); kError/kPartialWrite
+  /// are returned for the site to apply.
+  Action Evaluate();
+
+  /// Hits evaluated while armed (since the last Arm).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Hits on which the schedule fired (since the last Arm).
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> fires_{0};
+  std::mutex mu_;  // guards the armed-state fields below
+  Action action_;
+  Schedule schedule_;
+  uint64_t hit_counter_ = 0;  // schedule position (reset by Arm)
+  std::unique_ptr<common::Rng> rng_;
+};
+
+/// \brief Process-wide site registry.  Every site named in
+/// src/fail/sites.h is pre-registered at first use, so test sweeps can
+/// enumerate the full site inventory without having executed the sites.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The site with this name, creating it on first use.  The returned
+  /// pointer is valid for the life of the process.
+  FailPoint* Get(std::string_view name);
+
+  /// Every registered site, sorted by name.
+  std::vector<FailPoint*> Sites() const;
+
+  /// Disarms every site (test teardown safety net).
+  void DisarmAll();
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> sites_;
+};
+
+/// \brief RAII arming for tests: arms a site on construction, disarms on
+/// scope exit.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string_view site, const Action& action,
+                  const Schedule& schedule = Always());
+  ~ScopedFailPoint();
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  FailPoint* point() { return point_; }
+  uint64_t fires() const { return point_->fires(); }
+  uint64_t hits() const { return point_->hits(); }
+
+ private:
+  FailPoint* point_;
+};
+
+/// Applies a kPartialWrite action to a write of n bytes: the truncated
+/// length for a fired partial write, n otherwise.
+size_t ClipWrite(const Action& action, size_t n);
+
+}  // namespace fail
+}  // namespace histkanon
+
+// -- Site macros ------------------------------------------------------------
+//
+// HISTKANON_FAILPOINT(name)         -> fail::Action   (evaluate; delays
+//                                      already applied)
+// HISTKANON_FAILPOINT_HIT(name)        statement: evaluate and discard
+//                                      (stall-only sites)
+// HISTKANON_FAILPOINT_RETURN(name)     statement: if an error action fired,
+//                                      return its Status from the enclosing
+//                                      function (also works for Result<T>)
+// HISTKANON_FAILPOINT_CLIP(name, n) -> size_t: n, or the truncated length
+//                                      when a partial-write action fired
+
+#ifndef HISTKANON_NO_FAILPOINTS
+
+#define HISTKANON_FAILPOINT(site_name)                          \
+  ([&]() -> ::histkanon::fail::Action {                         \
+    static ::histkanon::fail::FailPoint* const _hk_fp =         \
+        ::histkanon::fail::Registry::Instance().Get(site_name); \
+    return _hk_fp->Evaluate();                                  \
+  }())
+
+#define HISTKANON_FAILPOINT_HIT(site_name) \
+  do {                                     \
+    (void)HISTKANON_FAILPOINT(site_name);  \
+  } while (false)
+
+#define HISTKANON_FAILPOINT_RETURN(site_name)                        \
+  do {                                                               \
+    const ::histkanon::fail::Action _hk_action =                     \
+        HISTKANON_FAILPOINT(site_name);                              \
+    if (_hk_action.kind == ::histkanon::fail::ActionKind::kError)    \
+      return _hk_action.ToStatus();                                  \
+  } while (false)
+
+#define HISTKANON_FAILPOINT_CLIP(site_name, n) \
+  (::histkanon::fail::ClipWrite(HISTKANON_FAILPOINT(site_name), (n)))
+
+#else  // HISTKANON_NO_FAILPOINTS
+
+#define HISTKANON_FAILPOINT(site_name) (::histkanon::fail::Action{})
+#define HISTKANON_FAILPOINT_HIT(site_name) \
+  do {                                     \
+  } while (false)
+#define HISTKANON_FAILPOINT_RETURN(site_name) \
+  do {                                        \
+  } while (false)
+#define HISTKANON_FAILPOINT_CLIP(site_name, n) (n)
+
+#endif  // HISTKANON_NO_FAILPOINTS
+
+#endif  // HISTKANON_SRC_FAIL_FAILPOINT_H_

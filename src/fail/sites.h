@@ -1,0 +1,70 @@
+// The site inventory: every failpoint name used anywhere in the library.
+//
+// Add new sites HERE (and to kAllSites) so the registry pre-registers them
+// and the CI sweep (tests/failpoint_sweep_test.cc) refuses to pass until
+// the new site has a driver that fires it.
+
+#ifndef HISTKANON_SRC_FAIL_SITES_H_
+#define HISTKANON_SRC_FAIL_SITES_H_
+
+#include <cstddef>
+
+namespace histkanon {
+namespace fail {
+
+// -- dur: journal + file sink I/O -------------------------------------------
+
+/// TsJournal::AppendEvent — the write-ahead append a mutation admission
+/// depends on (fires = the event is NOT journaled and must be suppressed).
+inline constexpr const char kDurJournalAppend[] = "dur.journal.append";
+/// TsJournal::AppendSnapshot — checkpoint blob append.
+inline constexpr const char kDurJournalSnapshot[] = "dur.journal.snapshot";
+/// FileSink::Open — fopen failure (permission / missing directory).
+inline constexpr const char kDurFileOpen[] = "dur.file.open";
+/// FileSink::Append — whole-write failure (disk full before any byte).
+inline constexpr const char kDurFileWrite[] = "dur.file.write";
+/// FileSink::Append — short write: a PREFIX reaches the disk (torn tail
+/// for the recovery scan), then the append reports an error.
+inline constexpr const char kDurFilePartialWrite[] = "dur.file.partial_write";
+/// FileSink::Sync — fflush failure.
+inline constexpr const char kDurFileFlush[] = "dur.file.flush";
+/// FileSink::Sync — fsync failure (torn sync: data may or may not be
+/// durable).
+inline constexpr const char kDurFileSync[] = "dur.file.sync";
+
+// -- mod: store reads --------------------------------------------------------
+
+/// MovingObjectDb::GetPhl — store read failure.  Unit-test only: arming it
+/// mid-pipeline changes request outcomes, so the chaos differential (which
+/// requires byte-identical convergence on accepted events) must not.
+inline constexpr const char kModStoreGetPhl[] = "mod.store.get_phl";
+
+// -- ts: shard workers + checkpoint ------------------------------------------
+
+/// Shard::WorkerLoop — stall after popping an event (wedged worker:
+/// produces queue backpressure against the front-end).
+inline constexpr const char kTsShardWorkerStall[] = "ts.shard.worker.stall";
+/// Shard::Serve — stall before serving a request (slow pipeline).
+inline constexpr const char kTsShardServeStall[] = "ts.shard.serve.stall";
+/// TrustedServer::Checkpoint — snapshot serialization failure.
+inline constexpr const char kTsCheckpoint[] = "ts.checkpoint";
+
+// -- bench -------------------------------------------------------------------
+
+/// bench/micro_overload.cc — a site that guards nothing, for measuring the
+/// disarmed-site overhead.
+inline constexpr const char kBenchNoop[] = "bench.noop";
+
+/// Every site above, for registry pre-registration and the CI sweep.
+inline constexpr const char* kAllSites[] = {
+    kDurJournalAppend, kDurJournalSnapshot, kDurFileOpen,
+    kDurFileWrite,     kDurFilePartialWrite, kDurFileFlush,
+    kDurFileSync,      kModStoreGetPhl,      kTsShardWorkerStall,
+    kTsShardServeStall, kTsCheckpoint,       kBenchNoop,
+};
+inline constexpr size_t kNumSites = sizeof(kAllSites) / sizeof(kAllSites[0]);
+
+}  // namespace fail
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_FAIL_SITES_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "src/common/str.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
 
 namespace histkanon {
 namespace mod {
@@ -22,6 +24,7 @@ common::Status MovingObjectDb::Append(UserId user,
 }
 
 common::Result<const Phl*> MovingObjectDb::GetPhl(UserId user) const {
+  HISTKANON_FAILPOINT_RETURN(fail::kModStoreGetPhl);
   const auto it = phls_.find(user);
   if (it == phls_.end()) {
     return common::Status::NotFound(

@@ -7,9 +7,12 @@ namespace histkanon {
 namespace obs {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)),
+    : bounds_(upper_bounds.empty() ? DefaultLatencyBounds()
+                                   : std::move(upper_bounds)),
       buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
-  assert(!bounds_.empty());
+  // Empty bounds would make Quantile's bounds_.back() fallback UB; in
+  // release builds (assert compiled out) fall back to the latency bounds
+  // instead of corrupting memory.
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
   for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
 }

@@ -4,12 +4,13 @@
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/ts/durability.h"
 
 namespace histkanon {
 namespace ts {
 
 ConcurrentServer::ConcurrentServer(ConcurrentServerOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), breaker_(options_.breaker) {
   const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
   store_ = std::make_unique<mod::ShardedObjectStore>();
   view_ = std::make_unique<stindex::ShardedIndexView>();
@@ -43,22 +44,123 @@ ConcurrentServer::ConcurrentServer(ConcurrentServerOptions options)
     shard_options.tracer = nullptr;
     shard_options.event_sink = nullptr;
     shards_.push_back(std::make_unique<Shard>(i, options_.queue_capacity,
-                                              shard_options, phase));
+                                              shard_options, phase,
+                                              options_.queue_deadline_seconds));
   }
   for (const std::unique_ptr<Shard>& shard : shards_) {
     store_->AddSlice(&shard->server().db());
     view_->AddSlice(&shard->server().index());
+  }
+  if (options_.server.registry != nullptr) {
+    obs::Registry& registry = *options_.server.registry;
+    breaker_.AttachRegistry(&registry, "cs");
+    shed_requests_counter_ = registry.GetCounter("cs_shed_requests_total");
+    shed_events_counter_ = registry.GetCounter("cs_shed_events_total");
+    shed_queue_full_counter_ = registry.GetCounter("cs_shed_queue_full_total");
+    journal_failures_counter_ =
+        registry.GetCounter("cs_journal_failures_total");
   }
   for (const std::unique_ptr<Shard>& shard : shards_) shard->Start();
 }
 
 ConcurrentServer::~ConcurrentServer() { Finish(); }
 
+void ConcurrentServer::CountShed(bool is_request) {
+  ++shed_events_;
+  if (shed_events_counter_ != nullptr) shed_events_counter_->Increment();
+  if (is_request) {
+    ++shed_requests_;
+    if (shed_requests_counter_ != nullptr) shed_requests_counter_->Increment();
+  }
+}
+
+common::Status ConcurrentServer::FrontEndAdmit(const JournalEvent& event) {
+  if (!breaker_.Admit()) {
+    return common::Status::Unavailable(
+        "concurrent server degraded: event suppressed fail-closed");
+  }
+  if (options_.journal != nullptr) {
+    // Back-fill epoch markers that were emitted to the shards while the
+    // journal was failing, so journal epochs stay aligned with the epochs
+    // the shards actually ran.
+    while (pending_epoch_ends_ > 0) {
+      JournalEvent marker;
+      marker.kind = JournalEvent::Kind::kEpochEnd;
+      common::Status status = options_.journal->AppendEvent(marker);
+      if (!status.ok()) {
+        ++journal_failures_;
+        if (journal_failures_counter_ != nullptr) {
+          journal_failures_counter_->Increment();
+        }
+        breaker_.RecordFailure();
+        return status;
+      }
+      --pending_epoch_ends_;
+    }
+    common::Status status = options_.journal->AppendEvent(event);
+    if (!status.ok()) {
+      ++journal_failures_;
+      if (journal_failures_counter_ != nullptr) {
+        journal_failures_counter_->Increment();
+      }
+      breaker_.RecordFailure();
+      return status;
+    }
+  }
+  breaker_.RecordSuccess();
+  ++admitted_events_;
+  return common::Status::OK();
+}
+
+bool ConcurrentServer::AdmitData(Shard* owner, const JournalEvent& event,
+                                 bool is_request) {
+  streaming_started_ = true;
+  // Reserve queue capacity FIRST: under a shed/fail policy the drop
+  // decision must precede the journal append (a journaled-then-shed event
+  // would replay as applied).
+  if (options_.full_queue_policy == FullQueuePolicy::kBlock) {
+    owner->AcquireSlot();
+  } else {
+    const int64_t timeout_ms =
+        options_.full_queue_policy == FullQueuePolicy::kShed
+            ? options_.enqueue_timeout_ms
+            : 0;
+    if (!owner->TryAcquireSlot(timeout_ms)) {
+      ++shed_queue_full_;
+      if (shed_queue_full_counter_ != nullptr) shed_queue_full_counter_->Increment();
+      CountShed(is_request);
+      last_submit_error_ =
+          common::Status::Unavailable("shard queue full: event shed");
+      return false;
+    }
+  }
+  common::Status status = FrontEndAdmit(event);
+  if (!status.ok()) {
+    owner->CancelSlot();
+    CountShed(is_request);
+    last_submit_error_ = std::move(status);
+    return false;
+  }
+  last_submit_error_ = common::Status::OK();
+  return true;
+}
+
 common::Status ConcurrentServer::RegisterService(
     const anon::ServiceProfile& service) {
-  // Write-ahead: journal before applying.  A failing call is journaled
-  // too — the pipeline is deterministic, so replay fails it identically.
-  JournalRegisterService(service);
+  // Write-ahead: journal before applying.  A failing registration is
+  // journaled too — the pipeline is deterministic, so replay fails it
+  // identically.  A failing APPEND, though, suppresses the registration
+  // entirely (fail-closed).
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kRegisterService;
+  event.service = service;
+  common::Status admitted = FrontEndAdmit(event);
+  if (!admitted.ok()) {
+    CountShed(false);
+    last_submit_error_ = admitted;
+    return admitted;
+  }
+  last_submit_error_ = common::Status::OK();
   common::Status status = common::Status::OK();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     common::Status s = shard->server().RegisterService(service);
@@ -69,91 +171,169 @@ common::Status ConcurrentServer::RegisterService(
 
 common::Status ConcurrentServer::RegisterUser(mod::UserId user,
                                               PrivacyPolicy policy) {
-  JournalRegisterUser(user, policy);
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kRegisterUser;
+  event.user = user;
+  event.policy = policy;
+  common::Status admitted = FrontEndAdmit(event);
+  if (!admitted.ok()) {
+    CountShed(false);
+    last_submit_error_ = admitted;
+    return admitted;
+  }
+  last_submit_error_ = common::Status::OK();
   return OwnerOf(user)->server().RegisterUser(user, policy);
 }
 
 common::Result<size_t> ConcurrentServer::RegisterLbqid(mod::UserId user,
                                                        lbqid::Lbqid lbqid) {
-  JournalRegisterLbqid(user, lbqid);
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kRegisterLbqid;
+  event.user = user;
+  event.lbqid = std::make_shared<const lbqid::Lbqid>(lbqid);
+  common::Status admitted = FrontEndAdmit(event);
+  if (!admitted.ok()) {
+    CountShed(false);
+    last_submit_error_ = admitted;
+    return admitted;
+  }
+  last_submit_error_ = common::Status::OK();
   return OwnerOf(user)->server().RegisterLbqid(user, std::move(lbqid));
 }
 
 common::Status ConcurrentServer::SetUserRules(mod::UserId user,
                                               PolicyRuleSet rules) {
-  JournalSetUserRules(user, rules);
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kSetRules;
+  event.user = user;
+  event.rules = std::make_shared<const PolicyRuleSet>(rules);
+  common::Status admitted = FrontEndAdmit(event);
+  if (!admitted.ok()) {
+    CountShed(false);
+    last_submit_error_ = admitted;
+    return admitted;
+  }
+  last_submit_error_ = common::Status::OK();
   return OwnerOf(user)->server().SetUserRules(user, std::move(rules));
 }
 
-void ConcurrentServer::SubmitLocationUpdate(mod::UserId user,
+bool ConcurrentServer::SubmitLocationUpdate(mod::UserId user,
                                             const geo::STPoint& sample) {
-  JournalUpdate(user, sample);
-  streaming_started_ = true;
+  JournalEvent journal_event;
+  journal_event.kind = JournalEvent::Kind::kUpdate;
+  journal_event.user = user;
+  journal_event.point = sample;
+  Shard* owner = OwnerOf(user);
+  if (!AdmitData(owner, journal_event, /*is_request=*/false)) return false;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kLocationUpdate;
   event.user = user;
   event.point = sample;
-  OwnerOf(user)->Enqueue(std::move(event));
+  owner->PushReserved(std::move(event));
+  return true;
 }
 
 size_t ConcurrentServer::SubmitRequest(mod::UserId user,
                                        const geo::STPoint& exact,
                                        mod::ServiceId service,
                                        std::string data) {
-  JournalRequest(user, exact, service, data);
-  streaming_started_ = true;
+  JournalEvent journal_event;
+  journal_event.kind = JournalEvent::Kind::kRequest;
+  journal_event.user = user;
+  journal_event.point = exact;
+  journal_event.service_id = service;
+  journal_event.data = data;
   const size_t shard = ShardOf(user);
+  if (!AdmitData(shards_[shard].get(), journal_event, /*is_request=*/true)) {
+    // Shed: no ordinal, no submissions_ entry (the realignment map stays
+    // dense over the requests that actually reached a shard).
+    return kShedSubmission;
+  }
   ShardEvent event;
   event.kind = ShardEvent::Kind::kRequest;
   event.user = user;
   event.point = exact;
   event.service = service;
   event.data = std::move(data);
+  if (options_.queue_deadline_seconds > 0.0) {
+    event.enqueue_ns = obs::MonotonicNanos();
+  }
   const size_t seq = submissions_.size();
   submissions_.emplace_back(shard, per_shard_requests_[shard]++);
-  shards_[shard]->Enqueue(std::move(event));
+  shards_[shard]->PushReserved(std::move(event));
   return seq;
 }
 
-void ConcurrentServer::SubmitRegisterUser(mod::UserId user,
+bool ConcurrentServer::SubmitRegisterUser(mod::UserId user,
                                           PrivacyPolicy policy) {
-  JournalRegisterUser(user, policy);
-  streaming_started_ = true;
+  JournalEvent journal_event;
+  journal_event.kind = JournalEvent::Kind::kRegisterUser;
+  journal_event.user = user;
+  journal_event.policy = policy;
+  Shard* owner = OwnerOf(user);
+  if (!AdmitData(owner, journal_event, /*is_request=*/false)) return false;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kRegisterUser;
   event.user = user;
   event.policy = policy;
-  OwnerOf(user)->Enqueue(std::move(event));
+  owner->PushReserved(std::move(event));
+  return true;
 }
 
-void ConcurrentServer::SubmitRegisterLbqid(mod::UserId user,
+bool ConcurrentServer::SubmitRegisterLbqid(mod::UserId user,
                                            lbqid::Lbqid lbqid) {
-  JournalRegisterLbqid(user, lbqid);
-  streaming_started_ = true;
+  auto shared = std::make_shared<const lbqid::Lbqid>(std::move(lbqid));
+  JournalEvent journal_event;
+  journal_event.kind = JournalEvent::Kind::kRegisterLbqid;
+  journal_event.user = user;
+  journal_event.lbqid = shared;
+  Shard* owner = OwnerOf(user);
+  if (!AdmitData(owner, journal_event, /*is_request=*/false)) return false;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kRegisterLbqid;
   event.user = user;
-  event.lbqid = std::make_shared<const lbqid::Lbqid>(std::move(lbqid));
-  OwnerOf(user)->Enqueue(std::move(event));
+  event.lbqid = std::move(shared);
+  owner->PushReserved(std::move(event));
+  return true;
 }
 
-void ConcurrentServer::SubmitSetUserRules(mod::UserId user,
+bool ConcurrentServer::SubmitSetUserRules(mod::UserId user,
                                           PolicyRuleSet rules) {
-  JournalSetUserRules(user, rules);
-  streaming_started_ = true;
+  auto shared = std::make_shared<const PolicyRuleSet>(std::move(rules));
+  JournalEvent journal_event;
+  journal_event.kind = JournalEvent::Kind::kSetRules;
+  journal_event.user = user;
+  journal_event.rules = shared;
+  Shard* owner = OwnerOf(user);
+  if (!AdmitData(owner, journal_event, /*is_request=*/false)) return false;
   ShardEvent event;
   event.kind = ShardEvent::Kind::kSetUserRules;
   event.user = user;
-  event.rules = std::make_shared<const PolicyRuleSet>(std::move(rules));
-  OwnerOf(user)->Enqueue(std::move(event));
+  event.rules = std::move(shared);
+  owner->PushReserved(std::move(event));
+  return true;
 }
 
 void ConcurrentServer::EndEpoch() {
-  JournalEpochEnd();
+  // Control-plane: the markers below are emitted no matter what happens
+  // to the marker's journal append — suppressing them would wedge the
+  // barrier machinery and Finish().  An unjournaled marker is remembered
+  // in pending_epoch_ends_ and back-filled by the next successful admit.
+  JournalEvent journal_event;
+  journal_event.kind = JournalEvent::Kind::kEpochEnd;
+  common::Status admitted = FrontEndAdmit(journal_event);
+  if (!admitted.ok()) {
+    ++pending_epoch_ends_;
+    last_submit_error_ = admitted;
+  } else {
+    last_submit_error_ = common::Status::OK();
+  }
   streaming_started_ = true;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     ShardEvent event;
     event.kind = ShardEvent::Kind::kEpochEnd;
+    // Markers always use the blocking enqueue: they must reach every
+    // shard exactly once regardless of the full-queue policy.
     shard->Enqueue(std::move(event));
   }
 }
@@ -171,11 +351,22 @@ void ConcurrentServer::Finish() {
   }
   for (const std::unique_ptr<Shard>& shard : shards_) shard->Join();
   // Realign the per-shard processing logs into global submission order.
+  // Shed submissions never got an entry; shard-level deadline sheds DID
+  // (RecordShedRequest keeps the per-shard logs dense), so indices line
+  // up either way.
   outcomes_.clear();
   outcomes_.reserve(submissions_.size());
   for (const auto& [shard, ordinal] : submissions_) {
     outcomes_.push_back(shards_[shard]->server().outcomes()[ordinal]);
   }
+}
+
+uint64_t ConcurrentServer::deadline_sheds() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->deadline_sheds();
+  }
+  return total;
 }
 
 TsStats ConcurrentServer::stats() const {

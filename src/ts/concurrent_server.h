@@ -38,6 +38,23 @@ struct ConcurrentServerOptions {
   /// Bounded capacity of each shard's event queue (backpressure: Submit*
   /// blocks while the owning shard's queue is full).
   size_t queue_capacity = 1024;
+  /// What a Submit* does when the owning shard's queue is full.  kBlock
+  /// (the historical behavior) waits indefinitely — a stalled shard then
+  /// stalls the producer.  kShed waits up to enqueue_timeout_ms, then
+  /// drops the event (SubmitRequest returns kShedSubmission, the other
+  /// Submit* return false, last_submit_error() explains).  kFail drops
+  /// immediately without waiting.
+  FullQueuePolicy full_queue_policy = FullQueuePolicy::kBlock;
+  /// kShed's bounded wait for queue space, in milliseconds.
+  int64_t enqueue_timeout_ms = 0;
+  /// Front-end journal-failure circuit breaker (fail-closed degraded
+  /// mode, src/ts/overload.h).  Gates the Submit*/Register* stream; the
+  /// per-shard servers keep their own (idle) breakers.
+  CircuitBreakerOptions breaker;
+  /// > 0: requests that waited in a shard queue longer than this budget
+  /// are shed at serve time instead of running the pipeline (kRejected
+  /// outcome).  Breaks the determinism contract; default off.
+  double queue_deadline_seconds = 0.0;
   /// Barrier-stepped serve phase (deterministic stress schedule).
   bool lockstep = false;
   /// Template for every shard's TrustedServer.  Per-shard adjustments:
@@ -72,7 +89,9 @@ class ConcurrentServer {
 
   // -- Setup (before the first Submit*): applied synchronously to the
   // shard servers; the queue-mutex handoff on the first Submit publishes
-  // these writes to the workers.
+  // these writes to the workers.  Fail-closed: a registration whose
+  // write-ahead journal append fails (or that the degraded-mode breaker
+  // suppresses) returns Unavailable/the journal error and is NOT applied.
 
   /// Registers a service on EVERY shard (tolerances are global).
   common::Status RegisterService(const anon::ServiceProfile& service);
@@ -85,19 +104,36 @@ class ConcurrentServer {
 
   // -- Streaming: events queue to the owning shard and take effect in the
   // epoch they are submitted in (registrations during its ingest phase).
+  //
+  // Admission order (fail-closed, write-ahead): queue capacity is
+  // reserved FIRST (the shed decision must precede the journal append — a
+  // journaled-then-shed event would replay as applied), then the breaker
+  // gate and journal append run, then the reserved slot is filled.  A
+  // false / kShedSubmission return means the event had ZERO effect: not
+  // journaled, not enqueued, not applied; last_submit_error() explains.
 
-  void SubmitLocationUpdate(mod::UserId user, const geo::STPoint& sample);
+  bool SubmitLocationUpdate(mod::UserId user, const geo::STPoint& sample);
   /// Returns the request's global submission ordinal (its index in
-  /// outcomes()).
+  /// outcomes()), or kShedSubmission when the request was shed.
   size_t SubmitRequest(mod::UserId user, const geo::STPoint& exact,
                        mod::ServiceId service, std::string data);
-  void SubmitRegisterUser(mod::UserId user, PrivacyPolicy policy);
-  void SubmitRegisterLbqid(mod::UserId user, lbqid::Lbqid lbqid);
-  void SubmitSetUserRules(mod::UserId user, PolicyRuleSet rules);
+  bool SubmitRegisterUser(mod::UserId user, PrivacyPolicy policy);
+  bool SubmitRegisterLbqid(mod::UserId user, lbqid::Lbqid lbqid);
+  bool SubmitSetUserRules(mod::UserId user, PolicyRuleSet rules);
+
+  /// SubmitRequest's "shed, no ordinal assigned" sentinel.
+  static constexpr size_t kShedSubmission = static_cast<size_t>(-1);
 
   /// Closes the current epoch: every shard ingests what was submitted,
   /// meets the barrier, serves its requests, and meets again.  Returns
   /// after enqueueing the markers (workers proceed asynchronously).
+  ///
+  /// Control-plane caveat: the markers are ALWAYS emitted, even when the
+  /// marker's own journal append fails or the breaker is open (suppressing
+  /// them would wedge the epoch machinery).  An unjournaled marker is
+  /// remembered and back-filled into the journal before the next
+  /// successfully admitted event, so journal epoch alignment survives
+  /// faults.
   void EndEpoch();
 
   /// Closes any open epoch, stops the workers, and joins them.  Must be
@@ -128,6 +164,29 @@ class ConcurrentServer {
   const mod::ShardedObjectStore& store() const { return *store_; }
   const stindex::ShardedIndexView& index_view() const { return *view_; }
 
+  // -- Degraded-mode introspection (src/ts/overload.h).
+
+  /// The front-end journal-failure breaker's current state.
+  HealthState health() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  /// Events suppressed fail-closed (any reason); requests among them.
+  uint64_t shed_events() const { return shed_events_; }
+  uint64_t shed_requests() const { return shed_requests_; }
+  /// Sheds caused specifically by a full shard queue.
+  uint64_t shed_queue_full() const { return shed_queue_full_; }
+  /// Front-end write-ahead journal appends that failed.
+  uint64_t journal_failures() const { return journal_failures_; }
+  /// Events admitted (breaker passed + journaled when attached).
+  uint64_t admitted_events() const { return admitted_events_; }
+  /// Requests shed by the shard queue-wait deadline, summed across shards
+  /// (stable after Finish).
+  uint64_t deadline_sheds() const;
+  /// Why the most recent Submit*/EndEpoch admission failed (OK when the
+  /// most recent one succeeded).  Single-producer, like Submit* itself.
+  const common::Status& last_submit_error() const {
+    return last_submit_error_;
+  }
+
   // -- Durability (implemented in src/ts/durability.cc).
 
   /// Closes the current epoch, then serializes every shard's server plus
@@ -148,16 +207,16 @@ class ConcurrentServer {
  private:
   Shard* OwnerOf(mod::UserId user) { return shards_[ShardOf(user)].get(); }
 
-  // Write-ahead journaling hooks for the front-end stream (no-ops without
-  // a journal); defined in durability.cc next to the record codec.
-  void JournalRegisterService(const anon::ServiceProfile& service);
-  void JournalRegisterUser(mod::UserId user, const PrivacyPolicy& policy);
-  void JournalRegisterLbqid(mod::UserId user, const lbqid::Lbqid& lbqid);
-  void JournalSetUserRules(mod::UserId user, const PolicyRuleSet& rules);
-  void JournalUpdate(mod::UserId user, const geo::STPoint& sample);
-  void JournalRequest(mod::UserId user, const geo::STPoint& exact,
-                      mod::ServiceId service, const std::string& data);
-  void JournalEpochEnd();
+  // Fail-closed admission for the front-end stream: breaker gate +
+  // back-filled epoch markers + write-ahead journal append.  Drives the
+  // breaker state machine and the journal-failure counter.
+  common::Status FrontEndAdmit(const JournalEvent& event);
+  // Data-event admission: slot reservation on `owner`'s queue (per the
+  // full-queue policy), then FrontEndAdmit; false = shed (slot released,
+  // counters bumped, last_submit_error_ set).  True = the caller MUST
+  // fill the reserved slot with owner->PushReserved.
+  bool AdmitData(Shard* owner, const JournalEvent& event, bool is_request);
+  void CountShed(bool is_request);
 
   ConcurrentServerOptions options_;
   std::unique_ptr<mod::ShardedObjectStore> store_;
@@ -176,6 +235,26 @@ class ConcurrentServer {
   bool streaming_started_ = false;
   bool finished_ = false;
   std::vector<ProcessOutcome> outcomes_;
+  // Degraded-mode state (single-producer, like the Submit* stream it
+  // guards).  Not part of Checkpoint(): a recovered server starts
+  // HEALTHY, so snapshot blobs stay byte-comparable across fault
+  // histories.
+  CircuitBreaker breaker_;
+  uint64_t shed_events_ = 0;
+  uint64_t shed_requests_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t journal_failures_ = 0;
+  uint64_t admitted_events_ = 0;
+  /// EndEpoch markers emitted to the shards but not yet journaled (their
+  /// append failed or the breaker was open); back-filled by the next
+  /// successful FrontEndAdmit so journal epochs stay aligned with the
+  /// epochs the shards actually ran.
+  size_t pending_epoch_ends_ = 0;
+  common::Status last_submit_error_;
+  obs::Counter* shed_requests_counter_ = nullptr;
+  obs::Counter* shed_events_counter_ = nullptr;
+  obs::Counter* shed_queue_full_counter_ = nullptr;
+  obs::Counter* journal_failures_counter_ = nullptr;
 };
 
 }  // namespace ts

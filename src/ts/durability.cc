@@ -15,6 +15,8 @@
 #include "src/common/str.h"
 #include "src/dur/encode.h"
 #include "src/dur/framing.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
 #include "src/ts/shard.h"
 
 namespace histkanon {
@@ -345,7 +347,7 @@ void PutOutcome(dur::ByteWriter* writer, const ProcessOutcome& outcome) {
 common::Status ReadOutcome(dur::ByteReader* reader, ProcessOutcome* outcome) {
   uint8_t disposition = 0;
   HISTKANON_RETURN_NOT_OK(reader->ReadU8(&disposition));
-  if (disposition > static_cast<uint8_t>(Disposition::kAtRisk)) {
+  if (disposition > static_cast<uint8_t>(Disposition::kRejected)) {
     return common::Status::InvalidArgument("bad disposition byte");
   }
   outcome->disposition = static_cast<Disposition>(disposition);
@@ -458,30 +460,59 @@ common::Result<JournalEvent> DecodeJournalEvent(
 
 TsJournal::TsJournal() { dur::AppendMagic(&bytes_); }
 
-void TsJournal::AppendEvent(const JournalEvent& event) {
+common::Status TsJournal::AppendEvent(const JournalEvent& event) {
+  HISTKANON_FAILPOINT_RETURN(fail::kDurJournalAppend);
+  const size_t old_size = bytes_.size();
   dur::AppendRecord(&bytes_, EncodeJournalEvent(event));
+  HISTKANON_RETURN_NOT_OK(CommitAppend(old_size));
   ++event_count_;
+  return common::Status::OK();
 }
 
-void TsJournal::AppendSnapshot(std::string_view snapshot) {
+common::Status TsJournal::AppendSnapshot(std::string_view snapshot) {
+  HISTKANON_FAILPOINT_RETURN(fail::kDurJournalSnapshot);
   dur::ByteWriter writer;
   writer.PutU8(kJournalSnapshotRecord);
   writer.PutU64(event_count_);
   writer.PutString(snapshot);
+  const size_t old_size = bytes_.size();
   dur::AppendRecord(&bytes_, writer.bytes());
+  return CommitAppend(old_size);
+}
+
+common::Status TsJournal::CommitAppend(size_t old_size) {
+  if (sink_ == nullptr) return common::Status::OK();
+  common::Status status = sink_->Append(
+      std::string_view(bytes_).substr(old_size));
+  if (!status.ok()) {
+    // The record never happened: the in-memory journal stays the intact
+    // prefix; whatever torn bytes reached the sink's medium are discarded
+    // by the recovery scan's CRC check.
+    bytes_.resize(old_size);
+    return status;
+  }
+  return common::Status::OK();
+}
+
+common::Status TsJournal::AttachSink(dur::JournalSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return common::Status::OK();
+  // Catch up: the sink must hold everything journaled so far.
+  common::Status status = sink_->Append(bytes_);
+  if (!status.ok()) sink_ = nullptr;
+  return status;
+}
+
+common::Status TsJournal::Sync() {
+  if (sink_ == nullptr) return common::Status::OK();
+  return sink_->Sync();
 }
 
 common::Status TsJournal::WriteToFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return common::Status::NotFound("cannot open '" + path +
-                                    "' for writing");
-  }
-  file.write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
-  if (!file.good()) {
-    return common::Status::Internal("journal write failed (stream went bad)");
-  }
-  return common::Status::OK();
+  HISTKANON_ASSIGN_OR_RETURN(std::unique_ptr<dur::FileSink> sink,
+                             dur::FileSink::Open(path));
+  HISTKANON_RETURN_NOT_OK(sink->Append(bytes_));
+  return sink->Close();
 }
 
 // ---------------------------------------------------------------------
@@ -707,75 +738,94 @@ std::vector<JournalEvent> FlattenConcurrentWorkload(
 }
 
 // ---------------------------------------------------------------------
-// TrustedServer journaling hooks (write-ahead: called at the top of each
-// entry point, before any state changes).
+// TrustedServer admission hooks (write-ahead: called at the top of each
+// entry point, before any state changes; a non-OK return means the entry
+// point suppresses the mutation fail-closed).
 
-void TrustedServer::JournalRegisterService(
+common::Status TrustedServer::AdmitEvent(const JournalEvent& event) {
+  const bool is_request = event.kind == JournalEvent::Kind::kRequest;
+  if (!breaker_.Admit()) {
+    CountShed(is_request);
+    return common::Status::Unavailable(
+        "trusted server degraded: event suppressed fail-closed");
+  }
+  if (journal_ != nullptr) {
+    common::Status status = journal_->AppendEvent(event);
+    if (!status.ok()) {
+      ++journal_failures_;
+      if (obs_.journal_failures != nullptr) obs_.journal_failures->Increment();
+      breaker_.RecordFailure();
+      CountShed(is_request);
+      return status;
+    }
+  }
+  breaker_.RecordSuccess();
+  ++admitted_events_;
+  return common::Status::OK();
+}
+
+common::Status TrustedServer::JournalRegisterService(
     const anon::ServiceProfile& service) {
-  if (journal_ == nullptr) return;
   JournalEvent event;
   event.kind = JournalEvent::Kind::kRegisterService;
   event.service = service;
-  journal_->AppendEvent(event);
+  return AdmitEvent(event);
 }
 
-void TrustedServer::JournalRegisterUser(mod::UserId user,
-                                        const PrivacyPolicy& policy) {
-  if (journal_ == nullptr) return;
+common::Status TrustedServer::JournalRegisterUser(mod::UserId user,
+                                                  const PrivacyPolicy& policy) {
   JournalEvent event;
   event.kind = JournalEvent::Kind::kRegisterUser;
   event.user = user;
   event.policy = policy;
-  journal_->AppendEvent(event);
+  return AdmitEvent(event);
 }
 
-void TrustedServer::JournalRegisterLbqid(mod::UserId user,
-                                         const lbqid::Lbqid& lbqid) {
-  if (journal_ == nullptr) return;
+common::Status TrustedServer::JournalRegisterLbqid(mod::UserId user,
+                                                   const lbqid::Lbqid& lbqid) {
   JournalEvent event;
   event.kind = JournalEvent::Kind::kRegisterLbqid;
   event.user = user;
   event.lbqid = std::make_shared<const lbqid::Lbqid>(lbqid);
-  journal_->AppendEvent(event);
+  return AdmitEvent(event);
 }
 
-void TrustedServer::JournalSetUserRules(mod::UserId user,
-                                        const PolicyRuleSet& rules) {
-  if (journal_ == nullptr) return;
+common::Status TrustedServer::JournalSetUserRules(mod::UserId user,
+                                                  const PolicyRuleSet& rules) {
   JournalEvent event;
   event.kind = JournalEvent::Kind::kSetRules;
   event.user = user;
   event.rules = std::make_shared<const PolicyRuleSet>(rules);
-  journal_->AppendEvent(event);
+  return AdmitEvent(event);
 }
 
-void TrustedServer::JournalUpdate(mod::UserId user,
-                                  const geo::STPoint& sample) {
-  if (journal_ == nullptr) return;
+common::Status TrustedServer::JournalUpdate(mod::UserId user,
+                                            const geo::STPoint& sample) {
   JournalEvent event;
   event.kind = JournalEvent::Kind::kUpdate;
   event.user = user;
   event.point = sample;
-  journal_->AppendEvent(event);
+  return AdmitEvent(event);
 }
 
-void TrustedServer::JournalRequest(mod::UserId user, const geo::STPoint& exact,
-                                   mod::ServiceId service,
-                                   const std::string& data) {
-  if (journal_ == nullptr) return;
+common::Status TrustedServer::JournalRequest(mod::UserId user,
+                                             const geo::STPoint& exact,
+                                             mod::ServiceId service,
+                                             const std::string& data) {
   JournalEvent event;
   event.kind = JournalEvent::Kind::kRequest;
   event.user = user;
   event.point = exact;
   event.service_id = service;
   event.data = data;
-  journal_->AppendEvent(event);
+  return AdmitEvent(event);
 }
 
 // ---------------------------------------------------------------------
 // TrustedServer snapshot / restore.
 
 common::Result<std::string> TrustedServer::Checkpoint() const {
+  HISTKANON_FAILPOINT_RETURN(fail::kTsCheckpoint);
   dur::ByteWriter writer;
   writer.PutString(kSnapshotMagic);
   // Determinism fingerprint: the option fields recovery must match for a
@@ -1026,83 +1076,15 @@ common::Status TrustedServer::WriteCheckpoint() {
     return common::Status::FailedPrecondition("no journal attached");
   }
   HISTKANON_ASSIGN_OR_RETURN(const std::string snapshot, Checkpoint());
-  journal_->AppendSnapshot(snapshot);
-  return common::Status::OK();
+  // A failed snapshot append leaves the journal exactly as before (the
+  // event suffix just replays from the previous snapshot) — checkpointing
+  // is an optimization, not an admission, so it does not trip the breaker.
+  return journal_->AppendSnapshot(snapshot);
 }
 
 // ---------------------------------------------------------------------
-// ConcurrentServer journaling hooks + checkpoint / restore.  Members of
-// ConcurrentServer, defined here next to the codec.
-
-void ConcurrentServer::JournalRegisterService(
-    const anon::ServiceProfile& service) {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kRegisterService;
-  event.service = service;
-  options_.journal->AppendEvent(event);
-}
-
-void ConcurrentServer::JournalRegisterUser(mod::UserId user,
-                                           const PrivacyPolicy& policy) {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kRegisterUser;
-  event.user = user;
-  event.policy = policy;
-  options_.journal->AppendEvent(event);
-}
-
-void ConcurrentServer::JournalRegisterLbqid(mod::UserId user,
-                                            const lbqid::Lbqid& lbqid) {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kRegisterLbqid;
-  event.user = user;
-  event.lbqid = std::make_shared<const lbqid::Lbqid>(lbqid);
-  options_.journal->AppendEvent(event);
-}
-
-void ConcurrentServer::JournalSetUserRules(mod::UserId user,
-                                           const PolicyRuleSet& rules) {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kSetRules;
-  event.user = user;
-  event.rules = std::make_shared<const PolicyRuleSet>(rules);
-  options_.journal->AppendEvent(event);
-}
-
-void ConcurrentServer::JournalUpdate(mod::UserId user,
-                                     const geo::STPoint& sample) {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kUpdate;
-  event.user = user;
-  event.point = sample;
-  options_.journal->AppendEvent(event);
-}
-
-void ConcurrentServer::JournalRequest(mod::UserId user,
-                                      const geo::STPoint& exact,
-                                      mod::ServiceId service,
-                                      const std::string& data) {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kRequest;
-  event.user = user;
-  event.point = exact;
-  event.service_id = service;
-  event.data = data;
-  options_.journal->AppendEvent(event);
-}
-
-void ConcurrentServer::JournalEpochEnd() {
-  if (options_.journal == nullptr) return;
-  JournalEvent event;
-  event.kind = JournalEvent::Kind::kEpochEnd;
-  options_.journal->AppendEvent(event);
-}
+// ConcurrentServer checkpoint / restore.  (The front-end admission hooks
+// live in concurrent_server.cc; this file keeps the codec and recovery.)
 
 common::Result<std::string> ConcurrentServer::Checkpoint() {
   if (finished_) {
@@ -1152,7 +1134,11 @@ common::Result<std::string> ConcurrentServer::Checkpoint() {
   for (const size_t count : per_shard_requests_) writer.PutU64(count);
   std::string blob = writer.TakeBytes();
   if (options_.journal != nullptr) {
-    options_.journal->AppendSnapshot(blob);
+    // Like the serial WriteCheckpoint: a failed snapshot append leaves
+    // the journal as before (replay just starts from the previous
+    // snapshot), so it neither fails the checkpoint nor trips the
+    // breaker.
+    (void)options_.journal->AppendSnapshot(blob).ok();
   }
   return blob;
 }

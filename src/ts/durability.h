@@ -33,6 +33,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/dur/sink.h"
 #include "src/tgran/granularity.h"
 #include "src/ts/concurrent_server.h"
 #include "src/ts/trusted_server.h"
@@ -85,19 +86,35 @@ common::Result<JournalEvent> DecodeJournalEvent(
 
 /// \brief An in-memory write-ahead journal (the byte string is the
 /// durable artifact: persist it with WriteToFile or your own I/O, append
-/// granularity = one framed record).
+/// granularity = one framed record), optionally teed record-by-record to
+/// a dur::JournalSink.
+///
+/// Appends are all-or-nothing from the caller's view: on a non-OK return
+/// (injected fault at dur.journal.*, or a sink I/O error) neither the
+/// in-memory bytes nor event_count() change — the event was NOT journaled
+/// and a fail-closed server must suppress it.  A sink may still hold a
+/// torn physical prefix; the recovery scan discards it by CRC.
 class TsJournal {
  public:
   TsJournal();
 
   /// Appends one event record.
-  void AppendEvent(const JournalEvent& event);
+  common::Status AppendEvent(const JournalEvent& event);
 
   /// Appends a snapshot record embedding `snapshot` (a TrustedServer::
   /// Checkpoint() or ConcurrentServer::Checkpoint() blob) tagged with the
   /// number of events journaled so far — recovery replays only the events
   /// after the last intact snapshot.
-  void AppendSnapshot(std::string_view snapshot);
+  common::Status AppendSnapshot(std::string_view snapshot);
+
+  /// Tees every subsequent append to `sink` (not owned, must outlive the
+  /// journal; nullptr detaches).  Bytes already journaled are written to
+  /// the sink immediately, so sink contents == bytes() at every OK
+  /// return.
+  common::Status AttachSink(dur::JournalSink* sink);
+
+  /// Syncs the attached sink (no-op without one).
+  common::Status Sync();
 
   /// The journal bytes (magic + records), crash-consistent at any record
   /// boundary.
@@ -110,8 +127,13 @@ class TsJournal {
   common::Status WriteToFile(const std::string& path) const;
 
  private:
+  /// Appends the bytes_ suffix starting at `old_size` to the sink; on
+  /// failure rolls bytes_ back to old_size (the record never happened).
+  common::Status CommitAppend(size_t old_size);
+
   std::string bytes_;
   size_t event_count_ = 0;
+  dur::JournalSink* sink_ = nullptr;
 };
 
 /// \brief What a scan recovered from (possibly damaged) journal bytes.

@@ -1,0 +1,126 @@
+#include "src/ts/overload.h"
+
+namespace histkanon {
+namespace ts {
+
+std::string_view HealthStateToString(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kProbing:
+      return "probing";
+  }
+  return "unknown";
+}
+
+std::string_view FullQueuePolicyToString(FullQueuePolicy policy) {
+  switch (policy) {
+    case FullQueuePolicy::kBlock:
+      return "block";
+    case FullQueuePolicy::kShed:
+      return "shed";
+    case FullQueuePolicy::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  if (options_.trip_threshold == 0) options_.trip_threshold = 1;
+  if (options_.probe_after == 0) options_.probe_after = 1;
+  if (options_.close_after == 0) options_.close_after = 1;
+}
+
+bool CircuitBreaker::Admit() {
+  switch (state_) {
+    case HealthState::kHealthy:
+      return true;
+    case HealthState::kProbing:
+      ++probes_;
+      if (probes_counter_ != nullptr) probes_counter_->Increment();
+      probe_outstanding_ = true;
+      return true;
+    case HealthState::kDegraded:
+      ++suppressed_;
+      if (suppressed_counter_ != nullptr) suppressed_counter_->Increment();
+      ++suppressed_since_trip_;
+      if (suppressed_since_trip_ >= options_.probe_after) {
+        probe_successes_ = 0;
+        SetState(HealthState::kProbing);  // the NEXT admission is the probe
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == HealthState::kProbing && probe_outstanding_) {
+    probe_outstanding_ = false;
+    ++probe_successes_;
+    if (probe_successes_ >= options_.close_after) {
+      ++recoveries_;
+      if (recoveries_counter_ != nullptr) recoveries_counter_->Increment();
+      SetState(HealthState::kHealthy);
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  switch (state_) {
+    case HealthState::kHealthy:
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= options_.trip_threshold) {
+        ++trips_;
+        if (trips_counter_ != nullptr) trips_counter_->Increment();
+        suppressed_since_trip_ = 0;
+        probe_successes_ = 0;
+        SetState(HealthState::kDegraded);
+      }
+      break;
+    case HealthState::kProbing:
+      // The probe found the fault still present: back to DEGRADED, and the
+      // suppression count starts over before the next probe window.
+      probe_outstanding_ = false;
+      ++trips_;
+      if (trips_counter_ != nullptr) trips_counter_->Increment();
+      suppressed_since_trip_ = 0;
+      probe_successes_ = 0;
+      SetState(HealthState::kDegraded);
+      break;
+    case HealthState::kDegraded:
+      break;  // nothing was admitted, nothing to record
+  }
+}
+
+void CircuitBreaker::AttachRegistry(obs::Registry* registry,
+                                    const std::string& prefix) {
+  if (registry == nullptr) {
+    state_gauge_ = nullptr;
+    trips_counter_ = nullptr;
+    probes_counter_ = nullptr;
+    recoveries_counter_ = nullptr;
+    suppressed_counter_ = nullptr;
+    return;
+  }
+  state_gauge_ = registry->GetGauge(prefix + "_health_state");
+  trips_counter_ = registry->GetCounter(prefix + "_breaker_trips_total");
+  probes_counter_ = registry->GetCounter(prefix + "_breaker_probes_total");
+  recoveries_counter_ =
+      registry->GetCounter(prefix + "_breaker_recoveries_total");
+  suppressed_counter_ = registry->GetCounter(prefix + "_suppressed_total");
+  state_gauge_->Set(static_cast<double>(state_));
+}
+
+void CircuitBreaker::SetState(HealthState next) {
+  state_ = next;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<double>(next));
+  }
+}
+
+}  // namespace ts
+}  // namespace histkanon

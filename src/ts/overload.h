@@ -1,0 +1,137 @@
+// Overload protection and degraded-mode operation for the Trusted Server.
+//
+// The TS is the chokepoint between users and Service Providers (paper §3,
+// Fig. 1); the only safe failure is to SUPPRESS a request — never to
+// forward one that skipped the historical-k-anonymity checks (§5.3, §6.1)
+// and never to apply one that was not journaled first (an applied-but-
+// unjournaled mutation would be silently lost by crash recovery, breaking
+// the replay determinism PR 3 established).  The circuit breaker here
+// encodes that policy as an explicit state machine:
+//
+//     HEALTHY --journal append fails (trip_threshold consecutive)--> DEGRADED
+//     DEGRADED --probe_after admissions suppressed--> PROBING
+//     PROBING --probe admission journals OK (close_after in a row)--> HEALTHY
+//     PROBING --probe admission fails--> DEGRADED  (suppression count resets)
+//
+// Transitions are COUNT-based, not time-based, so every run of the chaos
+// differential test is deterministic for a fixed fault schedule.
+
+#ifndef HISTKANON_SRC_TS_OVERLOAD_H_
+#define HISTKANON_SRC_TS_OVERLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace ts {
+
+/// The breaker's externally visible state.
+enum class HealthState : uint8_t {
+  kHealthy = 0,   ///< Admitting everything.
+  kDegraded = 1,  ///< Suppressing everything (fail-closed).
+  kProbing = 2,   ///< Admitting probes to test whether the fault cleared.
+};
+
+/// "healthy" / "degraded" / "probing".
+std::string_view HealthStateToString(HealthState state);
+
+/// \brief Tuning for the journal-failure circuit breaker.
+struct CircuitBreakerOptions {
+  /// Consecutive journal failures that trip HEALTHY -> DEGRADED.  1 trips
+  /// on the first failure (strictest fail-closed posture).
+  size_t trip_threshold = 1;
+  /// Admissions suppressed in DEGRADED before the breaker half-opens to
+  /// PROBING and lets one admission attempt the journal again.
+  size_t probe_after = 8;
+  /// Consecutive successful probes that close PROBING -> HEALTHY.
+  size_t close_after = 1;
+};
+
+/// \brief Count-based circuit breaker over journal-append success.
+///
+/// The owning server calls Admit() before journaling an event; when it
+/// returns false the event must be suppressed with ZERO state effect (no
+/// stats, no pseudonym, no RNG draw — tests/degraded_mode_test.cc pins
+/// this down byte-for-byte).  After an admitted journal attempt the owner
+/// reports RecordSuccess() / RecordFailure().  Not thread-safe; each
+/// TrustedServer (and the ConcurrentServer front-end) owns one and drives
+/// it from its own thread.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  HealthState state() const { return state_; }
+
+  /// True when the caller may proceed to journal the event.  In DEGRADED,
+  /// counts the suppression and half-opens to PROBING once probe_after
+  /// suppressions accumulate (the NEXT admission is the probe).
+  bool Admit();
+
+  /// The admitted event journaled OK.
+  void RecordSuccess();
+  /// The admitted event's journal append failed (the event was suppressed
+  /// by the caller).
+  void RecordFailure();
+
+  // -- Lifetime counters (exported through AttachRegistry's handles too).
+  uint64_t trips() const { return trips_; }
+  uint64_t probes() const { return probes_; }
+  uint64_t recoveries() const { return recoveries_; }
+  uint64_t suppressed() const { return suppressed_; }
+
+  /// Registers `<prefix>_health_state` (gauge: 0 healthy / 1 degraded /
+  /// 2 probing), `<prefix>_breaker_trips_total`,
+  /// `<prefix>_breaker_probes_total`, `<prefix>_breaker_recoveries_total`,
+  /// `<prefix>_suppressed_total`.  nullptr detaches.
+  void AttachRegistry(obs::Registry* registry, const std::string& prefix);
+
+ private:
+  void SetState(HealthState next);
+
+  CircuitBreakerOptions options_;
+  HealthState state_ = HealthState::kHealthy;
+  size_t consecutive_failures_ = 0;
+  size_t suppressed_since_trip_ = 0;
+  size_t probe_successes_ = 0;
+  bool probe_outstanding_ = false;
+  uint64_t trips_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t suppressed_ = 0;
+  obs::Gauge* state_gauge_ = nullptr;
+  obs::Counter* trips_counter_ = nullptr;
+  obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* recoveries_counter_ = nullptr;
+  obs::Counter* suppressed_counter_ = nullptr;
+};
+
+/// \brief Overload-protection knobs for a TrustedServer.
+struct OverloadOptions {
+  /// Journal-failure circuit breaker tuning.
+  CircuitBreakerOptions breaker;
+  /// Per-request deadline budget in seconds; a request whose pipeline run
+  /// exceeds it counts a deadline overrun (the completed outcome still
+  /// stands — the budget is an SLO signal, not a mid-pipeline abort,
+  /// which could leak partial state).  0 disables the clock reads.
+  double request_deadline_seconds = 0.0;
+};
+
+/// What a full shard queue does to the producer.
+enum class FullQueuePolicy : uint8_t {
+  kBlock = 0,  ///< Wait for space (original behavior; unbounded latency).
+  /// Wait up to the configured enqueue timeout, then drop the event,
+  /// count it, and keep the producer moving.
+  kShed = 1,
+  kFail = 2,  ///< Like kShed with a zero timeout: drop immediately.
+};
+
+/// "block" / "shed" / "fail".
+std::string_view FullQueuePolicyToString(FullQueuePolicy policy);
+
+}  // namespace ts
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_TS_OVERLOAD_H_

@@ -1,17 +1,59 @@
 #include "src/ts/shard.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/str.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
 
 namespace histkanon {
 namespace ts {
 
 void BoundedEventQueue::Push(ShardEvent event) {
+  AcquireSlot();
+  PushReserved(std::move(event));
+}
+
+bool BoundedEventQueue::TryPush(ShardEvent event, int64_t timeout_ms) {
+  if (!TryAcquireSlot(timeout_ms)) return false;
+  PushReserved(std::move(event));
+  return true;
+}
+
+void BoundedEventQueue::AcquireSlot() {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] { return items_.size() < capacity_; });
-  items_.push_back(std::move(event));
-  lock.unlock();
+  not_full_.wait(lock, [this] { return HasSpace(); });
+  ++reserved_;
+}
+
+bool BoundedEventQueue::TryAcquireSlot(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms <= 0) {
+    if (!HasSpace()) return false;
+  } else if (!not_full_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                 [this] { return HasSpace(); })) {
+    return false;
+  }
+  ++reserved_;
+  return true;
+}
+
+void BoundedEventQueue::CancelSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reserved_ > 0) --reserved_;
+  }
+  // The slot this reservation held open is available again.
+  not_full_.notify_one();
+}
+
+void BoundedEventQueue::PushReserved(ShardEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reserved_ > 0) --reserved_;
+    items_.push_back(std::move(event));
+  }
   not_empty_.notify_one();
 }
 
@@ -31,22 +73,37 @@ size_t BoundedEventQueue::size() const {
 }
 
 Shard::Shard(size_t index, size_t queue_capacity,
-             const TrustedServerOptions& server_options, SharedPhase phase)
+             const TrustedServerOptions& server_options, SharedPhase phase,
+             double queue_deadline_seconds)
     : index_(index),
       queue_(queue_capacity),
       server_(server_options),
-      phase_(phase) {
+      phase_(phase),
+      queue_deadline_seconds_(queue_deadline_seconds) {
   if (server_options.registry != nullptr) {
     obs::Registry& registry = *server_options.registry;
     depth_gauge_ = registry.GetGauge(
         common::Format("ts_shard_%zu_queue_depth", index_));
     latency_ = registry.GetHistogram(
         common::Format("ts_shard_%zu_request_seconds", index_));
+    deadline_shed_counter_ = registry.GetCounter(
+        common::Format("ts_shard_%zu_deadline_sheds_total", index_));
   }
 }
 
 void Shard::Enqueue(ShardEvent event) {
   queue_.Push(std::move(event));
+  UpdateDepthGauge();
+}
+
+bool Shard::TryEnqueue(ShardEvent event, int64_t timeout_ms) {
+  const bool pushed = queue_.TryPush(std::move(event), timeout_ms);
+  if (pushed) UpdateDepthGauge();
+  return pushed;
+}
+
+void Shard::PushReserved(ShardEvent event) {
+  queue_.PushReserved(std::move(event));
   UpdateDepthGauge();
 }
 
@@ -65,6 +122,17 @@ void Shard::UpdateDepthGauge() {
 }
 
 void Shard::Serve(const ShardEvent& event) {
+  HISTKANON_FAILPOINT_HIT(fail::kTsShardServeStall);
+  if (queue_deadline_seconds_ > 0.0 && event.enqueue_ns > 0) {
+    const double waited =
+        static_cast<double>(obs::MonotonicNanos() - event.enqueue_ns) * 1e-9;
+    if (waited > queue_deadline_seconds_) {
+      ++deadline_sheds_;
+      if (deadline_shed_counter_ != nullptr) deadline_shed_counter_->Increment();
+      server_.RecordShedRequest(event.point);
+      return;
+    }
+  }
   obs::ScopedTimer timer(latency_);
   server_.ProcessRequest(event.user, event.point, event.service, event.data);
 }
@@ -73,8 +141,14 @@ void Shard::WorkerLoop() {
   std::vector<ShardEvent> pending;
   for (;;) {
     ShardEvent event = queue_.Pop();
+    // Chaos hook: a delay armed here models a stalled worker holding the
+    // queue full while the front-end keeps submitting.
+    HISTKANON_FAILPOINT_HIT(fail::kTsShardWorkerStall);
     UpdateDepthGauge();
     switch (event.kind) {
+      // The shard's own server has no journal and a default-HEALTHY
+      // breaker (admission happens at the ConcurrentServer front-end), so
+      // these entry points apply unconditionally.
       case ShardEvent::Kind::kLocationUpdate:
         server_.OnLocationUpdate(event.user, event.point);
         break;

@@ -73,24 +73,55 @@ struct ShardEvent {
   std::shared_ptr<const lbqid::Lbqid> lbqid;
   std::shared_ptr<const PolicyRuleSet> rules;
   std::shared_ptr<CheckpointCollector> checkpoint;
+  /// obs::MonotonicNanos() at submission; 0 when the queue-wait deadline
+  /// is off (no clock read on the submit path).
+  int64_t enqueue_ns = 0;
 };
 
 /// \brief Bounded multi-producer single-consumer event queue
 /// (mutex + condvar; Push blocks while full, Pop while empty).
+///
+/// The slot-reservation protocol exists for the write-ahead ordering of
+/// the ConcurrentServer front-end: under a shed/fail full-queue policy
+/// the SHED decision must come before the journal append (a journaled
+/// event that is then shed would replay as applied), so the producer
+/// first reserves capacity (TryAcquireSlot — the only step that can
+/// fail), then journals, then fills the slot with PushReserved (which
+/// never blocks) or releases it with CancelSlot if journaling failed.
 class BoundedEventQueue {
  public:
   explicit BoundedEventQueue(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
+  /// AcquireSlot + PushReserved (the classic blocking enqueue).
   void Push(ShardEvent event);
+
+  /// Non-blocking / bounded-wait enqueue: false (event dropped) when no
+  /// space freed up within `timeout_ms` (0 = immediate).
+  bool TryPush(ShardEvent event, int64_t timeout_ms = 0);
+
+  /// Blocks until capacity is available, then reserves one slot.
+  void AcquireSlot();
+  /// Reserves one slot, waiting at most `timeout_ms` (0 = immediate).
+  bool TryAcquireSlot(int64_t timeout_ms = 0);
+  /// Releases a reserved slot without pushing.
+  void CancelSlot();
+  /// Fills a previously reserved slot; never blocks.
+  void PushReserved(ShardEvent event);
+
   ShardEvent Pop();
   size_t size() const;
+  size_t capacity() const { return capacity_; }
 
  private:
+  /// Occupancy counts queued items AND reserved-but-unfilled slots.
+  bool HasSpace() const { return items_.size() + reserved_ < capacity_; }
+
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<ShardEvent> items_;
+  size_t reserved_ = 0;
   const size_t capacity_;
 };
 
@@ -108,8 +139,13 @@ class Shard {
     bool lockstep = false;
   };
 
+  /// `queue_deadline_seconds` > 0: a request that waited in the queue
+  /// longer than the budget is shed at serve time (kRejected outcome)
+  /// instead of running the pipeline.  Trades the determinism contract
+  /// for bounded staleness; default off.
   Shard(size_t index, size_t queue_capacity,
-        const TrustedServerOptions& server_options, SharedPhase phase);
+        const TrustedServerOptions& server_options, SharedPhase phase,
+        double queue_deadline_seconds = 0.0);
 
   TrustedServer& server() { return server_; }
   const TrustedServer& server() const { return server_; }
@@ -119,10 +155,27 @@ class Shard {
   /// safe; event order from a single producer is preserved.
   void Enqueue(ShardEvent event);
 
+  /// Bounded-wait enqueue: false (event dropped) when the queue stayed
+  /// full for `timeout_ms` (0 = immediate).  The non-wedging alternative
+  /// to Enqueue when this shard's worker may be stalled.
+  bool TryEnqueue(ShardEvent event, int64_t timeout_ms = 0);
+
+  // Slot-reservation protocol (see BoundedEventQueue): reserve, then
+  // journal, then PushReserved / CancelSlot.
+  void AcquireSlot() { queue_.AcquireSlot(); }
+  bool TryAcquireSlot(int64_t timeout_ms = 0) {
+    return queue_.TryAcquireSlot(timeout_ms);
+  }
+  void CancelSlot() { queue_.CancelSlot(); }
+  void PushReserved(ShardEvent event);
+
   void Start();
   void Join();
 
   size_t queue_depth() const { return queue_.size(); }
+  /// Requests shed by the queue-wait deadline (worker thread's count;
+  /// stable after Join).
+  uint64_t deadline_sheds() const { return deadline_sheds_; }
 
  private:
   void WorkerLoop();
@@ -133,9 +186,12 @@ class Shard {
   BoundedEventQueue queue_;
   TrustedServer server_;
   SharedPhase phase_;
+  const double queue_deadline_seconds_;
+  uint64_t deadline_sheds_ = 0;  // worker-thread only
   /// Per-shard observability (nullptr without a registry).
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Histogram* latency_ = nullptr;
+  obs::Counter* deadline_shed_counter_ = nullptr;
   std::thread worker_;
 };
 

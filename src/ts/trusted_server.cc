@@ -75,6 +75,8 @@ std::string_view DispositionToString(Disposition disposition) {
       return "unlinked";
     case Disposition::kAtRisk:
       return "at-risk";
+    case Disposition::kRejected:
+      return "rejected";
   }
   return "unknown";
 }
@@ -105,7 +107,8 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
                                                 : &index_),
       hka_(read_store_),
       pseudonyms_(options.pseudonym_seed),
-      randomizer_(options.randomizer_seed, options.randomizer) {
+      randomizer_(options.randomizer_seed, options.randomizer),
+      breaker_(options.overload.breaker) {
   options_.generalizer.registry = options_.registry;
   generalizer_ = std::make_unique<anon::Generalizer>(read_store_, read_index_,
                                                      options_.generalizer);
@@ -115,7 +118,7 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
   if (options_.registry != nullptr) {
     obs::Registry& registry = *options_.registry;
     obs_.requests = registry.GetCounter("ts_requests_total");
-    for (size_t d = 0; d < 5; ++d) {
+    for (size_t d = 0; d < kDispositionCount; ++d) {
       std::string name = common::Format(
           "ts_disposition_%s_total",
           std::string(DispositionToString(static_cast<Disposition>(d)))
@@ -127,6 +130,13 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
         registry.GetCounter("ts_lbqid_completed_requests_total");
     obs_.unlink_attempts = registry.GetCounter("ts_unlink_attempts_total");
     obs_.unlink_successes = registry.GetCounter("ts_unlink_successes_total");
+    obs_.shed_requests = registry.GetCounter("ts_shed_requests_total");
+    obs_.shed_events = registry.GetCounter("ts_shed_events_total");
+    obs_.journal_failures =
+        registry.GetCounter("ts_journal_failures_total");
+    obs_.deadline_overruns =
+        registry.GetCounter("ts_deadline_overruns_total");
+    breaker_.AttachRegistry(&registry, "ts");
     for (size_t i = 0; i < kStageCount; ++i) {
       obs_.stage[i] = registry.GetHistogram(common::Format(
           "ts_stage_%s_seconds",
@@ -143,9 +153,11 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
 
 common::Status TrustedServer::RegisterService(
     const anon::ServiceProfile& service) {
-  // Write-ahead: journal before applying.  Failing calls are journaled
-  // too — the pipeline is deterministic, so replay fails them identically.
-  JournalRegisterService(service);
+  // Write-ahead: journal before applying; an event that cannot be
+  // journaled is suppressed fail-closed (the non-OK return).  Calls that
+  // journal but fail VALIDATION below are journaled — the pipeline is
+  // deterministic, so replay fails them identically.
+  HISTKANON_RETURN_NOT_OK(JournalRegisterService(service));
   if (services_.count(service.id) > 0) {
     return common::Status::AlreadyExists(
         common::Format("service %d already registered", service.id));
@@ -156,7 +168,7 @@ common::Status TrustedServer::RegisterService(
 
 common::Status TrustedServer::RegisterUser(mod::UserId user,
                                            PrivacyPolicy policy) {
-  JournalRegisterUser(user, policy);
+  HISTKANON_RETURN_NOT_OK(JournalRegisterUser(user, policy));
   if (users_.count(user) > 0) {
     return common::Status::AlreadyExists(common::Format(
         "user %lld already registered", static_cast<long long>(user)));
@@ -169,7 +181,7 @@ common::Status TrustedServer::RegisterUser(mod::UserId user,
 
 common::Result<size_t> TrustedServer::RegisterLbqid(mod::UserId user,
                                                     lbqid::Lbqid lbqid) {
-  JournalRegisterLbqid(user, lbqid);
+  HISTKANON_RETURN_NOT_OK(JournalRegisterLbqid(user, lbqid));
   if (users_.count(user) == 0) {
     return common::Status::NotFound(common::Format(
         "user %lld is not registered", static_cast<long long>(user)));
@@ -179,7 +191,7 @@ common::Result<size_t> TrustedServer::RegisterLbqid(mod::UserId user,
 
 common::Status TrustedServer::SetUserRules(mod::UserId user,
                                            PolicyRuleSet rules) {
-  JournalSetUserRules(user, rules);
+  HISTKANON_RETURN_NOT_OK(JournalSetUserRules(user, rules));
   const auto it = users_.find(user);
   if (it == users_.end()) {
     return common::Status::NotFound(common::Format(
@@ -215,9 +227,18 @@ const anon::ToleranceConstraints& TrustedServer::ToleranceOf(
 
 void TrustedServer::OnLocationUpdate(mod::UserId user,
                                      const geo::STPoint& sample) {
-  JournalUpdate(user, sample);
+  // The EventSink interface has no error channel; a fail-closed
+  // suppression is indistinguishable from a dropped sample here.  Callers
+  // that need the distinction use ApplyLocationUpdate directly.
+  (void)ApplyLocationUpdate(user, sample);
+}
+
+common::Status TrustedServer::ApplyLocationUpdate(mod::UserId user,
+                                                  const geo::STPoint& sample) {
+  HISTKANON_RETURN_NOT_OK(JournalUpdate(user, sample));
   // Out-of-order updates (same tick as an earlier sample) are dropped.
   if (db_.Append(user, sample).ok()) index_.Insert(user, sample);
+  return common::Status::OK();
 }
 
 void TrustedServer::OnServiceRequest(mod::UserId user,
@@ -288,24 +309,62 @@ void TrustedServer::Forward(ProcessOutcome* outcome, mod::UserId user,
   outcome->forwarded_request = std::move(request);
 }
 
+void TrustedServer::CountShed(bool is_request) {
+  ++shed_events_;
+  if (obs_.shed_events != nullptr) obs_.shed_events->Increment();
+  if (is_request) {
+    ++shed_requests_;
+    if (obs_.shed_requests != nullptr) obs_.shed_requests->Increment();
+  }
+}
+
+ProcessOutcome TrustedServer::RecordShedRequest(const geo::STPoint& exact) {
+  CountShed(/*is_request=*/true);
+  ProcessOutcome outcome;
+  outcome.disposition = Disposition::kRejected;
+  outcome.exact = exact;
+  outcomes_.push_back(outcome);
+  return outcome;
+}
+
 ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
                                              const geo::STPoint& exact,
                                              mod::ServiceId service,
                                              const std::string& data) {
-  JournalRequest(user, exact, service, data);
+  if (!JournalRequest(user, exact, service, data).ok()) {
+    // Fail-closed: the request was NOT journaled (degraded mode, or the
+    // append itself failed), so it must not be applied — returning before
+    // ANY state is touched (no stats, no PHL append, no pseudonym, no RNG
+    // draw, no outcomes_ entry) is what makes suppression invisible to
+    // replay and to linkability analysis.
+    ProcessOutcome outcome;
+    outcome.disposition = Disposition::kRejected;
+    outcome.exact = exact;
+    return outcome;
+  }
+  const double deadline = options_.overload.request_deadline_seconds;
   RequestTelemetry telemetry;
   telemetry.enabled = obs_.enabled;
-  if (!telemetry.enabled) {
+  if (!telemetry.enabled && deadline <= 0.0) {
     // Null-object fast path: no clock reads, no allocations beyond the
     // pipeline's own.
     return ProcessRequestImpl(user, exact, service, data, &telemetry);
   }
-  obs::Span root = obs::StartSpan(options_.tracer, "process_request");
+  obs::Span root = obs::StartSpan(
+      telemetry.enabled ? options_.tracer : nullptr, "process_request");
   const int64_t start_ns = obs::MonotonicNanos();
   const ProcessOutcome outcome =
       ProcessRequestImpl(user, exact, service, data, &telemetry);
   const double total_seconds =
       static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+  if (deadline > 0.0 && total_seconds > deadline) {
+    // The deadline budget is an SLO signal, not a mid-pipeline abort: the
+    // completed outcome stands (aborting after state changes would leak
+    // partial state), the overrun is counted.
+    ++deadline_overruns_;
+    if (obs_.deadline_overruns != nullptr) obs_.deadline_overruns->Increment();
+  }
+  if (!telemetry.enabled) return outcome;
   if (root.active()) {
     root.AddAttribute("user",
                       common::Format("%lld", static_cast<long long>(user)));

@@ -34,6 +34,7 @@
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/stindex/grid_index.h"
+#include "src/ts/overload.h"
 #include "src/ts/policy.h"
 #include "src/ts/policy_rules.h"
 #include "src/ts/service_provider.h"
@@ -42,6 +43,7 @@ namespace histkanon {
 namespace ts {
 
 class TsJournal;
+struct JournalEvent;
 
 /// \brief TS construction parameters.
 struct TrustedServerOptions {
@@ -85,6 +87,11 @@ struct TrustedServerOptions {
   obs::Registry* registry = nullptr;
   obs::Tracer* tracer = nullptr;
   obs::EventSink* event_sink = nullptr;
+  /// Overload protection: the journal-failure circuit breaker (fail-closed
+  /// degraded mode, see src/ts/overload.h) and the per-request deadline
+  /// budget.  The defaults keep behavior identical to a server without
+  /// this layer until a journal append actually fails.
+  OverloadOptions overload;
 };
 
 /// \brief How the TS disposed of one request.
@@ -101,7 +108,15 @@ enum class Disposition {
   /// Generalization AND unlinking failed: user notified of identification
   /// risk (request forwarded clipped, or dropped, per options).
   kAtRisk,
+  /// Suppressed fail-closed BEFORE entering the pipeline: the degraded-
+  /// mode breaker or an overload shed refused it.  Zero state effect — no
+  /// stats, no PHL append, no pseudonym, no RNG draw (tests/
+  /// degraded_mode_test.cc) — and, except for shard-level deadline sheds,
+  /// no outcomes() entry.
+  kRejected,
 };
+
+inline constexpr size_t kDispositionCount = 6;
 
 std::string_view DispositionToString(Disposition disposition);
 
@@ -193,12 +208,40 @@ class TrustedServer : public sim::EventSink {
   void OnServiceRequest(mod::UserId user, const geo::STPoint& exact,
                         const sim::RequestIntent& intent) override;
 
+  /// The Status-returning location-update path (OnLocationUpdate
+  /// delegates here): Unavailable when the degraded-mode breaker
+  /// suppressed it, the journal error when the write-ahead append failed.
+  /// In both cases the update was NOT applied (fail-closed).
+  common::Status ApplyLocationUpdate(mod::UserId user,
+                                     const geo::STPoint& sample);
+
   /// The full Section 6.1 pipeline for one request; the EventSink entry
   /// point delegates here.  Unregistered users get an implicit kMedium
   /// policy; unregistered services get default tolerance.
   ProcessOutcome ProcessRequest(mod::UserId user, const geo::STPoint& exact,
                                 mod::ServiceId service,
                                 const std::string& data);
+
+  /// Records a request shed OUTSIDE the pipeline (a shard's queue-wait
+  /// deadline fired): appends a kRejected outcome so per-shard outcome
+  /// logs stay dense for realignment.  No other state is touched.
+  ProcessOutcome RecordShedRequest(const geo::STPoint& exact);
+
+  // -- Degraded-mode introspection (src/ts/overload.h).
+
+  /// The journal-failure breaker's current state.
+  HealthState health() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  /// Events (of any kind) suppressed fail-closed; requests among them.
+  uint64_t shed_events() const { return shed_events_; }
+  uint64_t shed_requests() const { return shed_requests_; }
+  /// Write-ahead journal appends that failed.
+  uint64_t journal_failures() const { return journal_failures_; }
+  /// Requests whose pipeline run exceeded the deadline budget.
+  uint64_t deadline_overruns() const { return deadline_overruns_; }
+  /// Events admitted (journaled when a journal is attached) — the
+  /// admission ledger the chaos differential keys accepted events off.
+  uint64_t admitted_events() const { return admitted_events_; }
 
   const mod::MovingObjectDb& db() const { return db_; }
   const stindex::GridIndex& index() const { return index_; }
@@ -299,10 +342,14 @@ class TrustedServer : public sim::EventSink {
   struct ObsHandles {
     bool enabled = false;
     obs::Counter* requests = nullptr;
-    obs::Counter* disposition[5] = {};  // indexed by Disposition
+    obs::Counter* disposition[kDispositionCount] = {};  // by Disposition
     obs::Counter* lbqid_completions = nullptr;
     obs::Counter* unlink_attempts = nullptr;
     obs::Counter* unlink_successes = nullptr;
+    obs::Counter* shed_requests = nullptr;
+    obs::Counter* shed_events = nullptr;
+    obs::Counter* journal_failures = nullptr;
+    obs::Counter* deadline_overruns = nullptr;
     obs::Histogram* stage[kStageCount] = {};
     obs::Histogram* request_seconds = nullptr;
     obs::Histogram* generalized_area = nullptr;
@@ -341,15 +388,25 @@ class TrustedServer : public sim::EventSink {
                const geo::STPoint& exact, mod::ServiceId service,
                const std::string& data, const geo::STBox& context);
 
-  // Write-ahead journaling hooks (no-ops when no journal is attached);
-  // defined in durability.cc next to the record codec.
-  void JournalRegisterService(const anon::ServiceProfile& service);
-  void JournalRegisterUser(mod::UserId user, const PrivacyPolicy& policy);
-  void JournalRegisterLbqid(mod::UserId user, const lbqid::Lbqid& lbqid);
-  void JournalSetUserRules(mod::UserId user, const PolicyRuleSet& rules);
-  void JournalUpdate(mod::UserId user, const geo::STPoint& sample);
-  void JournalRequest(mod::UserId user, const geo::STPoint& exact,
-                      mod::ServiceId service, const std::string& data);
+  // Write-ahead admission hooks, defined in durability.cc next to the
+  // record codec.  Each builds the journal record for one entry point and
+  // funnels it through AdmitEvent; a non-OK return means the entry point
+  // must suppress the mutation with zero state effect (fail-closed).
+  common::Status JournalRegisterService(const anon::ServiceProfile& service);
+  common::Status JournalRegisterUser(mod::UserId user,
+                                     const PrivacyPolicy& policy);
+  common::Status JournalRegisterLbqid(mod::UserId user,
+                                      const lbqid::Lbqid& lbqid);
+  common::Status JournalSetUserRules(mod::UserId user,
+                                     const PolicyRuleSet& rules);
+  common::Status JournalUpdate(mod::UserId user, const geo::STPoint& sample);
+  common::Status JournalRequest(mod::UserId user, const geo::STPoint& exact,
+                                mod::ServiceId service,
+                                const std::string& data);
+  /// Breaker admission + write-ahead append of one event.  Counts sheds
+  /// and journal failures; drives the breaker state machine.
+  common::Status AdmitEvent(const JournalEvent& event);
+  void CountShed(bool is_request);
 
   TrustedServerOptions options_;
   mod::MovingObjectDb db_;
@@ -369,6 +426,15 @@ class TrustedServer : public sim::EventSink {
   TsJournal* journal_ = nullptr;
   mod::MessageId next_msgid_ = 1;
   ObsHandles obs_;
+  // Degraded-mode state.  Deliberately NOT part of Checkpoint(): a
+  // recovered (or twin) server starts HEALTHY with zero shed counts, so
+  // snapshot blobs stay byte-comparable across fault histories.
+  CircuitBreaker breaker_;
+  uint64_t shed_events_ = 0;
+  uint64_t shed_requests_ = 0;
+  uint64_t journal_failures_ = 0;
+  uint64_t deadline_overruns_ = 0;
+  uint64_t admitted_events_ = 0;
   TsStats stats_;
   std::vector<ProcessOutcome> outcomes_;
   anon::ToleranceConstraints default_tolerance_;

@@ -1,0 +1,187 @@
+// Degraded-mode semantics of the serial Trusted Server: a suppressed
+// event has ZERO state effect — no stats, no PHL append, no pseudonym
+// issued, no RNG draw — pinned down byte-for-byte against Checkpoint()
+// blobs and against a fault-free twin, plus the breaker's recovery path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  }
+  void TearDown() override { fail::Registry::Instance().DisarmAll(); }
+
+  static TrustedServerOptions Options() {
+    TrustedServerOptions options;
+    // Small, deterministic recovery window for the tests below.
+    options.overload.breaker.trip_threshold = 1;
+    options.overload.breaker.probe_after = 2;
+    options.overload.breaker.close_after = 1;
+    return options;
+  }
+};
+
+TEST_F(DegradedModeTest, JournalFailureTripsAndSuppressesFailClosed) {
+  TsJournal journal;
+  TrustedServer server(Options());
+  server.AttachJournal(&journal);
+  ASSERT_TRUE(server.ApplyLocationUpdate(7, PointAt(100, 100, 100)).ok());
+  ASSERT_EQ(server.health(), HealthState::kHealthy);
+  const uint64_t samples_before = server.db().total_samples();
+  const size_t journaled_before = journal.event_count();
+
+  fail::ScopedFailPoint fp(
+      fail::kDurJournalAppend,
+      fail::ErrorAction(common::StatusCode::kInternal, "disk gone"));
+  const common::Status status =
+      server.ApplyLocationUpdate(7, PointAt(110, 100, 110));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("disk gone"), std::string::npos);
+  EXPECT_EQ(server.health(), HealthState::kDegraded);
+  EXPECT_EQ(server.breaker().trips(), 1u);
+  EXPECT_EQ(server.journal_failures(), 1u);
+  // Fail-closed: not journaled AND not applied.
+  EXPECT_EQ(journal.event_count(), journaled_before);
+  EXPECT_EQ(server.db().total_samples(), samples_before);
+  // While degraded, further events are suppressed without touching the
+  // journal at all.
+  EXPECT_TRUE(
+      server.ApplyLocationUpdate(7, PointAt(120, 100, 120)).IsUnavailable());
+  EXPECT_EQ(server.db().total_samples(), samples_before);
+  EXPECT_GE(server.shed_events(), 2u);
+}
+
+TEST_F(DegradedModeTest, SuppressedBurstLeavesCheckpointByteIdentical) {
+  TsJournal journal;
+  TrustedServer server(Options());
+  server.AttachJournal(&journal);
+  ASSERT_TRUE(server.ApplyLocationUpdate(7, PointAt(100, 100, 100)).ok());
+  const ProcessOutcome healthy_outcome =
+      server.ProcessRequest(7, PointAt(100, 100, 200), 0, "r1");
+  EXPECT_NE(healthy_outcome.disposition, Disposition::kRejected);
+  const common::Result<std::string> before = server.Checkpoint();
+  ASSERT_TRUE(before.ok());
+  const size_t outcomes_before = server.outcomes().size();
+  const TsStats stats_before = server.stats();
+
+  {
+    fail::ScopedFailPoint fp(
+        fail::kDurJournalAppend,
+        fail::ErrorAction(common::StatusCode::kInternal, "disk gone"));
+    for (int i = 0; i < 5; ++i) {
+      const ProcessOutcome outcome =
+          server.ProcessRequest(7, PointAt(100, 100, 300 + i), 0, "burst");
+      EXPECT_EQ(outcome.disposition, Disposition::kRejected);
+      EXPECT_FALSE(outcome.forwarded);
+    }
+  }
+  EXPECT_EQ(server.shed_requests(), 5u);
+  // The burst left no trace: no outcomes, no stats movement, and — the
+  // pseudonym/RNG safety claim — a byte-identical snapshot.
+  EXPECT_EQ(server.outcomes().size(), outcomes_before);
+  EXPECT_EQ(server.stats().requests, stats_before.requests);
+  const common::Result<std::string> after = server.Checkpoint();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after) << "suppressed requests mutated server state";
+}
+
+TEST_F(DegradedModeTest, RecoversThroughProbingAndConvergesWithTwin) {
+  // Twin B never experiences the fault; A must end up byte-identical on
+  // the events it actually accepted.
+  TsJournal journal;
+  TrustedServer a(Options());
+  a.AttachJournal(&journal);
+  TrustedServer b(Options());
+
+  auto apply_both = [&](mod::UserId user, const geo::STPoint& point) {
+    ASSERT_TRUE(a.ApplyLocationUpdate(user, point).ok());
+    ASSERT_TRUE(b.ApplyLocationUpdate(user, point).ok());
+  };
+  apply_both(7, PointAt(100, 100, 100));
+  const ProcessOutcome a1 = a.ProcessRequest(7, PointAt(100, 100, 200), 0, "r");
+  const ProcessOutcome b1 = b.ProcessRequest(7, PointAt(100, 100, 200), 0, "r");
+  EXPECT_EQ(a1.disposition, b1.disposition);
+  EXPECT_EQ(a1.forwarded_request.pseudonym, b1.forwarded_request.pseudonym);
+
+  // Fault window: A degrades, burst suppressed; B sees none of it.
+  {
+    fail::ScopedFailPoint fp(
+        fail::kDurJournalAppend,
+        fail::ErrorAction(common::StatusCode::kInternal, "disk gone"));
+    for (int i = 0; i < 5; ++i) {
+      (void)a.ProcessRequest(7, PointAt(100, 100, 300 + i), 0, "burst");
+    }
+    EXPECT_EQ(a.health(), HealthState::kDegraded);
+  }
+
+  // Fault cleared: pump updates until a probe closes the breaker.  Only
+  // the ADMITTED updates reach B (suppressed ones had zero effect on A).
+  int64_t t = 400;
+  for (int i = 0; i < 32 && a.health() != HealthState::kHealthy; ++i, ++t) {
+    const geo::STPoint point = PointAt(100, 100, t);
+    if (a.ApplyLocationUpdate(7, point).ok()) {
+      ASSERT_TRUE(b.ApplyLocationUpdate(7, point).ok());
+    }
+  }
+  ASSERT_EQ(a.health(), HealthState::kHealthy);
+  EXPECT_GE(a.breaker().recoveries(), 1u);
+  EXPECT_GE(a.breaker().probes(), 1u);
+
+  // Post-recovery, the two servers are indistinguishable: same pseudonym
+  // stream, same dispositions, byte-identical snapshots.
+  const ProcessOutcome a2 =
+      a.ProcessRequest(7, PointAt(100, 100, 1000), 0, "r2");
+  const ProcessOutcome b2 =
+      b.ProcessRequest(7, PointAt(100, 100, 1000), 0, "r2");
+  EXPECT_EQ(a2.disposition, b2.disposition);
+  EXPECT_EQ(a2.forwarded_request.pseudonym, b2.forwarded_request.pseudonym);
+  const common::Result<std::string> snap_a = a.Checkpoint();
+  const common::Result<std::string> snap_b = b.Checkpoint();
+  ASSERT_TRUE(snap_a.ok());
+  ASSERT_TRUE(snap_b.ok());
+  EXPECT_EQ(*snap_a, *snap_b);
+}
+
+TEST_F(DegradedModeTest, RegistrationsAreAlsoFailClosed) {
+  TsJournal journal;
+  TrustedServer server(Options());
+  server.AttachJournal(&journal);
+  fail::ScopedFailPoint fp(
+      fail::kDurJournalAppend,
+      fail::ErrorAction(common::StatusCode::kInternal, "disk gone"));
+  EXPECT_FALSE(
+      server.RegisterUser(3, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+  fail::Registry::Instance().DisarmAll();
+  // The user never registered: a healthy retry succeeds (no duplicate).
+  // First pump the breaker back closed.
+  int64_t t = 100;
+  for (int i = 0; i < 32 && server.health() != HealthState::kHealthy;
+       ++i, ++t) {
+    (void)server.ApplyLocationUpdate(9, PointAt(50, 50, t));
+  }
+  ASSERT_EQ(server.health(), HealthState::kHealthy);
+  EXPECT_TRUE(
+      server.RegisterUser(3, PrivacyPolicy::FromConcern(PrivacyConcern::kLow))
+          .ok());
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

@@ -126,6 +126,9 @@ TEST_F(IntegrationTest, StatsAreConsistentWithOutcomes) {
       case ts::Disposition::kAtRisk:
         ++at_risk;
         break;
+      case ts::Disposition::kRejected:
+        // Shed outside the pipeline; not part of the stats counters.
+        break;
     }
   }
   EXPECT_EQ(stats.requests, server_->outcomes().size());

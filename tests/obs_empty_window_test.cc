@@ -1,0 +1,59 @@
+// Regressions for the all-requests-shed window: with zero observations,
+// quantiles, exports, and evaluation scores must produce clean zeros —
+// never NaN, Inf, or a division fault.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/eval/metrics.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(EmptyWindow, QuantileOfEmptyHistogramIsZero) {
+  Histogram histogram(DefaultLatencyBounds());
+  EXPECT_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.99), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(EmptyWindow, EmptyBoundsFallBackToTheLatencyBounds) {
+  // Empty bounds would make every Quantile() hit bounds_.back() on an
+  // empty vector (UB); the constructor substitutes the default bounds.
+  Histogram histogram((std::vector<double>()));
+  histogram.Observe(0.5);
+  const double q = histogram.Quantile(0.5);
+  EXPECT_TRUE(std::isfinite(q));
+  EXPECT_GT(q, 0.0);
+}
+
+TEST(EmptyWindow, ExportsOfAnAllShedWindowContainNoNanOrInf) {
+  Registry registry;
+  // The shape of a fully-shed run: counters moved, histograms never did.
+  registry.GetCounter("cs_shed_requests_total")->Increment(128);
+  registry.GetGauge("cs_health_state")->Set(1.0);
+  (void)registry.GetHistogram("ts_request_seconds");
+  for (const std::string& text :
+       {ToPrometheusText(registry), ToJson(registry)}) {
+    EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+    EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+TEST(EmptyWindow, IdentificationScoreGuardsZeroDenominators) {
+  eval::IdentificationScore score;
+  EXPECT_EQ(score.Precision(), 0.0);
+  EXPECT_EQ(score.Recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon
