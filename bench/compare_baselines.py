@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare BENCH_*.json outputs against checked-in
+baselines, per runner class.
+
+Throughput numbers are only comparable on the same hardware class, so
+baselines.json is keyed by a runner-class string (e.g. "local-dev",
+"github-ubuntu-latest").  For a known runner class the gate FAILS when any
+tracked higher-is-better metric drops more than `tolerance` (default 25%)
+below its baseline.  For an unknown runner class the gate passes in
+bootstrap mode and prints a ready-to-paste baseline entry, so a new runner
+class self-documents its own numbers on first contact instead of failing
+on someone else's hardware.
+
+Two input formats are auto-detected:
+  * google-benchmark JSON (--benchmark_out): every benchmark's
+    items_per_second (falling back to 1e9/real_time as a rate) becomes
+    "<stem>/<benchmark name>".
+  * this repo's custom BENCH_*.json (micro_concurrent, micro_batch, ...):
+    the metrics named in CUSTOM_METRICS become "<bench>/<field>".
+
+Usage:
+  python3 bench/compare_baselines.py \
+      --baselines bench/baselines.json \
+      --runner-class "$RUNNER_CLASS" \
+      --out BENCH_gate.json \
+      build/BENCH_pipeline_micro.json build/BENCH_concurrent.json ...
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Higher-is-better fields lifted from the custom (non-google-benchmark)
+# BENCH_*.json emitters, keyed by their "bench" name.
+CUSTOM_METRICS = {
+    "micro_concurrent": ["serial_rps"],
+    "micro_batch": ["per_request_rps", "batch_rps", "batch_speedup"],
+}
+
+
+def extract_metrics(path):
+    """Returns {metric_name: value} for one bench JSON file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    metrics = {}
+    if isinstance(data, dict) and "benchmarks" in data:
+        # google-benchmark --benchmark_out format.
+        stem = os.path.basename(path)
+        if stem.startswith("BENCH_"):
+            stem = stem[len("BENCH_"):]
+        stem = stem.rsplit(".json", 1)[0]
+        for bench in data["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("name", "")
+            rate = bench.get("items_per_second")
+            if rate is None and bench.get("real_time"):
+                rate = 1e9 / bench["real_time"]
+            if rate:
+                metrics[f"{stem}/{name}"] = rate
+    elif isinstance(data, dict) and "bench" in data:
+        bench = data["bench"]
+        for field in CUSTOM_METRICS.get(bench, []):
+            if field in data:
+                metrics[f"{bench}/{field}"] = data[field]
+    else:
+        raise ValueError(f"{path}: unrecognized bench JSON shape")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", required=True)
+    parser.add_argument("--runner-class", required=True)
+    parser.add_argument("--out", help="write the gate verdict JSON here")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the tolerance from baselines.json")
+    parser.add_argument("inputs", nargs="+", help="BENCH_*.json files")
+    args = parser.parse_args()
+
+    with open(args.baselines) as fh:
+        config = json.load(fh)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = config.get("tolerance", 0.25)
+
+    measured = {}
+    for path in args.inputs:
+        measured.update(extract_metrics(path))
+    if not measured:
+        print("FAIL: no metrics extracted from inputs", file=sys.stderr)
+        return 1
+
+    baseline = config.get("runner_classes", {}).get(args.runner_class)
+    verdict = {
+        "runner_class": args.runner_class,
+        "tolerance": tolerance,
+        "measured": measured,
+    }
+
+    if baseline is None:
+        # Bootstrap: unknown hardware — record, don't judge.
+        verdict["mode"] = "bootstrap"
+        verdict["pass"] = True
+        print(f"runner class {args.runner_class!r} has no baseline; "
+              "bootstrap pass.  Candidate entry for bench/baselines.json:")
+        entry = {args.runner_class: {"metrics": {
+            k: round(v, 3) for k, v in sorted(measured.items())}}}
+        print(json.dumps(entry, indent=2))
+    else:
+        verdict["mode"] = "gate"
+        floor_factor = 1.0 - tolerance
+        failures = []
+        improvements = []
+        for name, base in sorted(baseline.get("metrics", {}).items()):
+            got = measured.get(name)
+            if got is None:
+                failures.append(f"{name}: baseline present but not measured")
+                continue
+            floor = base * floor_factor
+            status = "ok"
+            if got < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {got:.1f} < floor {floor:.1f} "
+                    f"(baseline {base:.1f}, -{tolerance:.0%})")
+            elif got > base * (1.0 + tolerance):
+                status = "improved"
+                improvements.append(name)
+            print(f"  [{status:>10}] {name}: measured {got:.1f} "
+                  f"baseline {base:.1f}")
+        verdict["failures"] = failures
+        verdict["pass"] = not failures
+        if improvements:
+            print(f"note: {len(improvements)} metric(s) beat baseline by "
+                  f">{tolerance:.0%}; consider refreshing bench/baselines.json")
+        if failures:
+            print("FAIL: bench regression gate", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(verdict, fh, indent=1)
+            fh.write("\n")
+    return 0 if verdict["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

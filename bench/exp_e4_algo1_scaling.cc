@@ -56,6 +56,33 @@ double MeasureQueryMicros(const stindex::SpatioTemporalIndex& index,
          queries;
 }
 
+// The anchored-cache path for a co-located window (DESIGN.md 13): 50
+// requesters at the SAME point are answered from ONE shared k+1 query
+// via the derive rule (drop the requester, keep the first k), instead of
+// 50 per-requester queries.
+double MeasureCachedBatchMicros(const stindex::SpatioTemporalIndex& index,
+                                size_t k, common::Rng* rng) {
+  const int queries = 50;
+  const geo::STPoint q{{rng->Uniform(0, 10000), rng->Uniform(0, 10000)},
+                       rng->UniformInt(0, 14 * 86400)};
+  const geo::STMetric metric;
+  const auto start = std::chrono::steady_clock::now();
+  const auto shared = index.NearestPerUser(q, k + 1, -1, metric);
+  size_t sink = 0;
+  for (int requester = 0; requester < queries; ++requester) {
+    size_t taken = 0;
+    for (const auto& entry : shared) {
+      if (entry.user == requester) continue;
+      ++sink;
+      if (++taken == k) break;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  if (sink == 0) std::printf("(empty cached answers)\n");
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         queries;
+}
+
 }  // namespace
 
 int main() {
@@ -64,7 +91,8 @@ int main() {
       "per query over 50 queries\n\n");
 
   eval::Table table({"n-samples", "k", "brute(us)", "grid(us)", "rtree(us)",
-                     "speedup-grid", "speedup-rtree"});
+                     "grid-batched(us)", "speedup-grid", "speedup-rtree",
+                     "speedup-batched"});
   for (const size_t n : {1000u, 10000u, 50000u, 200000u}) {
     common::Rng rng(4 + n);
     const std::vector<stindex::Entry> samples = MakeSamples(n, &rng);
@@ -90,12 +118,16 @@ int main() {
       const double grid_us = MeasureQueryMicros(grid, k, &query_rng);
       query_rng = common::Rng(99);
       const double rtree_us = MeasureQueryMicros(rtree, k, &query_rng);
+      query_rng = common::Rng(99);
+      const double batched_us = MeasureCachedBatchMicros(grid, k, &query_rng);
       table.AddRow({bench::Count(n), bench::Count(k),
                     common::Format("%.1f", brute_us),
                     common::Format("%.1f", grid_us),
                     common::Format("%.1f", rtree_us),
+                    common::Format("%.2f", batched_us),
                     common::Format("%.1fx", brute_us / grid_us),
-                    common::Format("%.1fx", brute_us / rtree_us)});
+                    common::Format("%.1fx", brute_us / rtree_us),
+                    common::Format("%.1fx", grid_us / batched_us)});
     }
   }
   table.Print(std::cout);

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "src/anon/tolerance.h"
 #include "src/common/rng.h"
@@ -18,7 +19,7 @@ namespace histkanon {
 namespace {
 
 struct PipelineFixture {
-  explicit PipelineFixture(obs::Registry* registry) {
+  explicit PipelineFixture(obs::Registry* registry, bool enable_cache = true) {
     common::Rng rng(2005);
     sim::PopulationOptions population_options;
     population_options.num_commuters = 10;
@@ -29,6 +30,7 @@ struct PipelineFixture {
 
     ts::TrustedServerOptions options;
     options.registry = registry;
+    options.generalizer.enable_cache = enable_cache;
     server = std::make_unique<ts::TrustedServer>(options);
     provider = std::make_unique<ts::ServiceProvider>(world);
     server->ConnectServiceProvider(provider.get());
@@ -94,6 +96,51 @@ void BM_ProcessRequestWithRegistry(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ProcessRequestWithRegistry);
+
+// The batched entry point on the same commuter mix, one window per
+// iteration.  Items/s is directly comparable with BM_ProcessRequest*:
+// the gap is what the journal batching + serve-phase prewarm buy on a
+// workload that is NOT perfectly co-located (micro_batch measures the
+// co-located best case).
+void BM_ProcessBatchWindow(benchmark::State& state) {
+  const size_t window_size = static_cast<size_t>(state.range(0));
+  PipelineFixture fixture(nullptr);
+  size_t i = 0;
+  for (auto _ : state) {
+    std::vector<ts::BatchRequest> window;
+    window.reserve(window_size);
+    for (size_t j = 0; j < window_size; ++j) {
+      const sim::CommuterInfo& commuter =
+          fixture.population->commuters[i % fixture.population->commuters
+                                                .size()];
+      window.push_back(ts::BatchRequest{commuter.user,
+                                        fixture.RequestPoint(i), 0, "bench"});
+      ++i;
+    }
+    benchmark::DoNotOptimize(fixture.server->ProcessBatch(window));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * window_size));
+}
+BENCHMARK(BM_ProcessBatchWindow)->Arg(8)->Arg(32);
+
+// The per-request path with the anchored cache compiled out of the
+// decision: quantifies what the traversal/sample memos contribute even
+// without batching.
+void BM_ProcessRequestCacheDisabled(benchmark::State& state) {
+  PipelineFixture fixture(nullptr, /*enable_cache=*/false);
+  size_t i = 0;
+  for (auto _ : state) {
+    const sim::CommuterInfo& commuter =
+        fixture.population->commuters[i % fixture.population->commuters
+                                              .size()];
+    benchmark::DoNotOptimize(fixture.server->ProcessRequest(
+        commuter.user, fixture.RequestPoint(i), 0, "bench"));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcessRequestCacheDisabled);
 
 void BM_HistogramObserve(benchmark::State& state) {
   obs::Registry registry;

@@ -1,12 +1,32 @@
 #include "src/anon/generalize.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "src/common/str.h"
 
 namespace histkanon {
 namespace anon {
+
+namespace {
+
+// Memos never evict one-by-one: past the cap they reset wholesale, which
+// is deterministic and cheap to reason about (the next warm pass refills
+// exactly what it needs).
+template <typename Map>
+void ClearIfFull(Map* map, size_t cap) {
+  if (map->size() >= cap) map->clear();
+}
+
+bool SameTolerance(const ToleranceConstraints& a,
+                   const ToleranceConstraints& b) {
+  return a.max_area_width == b.max_area_width &&
+         a.max_area_height == b.max_area_height &&
+         a.max_time_window == b.max_time_window;
+}
+
+}  // namespace
 
 Generalizer::Generalizer(const mod::ObjectStore* db,
                          const stindex::SpatioTemporalIndex* index,
@@ -20,7 +40,16 @@ Generalizer::Generalizer(const mod::ObjectStore* db,
         options_.registry->GetCounter("anon_generalize_failures_total");
     default_contexts_ =
         options_.registry->GetCounter("anon_default_contexts_total");
+    cache_hits_ = options_.registry->GetCounter("anon_cache_hits_total");
+    cache_misses_ = options_.registry->GetCounter("anon_cache_misses_total");
+    cache_invalidations_ =
+        options_.registry->GetCounter("anon_cache_invalidations_total");
   }
+}
+
+bool Generalizer::CacheUsable(const geo::STPoint& exact) const {
+  return options_.enable_cache && std::isfinite(exact.p.x) &&
+         std::isfinite(exact.p.y);
 }
 
 geo::STBox Generalizer::PadToMinimum(geo::STBox box,
@@ -61,6 +90,96 @@ common::Result<GeneralizationResult> Generalizer::Generalize(
   return result;
 }
 
+common::Result<GeneralizationResult> Generalizer::Generalize(
+    const geo::STPoint& exact, mod::UserId requester,
+    std::vector<mod::UserId> anchors, size_t k,
+    const ToleranceConstraints& tolerance,
+    const TraversalKey& traversal) const {
+  if (!CacheUsable(exact)) {
+    return Generalize(exact, requester, std::move(anchors), k, tolerance);
+  }
+  const std::pair<mod::UserId, size_t> key{traversal.user,
+                                           traversal.lbqid_index};
+  const uint64_t index_epoch = index_->epoch();
+  const uint64_t store_epoch = db_->epoch();
+  const auto it = traversal_cache_.find(key);
+  if (it != traversal_cache_.end()) {
+    const TraversalEntry& entry = it->second;
+    const bool same_step = entry.element_index == traversal.element_index &&
+                           entry.exact == exact &&
+                           entry.anchors == anchors && entry.k == k &&
+                           SameTolerance(entry.tolerance, tolerance);
+    if (same_step) {
+      if (entry.index_epoch == index_epoch &&
+          entry.store_epoch == store_epoch) {
+        ++cache_stats_.traversal_hits;
+        if (cache_hits_ != nullptr) cache_hits_->Increment();
+        // Keep the call-level counters indistinguishable from a recompute.
+        if (calls_ != nullptr) calls_->Increment();
+        if (!entry.result.hk_anonymity && clipped_ != nullptr) {
+          clipped_->Increment();
+        }
+        return entry.result;
+      }
+      ++cache_stats_.invalidations;
+      if (cache_invalidations_ != nullptr) cache_invalidations_->Increment();
+    }
+  }
+  ++cache_stats_.traversal_misses;
+  if (cache_misses_ != nullptr) cache_misses_->Increment();
+  common::Result<GeneralizationResult> result =
+      Generalize(exact, requester, anchors, k, tolerance);
+  if (result.ok()) {
+    ClearIfFull(&traversal_cache_, options_.max_cache_entries);
+    traversal_cache_[key] =
+        TraversalEntry{traversal.element_index, exact,     std::move(anchors),
+                       k,                       tolerance, index_epoch,
+                       store_epoch,             *result};
+  }
+  return result;
+}
+
+std::optional<geo::STPoint> Generalizer::CachedNearestSample(
+    mod::UserId anchor, const mod::Phl& phl, const geo::STPoint& exact) const {
+  if (!CacheUsable(exact)) return phl.NearestSample(exact, options_.metric);
+  const SampleKey key{anchor, exact.p.x, exact.p.y, exact.t};
+  const auto it = sample_cache_.find(key);
+  if (it != sample_cache_.end()) {
+    if (it->second.phl_size == phl.size()) {
+      ++cache_stats_.sample_hits;
+      if (cache_hits_ != nullptr) cache_hits_->Increment();
+      return it->second.nearest;
+    }
+    ++cache_stats_.invalidations;
+    if (cache_invalidations_ != nullptr) cache_invalidations_->Increment();
+    sample_cache_.erase(it);
+  }
+  ++cache_stats_.sample_misses;
+  if (cache_misses_ != nullptr) cache_misses_->Increment();
+  const std::optional<geo::STPoint> nearest =
+      phl.NearestSample(exact, options_.metric);
+  ClearIfFull(&sample_cache_, options_.max_cache_entries);
+  sample_cache_[key] = SampleEntry{phl.size(), nearest};
+  return nearest;
+}
+
+void Generalizer::PrewarmNearestUsers(const geo::STPoint& exact,
+                                      size_t k) const {
+  if (!CacheUsable(exact)) return;
+  if (options_.anchor_strategy != AnchorStrategy::kNearestSample) return;
+  const NeighborKey key{exact.p.x, exact.p.y, exact.t, k + 1,
+                        mod::kInvalidUser};
+  const uint64_t epoch = index_->epoch();
+  const auto it = neighbor_cache_.find(key);
+  if (it != neighbor_cache_.end() && it->second.index_epoch == epoch) return;
+  NeighborEntry entry;
+  entry.index_epoch = epoch;
+  entry.neighbors =
+      index_->NearestPerUser(exact, k + 1, mod::kInvalidUser, options_.metric);
+  ClearIfFull(&neighbor_cache_, options_.max_cache_entries);
+  neighbor_cache_[key] = std::move(entry);
+}
+
 common::Result<GeneralizationResult> Generalizer::GeneralizeImpl(
     const geo::STPoint& exact, mod::UserId requester,
     std::vector<mod::UserId> anchors, size_t k,
@@ -84,7 +203,7 @@ common::Result<GeneralizationResult> Generalizer::GeneralizeImpl(
     for (const mod::UserId anchor : anchors) {
       HISTKANON_ASSIGN_OR_RETURN(const mod::Phl* phl, db_->GetPhl(anchor));
       const std::optional<geo::STPoint> nearest =
-          phl->NearestSample(exact, options_.metric);
+          CachedNearestSample(anchor, *phl, exact);
       if (!nearest.has_value()) {
         return common::Status::FailedPrecondition(common::Format(
             "anchor user %lld has an empty PHL",
@@ -138,6 +257,35 @@ double Generalizer::TrajectoryGap(const mod::Phl& requester_phl,
 std::vector<stindex::UserNeighbor> Generalizer::SelectAnchors(
     const geo::STPoint& exact, mod::UserId requester, size_t k) const {
   if (options_.anchor_strategy == AnchorStrategy::kNearestSample) {
+    if (CacheUsable(exact)) {
+      const NeighborKey key{exact.p.x, exact.p.y, exact.t, k + 1,
+                            mod::kInvalidUser};
+      const auto it = neighbor_cache_.find(key);
+      if (it != neighbor_cache_.end()) {
+        if (it->second.index_epoch == index_->epoch()) {
+          ++cache_stats_.neighbor_hits;
+          if (cache_hits_ != nullptr) cache_hits_->Increment();
+          // The k+1 derive rule: the shared no-exclude answer minus the
+          // requester, truncated to k, IS the excluded answer — every
+          // index answers with a prefix of the same total
+          // (distance, user) order, and excluding one user deletes that
+          // user from the order without moving anyone else.
+          std::vector<stindex::UserNeighbor> derived;
+          derived.reserve(k);
+          for (const stindex::UserNeighbor& neighbor : it->second.neighbors) {
+            if (neighbor.user == requester) continue;
+            derived.push_back(neighbor);
+            if (derived.size() >= k) break;
+          }
+          return derived;
+        }
+        ++cache_stats_.invalidations;
+        if (cache_invalidations_ != nullptr) cache_invalidations_->Increment();
+        neighbor_cache_.erase(it);
+      }
+      ++cache_stats_.neighbor_misses;
+      if (cache_misses_ != nullptr) cache_misses_->Increment();
+    }
     return index_->NearestPerUser(exact, k, requester, options_.metric);
   }
   // kTrajectorySimilarity: rank a larger nearby pool by trajectory gap.

@@ -14,6 +14,11 @@
 #ifndef HISTKANON_SRC_ANON_GENERALIZE_H_
 #define HISTKANON_SRC_ANON_GENERALIZE_H_
 
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/anon/tolerance.h"
@@ -59,6 +64,16 @@ struct GeneralizerOptions {
   /// Optional metrics (not owned, must outlive the generalizer); nullptr
   /// disables all observation.
   obs::Registry* registry = nullptr;
+  /// Anchored-candidate caching (DESIGN.md §13): memoizes nearest-users
+  /// index answers (shared across co-located requests via the k+1 derive
+  /// rule), per-anchor nearest-PHL-samples, and whole LBQID traversal
+  /// steps.  Every memo is validated — against the index/store epoch or
+  /// the anchor's PHL size — before use, so disabling the cache never
+  /// changes an answer, only the work done to produce it.
+  bool enable_cache = true;
+  /// Per-memo entry cap; a memo that would grow past this is cleared
+  /// outright (deterministic; the next batch re-warms it).
+  size_t max_cache_entries = 4096;
 };
 
 /// \brief Output of one generalization (Algorithm 1's Output block).
@@ -71,6 +86,30 @@ struct GeneralizationResult {
   /// The k anchor users whose PHLs the box covers (line 6's "store the ids
   /// of the k users").
   std::vector<mod::UserId> anchors;
+};
+
+/// \brief Identifies one element of one active LBQID traversal — the key
+/// under which the anchored-candidate cache stores the anchor set and its
+/// covering box (DESIGN.md §13).
+struct TraversalKey {
+  mod::UserId user = mod::kInvalidUser;
+  /// Which of the user's registered LBQIDs is being traversed.
+  size_t lbqid_index = 0;
+  /// How many elements of that LBQID have already matched.
+  size_t element_index = 0;
+};
+
+/// \brief Cache effectiveness counters, also exported through the obs
+/// registry as anon_cache_{hits,misses,invalidations}_total.
+struct GeneralizerCacheStats {
+  uint64_t neighbor_hits = 0;
+  uint64_t neighbor_misses = 0;
+  uint64_t sample_hits = 0;
+  uint64_t sample_misses = 0;
+  uint64_t traversal_hits = 0;
+  uint64_t traversal_misses = 0;
+  /// Entries found but rejected because the underlying data changed.
+  uint64_t invalidations = 0;
 };
 
 /// \brief Implements Algorithm 1 against the TS's moving-object DB and a
@@ -95,6 +134,34 @@ class Generalizer {
       const geo::STPoint& exact, mod::UserId requester,
       std::vector<mod::UserId> anchors, size_t k,
       const ToleranceConstraints& tolerance) const;
+
+  /// Generalize() for one element of an active LBQID traversal: identical
+  /// answers, but the anchor set and covering box are also cached under
+  /// `traversal` and reused verbatim while no MOD ingest has intervened
+  /// (index/store epoch validation).
+  common::Result<GeneralizationResult> Generalize(
+      const geo::STPoint& exact, mod::UserId requester,
+      std::vector<mod::UserId> anchors, size_t k,
+      const ToleranceConstraints& tolerance,
+      const TraversalKey& traversal) const;
+
+  /// `phl`->NearestSample through the per-anchor memo.  Validated by PHL
+  /// size: PHLs are append-only, so an unchanged size proves an unchanged
+  /// history even across global epoch bumps.  `phl` must be `anchor`'s
+  /// PHL in `db`.
+  std::optional<geo::STPoint> CachedNearestSample(
+      mod::UserId anchor, const mod::Phl& phl,
+      const geo::STPoint& exact) const;
+
+  /// Precomputes the shared (k+1, no-exclude) nearest-users entry for
+  /// `exact`, from which any requester's k-anchor answer derives exactly
+  /// (drop the requester if present, keep the first k — valid because
+  /// NearestPerUser answers are prefixes of one total (distance, user)
+  /// order).  Batch entry points call this over cell-sorted request
+  /// windows so co-located requests share one index query.
+  void PrewarmNearestUsers(const geo::STPoint& exact, size_t k) const;
+
+  const GeneralizerCacheStats& cache_stats() const { return cache_stats_; }
 
   /// The default (non-LBQID) context: the exact point padded to the
   /// minimum extents times `scale`, clipped to tolerance.  `scale` > 1 is
@@ -123,6 +190,35 @@ class Generalizer {
   double TrajectoryGap(const mod::Phl& requester_phl,
                        const mod::Phl& candidate_phl,
                        geo::Instant now) const;
+  // True iff the memos may serve `exact` (cache enabled and the point's
+  // coordinates are finite — NaN keys would break map ordering).
+  bool CacheUsable(const geo::STPoint& exact) const;
+
+  // Shared/derived NearestPerUser memo entry (validated by index epoch).
+  struct NeighborEntry {
+    uint64_t index_epoch = 0;
+    std::vector<stindex::UserNeighbor> neighbors;
+  };
+  // Per-anchor NearestSample memo entry (validated by PHL size).
+  struct SampleEntry {
+    size_t phl_size = 0;
+    std::optional<geo::STPoint> nearest;
+  };
+  // Whole-step memo for one LBQID traversal (validated by both epochs).
+  struct TraversalEntry {
+    size_t element_index = 0;
+    geo::STPoint exact;
+    std::vector<mod::UserId> anchors;
+    size_t k = 0;
+    ToleranceConstraints tolerance;
+    uint64_t index_epoch = 0;
+    uint64_t store_epoch = 0;
+    GeneralizationResult result;
+  };
+  // (x, y, t, n, exclude) — exclude is kInvalidUser for shared entries.
+  using NeighborKey =
+      std::tuple<double, double, geo::Instant, size_t, mod::UserId>;
+  using SampleKey = std::tuple<mod::UserId, double, double, geo::Instant>;
 
   const mod::ObjectStore* db_;
   const stindex::SpatioTemporalIndex* index_;
@@ -132,6 +228,19 @@ class Generalizer {
   obs::Counter* clipped_ = nullptr;
   obs::Counter* failures_ = nullptr;
   obs::Counter* default_contexts_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_invalidations_ = nullptr;
+  // The memos: logically results of the const query API, hence mutable.
+  // Not synchronized — each TrustedServer owns its Generalizer, and in
+  // the sharded server every shard's generalizer is touched only by its
+  // own worker thread (cross-shard READS are barrier-separated from
+  // writes by the epoch protocol, DESIGN.md §10).
+  mutable std::map<NeighborKey, NeighborEntry> neighbor_cache_;
+  mutable std::map<SampleKey, SampleEntry> sample_cache_;
+  mutable std::map<std::pair<mod::UserId, size_t>, TraversalEntry>
+      traversal_cache_;
+  mutable GeneralizerCacheStats cache_stats_;
 };
 
 }  // namespace anon

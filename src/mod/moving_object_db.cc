@@ -20,6 +20,7 @@ common::Status MovingObjectDb::Append(UserId user,
   }
   HISTKANON_RETURN_NOT_OK(phls_[user].Append(sample));
   ++total_samples_;
+  ++epoch_;
   return common::Status::OK();
 }
 

@@ -40,6 +40,11 @@ class MovingObjectDb : public ObjectStore {
   /// Total samples across all PHLs (the `n` of Algorithm 1's O(k*n)).
   size_t total_samples() const override { return total_samples_; }
 
+  /// Bumped on every successful Append (rejected appends leave the store
+  /// unchanged and therefore do not bump) — the MOD-ingest invalidation
+  /// ticket of the anchored-candidate cache.
+  uint64_t epoch() const override { return epoch_; }
+
   /// Users with at least one PHL sample inside `box` — the potential
   /// senders forming the anonymity set for that spatio-temporal context.
   std::vector<UserId> UsersWithSampleIn(const geo::STBox& box) const override;
@@ -63,6 +68,7 @@ class MovingObjectDb : public ObjectStore {
  private:
   std::map<UserId, Phl> phls_;
   size_t total_samples_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace mod

@@ -45,6 +45,15 @@ class ObjectStore {
   /// Total samples across all PHLs (the `n` of Algorithm 1's O(k*n)).
   virtual size_t total_samples() const = 0;
 
+  /// Change ticket for cache invalidation: any value observed twice
+  /// guarantees the store content did not change in between.  Append is
+  /// the only mutation and strictly grows total_samples(), so the default
+  /// derives the epoch from it; MovingObjectDb overrides with an explicit
+  /// ingest counter and ShardedObjectStore sums its slices.
+  virtual uint64_t epoch() const {
+    return static_cast<uint64_t>(total_samples());
+  }
+
   /// Users with at least one PHL sample inside `box` — the potential
   /// senders forming the anonymity set for that spatio-temporal context.
   virtual std::vector<UserId> UsersWithSampleIn(

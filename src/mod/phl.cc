@@ -92,6 +92,75 @@ std::optional<geo::Point> Phl::PositionAt(geo::Instant t) const {
 std::optional<geo::STPoint> Phl::NearestSample(
     const geo::STPoint& query, const geo::STMetric& metric) const {
   if (samples_.empty()) return std::nullopt;
+  // Samples are time-sorted, and the metric's squared distance is bounded
+  // below by (meters_per_second * dt)^2.  Seed at the temporal insertion
+  // point and expand outward; on each side dt grows monotonically, so a
+  // side can be abandoned for good once its time-only bound STRICTLY
+  // exceeds the best squared distance (a non-strict prune could drop an
+  // equal-distance sample and change which tie wins).
+  const auto pivot = std::lower_bound(
+      samples_.begin(), samples_.end(), query.t,
+      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+  const geo::STPoint* best = nullptr;
+  double best_d2 = 0.0;
+  // Ties on squared distance resolve to the earliest sample — the same
+  // winner as the linear scan's first strict minimum, and independent of
+  // the order the two sides are visited in.
+  const auto consider = [&](const geo::STPoint& sample) {
+    const double d2 = metric.SquaredDistance(sample, query);
+    if (best == nullptr || d2 < best_d2 ||
+        (d2 == best_d2 && sample.t < best->t)) {
+      best_d2 = d2;
+      best = &sample;
+    }
+  };
+  const auto time_bound2 = [&](const geo::STPoint& sample) {
+    const double dt =
+        metric.meters_per_second * static_cast<double>(sample.t - query.t);
+    return dt * dt;
+  };
+  auto lo = pivot;
+  auto hi = pivot;
+  bool lo_done = lo == samples_.begin();
+  bool hi_done = hi == samples_.end();
+  while (!lo_done || !hi_done) {
+    // Visit the temporally closer side first so the prune bound tightens
+    // as early as possible (pure efficiency: the tie rule above makes the
+    // result visit-order independent).
+    bool take_lo;
+    if (hi_done) {
+      take_lo = true;
+    } else if (lo_done) {
+      take_lo = false;
+    } else {
+      take_lo = (query.t - (lo - 1)->t) <= (hi->t - query.t);
+    }
+    if (take_lo) {
+      const geo::STPoint& sample = *(lo - 1);
+      if (best != nullptr && time_bound2(sample) > best_d2) {
+        lo_done = true;
+        continue;
+      }
+      consider(sample);
+      --lo;
+      lo_done = lo == samples_.begin();
+    } else {
+      const geo::STPoint& sample = *hi;
+      if (best != nullptr && time_bound2(sample) > best_d2) {
+        hi_done = true;
+        continue;
+      }
+      consider(sample);
+      ++hi;
+      hi_done = hi == samples_.end();
+    }
+  }
+  return *best;
+}
+
+std::optional<geo::STPoint> Phl::NearestSampleLinear(
+    const geo::STPoint& query, const geo::STMetric& metric) const {
+  if (samples_.empty()) return std::nullopt;
   const geo::STPoint* best = &samples_.front();
   double best_d2 = metric.SquaredDistance(*best, query);
   for (const geo::STPoint& sample : samples_) {

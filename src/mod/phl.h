@@ -39,8 +39,20 @@ class Phl {
 
   /// The stored sample closest to `query` under `metric`; nullopt when
   /// empty.  This is the per-user step of Algorithm 1 lines 2 and 5.
+  ///
+  /// O(log n + w) where w is the number of samples whose time-only
+  /// distance bound does not exceed the best candidate: bisects to the
+  /// query time, then expands outward, pruning a side once
+  /// (meters_per_second * dt)^2 strictly exceeds the best squared
+  /// distance.  Equal-distance ties resolve to the earliest sample,
+  /// matching NearestSampleLinear's first-minimum rule exactly.
   std::optional<geo::STPoint> NearestSample(const geo::STPoint& query,
                                             const geo::STMetric& metric) const;
+
+  /// Reference implementation of NearestSample: full linear scan keeping
+  /// the first (earliest-time) minimum.  Kept for differential tests.
+  std::optional<geo::STPoint> NearestSampleLinear(
+      const geo::STPoint& query, const geo::STMetric& metric) const;
 
   /// True iff some *sample* lies inside `box` — the membership test of
   /// LT-consistency (Definition 7: "there exists an element <xj,yj,tj> in

@@ -47,6 +47,12 @@ size_t ShardedObjectStore::total_samples() const {
   return count;
 }
 
+uint64_t ShardedObjectStore::epoch() const {
+  uint64_t total = 0;
+  for (const ObjectStore* slice : slices_) total += slice->epoch();
+  return total;
+}
+
 std::vector<UserId> ShardedObjectStore::UsersWithSampleIn(
     const geo::STBox& box) const {
   std::vector<UserId> users;

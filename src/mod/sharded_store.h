@@ -54,6 +54,10 @@ class ShardedObjectStore : public ObjectStore {
   std::vector<UserId> Users() const override;
   size_t user_count() const override;
   size_t total_samples() const override;
+  /// Sum of the slice epochs: any slice ingest changes the sum, and the
+  /// serve phase of an epoch is write-free on every shard, so a stable
+  /// sum brackets a window in which cached answers stay valid.
+  uint64_t epoch() const override;
   std::vector<UserId> UsersWithSampleIn(const geo::STBox& box) const override;
   size_t CountUsersWithSampleIn(const geo::STBox& box) const override;
   std::vector<UserId> LtConsistentUsers(

@@ -28,7 +28,11 @@ std::vector<UserNeighbor> BruteForceIndex::NearestPerUser(
     if (entry.user == exclude) continue;
     const double d2 = metric.SquaredDistance(entry.sample, query);
     auto it = best.find(entry.user);
-    if (it == best.end() || d2 < it->second.distance) {
+    // Same content tie-break as every other index (see SampleContentLess):
+    // the per-user representative must not depend on insertion order.
+    if (it == best.end() || d2 < it->second.distance ||
+        (d2 == it->second.distance &&
+         SampleContentLess(entry.sample, it->second.sample))) {
       best[entry.user] = UserNeighbor{entry.user, entry.sample, d2};
     }
   }

@@ -52,6 +52,7 @@ void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
     max_cell_.t = std::max(max_cell_.t, key.t);
   }
   ++size_;
+  ++epoch_;
 }
 
 std::vector<Entry> GridIndex::RangeQuery(const geo::STBox& box) const {
@@ -107,7 +108,11 @@ std::vector<UserNeighbor> GridIndex::NearestPerUser(
       if (entry.user == exclude) continue;
       const double d2 = metric.SquaredDistance(entry.sample, query);
       auto bit = best.find(entry.user);
-      if (bit == best.end() || d2 < bit->second.distance) {
+      // Equal-distance ties go to the content-smaller sample so the
+      // per-user representative never depends on cell iteration order.
+      if (bit == best.end() || d2 < bit->second.distance ||
+          (d2 == bit->second.distance &&
+           SampleContentLess(entry.sample, bit->second.sample))) {
         best[entry.user] = UserNeighbor{entry.user, entry.sample, d2};
       }
     }
@@ -177,9 +182,13 @@ std::vector<UserNeighbor> GridIndex::NearestPerUser(
     }
 
     // Any unexplored cell lies at Chebyshev lattice distance > radius, so
-    // its contents are at weighted distance >= radius * min_extent.
+    // its contents are at weighted distance >= radius * min_extent.  The
+    // comparison is STRICT: stopping on equality could miss a boundary
+    // sample tying the k-th best, and tied samples must all be seen for
+    // the result to be a pure function of the indexed content (the
+    // canonical-answer property SampleContentLess documents).
     const double unexplored_min = static_cast<double>(radius) * min_extent;
-    if (kth_best_d2() <= unexplored_min * unexplored_min) break;
+    if (kth_best_d2() < unexplored_min * unexplored_min) break;
 
     // Stop once the search cube covers the whole data lattice.
     if (x0 <= min_cell_.x && x1 >= max_cell_.x && y0 <= min_cell_.y &&

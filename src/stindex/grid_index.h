@@ -37,10 +37,19 @@ class GridIndex : public SpatioTemporalIndex {
   const std::string& name() const override { return name_; }
   void Insert(mod::UserId user, const geo::STPoint& sample) override;
   size_t size() const override { return size_; }
+  uint64_t epoch() const override { return epoch_; }
   std::vector<Entry> RangeQuery(const geo::STBox& box) const override;
   std::vector<UserNeighbor> NearestPerUser(
       const geo::STPoint& query, size_t k, mod::UserId exclude,
       const geo::STMetric& metric) const override;
+
+  /// Opaque id of the lattice cell containing `sample` — a pure function
+  /// of the point and the cell extents.  The batch engine sorts a window
+  /// of requests by this id so co-located requests run back to back and
+  /// share the generalizer's per-epoch candidate cache.
+  uint64_t CellIdOf(const geo::STPoint& sample) const {
+    return static_cast<uint64_t>(CellKeyHash()(CellOf(sample)));
+  }
 
  private:
   struct CellKey {
@@ -77,6 +86,8 @@ class GridIndex : public SpatioTemporalIndex {
   obs::Histogram* nearest_shells_ = nullptr;
   std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
   size_t size_ = 0;
+  /// Bumped on every Insert (the MOD-ingest invalidation ticket).
+  uint64_t epoch_ = 0;
   // Bounding lattice range of inserted data (valid when size_ > 0).
   CellKey min_cell_;
   CellKey max_cell_;

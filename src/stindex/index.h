@@ -38,6 +38,20 @@ struct UserNeighbor {
   double distance = 0.0;
 };
 
+/// Content order over samples: (t, x, y) lexicographic.  Every index uses
+/// this to break EQUAL-distance ties among one user's samples, so the
+/// per-user representative is a pure function of the indexed content —
+/// independent of insertion order, cell iteration order, tree shape, and
+/// of the query's k/exclude parameters.  That canonical-answer property is
+/// what lets the anchored-candidate cache (src/anon/generalize.h) derive a
+/// k-with-exclusion answer from a shared (k+1)-without-exclusion one, and
+/// what keeps batch-vs-serial differential comparisons tie-flake-free.
+inline bool SampleContentLess(const geo::STPoint& a, const geo::STPoint& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.p.x != b.p.x) return a.p.x < b.p.x;
+  return a.p.y < b.p.y;
+}
+
 /// \brief Index over (user, <x,y,t>) samples supporting the queries the
 /// generalization algorithm and anonymity evaluation need.
 class SpatioTemporalIndex {
@@ -52,6 +66,14 @@ class SpatioTemporalIndex {
 
   /// Number of samples indexed.
   virtual size_t size() const = 0;
+
+  /// Change ticket for cache invalidation: any value observed twice
+  /// guarantees the index content did not change in between.  Insert is
+  /// the only mutator and strictly grows size(), so the default derives
+  /// the epoch from it; implementations with their own mutation counter
+  /// override (GridIndex), and fan-out views sum their slices
+  /// (ShardedIndexView).
+  virtual uint64_t epoch() const { return static_cast<uint64_t>(size()); }
 
   /// All entries whose sample lies inside `box`.
   virtual std::vector<Entry> RangeQuery(const geo::STBox& box) const = 0;

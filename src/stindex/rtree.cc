@@ -385,9 +385,22 @@ std::vector<UserNeighbor> RTree::NearestPerUser(
     const Node* node = nullptr;    // set for subtree items
     const Entry* entry = nullptr;  // set for sample items
   };
+  // Pop order at EQUAL distance was heap-internal (and therefore
+  // tree-shape-dependent), which made tied-distance answers differ from
+  // the other indexes.  The fix: at equal d2, expand subtrees before
+  // reporting entries — a node with min-distance v may still hold a
+  // content-smaller sample tying v — and order tied entries by (user,
+  // then sample content), matching the (distance, user) result order and
+  // the SampleContentLess per-user canonicalization of grid/brute.
   struct Farther {
     bool operator()(const QueueItem& a, const QueueItem& b) const {
-      return a.d2 > b.d2;
+      if (a.d2 != b.d2) return a.d2 > b.d2;
+      const bool a_entry = a.entry != nullptr;
+      const bool b_entry = b.entry != nullptr;
+      if (a_entry != b_entry) return a_entry;  // nodes pop before entries
+      if (!a_entry) return false;              // tied nodes: any order
+      if (a.entry->user != b.entry->user) return a.entry->user > b.entry->user;
+      return SampleContentLess(b.entry->sample, a.entry->sample);
     }
   };
   std::priority_queue<QueueItem, std::vector<QueueItem>, Farther> frontier;

@@ -18,6 +18,12 @@ size_t ShardedIndexView::size() const {
   return total;
 }
 
+uint64_t ShardedIndexView::epoch() const {
+  uint64_t total = 0;
+  for (const SpatioTemporalIndex* slice : slices_) total += slice->epoch();
+  return total;
+}
+
 std::vector<Entry> ShardedIndexView::RangeQuery(const geo::STBox& box) const {
   std::vector<Entry> entries;
   for (const SpatioTemporalIndex* slice : slices_) {

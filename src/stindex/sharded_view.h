@@ -43,6 +43,11 @@ class ShardedIndexView : public SpatioTemporalIndex {
   void Insert(mod::UserId user, const geo::STPoint& sample) override;
 
   size_t size() const override;
+  /// Sum of the slice epochs: any slice ingest changes the sum, and the
+  /// serve phase of an epoch is write-free on every shard, so a stable
+  /// sum brackets a window in which cached cross-shard answers stay
+  /// valid (DESIGN.md §13).
+  uint64_t epoch() const override;
   std::vector<Entry> RangeQuery(const geo::STBox& box) const override;
   std::vector<UserNeighbor> NearestPerUser(
       const geo::STPoint& query, size_t k, mod::UserId exclude,

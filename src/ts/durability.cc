@@ -397,6 +397,19 @@ std::string EncodeJournalEvent(const JournalEvent& event) {
     case JournalEvent::Kind::kSetRules:
       PutRuleSet(&writer, *event.rules);
       break;
+    case JournalEvent::Kind::kBatch: {
+      static const std::vector<BatchRequest> kEmptyBatch;
+      const std::vector<BatchRequest>& batch =
+          event.batch == nullptr ? kEmptyBatch : *event.batch;
+      writer.PutU64(batch.size());
+      for (const BatchRequest& request : batch) {
+        writer.PutI64(request.user);
+        PutPoint(&writer, request.exact);
+        writer.PutI32(request.service);
+        writer.PutString(request.data);
+      }
+      break;
+    }
     case JournalEvent::Kind::kUpdate:
     case JournalEvent::Kind::kRequest:
     case JournalEvent::Kind::kEpochEnd:
@@ -416,7 +429,7 @@ common::Result<JournalEvent> DecodeJournalEvent(
   uint8_t kind = 0;
   HISTKANON_RETURN_NOT_OK(reader.ReadU8(&kind));
   if (kind < static_cast<uint8_t>(JournalEvent::Kind::kRegisterService) ||
-      kind > static_cast<uint8_t>(JournalEvent::Kind::kEpochEnd)) {
+      kind > static_cast<uint8_t>(JournalEvent::Kind::kBatch)) {
     return common::Status::InvalidArgument("bad journal event kind");
   }
   JournalEvent event;
@@ -441,6 +454,22 @@ common::Result<JournalEvent> DecodeJournalEvent(
     case JournalEvent::Kind::kSetRules: {
       HISTKANON_ASSIGN_OR_RETURN(PolicyRuleSet rules, ReadRuleSet(&reader));
       event.rules = std::make_shared<const PolicyRuleSet>(std::move(rules));
+      break;
+    }
+    case JournalEvent::Kind::kBatch: {
+      uint64_t count = 0;
+      HISTKANON_RETURN_NOT_OK(reader.ReadU64(&count));
+      std::vector<BatchRequest> batch;
+      for (uint64_t i = 0; i < count; ++i) {
+        BatchRequest request;
+        HISTKANON_RETURN_NOT_OK(reader.ReadI64(&request.user));
+        HISTKANON_RETURN_NOT_OK(ReadPoint(&reader, &request.exact));
+        HISTKANON_RETURN_NOT_OK(reader.ReadI32(&request.service));
+        HISTKANON_RETURN_NOT_OK(reader.ReadString(&request.data));
+        batch.push_back(std::move(request));
+      }
+      event.batch = std::make_shared<const std::vector<BatchRequest>>(
+          std::move(batch));
       break;
     }
     case JournalEvent::Kind::kUpdate:
@@ -615,6 +644,12 @@ void ApplyJournalEvent(TrustedServer* server, const JournalEvent& event) {
       server->ProcessRequest(event.user, event.point, event.service_id,
                              event.data);
       break;
+    case JournalEvent::Kind::kBatch:
+      // Replay with batch semantics: up-front ingest + prewarm, serve in
+      // submission order.  The recovered server has no journal attached,
+      // so the internal JournalBatch admission is a breaker-only check.
+      if (event.batch != nullptr) server->ProcessBatch(*event.batch);
+      break;
     case JournalEvent::Kind::kEpochEnd:
       break;
   }
@@ -645,6 +680,17 @@ void ApplyConcurrentJournalEvent(ConcurrentServer* server,
     case JournalEvent::Kind::kRequest:
       server->SubmitRequest(event.user, event.point, event.service_id,
                             event.data);
+      break;
+    case JournalEvent::Kind::kBatch:
+      // A concurrent stream has no composite batch submit; the window's
+      // requests enter the epoch individually (the shard serve phase
+      // already batches: frozen epoch + cell-sorted prewarm).
+      if (event.batch != nullptr) {
+        for (const BatchRequest& request : *event.batch) {
+          server->SubmitRequest(request.user, request.exact, request.service,
+                                request.data);
+        }
+      }
       break;
     case JournalEvent::Kind::kEpochEnd:
       server->EndEpoch();
@@ -744,8 +790,24 @@ std::vector<JournalEvent> FlattenConcurrentWorkload(
 
 common::Status TrustedServer::AdmitEvent(const JournalEvent& event) {
   const bool is_request = event.kind == JournalEvent::Kind::kRequest;
+  // A refused batch sheds ONE event but batch-size requests: its fail
+  // path rejects every request in the window.
+  const uint64_t shed_request_count =
+      event.kind == JournalEvent::Kind::kBatch
+          ? (event.batch == nullptr ? 0 : event.batch->size())
+          : (is_request ? 1 : 0);
+  const auto count_shed = [&] {
+    ++shed_events_;
+    if (obs_.shed_events != nullptr) obs_.shed_events->Increment();
+    if (shed_request_count > 0) {
+      shed_requests_ += shed_request_count;
+      if (obs_.shed_requests != nullptr) {
+        obs_.shed_requests->Increment(shed_request_count);
+      }
+    }
+  };
   if (!breaker_.Admit()) {
-    CountShed(is_request);
+    count_shed();
     return common::Status::Unavailable(
         "trusted server degraded: event suppressed fail-closed");
   }
@@ -755,7 +817,7 @@ common::Status TrustedServer::AdmitEvent(const JournalEvent& event) {
       ++journal_failures_;
       if (obs_.journal_failures != nullptr) obs_.journal_failures->Increment();
       breaker_.RecordFailure();
-      CountShed(is_request);
+      count_shed();
       return status;
     }
   }
@@ -818,6 +880,14 @@ common::Status TrustedServer::JournalRequest(mod::UserId user,
   event.point = exact;
   event.service_id = service;
   event.data = data;
+  return AdmitEvent(event);
+}
+
+common::Status TrustedServer::JournalBatch(
+    const std::vector<BatchRequest>& requests) {
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kBatch;
+  event.batch = std::make_shared<const std::vector<BatchRequest>>(requests);
   return AdmitEvent(event);
 }
 

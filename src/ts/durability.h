@@ -58,6 +58,10 @@ struct JournalEvent {
     /// Epoch boundary of a ConcurrentServer stream (no-op on a serial
     /// replay, EndEpoch on a concurrent one).
     kEpochEnd = 7,
+    /// A whole ProcessBatch window, admitted as ONE composite event so
+    /// replay reproduces the batch semantics (up-front ingest + prewarm)
+    /// rather than per-request semantics.
+    kBatch = 8,
   };
 
   Kind kind = Kind::kUpdate;
@@ -73,6 +77,8 @@ struct JournalEvent {
   std::shared_ptr<const lbqid::Lbqid> lbqid;
   /// kSetRules payload.
   std::shared_ptr<const PolicyRuleSet> rules;
+  /// kBatch payload.
+  std::shared_ptr<const std::vector<BatchRequest>> batch;
 };
 
 /// Serializes an event into a record payload (kJournalEventRecord-tagged).

@@ -178,6 +178,29 @@ void Shard::WorkerLoop() {
         // and nobody writes shared state until serve_done.
         (*phase_.pending_counts)[index_] = pending.size();
         phase_.ingest_done->arrive_and_wait();
+        // Serve-phase prewarm (DESIGN.md §13): the epoch is frozen behind
+        // the barrier (every shard's ingest visible, nobody writes until
+        // serve_done), so the generalizer's shared nearest-users entries
+        // computed here stay valid for the whole phase.  Cell order makes
+        // co-located requests adjacent so they share one index query;
+        // serving below still follows the deterministic schedule.
+        {
+          std::vector<size_t> warm_order(pending.size());
+          for (size_t i = 0; i < warm_order.size(); ++i) warm_order[i] = i;
+          std::sort(warm_order.begin(), warm_order.end(),
+                    [&](size_t a, size_t b) {
+                      const uint64_t cell_a =
+                          server_.index().CellIdOf(pending[a].point);
+                      const uint64_t cell_b =
+                          server_.index().CellIdOf(pending[b].point);
+                      if (cell_a != cell_b) return cell_a < cell_b;
+                      return a < b;
+                    });
+          for (const size_t i : warm_order) {
+            server_.PrewarmRequest(pending[i].user, pending[i].point,
+                                   pending[i].service);
+          }
+        }
         if (phase_.lockstep) {
           // Deterministic schedule: all shards serve their i-th request,
           // then meet; rounds = the max pending count across shards.

@@ -145,6 +145,14 @@ struct RequestTelemetry {
   double seconds[kStageCount] = {};
 };
 
+/// \brief One request of a ProcessBatch window.
+struct BatchRequest {
+  mod::UserId user = mod::kInvalidUser;
+  geo::STPoint exact;
+  mod::ServiceId service = 0;
+  std::string data;
+};
+
 /// \brief Outcome record for one request (also the unit of the metrics).
 /// TS-side bookkeeping: `exact` never leaves the trusted server.
 struct ProcessOutcome {
@@ -221,6 +229,25 @@ class TrustedServer : public sim::EventSink {
   ProcessOutcome ProcessRequest(mod::UserId user, const geo::STPoint& exact,
                                 mod::ServiceId service,
                                 const std::string& data);
+
+  /// Batched request engine (DESIGN.md §13): admits the whole window as
+  /// ONE composite journal event, ingests every request point up front,
+  /// prewarms the generalizer's shared nearest-users entries in grid-cell
+  /// order (co-located requests then answer from one index query), and
+  /// serves the requests in their original submission order — so every
+  /// per-request stream (msgids, pseudonyms, RNG draws, ordinals) is
+  /// byte-identical to the serial per-request path under the PR-2
+  /// epoch-normalized order.  A failed batch admission rejects the whole
+  /// window with zero state effect (no outcomes() entries).
+  std::vector<ProcessOutcome> ProcessBatch(
+      const std::vector<BatchRequest>& requests);
+
+  /// Precomputes the shared anchor-selection entry one request would
+  /// need, without serving it (the cache layer of ProcessBatch; also
+  /// called by the sharded server's serve phase over cell-sorted
+  /// windows).  Never changes any answer — only pre-pays index work.
+  void PrewarmRequest(mod::UserId user, const geo::STPoint& exact,
+                      mod::ServiceId service);
 
   /// Records a request shed OUTSIDE the pipeline (a shard's queue-wait
   /// deadline fired): appends a kRejected outcome so per-shard outcome
@@ -350,6 +377,9 @@ class TrustedServer : public sim::EventSink {
     obs::Counter* shed_events = nullptr;
     obs::Counter* journal_failures = nullptr;
     obs::Counter* deadline_overruns = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batch_requests = nullptr;
+    obs::Histogram* batch_size = nullptr;
     obs::Histogram* stage[kStageCount] = {};
     obs::Histogram* request_seconds = nullptr;
     obs::Histogram* generalized_area = nullptr;
@@ -357,6 +387,12 @@ class TrustedServer : public sim::EventSink {
   };
 
   UserState& StateOf(mod::UserId user);
+  // ProcessRequest minus the write-ahead admission: the telemetry wrapper
+  // and pipeline for one ALREADY-JOURNALED request (ProcessBatch serves
+  // its window through this after the composite batch event is admitted).
+  ProcessOutcome ProcessAdmitted(mod::UserId user, const geo::STPoint& exact,
+                                 mod::ServiceId service,
+                                 const std::string& data);
   // The pipeline body; `telemetry` collects per-stage timings when
   // observability is attached.
   ProcessOutcome ProcessRequestImpl(mod::UserId user,
@@ -403,6 +439,7 @@ class TrustedServer : public sim::EventSink {
   common::Status JournalRequest(mod::UserId user, const geo::STPoint& exact,
                                 mod::ServiceId service,
                                 const std::string& data);
+  common::Status JournalBatch(const std::vector<BatchRequest>& requests);
   /// Breaker admission + write-ahead append of one event.  Counts sheds
   /// and journal failures; drives the breaker state machine.
   common::Status AdmitEvent(const JournalEvent& event);

@@ -1,6 +1,7 @@
 #include "src/ts/workload.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "src/common/rng.h"
@@ -281,6 +282,51 @@ std::vector<ProcessOutcome> ReplayEpochsSerial(const EpochedWorkload& workload,
       outcomes.push_back(server->ProcessRequest(event.user, event.point,
                                                 event.service, event.data));
     }
+  }
+  return outcomes;
+}
+
+std::vector<ProcessOutcome> ReplayEpochsBatched(
+    const EpochedWorkload& workload, TrustedServer* server) {
+  for (const anon::ServiceProfile& service : workload.services) {
+    (void)server->RegisterService(service).ok();
+  }
+  std::vector<ProcessOutcome> outcomes;
+  for (const std::vector<WorkloadEvent>& epoch : workload.epochs) {
+    // Pass 1: identical to ReplayEpochsSerial.
+    for (const WorkloadEvent& event : epoch) {
+      switch (event.kind) {
+        case WorkloadEvent::Kind::kUpdate:
+        case WorkloadEvent::Kind::kRequest:
+          server->OnLocationUpdate(event.user, event.point);
+          break;
+        case WorkloadEvent::Kind::kRegisterUser:
+          (void)server->RegisterUser(event.user, event.policy).ok();
+          break;
+        case WorkloadEvent::Kind::kRegisterLbqid:
+          if (event.lbqid != nullptr) {
+            (void)server->RegisterLbqid(event.user, *event.lbqid).ok();
+          }
+          break;
+        case WorkloadEvent::Kind::kSetRules:
+          if (event.rules != nullptr) {
+            (void)server->SetUserRules(event.user, *event.rules).ok();
+          }
+          break;
+      }
+    }
+    // Pass 2: the epoch's requests as ONE batch window (submission order
+    // preserved inside the window).
+    std::vector<BatchRequest> window;
+    for (const WorkloadEvent& event : epoch) {
+      if (event.kind != WorkloadEvent::Kind::kRequest) continue;
+      window.push_back(
+          BatchRequest{event.user, event.point, event.service, event.data});
+    }
+    std::vector<ProcessOutcome> batch_outcomes = server->ProcessBatch(window);
+    outcomes.insert(outcomes.end(),
+                    std::make_move_iterator(batch_outcomes.begin()),
+                    std::make_move_iterator(batch_outcomes.end()));
   }
   return outcomes;
 }

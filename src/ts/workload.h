@@ -95,6 +95,15 @@ EpochedWorkload MakeCommuterWorkload(const CommuterWorkloadOptions& options);
 std::vector<ProcessOutcome> ReplayEpochsSerial(const EpochedWorkload& workload,
                                                TrustedServer* server);
 
+/// ReplayEpochsSerial with a batched serve pass: pass 1 is identical;
+/// pass 2 hands each epoch's requests to TrustedServer::ProcessBatch as
+/// one window.  Because pass 1 already ingested every request point, the
+/// batch's up-front ingest no-ops and its output — outcomes AND
+/// Checkpoint() — is byte-identical to ReplayEpochsSerial on a twin
+/// server (proved by tests/batch_differential_test.cc).
+std::vector<ProcessOutcome> ReplayEpochsBatched(
+    const EpochedWorkload& workload, TrustedServer* server);
+
 /// Streams the workload through Submit*/EndEpoch and Finish()es the
 /// server.  Returns the outcomes in global submission order.
 std::vector<ProcessOutcome> ReplayEpochsConcurrent(

@@ -1,0 +1,353 @@
+// The anchored-candidate cache (DESIGN.md 13) must be pure acceleration:
+// every answer produced through a memo equals the cold recompute, under
+// arbitrary interleavings of MOD ingest with cached traversals.  Three
+// layers are pinned here: the k+1 derive rule at the index level, the
+// Generalizer's memos (traversal, shared neighbors, per-anchor samples)
+// with their epoch/size validation, and cached-vs-cold TrustedServer
+// twins driven through full workloads with ingest interleaved between
+// requests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/anon/generalize.h"
+#include "src/common/rng.h"
+#include "src/mod/moving_object_db.h"
+#include "src/obs/metrics.h"
+#include "src/stindex/grid_index.h"
+#include "src/ts/trusted_server.h"
+#include "src/ts/workload.h"
+
+namespace histkanon {
+namespace anon {
+namespace {
+
+using geo::STPoint;
+
+// ---------------------------------------------------------------------------
+// Index level: the k+1 derive rule.
+
+// NearestPerUser answers are prefixes of one total (distance, user) order,
+// so any requester's k-anchor answer derives from the shared k+1
+// no-exclude answer: drop the requester if present, keep the first k.
+TEST(DeriveRule, MatchesDirectQueryOnRandomContent) {
+  common::Rng rng(77);
+  stindex::GridIndex index;
+  const size_t users = 30;
+  for (size_t u = 0; u < users; ++u) {
+    for (int s = 0; s < 4; ++s) {
+      index.Insert(static_cast<mod::UserId>(u),
+                   STPoint{{rng.Uniform(0.0, 3000.0), rng.Uniform(0.0, 3000.0)},
+                           rng.UniformInt(0, 7200)});
+    }
+  }
+  const geo::STMetric metric;
+  for (int trial = 0; trial < 50; ++trial) {
+    const STPoint q{{rng.Uniform(0.0, 3000.0), rng.Uniform(0.0, 3000.0)},
+                    rng.UniformInt(0, 7200)};
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 12));
+    const mod::UserId requester = rng.UniformInt(0, users - 1);
+    const std::vector<stindex::UserNeighbor> shared =
+        index.NearestPerUser(q, k + 1, mod::kInvalidUser, metric);
+    std::vector<stindex::UserNeighbor> derived;
+    for (const stindex::UserNeighbor& neighbor : shared) {
+      if (neighbor.user == requester) continue;
+      derived.push_back(neighbor);
+      if (derived.size() == k) break;
+    }
+    const std::vector<stindex::UserNeighbor> direct =
+        index.NearestPerUser(q, k, requester, metric);
+    ASSERT_EQ(direct.size(), derived.size()) << "trial " << trial;
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(direct[i].user, derived[i].user)
+          << "trial " << trial << " rank " << i;
+      EXPECT_EQ(direct[i].sample, derived[i].sample)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+// Tied distances are where a sloppy derive rule would flake: co-located
+// users (identical samples apart from the id) and users symmetric around
+// the query must come back in the same canonical order both ways.
+TEST(DeriveRule, MatchesDirectQueryOnTiedDistances) {
+  stindex::GridIndex index;
+  // Five users exactly on the query point, four on a symmetric cross.
+  for (mod::UserId user = 0; user < 5; ++user) {
+    index.Insert(user, STPoint{{500.0, 500.0}, 1000});
+  }
+  index.Insert(5, STPoint{{400.0, 500.0}, 1000});
+  index.Insert(6, STPoint{{600.0, 500.0}, 1000});
+  index.Insert(7, STPoint{{500.0, 400.0}, 1000});
+  index.Insert(8, STPoint{{500.0, 600.0}, 1000});
+  const geo::STMetric metric;
+  const STPoint q{{500.0, 500.0}, 1000};
+  for (size_t k = 1; k <= 8; ++k) {
+    for (mod::UserId requester = 0; requester < 9; ++requester) {
+      const auto shared = index.NearestPerUser(q, k + 1, mod::kInvalidUser,
+                                               metric);
+      std::vector<stindex::UserNeighbor> derived;
+      for (const auto& neighbor : shared) {
+        if (neighbor.user == requester) continue;
+        derived.push_back(neighbor);
+        if (derived.size() == k) break;
+      }
+      const auto direct = index.NearestPerUser(q, k, requester, metric);
+      ASSERT_EQ(direct.size(), derived.size());
+      for (size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(direct[i].user, derived[i].user)
+            << "k " << k << " requester " << requester << " rank " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generalizer level: memo validation under ingest.
+
+class GeneralizerCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (mod::UserId user = 1; user <= 10; ++user) {
+      Add(user, STPoint{{100.0 * user, 0.0}, 10 * user});
+    }
+    Add(0, STPoint{{0, 0}, 0});
+  }
+
+  void Add(mod::UserId user, const STPoint& sample) {
+    ASSERT_TRUE(db_.Append(user, sample).ok());
+    index_.Insert(user, sample);
+  }
+
+  static void ExpectSameResult(const GeneralizationResult& a,
+                               const GeneralizationResult& b) {
+    EXPECT_EQ(a.hk_anonymity, b.hk_anonymity);
+    EXPECT_EQ(a.anchors, b.anchors);
+    EXPECT_EQ(a.box.area.min_x, b.box.area.min_x);
+    EXPECT_EQ(a.box.area.min_y, b.box.area.min_y);
+    EXPECT_EQ(a.box.area.max_x, b.box.area.max_x);
+    EXPECT_EQ(a.box.area.max_y, b.box.area.max_y);
+    EXPECT_EQ(a.box.time.lo, b.box.time.lo);
+    EXPECT_EQ(a.box.time.hi, b.box.time.hi);
+  }
+
+  mod::MovingObjectDb db_;
+  stindex::GridIndex index_;
+  ToleranceConstraints loose_{100000.0, 100000.0, 100000};
+  TraversalKey traversal_{0, 0, 0};
+};
+
+TEST_F(GeneralizerCacheTest, TraversalMemoHitsWhileDataUnchanged) {
+  const Generalizer cached(&db_, &index_);
+  const auto first =
+      cached.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_, traversal_);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cached.cache_stats().traversal_hits, 0u);
+  const auto second =
+      cached.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_, traversal_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cached.cache_stats().traversal_hits, 1u);
+  ExpectSameResult(*first, *second);
+}
+
+TEST_F(GeneralizerCacheTest, IngestInvalidatesAndMatchesColdRecompute) {
+  const Generalizer cached(&db_, &index_);
+  const auto warm =
+      cached.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_, traversal_);
+  ASSERT_TRUE(warm.ok());
+
+  // MOD ingest: a new user lands between the requester and its former
+  // anchors — the cached anchor set is now wrong and MUST not be reused.
+  Add(42, STPoint{{50.0, 0.0}, 5});
+  const auto after_ingest =
+      cached.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_, traversal_);
+  ASSERT_TRUE(after_ingest.ok());
+  EXPECT_GE(cached.cache_stats().invalidations, 1u);
+  EXPECT_NE(after_ingest->anchors, warm->anchors);
+
+  // Cold twin over the same (post-ingest) content.
+  GeneralizerOptions cold_options;
+  cold_options.enable_cache = false;
+  const Generalizer cold(&db_, &index_, cold_options);
+  const auto recomputed =
+      cold.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_, traversal_);
+  ASSERT_TRUE(recomputed.ok());
+  ExpectSameResult(*after_ingest, *recomputed);
+  EXPECT_EQ(cold.cache_stats().traversal_hits, 0u);
+  EXPECT_EQ(cold.cache_stats().traversal_misses, 0u);
+}
+
+TEST_F(GeneralizerCacheTest, PrewarmServesEveryCoLocatedRequester) {
+  const Generalizer cached(&db_, &index_);
+  const STPoint kiosk{{0, 0}, 0};
+  cached.PrewarmNearestUsers(kiosk, 3);
+
+  GeneralizerOptions cold_options;
+  cold_options.enable_cache = false;
+  const Generalizer cold(&db_, &index_, cold_options);
+
+  for (mod::UserId requester = 0; requester <= 10; ++requester) {
+    const TraversalKey key{requester, 0, 0};
+    const auto warm = cached.Generalize(kiosk, requester, {}, 3, loose_, key);
+    const auto reference = cold.Generalize(kiosk, requester, {}, 3, loose_,
+                                           key);
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(reference.ok());
+    ExpectSameResult(*warm, *reference);
+  }
+  // Every requester derived its anchors from the one prewarmed entry.
+  EXPECT_EQ(cached.cache_stats().neighbor_hits, 11u);
+  EXPECT_EQ(cached.cache_stats().neighbor_misses, 0u);
+}
+
+TEST_F(GeneralizerCacheTest, CountersExportThroughTheRegistry) {
+  obs::Registry registry;
+  GeneralizerOptions options;
+  options.registry = &registry;
+  const Generalizer cached(&db_, &index_, options);
+  cached.PrewarmNearestUsers(STPoint{{0, 0}, 0}, 3);
+  const auto result = cached.Generalize(STPoint{{0, 0}, 0}, 0, {}, 3, loose_,
+                                        traversal_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(registry.GetCounter("anon_cache_hits_total")->value(),
+            cached.cache_stats().neighbor_hits +
+                cached.cache_stats().sample_hits +
+                cached.cache_stats().traversal_hits);
+  EXPECT_GE(registry.GetCounter("anon_cache_hits_total")->value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Server level: cached-vs-cold twins under interleaved ingest.
+
+namespace server_level {
+
+using ts::EpochedWorkload;
+using ts::ProcessOutcome;
+using ts::TrustedServer;
+using ts::TrustedServerOptions;
+using ts::WorkloadEvent;
+
+TrustedServerOptions Options(bool enable_cache) {
+  TrustedServerOptions options;
+  options.per_request_randomization = true;
+  options.generalizer.enable_cache = enable_cache;
+  return options;
+}
+
+void ApplyEvent(TrustedServer* server, const WorkloadEvent& event,
+                std::vector<ProcessOutcome>* outcomes) {
+  switch (event.kind) {
+    case WorkloadEvent::Kind::kUpdate:
+      server->OnLocationUpdate(event.user, event.point);
+      break;
+    case WorkloadEvent::Kind::kRequest:
+      outcomes->push_back(server->ProcessRequest(event.user, event.point,
+                                                 event.service, event.data));
+      break;
+    case WorkloadEvent::Kind::kRegisterUser:
+      (void)server->RegisterUser(event.user, event.policy).ok();
+      break;
+    case WorkloadEvent::Kind::kRegisterLbqid:
+      if (event.lbqid != nullptr) {
+        (void)server->RegisterLbqid(event.user, *event.lbqid).ok();
+      }
+      break;
+    case WorkloadEvent::Kind::kSetRules:
+      if (event.rules != nullptr) {
+        (void)server->SetUserRules(event.user, *event.rules).ok();
+      }
+      break;
+  }
+}
+
+// Replays the raw event stream — ingest interleaved between requests in
+// submission order, NOT epoch-normalized — on cached and cold twins.
+// Every post-ingest answer must equal the cold recompute, and the final
+// serialized states must be byte-identical.
+void RunCachedVsCold(const EpochedWorkload& workload) {
+  TrustedServer cached(Options(true));
+  TrustedServer cold(Options(false));
+  for (const anon::ServiceProfile& service : workload.services) {
+    ASSERT_TRUE(cached.RegisterService(service).ok());
+    ASSERT_TRUE(cold.RegisterService(service).ok());
+  }
+  std::vector<ProcessOutcome> cached_outcomes;
+  std::vector<ProcessOutcome> cold_outcomes;
+  for (const std::vector<WorkloadEvent>& epoch : workload.epochs) {
+    for (const WorkloadEvent& event : epoch) {
+      ApplyEvent(&cached, event, &cached_outcomes);
+      ApplyEvent(&cold, event, &cold_outcomes);
+    }
+  }
+  ASSERT_EQ(cached_outcomes.size(), workload.request_count());
+  ASSERT_EQ(cached_outcomes.size(), cold_outcomes.size());
+  size_t generalized = 0;
+  for (size_t i = 0; i < cached_outcomes.size(); ++i) {
+    const ProcessOutcome& a = cached_outcomes[i];
+    const ProcessOutcome& b = cold_outcomes[i];
+    EXPECT_EQ(a.disposition, b.disposition) << "request " << i;
+    EXPECT_EQ(a.hk_anonymity, b.hk_anonymity) << "request " << i;
+    EXPECT_EQ(a.forwarded, b.forwarded) << "request " << i;
+    EXPECT_EQ(a.forwarded_request.pseudonym, b.forwarded_request.pseudonym)
+        << "request " << i;
+    EXPECT_EQ(a.forwarded_request.msgid, b.forwarded_request.msgid)
+        << "request " << i;
+    EXPECT_EQ(a.forwarded_request.context.area.min_x,
+              b.forwarded_request.context.area.min_x)
+        << "request " << i;
+    EXPECT_EQ(a.forwarded_request.context.area.max_y,
+              b.forwarded_request.context.area.max_y)
+        << "request " << i;
+    EXPECT_EQ(a.forwarded_request.context.time.lo,
+              b.forwarded_request.context.time.lo)
+        << "request " << i;
+    EXPECT_EQ(a.forwarded_request.context.time.hi,
+              b.forwarded_request.context.time.hi)
+        << "request " << i;
+    if (a.disposition == ts::Disposition::kForwardedGeneralized) {
+      ++generalized;
+    }
+  }
+  ASSERT_GT(generalized, 0u) << "workload never exercised Algorithm 1";
+  const auto cached_snapshot = cached.Checkpoint();
+  const auto cold_snapshot = cold.Checkpoint();
+  ASSERT_TRUE(cached_snapshot.ok());
+  ASSERT_TRUE(cold_snapshot.ok());
+  EXPECT_EQ(*cached_snapshot, *cold_snapshot);
+}
+
+TEST(CachedVsColdServer, UniformWorkload) {
+  ts::SyntheticWorkloadOptions options;
+  options.num_users = 20;
+  options.num_epochs = 4;
+  options.requests_per_epoch = 32;
+  options.seed = 2101;
+  RunCachedVsCold(ts::MakeUniformWorkload(options));
+}
+
+TEST(CachedVsColdServer, HotspotWorkload) {
+  ts::SyntheticWorkloadOptions options;
+  options.num_users = 20;
+  options.num_epochs = 4;
+  options.requests_per_epoch = 32;
+  options.seed = 2202;
+  RunCachedVsCold(ts::MakeHotspotWorkload(options));
+}
+
+TEST(CachedVsColdServer, CommuterWorkload) {
+  ts::CommuterWorkloadOptions options;
+  options.num_commuters = 6;
+  options.num_wanderers = 18;
+  options.seed = 2303;
+  options.duration = 90 * 60;
+  RunCachedVsCold(ts::MakeCommuterWorkload(options));
+}
+
+}  // namespace server_level
+
+}  // namespace
+}  // namespace anon
+}  // namespace histkanon

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
+
 namespace histkanon {
 namespace mod {
 namespace {
@@ -108,6 +110,66 @@ TEST(PhlTest, CrossesBoxStationarySegment) {
       phl.CrossesBox(STBox{Rect{0, 0, 10, 10}, TimeInterval{40, 60}}));
   EXPECT_FALSE(
       phl.CrossesBox(STBox{Rect{6, 6, 10, 10}, TimeInterval{40, 60}}));
+}
+
+// The bisecting NearestSample must agree with the linear reference on
+// every input, including exact space-time ties (where both must return
+// the EARLIEST minimizing sample — the linear scan's first minimum) and
+// the mps == 0 degenerate metric (no temporal pruning possible).
+TEST(PhlTest, BisectNearestMatchesLinearReference) {
+  common::Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    Phl phl;
+    const int samples = static_cast<int>(rng.UniformInt(1, 60));
+    geo::Instant t = rng.UniformInt(0, 100);
+    for (int s = 0; s < samples; ++s) {
+      // Coarse lattice coordinates + repeated positions: ties are common.
+      ASSERT_TRUE(phl.Append(STPoint{{10.0 * rng.UniformInt(0, 8),
+                                      10.0 * rng.UniformInt(0, 8)},
+                                     t})
+                      .ok());
+      t += rng.UniformInt(1, 50);
+    }
+    for (const double mps : {1.4, 0.0, 25.0}) {
+      geo::STMetric metric;
+      metric.meters_per_second = mps;
+      for (int q = 0; q < 30; ++q) {
+        const STPoint query{{10.0 * rng.UniformInt(0, 8),
+                             10.0 * rng.UniformInt(0, 8)},
+                            rng.UniformInt(-50, t + 50)};
+        const auto fast = phl.NearestSample(query, metric);
+        const auto slow = phl.NearestSampleLinear(query, metric);
+        ASSERT_EQ(fast.has_value(), slow.has_value());
+        if (fast.has_value()) {
+          EXPECT_EQ(*fast, *slow)
+              << "trial " << trial << " mps " << mps << " query t "
+              << query.t;
+        }
+      }
+    }
+  }
+}
+
+TEST(PhlTest, BisectNearestTieReturnsEarliestSample) {
+  Phl phl;
+  // Two samples equidistant from the query: 140m away at the query time
+  // vs co-located 100s earlier (1.4 m/s metric) — and an exact duplicate
+  // position later.
+  ASSERT_TRUE(phl.Append(STPoint{{0, 0}, 900}).ok());
+  ASSERT_TRUE(phl.Append(STPoint{{140, 0}, 1000}).ok());
+  ASSERT_TRUE(phl.Append(STPoint{{0, 0}, 1100}).ok());
+  const geo::STMetric metric;
+  const auto nearest = phl.NearestSample(STPoint{{0, 0}, 1000}, metric);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, (STPoint{{0, 0}, 900}));
+  EXPECT_EQ(*nearest, *phl.NearestSampleLinear(STPoint{{0, 0}, 1000}, metric));
+}
+
+TEST(PhlTest, BisectNearestEmptyPhl) {
+  const geo::STMetric metric;
+  EXPECT_FALSE(Phl().NearestSample(STPoint{{0, 0}, 0}, metric).has_value());
+  EXPECT_FALSE(
+      Phl().NearestSampleLinear(STPoint{{0, 0}, 0}, metric).has_value());
 }
 
 TEST(PhlTest, LtConsistencyRequiresSampleInEveryContext) {

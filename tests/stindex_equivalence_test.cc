@@ -1,9 +1,10 @@
 // Property test: every SpatioTemporalIndex implementation — brute force,
 // uniform grid, 3D R-tree, and the cross-shard fan-out view — answers the
-// same queries identically on the same random data.  Continuous random
-// coordinates make distance ties measure-zero, so NearestPerUser rankings
-// are comparable across implementations that break exact ties differently
-// (grid/brute tie-break on user id; the R-tree's traversal order differs).
+// same queries identically on the same random data.  Exact distance ties
+// are canonicalized everywhere (cross-user: user id; within a user: the
+// content-minimum (t, x, y) sample), so rankings agree even off this
+// test's measure-zero tie set; tests/stindex_tie_test.cc pins the tie
+// cases directly.
 
 #include <gtest/gtest.h>
 

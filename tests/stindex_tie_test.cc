@@ -1,0 +1,195 @@
+// Tied-distance determinism (DESIGN.md 13): NearestPerUser is a pure
+// function of the indexed content.  Cross-user ties break on user id,
+// and a user's equally-near samples resolve to the content-minimum
+// (t, x, y) representative — on EVERY implementation, so the batch-vs-
+// serial and cached-vs-cold differentials can never flake on crafted or
+// accidental co-locations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mod/sharded_store.h"
+#include "src/stindex/brute_force_index.h"
+#include "src/stindex/grid_index.h"
+#include "src/stindex/rtree.h"
+#include "src/stindex/sharded_view.h"
+
+namespace histkanon {
+namespace stindex {
+namespace {
+
+struct Sample {
+  mod::UserId user;
+  geo::STPoint point;
+};
+
+class StindexTieTest : public ::testing::Test {
+ protected:
+  void Build(const std::vector<Sample>& samples) {
+    brute_ = std::make_unique<BruteForceIndex>();
+    grid_ = std::make_unique<GridIndex>();
+    rtree_ = std::make_unique<RTree>();
+    view_ = std::make_unique<ShardedIndexView>();
+    slices_.clear();
+    for (size_t i = 0; i < 3; ++i) {
+      slices_.push_back(std::make_unique<GridIndex>());
+    }
+    for (const Sample& s : samples) {
+      brute_->Insert(s.user, s.point);
+      grid_->Insert(s.user, s.point);
+      rtree_->Insert(s.user, s.point);
+      slices_[mod::SliceOfUser(s.user, 3)]->Insert(s.user, s.point);
+    }
+    for (const std::unique_ptr<GridIndex>& slice : slices_) {
+      view_->AddSlice(slice.get());
+    }
+    indexes_ = {brute_.get(), grid_.get(), rtree_.get(), view_.get()};
+  }
+
+  void ExpectAllAgree(const geo::STPoint& q, size_t k,
+                      mod::UserId exclude) const {
+    const geo::STMetric metric;
+    const std::vector<UserNeighbor> reference =
+        brute_->NearestPerUser(q, k, exclude, metric);
+    for (const SpatioTemporalIndex* index : indexes_) {
+      const std::vector<UserNeighbor> answer =
+          index->NearestPerUser(q, k, exclude, metric);
+      ASSERT_EQ(answer.size(), reference.size())
+          << index->name() << " k=" << k << " exclude=" << exclude;
+      for (size_t i = 0; i < answer.size(); ++i) {
+        EXPECT_EQ(answer[i].user, reference[i].user)
+            << index->name() << " k=" << k << " rank " << i;
+        EXPECT_EQ(answer[i].sample, reference[i].sample)
+            << index->name() << " k=" << k << " rank " << i;
+      }
+    }
+  }
+
+  std::unique_ptr<BruteForceIndex> brute_;
+  std::unique_ptr<GridIndex> grid_;
+  std::unique_ptr<RTree> rtree_;
+  std::vector<std::unique_ptr<GridIndex>> slices_;
+  std::unique_ptr<ShardedIndexView> view_;
+  std::vector<const SpatioTemporalIndex*> indexes_;
+};
+
+// Many users at the exact same point: distances are all zero, so the
+// ranking is purely the user-id tiebreak.
+TEST_F(StindexTieTest, CoLocatedUsersRankByUserId) {
+  std::vector<Sample> samples;
+  for (mod::UserId user = 0; user < 12; ++user) {
+    samples.push_back({user, {{250.0, 250.0}, 500}});
+  }
+  Build(samples);
+  const geo::STPoint q{{250.0, 250.0}, 500};
+  for (size_t k = 1; k <= 12; ++k) {
+    ExpectAllAgree(q, k, mod::kInvalidUser);
+    ExpectAllAgree(q, k, 3);
+  }
+  const std::vector<UserNeighbor> answer =
+      brute_->NearestPerUser(q, 5, mod::kInvalidUser, geo::STMetric());
+  ASSERT_EQ(answer.size(), 5u);
+  for (size_t i = 0; i < answer.size(); ++i) {
+    EXPECT_EQ(answer[i].user, static_cast<mod::UserId>(i));
+  }
+}
+
+// One user with several equidistant samples around the query: the
+// representative must be the content-minimum (t, x, y), whatever order
+// the samples were inserted or visited in.
+TEST_F(StindexTieTest, EquidistantSamplesResolveToContentMinimum) {
+  std::vector<Sample> samples;
+  // User 1: four samples on a cross 100m from the query, same t.
+  samples.push_back({1, {{400.0, 500.0}, 1000}});
+  samples.push_back({1, {{600.0, 500.0}, 1000}});
+  samples.push_back({1, {{500.0, 400.0}, 1000}});
+  samples.push_back({1, {{500.0, 600.0}, 1000}});
+  // User 2: the reverse insertion order of the same geometry.
+  samples.push_back({2, {{500.0, 600.0}, 1000}});
+  samples.push_back({2, {{500.0, 400.0}, 1000}});
+  samples.push_back({2, {{600.0, 500.0}, 1000}});
+  samples.push_back({2, {{400.0, 500.0}, 1000}});
+  // Filler users so k > 1 queries have someone else to find.
+  samples.push_back({3, {{900.0, 500.0}, 1000}});
+  samples.push_back({4, {{500.0, 900.0}, 1000}});
+  Build(samples);
+
+  const geo::STPoint q{{500.0, 500.0}, 1000};
+  for (size_t k = 1; k <= 4; ++k) {
+    ExpectAllAgree(q, k, mod::kInvalidUser);
+  }
+  // Content minimum at equal t: smallest x, then y -> (400, 500).
+  const std::vector<UserNeighbor> answer =
+      brute_->NearestPerUser(q, 2, mod::kInvalidUser, geo::STMetric());
+  ASSERT_EQ(answer.size(), 2u);
+  EXPECT_EQ(answer[0].user, 1);
+  EXPECT_EQ(answer[0].sample, (geo::STPoint{{400.0, 500.0}, 1000}));
+  EXPECT_EQ(answer[1].user, 2);
+  EXPECT_EQ(answer[1].sample, (geo::STPoint{{400.0, 500.0}, 1000}));
+}
+
+// Space-time ties: a sample 140m away NOW ties a sample at the same spot
+// 100s ago (metric 1.4 m/s).  The earlier-t sample is the content
+// minimum and must win on every index.
+TEST_F(StindexTieTest, SpaceTimeTiesResolveToEarliestSample) {
+  std::vector<Sample> samples;
+  samples.push_back({1, {{640.0, 500.0}, 1000}});  // 140m away, dt = 0.
+  samples.push_back({1, {{500.0, 500.0}, 900}});   // same spot, 100s ago.
+  samples.push_back({2, {{500.0, 500.0}, 900}});
+  samples.push_back({2, {{640.0, 500.0}, 1000}});
+  Build(samples);
+  const geo::STPoint q{{500.0, 500.0}, 1000};
+  ExpectAllAgree(q, 2, mod::kInvalidUser);
+  const std::vector<UserNeighbor> answer =
+      brute_->NearestPerUser(q, 2, mod::kInvalidUser, geo::STMetric());
+  ASSERT_EQ(answer.size(), 2u);
+  EXPECT_EQ(answer[0].sample, (geo::STPoint{{500.0, 500.0}, 900}));
+  EXPECT_EQ(answer[1].sample, (geo::STPoint{{500.0, 500.0}, 900}));
+}
+
+// Prefix property on tie-heavy content: the k-answer is a prefix of the
+// (k+1)-answer — what the k+1 derive rule and the batched prewarm rest
+// on.  Duplicated coordinates make ties common.
+TEST_F(StindexTieTest, AnswersArePrefixClosedOnTieHeavyContent) {
+  common::Rng rng(13);
+  std::vector<Sample> samples;
+  for (mod::UserId user = 0; user < 16; ++user) {
+    for (int s = 0; s < 3; ++s) {
+      // Coordinates snapped to a coarse lattice: many exact ties.
+      samples.push_back(
+          {user,
+           {{100.0 * rng.UniformInt(0, 5), 100.0 * rng.UniformInt(0, 5)},
+            600 * rng.UniformInt(0, 3)}});
+    }
+  }
+  Build(samples);
+  const geo::STMetric metric;
+  common::Rng query_rng(29);
+  for (int trial = 0; trial < 25; ++trial) {
+    const geo::STPoint q{{100.0 * query_rng.UniformInt(0, 5),
+                          100.0 * query_rng.UniformInt(0, 5)},
+                         600 * query_rng.UniformInt(0, 3)};
+    for (const SpatioTemporalIndex* index : indexes_) {
+      std::vector<UserNeighbor> previous;
+      for (size_t k = 1; k <= 10; ++k) {
+        const std::vector<UserNeighbor> answer =
+            index->NearestPerUser(q, k, mod::kInvalidUser, metric);
+        ASSERT_GE(answer.size(), previous.size()) << index->name();
+        for (size_t i = 0; i < previous.size(); ++i) {
+          EXPECT_EQ(answer[i].user, previous[i].user)
+              << index->name() << " trial " << trial << " k=" << k;
+          EXPECT_EQ(answer[i].sample, previous[i].sample)
+              << index->name() << " trial " << trial << " k=" << k;
+        }
+        previous = answer;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stindex
+}  // namespace histkanon
