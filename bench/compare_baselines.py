@@ -36,6 +36,7 @@ import sys
 CUSTOM_METRICS = {
     "micro_concurrent": ["serial_rps"],
     "micro_batch": ["per_request_rps", "batch_rps", "batch_speedup"],
+    "micro_telemetry": ["null_rps", "traced_rps"],
 }
 
 

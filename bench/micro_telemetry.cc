@@ -1,0 +1,163 @@
+// Telemetry-plane microbenchmarks: the null path (no tracer, no
+// registry — the observability pointers all nullptr) against the fully
+// instrumented path (causal tracer + SLO view + metrics registry), plus
+// the tracer's raw span cost and the export renderers.  Writes
+// BENCH_telemetry.json; the bench-regression gate reads null_rps and
+// traced_rps to catch both a regression of the uninstrumented hot path
+// (the null-object contract's "zero cost" half) and a runaway tracing
+// overhead.
+//
+// Plain wall-clock binary (like micro_concurrent / micro_overload): the
+// interesting numbers are whole-server request rates, not fixture loops.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/obs/causal_trace.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+// One warm serial server driven through `requests` ProcessRequest calls.
+// Returns requests/second.
+double DriveRequests(const ts::TrustedServerOptions& options,
+                     size_t requests) {
+  ts::TrustedServer server(options);
+  for (int i = 0; i < 8; ++i) {
+    (void)server.ApplyLocationUpdate(
+        static_cast<mod::UserId>(1 + i), PointAt(100 + i, 100, 100));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    server.ProcessRequest(static_cast<mod::UserId>(1 + (i % 8)),
+                          PointAt(100 + (i % 8), 100,
+                                  static_cast<int64_t>(200 + i)),
+                          0, "b");
+  }
+  return static_cast<double>(requests) / SecondsSince(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t requests = 50'000;
+  size_t spans = 2'000'000;
+  if (argc > 1) requests = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) spans = std::strtoul(argv[2], nullptr, 10);
+
+  std::printf("micro_telemetry: %zu requests/arm, %zu raw spans\n\n",
+              requests, spans);
+
+  // -- 1. The null path: every observability pointer nullptr. ---------------
+  const double null_rps = DriveRequests(ts::TrustedServerOptions{}, requests);
+  std::printf("%-32s %10.0f req/s\n", "null path (no telemetry)", null_rps);
+
+  // -- 2. The instrumented path: causal tracer + SLO + registry. ------------
+  double traced_rps = 0.0;
+  {
+    obs::CausalTracer tracer;
+    obs::SloView slo;
+    obs::Registry registry;
+    ts::TrustedServerOptions options;
+    options.causal = &tracer;
+    options.slo = &slo;
+    options.registry = &registry;
+    traced_rps = DriveRequests(options, requests);
+    std::printf("%-32s %10.0f req/s (%.1f%% of null, %zu spans)\n",
+                "traced path (causal+slo+metrics)", traced_rps,
+                100.0 * traced_rps / null_rps, tracer.size());
+  }
+
+  // -- 3. Raw tracer span cost. ---------------------------------------------
+  double span_ns = 0.0;
+  {
+    obs::CausalTracer tracer;
+    const obs::TraceContext root{1, 0};
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < spans; ++i) {
+      obs::CausalSpan span = tracer.StartSpan(root, "bench", "ts");
+    }
+    span_ns = SecondsSince(start) * 1e9 / static_cast<double>(spans);
+    std::printf("%-32s %10.3f ns/span\n", "StartSpan+End (one track)",
+                span_ns);
+  }
+
+  // -- 4. Export renderers over a realistic registry. -----------------------
+  double prometheus_us = 0.0;
+  double chrome_trace_us = 0.0;
+  {
+    obs::CausalTracer tracer;
+    obs::SloView slo;
+    obs::Registry registry;
+    ts::TrustedServerOptions options;
+    options.causal = &tracer;
+    options.slo = &slo;
+    options.registry = &registry;
+    ts::TrustedServer server(options);
+    for (int i = 0; i < 8; ++i) {
+      (void)server.ApplyLocationUpdate(
+          static_cast<mod::UserId>(1 + i), PointAt(100 + i, 100, 100));
+    }
+    for (size_t i = 0; i < 2'000; ++i) {
+      server.ProcessRequest(static_cast<mod::UserId>(1 + (i % 8)),
+                            PointAt(100 + (i % 8), 100,
+                                    static_cast<int64_t>(200 + i)),
+                            0, "b");
+    }
+    const size_t renders = 200;
+    size_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < renders; ++i) {
+      sink += obs::ToPrometheusText(registry.Snapshot()).size();
+    }
+    prometheus_us = SecondsSince(start) * 1e6 / static_cast<double>(renders);
+    start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < renders; ++i) {
+      sink += tracer.ToChromeTraceJson().size();
+    }
+    chrome_trace_us = SecondsSince(start) * 1e6 / static_cast<double>(renders);
+    std::printf("%-32s %10.3f us/render\n", "/metrics (Prometheus text)",
+                prometheus_us);
+    std::printf("%-32s %10.3f us/render (%zu spans)\n",
+                "/trace.json (Chrome trace)", chrome_trace_us, tracer.size());
+    if (sink == 0) std::printf("(sink drained)\n");  // defeat DCE
+  }
+
+  obs::JsonObject report;
+  report.SetString("bench", "micro_telemetry");
+  report.SetUint("requests_per_arm", requests);
+  report.SetNumber("null_rps", null_rps);
+  report.SetNumber("traced_rps", traced_rps);
+  report.SetNumber("traced_over_null", traced_rps / null_rps);
+  report.SetNumber("span_ns", span_ns);
+  report.SetNumber("prometheus_render_us", prometheus_us);
+  report.SetNumber("chrome_trace_render_us", chrome_trace_us);
+
+  std::ofstream out("BENCH_telemetry.json", std::ios::trunc);
+  out << report.ToString() << "\n";
+  const bool json_ok = out.good();
+  out.close();
+  std::printf("\nwrote BENCH_telemetry.json (%s)\n",
+              json_ok ? "ok" : "FAILED");
+  return json_ok ? 0 : 1;
+}

@@ -183,13 +183,20 @@ int main(int argc, char** argv) {
 
   // 5. The structured event log: one JSONL record per request.  Read it
   //    back through the parser and cross-check against the server stats.
+  //    The tolerant reader survives a torn final line (a crash mid-append
+  //    leaves one); report it instead of failing the whole analysis.
   events.Flush();
-  auto replayed_events = obs::ReadEventLogFile(events_path);
-  if (!replayed_events.ok()) {
+  auto read_result = obs::ReadEventLog(events_path);
+  if (!read_result.ok()) {
     std::printf("event log read failed: %s\n",
-                replayed_events.status().ToString().c_str());
+                read_result.status().ToString().c_str());
     return 1;
   }
+  if (!read_result->clean) {
+    std::printf("warning: event log has a torn tail, dropped: %s\n",
+                read_result->tail_error.c_str());
+  }
+  const auto* replayed_events = &read_result->events;
   size_t generalized_events = 0;
   for (const auto& event : *replayed_events) {
     const auto it = event.find("disposition");

@@ -1,0 +1,141 @@
+// Observability quickstart: wire the full telemetry plane (metrics
+// registry, causal tracer, rolling SLO view, resource accounting) into a
+// sharded Trusted Server, drive a small fault-injected workload, then
+// serve one live snapshot over the telemetry endpoint and fetch every
+// route — the README "observability in five minutes" walkthrough.
+//
+// Build & run:  cmake -B build && cmake --build build &&
+//               ./build/examples/example_telemetry_demo
+// Exit code 0 means every route served and every admitted request's
+// causal chain reconstructed.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/obs/causal_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/resource.h"
+#include "src/obs/slo.h"
+#include "src/obs/telemetry_server.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: example brevity.
+
+namespace {
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+}  // namespace
+
+int main() {
+  // 1. The telemetry plane: four independent, optional collectors.
+  obs::Registry metrics;
+  obs::CausalTracer tracer;
+  obs::SloView slo;
+  obs::ResourceAccountant resources(&metrics);
+
+  // 2. A sharded server with the collectors attached.  Everything here is
+  //    null-object optional — drop any pointer and behavior is unchanged.
+  ts::TsJournal journal;
+  ts::ConcurrentServerOptions options;
+  options.num_shards = 2;
+  options.journal = &journal;
+  options.server.registry = &metrics;
+  options.server.causal = &tracer;
+  options.server.slo = &slo;
+  ts::ConcurrentServer server(std::move(options));
+  server.RegisterResourceProbes(&resources, "cs_");
+
+  // 3. A small workload, with a journal-fault burst in the middle so the
+  //    shed/degraded paths show up in the trace and SLO view.
+  size_t admitted = 0;
+  size_t shed = 0;
+  auto submit_epoch = [&](int64_t t0, int count) {
+    for (int i = 0; i < count; ++i) {
+      const mod::UserId user = static_cast<mod::UserId>(1 + (i % 6));
+      server.SubmitLocationUpdate(user, PointAt(100.0 * user, 100, t0 + i));
+      const size_t seq = server.SubmitRequest(
+          user, PointAt(100.0 * user, 100, t0 + i), 0, "demo");
+      if (seq == ts::ConcurrentServer::kShedSubmission) {
+        ++shed;
+      } else {
+        ++admitted;
+      }
+    }
+    server.EndEpoch();
+  };
+  submit_epoch(100, 12);
+  if (fail::kCompiledIn) {
+    fail::Registry::Instance()
+        .Get(fail::kDurJournalAppend)
+        ->Arm(fail::ErrorAction(common::StatusCode::kInternal,
+                                "demo: disk gone"),
+              fail::EveryNth(3));
+    submit_epoch(200, 12);
+    fail::Registry::Instance().DisarmAll();
+  }
+  submit_epoch(300, 12);
+  server.Finish();
+  resources.Collect();
+  std::printf("workload: %zu admitted, %zu shed, %zu spans recorded\n",
+              admitted, shed, tracer.size());
+
+  // 4. Verify the tentpole property offline: every admitted request id
+  //    reconstructs its causal chain end to end.
+  std::map<uint64_t, std::set<std::string>> names;
+  for (const obs::CausalSpanRecord& span : tracer.Records()) {
+    names[span.trace_id].insert(span.name);
+  }
+  for (uint64_t tid = 1; tid <= admitted; ++tid) {
+    for (const char* need :
+         {"admission", "journal_append", "queue_wait", "shard_serve",
+          "request"}) {
+      if (!names[tid].count(need)) {
+        std::printf("FAIL: trace %llu missing %s span\n",
+                    static_cast<unsigned long long>(tid), need);
+        return 1;
+      }
+    }
+  }
+  std::printf("causal chains: all %zu admitted requests complete\n\n",
+              admitted);
+
+  // 5. Serve it live and fetch every route like an operator would.
+  obs::TelemetryServer endpoint(
+      obs::TelemetrySources{&metrics, &slo, &resources, &tracer});
+  if (!endpoint.Start(0).ok()) {
+    std::printf("FAIL: telemetry endpoint did not start\n");
+    return 1;
+  }
+  std::printf("telemetry endpoint on 127.0.0.1:%u\n", endpoint.port());
+  for (const char* path :
+       {"/healthz", "/metrics", "/slo", "/snapshot.json", "/trace.json"}) {
+    const auto body = obs::FetchTelemetry(endpoint.port(), path);
+    if (!body.ok()) {
+      std::printf("FAIL: GET %s: %s\n", path, body.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  GET %-15s -> %6zu bytes\n", path, body->size());
+  }
+
+  // 6. Save the timeline for ui.perfetto.dev.
+  const char* trace_path = "/tmp/histkanon_demo_trace.json";
+  std::ofstream out(trace_path, std::ios::trunc);
+  out << tracer.ToChromeTraceJson();
+  if (out.good()) {
+    std::printf("\nPerfetto timeline written to %s (open in "
+                "ui.perfetto.dev)\n",
+                trace_path);
+  }
+  endpoint.Stop();
+  return 0;
+}

@@ -163,6 +163,13 @@ class Generalizer {
 
   const GeneralizerCacheStats& cache_stats() const { return cache_stats_; }
 
+  /// Live entries across the neighbor/sample/traversal caches (the
+  /// resource-accounting footprint probe).
+  size_t cache_entries() const {
+    return neighbor_cache_.size() + sample_cache_.size() +
+           traversal_cache_.size();
+  }
+
   /// The default (non-LBQID) context: the exact point padded to the
   /// minimum extents times `scale`, clipped to tolerance.  `scale` > 1 is
   /// the policy-driven blurring of ordinary requests (the Section-7

@@ -1,0 +1,200 @@
+#include "src/obs/causal_trace.h"
+
+#include <map>
+#include <utility>
+
+#include "src/obs/json.h"
+
+namespace histkanon {
+namespace obs {
+
+CausalSpan& CausalSpan::operator=(CausalSpan&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void CausalSpan::AddAttribute(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void CausalSpan::End() {
+  if (tracer_ == nullptr) return;
+  record_.duration_ns = MonotonicNanos() - record_.start_ns;
+  CausalTracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->Commit(std::move(record_));
+}
+
+CausalSpan CausalTracer::StartSpan(const TraceContext& ctx, std::string name,
+                                   std::string track) {
+  CausalSpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  record.parent_span = ctx.parent_span;
+  record.name = std::move(name);
+  record.track = std::move(track);
+  record.start_ns = MonotonicNanos();
+  return CausalSpan(this, std::move(record));
+}
+
+uint64_t CausalTracer::RecordSpan(
+    const TraceContext& ctx, std::string name, std::string track,
+    int64_t start_ns, int64_t duration_ns,
+    std::vector<std::pair<std::string, std::string>> attributes) {
+  CausalSpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  record.parent_span = ctx.parent_span;
+  record.name = std::move(name);
+  record.track = std::move(track);
+  record.start_ns = start_ns;
+  record.duration_ns = duration_ns;
+  record.attributes = std::move(attributes);
+  const uint64_t id = record.span_id;
+  Commit(std::move(record));
+  return id;
+}
+
+void CausalTracer::Commit(CausalSpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<CausalSpanRecord> CausalTracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t CausalTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void CausalTracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+namespace {
+
+void AppendQuoted(std::string* out, const std::string& text) {
+  out->push_back('"');
+  out->append(JsonEscape(text));
+  out->push_back('"');
+}
+
+void AppendMicros(std::string* out, int64_t ns) {
+  // Chrome-trace timestamps are fractional microseconds; emit three
+  // decimals so nanosecond spans stay distinguishable.
+  const int64_t micros = ns / 1000;
+  const int64_t frac = (ns < 0 ? -ns : ns) % 1000;
+  out->append(std::to_string(micros));
+  out->push_back('.');
+  out->push_back(static_cast<char>('0' + frac / 100));
+  out->push_back(static_cast<char>('0' + (frac / 10) % 10));
+  out->push_back(static_cast<char>('0' + frac % 10));
+}
+
+}  // namespace
+
+std::string CausalTracer::ToChromeTraceJson() const {
+  const std::vector<CausalSpanRecord> records = Records();
+
+  // Stable track -> tid mapping in order of first appearance, plus span
+  // id -> track for flow-event endpoints.
+  std::map<std::string, int> track_tids;
+  std::vector<const std::string*> track_order;
+  std::map<uint64_t, const CausalSpanRecord*> by_span_id;
+  for (const CausalSpanRecord& record : records) {
+    if (track_tids.emplace(record.track, 0).second) {
+      track_order.push_back(&record.track);
+    }
+    by_span_id.emplace(record.span_id, &record);
+  }
+  int next_tid = 1;
+  for (const std::string* track : track_order) {
+    track_tids[*track] = next_tid++;
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&out, &first]() {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  for (const std::string* track : track_order) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(track_tids[*track]);
+    out += ",\"args\":{\"name\":";
+    AppendQuoted(&out, *track);
+    out += "}}";
+  }
+
+  for (const CausalSpanRecord& record : records) {
+    const int tid = track_tids[record.track];
+    comma();
+    out += "{\"name\":";
+    AppendQuoted(&out, record.name);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    AppendMicros(&out, record.start_ns - epoch_ns_);
+    out += ",\"dur\":";
+    AppendMicros(&out, record.duration_ns);
+    out += ",\"args\":{\"trace_id\":";
+    out += std::to_string(record.trace_id);
+    out += ",\"span_id\":";
+    out += std::to_string(record.span_id);
+    out += ",\"parent_span\":";
+    out += std::to_string(record.parent_span);
+    for (const auto& [key, value] : record.attributes) {
+      out.push_back(',');
+      AppendQuoted(&out, key);
+      out.push_back(':');
+      AppendQuoted(&out, value);
+    }
+    out += "}}";
+
+    // Cross-track parent/child edges become flow arrows; same-track
+    // nesting is already visible as stacked slices.
+    if (record.parent_span != 0) {
+      const auto parent_it = by_span_id.find(record.parent_span);
+      if (parent_it != by_span_id.end() &&
+          parent_it->second->track != record.track) {
+        const CausalSpanRecord& parent = *parent_it->second;
+        comma();
+        out += "{\"name\":\"causal\",\"ph\":\"s\",\"id\":";
+        out += std::to_string(record.span_id);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(track_tids[parent.track]);
+        out += ",\"ts\":";
+        AppendMicros(&out,
+                     parent.start_ns + parent.duration_ns - epoch_ns_);
+        out += "}";
+        comma();
+        out +=
+            "{\"name\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"id\":";
+        out += std::to_string(record.span_id);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"ts\":";
+        AppendMicros(&out, record.start_ns - epoch_ns_);
+        out += "}";
+      }
+    }
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace histkanon

@@ -1,33 +1,60 @@
 #include "src/obs/event_log.h"
 
+#include <utility>
+
 #include "src/common/str.h"
 
 namespace histkanon {
 namespace obs {
 
-common::Result<std::vector<std::map<std::string, std::string>>>
-ReadEventLogFile(const std::string& path) {
+common::Result<EventLogReadResult> ReadEventLog(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return common::Status::NotFound(
         common::Format("cannot open event log %s", path.c_str()));
   }
-  std::vector<std::map<std::string, std::string>> events;
+  // Collect non-empty lines first: whether a malformed line is tolerable
+  // depends on whether anything valid FOLLOWS it.
+  std::vector<std::pair<size_t, std::string>> lines;  // line number, text
   std::string line;
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
+    lines.emplace_back(line_number, std::move(line));
+  }
+
+  EventLogReadResult result;
+  result.events.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
     common::Result<std::map<std::string, std::string>> parsed =
-        ParseFlatJson(line);
+        ParseFlatJson(lines[i].second);
     if (!parsed.ok()) {
+      if (i + 1 == lines.size()) {
+        // Torn tail: a crash mid-append leaves exactly one malformed
+        // final line.  Drop it and report, rather than failing the read.
+        result.clean = false;
+        result.tail_error =
+            common::Format("%s line %zu: %s", path.c_str(), lines[i].first,
+                           parsed.status().message().c_str());
+        break;
+      }
+      // Malformed with valid records after it: corruption, not a torn
+      // append — refuse.
       return common::Status::InvalidArgument(
-          common::Format("%s line %zu: %s", path.c_str(), line_number,
+          common::Format("%s line %zu: %s", path.c_str(), lines[i].first,
                          parsed.status().message().c_str()));
     }
-    events.push_back(std::move(parsed).ValueOrDie());
+    result.events.push_back(std::move(parsed).ValueOrDie());
   }
-  return events;
+  return result;
+}
+
+common::Result<std::vector<std::map<std::string, std::string>>>
+ReadEventLogFile(const std::string& path) {
+  common::Result<EventLogReadResult> result = ReadEventLog(path);
+  if (!result.ok()) return result.status();
+  return std::move(result->events);
 }
 
 }  // namespace obs

@@ -25,16 +25,26 @@ class EventSink {
 
   /// Persists one record (a rendered JSON object, no trailing newline).
   virtual void Append(const std::string& line) = 0;
+
+  /// Bytes this sink has accepted so far, newlines included — the event
+  /// log's entry in the resource-accounting inventory.  Sinks that cannot
+  /// measure report 0.
+  virtual uint64_t bytes_written() const { return 0; }
 };
 
 /// \brief In-memory sink for tests and tools.
 class VectorEventSink : public EventSink {
  public:
-  void Append(const std::string& line) override { lines_.push_back(line); }
+  void Append(const std::string& line) override {
+    bytes_ += line.size() + 1;
+    lines_.push_back(line);
+  }
+  uint64_t bytes_written() const override { return bytes_; }
   const std::vector<std::string>& lines() const { return lines_; }
 
  private:
   std::vector<std::string> lines_;
+  uint64_t bytes_ = 0;
 };
 
 /// \brief Writes one line per record to a caller-owned stream.
@@ -58,19 +68,41 @@ class FileEventSink : public EventSink {
   bool ok() const { return out_.is_open(); }
 
   void Append(const std::string& line) override {
-    if (out_.is_open()) out_ << line << '\n';
+    if (!out_.is_open()) return;
+    out_ << line << '\n';
+    bytes_ += line.size() + 1;
   }
+
+  uint64_t bytes_written() const override { return bytes_; }
 
   /// Flushes buffered records to disk.
   void Flush() { out_.flush(); }
 
  private:
   std::ofstream out_;
+  uint64_t bytes_ = 0;
+};
+
+/// \brief Result of a tolerant event-log read.
+struct EventLogReadResult {
+  std::vector<std::map<std::string, std::string>> events;
+  /// False when the FINAL non-empty line was torn (malformed) and was
+  /// dropped — the expected shape of a crash mid-append.
+  bool clean = true;
+  /// The parse error of the dropped tail line (empty when clean).
+  std::string tail_error;
 };
 
 /// Reads a JSONL event file back as per-line flat field maps (see
-/// obs::ParseFlatJson); blank lines are skipped, the first malformed line
-/// fails the whole read.
+/// obs::ParseFlatJson); blank lines are skipped.  A malformed FINAL line
+/// — the torn tail a crash mid-append leaves behind — is dropped and
+/// reported via `clean`/`tail_error` instead of failing the read; a
+/// malformed line with valid records after it still fails (that is
+/// corruption, not truncation).
+common::Result<EventLogReadResult> ReadEventLog(const std::string& path);
+
+/// Compatibility wrapper over ReadEventLog that returns the events alone
+/// (a torn tail is tolerated and silently dropped).
 common::Result<std::vector<std::map<std::string, std::string>>>
 ReadEventLogFile(const std::string& path);
 

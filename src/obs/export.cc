@@ -33,25 +33,25 @@ std::string SanitizeMetricName(const std::string& name) {
   return out;
 }
 
-std::string ToPrometheusText(const Registry& registry) {
+std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
   std::string out;
-  for (const auto& [name, value] : registry.CounterValues()) {
+  for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = SanitizeMetricName(name);
     out += common::Format("# TYPE %s counter\n", prom.c_str());
     out += common::Format("%s %llu\n", prom.c_str(),
                           static_cast<unsigned long long>(value));
   }
-  for (const auto& [name, value] : registry.GaugeValues()) {
+  for (const auto& [name, value] : snapshot.gauges) {
     const std::string prom = SanitizeMetricName(name);
     out += common::Format("# TYPE %s gauge\n", prom.c_str());
     out += common::Format("%s %s\n", prom.c_str(),
                           PromNumber(value).c_str());
   }
-  for (const auto& [name, histogram] : registry.Histograms()) {
+  for (const auto& [name, histogram] : snapshot.histograms) {
     const std::string prom = SanitizeMetricName(name);
     out += common::Format("# TYPE %s histogram\n", prom.c_str());
-    const std::vector<uint64_t> counts = histogram->bucket_counts();
-    const std::vector<double>& bounds = histogram->upper_bounds();
+    const std::vector<uint64_t>& counts = histogram.bucket_counts;
+    const std::vector<double>& bounds = histogram.upper_bounds;
     uint64_t cumulative = 0;
     for (size_t i = 0; i < bounds.size(); ++i) {
       cumulative += counts[i];
@@ -61,36 +61,41 @@ std::string ToPrometheusText(const Registry& registry) {
           static_cast<unsigned long long>(cumulative));
     }
     cumulative += counts[bounds.size()];
+    // cumulative now equals histogram.count by the snapshot contract, so
+    // the +Inf bucket and _count always agree.
     out += common::Format("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
                           static_cast<unsigned long long>(cumulative));
     out += common::Format("%s_sum %s\n", prom.c_str(),
-                          PromNumber(histogram->sum()).c_str());
+                          PromNumber(histogram.sum).c_str());
     out += common::Format("%s_count %llu\n", prom.c_str(),
-                          static_cast<unsigned long long>(
-                              histogram->count()));
+                          static_cast<unsigned long long>(histogram.count));
   }
   return out;
 }
 
-std::string ToJson(const Registry& registry) {
+std::string ToPrometheusText(const Registry& registry) {
+  return ToPrometheusText(registry.Snapshot());
+}
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
   JsonObject counters;
-  for (const auto& [name, value] : registry.CounterValues()) {
+  for (const auto& [name, value] : snapshot.counters) {
     counters.SetUint(name, value);
   }
   JsonObject gauges;
-  for (const auto& [name, value] : registry.GaugeValues()) {
+  for (const auto& [name, value] : snapshot.gauges) {
     gauges.SetNumber(name, value);
   }
   JsonObject histograms;
-  for (const auto& [name, histogram] : registry.Histograms()) {
+  for (const auto& [name, histogram] : snapshot.histograms) {
     JsonObject entry;
-    entry.SetUint("count", histogram->count());
-    entry.SetNumber("sum", histogram->sum());
-    entry.SetNumber("p50", histogram->Quantile(0.50));
-    entry.SetNumber("p95", histogram->Quantile(0.95));
-    entry.SetNumber("p99", histogram->Quantile(0.99));
-    const std::vector<uint64_t> counts = histogram->bucket_counts();
-    const std::vector<double>& bounds = histogram->upper_bounds();
+    entry.SetUint("count", histogram.count);
+    entry.SetNumber("sum", histogram.sum);
+    entry.SetNumber("p50", histogram.Quantile(0.50));
+    entry.SetNumber("p95", histogram.Quantile(0.95));
+    entry.SetNumber("p99", histogram.Quantile(0.99));
+    const std::vector<uint64_t>& counts = histogram.bucket_counts;
+    const std::vector<double>& bounds = histogram.upper_bounds;
     std::string buckets = "[";
     for (size_t i = 0; i < counts.size(); ++i) {
       if (i > 0) buckets += ',';
@@ -112,6 +117,10 @@ std::string ToJson(const Registry& registry) {
   root.SetRaw("gauges", gauges.ToString());
   root.SetRaw("histograms", histograms.ToString());
   return root.ToString();
+}
+
+std::string ToJson(const Registry& registry) {
+  return ToJson(registry.Snapshot());
 }
 
 }  // namespace obs

@@ -1,6 +1,11 @@
 // Registry exporters: Prometheus text exposition format (for scraping)
 // and a JSON snapshot (for the bench harness's machine-readable perf
 // trajectory).
+//
+// Consistency: both exporters render from one Registry::Snapshot(), so a
+// histogram's cumulative bucket series is monotone non-decreasing and the
+// le="+Inf" bucket equals `_count` even when the export races concurrent
+// Observe() calls (see HistogramSnapshot's contract in metrics.h).
 
 #ifndef HISTKANON_SRC_OBS_EXPORT_H_
 #define HISTKANON_SRC_OBS_EXPORT_H_
@@ -20,6 +25,7 @@ std::string SanitizeMetricName(const std::string& name);
 /// Prometheus text exposition format, version 0.0.4: counters, gauges,
 /// then histograms (cumulative `_bucket{le=...}` series plus `_sum` and
 /// `_count`), each group sorted by name.
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
 std::string ToPrometheusText(const Registry& registry);
 
 /// One JSON object:
@@ -29,6 +35,7 @@ std::string ToPrometheusText(const Registry& registry);
 ///                          "buckets":[{"le":..,"count":..},..]}}}
 /// Bucket counts are per-bucket (non-cumulative); the final bucket's
 /// "le" is null, standing for +Inf.
+std::string ToJson(const RegistrySnapshot& snapshot);
 std::string ToJson(const Registry& registry);
 
 }  // namespace obs

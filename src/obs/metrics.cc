@@ -34,8 +34,11 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
-double Histogram::Quantile(double q) const {
-  const std::vector<uint64_t> counts = bucket_counts();
+namespace {
+
+// Shared by Histogram::Quantile and HistogramSnapshot::Quantile.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q) {
   uint64_t total = 0;
   for (const uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
@@ -49,11 +52,11 @@ double Histogram::Quantile(double q) const {
     if (static_cast<double>(cumulative) < rank) continue;
     // Bucket i covers (lower, upper]; interpolate by the rank's position
     // inside the bucket's count.
-    if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
-    const double upper = bounds_[i];
+    if (i >= bounds.size()) return bounds.back();  // overflow bucket
+    const double upper = bounds[i];
     double lower;
     if (i > 0) {
-      lower = bounds_[i - 1];
+      lower = bounds[i - 1];
     } else if (upper > 0.0) {
       // Latency-style histograms: the first bucket is (0, upper].
       lower = 0.0;
@@ -63,8 +66,8 @@ double Histogram::Quantile(double q) const {
       // Synthesize a finite width: the next bucket's width, else |upper|,
       // else 1.
       double width = 1.0;
-      if (bounds_.size() > 1) {
-        width = bounds_[1] - bounds_[0];
+      if (bounds.size() > 1) {
+        width = bounds[1] - bounds[0];
       } else if (upper < 0.0) {
         width = -upper;
       }
@@ -74,7 +77,29 @@ double Histogram::Quantile(double q) const {
         (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
     return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
   }
-  return bounds_.back();
+  return bounds.back();
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromBuckets(bounds_, bucket_counts(), q);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.bucket_counts = bucket_counts();
+  // count is DERIVED from the one bucket pass — not loaded from count_ —
+  // so le="+Inf" == _count holds in every snapshot (the contract).
+  for (const uint64_t c : snap.bucket_counts) snap.count += c;
+  snap.sum = sum();
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (upper_bounds.empty()) return 0.0;
+  return QuantileFromBuckets(upper_bounds, bucket_counts, q);
 }
 
 const std::vector<double>& DefaultLatencyBounds() {
@@ -137,6 +162,24 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::Histograms()
     out.emplace_back(name, histogram.get());
   }
   return out;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
 }
 
 }  // namespace obs

@@ -55,12 +55,40 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// \brief One self-consistent view of a histogram, taken in a single
+/// pass over the bucket array.
+///
+/// Consistency contract: `count` is DERIVED from the summed bucket loads
+/// (not read from the separate count_ atomic), so in any snapshot —
+/// including one taken under concurrent writers — the cumulative bucket
+/// series is monotone non-decreasing and the final cumulative value
+/// (Prometheus's le="+Inf" bucket) equals `_count` exactly.  `sum` is
+/// read separately and may trail the buckets by in-flight observations;
+/// only the bucket/count relationship is guaranteed.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;
+  /// Per-bucket (non-cumulative); index upper_bounds.size() is overflow.
+  std::vector<uint64_t> bucket_counts;
+  uint64_t count = 0;  ///< Sum of bucket_counts, by construction.
+  double sum = 0.0;
+
+  /// Quantile estimate over the snapshotted buckets (same interpolation
+  /// as Histogram::Quantile).
+  double Quantile(double q) const;
+};
+
 /// \brief Fixed-bucket histogram (Prometheus-style cumulative export).
 ///
 /// Bucket i counts observations with value <= upper_bounds[i] (and greater
 /// than the previous bound); one implicit overflow bucket catches the
 /// rest.  Bounds are fixed at construction so Observe() is a binary search
 /// plus three relaxed atomic adds.
+///
+/// Observe() updates bucket, count, and sum as three SEPARATE relaxed
+/// atomics, so readers that load them independently can tear (a count
+/// ahead of the buckets, or vice versa).  Exporters must therefore go
+/// through Snapshot(), which rebuilds a consistent view from one pass
+/// over the buckets alone.
 class Histogram {
  public:
   /// `upper_bounds` must be non-empty and strictly increasing.
@@ -84,6 +112,9 @@ class Histogram {
   /// Returns 0 when empty.
   double Quantile(double q) const;
 
+  /// One-pass consistent view (see HistogramSnapshot's contract).
+  HistogramSnapshot Snapshot() const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
@@ -94,6 +125,15 @@ class Histogram {
 /// Default histogram bounds for request/stage latencies, in seconds
 /// (1 microsecond .. 10 seconds, roughly logarithmic).
 const std::vector<double>& DefaultLatencyBounds();
+
+/// \brief One consistent export pass over a whole Registry, every metric
+/// captured under a single registry lock and each histogram through
+/// Histogram::Snapshot() — the input for all exporters.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;   // sorted
+  std::vector<std::pair<std::string, double>> gauges;       // sorted
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
 
 /// \brief Name -> metric registry.  Get* calls are find-or-create and
 /// return handles that stay valid for the registry's lifetime.
@@ -110,10 +150,16 @@ class Registry {
                           const std::vector<double>& bounds =
                               DefaultLatencyBounds());
 
-  /// Snapshots for the exporters, sorted by name.
+  /// Per-kind snapshots, sorted by name.  Each takes the lock
+  /// separately; prefer Snapshot() when exporting more than one kind.
   std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
   std::vector<std::pair<std::string, double>> GaugeValues() const;
   std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+  /// One consistent snapshot of everything (single lock acquisition;
+  /// histograms via Histogram::Snapshot so their consistency contract
+  /// holds under concurrent writers).
+  RegistrySnapshot Snapshot() const;
 
  private:
   mutable std::mutex mu_;

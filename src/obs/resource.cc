@@ -1,0 +1,97 @@
+#include "src/obs/resource.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "src/obs/json.h"
+
+namespace histkanon {
+namespace obs {
+
+uint64_t SampleRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+ResourceAccountant::ResourceAccountant(Registry* registry)
+    : registry_(registry) {}
+
+Gauge* ResourceAccountant::GaugeFor(const std::string& name) {
+  return registry_ == nullptr
+             ? nullptr
+             : registry_->GetGauge("res_" + name + "_bytes");
+}
+
+void ResourceAccountant::RegisterProbe(const std::string& name,
+                                       std::function<uint64_t()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, entry] : probes_) {
+    if (existing == name) {
+      entry.first = std::move(probe);
+      return;
+    }
+  }
+  probes_.emplace_back(name,
+                       std::make_pair(std::move(probe), GaugeFor(name)));
+}
+
+void ResourceAccountant::SetBytes(const std::string& name, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Gauge* gauge = GaugeFor(name);
+  if (gauge != nullptr) gauge->Set(static_cast<double>(bytes));
+  const auto it = std::lower_bound(
+      last_.begin(), last_.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != last_.end() && it->first == name) {
+    it->second = bytes;
+  } else {
+    last_.insert(it, {name, bytes});
+  }
+}
+
+size_t ResourceAccountant::Collect() {
+  // Copy the probe list so probe bodies run outside the lock (a probe may
+  // legitimately call back into SetBytes).
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes.reserve(probes_.size());
+    for (const auto& [name, entry] : probes_) {
+      probes.emplace_back(name, entry.first);
+    }
+  }
+  for (const auto& [name, probe] : probes) {
+    SetBytes(name, probe ? probe() : 0);
+  }
+  SetBytes("rss", SampleRssBytes());
+  return probes.size();
+}
+
+std::vector<std::pair<std::string, uint64_t>> ResourceAccountant::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+std::string ResourceAccountant::ToJson() const {
+  JsonObject out;
+  for (const auto& [name, bytes] : Snapshot()) {
+    out.SetUint(name + "_bytes", bytes);
+  }
+  if (out.empty()) return "{}";
+  return out.ToString();
+}
+
+}  // namespace obs
+}  // namespace histkanon

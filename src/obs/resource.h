@@ -1,0 +1,74 @@
+// Resource accounting: per-subsystem byte gauges plus process RSS
+// sampling.  Subsystems register PROBES (callables returning their
+// current footprint in bytes); Collect() polls every probe and publishes
+// the values as `res_<name>_bytes` gauges in the shared obs::Registry, so
+// the telemetry endpoint and soak harnesses (ROADMAP item 4's "RSS flat"
+// gate) read one coherent inventory: PHL samples, journal file, snapshot
+// blobs, anchor-cache entries, event-log size, and the process RSS.
+//
+// Probes run on the Collect() caller's thread and must therefore be safe
+// to call from it — in practice Collect() is driven by the thread that
+// owns the probed structures (or after workers quiesce), matching the
+// rest of the repo's single-writer discipline.
+
+#ifndef HISTKANON_SRC_OBS_RESOURCE_H_
+#define HISTKANON_SRC_OBS_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+
+/// Current resident set size of this process in bytes, via
+/// /proc/self/statm.  Returns 0 where that is unavailable.
+uint64_t SampleRssBytes();
+
+/// \brief Named byte-probe registry publishing into an obs::Registry.
+class ResourceAccountant {
+ public:
+  /// Gauges are created in `registry` as `res_<name>_bytes`.
+  explicit ResourceAccountant(Registry* registry);
+  ResourceAccountant(const ResourceAccountant&) = delete;
+  ResourceAccountant& operator=(const ResourceAccountant&) = delete;
+
+  /// Registers a probe; re-registering a name replaces its probe (the
+  /// gauge handle is reused).
+  void RegisterProbe(const std::string& name,
+                     std::function<uint64_t()> probe);
+
+  /// Publishes a one-off measurement without a standing probe.
+  void SetBytes(const std::string& name, uint64_t bytes);
+
+  /// Polls every probe plus the process RSS (`res_rss_bytes`) and writes
+  /// the gauges.  Returns the number of probes sampled.
+  size_t Collect();
+
+  /// name -> bytes as of the last Collect()/SetBytes, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// The snapshot as one flat JSON object.
+  std::string ToJson() const;
+
+ private:
+  Gauge* GaugeFor(const std::string& name);
+
+  Registry* registry_;
+  mutable std::mutex mu_;
+  // name -> (probe, gauge); insertion-ordered like registration.
+  std::vector<std::pair<std::string,
+                        std::pair<std::function<uint64_t()>, Gauge*>>>
+      probes_;
+  std::vector<std::pair<std::string, uint64_t>> last_;  // sorted by name
+};
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_RESOURCE_H_

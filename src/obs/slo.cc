@@ -1,0 +1,99 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace histkanon {
+namespace obs {
+
+SloView::SloView(size_t window) : window_(window == 0 ? 1 : window) {
+  ring_.reserve(window_);
+}
+
+void SloView::ObserveLatency(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  if (ring_.size() < window_) {
+    ring_.push_back(seconds);
+  } else {
+    ring_[next_] = seconds;
+  }
+  next_ = (next_ + 1) % window_;
+}
+
+void SloView::ObserveShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+void SloView::RecordHealthTransition(const std::string& domain, int state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (timeline_.size() >= kMaxTimeline) {
+    timeline_.erase(timeline_.begin());
+  }
+  timeline_.push_back(HealthTransition{domain, state, MonotonicNanos()});
+}
+
+namespace {
+
+// `values` is scratch (mutated by nth_element).
+double QuantileOf(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  const size_t rank = std::min(
+      values->size() - 1, static_cast<size_t>(q * (values->size() - 1) + 0.5));
+  std::nth_element(values->begin(), values->begin() + rank, values->end());
+  return (*values)[rank];
+}
+
+}  // namespace
+
+SloSnapshot SloView::TakeSnapshot() const {
+  std::vector<double> window;
+  SloSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window = ring_;
+    snap.completed = completed_;
+    snap.shed = shed_;
+    snap.health_timeline = timeline_;
+  }
+  snap.window_size = window.size();
+  const uint64_t total = snap.completed + snap.shed;
+  snap.shed_rate =
+      total == 0 ? 0.0 : static_cast<double>(snap.shed) / total;
+  snap.p50_seconds = QuantileOf(&window, 0.50);
+  snap.p95_seconds = QuantileOf(&window, 0.95);
+  snap.p99_seconds = QuantileOf(&window, 0.99);
+  return snap;
+}
+
+std::string SloView::ToJson() const {
+  const SloSnapshot snap = TakeSnapshot();
+  std::string timeline = "[";
+  for (size_t i = 0; i < snap.health_timeline.size(); ++i) {
+    const HealthTransition& t = snap.health_timeline[i];
+    if (i > 0) timeline.push_back(',');
+    JsonObject entry;
+    entry.SetString("domain", t.domain);
+    entry.SetInt("state", t.state);
+    entry.SetInt("at_ns", t.at_ns);
+    timeline += entry.ToString();
+  }
+  timeline.push_back(']');
+
+  JsonObject out;
+  out.SetUint("completed", snap.completed);
+  out.SetUint("shed", snap.shed);
+  out.SetNumber("shed_rate", snap.shed_rate);
+  out.SetUint("window_size", snap.window_size);
+  out.SetNumber("p50_seconds", snap.p50_seconds);
+  out.SetNumber("p95_seconds", snap.p95_seconds);
+  out.SetNumber("p99_seconds", snap.p99_seconds);
+  out.SetRaw("health_timeline", std::move(timeline));
+  return out.ToString();
+}
+
+}  // namespace obs
+}  // namespace histkanon

@@ -1,0 +1,77 @@
+// Rolling SLO view: a windowed latency ring (p50/p95/p99 over the last N
+// completions, not lifetime), shed-rate accounting, and a breaker-state
+// timeline.  The lifetime histograms in obs::Registry answer "how has the
+// server behaved since boot"; this answers the operator question "how is
+// it behaving NOW" — the rolling window forgets old samples, so a latency
+// regression shows up immediately instead of being averaged away.
+//
+// Thread-safe (one mutex; observations are O(1) ring writes).  Like every
+// obs component it is null-object optional: servers hold `SloView*`
+// defaulting to nullptr and skip all observation when unset.
+
+#ifndef HISTKANON_SRC_OBS_SLO_H_
+#define HISTKANON_SRC_OBS_SLO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace histkanon {
+namespace obs {
+
+/// \brief One breaker-state change, stamped with MonotonicNanos.
+struct HealthTransition {
+  std::string domain;  ///< Which breaker ("ts", "cs", "shard_2", ...).
+  int state = 0;       ///< 0 healthy / 1 degraded / 2 probing.
+  int64_t at_ns = 0;
+};
+
+/// \brief Point-in-time view of the rolling window.
+struct SloSnapshot {
+  uint64_t completed = 0;  ///< Lifetime completions observed.
+  uint64_t shed = 0;       ///< Lifetime sheds observed.
+  /// shed / (shed + completed); 0 when nothing observed.
+  double shed_rate = 0.0;
+  size_t window_size = 0;  ///< Samples currently in the ring.
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  std::vector<HealthTransition> health_timeline;
+};
+
+/// \brief Windowed latency/shed/health aggregator.
+class SloView {
+ public:
+  /// `window` latency samples are retained (ring buffer).
+  explicit SloView(size_t window = 4096);
+  SloView(const SloView&) = delete;
+  SloView& operator=(const SloView&) = delete;
+
+  void ObserveLatency(double seconds);
+  void ObserveShed();
+  /// Appends to the health timeline (oldest entries evicted beyond the
+  /// cap so a flapping breaker cannot grow the view unboundedly).
+  void RecordHealthTransition(const std::string& domain, int state);
+
+  SloSnapshot TakeSnapshot() const;
+  /// The snapshot as one JSON object (for the telemetry endpoint).
+  std::string ToJson() const;
+
+ private:
+  static constexpr size_t kMaxTimeline = 64;
+
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  size_t window_;
+  size_t next_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t shed_ = 0;
+  std::vector<HealthTransition> timeline_;
+};
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_SLO_H_

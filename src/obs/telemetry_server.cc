@@ -1,0 +1,204 @@
+#include "src/obs/telemetry_server.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/str.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+
+namespace histkanon {
+namespace obs {
+
+namespace {
+
+const char* ContentTypeFor(const std::string& path) {
+  if (path == "/metrics" || path == "/healthz") {
+    return "text/plain; version=0.0.4; charset=utf-8";
+  }
+  return "application/json";
+}
+
+// Writes the whole buffer, tolerating short writes; best-effort (the
+// peer may vanish — telemetry must never propagate that as a failure).
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string TelemetryServer::RenderBody(const std::string& path) const {
+  if (path == "/healthz") return "ok\n";
+  if (path == "/metrics") {
+    return sources_.registry == nullptr ? std::string()
+                                        : ToPrometheusText(*sources_.registry);
+  }
+  if (path == "/slo") {
+    return sources_.slo == nullptr ? std::string("{}")
+                                   : sources_.slo->ToJson();
+  }
+  if (path == "/trace.json") {
+    return sources_.tracer == nullptr
+               ? std::string("{\"traceEvents\":[]}")
+               : sources_.tracer->ToChromeTraceJson();
+  }
+  if (path == "/snapshot.json") {
+    if (sources_.resources != nullptr) sources_.resources->Collect();
+    JsonObject root;
+    root.SetRaw("metrics", sources_.registry == nullptr
+                               ? "{}"
+                               : ToJson(*sources_.registry));
+    root.SetRaw("slo", sources_.slo == nullptr ? "{}"
+                                               : sources_.slo->ToJson());
+    root.SetRaw("resources", sources_.resources == nullptr
+                                 ? "{}"
+                                 : sources_.resources->ToJson());
+    return root.ToString();
+  }
+  return std::string();
+}
+
+common::Status TelemetryServer::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return common::Status::FailedPrecondition("telemetry server running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return common::Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return common::Status::Internal(
+        common::Format("bind(127.0.0.1:%u) failed", unsigned{port}));
+  }
+  if (::listen(fd, 8) != 0) {
+    ::close(fd);
+    return common::Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return common::Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return common::Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblocks accept(); the loop then observes running_ == false.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TelemetryServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;  // Stop() shuts the socket down.
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::ServeConnection(int fd) const {
+  // Read until the end of the request head (or the peer stops sending);
+  // only the request line matters.
+  std::string request;
+  char buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+
+  std::string path;
+  if (line.rfind("GET ", 0) == 0) {
+    const size_t space = line.find(' ', 4);
+    path = line.substr(4, space == std::string::npos ? std::string::npos
+                                                     : space - 4);
+  }
+
+  std::string body = path.empty() ? std::string() : RenderBody(path);
+  std::string head;
+  if (body.empty() && path != "/metrics") {
+    body = "not found\n";
+    head = common::Format(
+        "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        body.size());
+  } else {
+    head = common::Format(
+        "HTTP/1.0 200 OK\r\nContent-Type: %s\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        ContentTypeFor(path), body.size());
+  }
+  WriteAll(fd, head + body);
+}
+
+common::Result<std::string> FetchTelemetry(uint16_t port,
+                                           const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return common::Status::Internal("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return common::Status::Internal(
+        common::Format("connect(127.0.0.1:%u) failed", unsigned{port}));
+  }
+  const std::string request = common::Format(
+      "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
+      path.c_str());
+  WriteAll(fd, request);
+
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return common::Status::Internal("malformed telemetry response");
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    return common::Status::NotFound(
+        common::Format("telemetry GET %s: %s", path.c_str(),
+                       response.substr(0, response.find("\r\n")).c_str()));
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace obs
+}  // namespace histkanon

@@ -1,0 +1,91 @@
+// Live telemetry snapshot endpoint: a minimal, dependency-free TCP/HTTP
+// server exposing the observability plane over the wire — Prometheus
+// text for scrapers, JSON snapshots (metrics + rolling SLO view +
+// resource accounting) for tooling, and the causal tracer's
+// Chrome-trace/Perfetto JSON for a browser timeline.  This is the repo's
+// first real wire surface (ROADMAP item 1's RPC front-end will grow next
+// to it) and is deliberately tiny: GET-only HTTP/1.0-style responses,
+// one connection at a time, loopback-oriented.
+//
+// Routes:
+//   /metrics        Prometheus text exposition (one consistent snapshot)
+//   /snapshot.json  {"metrics":{...},"slo":{...},"resources":{...}}
+//   /slo            the rolling SLO view alone
+//   /trace.json     Chrome-trace JSON (open in ui.perfetto.dev)
+//   /healthz        "ok"
+//
+// Every data source is optional (null-object): absent sources export as
+// empty objects.  Reads are snapshot-based, so serving never blocks the
+// serving path beyond the registry's snapshot lock.
+
+#ifndef HISTKANON_SRC_OBS_TELEMETRY_SERVER_H_
+#define HISTKANON_SRC_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/common/result.h"
+#include "src/obs/causal_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/resource.h"
+#include "src/obs/slo.h"
+
+namespace histkanon {
+namespace obs {
+
+/// \brief The optional data sources a TelemetryServer serves from.
+struct TelemetrySources {
+  Registry* registry = nullptr;
+  SloView* slo = nullptr;
+  ResourceAccountant* resources = nullptr;
+  CausalTracer* tracer = nullptr;
+};
+
+/// \brief Loopback TCP server for telemetry snapshots.
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetrySources sources)
+      : sources_(sources) {}
+  ~TelemetryServer() { Stop(); }
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back
+  /// via port()) and starts the accept thread.
+  common::Status Start(uint16_t port = 0);
+
+  /// Stops accepting, closes the socket, joins the thread.  Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (0 before a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Renders the response body for `path` without a socket — the routing
+  /// table itself, also used by tests.  Unknown paths return an empty
+  /// string (the wire layer turns that into a 404).
+  std::string RenderBody(const std::string& path) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd) const;
+
+  TelemetrySources sources_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Blocking test/smoke client: one GET to 127.0.0.1:`port`, returning
+/// the response BODY (headers stripped).  Fails on connect errors or
+/// non-200 responses.
+common::Result<std::string> FetchTelemetry(uint16_t port,
+                                           const std::string& path);
+
+}  // namespace obs
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_OBS_TELEMETRY_SERVER_H_

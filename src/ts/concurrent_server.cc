@@ -4,10 +4,17 @@
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/common/str.h"
 #include "src/ts/durability.h"
 
 namespace histkanon {
 namespace ts {
+
+namespace {
+/// The front-end's causal-trace track (admission + journal spans; the
+/// per-shard tracks are "shard_<i>").
+const std::string kFrontendTrack = "frontend";
+}  // namespace
 
 ConcurrentServer::ConcurrentServer(ConcurrentServerOptions options)
     : options_(std::move(options)), breaker_(options_.breaker) {
@@ -40,9 +47,14 @@ ConcurrentServer::ConcurrentServer(ConcurrentServerOptions options)
     shard_options.read_store = store_.get();
     shard_options.read_index = view_.get();
     // Tracer and event sink are not thread-safe; the registry's handles
-    // are atomic and stay shared.
+    // are atomic and stay shared.  The causal tracer and SLO view are
+    // internally synchronized and stay shared too, each shard recording
+    // on its own track.
     shard_options.tracer = nullptr;
     shard_options.event_sink = nullptr;
+    shard_options.trace_track = common::Format("shard_%zu", i);
+    // Shard servers never allocate trace ids (the front-end does); their
+    // SLO latency/shed observations flow into the shared view.
     shards_.push_back(std::make_unique<Shard>(i, options_.queue_capacity,
                                               shard_options, phase,
                                               options_.queue_deadline_seconds));
@@ -50,6 +62,11 @@ ConcurrentServer::ConcurrentServer(ConcurrentServerOptions options)
   for (const std::unique_ptr<Shard>& shard : shards_) {
     store_->AddSlice(&shard->server().db());
     view_->AddSlice(&shard->server().index());
+  }
+  next_trace_id_ =
+      options_.server.trace_id_seed == 0 ? 1 : options_.server.trace_id_seed;
+  if (options_.server.slo != nullptr) {
+    breaker_.AttachSloView(options_.server.slo, kFrontendTrack);
   }
   if (options_.server.registry != nullptr) {
     obs::Registry& registry = *options_.server.registry;
@@ -75,7 +92,9 @@ void ConcurrentServer::CountShed(bool is_request) {
 }
 
 common::Status ConcurrentServer::FrontEndAdmit(const JournalEvent& event) {
+  const bool traced = options_.server.causal != nullptr;
   if (!breaker_.Admit()) {
+    if (traced) admit_shed_reason_ = "degraded";
     return common::Status::Unavailable(
         "concurrent server degraded: event suppressed fail-closed");
   }
@@ -97,8 +116,15 @@ common::Status ConcurrentServer::FrontEndAdmit(const JournalEvent& event) {
       }
       --pending_epoch_ends_;
     }
+    const int64_t append_start = traced ? obs::MonotonicNanos() : 0;
     common::Status status = options_.journal->AppendEvent(event);
+    if (traced) {
+      admit_journal_start_ns_ = append_start;
+      admit_journal_dur_ns_ = obs::MonotonicNanos() - append_start;
+      admit_journal_ran_ = true;
+    }
     if (!status.ok()) {
+      if (traced) admit_shed_reason_ = "journal_error";
       ++journal_failures_;
       if (journal_failures_counter_ != nullptr) {
         journal_failures_counter_->Increment();
@@ -126,6 +152,9 @@ bool ConcurrentServer::AdmitData(Shard* owner, const JournalEvent& event,
             ? options_.enqueue_timeout_ms
             : 0;
     if (!owner->TryAcquireSlot(timeout_ms)) {
+      if (options_.server.causal != nullptr) {
+        admit_shed_reason_ = "queue_full";
+      }
       ++shed_queue_full_;
       if (shed_queue_full_counter_ != nullptr) shed_queue_full_counter_->Increment();
       CountShed(is_request);
@@ -243,10 +272,26 @@ size_t ConcurrentServer::SubmitRequest(mod::UserId user,
   journal_event.point = exact;
   journal_event.service_id = service;
   journal_event.data = data;
+  obs::CausalTracer* causal = options_.server.causal;
+  int64_t adm_start = 0;
+  if (causal != nullptr) {
+    admit_journal_ran_ = false;
+    admit_shed_reason_ = "journal_error";
+    adm_start = obs::MonotonicNanos();
+  }
   const size_t shard = ShardOf(user);
   if (!AdmitData(shards_[shard].get(), journal_event, /*is_request=*/true)) {
     // Shed: no ordinal, no submissions_ entry (the realignment map stays
-    // dense over the requests that actually reached a shard).
+    // dense over the requests that actually reached a shard).  The shed
+    // span goes to trace 0 — no id was consumed, so replay (admitted
+    // events only) re-derives the same id sequence.
+    if (causal != nullptr) {
+      causal->RecordSpan(
+          obs::TraceContext{}, "admission", kFrontendTrack, adm_start,
+          obs::MonotonicNanos() - adm_start,
+          {{"shed_reason", admit_shed_reason_},
+           {"user", common::Format("%lld", static_cast<long long>(user))}});
+    }
     return kShedSubmission;
   }
   ShardEvent event;
@@ -255,7 +300,23 @@ size_t ConcurrentServer::SubmitRequest(mod::UserId user,
   event.point = exact;
   event.service = service;
   event.data = std::move(data);
-  if (options_.queue_deadline_seconds > 0.0) {
+  if (causal != nullptr) {
+    // Retroactive, like the serial server: the trace id exists only once
+    // admission succeeded.
+    const int64_t adm_dur = obs::MonotonicNanos() - adm_start;
+    const uint64_t tid = next_trace_id_++;
+    const uint64_t adm_span = causal->RecordSpan(
+        obs::TraceContext{tid, 0}, "admission", kFrontendTrack, adm_start,
+        adm_dur,
+        {{"user", common::Format("%lld", static_cast<long long>(user))}});
+    if (admit_journal_ran_) {
+      causal->RecordSpan(obs::TraceContext{tid, adm_span}, "journal_append",
+                         kFrontendTrack, admit_journal_start_ns_,
+                         admit_journal_dur_ns_, {});
+    }
+    event.trace = obs::TraceContext{tid, adm_span};
+  }
+  if (options_.queue_deadline_seconds > 0.0 || causal != nullptr) {
     event.enqueue_ns = obs::MonotonicNanos();
   }
   const size_t seq = submissions_.size();
@@ -359,6 +420,19 @@ void ConcurrentServer::Finish() {
   for (const auto& [shard, ordinal] : submissions_) {
     outcomes_.push_back(shards_[shard]->server().outcomes()[ordinal]);
   }
+}
+
+void ConcurrentServer::RegisterResourceProbes(
+    obs::ResourceAccountant* accountant, const std::string& prefix) const {
+  if (accountant == nullptr) return;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->server().RegisterResourceProbes(
+        accountant, common::Format("%sshard%zu_", prefix.c_str(), i));
+  }
+  accountant->RegisterProbe(prefix + "journal", [this] {
+    return static_cast<uint64_t>(
+        options_.journal == nullptr ? 0 : options_.journal->size());
+  });
 }
 
 uint64_t ConcurrentServer::deadline_sheds() const {

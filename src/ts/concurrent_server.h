@@ -62,7 +62,12 @@ struct ConcurrentServerOptions {
   /// per_request_randomization is forced ON (the determinism contract
   /// requires order-independent draws), and tracer/event_sink are cleared
   /// (they are not thread-safe; the registry IS shared — its handles are
-  /// atomic).  read_store/read_index must be left unset.
+  /// atomic).  `causal` and `slo` ARE propagated (both are internally
+  /// synchronized); each shard's trace_track becomes "shard_<i>" while
+  /// the front-end records on "frontend".  Trace ids are allocated by the
+  /// front-end (seeded from trace_id_seed) at successful admission only,
+  /// so journal replay re-derives the same ids.  read_store/read_index
+  /// must be left unset.
   TrustedServerOptions server;
   /// Write-ahead journal for the FRONT-END submission stream (not owned,
   /// must outlive the server; nullptr = no journaling).  Register*/
@@ -187,6 +192,21 @@ class ConcurrentServer {
     return last_submit_error_;
   }
 
+  // -- Causal tracing (no-ops without options.server.causal).
+
+  /// Seeds the front-end trace-id allocator (recovery restores the
+  /// journaled annotation before re-submitting the suffix).
+  void SetNextTraceId(uint64_t id) { next_trace_id_ = id; }
+  /// The next trace id the front-end would allocate.
+  uint64_t next_trace_id() const { return next_trace_id_; }
+
+  /// Registers per-shard resource probes (prefix "<prefix>shard<i>_")
+  /// plus the front-end journal gauge.  The probes read shard state, so
+  /// Collect() must only run while the workers are quiescent (between a
+  /// Checkpoint() return and the next Submit, or after Finish()).
+  void RegisterResourceProbes(obs::ResourceAccountant* accountant,
+                              const std::string& prefix) const;
+
   // -- Durability (implemented in src/ts/durability.cc).
 
   /// Closes the current epoch, then serializes every shard's server plus
@@ -251,6 +271,15 @@ class ConcurrentServer {
   /// epochs the shards actually ran.
   size_t pending_epoch_ends_ = 0;
   common::Status last_submit_error_;
+  /// Front-end trace-id allocator (single-producer; advanced only on
+  /// successful request admission, mirroring the serial server's rule).
+  uint64_t next_trace_id_ = 1;
+  /// Admission scratch for the causal spans (filled by FrontEndAdmit /
+  /// AdmitData when a tracer is attached, read by SubmitRequest).
+  int64_t admit_journal_start_ns_ = 0;
+  int64_t admit_journal_dur_ns_ = 0;
+  bool admit_journal_ran_ = false;
+  const char* admit_shed_reason_ = "journal_error";
   obs::Counter* shed_requests_counter_ = nullptr;
   obs::Counter* shed_events_counter_ = nullptr;
   obs::Counter* shed_queue_full_counter_ = nullptr;

@@ -509,6 +509,15 @@ common::Status TsJournal::AppendSnapshot(std::string_view snapshot) {
   return CommitAppend(old_size);
 }
 
+common::Status TsJournal::AppendAnnotation(uint64_t next_trace_id) {
+  dur::ByteWriter writer;
+  writer.PutU8(kJournalAnnotationRecord);
+  writer.PutU64(next_trace_id);
+  const size_t old_size = bytes_.size();
+  dur::AppendRecord(&bytes_, writer.bytes());
+  return CommitAppend(old_size);
+}
+
 common::Status TsJournal::CommitAppend(size_t old_size) {
   if (sink_ == nullptr) return common::Status::OK();
   common::Status status = sink_->Append(
@@ -579,10 +588,28 @@ common::Result<RecoveredJournal> ScanJournal(
       }
       if (status.ok()) {
         // An intact snapshot supersedes everything before it: recovery
-        // restores it and replays only the events after.
+        // restores it and replays only the events after.  An annotation
+        // preceding this snapshot is stale (its replay suffix is gone), so
+        // it is dropped too; the writer re-annotates right after every
+        // snapshot append.
         out.snapshot = std::move(snapshot);
         out.events_before_snapshot = static_cast<size_t>(events_before);
         out.events.clear();
+        out.has_trace_annotation = false;
+        out.next_trace_id = 0;
+        out.events_before_annotation = 0;
+      }
+    } else if (status.ok() && record_type == kJournalAnnotationRecord) {
+      uint64_t next_trace_id = 0;
+      status = reader.ReadU64(&next_trace_id);
+      if (status.ok() && !reader.AtEnd()) {
+        status = common::Status::InvalidArgument(
+            "trailing bytes after annotation record");
+      }
+      if (status.ok()) {
+        out.has_trace_annotation = true;
+        out.next_trace_id = next_trace_id;
+        out.events_before_annotation = out.events.size();
       }
     } else if (status.ok()) {
       status = common::Status::InvalidArgument("unknown record type byte");
@@ -608,7 +635,10 @@ common::Result<std::vector<JournalEvent>> DecodeAllEvents(
   for (const std::string_view payload : scan.records) {
     if (payload.empty()) break;
     const uint8_t record_type = static_cast<uint8_t>(payload[0]);
-    if (record_type == kJournalSnapshotRecord) continue;
+    if (record_type == kJournalSnapshotRecord ||
+        record_type == kJournalAnnotationRecord) {
+      continue;
+    }
     common::Result<JournalEvent> event = DecodeJournalEvent(payload, registry);
     if (!event.ok()) break;
     events.push_back(std::move(*event));
@@ -789,6 +819,7 @@ std::vector<JournalEvent> FlattenConcurrentWorkload(
 // point suppresses the mutation fail-closed).
 
 common::Status TrustedServer::AdmitEvent(const JournalEvent& event) {
+  const bool traced = options_.causal != nullptr;
   const bool is_request = event.kind == JournalEvent::Kind::kRequest;
   // A refused batch sheds ONE event but batch-size requests: its fail
   // path rejects every request in the window.
@@ -807,13 +838,21 @@ common::Status TrustedServer::AdmitEvent(const JournalEvent& event) {
     }
   };
   if (!breaker_.Admit()) {
+    if (traced) admit_shed_reason_ = "degraded";
     count_shed();
     return common::Status::Unavailable(
         "trusted server degraded: event suppressed fail-closed");
   }
   if (journal_ != nullptr) {
+    const int64_t append_start = traced ? obs::MonotonicNanos() : 0;
     common::Status status = journal_->AppendEvent(event);
+    if (traced) {
+      admit_journal_start_ns_ = append_start;
+      admit_journal_dur_ns_ = obs::MonotonicNanos() - append_start;
+      admit_journal_ran_ = true;
+    }
     if (!status.ok()) {
+      if (traced) admit_shed_reason_ = "journal_error";
       ++journal_failures_;
       if (obs_.journal_failures != nullptr) obs_.journal_failures->Increment();
       breaker_.RecordFailure();
@@ -889,6 +928,40 @@ common::Status TrustedServer::JournalBatch(
   event.kind = JournalEvent::Kind::kBatch;
   event.batch = std::make_shared<const std::vector<BatchRequest>>(requests);
   return AdmitEvent(event);
+}
+
+// ---------------------------------------------------------------------
+// Resource accounting.
+
+void TrustedServer::RegisterResourceProbes(obs::ResourceAccountant* accountant,
+                                           const std::string& prefix) const {
+  if (accountant == nullptr) return;
+  // Probes run on the accountant's Collect() caller, which the contract
+  // requires not to race this server's writer thread; `this` is captured
+  // raw and must outlive the accountant's probe set.
+  accountant->RegisterProbe(prefix + "phl_samples", [this] {
+    return static_cast<uint64_t>(db_.total_samples() * sizeof(geo::STPoint));
+  });
+  accountant->RegisterProbe(prefix + "journal", [this] {
+    return static_cast<uint64_t>(journal_ == nullptr ? 0 : journal_->size());
+  });
+  accountant->RegisterProbe(
+      prefix + "snapshot", [this] { return last_checkpoint_bytes_; });
+  // Nominal per-entry cost: a cached vector of ~k user ids plus map
+  // overhead.  An estimate — the gauge tracks growth, not exact heap use.
+  constexpr uint64_t kAnchorCacheEntryBytes = 128;
+  accountant->RegisterProbe(prefix + "anchor_cache", [this] {
+    return static_cast<uint64_t>(generalizer_->cache_entries()) *
+           kAnchorCacheEntryBytes;
+  });
+  accountant->RegisterProbe(prefix + "event_log", [this] {
+    return options_.event_sink == nullptr
+               ? uint64_t{0}
+               : options_.event_sink->bytes_written();
+  });
+  accountant->RegisterProbe(prefix + "outcomes", [this] {
+    return static_cast<uint64_t>(outcomes_.size() * sizeof(ProcessOutcome));
+  });
 }
 
 // ---------------------------------------------------------------------
@@ -976,7 +1049,12 @@ common::Result<std::string> TrustedServer::Checkpoint() const {
   for (const ProcessOutcome& outcome : outcomes_) {
     PutOutcome(&writer, outcome);
   }
-  return writer.TakeBytes();
+  std::string blob = writer.TakeBytes();
+  // Resource-accounting bookkeeping only; the blob itself is unaffected
+  // (and deliberately excludes the trace-id counter, so snapshot bytes are
+  // identical with and without a tracer attached).
+  last_checkpoint_bytes_ = blob.size();
+  return blob;
 }
 
 common::Status TrustedServer::RestoreFrom(
@@ -1149,7 +1227,14 @@ common::Status TrustedServer::WriteCheckpoint() {
   // A failed snapshot append leaves the journal exactly as before (the
   // event suffix just replays from the previous snapshot) — checkpointing
   // is an optimization, not an admission, so it does not trip the breaker.
-  return journal_->AppendSnapshot(snapshot);
+  HISTKANON_RETURN_NOT_OK(journal_->AppendSnapshot(snapshot));
+  if (options_.causal != nullptr) {
+    // Pin the trace-id allocator next to the snapshot so a recovered
+    // server resumes the exact id sequence.  Best-effort: a torn or
+    // failed annotation only costs trace-id continuity, never state.
+    (void)journal_->AppendAnnotation(next_trace_id_).ok();
+  }
+  return common::Status::OK();
 }
 
 // ---------------------------------------------------------------------
@@ -1208,7 +1293,12 @@ common::Result<std::string> ConcurrentServer::Checkpoint() {
     // the journal as before (replay just starts from the previous
     // snapshot), so it neither fails the checkpoint nor trips the
     // breaker.
-    (void)options_.journal->AppendSnapshot(blob).ok();
+    if (options_.journal->AppendSnapshot(blob).ok() &&
+        options_.server.causal != nullptr) {
+      // Pin the front-end trace-id allocator next to the snapshot
+      // (best-effort, same contract as the serial WriteCheckpoint).
+      (void)options_.journal->AppendAnnotation(next_trace_id_).ok();
+    }
   }
   return blob;
 }
@@ -1287,6 +1377,14 @@ common::Result<RecoveredServer> RecoverTrustedServer(
     HISTKANON_RETURN_NOT_OK(
         recovered.server->RestoreFrom(journal.snapshot, registry));
   }
+  if (journal.has_trace_annotation) {
+    // Seed the trace-id allocator from the journaled annotation BEFORE
+    // replay: replayed admitted requests advance it exactly as the
+    // crashed server's did (when `options` attaches the same tracer
+    // configuration), so post-recovery ids continue the pre-crash
+    // sequence.
+    recovered.server->SetNextTraceId(journal.next_trace_id);
+  }
   for (const JournalEvent& event : journal.events) {
     ApplyJournalEvent(recovered.server.get(), event);
   }
@@ -1311,6 +1409,11 @@ common::Result<RecoveredConcurrentServer> RecoverConcurrentServer(
   if (!journal.snapshot.empty()) {
     HISTKANON_RETURN_NOT_OK(
         recovered.server->RestoreFrom(journal.snapshot, registry));
+  }
+  if (journal.has_trace_annotation) {
+    // Same contract as the serial recovery: seed before re-submitting the
+    // suffix so front-end admissions advance from the annotated position.
+    recovered.server->SetNextTraceId(journal.next_trace_id);
   }
   for (const JournalEvent& event : journal.events) {
     ApplyConcurrentJournalEvent(recovered.server.get(), event);

@@ -45,6 +45,12 @@ namespace ts {
 /// Journal record types (first payload byte of every framed record).
 inline constexpr uint8_t kJournalEventRecord = 0x01;
 inline constexpr uint8_t kJournalSnapshotRecord = 0x02;
+/// Trace-id annotation: carries the allocator position (next trace id) so
+/// a recovered server resumes the exact id sequence.  Annotations are
+/// observability metadata — replay ignores them for state, and a server
+/// running without a tracer never writes them (journal bytes stay
+/// bit-identical to a tracing-off run).
+inline constexpr uint8_t kJournalAnnotationRecord = 0x03;
 
 /// \brief One journaled Trusted-Server input event.
 struct JournalEvent {
@@ -113,6 +119,12 @@ class TsJournal {
   /// after the last intact snapshot.
   common::Status AppendSnapshot(std::string_view snapshot);
 
+  /// Appends a trace-id annotation record (kJournalAnnotationRecord).
+  /// Does not count as an event.  Only written when a tracer is attached;
+  /// failures are ignorable (the annotation is an optimization — replay of
+  /// the admitted events reconstructs the same counter).
+  common::Status AppendAnnotation(uint64_t next_trace_id);
+
   /// Tees every subsequent append to `sink` (not owned, must outlive the
   /// journal; nullptr detaches).  Bytes already journaled are written to
   /// the sink immediately, so sink contents == bytes() at every OK
@@ -158,6 +170,14 @@ struct RecoveredJournal {
   /// False when a torn or corrupted tail was discarded.
   bool clean = true;
   std::string tail_error;
+  /// Last intact trace-id annotation, when one was journaled (a run with a
+  /// tracer attached).  Recovery seeds the trace-id allocator from it and
+  /// replay of the event suffix advances it to the crash position.
+  bool has_trace_annotation = false;
+  uint64_t next_trace_id = 0;
+  /// Events journaled before the last intact annotation (replayed events
+  /// past this point each advance the recovered allocator).
+  size_t events_before_annotation = 0;
 };
 
 /// Scans journal bytes, decoding events and locating the last intact

@@ -115,10 +115,18 @@ void CircuitBreaker::AttachRegistry(obs::Registry* registry,
   state_gauge_->Set(static_cast<double>(state_));
 }
 
+void CircuitBreaker::AttachSloView(obs::SloView* slo, std::string domain) {
+  slo_ = slo;
+  slo_domain_ = std::move(domain);
+}
+
 void CircuitBreaker::SetState(HealthState next) {
   state_ = next;
   if (state_gauge_ != nullptr) {
     state_gauge_->Set(static_cast<double>(next));
+  }
+  if (slo_ != nullptr) {
+    slo_->RecordHealthTransition(slo_domain_, static_cast<int>(next));
   }
 }
 

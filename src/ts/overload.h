@@ -21,9 +21,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 
 namespace histkanon {
 namespace ts {
@@ -88,6 +90,11 @@ class CircuitBreaker {
   /// `<prefix>_suppressed_total`.  nullptr detaches.
   void AttachRegistry(obs::Registry* registry, const std::string& prefix);
 
+  /// Mirrors every state transition into `slo`'s breaker-state timeline
+  /// under `domain` (the telemetry endpoint's /slo view).  nullptr
+  /// detaches.
+  void AttachSloView(obs::SloView* slo, std::string domain);
+
  private:
   void SetState(HealthState next);
 
@@ -102,6 +109,8 @@ class CircuitBreaker {
   uint64_t recoveries_ = 0;
   uint64_t suppressed_ = 0;
   obs::Gauge* state_gauge_ = nullptr;
+  obs::SloView* slo_ = nullptr;
+  std::string slo_domain_;
   obs::Counter* trips_counter_ = nullptr;
   obs::Counter* probes_counter_ = nullptr;
   obs::Counter* recoveries_counter_ = nullptr;

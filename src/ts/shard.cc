@@ -79,7 +79,9 @@ Shard::Shard(size_t index, size_t queue_capacity,
       queue_(queue_capacity),
       server_(server_options),
       phase_(phase),
-      queue_deadline_seconds_(queue_deadline_seconds) {
+      queue_deadline_seconds_(queue_deadline_seconds),
+      causal_(server_options.causal),
+      trace_track_(server_options.trace_track) {
   if (server_options.registry != nullptr) {
     obs::Registry& registry = *server_options.registry;
     depth_gauge_ = registry.GetGauge(
@@ -123,17 +125,42 @@ void Shard::UpdateDepthGauge() {
 
 void Shard::Serve(const ShardEvent& event) {
   HISTKANON_FAILPOINT_HIT(fail::kTsShardServeStall);
+  const bool traced = causal_ != nullptr && event.trace.trace_id != 0;
+  if (traced && event.enqueue_ns > 0) {
+    // Retroactive: the wait started at submission, on the producer's
+    // clock (MonotonicNanos is process-wide).  Parented to the front-end
+    // admission span, like shard_serve below — the causal chain crosses
+    // the queue as admission -> {queue_wait, shard_serve}.
+    causal_->RecordSpan(event.trace, "queue_wait", trace_track_,
+                        event.enqueue_ns,
+                        obs::MonotonicNanos() - event.enqueue_ns, {});
+  }
   if (queue_deadline_seconds_ > 0.0 && event.enqueue_ns > 0) {
     const double waited =
         static_cast<double>(obs::MonotonicNanos() - event.enqueue_ns) * 1e-9;
     if (waited > queue_deadline_seconds_) {
       ++deadline_sheds_;
       if (deadline_shed_counter_ != nullptr) deadline_shed_counter_->Increment();
+      if (traced) {
+        causal_->RecordSpan(event.trace, "shard_shed", trace_track_,
+                            obs::MonotonicNanos(), 0,
+                            {{"shed_reason", "queue_deadline"}});
+      }
       server_.RecordShedRequest(event.point);
       return;
     }
   }
   obs::ScopedTimer timer(latency_);
+  if (traced) {
+    obs::CausalSpan serve_span =
+        causal_->StartSpan(event.trace, "shard_serve", trace_track_);
+    // The server's pipeline spans ride the serve span: its trace id came
+    // from the front-end, so the whole chain shares one id.
+    server_.SetNextTraceContext(
+        obs::TraceContext{event.trace.trace_id, serve_span.span_id()});
+    server_.ProcessRequest(event.user, event.point, event.service, event.data);
+    return;
+  }
   server_.ProcessRequest(event.user, event.point, event.service, event.data);
 }
 

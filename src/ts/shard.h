@@ -73,9 +73,13 @@ struct ShardEvent {
   std::shared_ptr<const lbqid::Lbqid> lbqid;
   std::shared_ptr<const PolicyRuleSet> rules;
   std::shared_ptr<CheckpointCollector> checkpoint;
-  /// obs::MonotonicNanos() at submission; 0 when the queue-wait deadline
-  /// is off (no clock read on the submit path).
+  /// obs::MonotonicNanos() at submission; 0 when neither the queue-wait
+  /// deadline nor causal tracing is on (no clock read on the submit path).
   int64_t enqueue_ns = 0;
+  /// Causal coordinates assigned at front-end admission (trace_id 0 = the
+  /// event is untraced).  parent_span is the front-end admission span; the
+  /// worker parents its queue_wait/shard_serve spans to it.
+  obs::TraceContext trace;
 };
 
 /// \brief Bounded multi-producer single-consumer event queue
@@ -187,6 +191,10 @@ class Shard {
   TrustedServer server_;
   SharedPhase phase_;
   const double queue_deadline_seconds_;
+  /// Mirror of the server options' causal tracer + track name (the tracer
+  /// is internally synchronized, so the worker thread records directly).
+  obs::CausalTracer* causal_ = nullptr;
+  std::string trace_track_;
   uint64_t deadline_sheds_ = 0;  // worker-thread only
   /// Per-shard observability (nullptr without a registry).
   obs::Gauge* depth_gauge_ = nullptr;

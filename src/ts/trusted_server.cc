@@ -31,13 +31,20 @@ stindex::GridIndexOptions IndexOptions(const TrustedServerOptions& options) {
   return index;
 }
 
-// RAII per-stage instrumentation: opens a trace span and accumulates the
+// RAII per-stage instrumentation: opens a trace span (plus a causal child
+// span when the request carries a trace context) and accumulates the
 // stage's wall time into the request telemetry.  Does nothing — not even
-// a clock read — when telemetry is disabled.
+// a clock read — when telemetry is disabled and no causal tracer rides
+// along.
 class StageScope {
  public:
   StageScope(RequestTelemetry* telemetry, Stage stage, obs::Tracer* tracer)
       : telemetry_(telemetry), stage_(static_cast<size_t>(stage)) {
+    if (telemetry_->causal != nullptr) {
+      causal_ = telemetry_->causal->StartSpan(
+          telemetry_->ctx, std::string(StageToString(stage)),
+          *telemetry_->track);
+    }
     if (!telemetry_->enabled) return;
     span_ = obs::StartSpan(tracer, std::string(StageToString(stage)));
     start_ns_ = obs::MonotonicNanos();
@@ -47,6 +54,7 @@ class StageScope {
   StageScope& operator=(const StageScope&) = delete;
 
   ~StageScope() {
+    causal_.End();
     if (!telemetry_->enabled) return;
     span_.End();
     telemetry_->ran[stage_] = true;
@@ -58,6 +66,7 @@ class StageScope {
   RequestTelemetry* telemetry_;
   size_t stage_;
   obs::Span span_;
+  obs::CausalSpan causal_;
   int64_t start_ns_ = 0;
 };
 
@@ -113,6 +122,10 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
   generalizer_ = std::make_unique<anon::Generalizer>(read_store_, read_index_,
                                                      options_.generalizer);
   monitor_.AttachRegistry(options_.registry);
+  next_trace_id_ = options_.trace_id_seed == 0 ? 1 : options_.trace_id_seed;
+  if (options_.slo != nullptr) {
+    breaker_.AttachSloView(options_.slo, options_.trace_track);
+  }
   obs_.enabled = options_.registry != nullptr || options_.tracer != nullptr ||
                  options_.event_sink != nullptr;
   if (options_.registry != nullptr) {
@@ -322,6 +335,7 @@ void TrustedServer::CountShed(bool is_request) {
   if (is_request) {
     ++shed_requests_;
     if (obs_.shed_requests != nullptr) obs_.shed_requests->Increment();
+    if (options_.slo != nullptr) options_.slo->ObserveShed();
   }
 }
 
@@ -338,6 +352,9 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
                                              const geo::STPoint& exact,
                                              mod::ServiceId service,
                                              const std::string& data) {
+  if (options_.causal != nullptr) {
+    return ProcessRequestTraced(user, exact, service, data);
+  }
   if (!JournalRequest(user, exact, service, data).ok()) {
     // Fail-closed: the request was NOT journaled (degraded mode, or the
     // append itself failed), so it must not be applied — returning before
@@ -352,6 +369,71 @@ ProcessOutcome TrustedServer::ProcessRequest(mod::UserId user,
   return ProcessAdmitted(user, exact, service, data);
 }
 
+// ProcessRequest with causal tracing attached.  Behavior is identical to
+// the untraced path; the only extra state effect is the trace-id counter,
+// which advances ONLY on successful admission so that journal replay
+// (admitted events only) re-derives the same ids.
+ProcessOutcome TrustedServer::ProcessRequestTraced(mod::UserId user,
+                                                   const geo::STPoint& exact,
+                                                   mod::ServiceId service,
+                                                   const std::string& data) {
+  obs::CausalTracer& causal = *options_.causal;
+  const std::string user_attr =
+      common::Format("%lld", static_cast<long long>(user));
+
+  if (has_pending_ctx_) {
+    // Sharded serve: admission (and the trace id) happened at the
+    // front-end; this request rides its context instead of allocating.
+    const obs::TraceContext ctx = pending_ctx_;
+    has_pending_ctx_ = false;
+    if (!JournalRequest(user, exact, service, data).ok()) {
+      causal.RecordSpan(ctx, "shed", options_.trace_track,
+                        obs::MonotonicNanos(), 0,
+                        {{"shed_reason", admit_shed_reason_},
+                         {"user", user_attr}});
+      ProcessOutcome outcome;
+      outcome.disposition = Disposition::kRejected;
+      outcome.exact = exact;
+      return outcome;
+    }
+    request_ctx_ = ctx;
+    has_request_ctx_ = true;
+    return ProcessAdmitted(user, exact, service, data);
+  }
+
+  // Serial admission: the span is retroactive because its trace id only
+  // exists if admission succeeds (a shed request must not consume an id,
+  // or replay would desynchronize).  Shed spans go to trace 0.
+  admit_journal_ran_ = false;
+  admit_shed_reason_ = "journal_error";
+  const int64_t adm_start = obs::MonotonicNanos();
+  const bool admitted = JournalRequest(user, exact, service, data).ok();
+  const int64_t adm_dur = obs::MonotonicNanos() - adm_start;
+  if (!admitted) {
+    causal.RecordSpan(obs::TraceContext{}, "admission", options_.trace_track,
+                      adm_start, adm_dur,
+                      {{"shed_reason", admit_shed_reason_},
+                       {"user", user_attr}});
+    ProcessOutcome outcome;
+    outcome.disposition = Disposition::kRejected;
+    outcome.exact = exact;
+    return outcome;
+  }
+  const uint64_t tid = next_trace_id_++;
+  const uint64_t adm_span =
+      causal.RecordSpan(obs::TraceContext{tid, 0}, "admission",
+                        options_.trace_track, adm_start, adm_dur,
+                        {{"user", user_attr}});
+  if (admit_journal_ran_) {
+    causal.RecordSpan(obs::TraceContext{tid, adm_span}, "journal_append",
+                      options_.trace_track, admit_journal_start_ns_,
+                      admit_journal_dur_ns_, {});
+  }
+  request_ctx_ = obs::TraceContext{tid, adm_span};
+  has_request_ctx_ = true;
+  return ProcessAdmitted(user, exact, service, data);
+}
+
 ProcessOutcome TrustedServer::ProcessAdmitted(mod::UserId user,
                                               const geo::STPoint& exact,
                                               mod::ServiceId service,
@@ -359,13 +441,28 @@ ProcessOutcome TrustedServer::ProcessAdmitted(mod::UserId user,
   const double deadline = options_.overload.request_deadline_seconds;
   RequestTelemetry telemetry;
   telemetry.enabled = obs_.enabled;
-  if (!telemetry.enabled && deadline <= 0.0) {
+  const bool traced = options_.causal != nullptr && has_request_ctx_;
+  obs::TraceContext request_parent;
+  if (traced) {
+    request_parent = request_ctx_;
+    has_request_ctx_ = false;
+  }
+  if (!telemetry.enabled && !traced && options_.slo == nullptr &&
+      deadline <= 0.0) {
     // Null-object fast path: no clock reads, no allocations beyond the
     // pipeline's own.
     return ProcessRequestImpl(user, exact, service, data, &telemetry);
   }
   obs::Span root = obs::StartSpan(
       telemetry.enabled ? options_.tracer : nullptr, "process_request");
+  obs::CausalSpan causal_root;
+  if (traced) {
+    causal_root = options_.causal->StartSpan(request_parent, "request",
+                                             options_.trace_track);
+    telemetry.causal = options_.causal;
+    telemetry.ctx = causal_root.context();
+    telemetry.track = &options_.trace_track;
+  }
   const int64_t start_ns = obs::MonotonicNanos();
   const ProcessOutcome outcome =
       ProcessRequestImpl(user, exact, service, data, &telemetry);
@@ -377,6 +474,14 @@ ProcessOutcome TrustedServer::ProcessAdmitted(mod::UserId user,
     // partial state), the overrun is counted.
     ++deadline_overruns_;
     if (obs_.deadline_overruns != nullptr) obs_.deadline_overruns->Increment();
+  }
+  if (options_.slo != nullptr) options_.slo->ObserveLatency(total_seconds);
+  if (causal_root.active()) {
+    causal_root.AddAttribute(
+        "user", common::Format("%lld", static_cast<long long>(user)));
+    causal_root.AddAttribute(
+        "disposition", std::string(DispositionToString(outcome.disposition)));
+    causal_root.End();
   }
   if (!telemetry.enabled) return outcome;
   if (root.active()) {
@@ -423,10 +528,25 @@ std::vector<ProcessOutcome> TrustedServer::ProcessBatch(
   std::vector<ProcessOutcome> outcomes;
   outcomes.reserve(requests.size());
   if (requests.empty()) return outcomes;
+  obs::CausalTracer* causal = options_.causal;
+  const std::string size_attr = common::Format("%zu", requests.size());
+  int64_t adm_start = 0;
+  if (causal != nullptr) {
+    admit_journal_ran_ = false;
+    admit_shed_reason_ = "journal_error";
+    adm_start = obs::MonotonicNanos();
+  }
   if (!JournalBatch(requests).ok()) {
     // Fail-closed, like ProcessRequest: the window was not journaled, so
     // none of it may be applied — and no outcomes_ entries, so replay and
     // the outcome log agree.
+    if (causal != nullptr) {
+      causal->RecordSpan(obs::TraceContext{}, "batch_admission",
+                         options_.trace_track, adm_start,
+                         obs::MonotonicNanos() - adm_start,
+                         {{"shed_reason", admit_shed_reason_},
+                          {"batch_size", size_attr}});
+    }
     for (const BatchRequest& request : requests) {
       ProcessOutcome outcome;
       outcome.disposition = Disposition::kRejected;
@@ -434,6 +554,28 @@ std::vector<ProcessOutcome> TrustedServer::ProcessBatch(
       outcomes.push_back(outcome);
     }
     return outcomes;
+  }
+  // The whole window rides one admission: request i gets trace id
+  // base + i (the counter advances by the window size — replay of the
+  // composite batch event does the same), all parented to one
+  // batch_window span.
+  uint64_t base_tid = 0;
+  obs::CausalSpan batch_root;
+  if (causal != nullptr) {
+    const int64_t adm_dur = obs::MonotonicNanos() - adm_start;
+    base_tid = next_trace_id_;
+    next_trace_id_ += requests.size();
+    const uint64_t adm_span = causal->RecordSpan(
+        obs::TraceContext{base_tid, 0}, "batch_admission",
+        options_.trace_track, adm_start, adm_dur,
+        {{"batch_size", size_attr}});
+    if (admit_journal_ran_) {
+      causal->RecordSpan(obs::TraceContext{base_tid, adm_span},
+                         "journal_append", options_.trace_track,
+                         admit_journal_start_ns_, admit_journal_dur_ns_, {});
+    }
+    batch_root = causal->StartSpan(obs::TraceContext{base_tid, adm_span},
+                                   "batch_window", options_.trace_track);
   }
   if (obs_.batches != nullptr) {
     obs_.batches->Increment();
@@ -449,24 +591,35 @@ std::vector<ProcessOutcome> TrustedServer::ProcessBatch(
       index_.Insert(request.user, request.exact);
     }
   }
-  // Prewarm in grid-cell order: co-located requests land adjacently, so
-  // each distinct (point, k) pays for one shared index query and the
-  // rest hit the memo.
-  std::vector<size_t> order(requests.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const uint64_t cell_a = index_.CellIdOf(requests[a].exact);
-    const uint64_t cell_b = index_.CellIdOf(requests[b].exact);
-    if (cell_a != cell_b) return cell_a < cell_b;
-    return a < b;
-  });
-  for (const size_t i : order) {
-    PrewarmRequest(requests[i].user, requests[i].exact, requests[i].service);
+  {
+    // Prewarm in grid-cell order: co-located requests land adjacently, so
+    // each distinct (point, k) pays for one shared index query and the
+    // rest hit the memo.
+    obs::CausalSpan prewarm_span = obs::StartCausalSpan(
+        causal, batch_root.context(), "prewarm", options_.trace_track);
+    std::vector<size_t> order(requests.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const uint64_t cell_a = index_.CellIdOf(requests[a].exact);
+      const uint64_t cell_b = index_.CellIdOf(requests[b].exact);
+      if (cell_a != cell_b) return cell_a < cell_b;
+      return a < b;
+    });
+    for (const size_t i : order) {
+      PrewarmRequest(requests[i].user, requests[i].exact,
+                     requests[i].service);
+    }
   }
   // Serve in ORIGINAL submission order, so the sequential streams
   // (msgids, pseudonym rotations, sequential-mode RNG draws, per-user
   // ordinals) advance exactly as the per-request path would.
-  for (const BatchRequest& request : requests) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const BatchRequest& request = requests[i];
+    if (causal != nullptr) {
+      request_ctx_ =
+          obs::TraceContext{base_tid + i, batch_root.span_id()};
+      has_request_ctx_ = true;
+    }
     outcomes.push_back(ProcessAdmitted(request.user, request.exact,
                                        request.service, request.data));
   }

@@ -29,8 +29,11 @@
 #include "src/anon/tolerance.h"
 #include "src/lbqid/monitor.h"
 #include "src/mod/moving_object_db.h"
+#include "src/obs/causal_trace.h"
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/resource.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/stindex/grid_index.h"
@@ -87,6 +90,17 @@ struct TrustedServerOptions {
   obs::Registry* registry = nullptr;
   obs::Tracer* tracer = nullptr;
   obs::EventSink* event_sink = nullptr;
+  /// Request-scoped causal tracing (optional, not owned).  Trace ids come
+  /// from a deterministic counter seeded with `trace_id_seed` and are
+  /// consumed ONLY on successful admission, so journal replay — which
+  /// sees exactly the admitted events — re-derives the same ids.  Spans
+  /// land on `trace_track` (the sharded server gives each shard its own).
+  obs::CausalTracer* causal = nullptr;
+  uint64_t trace_id_seed = 1;
+  std::string trace_track = "ts";
+  /// Rolling SLO view (optional, not owned): per-request latency and shed
+  /// observations for the telemetry endpoint's windowed p50/p95/p99.
+  obs::SloView* slo = nullptr;
   /// Overload protection: the journal-failure circuit breaker (fail-closed
   /// degraded mode, see src/ts/overload.h) and the per-request deadline
   /// budget.  The defaults keep behavior identical to a server without
@@ -138,11 +152,16 @@ inline constexpr size_t kStageCount = 6;
 std::string_view StageToString(Stage stage);
 
 /// \brief Per-request stage bookkeeping, filled only when observability is
-/// attached (zero clock reads otherwise).
+/// attached (zero clock reads otherwise).  `causal`/`ctx`/`track` carry
+/// the request's causal coordinates so stage scopes can open child spans
+/// even when the metric side (`enabled`) is off.
 struct RequestTelemetry {
   bool enabled = false;
   bool ran[kStageCount] = {};
   double seconds[kStageCount] = {};
+  obs::CausalTracer* causal = nullptr;
+  obs::TraceContext ctx;
+  const std::string* track = nullptr;
 };
 
 /// \brief One request of a ProcessBatch window.
@@ -270,6 +289,30 @@ class TrustedServer : public sim::EventSink {
   /// admission ledger the chaos differential keys accepted events off.
   uint64_t admitted_events() const { return admitted_events_; }
 
+  // -- Causal tracing (no-ops without options.causal).
+
+  /// Hands the server the causal coordinates of the NEXT ProcessRequest
+  /// call, when admission happened elsewhere (the sharded front-end
+  /// admits and journals before enqueueing; the shard worker then serves
+  /// under the front-end's trace id instead of allocating one).
+  void SetNextTraceContext(const obs::TraceContext& ctx) {
+    pending_ctx_ = ctx;
+    has_pending_ctx_ = true;
+  }
+  /// Seeds the trace-id counter (recovery: the journaled annotation
+  /// record restores the pre-crash counter before replay).
+  void SetNextTraceId(uint64_t id) { next_trace_id_ = id; }
+  /// The next trace id the server would allocate.
+  uint64_t next_trace_id() const { return next_trace_id_; }
+
+  /// Registers this server's resource probes (PHL samples, journal size,
+  /// last snapshot blob, anchor-cache entries, event-log bytes, outcome
+  /// log) under `<prefix>` names.  The accountant polls the probes from
+  /// its Collect() caller, which must not race this server's writer
+  /// thread; `this` must outlive the accountant's probes.
+  void RegisterResourceProbes(obs::ResourceAccountant* accountant,
+                              const std::string& prefix) const;
+
   const mod::MovingObjectDb& db() const { return db_; }
   const stindex::GridIndex& index() const { return index_; }
   const TsStats& stats() const { return stats_; }
@@ -393,6 +436,13 @@ class TrustedServer : public sim::EventSink {
   ProcessOutcome ProcessAdmitted(mod::UserId user, const geo::STPoint& exact,
                                  mod::ServiceId service,
                                  const std::string& data);
+  // ProcessRequest under causal tracing: allocates (or adopts) the trace
+  // id, records the retroactive admission/journal spans, then funnels
+  // into ProcessAdmitted.
+  ProcessOutcome ProcessRequestTraced(mod::UserId user,
+                                      const geo::STPoint& exact,
+                                      mod::ServiceId service,
+                                      const std::string& data);
   // The pipeline body; `telemetry` collects per-stage timings when
   // observability is attached.
   ProcessOutcome ProcessRequestImpl(mod::UserId user,
@@ -463,6 +513,25 @@ class TrustedServer : public sim::EventSink {
   TsJournal* journal_ = nullptr;
   mod::MessageId next_msgid_ = 1;
   ObsHandles obs_;
+  // Causal-tracing state.  next_trace_id_ is deliberately NOT part of
+  // Checkpoint() (like the breaker counters) so snapshot blobs stay
+  // byte-identical with tracing on or off; recovery restores it from the
+  // journaled annotation record instead.
+  uint64_t next_trace_id_ = 1;
+  obs::TraceContext pending_ctx_;
+  bool has_pending_ctx_ = false;
+  // The admitted request's causal coordinates, handed from the admission
+  // code to ProcessAdmitted (which opens the request root span under it).
+  obs::TraceContext request_ctx_;
+  bool has_request_ctx_ = false;
+  // Journal-append timing scratch for the retroactive admission spans
+  // (filled by AdmitEvent only when tracing is attached).
+  int64_t admit_journal_start_ns_ = 0;
+  int64_t admit_journal_dur_ns_ = 0;
+  bool admit_journal_ran_ = false;
+  const char* admit_shed_reason_ = "journal_error";
+  // Size of the last Checkpoint() blob (resource accounting).
+  mutable uint64_t last_checkpoint_bytes_ = 0;
   // Degraded-mode state.  Deliberately NOT part of Checkpoint(): a
   // recovered (or twin) server starts HEALTHY with zero shed counts, so
   // snapshot blobs stay byte-comparable across fault histories.

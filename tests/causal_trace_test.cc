@@ -1,0 +1,391 @@
+// Request-scoped causal tracing: tracer unit behavior, and the
+// acceptance property of the telemetry plane — for every admitted
+// request id, the recorded spans reconstruct the full causal chain
+// (admission -> journal append -> queue -> shard serve -> request ->
+// pipeline stages), across the serial, batched, and sharded servers,
+// with shed/degraded paths attributed to trace 0.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/obs/causal_trace.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+const std::string* AttributeOf(const obs::CausalSpanRecord& record,
+                               const std::string& key) {
+  for (const auto& [k, v] : record.attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Tracer unit behavior.
+
+TEST(CausalTracerTest, SpansLinkParentToChildAcrossTracks) {
+  obs::CausalTracer tracer;
+  obs::CausalSpan parent =
+      tracer.StartSpan(obs::TraceContext{42, 0}, "admission", "frontend");
+  EXPECT_TRUE(parent.active());
+  const obs::TraceContext ctx = parent.context();
+  EXPECT_EQ(ctx.trace_id, 42u);
+  EXPECT_EQ(ctx.parent_span, parent.span_id());
+  obs::CausalSpan child = tracer.StartSpan(ctx, "serve", "shard_0");
+  child.AddAttribute("user", "7");
+  child.End();
+  parent.End();
+  ASSERT_EQ(tracer.size(), 2u);
+  const std::vector<obs::CausalSpanRecord> records = tracer.Records();
+  // Children commit at End, so the child record lands first.
+  EXPECT_EQ(records[0].name, "serve");
+  EXPECT_EQ(records[0].parent_span, records[1].span_id);
+  EXPECT_EQ(records[1].parent_span, 0u);
+  EXPECT_EQ(records[0].trace_id, records[1].trace_id);
+  const std::string* user = AttributeOf(records[0], "user");
+  ASSERT_NE(user, nullptr);
+  EXPECT_EQ(*user, "7");
+}
+
+TEST(CausalTracerTest, RecordSpanIsRetroactive) {
+  obs::CausalTracer tracer;
+  const int64_t start = obs::MonotonicNanos() - 5000;
+  const uint64_t span = tracer.RecordSpan(obs::TraceContext{1, 0}, "admission",
+                                          "ts", start, 5000, {{"k", "v"}});
+  ASSERT_EQ(tracer.size(), 1u);
+  const obs::CausalSpanRecord record = tracer.Records()[0];
+  EXPECT_EQ(record.span_id, span);
+  EXPECT_EQ(record.start_ns, start);
+  EXPECT_EQ(record.duration_ns, 5000);
+}
+
+TEST(CausalTracerTest, ChromeTraceJsonHasMetadataAndFlows) {
+  obs::CausalTracer tracer;
+  obs::CausalSpan parent =
+      tracer.StartSpan(obs::TraceContext{9, 0}, "admission", "frontend");
+  obs::CausalSpan child =
+      tracer.StartSpan(parent.context(), "shard_serve", "shard_1");
+  child.End();
+  parent.End();
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"frontend\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard_1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Cross-track parent/child pairs emit a flow (s at the parent, f at
+  // the child) so Perfetto draws the causal arrow.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Chain reconstruction.
+
+struct TraceChains {
+  /// span_id -> record, across every trace.
+  std::map<uint64_t, obs::CausalSpanRecord> by_span;
+  /// trace_id -> that trace's records (trace 0 = shed spans).
+  std::map<uint64_t, std::vector<obs::CausalSpanRecord>> by_trace;
+};
+
+TraceChains Chains(const obs::CausalTracer& tracer) {
+  TraceChains chains;
+  for (const obs::CausalSpanRecord& record : tracer.Records()) {
+    chains.by_span[record.span_id] = record;
+    chains.by_trace[record.trace_id].push_back(record);
+  }
+  return chains;
+}
+
+/// Walks parent links from `record` to the trace root; every hop must
+/// stay inside the same trace.  Returns the names along the way,
+/// starting at `record` and ending at the root.
+std::vector<std::string> PathToRoot(const TraceChains& chains,
+                                    const obs::CausalSpanRecord& record) {
+  std::vector<std::string> names;
+  const obs::CausalSpanRecord* cursor = &record;
+  for (size_t hops = 0; hops < 16; ++hops) {
+    names.push_back(cursor->name);
+    if (cursor->parent_span == 0) return names;
+    const auto parent = chains.by_span.find(cursor->parent_span);
+    if (parent == chains.by_span.end()) {
+      ADD_FAILURE() << "dangling parent span " << cursor->parent_span
+                    << " from " << cursor->name;
+      return names;
+    }
+    EXPECT_EQ(parent->second.trace_id, record.trace_id)
+        << "parent of " << cursor->name << " crosses traces";
+    cursor = &parent->second;
+  }
+  ADD_FAILURE() << "parent chain did not terminate";
+  return names;
+}
+
+const obs::CausalSpanRecord* FindSpan(
+    const std::vector<obs::CausalSpanRecord>& records,
+    const std::string& name) {
+  for (const obs::CausalSpanRecord& record : records) {
+    if (record.name == name) return &record;
+  }
+  return nullptr;
+}
+
+class CausalChainTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::Registry::Instance().DisarmAll(); }
+};
+
+TEST_F(CausalChainTest, SerialRequestsFormCompleteChains) {
+  obs::CausalTracer tracer;
+  TsJournal journal;
+  TrustedServerOptions options;
+  options.causal = &tracer;
+  options.trace_id_seed = 100;
+  TrustedServer server(options);
+  server.AttachJournal(&journal);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        server.ApplyLocationUpdate(7, PointAt(100, 100, 100 + i)).ok());
+  }
+  const int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    const ProcessOutcome outcome =
+        server.ProcessRequest(7, PointAt(100, 100, 200 + i), 0, "r");
+    EXPECT_NE(outcome.disposition, Disposition::kRejected);
+  }
+  EXPECT_EQ(server.next_trace_id(), 100u + kRequests);
+
+  const TraceChains chains = Chains(tracer);
+  for (uint64_t tid = 100; tid < 100 + kRequests; ++tid) {
+    const auto it = chains.by_trace.find(tid);
+    ASSERT_NE(it, chains.by_trace.end()) << "no spans for trace " << tid;
+    const std::vector<obs::CausalSpanRecord>& spans = it->second;
+    const obs::CausalSpanRecord* admission = FindSpan(spans, "admission");
+    ASSERT_NE(admission, nullptr);
+    EXPECT_EQ(admission->parent_span, 0u);
+    const obs::CausalSpanRecord* append = FindSpan(spans, "journal_append");
+    ASSERT_NE(append, nullptr);
+    EXPECT_EQ(append->parent_span, admission->span_id);
+    const obs::CausalSpanRecord* request = FindSpan(spans, "request");
+    ASSERT_NE(request, nullptr);
+    EXPECT_EQ(request->parent_span, admission->span_id);
+    // At least one pipeline stage rode the request span.
+    bool found_stage = false;
+    for (const obs::CausalSpanRecord& span : spans) {
+      if (span.parent_span == request->span_id) found_stage = true;
+    }
+    EXPECT_TRUE(found_stage) << "trace " << tid << " has no stage spans";
+    for (const obs::CausalSpanRecord& span : spans) {
+      const std::vector<std::string> path = PathToRoot(chains, span);
+      EXPECT_EQ(path.back(), "admission");
+    }
+  }
+}
+
+TEST_F(CausalChainTest, ShedRequestsGoToTraceZeroWithoutConsumingIds) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  obs::CausalTracer tracer;
+  TsJournal journal;
+  TrustedServerOptions options;
+  options.causal = &tracer;
+  options.trace_id_seed = 1;
+  options.overload.breaker.trip_threshold = 1;
+  options.overload.breaker.probe_after = 2;
+  TrustedServer server(options);
+  server.AttachJournal(&journal);
+  ASSERT_TRUE(server.ApplyLocationUpdate(7, PointAt(100, 100, 100)).ok());
+  const uint64_t id_before = server.next_trace_id();
+
+  {
+    fail::ScopedFailPoint fp(
+        fail::kDurJournalAppend,
+        fail::ErrorAction(common::StatusCode::kInternal, "disk gone"));
+    // First shed: the append itself fails.  Second: the tripped breaker.
+    for (int i = 0; i < 2; ++i) {
+      const ProcessOutcome outcome =
+          server.ProcessRequest(7, PointAt(100, 100, 200 + i), 0, "r");
+      EXPECT_EQ(outcome.disposition, Disposition::kRejected);
+    }
+  }
+  EXPECT_EQ(server.next_trace_id(), id_before) << "shed consumed a trace id";
+
+  const TraceChains chains = Chains(tracer);
+  const auto shed = chains.by_trace.find(0);
+  ASSERT_NE(shed, chains.by_trace.end());
+  std::set<std::string> reasons;
+  for (const obs::CausalSpanRecord& span : shed->second) {
+    EXPECT_EQ(span.name, "admission");
+    const std::string* reason = AttributeOf(span, "shed_reason");
+    ASSERT_NE(reason, nullptr);
+    reasons.insert(*reason);
+  }
+  EXPECT_EQ(reasons, (std::set<std::string>{"journal_error", "degraded"}));
+}
+
+TEST_F(CausalChainTest, BatchWindowParentsPerRequestChains) {
+  obs::CausalTracer tracer;
+  TsJournal journal;
+  TrustedServerOptions options;
+  options.causal = &tracer;
+  options.trace_id_seed = 50;
+  TrustedServer server(options);
+  server.AttachJournal(&journal);
+  ASSERT_TRUE(server.ApplyLocationUpdate(7, PointAt(100, 100, 100)).ok());
+  ASSERT_TRUE(server.ApplyLocationUpdate(8, PointAt(105, 100, 100)).ok());
+
+  std::vector<BatchRequest> batch;
+  for (int i = 0; i < 3; ++i) {
+    BatchRequest request;
+    request.user = (i % 2 == 0) ? 7 : 8;
+    request.exact = PointAt(100 + i, 100, 200 + i);
+    request.service = 0;
+    request.data = "b";
+    batch.push_back(request);
+  }
+  const std::vector<ProcessOutcome> outcomes = server.ProcessBatch(batch);
+  ASSERT_EQ(outcomes.size(), batch.size());
+  // The window advances the counter by its size: request i = base + i.
+  EXPECT_EQ(server.next_trace_id(), 50u + batch.size());
+
+  const TraceChains chains = Chains(tracer);
+  // The composite admission spans live on the base trace id.
+  const auto base = chains.by_trace.find(50);
+  ASSERT_NE(base, chains.by_trace.end());
+  const obs::CausalSpanRecord* admission =
+      FindSpan(base->second, "batch_admission");
+  ASSERT_NE(admission, nullptr);
+  ASSERT_NE(FindSpan(base->second, "journal_append"), nullptr);
+  const obs::CausalSpanRecord* window = FindSpan(base->second, "batch_window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->parent_span, admission->span_id);
+  ASSERT_NE(FindSpan(base->second, "prewarm"), nullptr);
+  for (uint64_t tid = 50; tid < 50 + batch.size(); ++tid) {
+    const auto it = chains.by_trace.find(tid);
+    ASSERT_NE(it, chains.by_trace.end());
+    const obs::CausalSpanRecord* request = FindSpan(it->second, "request");
+    ASSERT_NE(request, nullptr) << "trace " << tid;
+    EXPECT_EQ(request->parent_span, window->span_id);
+  }
+}
+
+// The acceptance property: a sharded, fault-injected run reconstructs
+// the full causal chain for EVERY request id — admitted requests span
+// frontend admission -> journal append -> queue wait -> shard serve ->
+// request -> pipeline stages, and shed requests are attributed to trace
+// 0 with their shed reason.
+TEST_F(CausalChainTest, ShardedFaultInjectedRunReconstructsEveryChain) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  obs::CausalTracer tracer;
+  TsJournal journal;
+  ConcurrentServerOptions options;
+  options.num_shards = 2;
+  options.server.causal = &tracer;
+  options.server.trace_id_seed = 1000;
+  options.breaker.trip_threshold = 1;
+  options.breaker.probe_after = 1;
+  options.journal = &journal;
+
+  size_t admitted = 0;
+  size_t shed = 0;
+  {
+    ConcurrentServer server(std::move(options));
+    for (mod::UserId user = 1; user <= 4; ++user) {
+      ASSERT_TRUE(
+          server.SubmitLocationUpdate(user, PointAt(100.0 * user, 100, 100)));
+    }
+    server.EndEpoch();
+    auto submit = [&](mod::UserId user, int64_t t) {
+      const size_t seq = server.SubmitRequest(
+          user, PointAt(100.0 * user, 100, t), 0, "r");
+      if (seq == ConcurrentServer::kShedSubmission) {
+        ++shed;
+      } else {
+        ++admitted;
+      }
+    };
+    for (mod::UserId user = 1; user <= 4; ++user) submit(user, 200);
+    server.EndEpoch();
+    {
+      fail::ScopedFailPoint fp(
+          fail::kDurJournalAppend,
+          fail::ErrorAction(common::StatusCode::kInternal, "disk gone"));
+      for (mod::UserId user = 1; user <= 4; ++user) submit(user, 300);
+    }
+    server.EndEpoch();
+    for (mod::UserId user = 1; user <= 4; ++user) submit(user, 400);
+    server.EndEpoch();
+    server.Finish();
+    ASSERT_GT(shed, 0u);
+    ASSERT_GT(admitted, 0u);
+    EXPECT_EQ(server.next_trace_id(), 1000u + admitted);
+  }
+
+  const TraceChains chains = Chains(tracer);
+  for (uint64_t tid = 1000; tid < 1000 + admitted; ++tid) {
+    const auto it = chains.by_trace.find(tid);
+    ASSERT_NE(it, chains.by_trace.end()) << "no spans for trace " << tid;
+    const std::vector<obs::CausalSpanRecord>& spans = it->second;
+    const obs::CausalSpanRecord* admission = FindSpan(spans, "admission");
+    ASSERT_NE(admission, nullptr) << "trace " << tid;
+    EXPECT_EQ(admission->parent_span, 0u);
+    EXPECT_EQ(admission->track, "frontend");
+    const obs::CausalSpanRecord* append = FindSpan(spans, "journal_append");
+    ASSERT_NE(append, nullptr) << "trace " << tid;
+    EXPECT_EQ(append->parent_span, admission->span_id);
+    const obs::CausalSpanRecord* wait = FindSpan(spans, "queue_wait");
+    ASSERT_NE(wait, nullptr) << "trace " << tid;
+    EXPECT_EQ(wait->parent_span, admission->span_id);
+    EXPECT_EQ(wait->track.rfind("shard_", 0), 0u) << wait->track;
+    const obs::CausalSpanRecord* serve = FindSpan(spans, "shard_serve");
+    ASSERT_NE(serve, nullptr) << "trace " << tid;
+    EXPECT_EQ(serve->parent_span, admission->span_id);
+    EXPECT_EQ(serve->track, wait->track);
+    const obs::CausalSpanRecord* request = FindSpan(spans, "request");
+    ASSERT_NE(request, nullptr) << "trace " << tid;
+    EXPECT_EQ(request->parent_span, serve->span_id);
+    bool found_stage = false;
+    for (const obs::CausalSpanRecord& span : spans) {
+      if (span.parent_span == request->span_id) found_stage = true;
+    }
+    EXPECT_TRUE(found_stage) << "trace " << tid << " has no stage spans";
+    for (const obs::CausalSpanRecord& span : spans) {
+      const std::vector<std::string> path = PathToRoot(chains, span);
+      EXPECT_EQ(path.back(), "admission") << "trace " << tid;
+    }
+  }
+  // Every shed request left a trace-0 admission span with its reason.
+  const auto zero = chains.by_trace.find(0);
+  ASSERT_NE(zero, chains.by_trace.end());
+  size_t shed_spans = 0;
+  for (const obs::CausalSpanRecord& span : zero->second) {
+    EXPECT_EQ(span.name, "admission");
+    const std::string* reason = AttributeOf(span, "shed_reason");
+    ASSERT_NE(reason, nullptr);
+    EXPECT_TRUE(*reason == "journal_error" || *reason == "degraded" ||
+                *reason == "queue_full")
+        << *reason;
+    ++shed_spans;
+  }
+  EXPECT_EQ(shed_spans, shed);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

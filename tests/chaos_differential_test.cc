@@ -10,6 +10,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,8 @@
 #include "src/common/rng.h"
 #include "src/fail/failpoint.h"
 #include "src/fail/sites.h"
+#include "src/obs/causal_trace.h"
+#include "src/obs/slo.h"
 #include "src/tgran/granularity.h"
 #include "src/ts/concurrent_server.h"
 #include "src/ts/durability.h"
@@ -260,6 +265,71 @@ TEST_F(ChaosDifferentialTest, SerialConvergesUnderRandomFaultSchedules) {
                       s);
       RunSerialSchedule(events, &rng, BaseSeed() + s * 977);
     }
+  }
+}
+
+// One traced chaos run: the causal tracer rides a sharded, fault-injected
+// schedule, every admitted request must come out with a complete chain,
+// and when HISTKANON_CHAOS_TRACE_OUT is set (the CI chaos job points it
+// at an artifact path) the Chrome-trace/Perfetto JSON is written there
+// for post-mortem timeline inspection.
+TEST_F(ChaosDifferentialTest, TracedRunExportsPerfettoTimeline) {
+  const EpochedWorkload workload = MakeWorkload(0);
+  const std::vector<JournalEvent> events = FlattenConcurrentWorkload(workload);
+
+  obs::CausalTracer tracer;
+  obs::SloView slo;
+  TsJournal journal;
+  ConcurrentServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 256;
+  options.breaker.probe_after = 2;
+  options.journal = &journal;
+  options.server.causal = &tracer;
+  options.server.slo = &slo;
+  options.server.trace_id_seed = 1;
+
+  size_t admitted = 0;
+  {
+    ConcurrentServer server(std::move(options));
+    for (const anon::ServiceProfile& service : workload.services) {
+      ASSERT_TRUE(server.RegisterService(service).ok());
+    }
+    common::Rng rng(BaseSeed() * 31337);
+    ArmJournalFault(&rng, BaseSeed());
+    for (const JournalEvent& event : events) {
+      if (event.kind == JournalEvent::Kind::kRegisterService) continue;
+      ApplyConcurrentJournalEvent(&server, event);
+    }
+    fail::Registry::Instance().DisarmAll();
+    server.Finish();
+    admitted = server.outcomes().size();
+    EXPECT_EQ(server.next_trace_id(), 1u + admitted);
+  }
+  ASSERT_GT(admitted, 0u);
+
+  // Every admitted request id reconstructs its chain end to end.
+  std::map<uint64_t, std::set<std::string>> names_by_trace;
+  for (const obs::CausalSpanRecord& span : tracer.Records()) {
+    names_by_trace[span.trace_id].insert(span.name);
+  }
+  for (uint64_t tid = 1; tid <= admitted; ++tid) {
+    const auto it = names_by_trace.find(tid);
+    ASSERT_NE(it, names_by_trace.end()) << "no spans for trace " << tid;
+    for (const char* name :
+         {"admission", "journal_append", "queue_wait", "shard_serve",
+          "request"}) {
+      EXPECT_TRUE(it->second.count(name))
+          << "trace " << tid << " missing " << name;
+    }
+  }
+
+  const char* out_path = std::getenv("HISTKANON_CHAOS_TRACE_OUT");
+  if (out_path != nullptr && *out_path != '\0') {
+    std::ofstream out(out_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot open " << out_path;
+    out << tracer.ToChromeTraceJson();
+    ASSERT_TRUE(out.good()) << "short write to " << out_path;
   }
 }
 

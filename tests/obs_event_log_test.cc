@@ -118,17 +118,54 @@ TEST(EventLogFileTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(EventLogFileTest, MalformedLineFailsWithLineNumber) {
+TEST(EventLogFileTest, TornFinalLineIsToleratedAndReported) {
+  // A malformed FINAL line is what a crash mid-Append leaves behind:
+  // the tolerant reader drops it, keeps every intact record, and reports
+  // the damage through clean/tail_error instead of failing the read.
+  const std::string path =
+      testing::TempDir() + "/histkanon_event_log_torn.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"seq\":1}\n\n{\"seq\":2,\"disposi";
+  }
+  const auto result = ReadEventLog(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->events.size(), 1u);
+  EXPECT_EQ(result->events[0].at("seq"), "1");
+  EXPECT_FALSE(result->clean);
+  EXPECT_NE(result->tail_error.find("line 3"), std::string::npos);
+  // The compatibility wrapper silently drops the torn tail.
+  const auto events = ReadEventLogFile(path);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogFileTest, MalformedInteriorLineStillFailsWithLineNumber) {
+  // A malformed line FOLLOWED by intact records cannot be crash
+  // truncation — that is corruption, and stays a hard error.
   const std::string path =
       testing::TempDir() + "/histkanon_event_log_bad.jsonl";
   {
     std::ofstream out(path, std::ios::trunc);
-    out << "{\"seq\":1}\n\nnot json\n";
+    out << "{\"seq\":1}\nnot json\n{\"seq\":2}\n";
   }
+  const auto result = ReadEventLog(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("line 2"), std::string::npos);
   const auto events = ReadEventLogFile(path);
   ASSERT_FALSE(events.ok());
-  EXPECT_NE(events.status().ToString().find("line 3"), std::string::npos);
+  EXPECT_NE(events.status().ToString().find("line 2"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(EventSinkTest, SinksReportBytesWritten) {
+  VectorEventSink sink;
+  EXPECT_EQ(sink.bytes_written(), 0u);
+  sink.Append("{\"a\":1}");
+  sink.Append("{\"b\":22}");
+  // Each line plus its newline.
+  EXPECT_EQ(sink.bytes_written(), 8u + 9u);
 }
 
 TEST(EventLogFileTest, MissingFileFails) {

@@ -1,3 +1,7 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/obs/export.h"
@@ -67,6 +71,54 @@ TEST(ToJsonTest, EmptyRegistry) {
   Registry registry;
   EXPECT_EQ(ToJson(registry),
             "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ExportConsistencyTest, HistogramSnapshotNeverTearsUnderHammer) {
+  // The regression this pins down: exporters used to read count_, sum_,
+  // and the buckets as independent relaxed atomics, so a snapshot taken
+  // under concurrent Observe() calls could render a le="+Inf" cumulative
+  // bucket that disagreed with _count.  Snapshot() derives count from one
+  // pass over the buckets, making the pair consistent by construction.
+  Registry registry;
+  Histogram* histogram =
+      registry.GetHistogram("hammer_seconds", {0.001, 0.01, 0.1});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([histogram, &stop] {
+      double value = 0.0003;
+      while (!stop.load(std::memory_order_relaxed)) {
+        histogram->Observe(value);
+        value = value * 1.7 + 0.0001;
+        if (value > 1.0) value = 0.0003;
+      }
+    });
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    uint64_t bucket_total = 0;
+    for (const uint64_t c : snapshot.bucket_counts) bucket_total += c;
+    ASSERT_EQ(snapshot.count, bucket_total) << "snapshot " << i;
+    // The rendered text must agree with itself too: the +Inf sample IS
+    // the count sample.
+    const std::string text = ToPrometheusText(registry.Snapshot());
+    const std::string inf_needle = "hammer_seconds_bucket{le=\"+Inf\"} ";
+    const size_t inf_at = text.find(inf_needle);
+    const size_t count_at = text.find("hammer_seconds_count ");
+    ASSERT_NE(inf_at, std::string::npos);
+    ASSERT_NE(count_at, std::string::npos);
+    const std::string inf_value = text.substr(
+        inf_at + inf_needle.size(),
+        text.find('\n', inf_at + inf_needle.size()) - inf_at -
+            inf_needle.size());
+    const std::string count_value = text.substr(
+        count_at + 21, text.find('\n', count_at + 21) - count_at - 21);
+    ASSERT_EQ(inf_value, count_value) << "snapshot " << i;
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  // Quiescent: the derived count converges to the count_ atomic.
+  EXPECT_EQ(histogram->Snapshot().count, histogram->count());
 }
 
 TEST(ToJsonTest, ParsesBackAsFlatObjectOfRawSections) {

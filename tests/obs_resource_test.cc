@@ -1,0 +1,111 @@
+// Resource accounting: probe registration/collection semantics, RSS
+// sampling, and the server-side probe bundles (serial and sharded) that
+// feed the telemetry endpoint's byte inventory.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/resource.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(ResourceAccountantTest, CollectPollsProbesIntoGauges) {
+  Registry registry;
+  ResourceAccountant accountant(&registry);
+  uint64_t value = 100;
+  accountant.RegisterProbe("journal", [&value] { return value; });
+  EXPECT_EQ(accountant.Collect(), 1u);
+  EXPECT_EQ(registry.GetGauge("res_journal_bytes")->value(), 100.0);
+  value = 250;
+  accountant.Collect();
+  EXPECT_EQ(registry.GetGauge("res_journal_bytes")->value(), 250.0);
+  // RSS rides every Collect().
+  EXPECT_GT(registry.GetGauge("res_rss_bytes")->value(), 0.0);
+}
+
+TEST(ResourceAccountantTest, ReRegisteringReplacesTheProbe) {
+  Registry registry;
+  ResourceAccountant accountant(&registry);
+  accountant.RegisterProbe("x", [] { return uint64_t{1}; });
+  accountant.RegisterProbe("x", [] { return uint64_t{2}; });
+  EXPECT_EQ(accountant.Collect(), 1u);
+  EXPECT_EQ(registry.GetGauge("res_x_bytes")->value(), 2.0);
+}
+
+TEST(ResourceAccountantTest, SnapshotAndJsonAreSortedByName) {
+  Registry registry;
+  ResourceAccountant accountant(&registry);
+  accountant.SetBytes("zeta", 9);
+  accountant.SetBytes("alpha", 4);
+  const auto snapshot = accountant.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "alpha");
+  EXPECT_EQ(snapshot[1].first, "zeta");
+  EXPECT_EQ(accountant.ToJson(), "{\"alpha_bytes\":4,\"zeta_bytes\":9}");
+}
+
+TEST(ResourceAccountantTest, SampleRssBytesIsNonZeroOnLinux) {
+  EXPECT_GT(SampleRssBytes(), 0u);
+}
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+TEST(ServerResourceProbesTest, SerialServerReportsItsFootprint) {
+  Registry registry;
+  ResourceAccountant accountant(&registry);
+  ts::TsJournal journal;
+  ts::TrustedServer server{ts::TrustedServerOptions{}};
+  server.AttachJournal(&journal);
+  server.RegisterResourceProbes(&accountant, "ts_");
+  ASSERT_TRUE(server.ApplyLocationUpdate(7, PointAt(100, 100, 100)).ok());
+  server.ProcessRequest(7, PointAt(100, 100, 200), 0, "r");
+  ASSERT_TRUE(server.WriteCheckpoint().ok());
+  accountant.Collect();
+
+  EXPECT_GT(registry.GetGauge("res_ts_phl_samples_bytes")->value(), 0.0);
+  EXPECT_GT(registry.GetGauge("res_ts_journal_bytes")->value(), 0.0);
+  EXPECT_GT(registry.GetGauge("res_ts_snapshot_bytes")->value(), 0.0);
+  EXPECT_GT(registry.GetGauge("res_ts_outcomes_bytes")->value(), 0.0);
+  EXPECT_EQ(registry.GetGauge("res_ts_journal_bytes")->value(),
+            static_cast<double>(journal.size()));
+}
+
+TEST(ServerResourceProbesTest, ShardedServerReportsPerShardFootprints) {
+  Registry registry;
+  ResourceAccountant accountant(&registry);
+  ts::TsJournal journal;
+  ts::ConcurrentServerOptions options;
+  options.num_shards = 2;
+  options.journal = &journal;
+  ts::ConcurrentServer server(std::move(options));
+  server.RegisterResourceProbes(&accountant, "cs_");
+  for (mod::UserId user = 1; user <= 4; ++user) {
+    ASSERT_TRUE(
+        server.SubmitLocationUpdate(user, PointAt(100.0 * user, 100, 100)));
+  }
+  server.EndEpoch();
+  server.Finish();
+  accountant.Collect();
+
+  EXPECT_GT(registry.GetGauge("res_cs_journal_bytes")->value(), 0.0);
+  const double shard0 =
+      registry.GetGauge("res_cs_shard0_phl_samples_bytes")->value();
+  const double shard1 =
+      registry.GetGauge("res_cs_shard1_phl_samples_bytes")->value();
+  EXPECT_GT(shard0 + shard1, 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon

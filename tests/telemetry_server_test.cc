@@ -1,0 +1,90 @@
+// The live telemetry endpoint: routing, the null-object contract for
+// absent sources, and one real socket round-trip per route.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/causal_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/resource.h"
+#include "src/obs/slo.h"
+#include "src/obs/telemetry_server.h"
+
+namespace histkanon {
+namespace obs {
+namespace {
+
+TEST(TelemetryServerTest, RenderBodyRoutesWithAllSourcesAttached) {
+  Registry registry;
+  registry.GetCounter("ts_requests_total")->Increment(5);
+  SloView slo;
+  slo.ObserveLatency(0.002);
+  slo.RecordHealthTransition("frontend", 1);
+  ResourceAccountant resources(&registry);
+  resources.SetBytes("journal", 4096);
+  CausalTracer tracer;
+  {
+    CausalSpan span = tracer.StartSpan(TraceContext{1, 0}, "request", "ts");
+  }
+
+  TelemetryServer server(
+      TelemetrySources{&registry, &slo, &resources, &tracer});
+  EXPECT_EQ(server.RenderBody("/healthz"), "ok\n");
+  EXPECT_NE(server.RenderBody("/metrics").find("ts_requests_total 5"),
+            std::string::npos);
+  const std::string snapshot = server.RenderBody("/snapshot.json");
+  EXPECT_NE(snapshot.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"slo\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"resources\""), std::string::npos);
+  EXPECT_NE(server.RenderBody("/slo").find("frontend"), std::string::npos);
+  EXPECT_NE(server.RenderBody("/trace.json").find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_EQ(server.RenderBody("/nope"), "");
+}
+
+TEST(TelemetryServerTest, AbsentSourcesRenderEmptyNotCrash) {
+  TelemetryServer server(TelemetrySources{});
+  EXPECT_EQ(server.RenderBody("/healthz"), "ok\n");
+  EXPECT_EQ(server.RenderBody("/metrics"), "");
+  const std::string snapshot = server.RenderBody("/snapshot.json");
+  EXPECT_NE(snapshot.find("\"metrics\":{}"), std::string::npos);
+  EXPECT_NE(server.RenderBody("/trace.json").find("\"traceEvents\""),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, ServesOverARealSocket) {
+  Registry registry;
+  registry.GetGauge("live")->Set(1);
+  TelemetryServer server(TelemetrySources{&registry, nullptr, nullptr,
+                                          nullptr});
+  const common::Status started = server.Start(0);
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const auto health = FetchTelemetry(server.port(), "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(*health, "ok\n");
+  const auto metrics = FetchTelemetry(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("live 1"), std::string::npos);
+  // Unknown path is a 404 on the wire: the client reports non-200.
+  EXPECT_FALSE(FetchTelemetry(server.port(), "/nope").ok());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Stop is idempotent; Start can follow a Stop on a fresh port.
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, StopWithoutStartIsANoOp) {
+  TelemetryServer server(TelemetrySources{});
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace histkanon
