@@ -37,6 +37,7 @@ CUSTOM_METRICS = {
     "micro_concurrent": ["serial_rps"],
     "micro_batch": ["per_request_rps", "batch_rps", "batch_speedup"],
     "micro_telemetry": ["null_rps", "traced_rps"],
+    "loadgen": ["achieved_rps"],
 }
 
 

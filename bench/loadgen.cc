@@ -1,0 +1,385 @@
+// Open-loop load generator for the networked RPC layer: N concurrent
+// loopback connections (default 1000) against an in-process RpcServer,
+// firing service requests on a fixed schedule REGARDLESS of reply
+// progress (open-loop: queueing delay is measured, not hidden).  Writes
+// BENCH_net.json — p50/p95/p99 reply latency, achieved_rps, and the
+// throttle rate — for the bench-regression gate (compare_baselines.py
+// reads achieved_rps).  Exits nonzero on ANY protocol error: a desynced
+// or error-replied connection under pure load is a serving-layer bug.
+//
+//   loadgen [--connections N] [--seconds S] [--rps R] [--shards K]
+//
+// Plain wall-clock binary (like micro_concurrent): one driver thread
+// multiplexes every connection over poll(2).
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include "src/anon/tolerance.h"
+#include "src/net/framing.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/obs/json.h"
+#include "src/ts/concurrent_server.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One open-loop connection: a non-blocking socket, its decoder, an
+/// unsent-bytes buffer, and the send timestamps of in-flight requests.
+struct Conn {
+  int fd = -1;
+  net::FrameDecoder decoder;
+  std::string out;
+  size_t out_offset = 0;
+  uint64_t next_request_id = 1;
+  std::map<uint64_t, Clock::time_point> inflight;
+  bool dead = false;
+};
+
+struct Totals {
+  uint64_t sent = 0;
+  uint64_t replies = 0;
+  uint64_t throttled = 0;
+  uint64_t errors = 0;  // kError frames + decoder desyncs + dead conns
+  std::vector<double> latencies_ms;
+};
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+void QueueFrame(Conn* conn, net::MsgType type, const std::string& body) {
+  net::AppendFrame(&conn->out, static_cast<uint8_t>(type), 0, body);
+}
+
+void FlushOut(Conn* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    conn->dead = true;
+    return;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+}
+
+/// Reads and decodes whatever the socket has; updates totals.
+void DrainIn(Conn* conn, Totals* totals) {
+  char buffer[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n <= 0) {
+      conn->dead = true;
+      break;
+    }
+    conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+    net::Frame frame;
+    for (;;) {
+      const net::FrameDecoder::Poll poll = conn->decoder.Next(&frame);
+      if (poll == net::FrameDecoder::Poll::kNeedMore) break;
+      if (poll == net::FrameDecoder::Poll::kError) {
+        ++totals->errors;
+        conn->dead = true;
+        return;
+      }
+      const net::MsgType type = static_cast<net::MsgType>(frame.type);
+      auto reply = net::DecodeReply(type, frame.body);
+      if (!reply.ok()) {
+        ++totals->errors;
+        conn->dead = true;
+        return;
+      }
+      if (type == net::MsgType::kError) ++totals->errors;
+      if (type == net::MsgType::kThrottled) ++totals->throttled;
+      const auto it = conn->inflight.find(reply->request_id);
+      if (it != conn->inflight.end()) {
+        ++totals->replies;
+        totals->latencies_ms.push_back(SecondsSince(it->second) * 1e3);
+        conn->inflight.erase(it);
+      }
+    }
+    if (static_cast<size_t>(n) < sizeof(buffer)) break;
+  }
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size())));
+  return (*sorted)[index];
+}
+
+uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  return fallback;
+}
+
+/// Raises RLIMIT_NOFILE toward the hard cap; returns the resulting soft
+/// limit (both client and server fds count against it).
+uint64_t RaiseFdLimit() {
+  rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 1024;
+  limit.rlim_cur = limit.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &limit);
+  ::getrlimit(RLIMIT_NOFILE, &limit);
+  return limit.rlim_cur;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t connections = FlagOr(argc, argv, "--connections", 1000);
+  const uint64_t seconds = FlagOr(argc, argv, "--seconds", 5);
+  const uint64_t target_rps = FlagOr(argc, argv, "--rps", 5000);
+  const size_t shards = FlagOr(argc, argv, "--shards", 2);
+
+  const uint64_t fd_limit = RaiseFdLimit();
+  // Each connection costs two fds (client end + server session) plus
+  // headroom for the listener, wake pipe, and stdio.
+  const size_t max_conns = fd_limit > 64 ? (fd_limit - 64) / 2 : 16;
+  if (connections > max_conns) {
+    std::printf("fd limit %llu caps connections %zu -> %zu\n",
+                static_cast<unsigned long long>(fd_limit), connections,
+                max_conns);
+    connections = max_conns;
+  }
+
+  ts::ConcurrentServerOptions cs_options;
+  cs_options.num_shards = shards;
+  cs_options.queue_capacity = 4096;
+  ts::ConcurrentServer cs(cs_options);
+  anon::ServiceProfile service;
+  service.id = 1;
+  service.name = "loadgen";
+  service.tolerance.max_area_width = 8000.0;
+  service.tolerance.max_area_height = 8000.0;
+  service.tolerance.max_time_window = 7200;
+  if (!cs.RegisterService(service).ok()) {
+    std::fprintf(stderr, "RegisterService failed\n");
+    return 1;
+  }
+  net::RpcServer rpc(&cs, net::RpcServerOptions{});
+  if (!rpc.Start().ok()) {
+    std::fprintf(stderr, "RpcServer::Start failed\n");
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u, %zu connections, %llus @ %llu rps\n",
+              unsigned{rpc.port()}, connections,
+              static_cast<unsigned long long>(seconds),
+              static_cast<unsigned long long>(target_rps));
+
+  // -- Connect + register one user per connection (kOff: max throughput).
+  std::vector<Conn> conns(connections);
+  Totals totals;
+  for (size_t i = 0; i < connections; ++i) {
+    conns[i].fd = ConnectLoopback(rpc.port());
+    if (conns[i].fd < 0) {
+      std::fprintf(stderr, "connect %zu failed\n", i);
+      return 1;
+    }
+    net::AppendWireMagic(&conns[i].out);
+    net::RegisterMsg reg;
+    reg.request_id = conns[i].next_request_id++;
+    reg.user = static_cast<mod::UserId>(i + 1);
+    reg.policy = ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff);
+    QueueFrame(&conns[i], net::MsgType::kRegister, net::EncodeRegister(reg));
+    net::UpdateMsg update;
+    update.request_id = conns[i].next_request_id++;
+    update.user = reg.user;
+    update.sample = geo::STPoint{
+        {100.0 * static_cast<double>(i % 64), 100.0 * (i / 64 % 64)}, 10};
+    QueueFrame(&conns[i], net::MsgType::kUpdate, net::EncodeUpdate(update));
+  }
+
+  std::vector<pollfd> fds(connections);
+  const auto poll_round = [&](int timeout_ms) {
+    for (size_t i = 0; i < connections; ++i) {
+      fds[i].fd = conns[i].dead ? -1 : conns[i].fd;
+      fds[i].events = POLLIN;
+      if (conns[i].out_offset < conns[i].out.size()) {
+        fds[i].events |= POLLOUT;
+      }
+      fds[i].revents = 0;
+    }
+    if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return;
+    for (size_t i = 0; i < connections; ++i) {
+      if (conns[i].dead) continue;
+      if ((fds[i].revents & POLLOUT) != 0) FlushOut(&conns[i]);
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        DrainIn(&conns[i], &totals);
+      }
+    }
+  };
+
+  // Setup barrier: every register must be acked before the clock starts.
+  const auto setup_start = Clock::now();
+  for (;;) {
+    size_t acked = 0;
+    for (const Conn& conn : conns) {
+      if (!conn.dead && conn.out.empty() &&
+          conn.decoder.frames_decoded() >= 1) {
+        ++acked;
+      }
+    }
+    if (acked == connections) break;
+    if (SecondsSince(setup_start) > 30.0) {
+      std::fprintf(stderr, "setup stalled: %zu/%zu acked\n", acked,
+                   connections);
+      return 1;
+    }
+    poll_round(10);
+  }
+
+  // -- The open loop: requests fire on schedule, replies trickle back.
+  totals.latencies_ms.reserve(target_rps * seconds + 16);
+  const auto start = Clock::now();
+  const double interval = 1.0 / static_cast<double>(target_rps);
+  double next_send = 0.0;
+  size_t rr = 0;
+  while (SecondsSince(start) < static_cast<double>(seconds)) {
+    const double now = SecondsSince(start);
+    while (next_send <= now) {
+      Conn& conn = conns[rr++ % connections];
+      if (!conn.dead) {
+        net::RequestMsg msg;
+        msg.request_id = conn.next_request_id++;
+        msg.user = static_cast<mod::UserId>((rr - 1) % connections + 1);
+        msg.exact = geo::STPoint{
+            {100.0 * static_cast<double>(rr % 64), 100.0 * (rr / 64 % 64)},
+            20 + static_cast<int64_t>(now * 1000)};
+        msg.service = 1;
+        msg.data = "q";
+        conn.inflight[msg.request_id] = Clock::now();
+        QueueFrame(&conn, net::MsgType::kRequest, net::EncodeRequest(msg));
+        FlushOut(&conn);
+        ++totals.sent;
+      }
+      next_send += interval;
+    }
+    poll_round(1);
+  }
+
+  // Grace: collect outstanding replies (the server answers every admitted
+  // or shed request; only dead connections forfeit theirs).
+  const auto grace_start = Clock::now();
+  for (;;) {
+    size_t outstanding = 0;
+    for (const Conn& conn : conns) {
+      if (!conn.dead) outstanding += conn.inflight.size();
+    }
+    if (outstanding == 0 || SecondsSince(grace_start) > 10.0) break;
+    poll_round(10);
+  }
+  const double elapsed = SecondsSince(start);
+
+  size_t dead = 0;
+  for (Conn& conn : conns) {
+    if (conn.dead) ++dead;
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  totals.errors += dead;
+  rpc.Stop();
+  cs.Finish();
+
+  std::sort(totals.latencies_ms.begin(), totals.latencies_ms.end());
+  const double p50 = Percentile(&totals.latencies_ms, 0.50);
+  const double p95 = Percentile(&totals.latencies_ms, 0.95);
+  const double p99 = Percentile(&totals.latencies_ms, 0.99);
+  const double achieved =
+      static_cast<double>(totals.replies) / (elapsed > 0 ? elapsed : 1);
+  const double throttle_rate =
+      totals.replies > 0
+          ? static_cast<double>(totals.throttled) /
+                static_cast<double>(totals.replies)
+          : 0.0;
+  std::printf("sent %llu  replies %llu  throttled %llu (%.2f%%)  "
+              "errors %llu  dead %zu\n",
+              static_cast<unsigned long long>(totals.sent),
+              static_cast<unsigned long long>(totals.replies),
+              static_cast<unsigned long long>(totals.throttled),
+              throttle_rate * 100.0,
+              static_cast<unsigned long long>(totals.errors), dead);
+  std::printf("achieved %.0f rps  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+              achieved, p50, p95, p99);
+
+  obs::JsonObject report;
+  report.SetString("bench", "loadgen");
+  report.SetUint("connections", connections);
+  report.SetUint("seconds", seconds);
+  report.SetUint("target_rps", target_rps);
+  report.SetUint("shards", shards);
+  report.SetUint("requests_sent", totals.sent);
+  report.SetUint("replies", totals.replies);
+  report.SetUint("throttled", totals.throttled);
+  report.SetUint("protocol_errors", totals.errors);
+  report.SetNumber("achieved_rps", achieved);
+  report.SetNumber("throttle_rate", throttle_rate);
+  report.SetNumber("p50_ms", p50);
+  report.SetNumber("p95_ms", p95);
+  report.SetNumber("p99_ms", p99);
+  std::ofstream out("BENCH_net.json", std::ios::trunc);
+  out << report.ToString() << "\n";
+  const bool json_ok = out.good();
+  out.close();
+  std::printf("wrote BENCH_net.json (%s)\n", json_ok ? "ok" : "FAILED");
+
+  if (totals.errors > 0) {
+    std::fprintf(stderr, "FAIL: %llu protocol errors under load\n",
+                 static_cast<unsigned long long>(totals.errors));
+    return 1;
+  }
+  return json_ok ? 0 : 1;
+}

@@ -46,6 +46,33 @@ void AppendRecord(std::string* out, std::string_view payload) {
   out->append(payload.data(), payload.size());
 }
 
+RecordParse ParseRecordAt(std::string_view bytes, size_t pos,
+                          uint32_t max_payload, std::string_view* payload,
+                          size_t* consumed, std::string* error) {
+  ByteReader header(bytes.substr(pos));
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  if (!header.ReadU32(&length).ok() || !header.ReadU32(&crc).ok()) {
+    return RecordParse::kNeedMore;
+  }
+  if (length > max_payload) {
+    if (error != nullptr) {
+      *error = "record length exceeds cap (corrupt header)";
+    }
+    return RecordParse::kBad;
+  }
+  const size_t body_start = pos + header.position();
+  if (length > bytes.size() - body_start) return RecordParse::kNeedMore;
+  const std::string_view body = bytes.substr(body_start, length);
+  if (Crc32(body) != crc) {
+    if (error != nullptr) *error = "record checksum mismatch";
+    return RecordParse::kBad;
+  }
+  if (payload != nullptr) *payload = body;
+  if (consumed != nullptr) *consumed = header.position() + length;
+  return RecordParse::kRecord;
+}
+
 common::Result<ScanResult> ScanRecords(std::string_view bytes) {
   ScanResult result;
   if (bytes.size() < kMagic.size()) {
@@ -66,33 +93,24 @@ common::Result<ScanResult> ScanRecords(std::string_view bytes) {
   size_t pos = kMagic.size();
   result.valid_bytes = pos;
   while (pos < bytes.size()) {
-    ByteReader header(bytes.substr(pos));
-    uint32_t length = 0;
-    uint32_t crc = 0;
-    if (!header.ReadU32(&length).ok() || !header.ReadU32(&crc).ok()) {
+    std::string_view payload;
+    size_t consumed = 0;
+    std::string error;
+    const RecordParse parse = ParseRecordAt(bytes, pos, kMaxRecordPayload,
+                                            &payload, &consumed, &error);
+    if (parse == RecordParse::kNeedMore) {
       result.clean = false;
-      result.tail_error = "torn record header";
+      result.tail_error =
+          bytes.size() - pos < 8 ? "torn record header" : "torn record body";
       break;
     }
-    if (length > kMaxRecordPayload) {
+    if (parse == RecordParse::kBad) {
       result.clean = false;
-      result.tail_error = "record length exceeds cap (corrupt header)";
-      break;
-    }
-    const size_t body_start = pos + header.position();
-    if (length > bytes.size() - body_start) {
-      result.clean = false;
-      result.tail_error = "torn record body";
-      break;
-    }
-    const std::string_view payload = bytes.substr(body_start, length);
-    if (Crc32(payload) != crc) {
-      result.clean = false;
-      result.tail_error = "record checksum mismatch";
+      result.tail_error = std::move(error);
       break;
     }
     result.records.push_back(payload);
-    pos = body_start + length;
+    pos += consumed;
     result.valid_bytes = pos;
   }
   return result;

@@ -47,6 +47,24 @@ void AppendMagic(std::string* out);
 /// Appends one framed record (length + crc + payload) to `out`.
 void AppendRecord(std::string* out, std::string_view payload);
 
+/// Outcome of an incremental single-record parse (ParseRecordAt).
+enum class RecordParse : uint8_t {
+  kRecord = 0,    ///< A whole intact record starts at `pos`.
+  kNeedMore = 1,  ///< The bytes end mid-record (torn tail / short read).
+  kBad = 2,       ///< Corruption: length over the cap or CRC mismatch.
+};
+
+/// Parses ONE framed record starting at `pos`.  The incremental primitive
+/// shared by the whole-buffer journal scan below and the streaming wire
+/// decoder (src/net/framing.h): on kRecord, `*payload` views the record
+/// payload and `*consumed` is the full record size (header + payload); on
+/// kBad, `*error` names the corruption.  `max_payload` bounds allocations
+/// when parsing hostile bytes (journals use kMaxRecordPayload; the wire
+/// uses a much smaller per-frame cap).
+RecordParse ParseRecordAt(std::string_view bytes, size_t pos,
+                          uint32_t max_payload, std::string_view* payload,
+                          size_t* consumed, std::string* error);
+
 /// \brief Result of scanning a (possibly damaged) journal byte string.
 struct ScanResult {
   /// Payloads of the intact prefix records, in file order.  Views into the

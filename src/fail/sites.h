@@ -49,6 +49,21 @@ inline constexpr const char kTsShardServeStall[] = "ts.shard.serve.stall";
 /// TrustedServer::Checkpoint — snapshot serialization failure.
 inline constexpr const char kTsCheckpoint[] = "ts.checkpoint";
 
+// -- net: RPC serving layer --------------------------------------------------
+
+/// RpcServer accept path — accept(2) failure (fd exhaustion, aborted
+/// handshake); the acceptor must log-and-continue, never exit.
+inline constexpr const char kNetAccept[] = "net.accept";
+/// RpcServer read path — recv(2) failure on an established session
+/// (connection reset mid-frame); the session closes, admitted state stays.
+inline constexpr const char kNetRead[] = "net.read";
+/// RpcServer write path — send(2) failure while flushing replies (peer
+/// vanished); the session closes, replies for other sessions still flow.
+inline constexpr const char kNetWrite[] = "net.write";
+/// RpcServer close path — close(2) failure (fires = the error is swallowed;
+/// the fd table must not leak the session).
+inline constexpr const char kNetClose[] = "net.close";
+
 // -- bench -------------------------------------------------------------------
 
 /// bench/micro_overload.cc — a site that guards nothing, for measuring the
@@ -60,7 +75,9 @@ inline constexpr const char* kAllSites[] = {
     kDurJournalAppend, kDurJournalSnapshot, kDurFileOpen,
     kDurFileWrite,     kDurFilePartialWrite, kDurFileFlush,
     kDurFileSync,      kModStoreGetPhl,      kTsShardWorkerStall,
-    kTsShardServeStall, kTsCheckpoint,       kBenchNoop,
+    kTsShardServeStall, kTsCheckpoint,       kNetAccept,
+    kNetRead,          kNetWrite,            kNetClose,
+    kBenchNoop,
 };
 inline constexpr size_t kNumSites = sizeof(kAllSites) / sizeof(kAllSites[0]);
 

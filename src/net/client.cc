@@ -1,0 +1,231 @@
+#include "src/net/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/str.h"
+
+namespace histkanon {
+namespace net {
+
+common::Status RpcClient::Connect(uint16_t port) {
+  if (fd_ >= 0) {
+    return common::Status::FailedPrecondition("client already connected");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return common::Status::Internal("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return common::Status::Internal(
+        common::Format("connect(127.0.0.1:%u) failed", unsigned{port}));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  decoder_.Reset();
+  stash_.clear();
+  std::string magic;
+  AppendWireMagic(&magic);
+  return WriteAll(magic.data(), magic.size());
+}
+
+void RpcClient::Close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+common::Status RpcClient::WriteAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      Close();
+      return common::Status::Unavailable("connection lost while sending");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return common::Status::OK();
+}
+
+common::Result<uint64_t> RpcClient::SendFrame(MsgType type, uint64_t trace_id,
+                                              const std::string& body) {
+  if (fd_ < 0) return common::Status::FailedPrecondition("not connected");
+  const uint64_t request_id = next_request_id_;
+  std::string wire;
+  AppendFrame(&wire, static_cast<uint8_t>(type), trace_id, body);
+  HISTKANON_RETURN_NOT_OK(WriteAll(wire.data(), wire.size()));
+  ++next_request_id_;
+  return request_id;
+}
+
+common::Result<uint64_t> RpcClient::SendRegister(
+    mod::UserId user, const ts::PrivacyPolicy& policy, uint64_t trace_id) {
+  RegisterMsg msg;
+  msg.request_id = next_request_id_;
+  msg.user = user;
+  msg.policy = policy;
+  return SendFrame(MsgType::kRegister, trace_id, EncodeRegister(msg));
+}
+
+common::Result<uint64_t> RpcClient::SendUpdate(mod::UserId user,
+                                               const geo::STPoint& sample,
+                                               uint64_t trace_id) {
+  UpdateMsg msg;
+  msg.request_id = next_request_id_;
+  msg.user = user;
+  msg.sample = sample;
+  return SendFrame(MsgType::kUpdate, trace_id, EncodeUpdate(msg));
+}
+
+common::Result<uint64_t> RpcClient::SendRequest(mod::UserId user,
+                                                const geo::STPoint& exact,
+                                                mod::ServiceId service,
+                                                std::string data,
+                                                uint64_t trace_id) {
+  RequestMsg msg;
+  msg.request_id = next_request_id_;
+  msg.user = user;
+  msg.exact = exact;
+  msg.service = service;
+  msg.data = std::move(data);
+  return SendFrame(MsgType::kRequest, trace_id, EncodeRequest(msg));
+}
+
+common::Result<uint64_t> RpcClient::SendEvent(MsgType type,
+                                              std::string journal_event,
+                                              uint64_t trace_id) {
+  if (type != MsgType::kRegisterLbqid && type != MsgType::kSetRules) {
+    return common::Status::InvalidArgument("not an event frame type");
+  }
+  EventMsg msg;
+  msg.request_id = next_request_id_;
+  msg.journal_event = std::move(journal_event);
+  return SendFrame(type, trace_id, EncodeEvent(msg));
+}
+
+common::Status RpcClient::SendEndEpoch() {
+  if (fd_ < 0) return common::Status::FailedPrecondition("not connected");
+  std::string wire;
+  AppendFrame(&wire, static_cast<uint8_t>(MsgType::kEndEpoch), 0, "");
+  return WriteAll(wire.data(), wire.size());
+}
+
+common::Status RpcClient::ReadSome(bool blocking, bool* progressed) {
+  *progressed = false;
+  char buffer[16 * 1024];
+  const ssize_t n =
+      ::recv(fd_, buffer, sizeof(buffer), blocking ? 0 : MSG_DONTWAIT);
+  if (n > 0) {
+    decoder_.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+    *progressed = true;
+    return common::Status::OK();
+  }
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return common::Status::OK();
+  }
+  Close();
+  return common::Status::Unavailable("connection closed by server");
+}
+
+common::Result<bool> RpcClient::DrainDecoded(uint64_t until, bool any,
+                                             WireReply* out) {
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Poll poll = decoder_.Next(&frame);
+    if (poll == FrameDecoder::Poll::kNeedMore) return false;
+    if (poll == FrameDecoder::Poll::kError) {
+      Close();
+      return common::Status::Internal(
+          common::Format("reply stream desynced: %s",
+                         decoder_.error().c_str()));
+    }
+    common::Result<ReplyMsg> reply =
+        DecodeReply(static_cast<MsgType>(frame.type), frame.body);
+    if (!reply.ok()) {
+      Close();
+      return reply.status();
+    }
+    WireReply wire;
+    wire.msg = std::move(*reply);
+    wire.trace_id = frame.trace_id;
+    if (any || wire.msg.request_id == until) {
+      *out = std::move(wire);
+      return true;
+    }
+    stash_[wire.msg.request_id] = std::move(wire);
+  }
+}
+
+common::Result<WireReply> RpcClient::WaitReply(uint64_t request_id) {
+  const auto it = stash_.find(request_id);
+  if (it != stash_.end()) {
+    WireReply reply = std::move(it->second);
+    stash_.erase(it);
+    return reply;
+  }
+  if (fd_ < 0) return common::Status::FailedPrecondition("not connected");
+  WireReply reply;
+  for (;;) {
+    HISTKANON_ASSIGN_OR_RETURN(
+        const bool found, DrainDecoded(request_id, /*any=*/false, &reply));
+    if (found) return reply;
+    bool progressed = false;
+    HISTKANON_RETURN_NOT_OK(ReadSome(/*blocking=*/true, &progressed));
+    if (!progressed) {
+      return common::Status::Unavailable("connection closed by server");
+    }
+  }
+}
+
+common::Result<WireReply> RpcClient::WaitAnyReply() {
+  if (!stash_.empty()) {
+    const auto it = stash_.begin();
+    WireReply reply = std::move(it->second);
+    stash_.erase(it);
+    return reply;
+  }
+  if (fd_ < 0) return common::Status::FailedPrecondition("not connected");
+  WireReply reply;
+  for (;;) {
+    HISTKANON_ASSIGN_OR_RETURN(const bool found,
+                               DrainDecoded(0, /*any=*/true, &reply));
+    if (found) return reply;
+    bool progressed = false;
+    HISTKANON_RETURN_NOT_OK(ReadSome(/*blocking=*/true, &progressed));
+    if (!progressed) {
+      return common::Status::Unavailable("connection closed by server");
+    }
+  }
+}
+
+common::Status RpcClient::PollReplies() {
+  if (fd_ < 0) return common::Status::FailedPrecondition("not connected");
+  for (;;) {
+    bool progressed = false;
+    HISTKANON_RETURN_NOT_OK(ReadSome(/*blocking=*/false, &progressed));
+    for (;;) {
+      WireReply reply;
+      common::Result<bool> found = DrainDecoded(0, /*any=*/true, &reply);
+      HISTKANON_RETURN_NOT_OK(found.status());
+      if (!*found) break;
+      stash_[reply.msg.request_id] = std::move(reply);
+    }
+    if (!progressed) return common::Status::OK();
+  }
+}
+
+}  // namespace net
+}  // namespace histkanon

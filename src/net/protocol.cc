@@ -1,0 +1,287 @@
+#include "src/net/protocol.h"
+
+#include "src/dur/encode.h"
+
+namespace histkanon {
+namespace net {
+
+namespace {
+
+void PutPoint(dur::ByteWriter* writer, const geo::STPoint& point) {
+  writer->PutDouble(point.p.x);
+  writer->PutDouble(point.p.y);
+  writer->PutI64(point.t);
+}
+
+common::Status ReadPoint(dur::ByteReader* reader, geo::STPoint* point) {
+  HISTKANON_RETURN_NOT_OK(reader->ReadDouble(&point->p.x));
+  HISTKANON_RETURN_NOT_OK(reader->ReadDouble(&point->p.y));
+  HISTKANON_RETURN_NOT_OK(reader->ReadI64(&point->t));
+  return common::Status::OK();
+}
+
+void PutBox(dur::ByteWriter* writer, const geo::STBox& box) {
+  writer->PutDouble(box.area.min_x);
+  writer->PutDouble(box.area.min_y);
+  writer->PutDouble(box.area.max_x);
+  writer->PutDouble(box.area.max_y);
+  writer->PutI64(box.time.lo);
+  writer->PutI64(box.time.hi);
+}
+
+common::Status ReadBox(dur::ByteReader* reader, geo::STBox* box) {
+  HISTKANON_RETURN_NOT_OK(reader->ReadDouble(&box->area.min_x));
+  HISTKANON_RETURN_NOT_OK(reader->ReadDouble(&box->area.min_y));
+  HISTKANON_RETURN_NOT_OK(reader->ReadDouble(&box->area.max_x));
+  HISTKANON_RETURN_NOT_OK(reader->ReadDouble(&box->area.max_y));
+  HISTKANON_RETURN_NOT_OK(reader->ReadI64(&box->time.lo));
+  HISTKANON_RETURN_NOT_OK(reader->ReadI64(&box->time.hi));
+  return common::Status::OK();
+}
+
+common::Status CheckDrained(const dur::ByteReader& reader) {
+  if (!reader.AtEnd()) {
+    return common::Status::InvalidArgument("trailing bytes after message");
+  }
+  return common::Status::OK();
+}
+
+common::Status ReadDisposition(dur::ByteReader* reader,
+                               ts::Disposition* disposition) {
+  uint8_t raw = 0;
+  HISTKANON_RETURN_NOT_OK(reader->ReadU8(&raw));
+  if (raw >= ts::kDispositionCount) {
+    return common::Status::InvalidArgument("disposition byte out of range");
+  }
+  *disposition = static_cast<ts::Disposition>(raw);
+  return common::Status::OK();
+}
+
+}  // namespace
+
+std::string_view MsgTypeToString(MsgType type) {
+  switch (type) {
+    case MsgType::kRegister:
+      return "register";
+    case MsgType::kUpdate:
+      return "update";
+    case MsgType::kRequest:
+      return "request";
+    case MsgType::kEndEpoch:
+      return "end_epoch";
+    case MsgType::kRegisterLbqid:
+      return "register_lbqid";
+    case MsgType::kSetRules:
+      return "set_rules";
+    case MsgType::kRegisterAck:
+      return "register_ack";
+    case MsgType::kResponseBox:
+      return "response_box";
+    case MsgType::kSuppressed:
+      return "suppressed";
+    case MsgType::kUnlinked:
+      return "unlinked";
+    case MsgType::kThrottled:
+      return "throttled";
+    case MsgType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeRegister(const RegisterMsg& msg) {
+  dur::ByteWriter writer;
+  writer.PutU64(msg.request_id);
+  writer.PutI64(msg.user);
+  writer.PutU8(static_cast<uint8_t>(msg.policy.concern));
+  writer.PutU64(msg.policy.k);
+  writer.PutDouble(msg.policy.theta);
+  writer.PutDouble(msg.policy.k_schedule.initial_factor);
+  writer.PutU64(msg.policy.k_schedule.decrement_per_step);
+  writer.PutDouble(msg.policy.default_context_scale);
+  return writer.TakeBytes();
+}
+
+common::Result<RegisterMsg> DecodeRegister(std::string_view body) {
+  dur::ByteReader reader(body);
+  RegisterMsg msg;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&msg.request_id));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&msg.user));
+  uint8_t concern = 0;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU8(&concern));
+  if (concern > static_cast<uint8_t>(ts::PrivacyConcern::kHigh)) {
+    return common::Status::InvalidArgument("privacy concern out of range");
+  }
+  msg.policy.concern = static_cast<ts::PrivacyConcern>(concern);
+  uint64_t k = 0;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&k));
+  msg.policy.k = static_cast<size_t>(k);
+  HISTKANON_RETURN_NOT_OK(reader.ReadDouble(&msg.policy.theta));
+  HISTKANON_RETURN_NOT_OK(
+      reader.ReadDouble(&msg.policy.k_schedule.initial_factor));
+  uint64_t decrement = 0;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&decrement));
+  msg.policy.k_schedule.decrement_per_step = static_cast<size_t>(decrement);
+  HISTKANON_RETURN_NOT_OK(reader.ReadDouble(&msg.policy.default_context_scale));
+  HISTKANON_RETURN_NOT_OK(CheckDrained(reader));
+  return msg;
+}
+
+std::string EncodeUpdate(const UpdateMsg& msg) {
+  dur::ByteWriter writer;
+  writer.PutU64(msg.request_id);
+  writer.PutI64(msg.user);
+  PutPoint(&writer, msg.sample);
+  return writer.TakeBytes();
+}
+
+common::Result<UpdateMsg> DecodeUpdate(std::string_view body) {
+  dur::ByteReader reader(body);
+  UpdateMsg msg;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&msg.request_id));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&msg.user));
+  HISTKANON_RETURN_NOT_OK(ReadPoint(&reader, &msg.sample));
+  HISTKANON_RETURN_NOT_OK(CheckDrained(reader));
+  return msg;
+}
+
+std::string EncodeRequest(const RequestMsg& msg) {
+  dur::ByteWriter writer;
+  writer.PutU64(msg.request_id);
+  writer.PutI64(msg.user);
+  PutPoint(&writer, msg.exact);
+  writer.PutI32(msg.service);
+  writer.PutString(msg.data);
+  return writer.TakeBytes();
+}
+
+common::Result<RequestMsg> DecodeRequest(std::string_view body) {
+  dur::ByteReader reader(body);
+  RequestMsg msg;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&msg.request_id));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&msg.user));
+  HISTKANON_RETURN_NOT_OK(ReadPoint(&reader, &msg.exact));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI32(&msg.service));
+  HISTKANON_RETURN_NOT_OK(reader.ReadString(&msg.data));
+  HISTKANON_RETURN_NOT_OK(CheckDrained(reader));
+  return msg;
+}
+
+std::string EncodeEvent(const EventMsg& msg) {
+  dur::ByteWriter writer;
+  writer.PutU64(msg.request_id);
+  writer.PutString(msg.journal_event);
+  return writer.TakeBytes();
+}
+
+common::Result<EventMsg> DecodeEvent(std::string_view body) {
+  dur::ByteReader reader(body);
+  EventMsg msg;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&msg.request_id));
+  HISTKANON_RETURN_NOT_OK(reader.ReadString(&msg.journal_event));
+  HISTKANON_RETURN_NOT_OK(CheckDrained(reader));
+  return msg;
+}
+
+std::string EncodeReply(const ReplyMsg& msg) {
+  dur::ByteWriter writer;
+  writer.PutU64(msg.request_id);
+  switch (msg.type) {
+    case MsgType::kRegisterAck:
+    case MsgType::kError:
+      writer.PutU32(msg.code);
+      writer.PutString(msg.message);
+      break;
+    case MsgType::kResponseBox:
+      writer.PutU8(static_cast<uint8_t>(msg.disposition));
+      writer.PutI64(msg.msgid);
+      writer.PutString(msg.pseudonym);
+      PutBox(&writer, msg.context);
+      writer.PutI32(msg.service);
+      writer.PutString(msg.data);
+      break;
+    case MsgType::kSuppressed:
+      writer.PutU8(static_cast<uint8_t>(msg.disposition));
+      break;
+    case MsgType::kUnlinked:
+      break;
+    case MsgType::kThrottled:
+      writer.PutU32(msg.retry_after_ms);
+      writer.PutString(msg.reason);
+      break;
+    default:
+      break;
+  }
+  return writer.TakeBytes();
+}
+
+common::Result<ReplyMsg> DecodeReply(MsgType type, std::string_view body) {
+  dur::ByteReader reader(body);
+  ReplyMsg msg;
+  msg.type = type;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&msg.request_id));
+  switch (type) {
+    case MsgType::kRegisterAck:
+    case MsgType::kError:
+      HISTKANON_RETURN_NOT_OK(reader.ReadU32(&msg.code));
+      HISTKANON_RETURN_NOT_OK(reader.ReadString(&msg.message));
+      break;
+    case MsgType::kResponseBox:
+      HISTKANON_RETURN_NOT_OK(ReadDisposition(&reader, &msg.disposition));
+      HISTKANON_RETURN_NOT_OK(reader.ReadI64(&msg.msgid));
+      HISTKANON_RETURN_NOT_OK(reader.ReadString(&msg.pseudonym));
+      HISTKANON_RETURN_NOT_OK(ReadBox(&reader, &msg.context));
+      HISTKANON_RETURN_NOT_OK(reader.ReadI32(&msg.service));
+      HISTKANON_RETURN_NOT_OK(reader.ReadString(&msg.data));
+      break;
+    case MsgType::kSuppressed:
+      HISTKANON_RETURN_NOT_OK(ReadDisposition(&reader, &msg.disposition));
+      break;
+    case MsgType::kUnlinked:
+      break;
+    case MsgType::kThrottled:
+      HISTKANON_RETURN_NOT_OK(reader.ReadU32(&msg.retry_after_ms));
+      HISTKANON_RETURN_NOT_OK(reader.ReadString(&msg.reason));
+      break;
+    default:
+      return common::Status::InvalidArgument("not a reply frame type");
+  }
+  HISTKANON_RETURN_NOT_OK(CheckDrained(reader));
+  return msg;
+}
+
+ReplyMsg ReplyForOutcome(uint64_t request_id,
+                         const ts::ProcessOutcome& outcome,
+                         uint32_t retry_after_ms) {
+  ReplyMsg reply;
+  reply.request_id = request_id;
+  reply.disposition = outcome.disposition;
+  if (outcome.forwarded) {
+    reply.type = MsgType::kResponseBox;
+    reply.msgid = outcome.forwarded_request.msgid;
+    reply.pseudonym = outcome.forwarded_request.pseudonym;
+    reply.context = outcome.forwarded_request.context;
+    reply.service = outcome.forwarded_request.service;
+    reply.data = outcome.forwarded_request.data;
+    return reply;
+  }
+  switch (outcome.disposition) {
+    case ts::Disposition::kUnlinked:
+      reply.type = MsgType::kUnlinked;
+      break;
+    case ts::Disposition::kRejected:
+      // A shard-level deadline shed: surfaced as backpressure, not as a
+      // privacy suppression (the request never entered the pipeline).
+      reply.type = MsgType::kThrottled;
+      reply.retry_after_ms = retry_after_ms;
+      reply.reason = "queue_deadline";
+      break;
+    default:
+      reply.type = MsgType::kSuppressed;
+      break;
+  }
+  return reply;
+}
+
+}  // namespace net
+}  // namespace histkanon

@@ -422,6 +422,41 @@ void ConcurrentServer::Finish() {
   }
 }
 
+std::vector<ProcessOutcome> ConcurrentServer::DrainWindow() {
+  std::vector<ProcessOutcome> window;
+  if (finished_) return window;
+  // Flush the open window: after the markers, every worker ingests, meets
+  // the barrier, and serves.  The sync events below are BEHIND the
+  // markers in each queue (same single producer), so a worker acks only
+  // after its serve phase — and serve_done means every OTHER shard
+  // finished too.
+  EndEpoch();
+  auto collector = std::make_shared<CheckpointCollector>();
+  collector->remaining = shards_.size();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ShardEvent event;
+    event.kind = ShardEvent::Kind::kSync;
+    event.checkpoint = collector;
+    shard->Enqueue(std::move(event));
+  }
+  {
+    std::unique_lock<std::mutex> lock(collector->mu);
+    collector->cv.wait(lock,
+                       [&collector] { return collector->remaining == 0; });
+  }
+  // All workers are idle in Pop() (nothing is queued behind the sync), so
+  // reading their outcome logs here is race-free — the same quiescence
+  // argument Checkpoint() relies on, with the collector mutex carrying
+  // the happens-before edge.
+  window.reserve(submissions_.size() - drained_through_);
+  for (size_t i = drained_through_; i < submissions_.size(); ++i) {
+    const auto& [shard, ordinal] = submissions_[i];
+    window.push_back(shards_[shard]->server().outcomes()[ordinal]);
+  }
+  drained_through_ = submissions_.size();
+  return window;
+}
+
 void ConcurrentServer::RegisterResourceProbes(
     obs::ResourceAccountant* accountant, const std::string& prefix) const {
   if (accountant == nullptr) return;

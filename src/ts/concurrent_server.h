@@ -145,6 +145,20 @@ class ConcurrentServer {
   /// called (or the destructor will) before reading results.  Idempotent.
   void Finish();
 
+  /// Closes the current epoch and BLOCKS the producer until every shard
+  /// has ingested and served it, then returns the outcomes of the
+  /// requests submitted since the previous drain, in global submission
+  /// order (the first entry is ordinal `drained_through() - size()`, as
+  /// returned by SubmitRequest).  Unlike Finish() the server stays live:
+  /// the producer may keep submitting afterwards.  This is the serving
+  /// loop of the networked front-end (src/net/server.h): one wire batch
+  /// window = one epoch = one drain.
+  std::vector<ProcessOutcome> DrainWindow();
+
+  /// Global request ordinals below this have been returned by a
+  /// DrainWindow() (or realigned by Finish()).
+  size_t drained_through() const { return drained_through_; }
+
   // -- Results (valid after Finish()):
 
   /// Every request outcome, in GLOBAL submission order (realigned from
@@ -253,6 +267,10 @@ class ConcurrentServer {
   /// True once anything has been streamed (Submit*/EndEpoch) — the
   /// RestoreFrom freshness precondition.
   bool streaming_started_ = false;
+  /// Submissions already handed out by DrainWindow() (single-producer,
+  /// like the submission stream; reset by RestoreFrom to the restored
+  /// submission count — a recovered server re-serves only new traffic).
+  size_t drained_through_ = 0;
   bool finished_ = false;
   std::vector<ProcessOutcome> outcomes_;
   // Degraded-mode state (single-producer, like the Submit* stream it

@@ -1360,6 +1360,9 @@ common::Status ConcurrentServer::RestoreFrom(
   if (!reader.AtEnd()) {
     return common::Status::InvalidArgument("trailing bytes after snapshot");
   }
+  // The restored submissions were answered by the pre-crash server; a
+  // recovered front-end drains only traffic submitted after the restore.
+  drained_through_ = submissions_.size();
   return common::Status::OK();
 }
 

@@ -261,6 +261,19 @@ void Shard::WorkerLoop() {
         }
         break;
       }
+      case ShardEvent::Kind::kSync: {
+        // Bare rendezvous: this worker has drained everything enqueued
+        // before the sync (markers come from the single producer, in
+        // order), so the ack publishes its state — including the epoch's
+        // outcome log — to the blocked producer via the collector mutex.
+        if (event.checkpoint != nullptr) {
+          std::lock_guard<std::mutex> lock(event.checkpoint->mu);
+          if (--event.checkpoint->remaining == 0) {
+            event.checkpoint->cv.notify_all();
+          }
+        }
+        break;
+      }
       case ShardEvent::Kind::kShutdown:
         return;
     }

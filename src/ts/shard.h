@@ -61,6 +61,8 @@ struct ShardEvent {
     kSetUserRules,    ///< Ingest: attach rule set (unknown user = no-op).
     kEpochEnd,        ///< Epoch marker: barrier, serve, barrier.
     kCheckpoint,      ///< Serialize own server into the shared collector.
+    kSync,            ///< Ack the collector without serializing: the
+                      ///< producer-blocking rendezvous of DrainWindow().
     kShutdown,        ///< Worker exits (preceded by a final kEpochEnd).
   };
 

@@ -12,6 +12,8 @@
 #include "src/fail/failpoint.h"
 #include "src/fail/sites.h"
 #include "src/mod/moving_object_db.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/ts/concurrent_server.h"
 #include "src/ts/durability.h"
 #include "src/ts/trusted_server.h"
@@ -144,6 +146,35 @@ TEST_F(FailpointSweepTest, EveryRegisteredSiteFiresThroughItsRealPath) {
     server.Finish();
     record(kTsShardWorkerStall);
     record(kTsShardServeStall);
+  }
+
+  // net.accept / net.read / net.write / net.close: one RPC round trip
+  // with 0ms stalls armed on every socket site, then a disconnect (the
+  // close site fires either on the peer-gone path or at Stop()).
+  {
+    Registry::Instance().Get(kNetAccept)->Arm(DelayAction(0), Always());
+    Registry::Instance().Get(kNetRead)->Arm(DelayAction(0), Always());
+    Registry::Instance().Get(kNetWrite)->Arm(DelayAction(0), Always());
+    Registry::Instance().Get(kNetClose)->Arm(DelayAction(0), Always());
+    ts::ConcurrentServerOptions options;
+    options.num_shards = 1;
+    ts::ConcurrentServer server(options);
+    net::RpcServerOptions rpc_options;
+    rpc_options.max_window_requests = 1;
+    net::RpcServer rpc(&server, rpc_options);
+    ASSERT_TRUE(rpc.Start().ok());
+    net::RpcClient client;
+    ASSERT_TRUE(client.Connect(rpc.port()).ok());
+    auto reg = client.SendRegister(
+        1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+    ASSERT_TRUE(reg.ok());
+    ASSERT_TRUE(client.WaitReply(*reg).ok());
+    client.Close();
+    rpc.Stop();
+    record(kNetAccept);
+    record(kNetRead);
+    record(kNetWrite);
+    record(kNetClose);
   }
 
   // bench.noop: the overhead-measurement site guards nothing; fire it

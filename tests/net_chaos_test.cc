@@ -1,0 +1,363 @@
+// Chaos tests for the RPC serving layer: socket faults injected at the
+// net.accept / net.read / net.write / net.close failpoint sites, torn
+// mid-frame disconnects, stalled clients, and journal faults underneath
+// live connections.  The invariant throughout: a request that was never
+// admitted leaves ZERO state behind (journal and Checkpoint() match a
+// twin that never saw it), admitted requests complete even when their
+// reply can no longer be delivered, and every shed surfaces as a
+// Throttled frame — never a silent drop.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/anon/tolerance.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/ts/concurrent_server.h"
+#include "src/ts/durability.h"
+
+namespace histkanon {
+namespace net {
+namespace {
+
+anon::ServiceProfile TestService() {
+  anon::ServiceProfile service;
+  service.id = 1;
+  service.name = "poi";
+  service.tolerance.max_area_width = 4000.0;
+  service.tolerance.max_area_height = 4000.0;
+  service.tolerance.max_time_window = 3600;
+  return service;
+}
+
+ts::ConcurrentServerOptions SmallServer(ts::TsJournal* journal) {
+  ts::ConcurrentServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 256;
+  options.journal = journal;
+  return options;
+}
+
+/// Explicit-flush wire config: only client kEndEpoch frames close
+/// windows, so the journal's epoch structure is the client's.
+RpcServerOptions ExplicitFlush() {
+  RpcServerOptions options;
+  options.max_window_requests = 1u << 20;
+  options.window_timeout_ms = 10000;
+  return options;
+}
+
+bool WaitUntil(const std::function<bool()>& done) {
+  for (int i = 0; i < 4000; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  }
+  void TearDown() override { fail::Registry::Instance().DisarmAll(); }
+};
+
+TEST_F(NetChaosTest, MidFrameDisconnectLeavesNoState) {
+  ts::TsJournal wire_journal;
+  ts::ConcurrentServer wire(SmallServer(&wire_journal));
+  ASSERT_TRUE(wire.RegisterService(TestService()).ok());
+  RpcServer rpc(&wire, ExplicitFlush());
+  ASSERT_TRUE(rpc.Start().ok());
+
+  // A well-behaved client: one admitted request, one epoch.
+  RpcClient good;
+  ASSERT_TRUE(good.Connect(rpc.port()).ok());
+  auto reg = good.SendRegister(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(good.WaitReply(*reg).ok());
+  ASSERT_TRUE(good.SendUpdate(1, geo::STPoint{{10, 10}, 30}).ok());
+  auto req = good.SendRequest(1, geo::STPoint{{12, 12}, 60}, 1, "q");
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(good.SendEndEpoch().ok());
+  ASSERT_TRUE(good.WaitReply(*req).ok());
+
+  // A torn client: half a request frame, then a hard close.
+  {
+    RpcClient torn;
+    ASSERT_TRUE(torn.Connect(rpc.port()).ok());
+    RequestMsg msg;
+    msg.request_id = 1;
+    msg.user = 99;
+    msg.exact = geo::STPoint{{1, 1}, 10};
+    msg.service = 1;
+    msg.data = "never decodes";
+    std::string frame;
+    AppendFrame(&frame, static_cast<uint8_t>(MsgType::kRequest), 0,
+                EncodeRequest(msg));
+    const size_t half = frame.size() / 2;
+    ASSERT_EQ(::send(torn.fd(), frame.data(), half, 0),
+              static_cast<ssize_t>(half));
+    torn.Close();
+  }
+  ASSERT_TRUE(WaitUntil([&rpc] { return rpc.disconnects() >= 1; }));
+  good.Close();
+  rpc.Stop();
+  auto wire_blob = wire.Checkpoint();
+  ASSERT_TRUE(wire_blob.ok());
+  wire.Finish();
+
+  // Twin: the admitted traffic only.  The torn frame must be invisible.
+  ts::TsJournal twin_journal;
+  ts::ConcurrentServer twin(SmallServer(&twin_journal));
+  ASSERT_TRUE(twin.RegisterService(TestService()).ok());
+  ASSERT_TRUE(twin.SubmitRegisterUser(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff)));
+  ASSERT_TRUE(twin.SubmitLocationUpdate(1, geo::STPoint{{10, 10}, 30}));
+  ASSERT_NE(twin.SubmitRequest(1, geo::STPoint{{12, 12}, 60}, 1, "q"),
+            ts::ConcurrentServer::kShedSubmission);
+  twin.EndEpoch();
+  auto twin_blob = twin.Checkpoint();
+  ASSERT_TRUE(twin_blob.ok());
+  twin.Finish();
+
+  EXPECT_EQ(wire_journal.bytes(), twin_journal.bytes());
+  EXPECT_EQ(*wire_blob, *twin_blob);
+}
+
+TEST_F(NetChaosTest, ReadFaultDropsUnadmittedBytesOnly) {
+  ts::TsJournal wire_journal;
+  ts::ConcurrentServer wire(SmallServer(&wire_journal));
+  ASSERT_TRUE(wire.RegisterService(TestService()).ok());
+  RpcServer rpc(&wire, ExplicitFlush());
+  ASSERT_TRUE(rpc.Start().ok());
+
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(rpc.port()).ok());
+  auto reg = client.SendRegister(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(client.WaitReply(*reg).ok());
+  auto req = client.SendRequest(1, geo::STPoint{{5, 5}, 30}, 1, "first");
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(client.SendEndEpoch().ok());
+  ASSERT_TRUE(client.WaitReply(*req).ok());
+
+  // The connection's next bytes die at the injected read fault: the
+  // second request must never reach admission.
+  {
+    fail::ScopedFailPoint fp(
+        fail::kNetRead,
+        fail::ErrorAction(common::StatusCode::kUnavailable, "wire cut"));
+    ASSERT_TRUE(
+        client.SendRequest(1, geo::STPoint{{6, 6}, 90}, 1, "lost").ok());
+    ASSERT_TRUE(WaitUntil([&rpc] { return rpc.disconnects() >= 1; }));
+  }
+  auto gone = client.WaitAnyReply();
+  EXPECT_FALSE(gone.ok());
+  rpc.Stop();
+  auto wire_blob = wire.Checkpoint();
+  ASSERT_TRUE(wire_blob.ok());
+  wire.Finish();
+  ASSERT_EQ(wire.outcomes().size(), 1u);
+
+  ts::TsJournal twin_journal;
+  ts::ConcurrentServer twin(SmallServer(&twin_journal));
+  ASSERT_TRUE(twin.RegisterService(TestService()).ok());
+  ASSERT_TRUE(twin.SubmitRegisterUser(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff)));
+  ASSERT_NE(twin.SubmitRequest(1, geo::STPoint{{5, 5}, 30}, 1, "first"),
+            ts::ConcurrentServer::kShedSubmission);
+  twin.EndEpoch();
+  auto twin_blob = twin.Checkpoint();
+  ASSERT_TRUE(twin_blob.ok());
+  twin.Finish();
+  EXPECT_EQ(wire_journal.bytes(), twin_journal.bytes());
+  EXPECT_EQ(*wire_blob, *twin_blob);
+}
+
+TEST_F(NetChaosTest, WriteFaultLosesTheReplyNeverTheRequest) {
+  ts::TsJournal wire_journal;
+  ts::ConcurrentServer wire(SmallServer(&wire_journal));
+  ASSERT_TRUE(wire.RegisterService(TestService()).ok());
+  RpcServerOptions options;
+  options.max_window_requests = 1;  // flush per request
+  RpcServer rpc(&wire, options);
+  ASSERT_TRUE(rpc.Start().ok());
+
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(rpc.port()).ok());
+  auto reg = client.SendRegister(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(client.WaitReply(*reg).ok());
+  {
+    fail::ScopedFailPoint fp(
+        fail::kNetWrite,
+        fail::ErrorAction(common::StatusCode::kUnavailable, "wire cut"));
+    auto req = client.SendRequest(1, geo::STPoint{{5, 5}, 30}, 1, "q");
+    ASSERT_TRUE(req.ok());
+    // The request is admitted and served; only the reply write dies.
+    ASSERT_TRUE(WaitUntil([&rpc] { return rpc.disconnects() >= 1; }));
+  }
+  auto gone = client.WaitAnyReply();
+  EXPECT_FALSE(gone.ok());
+  rpc.Stop();
+  wire.Finish();
+  // The admitted request completed despite the undeliverable reply.
+  ASSERT_EQ(wire.outcomes().size(), 1u);
+  EXPECT_GE(wire_journal.event_count(), 2u);  // register + request
+}
+
+TEST_F(NetChaosTest, AcceptFaultIsTransientNotFatal) {
+  ts::ConcurrentServer wire(SmallServer(nullptr));
+  ASSERT_TRUE(wire.RegisterService(TestService()).ok());
+  RpcServerOptions options;
+  options.max_window_requests = 1;
+  RpcServer rpc(&wire, options);
+  ASSERT_TRUE(rpc.Start().ok());
+
+  // The first accept attempt sheds; the listen socket stays readable, so
+  // the very next poll round retries and succeeds.
+  fail::ScopedFailPoint fp(
+      fail::kNetAccept,
+      fail::ErrorAction(common::StatusCode::kUnavailable, "no fds"),
+      fail::OnNth(1));
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(rpc.port()).ok());
+  auto reg = client.SendRegister(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+  ASSERT_TRUE(reg.ok());
+  auto ack = client.WaitReply(*reg);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->msg.type, MsgType::kRegisterAck);
+  EXPECT_GE(fp.fires(), 1u);
+  rpc.Stop();
+}
+
+TEST_F(NetChaosTest, StalledClientIsDisconnectedAtTheBufferCap) {
+  ts::TsJournal journal;
+  ts::ConcurrentServer wire(SmallServer(&journal));
+  ASSERT_TRUE(wire.RegisterService(TestService()).ok());
+  RpcServerOptions options;
+  options.max_window_requests = 1;
+  options.max_out_buffer_bytes = 16;  // absurdly small: any reply trips it
+  RpcServer rpc(&wire, options);
+  ASSERT_TRUE(rpc.Start().ok());
+
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(rpc.port()).ok());
+  auto reg = client.SendRegister(
+      1, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(WaitUntil([&rpc] { return rpc.disconnects() >= 1; }));
+  rpc.Stop();
+  wire.Finish();
+  // The registration itself was admitted (journaled) before the
+  // disconnect; only its undeliverable ack was lost.
+  EXPECT_GE(journal.event_count(), 2u);  // service + register
+}
+
+TEST_F(NetChaosTest, JournalFaultShedsSurfaceAsThrottledAndMatchTwin) {
+  // A journal that fails every 3rd append underneath a live connection:
+  // sheds come back as Throttled frames, and the surviving state is
+  // byte-identical to a twin driven in-process under the SAME fault
+  // schedule (Arm resets the hit counter, so both runs fire alike).
+  const auto arm = [] {
+    fail::Registry::Instance().Get(fail::kDurJournalAppend)->Arm(
+        fail::ErrorAction(common::StatusCode::kInternal, "disk gone"),
+        fail::EveryNth(3));
+  };
+  const auto policy =
+      ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff);
+
+  ts::TsJournal wire_journal;
+  ts::ConcurrentServerOptions cs_options = SmallServer(&wire_journal);
+  cs_options.breaker.probe_after = 1;  // retry admission immediately
+  ts::ConcurrentServer wire(cs_options);
+  ASSERT_TRUE(wire.RegisterService(TestService()).ok());
+  RpcServer rpc(&wire, ExplicitFlush());
+  ASSERT_TRUE(rpc.Start().ok());
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(rpc.port()).ok());
+
+  arm();
+  size_t wire_throttled = 0;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+      const mod::UserId user = epoch * 4 + i + 1;
+      auto reg = client.SendRegister(user, policy);
+      ASSERT_TRUE(reg.ok());
+      ids.push_back(*reg);
+      auto upd = client.SendUpdate(
+          user, geo::STPoint{{10.0 * i, 10.0 * i}, 30 + epoch * 60});
+      ASSERT_TRUE(upd.ok());
+      auto req = client.SendRequest(
+          user, geo::STPoint{{10.0 * i, 10.0 * i}, 60 + epoch * 60}, 1, "q");
+      ASSERT_TRUE(req.ok());
+      ids.push_back(*req);
+    }
+    ASSERT_TRUE(client.SendEndEpoch().ok());
+    ASSERT_TRUE(client.PollReplies().ok());
+    for (const uint64_t id : ids) {
+      auto reply = client.WaitReply(id);
+      if (reply.ok() && reply->msg.type == MsgType::kThrottled) {
+        ++wire_throttled;
+        EXPECT_FALSE(reply->msg.reason.empty());
+      }
+    }
+    // Shed updates reply out-of-band; drain them into the stash.
+    ASSERT_TRUE(client.PollReplies().ok());
+    wire_throttled += client.stash().size();
+    client.stash().clear();
+  }
+  EXPECT_GE(wire_throttled, 1u) << "faulty journal produced no Throttled";
+  client.Close();
+  rpc.Stop();
+  fail::Registry::Instance().DisarmAll();
+  auto wire_blob = wire.Checkpoint();
+  ASSERT_TRUE(wire_blob.ok());
+  wire.Finish();
+
+  // Twin: identical submission sequence under a freshly armed schedule.
+  ts::TsJournal twin_journal;
+  ts::ConcurrentServerOptions twin_options = SmallServer(&twin_journal);
+  twin_options.breaker.probe_after = 1;
+  ts::ConcurrentServer twin(twin_options);
+  ASSERT_TRUE(twin.RegisterService(TestService()).ok());
+  arm();
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (int i = 0; i < 4; ++i) {
+      const mod::UserId user = epoch * 4 + i + 1;
+      (void)twin.SubmitRegisterUser(user, policy);
+      (void)twin.SubmitLocationUpdate(
+          user, geo::STPoint{{10.0 * i, 10.0 * i}, 30 + epoch * 60});
+      (void)twin.SubmitRequest(
+          user, geo::STPoint{{10.0 * i, 10.0 * i}, 60 + epoch * 60}, 1, "q");
+    }
+    twin.EndEpoch();
+  }
+  fail::Registry::Instance().DisarmAll();
+  auto twin_blob = twin.Checkpoint();
+  ASSERT_TRUE(twin_blob.ok());
+  twin.Finish();
+
+  EXPECT_EQ(wire_journal.bytes(), twin_journal.bytes());
+  EXPECT_EQ(*wire_blob, *twin_blob);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace histkanon
