@@ -38,6 +38,9 @@ CUSTOM_METRICS = {
     "micro_batch": ["per_request_rps", "batch_rps", "batch_speedup"],
     "micro_telemetry": ["null_rps", "traced_rps"],
     "loadgen": ["achieved_rps"],
+    # flat_rss is the 0/1 bounded-memory verdict: with any tolerance < 1.0
+    # a baseline of 1 makes a non-flat run an automatic regression.
+    "soak": ["updates_per_sec", "flat_rss"],
 }
 
 

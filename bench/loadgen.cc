@@ -34,6 +34,7 @@
 #include <unistd.h>
 
 #include "src/anon/tolerance.h"
+#include "src/net/client.h"
 #include "src/net/framing.h"
 #include "src/net/protocol.h"
 #include "src/net/server.h"
@@ -331,6 +332,57 @@ int main(int argc, char** argv) {
     if (conn.fd >= 0) ::close(conn.fd);
   }
   totals.errors += dead;
+
+  // -- Retry probe: a closed-loop RpcClient riding the same server,
+  // exercising RequestWithRetry's backoff/deadline path so the gate
+  // covers the client fleet's real retry discipline, not just raw
+  // framing.  Throttled outcomes here are legitimate (the probe may land
+  // while breakers opened by the open-loop storm are still cooling);
+  // only transport/protocol errors count against the run.
+  uint64_t retry_attempts = 0;
+  uint64_t retry_backoff_ms = 0;
+  uint64_t retry_forwarded = 0;
+  uint64_t retry_gave_up = 0;
+  {
+    net::RpcClient probe;
+    const mod::UserId probe_user = static_cast<mod::UserId>(connections + 1);
+    bool probe_ok = probe.Connect(rpc.port()).ok();
+    if (probe_ok) {
+      const auto reg_id = probe.SendRegister(
+          probe_user, ts::PrivacyPolicy::FromConcern(ts::PrivacyConcern::kOff));
+      probe_ok = reg_id.ok() && probe.WaitReply(*reg_id).ok();
+    }
+    if (probe_ok) {
+      (void)probe.SendUpdate(probe_user,
+                             geo::STPoint{{50.0, 50.0}, 30});
+      net::RetryOptions retry;
+      retry.max_attempts = 4;
+      retry.initial_backoff_ms = 5;
+      retry.max_backoff_ms = 100;
+      retry.deadline_seconds = 2.0;
+      retry.jitter_seed = 42;
+      for (int i = 0; i < 8; ++i) {
+        net::RetryStats stats;
+        auto reply = probe.RequestWithRetry(
+            probe_user, geo::STPoint{{50.0, 50.0}, 40 + i}, 1, "probe",
+            retry, /*trace_id=*/0, &stats);
+        retry_attempts += static_cast<uint64_t>(stats.attempts);
+        retry_backoff_ms += stats.backoff_ms_total;
+        if (!reply.ok()) {
+          ++totals.errors;
+          break;
+        }
+        if (reply->msg.type == net::MsgType::kThrottled) {
+          ++retry_gave_up;
+        } else {
+          ++retry_forwarded;
+        }
+      }
+    } else {
+      ++totals.errors;
+    }
+  }
+
   rpc.Stop();
   cs.Finish();
 
@@ -370,6 +422,10 @@ int main(int argc, char** argv) {
   report.SetNumber("p50_ms", p50);
   report.SetNumber("p95_ms", p95);
   report.SetNumber("p99_ms", p99);
+  report.SetUint("retry_probe_attempts", retry_attempts);
+  report.SetUint("retry_probe_backoff_ms", retry_backoff_ms);
+  report.SetUint("retry_probe_forwarded", retry_forwarded);
+  report.SetUint("retry_probe_gave_up", retry_gave_up);
   std::ofstream out("BENCH_net.json", std::ios::trunc);
   out << report.ToString() << "\n";
   const bool json_ok = out.good();

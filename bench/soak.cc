@@ -1,0 +1,301 @@
+// Bounded-state soak (DESIGN.md §16): drives a retention-enabled
+// TrustedServer — tiered PHL storage, journaled with periodic snapshots
+// and snapshot-anchored compaction, rotating JSONL event log — through
+// repeated full-population update sweeps, sampling process RSS as it
+// goes.  The exit gate is FLATNESS: after the first half of the run
+// (population ramp + allocator warmup), RSS must plateau.  A leak in the
+// hot tier, the journal image, the outcome log, or the event log shows
+// up as second-half growth and fails the run.
+//
+//   soak [--users N] [--epochs E] [--requests-per-epoch R]
+//        [--snapshot-every-updates S] [--rss-samples K]
+//        [--flat-tolerance-pct P] [--dir PATH]
+//
+// Defaults drive 1,000,000 simulated users.  CI runs a scaled-down smoke
+// (see .github/workflows/ci.yml) with the same gate.  Writes
+// BENCH_soak.json for the bench-regression gate (compare_baselines.py
+// reads flat_rss and rss_peak_mb).
+//
+// Plain wall-clock binary (like micro_concurrent): one deterministic
+// driver loop, no google-benchmark fixtures.
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/anon/tolerance.h"
+#include "src/obs/event_log.h"
+#include "src/obs/json.h"
+#include "src/obs/resource.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  return fallback;
+}
+
+const char* StringFlagOr(int argc, char** argv, const char* name,
+                         const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double MeanMb(const std::vector<uint64_t>& samples, size_t lo, size_t hi) {
+  if (hi <= lo) return 0.0;
+  double sum = 0.0;
+  for (size_t i = lo; i < hi; ++i) sum += static_cast<double>(samples[i]);
+  return sum / static_cast<double>(hi - lo) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t users = FlagOr(argc, argv, "--users", 1000000);
+  const uint64_t epochs = FlagOr(argc, argv, "--epochs", 6);
+  const uint64_t requests_per_epoch =
+      FlagOr(argc, argv, "--requests-per-epoch", 256);
+  const uint64_t snapshot_every =
+      FlagOr(argc, argv, "--snapshot-every-updates", 1500000);
+  const uint64_t rss_samples_target = FlagOr(argc, argv, "--rss-samples", 96);
+  const double flat_tolerance =
+      static_cast<double>(FlagOr(argc, argv, "--flat-tolerance-pct", 8)) /
+      100.0;
+  const std::string dir = StringFlagOr(argc, argv, "--dir", "soak_state");
+  ::mkdir(dir.c_str(), 0755);
+
+  std::printf("soak: %llu users x %llu epochs (%llu updates), snapshot "
+              "every %llu, state dir %s\n",
+              static_cast<unsigned long long>(users),
+              static_cast<unsigned long long>(epochs),
+              static_cast<unsigned long long>(users * epochs),
+              static_cast<unsigned long long>(snapshot_every), dir.c_str());
+
+  // Rotating event log: part of the bounded-footprint claim (an unbounded
+  // JSONL file is just a slower leak).
+  obs::RotatingFileEventSinkOptions log_options;
+  log_options.path = dir + "/events.jsonl";
+  log_options.max_file_bytes = 4 << 20;
+  log_options.max_rotated_files = 2;
+  obs::RotatingFileEventSink event_log(log_options);
+
+  ts::TrustedServerOptions options;
+  options.event_sink = &event_log;
+  options.retention.enabled = true;
+  options.retention.cold_dir = dir;
+  options.retention.hot_window_seconds = 1800;
+  options.retention.seal_period_seconds = 300;
+  // Stale users keep ZERO hot samples: the soak's population is large and
+  // mostly cold at any instant, which is exactly the regime the tier is
+  // for (and keeps snapshot blobs far from the record-payload cap).
+  options.retention.min_hot_samples_per_user = 0;
+  options.retention.min_seal_samples = 65536;
+  options.retention.max_outcomes = 4096;
+  options.retention.max_resident_segments = 4;
+  ts::TrustedServer server(options);
+
+  ts::TsJournal journal;
+  const common::Status sink_opened = journal.OpenFileSink(dir + "/journal");
+  if (!sink_opened.ok()) {
+    std::fprintf(stderr, "journal sink: %s\n",
+                 sink_opened.ToString().c_str());
+    return 1;
+  }
+  journal.SetAutoCompact(true);
+  server.AttachJournal(&journal);
+
+  anon::ServiceProfile service;
+  service.id = 1;
+  service.name = "soak";
+  service.tolerance.max_area_width = 8000.0;
+  service.tolerance.max_area_height = 8000.0;
+  service.tolerance.max_time_window = 7200;
+  if (!server.RegisterService(service).ok()) {
+    std::fprintf(stderr, "RegisterService failed\n");
+    return 1;
+  }
+
+  const uint64_t total_updates = users * epochs;
+  const uint64_t sample_stride =
+      std::max<uint64_t>(1, total_updates / std::max<uint64_t>(
+                                                rss_samples_target, 2));
+  std::vector<uint64_t> rss;
+  rss.reserve(rss_samples_target + 4);
+
+  uint64_t updates_applied = 0;
+  uint64_t update_sheds = 0;
+  uint64_t snapshots = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_forwarded = 0;
+  const auto start = Clock::now();
+
+  for (uint64_t epoch = 0; epoch < epochs; ++epoch) {
+    // One sweep over the whole population; sim time advances one hour per
+    // epoch so every sweep crosses several seal periods.
+    for (uint64_t i = 0; i < users; ++i) {
+      const mod::UserId user = static_cast<mod::UserId>(i + 1);
+      const geo::Instant t = 10 + static_cast<geo::Instant>(epoch) * 3600 +
+                             static_cast<geo::Instant>(i * 3600 / users);
+      const geo::STPoint sample{
+          {100.0 * static_cast<double>((i + epoch) % 64),
+           100.0 * static_cast<double>((i / 64 + epoch) % 64)},
+          t};
+      if (server.ApplyLocationUpdate(user, sample).ok()) {
+        ++updates_applied;
+      } else {
+        ++update_sheds;
+      }
+      const uint64_t done = epoch * users + i + 1;
+      if (done % sample_stride == 0) rss.push_back(obs::SampleRssBytes());
+      if (snapshot_every > 0 && done % snapshot_every == 0) {
+        const common::Status wrote = server.WriteCheckpoint();
+        if (!wrote.ok()) {
+          std::fprintf(stderr, "snapshot %llu failed: %s\n",
+                       static_cast<unsigned long long>(snapshots),
+                       wrote.ToString().c_str());
+          return 1;
+        }
+        ++snapshots;
+      }
+    }
+    // A trickle of service requests, so the pipeline (generalization,
+    // pseudonyms, outcome log) runs in steady state too.
+    const geo::Instant now =
+        10 + static_cast<geo::Instant>(epoch + 1) * 3600;
+    for (uint64_t r = 0; r < requests_per_epoch; ++r) {
+      const uint64_t i = (r * 7919) % users;
+      const geo::STPoint exact{
+          {100.0 * static_cast<double>((i + epoch) % 64),
+           100.0 * static_cast<double>((i / 64 + epoch) % 64)},
+          now};
+      const ts::ProcessOutcome outcome = server.ProcessRequest(
+          static_cast<mod::UserId>(i + 1), exact, 1, "soak");
+      ++requests_served;
+      if (outcome.disposition == ts::Disposition::kForwardedDefault ||
+          outcome.disposition == ts::Disposition::kForwardedGeneralized) {
+        ++requests_forwarded;
+      }
+    }
+    std::printf("epoch %llu/%llu: rss %.1f MB, seals %llu, "
+                "compactions %llu, hot %zu, cold %zu segments\n",
+                static_cast<unsigned long long>(epoch + 1),
+                static_cast<unsigned long long>(epochs),
+                static_cast<double>(obs::SampleRssBytes()) / (1024 * 1024),
+                static_cast<unsigned long long>(server.seals()),
+                static_cast<unsigned long long>(journal.compactions()),
+                server.db().hot_samples(),
+                server.cold_tier() != nullptr
+                    ? server.cold_tier()->manifest().size()
+                    : 0);
+  }
+  rss.push_back(obs::SampleRssBytes());
+  const double elapsed = SecondsSince(start);
+
+  // -- Flatness gate.  The first half of the samples covers the
+  // population ramp; the second half must plateau.  Compare the mean of
+  // the final quarter against the mean of the third quarter, with a small
+  // absolute allowance so tiny smoke runs aren't failed on allocator
+  // noise.
+  const size_t n = rss.size();
+  const double q3_mb = MeanMb(rss, n / 2, 3 * n / 4);
+  const double q4_mb = MeanMb(rss, 3 * n / 4, n);
+  const double growth_ratio = q3_mb > 0.0 ? q4_mb / q3_mb : 1.0;
+  const bool flat =
+      n >= 8 && (growth_ratio <= 1.0 + flat_tolerance ||
+                 q4_mb - q3_mb <= 24.0);
+  uint64_t rss_peak = 0;
+  for (const uint64_t sample : rss) rss_peak = std::max(rss_peak, sample);
+
+  const mod::ColdTier* cold = server.cold_tier();
+  std::printf("\nupdates %llu (shed %llu)  requests %llu (forwarded %llu)\n",
+              static_cast<unsigned long long>(updates_applied),
+              static_cast<unsigned long long>(update_sheds),
+              static_cast<unsigned long long>(requests_served),
+              static_cast<unsigned long long>(requests_forwarded));
+  std::printf("seals %llu (failed %llu)  snapshots %llu  compactions %llu  "
+              "log rotations %llu\n",
+              static_cast<unsigned long long>(server.seals()),
+              static_cast<unsigned long long>(server.seal_failures()),
+              static_cast<unsigned long long>(snapshots),
+              static_cast<unsigned long long>(journal.compactions()),
+              static_cast<unsigned long long>(event_log.rotations()));
+  std::printf("rss q3 %.1f MB -> q4 %.1f MB (ratio %.3f, peak %.1f MB): "
+              "%s\n",
+              q3_mb, q4_mb, growth_ratio,
+              static_cast<double>(rss_peak) / (1024 * 1024),
+              flat ? "FLAT" : "GROWING");
+
+  obs::JsonObject report;
+  report.SetString("bench", "soak");
+  report.SetUint("users", users);
+  report.SetUint("epochs", epochs);
+  report.SetUint("updates_applied", updates_applied);
+  report.SetUint("update_sheds", update_sheds);
+  report.SetUint("requests", requests_served);
+  report.SetUint("requests_forwarded", requests_forwarded);
+  report.SetUint("seals", server.seals());
+  report.SetUint("seal_failures", server.seal_failures());
+  report.SetUint("cold_fault_sheds", server.cold_fault_sheds());
+  report.SetUint("snapshots", snapshots);
+  report.SetUint("compactions", journal.compactions());
+  report.SetUint("event_log_rotations", event_log.rotations());
+  report.SetUint("cold_segments",
+                 cold != nullptr ? cold->manifest().size() : 0);
+  report.SetUint("cold_total_samples",
+                 cold != nullptr ? cold->total_samples() : 0);
+  report.SetUint("cold_resident_bytes",
+                 cold != nullptr ? cold->resident_bytes() : 0);
+  report.SetUint("hot_samples_final", server.db().hot_samples());
+  report.SetUint("journal_mem_bytes", journal.size());
+  report.SetNumber("rss_q3_mb", q3_mb);
+  report.SetNumber("rss_q4_mb", q4_mb);
+  report.SetNumber("rss_growth_ratio", growth_ratio);
+  report.SetNumber("rss_peak_mb",
+                   static_cast<double>(rss_peak) / (1024 * 1024));
+  report.SetUint("flat_rss", flat ? 1 : 0);
+  report.SetNumber("elapsed_seconds", elapsed);
+  report.SetNumber("updates_per_sec",
+                   elapsed > 0
+                       ? static_cast<double>(updates_applied) / elapsed
+                       : 0.0);
+  std::ofstream out("BENCH_soak.json", std::ios::trunc);
+  out << report.ToString() << "\n";
+  const bool json_ok = out.good();
+  out.close();
+  std::printf("wrote BENCH_soak.json (%s)\n", json_ok ? "ok" : "FAILED");
+
+  if (!flat) {
+    std::fprintf(stderr, "FAIL: RSS grew in the second half of the soak\n");
+    return 1;
+  }
+  if (server.seal_failures() > 0 || update_sheds > 0) {
+    std::fprintf(stderr, "FAIL: seal failures or shed updates in a "
+                         "fault-free soak\n");
+    return 1;
+  }
+  return json_ok ? 0 : 1;
+}

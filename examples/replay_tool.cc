@@ -108,7 +108,14 @@ int main(int argc, char** argv) {
   }
 
   obs::Registry metrics;
-  obs::FileEventSink events(events_path);
+  // Rotating sink: small files so this workload rotates a few times, with
+  // enough retained generations that nothing is dropped — the read-back
+  // check below then proves the stitched stream is complete.
+  obs::RotatingFileEventSinkOptions event_log_options;
+  event_log_options.path = events_path;
+  event_log_options.max_file_bytes = 64 << 10;
+  event_log_options.max_rotated_files = 64;
+  obs::RotatingFileEventSink events(event_log_options);
   if (!events.ok()) {
     std::printf("cannot open event log %s\n", events_path.c_str());
     return 1;
@@ -181,12 +188,13 @@ int main(int argc, char** argv) {
                 csv_path.c_str());
   }
 
-  // 5. The structured event log: one JSONL record per request.  Read it
-  //    back through the parser and cross-check against the server stats.
+  // 5. The structured event log: one JSONL record per request, spread
+  //    over rotated generations.  Read the whole family back through the
+  //    rotation-aware parser and cross-check against the server stats.
   //    The tolerant reader survives a torn final line (a crash mid-append
   //    leaves one); report it instead of failing the whole analysis.
   events.Flush();
-  auto read_result = obs::ReadEventLog(events_path);
+  auto read_result = obs::ReadRotatedEventLog(events_path);
   if (!read_result.ok()) {
     std::printf("event log read failed: %s\n",
                 read_result.status().ToString().c_str());
@@ -207,10 +215,11 @@ int main(int argc, char** argv) {
   const bool events_consistent =
       replayed_events->size() == stats.requests &&
       generalized_events == stats.forwarded_generalized;
-  std::printf("\nevent log %s: %zu events round-tripped "
+  std::printf("\nevent log %s (+%llu rotations): %zu events round-tripped "
               "(%zu forwarded-generalized) — %s\n",
-              events_path.c_str(), replayed_events->size(),
-              generalized_events,
+              events_path.c_str(),
+              static_cast<unsigned long long>(events.rotations()),
+              replayed_events->size(), generalized_events,
               events_consistent ? "consistent with server stats"
                                 : "INCONSISTENT with server stats");
 

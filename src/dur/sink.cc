@@ -37,6 +37,18 @@ common::Result<std::unique_ptr<FileSink>> FileSink::Open(std::string path) {
   return std::unique_ptr<FileSink>(new FileSink(file, std::move(path)));
 }
 
+common::Result<std::unique_ptr<FileSink>> FileSink::OpenAppend(
+    std::string path) {
+  HISTKANON_FAILPOINT_RETURN(fail::kDurFileOpen);
+  errno = 0;
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return common::Status::NotFound("cannot open journal file '" + path +
+                                    "' for appending" + ErrnoSuffix());
+  }
+  return std::unique_ptr<FileSink>(new FileSink(file, std::move(path)));
+}
+
 FileSink::FileSink(std::FILE* file, std::string path)
     : file_(file), path_(std::move(path)) {}
 

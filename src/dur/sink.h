@@ -59,6 +59,13 @@ class FileSink final : public JournalSink {
   /// Opens (truncating) `path` for writing.
   static common::Result<std::unique_ptr<FileSink>> Open(std::string path);
 
+  /// Opens `path` for appending WITHOUT truncating — the reopen a journal
+  /// compaction needs after renaming the copied-forward file into place
+  /// (truncating there would destroy the snapshot record just made
+  /// durable).
+  static common::Result<std::unique_ptr<FileSink>> OpenAppend(
+      std::string path);
+
   ~FileSink() override;  // closes, ignoring errors; call Close() to check
 
   FileSink(const FileSink&) = delete;

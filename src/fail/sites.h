@@ -32,12 +32,40 @@ inline constexpr const char kDurFileFlush[] = "dur.file.flush";
 /// durable).
 inline constexpr const char kDurFileSync[] = "dur.file.sync";
 
+/// TsJournal::Compact — failure while writing/syncing the copied-forward
+/// journal tmp file (disk full mid-compaction; the original journal stays
+/// the durable artifact).
+inline constexpr const char kDurCompactWrite[] = "dur.compact.write";
+/// TsJournal::Compact — rename(tmp, journal) failure: the compacted bytes
+/// are complete but never became the journal; the original file survives.
+inline constexpr const char kDurCompactRename[] = "dur.compact.rename";
+/// TsJournal::Compact — reopening the compacted file in append mode
+/// failed.  The journal marks its sink broken: every later append fails
+/// and the breaker sheds fail-closed (an applied-but-unjournaled event is
+/// never possible).
+inline constexpr const char kDurCompactReopen[] = "dur.compact.reopen";
+
 // -- mod: store reads --------------------------------------------------------
 
 /// MovingObjectDb::GetPhl — store read failure.  Unit-test only: arming it
 /// mid-pipeline changes request outcomes, so the chaos differential (which
 /// requires byte-identical convergence on accepted events) must not.
 inline constexpr const char kModStoreGetPhl[] = "mod.store.get_phl";
+
+// -- mod: tiered cold storage ------------------------------------------------
+
+/// ColdTier::WriteSegment — segment write/sync failure (disk full on
+/// seal).  Nothing is evicted from the hot tier: the seal-failure breaker
+/// counts it and retries later.
+inline constexpr const char kModColdSeal[] = "mod.cold.seal";
+/// ColdTier::WriteSegment — rename(tmp, segment) failure after a complete
+/// tmp write (same fail-closed contract: the hot tier is untouched).
+inline constexpr const char kModColdSealRename[] = "mod.cold.seal_rename";
+/// ColdTier segment fault-in — read/open failure or CRC mismatch loading a
+/// cold segment.  The read answers hot-only and bumps the fault counter;
+/// the serving layer must shed the affected request (Throttled), never
+/// serve a wrong anonymity set.
+inline constexpr const char kModColdLoad[] = "mod.cold.load";
 
 // -- ts: shard workers + checkpoint ------------------------------------------
 
@@ -74,7 +102,9 @@ inline constexpr const char kBenchNoop[] = "bench.noop";
 inline constexpr const char* kAllSites[] = {
     kDurJournalAppend, kDurJournalSnapshot, kDurFileOpen,
     kDurFileWrite,     kDurFilePartialWrite, kDurFileFlush,
-    kDurFileSync,      kModStoreGetPhl,      kTsShardWorkerStall,
+    kDurFileSync,      kDurCompactWrite,     kDurCompactRename,
+    kDurCompactReopen, kModStoreGetPhl,      kModColdSeal,
+    kModColdSealRename, kModColdLoad,        kTsShardWorkerStall,
     kTsShardServeStall, kTsCheckpoint,       kNetAccept,
     kNetRead,          kNetWrite,            kNetClose,
     kBenchNoop,

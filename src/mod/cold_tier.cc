@@ -1,0 +1,327 @@
+#include "src/mod/cold_tier.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/str.h"
+#include "src/dur/encode.h"
+#include "src/dur/framing.h"
+#include "src/dur/sink.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+
+namespace histkanon {
+namespace mod {
+
+namespace {
+
+// First bytes of every segment header record.
+constexpr char kSegmentHeaderMagic[] = "HKCOLDS1";
+
+struct SegmentHeader {
+  uint64_t seq = 0;
+  geo::Instant t_lo = 0;
+  geo::Instant t_hi = 0;
+  uint64_t samples = 0;
+  uint64_t user_count = 0;
+};
+
+common::Status ParseSegmentHeader(std::string_view payload,
+                                  SegmentHeader* header) {
+  dur::ByteReader reader(payload);
+  std::string magic;
+  HISTKANON_RETURN_NOT_OK(reader.ReadString(&magic));
+  if (magic != kSegmentHeaderMagic) {
+    return common::Status::InvalidArgument("not a cold-segment header");
+  }
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&header->seq));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&header->t_lo));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&header->t_hi));
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&header->samples));
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&header->user_count));
+  return common::Status::OK();
+}
+
+common::Status ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return common::Status::NotFound("cannot open cold segment '" + path +
+                                    "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return common::Status::Internal("read error on cold segment '" + path +
+                                    "'");
+  }
+  *out = buffer.str();
+  return common::Status::OK();
+}
+
+}  // namespace
+
+ColdTier::ColdTier(ColdTierOptions options) : options_(std::move(options)) {
+  if (options_.max_resident_segments == 0) options_.max_resident_segments = 1;
+}
+
+std::string ColdTier::SegmentPath(uint64_t seq) const {
+  return common::Format("%s/seg-%llu.cold", options_.dir.c_str(),
+                        static_cast<unsigned long long>(seq));
+}
+
+uint64_t ColdTier::total_samples() const {
+  uint64_t total = 0;
+  for (const ColdSegmentInfo& info : manifest_) total += info.samples;
+  return total;
+}
+
+common::Status ColdTier::WriteSegment(
+    uint64_t seq,
+    const std::vector<std::pair<UserId, std::vector<geo::STPoint>>>& users) {
+  if (!enabled()) {
+    return common::Status::FailedPrecondition("cold tier is disabled");
+  }
+  if (users.empty()) {
+    return common::Status::InvalidArgument("empty cold segment");
+  }
+  HISTKANON_FAILPOINT_RETURN(fail::kModColdSeal);
+
+  SegmentHeader header;
+  header.seq = seq;
+  bool first = true;
+  for (const auto& [user, samples] : users) {
+    header.samples += samples.size();
+    ++header.user_count;
+    for (const geo::STPoint& sample : samples) {
+      if (first || sample.t < header.t_lo) header.t_lo = sample.t;
+      if (first || sample.t > header.t_hi) header.t_hi = sample.t;
+      first = false;
+    }
+  }
+
+  std::string bytes;
+  dur::AppendMagic(&bytes);
+  {
+    dur::ByteWriter writer;
+    writer.PutString(kSegmentHeaderMagic);
+    writer.PutU64(header.seq);
+    writer.PutI64(header.t_lo);
+    writer.PutI64(header.t_hi);
+    writer.PutU64(header.samples);
+    writer.PutU64(header.user_count);
+    dur::AppendRecord(&bytes, writer.bytes());
+  }
+  for (const auto& [user, samples] : users) {
+    dur::ByteWriter writer;
+    writer.PutI64(static_cast<int64_t>(user));
+    writer.PutU64(samples.size());
+    for (const geo::STPoint& sample : samples) {
+      writer.PutI64(sample.t);
+      writer.PutDouble(sample.p.x);
+      writer.PutDouble(sample.p.y);
+    }
+    dur::AppendRecord(&bytes, writer.bytes());
+  }
+
+  // tmp + fsync + rename: a crash at any point leaves either no visible
+  // segment (hot tier still holds everything) or a complete one.
+  const std::string path = SegmentPath(seq);
+  const std::string tmp = path + ".tmp";
+  {
+    common::Result<std::unique_ptr<dur::FileSink>> sink =
+        dur::FileSink::Open(tmp);
+    HISTKANON_RETURN_NOT_OK(sink.status());
+    HISTKANON_RETURN_NOT_OK((*sink)->Append(bytes));
+    HISTKANON_RETURN_NOT_OK((*sink)->Close());
+  }
+  HISTKANON_FAILPOINT_RETURN(fail::kModColdSealRename);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return common::Status::Internal("cannot rename cold segment into '" +
+                                    path + "'");
+  }
+
+  ColdSegmentInfo info;
+  info.seq = seq;
+  info.t_lo = header.t_lo;
+  info.t_hi = header.t_hi;
+  info.samples = header.samples;
+  manifest_.push_back(info);
+  return common::Status::OK();
+}
+
+common::Status ColdTier::RegisterExisting(const ColdSegmentInfo& info) {
+  if (!enabled()) {
+    return common::Status::FailedPrecondition("cold tier is disabled");
+  }
+  const std::string path = SegmentPath(info.seq);
+  std::string bytes;
+  HISTKANON_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+  const std::string_view magic = dur::JournalMagic();
+  if (bytes.size() < magic.size() ||
+      std::string_view(bytes).substr(0, magic.size()) != magic) {
+    return common::Status::InvalidArgument("cold segment '" + path +
+                                           "' has no journal magic");
+  }
+  std::string_view payload;
+  size_t consumed = 0;
+  std::string error;
+  if (dur::ParseRecordAt(bytes, magic.size(), dur::kMaxRecordPayload,
+                         &payload, &consumed,
+                         &error) != dur::RecordParse::kRecord) {
+    return common::Status::InvalidArgument("cold segment '" + path +
+                                           "' header unreadable: " + error);
+  }
+  SegmentHeader header;
+  HISTKANON_RETURN_NOT_OK(ParseSegmentHeader(payload, &header));
+  if (header.seq != info.seq || header.t_lo != info.t_lo ||
+      header.t_hi != info.t_hi || header.samples != info.samples) {
+    return common::Status::InvalidArgument(
+        "cold segment '" + path + "' header disagrees with the manifest");
+  }
+  manifest_.push_back(info);
+  return common::Status::OK();
+}
+
+const ColdTier::LoadedSegment* ColdTier::LoadSegment(
+    const ColdSegmentInfo& info) const {
+  const auto resident = resident_.find(info.seq);
+  if (resident != resident_.end()) {
+    resident->second.last_use = ++lru_tick_;
+    return &resident->second;
+  }
+  const auto fault = [&]() -> const LoadedSegment* {
+    ++fault_count_;
+    return nullptr;
+  };
+  if (HISTKANON_FAILPOINT(fail::kModColdLoad).kind ==
+      fail::ActionKind::kError) {
+    return fault();
+  }
+  std::string bytes;
+  if (!ReadFileBytes(SegmentPath(info.seq), &bytes).ok()) return fault();
+  const common::Result<dur::ScanResult> scan = dur::ScanRecords(bytes);
+  // A torn or bit-rotted record fails the CRC/length scan: the whole
+  // segment is treated as faulted (segments are written atomically, so a
+  // clean-but-short file is corruption, not a crash artifact).
+  if (!scan.ok() || !scan->clean || scan->records.empty()) return fault();
+  SegmentHeader header;
+  if (!ParseSegmentHeader(scan->records[0], &header).ok()) return fault();
+  if (header.seq != info.seq ||
+      scan->records.size() != header.user_count + 1) {
+    return fault();
+  }
+  LoadedSegment segment;
+  segment.bytes = bytes.size();
+  for (size_t i = 1; i < scan->records.size(); ++i) {
+    dur::ByteReader reader(scan->records[i]);
+    int64_t user = 0;
+    uint64_t count = 0;
+    if (!reader.ReadI64(&user).ok() || !reader.ReadU64(&count).ok()) {
+      return fault();
+    }
+    std::vector<geo::STPoint>& samples =
+        segment.users[static_cast<UserId>(user)];
+    samples.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      geo::STPoint sample;
+      if (!reader.ReadI64(&sample.t).ok() ||
+          !reader.ReadDouble(&sample.p.x).ok() ||
+          !reader.ReadDouble(&sample.p.y).ok()) {
+        return fault();
+      }
+      samples.push_back(sample);
+    }
+  }
+  ++load_count_;
+  while (resident_.size() >= options_.max_resident_segments) {
+    auto victim = resident_.begin();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    resident_bytes_ -= victim->second.bytes;
+    resident_.erase(victim);
+  }
+  segment.last_use = ++lru_tick_;
+  resident_bytes_ += segment.bytes;
+  const auto [slot, inserted] =
+      resident_.emplace(info.seq, std::move(segment));
+  (void)inserted;
+  return &slot->second;
+}
+
+bool ColdTier::CollectArchived(UserId user, geo::Instant lo, geo::Instant hi,
+                               std::vector<geo::STPoint>* out) const {
+  if (manifest_.empty()) return true;
+  std::vector<geo::STPoint> window;
+  std::optional<geo::STPoint> pred;
+  std::optional<geo::STPoint> succ;
+  uint64_t pred_seq = 0;
+  // Forward pass (ascending seq — the per-user time order) over every
+  // segment that could hold a window sample or the successor.  Segments
+  // entirely before the window are deferred: only the newest one holding
+  // the user matters for the predecessor.
+  for (const ColdSegmentInfo& info : manifest_) {
+    if (info.t_hi < lo) continue;  // deferred predecessor source
+    const LoadedSegment* segment = LoadSegment(info);
+    if (segment == nullptr) return false;
+    const auto it = segment->users.find(user);
+    if (it == segment->users.end()) continue;
+    for (const geo::STPoint& sample : it->second) {
+      if (sample.t < lo) {
+        pred = sample;  // ascending: keeps the latest one before the window
+        pred_seq = info.seq;
+      } else if (sample.t > hi) {
+        if (!succ.has_value()) succ = sample;
+      } else {
+        window.push_back(sample);
+      }
+    }
+    // Once a successor exists, every later sample of this user (all in
+    // higher-seq segments) is even later — nothing left to find.
+    if (succ.has_value()) break;
+  }
+  // Predecessor walk, newest deferred segment first.  A deferred segment
+  // older (lower seq) than the one the current predecessor came from
+  // cannot supersede it.
+  for (auto it = manifest_.rbegin(); it != manifest_.rend(); ++it) {
+    if (!(it->t_hi < lo)) continue;
+    if (pred.has_value() && it->seq < pred_seq) break;
+    const LoadedSegment* segment = LoadSegment(*it);
+    if (segment == nullptr) return false;
+    const auto found = segment->users.find(user);
+    if (found == segment->users.end()) continue;
+    pred = found->second.back();
+    break;
+  }
+  if (pred.has_value()) out->push_back(*pred);
+  out->insert(out->end(), window.begin(), window.end());
+  if (succ.has_value()) out->push_back(*succ);
+  return true;
+}
+
+bool ColdTier::ForEachSampleIn(
+    geo::Instant lo, geo::Instant hi,
+    const std::function<void(UserId, const geo::STPoint&)>& fn) const {
+  for (const ColdSegmentInfo& info : manifest_) {
+    if (info.t_hi < lo || info.t_lo > hi) continue;
+    const LoadedSegment* segment = LoadSegment(info);
+    if (segment == nullptr) return false;
+    for (const auto& [user, samples] : segment->users) {
+      const auto begin = std::lower_bound(
+          samples.begin(), samples.end(), lo,
+          [](const geo::STPoint& s, geo::Instant value) {
+            return s.t < value;
+          });
+      for (auto it = begin; it != samples.end() && it->t <= hi; ++it) {
+        fn(user, *it);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mod
+}  // namespace histkanon

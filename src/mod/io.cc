@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -35,8 +36,48 @@ common::Status WriteDbToFile(const MovingObjectDb& db,
   return WriteDb(db, &file);
 }
 
-common::Result<MovingObjectDb> ReadDb(std::istream* is) {
-  MovingObjectDb db;
+common::Status WriteTieredDb(const MovingObjectDb& db, const ColdTier* cold,
+                             std::ostream* os) {
+  *os << "# histkanon moving-object db v1\n";
+  *os << "# user x y t\n";
+  bool failed = false;
+  const auto emit = [os, &failed](UserId user, const geo::STPoint& sample) {
+    if (failed) return;
+    *os << user << ' ' << common::Format("%.17g", sample.p.x) << ' '
+        << common::Format("%.17g", sample.p.y) << ' ' << sample.t << '\n';
+    if (!os->good()) failed = true;
+  };
+  if (cold != nullptr && !cold->manifest().empty()) {
+    // Full time range: the tier walks its segments in manifest (= seal,
+    // = time) order, faulting at most one non-resident segment at a time.
+    if (!cold->ForEachSampleIn(std::numeric_limits<geo::Instant>::min(),
+                               std::numeric_limits<geo::Instant>::max(),
+                               emit)) {
+      return common::Status::Unavailable(
+          "cold segment read fault while exporting (partial export "
+          "refused)");
+    }
+  }
+  db.ForEachSample(emit);
+  if (failed || !os->good()) {
+    return common::Status::Internal("write failed (stream went bad)");
+  }
+  return common::Status::OK();
+}
+
+common::Status WriteTieredDbToFile(const MovingObjectDb& db,
+                                   const ColdTier* cold,
+                                   const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return common::Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  return WriteTieredDb(db, cold, &file);
+}
+
+common::Status ForEachDbSample(
+    std::istream* is,
+    const std::function<common::Status(UserId, const geo::STPoint&)>& fn) {
   std::string line;
   size_t line_number = 0;
   while (std::getline(*is, line)) {
@@ -63,13 +104,22 @@ common::Result<MovingObjectDb> ReadDb(std::istream* is) {
           common::Format("non-finite coordinates at line %zu: '%s'",
                          line_number, line.c_str()));
     }
-    const common::Status append = db.Append(user, sample);
-    if (!append.ok()) {
+    const common::Status consumed = fn(user, sample);
+    if (!consumed.ok()) {
       return common::Status::FailedPrecondition(
           common::Format("line %zu: %s", line_number,
-                         append.message().c_str()));
+                         consumed.message().c_str()));
     }
   }
+  return common::Status::OK();
+}
+
+common::Result<MovingObjectDb> ReadDb(std::istream* is) {
+  MovingObjectDb db;
+  HISTKANON_RETURN_NOT_OK(ForEachDbSample(
+      is, [&db](UserId user, const geo::STPoint& sample) {
+        return db.Append(user, sample);
+      }));
   return db;
 }
 

@@ -10,12 +10,14 @@
 #ifndef HISTKANON_SRC_MOD_IO_H_
 #define HISTKANON_SRC_MOD_IO_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "src/anon/request.h"
 #include "src/common/result.h"
+#include "src/mod/cold_tier.h"
 #include "src/mod/moving_object_db.h"
 
 namespace histkanon {
@@ -28,9 +30,36 @@ common::Status WriteDb(const MovingObjectDb& db, std::ostream* os);
 common::Status WriteDbToFile(const MovingObjectDb& db,
                              const std::string& path);
 
-/// Reads a database written by WriteDb.  Malformed lines fail with
-/// InvalidArgument naming the line number; out-of-order samples fail with
-/// FailedPrecondition.
+/// Writes the full TIERED database — every archived cold sample, then
+/// every hot sample — in the same line format, streaming the cold tier
+/// one resident segment at a time (memory stays bounded by the tier's
+/// residency cap, never the export size).  Cold segments seal in time
+/// order and each user's hot samples postdate their archived ones, so the
+/// output keeps the strictly-increasing-t-per-user invariant ReadDb
+/// checks.  A cold read fault aborts with Unavailable — a partial export
+/// must not pass for a full one.
+common::Status WriteTieredDb(const MovingObjectDb& db, const ColdTier* cold,
+                             std::ostream* os);
+
+/// Writes the tiered database to the file at `path` (overwriting).
+common::Status WriteTieredDbToFile(const MovingObjectDb& db,
+                                   const ColdTier* cold,
+                                   const std::string& path);
+
+/// Streams every sample of a WriteDb-format stream to `fn` in file order
+/// WITHOUT materializing a database — constant memory regardless of input
+/// size.  Malformed lines fail with InvalidArgument naming the line
+/// number; a non-OK status from `fn` aborts the scan, reported as
+/// FailedPrecondition with the line number attached.
+common::Status ForEachDbSample(
+    std::istream* is,
+    const std::function<common::Status(UserId, const geo::STPoint&)>& fn);
+
+/// Reads a database written by WriteDb (or WriteTieredDb — the cold/hot
+/// split is an operational detail, not part of the format).  Built on
+/// ForEachDbSample, so the input streams; only the database itself is
+/// materialized.  Malformed lines fail with InvalidArgument naming the
+/// line number; out-of-order samples fail with FailedPrecondition.
 common::Result<MovingObjectDb> ReadDb(std::istream* is);
 
 /// Reads a database from the file at `path`.

@@ -18,10 +18,51 @@ common::Status MovingObjectDb::Append(UserId user,
         common::Format("non-finite sample coordinates for user %lld",
                        static_cast<long long>(user)));
   }
-  HISTKANON_RETURN_NOT_OK(phls_[user].Append(sample));
+  const auto [it, created] = phls_.try_emplace(user);
+  if (created && archive_ != nullptr) it->second.AttachArchive(archive_, user);
+  HISTKANON_RETURN_NOT_OK(it->second.Append(sample));
   ++total_samples_;
+  ++hot_samples_;
   ++epoch_;
   return common::Status::OK();
+}
+
+void MovingObjectDb::AttachArchive(const PhlArchive* archive) {
+  archive_ = archive;
+  for (auto& [user, phl] : phls_) phl.AttachArchive(archive, user);
+}
+
+size_t MovingObjectDb::PeekSealable(
+    geo::Instant cutoff, size_t min_keep,
+    std::vector<std::pair<UserId, std::vector<geo::STPoint>>>* out) const {
+  size_t total = 0;
+  for (const auto& [user, phl] : phls_) {
+    const size_t n = phl.SealablePrefix(cutoff, min_keep);
+    if (n == 0) continue;
+    out->emplace_back(user,
+                      std::vector<geo::STPoint>(phl.samples().begin(),
+                                                phl.samples().begin() + n));
+    total += n;
+  }
+  return total;
+}
+
+void MovingObjectDb::DropSealed(
+    const std::vector<std::pair<UserId, std::vector<geo::STPoint>>>& sealed) {
+  for (const auto& [user, samples] : sealed) {
+    const auto it = phls_.find(user);
+    if (it == phls_.end()) continue;
+    it->second.DropPrefix(samples.size());
+    hot_samples_ -= samples.size();
+  }
+}
+
+void MovingObjectDb::SetArchivedSummary(UserId user, size_t count,
+                                        geo::Instant lo, geo::Instant hi) {
+  const auto [it, created] = phls_.try_emplace(user);
+  if (created && archive_ != nullptr) it->second.AttachArchive(archive_, user);
+  total_samples_ += count - it->second.archived_count();
+  it->second.SetArchivedSummary(count, lo, hi);
 }
 
 common::Result<const Phl*> MovingObjectDb::GetPhl(UserId user) const {

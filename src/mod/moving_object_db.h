@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -21,6 +22,10 @@ namespace mod {
 
 /// \brief In-memory moving-object store: one PHL per user.  Implements
 /// the read-only ObjectStore interface; Append is the single write path.
+///
+/// Under tiered storage (DESIGN.md §16) the store holds only each user's
+/// HOT samples plus a constant-size archived summary; sealed samples live
+/// in the attached PhlArchive and fault in through the Phl query methods.
 class MovingObjectDb : public ObjectStore {
  public:
   MovingObjectDb() = default;
@@ -28,6 +33,36 @@ class MovingObjectDb : public ObjectStore {
   /// Records a location update for `user` (creating the user on first
   /// update).  Fails if the sample is not newer than the user's last one.
   common::Status Append(UserId user, const geo::STPoint& sample);
+
+  // -- Tiering hooks (the seal protocol; DESIGN.md §16).
+
+  /// Attaches the cold archive every PHL (existing and future) reads its
+  /// archived samples through.  Not owned; call before any sealing.
+  void AttachArchive(const PhlArchive* archive);
+
+  /// Phase 1 of a seal: collects, per user (ascending id, samples
+  /// ascending in time), the hot prefix with t < `cutoff` that sealing
+  /// may evict — never digging a user below `min_keep` resident samples.
+  /// Returns the total sample count.  Nothing is modified.
+  size_t PeekSealable(
+      geo::Instant cutoff, size_t min_keep,
+      std::vector<std::pair<UserId, std::vector<geo::STPoint>>>* out) const;
+
+  /// Phase 2 of a seal: drops exactly the samples a PeekSealable call
+  /// returned (call only once they are durable in the archive — the
+  /// fail-closed "never half-evicted" contract).  Answers are unchanged,
+  /// so the store epoch does NOT bump.
+  void DropSealed(
+      const std::vector<std::pair<UserId, std::vector<geo::STPoint>>>& sealed);
+
+  /// Restore path: recreates `user`'s archived summary from a snapshot
+  /// (creating the user if needed).  Counts the archived samples into
+  /// total_samples().
+  void SetArchivedSummary(UserId user, size_t count, geo::Instant lo,
+                          geo::Instant hi);
+
+  /// Samples currently resident in memory (total_samples() minus sealed).
+  size_t hot_samples() const { return hot_samples_; }
 
   /// The user's PHL; NotFound if the user has never reported a location.
   common::Result<const Phl*> GetPhl(UserId user) const override;
@@ -59,15 +94,18 @@ class MovingObjectDb : public ObjectStore {
       const std::vector<geo::STBox>& contexts,
       UserId exclude = kInvalidUser) const override;
 
-  /// Invokes `fn(user, sample)` over every sample of every PHL (used to
-  /// build spatio-temporal indexes).
+  /// Invokes `fn(user, sample)` over every HOT sample of every PHL (used
+  /// to build the hot spatio-temporal index; archived samples are indexed
+  /// by segment through the cold tier's manifest instead).
   void ForEachSample(
       const std::function<void(UserId, const geo::STPoint&)>& fn)
       const override;
 
  private:
   std::map<UserId, Phl> phls_;
+  const PhlArchive* archive_ = nullptr;
   size_t total_samples_ = 0;
+  size_t hot_samples_ = 0;
   uint64_t epoch_ = 0;
 };
 

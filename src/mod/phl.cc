@@ -1,6 +1,7 @@
 #include "src/mod/phl.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/str.h"
 
@@ -53,59 +54,126 @@ bool SegmentIntersectsBox(const geo::STPoint& a, const geo::STPoint& b,
   return true;
 }
 
+// The CrossesBox pair scan over an explicit time-ordered sample list.
+bool SamplesCrossBox(const std::vector<geo::STPoint>& samples,
+                     const geo::STBox& box) {
+  if (samples.empty()) return false;
+  if (samples.size() == 1) return box.Contains(samples.front());
+  for (size_t i = 0; i + 1 < samples.size(); ++i) {
+    const geo::STPoint& a = samples[i];
+    const geo::STPoint& b = samples[i + 1];
+    if (b.t < box.time.lo) continue;
+    if (a.t > box.time.hi) break;
+    if (SegmentIntersectsBox(a, b, box)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 common::Status Phl::Append(const geo::STPoint& sample) {
-  if (!samples_.empty() && sample.t <= samples_.back().t) {
+  const bool below_hot = !samples_.empty() && sample.t <= samples_.back().t;
+  const bool below_cold = samples_.empty() && archived_count_ > 0 &&
+                          sample.t <= archived_hi_;
+  if (below_hot || below_cold) {
+    const geo::Instant last = below_hot ? samples_.back().t : archived_hi_;
     return common::Status::FailedPrecondition(common::Format(
         "PHL samples must be strictly increasing in time; got t=%lld after "
         "t=%lld",
-        static_cast<long long>(sample.t),
-        static_cast<long long>(samples_.back().t)));
+        static_cast<long long>(sample.t), static_cast<long long>(last)));
   }
   samples_.push_back(sample);
   return common::Status::OK();
 }
 
+size_t Phl::SealablePrefix(geo::Instant cutoff, size_t min_keep) const {
+  if (samples_.size() <= min_keep) return 0;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), cutoff,
+      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+  const size_t old = static_cast<size_t>(it - samples_.begin());
+  return std::min(old, samples_.size() - min_keep);
+}
+
+void Phl::DropPrefix(size_t n) {
+  if (n == 0) return;
+  n = std::min(n, samples_.size());
+  if (archived_count_ == 0) archived_lo_ = samples_.front().t;
+  archived_hi_ = samples_[n - 1].t;
+  archived_count_ += n;
+  samples_.erase(samples_.begin(),
+                 samples_.begin() + static_cast<ptrdiff_t>(n));
+}
+
+void Phl::SetArchivedSummary(size_t count, geo::Instant lo, geo::Instant hi) {
+  archived_count_ = count;
+  archived_lo_ = count == 0 ? 0 : lo;
+  archived_hi_ = count == 0 ? 0 : hi;
+}
+
+bool Phl::CollectArchived(geo::Instant lo, geo::Instant hi,
+                          std::vector<geo::STPoint>* out) const {
+  if (archived_count_ == 0 || archive_ == nullptr) return true;
+  return archive_->CollectArchived(self_, lo, hi, out);
+}
+
 geo::TimeInterval Phl::Span() const {
-  if (samples_.empty()) return geo::TimeInterval::Empty();
-  return geo::TimeInterval{samples_.front().t, samples_.back().t};
+  if (empty()) return geo::TimeInterval::Empty();
+  const geo::Instant lo =
+      archived_count_ > 0 ? archived_lo_ : samples_.front().t;
+  const geo::Instant hi =
+      samples_.empty() ? archived_hi_ : samples_.back().t;
+  return geo::TimeInterval{lo, hi};
 }
 
 std::optional<geo::Point> Phl::PositionAt(geo::Instant t) const {
-  if (samples_.empty() || t < samples_.front().t || t > samples_.back().t) {
-    return std::nullopt;
+  const geo::TimeInterval span = Span();
+  if (empty() || t < span.lo || t > span.hi) return std::nullopt;
+  if (!samples_.empty() && t >= samples_.front().t) {
+    // Entirely answerable from the hot tier.
+    const auto it = std::lower_bound(
+        samples_.begin(), samples_.end(), t,
+        [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+    if (it->t == t) return it->p;
+    const geo::STPoint& after = *it;
+    const geo::STPoint& before = *(it - 1);
+    const double f = static_cast<double>(t - before.t) /
+                     static_cast<double>(after.t - before.t);
+    return geo::Point{before.p.x + f * (after.p.x - before.p.x),
+                      before.p.y + f * (after.p.y - before.p.y)};
   }
-  // First sample with time >= t.
-  const auto it = std::lower_bound(
-      samples_.begin(), samples_.end(), t,
-      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
-  if (it->t == t) return it->p;
-  const geo::STPoint& after = *it;
-  const geo::STPoint& before = *(it - 1);
-  const double f = static_cast<double>(t - before.t) /
-                   static_cast<double>(after.t - before.t);
-  return geo::Point{before.p.x + f * (after.p.x - before.p.x),
-                    before.p.y + f * (after.p.y - before.p.y)};
+  // t falls in the archived range (or the archived->hot gap): fault in the
+  // bracketing samples.
+  std::vector<geo::STPoint> cold;
+  if (!CollectArchived(t, t, &cold)) return std::nullopt;
+  const geo::STPoint* before = nullptr;
+  const geo::STPoint* after = nullptr;
+  for (const geo::STPoint& sample : cold) {
+    if (sample.t == t) return sample.p;
+    if (sample.t < t) {
+      before = &sample;  // ascending order: keeps the latest one before t
+    } else if (after == nullptr) {
+      after = &sample;
+    }
+  }
+  if (after == nullptr && !samples_.empty()) after = &samples_.front();
+  if (before == nullptr || after == nullptr) return std::nullopt;
+  const double f = static_cast<double>(t - before->t) /
+                   static_cast<double>(after->t - before->t);
+  return geo::Point{before->p.x + f * (after->p.x - before->p.x),
+                    before->p.y + f * (after->p.y - before->p.y)};
 }
 
 std::optional<geo::STPoint> Phl::NearestSample(
     const geo::STPoint& query, const geo::STMetric& metric) const {
-  if (samples_.empty()) return std::nullopt;
-  // Samples are time-sorted, and the metric's squared distance is bounded
-  // below by (meters_per_second * dt)^2.  Seed at the temporal insertion
-  // point and expand outward; on each side dt grows monotonically, so a
-  // side can be abandoned for good once its time-only bound STRICTLY
-  // exceeds the best squared distance (a non-strict prune could drop an
-  // equal-distance sample and change which tie wins).
-  const auto pivot = std::lower_bound(
-      samples_.begin(), samples_.end(), query.t,
-      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+  if (empty()) return std::nullopt;
+  // Cold candidates must outlive `best` (which may point into them).
+  std::vector<geo::STPoint> cold;
   const geo::STPoint* best = nullptr;
   double best_d2 = 0.0;
   // Ties on squared distance resolve to the earliest sample — the same
   // winner as the linear scan's first strict minimum, and independent of
-  // the order the two sides are visited in.
+  // the order the two sides (and the tiers) are visited in.
   const auto consider = [&](const geo::STPoint& sample) {
     const double d2 = metric.SquaredDistance(sample, query);
     if (best == nullptr || d2 < best_d2 ||
@@ -114,56 +182,101 @@ std::optional<geo::STPoint> Phl::NearestSample(
       best = &sample;
     }
   };
-  const auto time_bound2 = [&](const geo::STPoint& sample) {
+  const auto time_bound2 = [&](geo::Instant t) {
     const double dt =
-        metric.meters_per_second * static_cast<double>(sample.t - query.t);
+        metric.meters_per_second * static_cast<double>(t - query.t);
     return dt * dt;
   };
-  auto lo = pivot;
-  auto hi = pivot;
-  bool lo_done = lo == samples_.begin();
-  bool hi_done = hi == samples_.end();
-  while (!lo_done || !hi_done) {
-    // Visit the temporally closer side first so the prune bound tightens
-    // as early as possible (pure efficiency: the tie rule above makes the
-    // result visit-order independent).
-    bool take_lo;
-    if (hi_done) {
-      take_lo = true;
-    } else if (lo_done) {
-      take_lo = false;
-    } else {
-      take_lo = (query.t - (lo - 1)->t) <= (hi->t - query.t);
-    }
-    if (take_lo) {
-      const geo::STPoint& sample = *(lo - 1);
-      if (best != nullptr && time_bound2(sample) > best_d2) {
-        lo_done = true;
-        continue;
+  if (!samples_.empty()) {
+    // Samples are time-sorted, and the metric's squared distance is
+    // bounded below by (meters_per_second * dt)^2.  Seed at the temporal
+    // insertion point and expand outward; on each side dt grows
+    // monotonically, so a side can be abandoned for good once its
+    // time-only bound STRICTLY exceeds the best squared distance (a
+    // non-strict prune could drop an equal-distance sample and change
+    // which tie wins).
+    const auto pivot = std::lower_bound(
+        samples_.begin(), samples_.end(), query.t,
+        [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
+    auto lo = pivot;
+    auto hi = pivot;
+    bool lo_done = lo == samples_.begin();
+    bool hi_done = hi == samples_.end();
+    while (!lo_done || !hi_done) {
+      // Visit the temporally closer side first so the prune bound tightens
+      // as early as possible (pure efficiency: the tie rule above makes
+      // the result visit-order independent).
+      bool take_lo;
+      if (hi_done) {
+        take_lo = true;
+      } else if (lo_done) {
+        take_lo = false;
+      } else {
+        take_lo = (query.t - (lo - 1)->t) <= (hi->t - query.t);
       }
-      consider(sample);
-      --lo;
-      lo_done = lo == samples_.begin();
-    } else {
-      const geo::STPoint& sample = *hi;
-      if (best != nullptr && time_bound2(sample) > best_d2) {
-        hi_done = true;
-        continue;
+      if (take_lo) {
+        const geo::STPoint& sample = *(lo - 1);
+        if (best != nullptr && time_bound2(sample.t) > best_d2) {
+          lo_done = true;
+          continue;
+        }
+        consider(sample);
+        --lo;
+        lo_done = lo == samples_.begin();
+      } else {
+        const geo::STPoint& sample = *hi;
+        if (best != nullptr && time_bound2(sample.t) > best_d2) {
+          hi_done = true;
+          continue;
+        }
+        consider(sample);
+        ++hi;
+        hi_done = hi == samples_.end();
       }
-      consider(sample);
-      ++hi;
-      hi_done = hi == samples_.end();
     }
   }
+  if (archived_count_ > 0 && archive_ != nullptr) {
+    // The archived range precedes the hot range; its time-only lower
+    // bound comes from whichever archived instant is closest to query.t.
+    const geo::Instant nearest_t =
+        std::clamp(query.t, archived_lo_, archived_hi_);
+    // Strict prune, same rule as the hot sides: an archived sample tying
+    // the bound could still win the earliest-time tie.
+    if (best == nullptr || time_bound2(nearest_t) <= best_d2) {
+      geo::Instant lo = archived_lo_;
+      geo::Instant hi = archived_hi_;
+      if (best != nullptr && metric.meters_per_second > 0.0) {
+        // Only archived samples within sqrt(best_d2) seconds-of-metric of
+        // the query can tie or beat; +1 absorbs the sqrt rounding (a
+        // superset is safe — consider() re-checks exact distances).
+        const double reach =
+            std::sqrt(best_d2) / metric.meters_per_second + 1.0;
+        const auto reach_t = static_cast<geo::Instant>(reach);
+        lo = std::max(lo, query.t - reach_t);
+        hi = std::min(hi, query.t + reach_t);
+      }
+      if (CollectArchived(lo, hi, &cold)) {
+        for (const geo::STPoint& sample : cold) consider(sample);
+      }
+      // On a fault the answer is hot-only; the archive counted the fault
+      // and the serving layer sheds the request.
+    }
+  }
+  if (best == nullptr) return std::nullopt;
   return *best;
 }
 
 std::optional<geo::STPoint> Phl::NearestSampleLinear(
     const geo::STPoint& query, const geo::STMetric& metric) const {
-  if (samples_.empty()) return std::nullopt;
-  const geo::STPoint* best = &samples_.front();
+  std::vector<geo::STPoint> all;
+  if (archived_count_ > 0 && archive_ != nullptr) {
+    if (!CollectArchived(archived_lo_, archived_hi_, &all)) all.clear();
+  }
+  all.insert(all.end(), samples_.begin(), samples_.end());
+  if (all.empty()) return std::nullopt;
+  const geo::STPoint* best = &all.front();
   double best_d2 = metric.SquaredDistance(*best, query);
-  for (const geo::STPoint& sample : samples_) {
+  for (const geo::STPoint& sample : all) {
     const double d2 = metric.SquaredDistance(sample, query);
     if (d2 < best_d2) {
       best_d2 = d2;
@@ -174,27 +287,45 @@ std::optional<geo::STPoint> Phl::NearestSampleLinear(
 }
 
 bool Phl::HasSampleIn(const geo::STBox& box) const {
-  // Samples are time-sorted: restrict to the box's time window.
+  // Hot tier first: samples are time-sorted, restrict to the box's time
+  // window.
   const auto begin = std::lower_bound(
       samples_.begin(), samples_.end(), box.time.lo,
       [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
   for (auto it = begin; it != samples_.end() && it->t <= box.time.hi; ++it) {
     if (box.area.Contains(it->p)) return true;
   }
+  if (archived_count_ == 0 || box.time.hi < archived_lo_ ||
+      box.time.lo > archived_hi_) {
+    return false;
+  }
+  std::vector<geo::STPoint> cold;
+  if (!CollectArchived(box.time.lo, box.time.hi, &cold)) return false;
+  for (const geo::STPoint& sample : cold) {
+    if (sample.t < box.time.lo || sample.t > box.time.hi) continue;
+    if (box.area.Contains(sample.p)) return true;
+  }
   return false;
 }
 
 bool Phl::CrossesBox(const geo::STBox& box) const {
-  if (samples_.empty()) return false;
-  if (samples_.size() == 1) return box.Contains(samples_.front());
-  for (size_t i = 0; i + 1 < samples_.size(); ++i) {
-    const geo::STPoint& a = samples_[i];
-    const geo::STPoint& b = samples_[i + 1];
-    if (b.t < box.time.lo) continue;
-    if (a.t > box.time.hi) break;
-    if (SegmentIntersectsBox(a, b, box)) return true;
+  if (empty()) return false;
+  // A segment ending before the box's window cannot intersect it, so when
+  // the window starts after the first hot sample every relevant segment is
+  // hot-hot: the archive (and the bridging archived->hot segment) can be
+  // skipped without loading anything.
+  if (archived_count_ == 0 ||
+      (!samples_.empty() && box.time.lo > samples_.front().t)) {
+    return SamplesCrossBox(samples_, box);
   }
-  return false;
+  std::vector<geo::STPoint> merged;
+  if (!CollectArchived(box.time.lo, box.time.hi, &merged)) return false;
+  // Collected archived samples all precede the hot tier; consecutive
+  // elements of `merged` inside the box's window are genuinely consecutive
+  // in the full history (the collection is complete over the window), and
+  // pairs outside it are discarded by the scan's time clip.
+  merged.insert(merged.end(), samples_.begin(), samples_.end());
+  return SamplesCrossBox(merged, box);
 }
 
 bool Phl::LtConsistentWith(const std::vector<geo::STBox>& contexts) const {

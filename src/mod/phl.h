@@ -1,5 +1,15 @@
 // Personal History of Locations (paper Definition 6): the time-ordered
 // sequence of <x, y, t> samples the trusted server stores for one user.
+//
+// Under tiered storage (DESIGN.md §16) a PHL is split at a time cutoff:
+// recent samples stay resident ("hot", the samples_ vector); older ones
+// are sealed into immutable on-disk cold segments and represented here
+// only by a constant-size summary (count + covered time range).  Queries
+// that reach into the archived range fault the needed samples back in
+// through the attached PhlArchive; a fault-in failure makes the query
+// answer hot-only AND bumps the archive's fault counter, which the
+// serving layer checks to shed the affected request instead of serving a
+// wrong anonymity set.
 
 #ifndef HISTKANON_SRC_MOD_PHL_H_
 #define HISTKANON_SRC_MOD_PHL_H_
@@ -9,48 +19,102 @@
 
 #include "src/common/status.h"
 #include "src/geo/stbox.h"
+#include "src/mod/types.h"
 
 namespace histkanon {
 namespace mod {
+
+/// \brief Read-back interface over a user's archived (cold) samples.
+///
+/// Implemented by mod::ColdTier; Phl stays storage-agnostic.
+class PhlArchive {
+ public:
+  virtual ~PhlArchive() = default;
+
+  /// Appends, in ascending time order, `user`'s archived samples with
+  /// t in [lo, hi], plus the nearest archived sample strictly before `lo`
+  /// and the nearest one strictly after `hi` when they exist (the
+  /// predecessor/successor a trajectory query needs to bridge the window).
+  /// Returns false on a cold-read fault — the archive has counted it and
+  /// the caller's answer is hot-only (the serving layer must shed).
+  virtual bool CollectArchived(UserId user, geo::Instant lo, geo::Instant hi,
+                               std::vector<geo::STPoint>* out) const = 0;
+};
 
 /// \brief One user's location history.
 ///
 /// Samples are strictly increasing in time.  Between consecutive samples
 /// the user is modelled as moving linearly (for trajectory-crossing
 /// queries); LT-consistency (Definition 7) is defined over the samples
-/// themselves.
+/// themselves.  All archived samples precede all hot samples in time.
 class Phl {
  public:
   Phl() = default;
 
   /// Appends a sample.  Fails with FailedPrecondition unless its time is
-  /// strictly greater than the last sample's.
+  /// strictly greater than the last sample's (hot or archived).
   common::Status Append(const geo::STPoint& sample);
 
+  /// The HOT (resident) samples.  Archived samples are reachable only
+  /// through the query methods below.
   const std::vector<geo::STPoint>& samples() const { return samples_; }
-  bool empty() const { return samples_.empty(); }
-  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty() && archived_count_ == 0; }
+  /// Hot + archived: monotonic across seals, so size() remains a valid
+  /// change ticket for per-user memo validation.
+  size_t size() const { return samples_.size() + archived_count_; }
+  size_t hot_size() const { return samples_.size(); }
 
-  /// Time span covered, from first to last sample (empty when < 1 sample).
+  // -- Tiering hooks (driven by MovingObjectDb / the seal protocol).
+
+  /// Attaches the archive this PHL's cold samples live in.  `self` is the
+  /// user id the archive files this history under.  Not owned.
+  void AttachArchive(const PhlArchive* archive, UserId self) {
+    archive_ = archive;
+    self_ = self;
+  }
+
+  /// How many leading hot samples have t < `cutoff`, never digging below
+  /// `min_keep` resident samples — phase 1 of a seal (const: nothing is
+  /// evicted until the segment is durable).
+  size_t SealablePrefix(geo::Instant cutoff, size_t min_keep) const;
+
+  /// Phase 2 of a seal: drops the first `n` hot samples and folds them
+  /// into the archived summary.  Call only after the containing cold
+  /// segment is durably on disk.
+  void DropPrefix(size_t n);
+
+  /// Restores the archived summary from a snapshot (count 0 clears it).
+  void SetArchivedSummary(size_t count, geo::Instant lo, geo::Instant hi);
+
+  size_t archived_count() const { return archived_count_; }
+  /// Covered archived time range (valid when archived_count() > 0).
+  geo::Instant archived_lo() const { return archived_lo_; }
+  geo::Instant archived_hi() const { return archived_hi_; }
+
+  /// Time span covered, from first (archived) to last sample.
   geo::TimeInterval Span() const;
 
-  /// Linearly interpolated position at `t`; nullopt outside Span().
+  /// Linearly interpolated position at `t`; nullopt outside Span() (or on
+  /// a cold-read fault).
   std::optional<geo::Point> PositionAt(geo::Instant t) const;
 
   /// The stored sample closest to `query` under `metric`; nullopt when
   /// empty.  This is the per-user step of Algorithm 1 lines 2 and 5.
   ///
-  /// O(log n + w) where w is the number of samples whose time-only
-  /// distance bound does not exceed the best candidate: bisects to the
-  /// query time, then expands outward, pruning a side once
+  /// O(log n + w) over the hot tier, where w is the number of samples
+  /// whose time-only distance bound does not exceed the best candidate:
+  /// bisects to the query time, then expands outward, pruning a side once
   /// (meters_per_second * dt)^2 strictly exceeds the best squared
-  /// distance.  Equal-distance ties resolve to the earliest sample,
-  /// matching NearestSampleLinear's first-minimum rule exactly.
+  /// distance.  The archived range is consulted only when its time-only
+  /// bound could tie or beat the hot best (same strict-prune rule).
+  /// Equal-distance ties resolve to the earliest sample, matching
+  /// NearestSampleLinear's first-minimum rule exactly.
   std::optional<geo::STPoint> NearestSample(const geo::STPoint& query,
                                             const geo::STMetric& metric) const;
 
-  /// Reference implementation of NearestSample: full linear scan keeping
-  /// the first (earliest-time) minimum.  Kept for differential tests.
+  /// Reference implementation of NearestSample: full linear scan (cold
+  /// samples faulted in wholesale) keeping the first (earliest-time)
+  /// minimum.  Kept for differential tests.
   std::optional<geo::STPoint> NearestSampleLinear(
       const geo::STPoint& query, const geo::STMetric& metric) const;
 
@@ -70,7 +134,17 @@ class Phl {
   bool LtConsistentWith(const std::vector<geo::STBox>& contexts) const;
 
  private:
+  /// Collects archived samples for [lo, hi] (with pred/succ) into `out`.
+  /// True when the archive is absent/irrelevant or the load succeeded.
+  bool CollectArchived(geo::Instant lo, geo::Instant hi,
+                       std::vector<geo::STPoint>* out) const;
+
   std::vector<geo::STPoint> samples_;
+  const PhlArchive* archive_ = nullptr;
+  UserId self_ = kInvalidUser;
+  size_t archived_count_ = 0;
+  geo::Instant archived_lo_ = 0;
+  geo::Instant archived_hi_ = 0;
 };
 
 }  // namespace mod

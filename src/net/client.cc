@@ -1,7 +1,10 @@
 #include "src/net/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -209,6 +212,81 @@ common::Result<WireReply> RpcClient::WaitAnyReply() {
       return common::Status::Unavailable("connection closed by server");
     }
   }
+}
+
+uint32_t RpcClient::RetryBackoffMs(const RetryOptions& options,
+                                   mod::UserId user, int attempt,
+                                   uint32_t retry_after_ms) {
+  // Cap the exponent before shifting so a large attempt count cannot
+  // overflow into a tiny backoff.
+  uint64_t base = options.initial_backoff_ms;
+  for (int i = 0; i < attempt && base < options.max_backoff_ms; ++i) {
+    base <<= 1;
+  }
+  base = std::min<uint64_t>(base, options.max_backoff_ms);
+  // Deterministic jitter into [base/2, base]: splitmix64 over the seed,
+  // user, and attempt, so a fleet with distinct users (or seeds)
+  // decorrelates while any single run stays reproducible.
+  uint64_t x = options.jitter_seed ^ (static_cast<uint64_t>(user) *
+                                     0x9E3779B97F4A7C15ull) ^
+               (static_cast<uint64_t>(attempt) + 1);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const uint64_t half = base / 2;
+  uint64_t jittered = half + (half > 0 ? x % (base - half + 1) : 0);
+  // The server's hint is a floor, not a suggestion: it knows how long the
+  // breaker needs.
+  return static_cast<uint32_t>(
+      std::max<uint64_t>(jittered, retry_after_ms));
+}
+
+common::Result<WireReply> RpcClient::RequestWithRetry(
+    mod::UserId user, const geo::STPoint& exact, mod::ServiceId service,
+    std::string data, const RetryOptions& options, uint64_t trace_id,
+    RetryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const int max_attempts = std::max(options.max_attempts, 1);
+  RetryStats local;
+  WireReply last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++local.attempts;
+    common::Result<uint64_t> request_id =
+        SendRequest(user, exact, service, data, trace_id);
+    if (!request_id.ok()) {
+      if (stats != nullptr) *stats = local;
+      return request_id.status();
+    }
+    common::Result<WireReply> reply = WaitReply(*request_id);
+    if (!reply.ok()) {
+      if (stats != nullptr) *stats = local;
+      return reply.status();
+    }
+    last = std::move(*reply);
+    if (last.msg.type != MsgType::kThrottled) {
+      if (stats != nullptr) *stats = local;
+      return last;
+    }
+    ++local.throttled_replies;
+    if (attempt + 1 == max_attempts) break;
+    const uint32_t backoff_ms =
+        RetryBackoffMs(options, user, attempt, last.msg.retry_after_ms);
+    if (options.deadline_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed + backoff_ms / 1000.0 > options.deadline_seconds) {
+        local.deadline_exhausted = true;
+        break;
+      }
+    }
+    local.backoff_ms_total += backoff_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+  if (stats != nullptr) *stats = local;
+  return last;  // the last Throttled reply: callers see the shed reason
 }
 
 common::Status RpcClient::PollReplies() {

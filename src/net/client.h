@@ -26,6 +26,37 @@ struct WireReply {
   uint64_t trace_id = 0;
 };
 
+/// \brief Retry policy for RequestWithRetry: capped exponential backoff
+/// with deterministic jitter, honoring the server's Throttled
+/// `retry_after_ms` hint as a floor.
+struct RetryOptions {
+  /// Total tries, including the first.  1 = no retries.
+  int max_attempts = 5;
+  /// Backoff before retry i (0-based) is `initial_backoff_ms << i`,
+  /// capped at `max_backoff_ms`, then jittered into [1/2, 1] of itself
+  /// so a synchronized fleet of clients decorrelates.
+  uint32_t initial_backoff_ms = 10;
+  uint32_t max_backoff_ms = 2000;
+  /// Wall-clock budget for the whole send+retry sequence; once sleeping
+  /// would cross it, the last Throttled reply is returned as-is.  Zero
+  /// means no deadline.
+  double deadline_seconds = 0.0;
+  /// Seed for the jitter PRNG, mixed with the user id so identical
+  /// configs still spread.  Deterministic for a given (seed, user,
+  /// attempt) — load tests stay reproducible.
+  uint64_t jitter_seed = 1;
+};
+
+/// \brief What a RequestWithRetry call actually did, for load reporting.
+struct RetryStats {
+  int attempts = 0;
+  int throttled_replies = 0;
+  uint64_t backoff_ms_total = 0;
+  /// True when the sequence gave up on the deadline rather than on
+  /// attempts or success.
+  bool deadline_exhausted = false;
+};
+
 /// \brief A blocking HKNETRP1 connection.
 class RpcClient {
  public:
@@ -69,6 +100,27 @@ class RpcClient {
   common::Status SendEndEpoch();
 
   // -- Receives.
+
+  /// Sends a service request and waits for its reply, retrying Throttled
+  /// replies under `options` (capped exponential backoff + jitter, the
+  /// server's `retry_after_ms` honored as a floor).  Returns the first
+  /// non-Throttled reply; when attempts or the deadline run out, returns
+  /// the LAST Throttled reply so callers can see the shed reason.
+  /// Transport errors are not retried — a lost connection needs a
+  /// reconnect, which is the caller's decision.
+  common::Result<WireReply> RequestWithRetry(mod::UserId user,
+                                             const geo::STPoint& exact,
+                                             mod::ServiceId service,
+                                             std::string data,
+                                             const RetryOptions& options,
+                                             uint64_t trace_id = 0,
+                                             RetryStats* stats = nullptr);
+
+  /// The backoff RequestWithRetry would sleep before 0-based retry
+  /// `attempt` (exposed for tests: pure function of the inputs).
+  static uint32_t RetryBackoffMs(const RetryOptions& options,
+                                 mod::UserId user, int attempt,
+                                 uint32_t retry_after_ms);
 
   /// Blocks until the reply for `request_id` arrives.  Replies for other
   /// request ids received meanwhile are stashed and returned by their own

@@ -1,11 +1,68 @@
 #include "src/obs/event_log.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "src/common/str.h"
 
 namespace histkanon {
 namespace obs {
+namespace {
+
+std::string GenerationPath(const std::string& path, size_t generation) {
+  return common::Format("%s.%zu", path.c_str(), generation);
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream probe(path);
+  return probe.is_open();
+}
+
+}  // namespace
+
+RotatingFileEventSink::RotatingFileEventSink(
+    RotatingFileEventSinkOptions options)
+    : options_(std::move(options)),
+      out_(options_.path, std::ios::trunc) {}
+
+void RotatingFileEventSink::Append(const std::string& line) {
+  if (!out_.is_open()) return;
+  const uint64_t record_bytes = line.size() + 1;
+  // Rotate BEFORE the append that would overflow, so no file exceeds the
+  // cap by more than one oversized record (which must land somewhere).
+  if (live_bytes_ > 0 &&
+      live_bytes_ + record_bytes > options_.max_file_bytes) {
+    Rotate();
+    if (!out_.is_open()) return;
+  }
+  out_ << line << '\n';
+  live_bytes_ += record_bytes;
+  total_bytes_ += record_bytes;
+}
+
+void RotatingFileEventSink::Rotate() {
+  out_.flush();
+  out_.close();
+  if (options_.max_rotated_files == 0) {
+    // Truncate in place: reopening with trunc discards the old contents.
+    out_.open(options_.path, std::ios::trunc);
+  } else {
+    // Shift generations oldest-first so each rename target is free, then
+    // slot the live file in as generation 1.
+    std::remove(
+        GenerationPath(options_.path, options_.max_rotated_files).c_str());
+    for (size_t generation = options_.max_rotated_files; generation > 1;
+         --generation) {
+      std::rename(GenerationPath(options_.path, generation - 1).c_str(),
+                  GenerationPath(options_.path, generation).c_str());
+    }
+    std::rename(options_.path.c_str(),
+                GenerationPath(options_.path, 1).c_str());
+    out_.open(options_.path, std::ios::trunc);
+  }
+  live_bytes_ = 0;
+  ++rotations_;
+}
 
 common::Result<EventLogReadResult> ReadEventLog(const std::string& path) {
   std::ifstream in(path);
@@ -55,6 +112,49 @@ ReadEventLogFile(const std::string& path) {
   common::Result<EventLogReadResult> result = ReadEventLog(path);
   if (!result.ok()) return result.status();
   return std::move(result->events);
+}
+
+common::Result<EventLogReadResult> ReadRotatedEventLog(
+    const std::string& path) {
+  // Find the oldest surviving generation: generations are contiguous from
+  // 1 upward (retention deletes from the old end), so walk up until the
+  // first gap.
+  size_t oldest = 0;
+  while (FileExists(GenerationPath(path, oldest + 1))) ++oldest;
+
+  EventLogReadResult stitched;
+  bool found_any = false;
+  for (size_t generation = oldest; generation > 0; --generation) {
+    const std::string generation_path = GenerationPath(path, generation);
+    common::Result<EventLogReadResult> part = ReadEventLog(generation_path);
+    if (!part.ok()) return part.status();
+    found_any = true;
+    if (!part->clean) {
+      stitched.clean = false;
+      stitched.tail_error = part->tail_error;
+    }
+    for (auto& event : part->events) {
+      stitched.events.push_back(std::move(event));
+    }
+  }
+  if (FileExists(path)) {
+    common::Result<EventLogReadResult> live = ReadEventLog(path);
+    if (!live.ok()) return live.status();
+    found_any = true;
+    if (!live->clean) {
+      stitched.clean = false;
+      stitched.tail_error = live->tail_error;
+    }
+    for (auto& event : live->events) {
+      stitched.events.push_back(std::move(event));
+    }
+  }
+  if (!found_any) {
+    return common::Status::NotFound(
+        common::Format("no event log found at %s (or rotated generations)",
+                       path.c_str()));
+  }
+  return stitched;
 }
 
 }  // namespace obs

@@ -83,6 +83,59 @@ class FileEventSink : public EventSink {
   uint64_t bytes_ = 0;
 };
 
+/// \brief Knobs for RotatingFileEventSink.
+struct RotatingFileEventSinkOptions {
+  /// Live file path; rotated generations live at `path.1` (newest) through
+  /// `path.max_rotated_files` (oldest).
+  std::string path;
+  /// Rotate before an append would push the live file past this size.
+  uint64_t max_file_bytes = 1 << 20;
+  /// Rotated generations kept on disk; older ones are deleted.  Zero means
+  /// rotation truncates in place (only the live file ever exists).
+  size_t max_rotated_files = 3;
+};
+
+/// \brief FileEventSink with size-based rotation and bounded retention.
+///
+/// When an append would push the live file past `max_file_bytes`, the sink
+/// closes it, shifts `path.i` to `path.i+1` (dropping the generation past
+/// `max_rotated_files`), renames the live file to `path.1`, and reopens
+/// `path` truncated.  Total disk footprint is therefore bounded by
+/// `(max_rotated_files + 1) * max_file_bytes` plus one oversized record.
+/// Readers use ReadRotatedEventLog to stitch the generations back together.
+class RotatingFileEventSink : public EventSink {
+ public:
+  explicit RotatingFileEventSink(RotatingFileEventSinkOptions options);
+
+  /// False when the live file could not be opened; appends are then dropped.
+  bool ok() const { return out_.is_open(); }
+
+  void Append(const std::string& line) override;
+
+  /// Bytes accepted across ALL generations, including deleted ones — the
+  /// resource-accounting inventory wants lifetime throughput, not the
+  /// (bounded) on-disk footprint.
+  uint64_t bytes_written() const override { return total_bytes_; }
+
+  /// Flushes buffered records of the live file to disk.
+  void Flush() { out_.flush(); }
+
+  /// Times the live file has been rotated out.
+  uint64_t rotations() const { return rotations_; }
+
+  /// Bytes currently in the live file.
+  uint64_t live_bytes() const { return live_bytes_; }
+
+ private:
+  void Rotate();
+
+  RotatingFileEventSinkOptions options_;
+  std::ofstream out_;
+  uint64_t live_bytes_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t rotations_ = 0;
+};
+
 /// \brief Result of a tolerant event-log read.
 struct EventLogReadResult {
   std::vector<std::map<std::string, std::string>> events;
@@ -105,6 +158,16 @@ common::Result<EventLogReadResult> ReadEventLog(const std::string& path);
 /// (a torn tail is tolerated and silently dropped).
 common::Result<std::vector<std::map<std::string, std::string>>>
 ReadEventLogFile(const std::string& path);
+
+/// Reads a rotated event-log family (see RotatingFileEventSink) oldest
+/// generation first, ending with the live file, and returns the stitched
+/// stream.  Missing generations are skipped — retention deletes the oldest
+/// ones by design.  A torn tail in ANY generation is tolerated per file
+/// (a crash can land mid-append before or after a rotation shift) and
+/// reported through `clean`/`tail_error`.  NotFound only when no file of
+/// the family exists at all.
+common::Result<EventLogReadResult> ReadRotatedEventLog(
+    const std::string& path);
 
 }  // namespace obs
 }  // namespace histkanon

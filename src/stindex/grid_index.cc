@@ -55,6 +55,21 @@ void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
   ++epoch_;
 }
 
+bool GridIndex::Remove(mod::UserId user, const geo::STPoint& sample) {
+  const CellKey key = CellOf(sample);
+  const auto cell = cells_.find(key);
+  if (cell == cells_.end()) return false;
+  std::vector<Entry>& entries = cell->second;
+  const Entry target{user, sample};
+  const auto it = std::find(entries.begin(), entries.end(), target);
+  if (it == entries.end()) return false;
+  entries.erase(it);
+  if (entries.empty()) cells_.erase(cell);
+  --size_;
+  ++epoch_;
+  return true;
+}
+
 std::vector<Entry> GridIndex::RangeQuery(const geo::STBox& box) const {
   if (range_queries_ != nullptr) range_queries_->Increment();
   std::vector<Entry> hits;

@@ -36,6 +36,13 @@ class GridIndex : public SpatioTemporalIndex {
 
   const std::string& name() const override { return name_; }
   void Insert(mod::UserId user, const geo::STPoint& sample) override;
+
+  /// Removes one (user, sample) entry; false if absent.  Used by the seal
+  /// protocol to drop archived samples from the hot index.  The lattice
+  /// bounding box is NOT re-tightened (stale bounds only widen iteration
+  /// clipping, never change answers).
+  bool Remove(mod::UserId user, const geo::STPoint& sample);
+
   size_t size() const override { return size_; }
   uint64_t epoch() const override { return epoch_; }
   std::vector<Entry> RangeQuery(const geo::STBox& box) const override;

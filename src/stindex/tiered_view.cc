@@ -1,0 +1,89 @@
+#include "src/stindex/tiered_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace histkanon {
+namespace stindex {
+
+std::vector<Entry> TieredIndexView::RangeQuery(const geo::STBox& box) const {
+  std::vector<Entry> hits = hot_->RangeQuery(box);
+  if (box.IsEmpty() || cold_->manifest().empty()) return hits;
+  // A fault mid-scan leaves the answer hot-only; the fault counter (and
+  // therefore this view's epoch) has already moved, so the serving layer
+  // sheds rather than trusting the partial answer.
+  cold_->ForEachSampleIn(
+      box.time.lo, box.time.hi,
+      [&](mod::UserId user, const geo::STPoint& sample) {
+        if (box.Contains(sample)) hits.push_back(Entry{user, sample});
+      });
+  return hits;
+}
+
+std::vector<UserNeighbor> TieredIndexView::NearestPerUser(
+    const geo::STPoint& query, size_t k, mod::UserId exclude,
+    const geo::STMetric& metric) const {
+  std::vector<UserNeighbor> hot = hot_->NearestPerUser(query, k, exclude,
+                                                       metric);
+  if (k == 0 || cold_->manifest().empty()) return hot;
+
+  // Squared distance the k-th answer must beat.  Hot distances come back
+  // square-rooted; re-derive the exact squared value from the sample so
+  // the comparison happens in the same arithmetic the indexes use.
+  double kth_d2 = std::numeric_limits<double>::infinity();
+  if (hot.size() == k) {
+    kth_d2 = metric.SquaredDistance(hot.back().sample, query);
+  }
+
+  // Candidate users: everyone in the hot top-k, plus every user with a
+  // cold sample close enough IN TIME ALONE to tie or beat the k-th hot
+  // answer (non-strict, so boundary ties are re-examined, keeping the
+  // answer a pure function of the stored content).
+  std::set<mod::UserId> candidates;
+  for (const UserNeighbor& neighbor : hot) candidates.insert(neighbor.user);
+  geo::Instant lo = std::numeric_limits<geo::Instant>::min();
+  geo::Instant hi = std::numeric_limits<geo::Instant>::max();
+  if (std::isfinite(kth_d2) && metric.meters_per_second > 0.0) {
+    const double window =
+        std::sqrt(kth_d2) / metric.meters_per_second + 1.0;
+    lo = query.t - static_cast<geo::Instant>(window);
+    hi = query.t + static_cast<geo::Instant>(window);
+  }
+  if (!cold_->ForEachSampleIn(lo, hi,
+                              [&](mod::UserId user, const geo::STPoint&) {
+                                if (user != exclude) candidates.insert(user);
+                              })) {
+    return hot;  // cold fault: hot-only answer, epoch moved, request sheds
+  }
+
+  // True per-user best through the archive-aware PHL path.  Per-user
+  // equal-distance ties resolve to the earliest sample there, which for a
+  // single user's strictly-increasing times IS the SampleContentLess rule
+  // the hot indexes use.
+  std::vector<UserNeighbor> merged;
+  merged.reserve(candidates.size());
+  for (const mod::UserId user : candidates) {
+    const common::Result<const mod::Phl*> phl = store_->GetPhl(user);
+    if (!phl.ok()) continue;
+    const std::optional<geo::STPoint> best =
+        (*phl)->NearestSample(query, metric);
+    if (!best.has_value()) continue;
+    merged.push_back(
+        UserNeighbor{user, *best, metric.SquaredDistance(*best, query)});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const UserNeighbor& a, const UserNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.user < b.user;
+            });
+  if (merged.size() > k) merged.resize(k);
+  for (UserNeighbor& neighbor : merged) {
+    neighbor.distance = std::sqrt(neighbor.distance);
+  }
+  return merged;
+}
+
+}  // namespace stindex
+}  // namespace histkanon

@@ -1,0 +1,65 @@
+// A SpatioTemporalIndex over tiered PHL storage (DESIGN.md §16): the hot
+// index answers for resident samples; queries whose answer could involve
+// sealed history merge in samples faulted from the cold tier.
+//
+// The view is exact, not approximate — NearestPerUser re-derives the true
+// per-user best through the archive-aware Phl query path whenever a cold
+// sample could tie or beat the hot k-th answer.  A cold-read fault makes
+// the answer hot-only AND bumps the tier's fault counter, which this view
+// folds into its epoch: any memo keyed on the epoch self-invalidates, and
+// the serving layer sheds the affected request instead of serving a wrong
+// anonymity set.
+
+#ifndef HISTKANON_SRC_STINDEX_TIERED_VIEW_H_
+#define HISTKANON_SRC_STINDEX_TIERED_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mod/cold_tier.h"
+#include "src/mod/object_store.h"
+#include "src/stindex/index.h"
+
+namespace histkanon {
+namespace stindex {
+
+/// \brief Exact hot + cold merge view.  Insert goes to the hot index;
+/// removal on seal is the owner's job (GridIndex::Remove).
+class TieredIndexView : public SpatioTemporalIndex {
+ public:
+  /// None of the three are owned; all must outlive the view.
+  TieredIndexView(SpatioTemporalIndex* hot, const mod::ColdTier* cold,
+                  const mod::ObjectStore* store)
+      : hot_(hot), cold_(cold), store_(store) {}
+
+  const std::string& name() const override { return name_; }
+  void Insert(mod::UserId user, const geo::STPoint& sample) override {
+    hot_->Insert(user, sample);
+  }
+  /// Hot + sealed samples: monotonic across seals (a seal moves samples,
+  /// never loses them).
+  size_t size() const override {
+    return hot_->size() + static_cast<size_t>(cold_->total_samples());
+  }
+  /// Hot epoch (bumped by Insert AND by the per-sample removals of a
+  /// seal) plus the cold fault count, so any cached answer that may have
+  /// been computed hot-only under a fault self-invalidates.
+  uint64_t epoch() const override {
+    return hot_->epoch() + cold_->fault_count();
+  }
+  std::vector<Entry> RangeQuery(const geo::STBox& box) const override;
+  std::vector<UserNeighbor> NearestPerUser(
+      const geo::STPoint& query, size_t k, mod::UserId exclude,
+      const geo::STMetric& metric) const override;
+
+ private:
+  std::string name_ = "tiered";
+  SpatioTemporalIndex* hot_;
+  const mod::ColdTier* cold_;
+  const mod::ObjectStore* store_;
+};
+
+}  // namespace stindex
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_STINDEX_TIERED_VIEW_H_

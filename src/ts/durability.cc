@@ -7,6 +7,7 @@
 #include "src/ts/durability.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -506,7 +507,18 @@ common::Status TsJournal::AppendSnapshot(std::string_view snapshot) {
   writer.PutString(snapshot);
   const size_t old_size = bytes_.size();
   dur::AppendRecord(&bytes_, writer.bytes());
-  return CommitAppend(old_size);
+  HISTKANON_RETURN_NOT_OK(CommitAppend(old_size));
+  // The prefix before this record is subsumed: recovery scans forward to
+  // the LAST intact snapshot, so everything earlier is dead weight that
+  // Compact() may reclaim.
+  last_snapshot_offset_ = old_size;
+  if (auto_compact_) {
+    // Best-effort: a failed compaction leaves the uncompacted journal
+    // fully valid (a failed reopen poisons the sink fail-closed instead);
+    // either way THIS snapshot append succeeded.
+    (void)Compact();
+  }
+  return common::Status::OK();
 }
 
 common::Status TsJournal::AppendAnnotation(uint64_t next_trace_id) {
@@ -519,6 +531,14 @@ common::Status TsJournal::AppendAnnotation(uint64_t next_trace_id) {
 }
 
 common::Status TsJournal::CommitAppend(size_t old_size) {
+  if (sink_broken_) {
+    // A compaction renamed the file but could not reopen it: appending
+    // in memory only would diverge from the durable artifact, so the
+    // journal fails closed and the caller suppresses the event.
+    bytes_.resize(old_size);
+    return common::Status::Internal(
+        "journal sink lost by a failed compaction reopen");
+  }
   if (sink_ == nullptr) return common::Status::OK();
   common::Status status = sink_->Append(
       std::string_view(bytes_).substr(old_size));
@@ -551,6 +571,85 @@ common::Status TsJournal::WriteToFile(const std::string& path) const {
                              dur::FileSink::Open(path));
   HISTKANON_RETURN_NOT_OK(sink->Append(bytes_));
   return sink->Close();
+}
+
+common::Status TsJournal::OpenFileSink(std::string path) {
+  HISTKANON_ASSIGN_OR_RETURN(std::unique_ptr<dur::FileSink> sink,
+                             dur::FileSink::Open(path));
+  HISTKANON_RETURN_NOT_OK(AttachSink(sink.get()));
+  owned_sink_ = std::move(sink);
+  path_ = std::move(path);
+  sink_broken_ = false;
+  return common::Status::OK();
+}
+
+common::Status TsJournal::Compact() {
+  if (sink_broken_) {
+    return common::Status::Internal(
+        "journal sink lost by a failed compaction reopen");
+  }
+  if (sink_ != nullptr && owned_sink_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "compaction requires an owned file sink (or none): an externally "
+        "attached sink's contents cannot be rewritten");
+  }
+  const size_t magic_size = dur::JournalMagic().size();
+  if (last_snapshot_offset_ <= magic_size) {
+    return common::Status::OK();  // no snapshot yet, or nothing before it
+  }
+  std::string compacted;
+  compacted.reserve(magic_size + bytes_.size() - last_snapshot_offset_);
+  dur::AppendMagic(&compacted);
+  compacted.append(bytes_, last_snapshot_offset_, std::string::npos);
+  if (owned_sink_ != nullptr) {
+    // Copy-forward + atomic rename.  The tmp file is synced before the
+    // rename, so the snapshot record is durable in the NEW file before
+    // the old one (and the prefix it subsumed) disappears; a crash at
+    // any byte leaves either the full or the compacted journal, both of
+    // which recover to the same state.
+    const std::string tmp = path_ + ".compact";
+    {
+      HISTKANON_FAILPOINT_RETURN(fail::kDurCompactWrite);
+      HISTKANON_ASSIGN_OR_RETURN(std::unique_ptr<dur::FileSink> sink,
+                                 dur::FileSink::Open(tmp));
+      common::Status written = sink->Append(compacted);
+      if (written.ok()) written = sink->Close();
+      if (!written.ok()) {
+        std::remove(tmp.c_str());
+        return written;  // original journal untouched
+      }
+    }
+    HISTKANON_FAILPOINT_RETURN(fail::kDurCompactRename);
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return common::Status::Internal(
+          common::Format("rename(%s, %s) failed compacting the journal",
+                         tmp.c_str(), path_.c_str()));
+    }
+    // Point of no return: the visible file IS the compacted journal, and
+    // the old handle points at the unlinked inode.  Failing to reopen
+    // leaves no sink, and CommitAppend refuses to diverge (fail-closed).
+    sink_ = nullptr;
+    owned_sink_.reset();
+    const fail::Action reopen_gate =
+        HISTKANON_FAILPOINT(fail::kDurCompactReopen);
+    if (reopen_gate.kind == fail::ActionKind::kError) {
+      sink_broken_ = true;
+      return reopen_gate.ToStatus();
+    }
+    common::Result<std::unique_ptr<dur::FileSink>> reopened =
+        dur::FileSink::OpenAppend(path_);
+    if (!reopened.ok()) {
+      sink_broken_ = true;
+      return reopened.status();
+    }
+    owned_sink_ = std::move(*reopened);
+    sink_ = owned_sink_.get();
+  }
+  bytes_ = std::move(compacted);
+  last_snapshot_offset_ = magic_size;
+  ++compactions_;
+  return common::Status::OK();
 }
 
 // ---------------------------------------------------------------------
@@ -962,6 +1061,16 @@ void TrustedServer::RegisterResourceProbes(obs::ResourceAccountant* accountant,
   accountant->RegisterProbe(prefix + "outcomes", [this] {
     return static_cast<uint64_t>(outcomes_.size() * sizeof(ProcessOutcome));
   });
+  if (cold_ != nullptr) {
+    // Tiered storage: what is actually RESIDENT — the flat-RSS soak
+    // watches these stay bounded while phl_samples (hot + archived)
+    // grows without limit.
+    accountant->RegisterProbe(prefix + "phl_hot", [this] {
+      return static_cast<uint64_t>(db_.hot_samples() * sizeof(geo::STPoint));
+    });
+    accountant->RegisterProbe(prefix + "cold_resident",
+                              [this] { return cold_->resident_bytes(); });
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -980,12 +1089,28 @@ common::Result<std::string> TrustedServer::Checkpoint() const {
   writer.PutBool(options_.forward_when_at_risk);
   writer.PutBool(options_.per_request_randomization);
   writer.PutDouble(options_.randomizer.max_expand_fraction);
-  // Moving-object db (the index is rebuilt from it on restore).
+  // Retention is part of the fingerprint (DESIGN.md §16): it decides
+  // which samples are evictable, when seals fire on the event timeline,
+  // and how much outcome history survives — a twin with different
+  // retention diverges, so RestoreFrom must refuse its blobs.
+  writer.PutBool(options_.retention.enabled);
+  writer.PutI64(options_.retention.hot_window_seconds);
+  writer.PutI64(options_.retention.seal_period_seconds);
+  writer.PutU64(options_.retention.min_hot_samples_per_user);
+  writer.PutU64(options_.retention.min_seal_samples);
+  writer.PutU64(options_.retention.max_outcomes);
+  // Moving-object db (the index is rebuilt from it on restore).  Per
+  // user: the constant-size archived summary, then the HOT samples —
+  // archived contents stay in their cold segments, referenced by the
+  // manifest below.
   const std::vector<mod::UserId> db_users = db_.Users();
   writer.PutU64(db_users.size());
   for (const mod::UserId user : db_users) {
     writer.PutI64(user);
     HISTKANON_ASSIGN_OR_RETURN(const mod::Phl* phl, db_.GetPhl(user));
+    writer.PutU64(phl->archived_count());
+    writer.PutI64(phl->archived_lo());
+    writer.PutI64(phl->archived_hi());
     writer.PutU64(phl->samples().size());
     for (const geo::STPoint& sample : phl->samples()) {
       PutPoint(&writer, sample);
@@ -1049,6 +1174,25 @@ common::Result<std::string> TrustedServer::Checkpoint() const {
   for (const ProcessOutcome& outcome : outcomes_) {
     PutOutcome(&writer, outcome);
   }
+  // Seal schedule + cold manifest: recovery resumes sealing at exactly
+  // the same event-stream points (the schedule advances on attempt, a
+  // pure function of the admitted stream), so post-snapshot seals are
+  // re-executed byte-identically during replay.
+  writer.PutBool(seal_initialized_);
+  writer.PutI64(next_seal_at_);
+  writer.PutU64(next_segment_seq_);
+  if (cold_ != nullptr) {
+    const std::vector<mod::ColdSegmentInfo>& manifest = cold_->manifest();
+    writer.PutU64(manifest.size());
+    for (const mod::ColdSegmentInfo& info : manifest) {
+      writer.PutU64(info.seq);
+      writer.PutI64(info.t_lo);
+      writer.PutI64(info.t_hi);
+      writer.PutU64(info.samples);
+    }
+  } else {
+    writer.PutU64(0);
+  }
   std::string blob = writer.TakeBytes();
   // Resource-accounting bookkeeping only; the blob itself is unaffected
   // (and deliberately excludes the trace-id counter, so snapshot bytes are
@@ -1062,7 +1206,8 @@ common::Status TrustedServer::RestoreFrom(
   const bool fresh = users_.empty() && services_.empty() &&
                      db_.Users().empty() && monitor_.Users().empty() &&
                      outcomes_.empty() && stats_.requests == 0 &&
-                     next_msgid_ == 1;
+                     next_msgid_ == 1 && !seal_initialized_ &&
+                     (cold_ == nullptr || cold_->manifest().empty());
   if (!fresh) {
     return common::Status::FailedPrecondition(
         "restore requires a freshly constructed server");
@@ -1080,6 +1225,12 @@ common::Status TrustedServer::RestoreFrom(
   bool forward_when_at_risk = false;
   bool per_request_randomization = false;
   double max_expand_fraction = 0.0;
+  bool retention_enabled = false;
+  geo::Instant hot_window_seconds = 0;
+  geo::Instant seal_period_seconds = 0;
+  uint64_t min_hot_samples_per_user = 0;
+  uint64_t min_seal_samples = 0;
+  uint64_t max_outcomes = 0;
   HISTKANON_RETURN_NOT_OK(reader.ReadU64(&pseudonym_seed));
   HISTKANON_RETURN_NOT_OK(reader.ReadU64(&randomizer_seed));
   HISTKANON_RETURN_NOT_OK(reader.ReadBool(&enable_unlinking));
@@ -1087,13 +1238,25 @@ common::Status TrustedServer::RestoreFrom(
   HISTKANON_RETURN_NOT_OK(reader.ReadBool(&forward_when_at_risk));
   HISTKANON_RETURN_NOT_OK(reader.ReadBool(&per_request_randomization));
   HISTKANON_RETURN_NOT_OK(reader.ReadDouble(&max_expand_fraction));
+  HISTKANON_RETURN_NOT_OK(reader.ReadBool(&retention_enabled));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&hot_window_seconds));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&seal_period_seconds));
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&min_hot_samples_per_user));
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&min_seal_samples));
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&max_outcomes));
   if (pseudonym_seed != options_.pseudonym_seed ||
       randomizer_seed != options_.randomizer_seed ||
       enable_unlinking != options_.enable_unlinking ||
       enable_randomization != options_.enable_randomization ||
       forward_when_at_risk != options_.forward_when_at_risk ||
       per_request_randomization != options_.per_request_randomization ||
-      max_expand_fraction != options_.randomizer.max_expand_fraction) {
+      max_expand_fraction != options_.randomizer.max_expand_fraction ||
+      retention_enabled != options_.retention.enabled ||
+      hot_window_seconds != options_.retention.hot_window_seconds ||
+      seal_period_seconds != options_.retention.seal_period_seconds ||
+      min_hot_samples_per_user != options_.retention.min_hot_samples_per_user ||
+      min_seal_samples != options_.retention.min_seal_samples ||
+      max_outcomes != options_.retention.max_outcomes) {
     return common::Status::FailedPrecondition(
         "snapshot fingerprint mismatch: the server was constructed with "
         "different determinism-relevant options than the checkpointed one");
@@ -1103,6 +1266,16 @@ common::Status TrustedServer::RestoreFrom(
   for (uint64_t i = 0; i < user_count; ++i) {
     mod::UserId user = mod::kInvalidUser;
     HISTKANON_RETURN_NOT_OK(reader.ReadI64(&user));
+    uint64_t archived_count = 0;
+    geo::Instant archived_lo = 0;
+    geo::Instant archived_hi = 0;
+    HISTKANON_RETURN_NOT_OK(reader.ReadU64(&archived_count));
+    HISTKANON_RETURN_NOT_OK(reader.ReadI64(&archived_lo));
+    HISTKANON_RETURN_NOT_OK(reader.ReadI64(&archived_hi));
+    if (archived_count > 0) {
+      db_.SetArchivedSummary(user, static_cast<size_t>(archived_count),
+                             archived_lo, archived_hi);
+    }
     uint64_t sample_count = 0;
     HISTKANON_RETURN_NOT_OK(reader.ReadU64(&sample_count));
     for (uint64_t j = 0; j < sample_count; ++j) {
@@ -1212,6 +1385,26 @@ common::Status TrustedServer::RestoreFrom(
     ProcessOutcome outcome;
     HISTKANON_RETURN_NOT_OK(ReadOutcome(&reader, &outcome));
     outcomes_.push_back(std::move(outcome));
+  }
+  HISTKANON_RETURN_NOT_OK(reader.ReadBool(&seal_initialized_));
+  HISTKANON_RETURN_NOT_OK(reader.ReadI64(&next_seal_at_));
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&next_segment_seq_));
+  uint64_t segment_count = 0;
+  HISTKANON_RETURN_NOT_OK(reader.ReadU64(&segment_count));
+  if (segment_count > 0 && cold_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "snapshot references cold segments but this server has no cold "
+        "tier configured");
+  }
+  for (uint64_t i = 0; i < segment_count; ++i) {
+    mod::ColdSegmentInfo info;
+    HISTKANON_RETURN_NOT_OK(reader.ReadU64(&info.seq));
+    HISTKANON_RETURN_NOT_OK(reader.ReadI64(&info.t_lo));
+    HISTKANON_RETURN_NOT_OK(reader.ReadI64(&info.t_hi));
+    HISTKANON_RETURN_NOT_OK(reader.ReadU64(&info.samples));
+    // Verifies the file is present and its header matches — a snapshot
+    // that references a missing/corrupt segment fails restore outright.
+    HISTKANON_RETURN_NOT_OK(cold_->RegisterExisting(info));
   }
   if (!reader.AtEnd()) {
     return common::Status::InvalidArgument("trailing bytes after snapshot");

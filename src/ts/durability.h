@@ -144,6 +144,40 @@ class TsJournal {
 
   common::Status WriteToFile(const std::string& path) const;
 
+  // -- Snapshot-anchored compaction (DESIGN.md §16).
+
+  /// Opens (creating or truncating) `path` as this journal's OWNED file
+  /// sink, with AttachSink catch-up semantics (bytes journaled so far are
+  /// written through immediately).  Owning the sink is what lets
+  /// Compact() atomically swap the underlying file.
+  common::Status OpenFileSink(std::string path);
+
+  /// Drops the journal prefix the last intact snapshot record subsumes:
+  /// the journal becomes magic + that snapshot record + everything after
+  /// it.  Recovery is unchanged — the snapshot record carries the
+  /// absolute event count, so replay resumes from the same position.
+  ///
+  /// With an owned file sink the swap is crash-safe: the compacted image
+  /// is written to a tmp file, synced, and renamed over the journal — a
+  /// crash at any byte leaves either the full or the compacted file, both
+  /// valid.  If the post-rename reopen fails, the journal goes
+  /// fail-closed (sink_broken(): every later append errors) rather than
+  /// silently diverging from the file.  No-op without a snapshot;
+  /// FailedPrecondition when a non-owned sink is attached (its contents
+  /// could not be rewritten).
+  common::Status Compact();
+
+  /// Compacts automatically after every successful AppendSnapshot.
+  void SetAutoCompact(bool on) { auto_compact_ = on; }
+
+  /// Compactions completed.
+  uint64_t compactions() const { return compactions_; }
+  /// Byte offset of the last snapshot record in bytes() (0 = none yet).
+  size_t last_snapshot_offset() const { return last_snapshot_offset_; }
+  /// True after a compaction renamed the file but could not reopen it;
+  /// the journal refuses further appends (fail-closed).
+  bool sink_broken() const { return sink_broken_; }
+
  private:
   /// Appends the bytes_ suffix starting at `old_size` to the sink; on
   /// failure rolls bytes_ back to old_size (the record never happened).
@@ -152,6 +186,14 @@ class TsJournal {
   std::string bytes_;
   size_t event_count_ = 0;
   dur::JournalSink* sink_ = nullptr;
+  /// Compaction state: the owned sink (when OpenFileSink wired one), its
+  /// path, and the offset of the last durable snapshot record.
+  std::unique_ptr<dur::FileSink> owned_sink_;
+  std::string path_;
+  size_t last_snapshot_offset_ = 0;
+  bool auto_compact_ = false;
+  bool sink_broken_ = false;
+  uint64_t compactions_ = 0;
 };
 
 /// \brief What a scan recovered from (possibly damaged) journal bytes.

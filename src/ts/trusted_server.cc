@@ -117,8 +117,26 @@ TrustedServer::TrustedServer(TrustedServerOptions options)
       hka_(read_store_),
       pseudonyms_(options.pseudonym_seed),
       randomizer_(options.randomizer_seed, options.randomizer),
-      breaker_(options.overload.breaker) {
+      breaker_(options.overload.breaker),
+      seal_breaker_(options.retention.seal_breaker) {
   options_.generalizer.registry = options_.registry;
+  // Tiered PHL storage (DESIGN.md §16), classic single-node wiring only:
+  // with external read views the fan-out owner controls what the anonymity
+  // layers see, and this server must not splice its own cold tier into
+  // that view.  The tiered view wraps the server's own index + archive
+  // and becomes the read index BEFORE the generalizer captures it.
+  if (options_.retention.enabled && options.read_store == nullptr &&
+      options.read_index == nullptr) {
+    mod::ColdTierOptions cold_options;
+    cold_options.dir = options_.retention.cold_dir;
+    cold_options.max_resident_segments =
+        options_.retention.max_resident_segments;
+    cold_ = std::make_unique<mod::ColdTier>(std::move(cold_options));
+    db_.AttachArchive(cold_.get());
+    tiered_ = std::make_unique<stindex::TieredIndexView>(&index_, cold_.get(),
+                                                         &db_);
+    read_index_ = tiered_.get();
+  }
   generalizer_ = std::make_unique<anon::Generalizer>(read_store_, read_index_,
                                                      options_.generalizer);
   monitor_.AttachRegistry(options_.registry);
@@ -253,10 +271,83 @@ void TrustedServer::OnLocationUpdate(mod::UserId user,
 
 common::Status TrustedServer::ApplyLocationUpdate(mod::UserId user,
                                                   const geo::STPoint& sample) {
+  HISTKANON_RETURN_NOT_OK(AdmitHotCapacity());
   HISTKANON_RETURN_NOT_OK(JournalUpdate(user, sample));
   // Out-of-order updates (same tick as an earlier sample) are dropped.
-  if (db_.Append(user, sample).ok()) index_.Insert(user, sample);
+  if (db_.Append(user, sample).ok()) {
+    index_.Insert(user, sample);
+    MaybeSeal(sample.t);
+  }
   return common::Status::OK();
+}
+
+common::Status TrustedServer::AdmitHotCapacity() {
+  if (cold_ == nullptr || options_.retention.max_hot_samples == 0 ||
+      db_.hot_samples() < options_.retention.max_hot_samples) {
+    return common::Status::OK();
+  }
+  // Shed BEFORE journaling: the update is never admitted, so replay —
+  // which sees only admitted events — is oblivious to the ceiling.
+  ++hot_cap_sheds_;
+  CountShed(/*is_request=*/false);
+  return common::Status::Unavailable("hot tier at max_hot_samples ceiling");
+}
+
+void TrustedServer::MaybeSeal(geo::Instant t) {
+  if (cold_ == nullptr) return;
+  const RetentionOptions& retention = options_.retention;
+  if (!seal_initialized_) {
+    // The first ingested point pins the schedule's phase; everything the
+    // schedule depends on from here is the admitted event stream.
+    seal_initialized_ = true;
+    next_seal_at_ =
+        t + retention.hot_window_seconds + retention.seal_period_seconds;
+    return;
+  }
+  if (t < next_seal_at_) return;
+  // The schedule advances on ATTEMPT, success or not — so when a crashed
+  // server is replayed, seals are re-attempted at exactly the same points
+  // of the event stream, and segment seq (advanced on SUCCESS) assigns
+  // the same numbers to the same contents (WriteSegment's tmp+rename is
+  // an idempotent overwrite).
+  next_seal_at_ = t + retention.seal_period_seconds;
+  std::vector<std::pair<mod::UserId, std::vector<geo::STPoint>>> sealable;
+  const size_t collected =
+      db_.PeekSealable(t - retention.hot_window_seconds,
+                       retention.min_hot_samples_per_user, &sealable);
+  if (collected < retention.min_seal_samples || sealable.empty()) return;
+  if (!seal_breaker_.Admit()) return;  // degraded: stay hot, skip the disk
+  const common::Status sealed =
+      cold_->WriteSegment(next_segment_seq_, sealable);
+  if (!sealed.ok()) {
+    // Fail-closed: nothing was evicted, answers are unchanged; memory
+    // degrades toward unbounded rather than losing samples.
+    ++seal_failures_;
+    seal_breaker_.RecordFailure();
+    return;
+  }
+  seal_breaker_.RecordSuccess();
+  ++seals_;
+  ++next_segment_seq_;
+  // The segment is durable; only now do the samples leave the hot tier
+  // (the "never half-evicted" contract — a crash between these lines
+  // re-seals the same prefix on replay and overwrites the same file).
+  for (const auto& [user, samples] : sealable) {
+    for (const geo::STPoint& sample : samples) {
+      index_.Remove(user, sample);
+    }
+  }
+  db_.DropSealed(sealable);
+}
+
+void TrustedServer::TrimOutcomes() {
+  const size_t max = options_.retention.max_outcomes;
+  if (max == 0 || outcomes_.size() <= max * 2) return;
+  // Amortized O(1): let the log grow to twice the bound, then drop the
+  // oldest half in one move.
+  outcomes_.erase(outcomes_.begin(),
+                  outcomes_.begin() +
+                      static_cast<std::ptrdiff_t>(outcomes_.size() - max));
 }
 
 void TrustedServer::OnServiceRequest(mod::UserId user,
@@ -345,6 +436,7 @@ ProcessOutcome TrustedServer::RecordShedRequest(const geo::STPoint& exact) {
   outcome.disposition = Disposition::kRejected;
   outcome.exact = exact;
   outcomes_.push_back(outcome);
+  TrimOutcomes();
   return outcome;
 }
 
@@ -451,7 +543,10 @@ ProcessOutcome TrustedServer::ProcessAdmitted(mod::UserId user,
       deadline <= 0.0) {
     // Null-object fast path: no clock reads, no allocations beyond the
     // pipeline's own.
-    return ProcessRequestImpl(user, exact, service, data, &telemetry);
+    const ProcessOutcome outcome =
+        ProcessRequestImpl(user, exact, service, data, &telemetry);
+    TrimOutcomes();
+    return outcome;
   }
   obs::Span root = obs::StartSpan(
       telemetry.enabled ? options_.tracer : nullptr, "process_request");
@@ -466,6 +561,7 @@ ProcessOutcome TrustedServer::ProcessAdmitted(mod::UserId user,
   const int64_t start_ns = obs::MonotonicNanos();
   const ProcessOutcome outcome =
       ProcessRequestImpl(user, exact, service, data, &telemetry);
+  TrimOutcomes();
   const double total_seconds =
       static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
   if (deadline > 0.0 && total_seconds > deadline) {
@@ -589,6 +685,7 @@ std::vector<ProcessOutcome> TrustedServer::ProcessBatch(
   for (const BatchRequest& request : requests) {
     if (db_.Append(request.user, request.exact).ok()) {
       index_.Insert(request.user, request.exact);
+      MaybeSeal(request.exact.t);
     }
   }
   {
@@ -633,6 +730,12 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
                                                  RequestTelemetry* telemetry) {
   ProcessOutcome outcome;
   outcome.exact = exact;
+  // Cold-tier fault barrier: any read fault between here and the commit
+  // points below moves this counter, and the request is shed instead of
+  // committed (a fault silently shrinks candidate/anchor sets, which
+  // could otherwise forward a context whose anonymity set is too small).
+  const uint64_t cold_faults_entry =
+      cold_ == nullptr ? 0 : cold_->fault_count();
   ++stats_.requests;
   UserState& state = StateOf(user);
   const uint64_t ordinal = state.requests_seen++;
@@ -682,6 +785,27 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
     outcome.lbqid_completed = completions_this_request > 0;
     stats_.lbqid_completions += completions_this_request;
   }
+
+  // Shed this request if a cold-tier read faulted since entry: the SP
+  // sees nothing (like the at-risk "dropped" branch, the automata must
+  // not have advanced), and the RPC layer maps kRejected to a Throttled
+  // frame the client retries after the tier recovers.  The fault already
+  // bumped the tiered view's epoch, so no memo can replay the partial
+  // answer either.
+  const auto shed_on_cold_fault = [&]() -> bool {
+    if (cold_ == nullptr || cold_->fault_count() == cold_faults_entry) {
+      return false;
+    }
+    monitor_.RestoreUser(user, monitor_snapshot);
+    stats_.lbqid_completions -= completions_this_request;
+    ++cold_fault_sheds_;
+    CountShed(/*is_request=*/true);
+    outcome = ProcessOutcome{};
+    outcome.exact = exact;
+    outcome.disposition = Disposition::kRejected;
+    outcomes_.push_back(outcome);
+    return true;
+  };
 
   if (observations.empty() || policy.concern == PrivacyConcern::kOff) {
     outcome.disposition = Disposition::kForwardedDefault;
@@ -749,6 +873,10 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
     if (all_ok && !tolerance.Satisfies(union_box)) all_ok = false;
   }
 
+  // Commit point for the generalization stages (anchor selection and HkA
+  // both read through the tiered view).
+  if (shed_on_cold_fault()) return outcome;
+
   if (all_ok) {
     geo::STBox context = union_box;
     if (options_.enable_randomization) {
@@ -785,6 +913,9 @@ ProcessOutcome TrustedServer::ProcessRequestImpl(mod::UserId user,
     mixzone.min_diverging_users = std::max(mixzone.min_diverging_users, k);
     const anon::MixZoneResult zone =
         anon::TryFormMixZone(*read_store_, exact, user, mixzone);
+    // Commit point for the mix-zone scan (PHL reads may fault cold): a
+    // zone formed over partial histories must not rotate anything.
+    if (shed_on_cold_fault()) return outcome;
     if (zone.success) {
       ++stats_.unlink_successes;
       pseudonyms_.Rotate(user);

@@ -28,6 +28,7 @@
 #include "src/anon/request.h"
 #include "src/anon/tolerance.h"
 #include "src/lbqid/monitor.h"
+#include "src/mod/cold_tier.h"
 #include "src/mod/moving_object_db.h"
 #include "src/obs/causal_trace.h"
 #include "src/obs/event_log.h"
@@ -37,6 +38,7 @@
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/stindex/grid_index.h"
+#include "src/stindex/tiered_view.h"
 #include "src/ts/overload.h"
 #include "src/ts/policy.h"
 #include "src/ts/policy_rules.h"
@@ -47,6 +49,48 @@ namespace ts {
 
 class TsJournal;
 struct JournalEvent;
+
+/// \brief Bounded-state operation (DESIGN.md §16): tiered PHL storage and
+/// retention limits that keep resident memory flat under indefinite load.
+///
+/// Fields marked [fingerprint] change what the server ANSWERS (which
+/// samples are evictable, when seals fire, how much outcome history
+/// survives) and are folded into the snapshot determinism fingerprint —
+/// RestoreFrom refuses a blob whose retention differs.  The unmarked
+/// fields are environment tuning (paths, residency budgets) that never
+/// changes an answer and may differ between a writer and its restore twin.
+struct RetentionOptions {
+  /// Master switch.  [fingerprint]
+  bool enabled = false;
+  /// Directory for sealed cold segments.  Must be set when enabled.
+  std::string cold_dir;
+  /// Samples younger than (now - hot_window_seconds) stay hot; requests
+  /// answerable from the hot window never touch disk.  [fingerprint]
+  geo::Instant hot_window_seconds = 3600;
+  /// A seal is attempted at most once per period (measured on the event
+  /// timeline, so the schedule is a pure function of the admitted
+  /// stream).  [fingerprint]
+  geo::Instant seal_period_seconds = 600;
+  /// Sealing never digs a user below this many resident samples (keeps
+  /// every Phl's last-position queries hot).  [fingerprint]
+  size_t min_hot_samples_per_user = 1;
+  /// A seal attempt collecting fewer total samples is skipped (avoids a
+  /// long tail of tiny segments).  [fingerprint]
+  size_t min_seal_samples = 1024;
+  /// Retained outcome-log bound; 0 keeps every outcome (the historical
+  /// behavior).  Trimming drops the OLDEST entries.  [fingerprint]
+  size_t max_outcomes = 0;
+  /// Cold segments kept decoded in memory (LRU).
+  size_t max_resident_segments = 8;
+  /// Hard ceiling on resident hot samples; location updates arriving at
+  /// the ceiling are shed BEFORE journaling (never applied, so replay
+  /// stays consistent).  0 disables the check.
+  size_t max_hot_samples = 0;
+  /// Breaker over seal (cold-write) failures: a tripped breaker skips
+  /// seal attempts until probes succeed, degrading to unbounded-memory
+  /// operation rather than wrong answers.
+  CircuitBreakerOptions seal_breaker;
+};
 
 /// \brief TS construction parameters.
 struct TrustedServerOptions {
@@ -106,6 +150,11 @@ struct TrustedServerOptions {
   /// budget.  The defaults keep behavior identical to a server without
   /// this layer until a journal append actually fails.
   OverloadOptions overload;
+  /// Bounded-state operation (tiered PHL storage + retention; DESIGN.md
+  /// §16).  Only honored by the classic single-node wiring: when external
+  /// read views are configured (the sharded server), tiering stays off
+  /// regardless of `retention.enabled`.
+  RetentionOptions retention;
 };
 
 /// \brief How the TS disposed of one request.
@@ -288,6 +337,23 @@ class TrustedServer : public sim::EventSink {
   /// Events admitted (journaled when a journal is attached) — the
   /// admission ledger the chaos differential keys accepted events off.
   uint64_t admitted_events() const { return admitted_events_; }
+
+  // -- Tiered-storage introspection (nullptr / zero when retention is
+  // off; DESIGN.md §16).
+
+  /// The cold tier, when tiering is active.
+  const mod::ColdTier* cold_tier() const { return cold_.get(); }
+  /// Seal attempts that wrote a segment / that failed fail-closed (the
+  /// samples stayed hot).
+  uint64_t seals() const { return seals_; }
+  uint64_t seal_failures() const { return seal_failures_; }
+  /// Requests shed because a cold-tier read faulted mid-pipeline (the
+  /// fault would otherwise have shrunk an anonymity set silently).
+  uint64_t cold_fault_sheds() const { return cold_fault_sheds_; }
+  /// Location updates shed at the max_hot_samples ceiling (pre-journal).
+  uint64_t hot_cap_sheds() const { return hot_cap_sheds_; }
+  /// The seal breaker (HEALTHY unless cold writes are failing).
+  const CircuitBreaker& seal_breaker() const { return seal_breaker_; }
 
   // -- Causal tracing (no-ops without options.causal).
 
@@ -495,6 +561,23 @@ class TrustedServer : public sim::EventSink {
   common::Status AdmitEvent(const JournalEvent& event);
   void CountShed(bool is_request);
 
+  // -- Tiered-storage internals (DESIGN.md §16).
+
+  /// Seal protocol driver, called after every ingested location point
+  /// with the point's event time.  At most one attempt per
+  /// seal_period_seconds; the schedule advances on ATTEMPT (a pure
+  /// function of the admitted stream), segment numbering advances on
+  /// SUCCESS — so a re-run over the same admitted events re-writes the
+  /// same segments byte-for-byte regardless of earlier I/O faults.
+  void MaybeSeal(geo::Instant t);
+  /// Pre-journal admission check for location points: Unavailable when
+  /// the hot tier is at max_hot_samples (the event is never journaled,
+  /// so replay is consistent).
+  common::Status AdmitHotCapacity();
+  /// Applies the max_outcomes retention bound (amortized O(1): trims
+  /// half the excess window at once).
+  void TrimOutcomes();
+
   TrustedServerOptions options_;
   mod::MovingObjectDb db_;
   stindex::GridIndex index_;
@@ -544,6 +627,22 @@ class TrustedServer : public sim::EventSink {
   TsStats stats_;
   std::vector<ProcessOutcome> outcomes_;
   anon::ToleranceConstraints default_tolerance_;
+  // Tiered-storage state (all inert when cold_ is null).  The seal
+  // schedule and segment counter ARE part of Checkpoint() — recovery must
+  // resume sealing exactly where the snapshot left off for re-seals to be
+  // byte-identical.  The breaker and shed counters are NOT (same policy
+  // as the journal breaker above).  Declared after db_/index_ so the
+  // view and archive are destroyed before the storage they reference.
+  std::unique_ptr<mod::ColdTier> cold_;
+  std::unique_ptr<stindex::TieredIndexView> tiered_;
+  CircuitBreaker seal_breaker_;
+  bool seal_initialized_ = false;
+  geo::Instant next_seal_at_ = 0;
+  uint64_t next_segment_seq_ = 0;
+  uint64_t seals_ = 0;
+  uint64_t seal_failures_ = 0;
+  uint64_t cold_fault_sheds_ = 0;
+  uint64_t hot_cap_sheds_ = 0;
 };
 
 }  // namespace ts

@@ -1,0 +1,348 @@
+// Snapshot-anchored journal compaction (DESIGN.md §16): the compacted
+// journal recovers to the exact state of the uncompacted one, a crash at
+// ANY stage of compaction (before the copy-forward, between the tmp
+// write and the rename, after the rename) leaves a recoverable file, the
+// anchoring snapshot alone is a complete recovery artifact, and the
+// retention parameters ride the durability fingerprint so a snapshot
+// from a differently-retained server is refused.
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/ts/durability.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::STPoint;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+tgran::GranularityRegistry Registry() {
+  return tgran::GranularityRegistry::WithDefaults();
+}
+
+JournalEvent UpdateEvent(mod::UserId user, double x, int64_t t) {
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kUpdate;
+  event.user = user;
+  event.point = STPoint{{x, x}, t};
+  return event;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return contents.str();
+}
+
+/// A journaled server fed `n` updates with a checkpoint in the middle.
+/// Returns the golden (uninterrupted) checkpoint blob.
+std::string DriveJournaledRun(TrustedServer* server, TsJournal* journal,
+                              int n) {
+  server->AttachJournal(journal);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        server->ApplyLocationUpdate(1 + i % 3, STPoint{{10.0 + i, 10.0 + i},
+                                                       100 + i})
+            .ok());
+    if (i == n / 2) {
+      EXPECT_TRUE(server->WriteCheckpoint().ok());
+    }
+  }
+  auto blob = server->Checkpoint();
+  EXPECT_TRUE(blob.ok());
+  return blob.ok() ? *blob : std::string();
+}
+
+TEST(Compaction, InMemoryCompactionPreservesRecovery) {
+  TsJournal journal;
+  TrustedServer server;
+  const std::string golden = DriveJournaledRun(&server, &journal, 20);
+
+  const size_t before = journal.size();
+  ASSERT_TRUE(journal.Compact().ok());
+  EXPECT_LT(journal.size(), before);
+  EXPECT_EQ(journal.compactions(), 1u);
+
+  const auto scanned = ScanJournal(journal.bytes(), Registry());
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(scanned->clean);
+  EXPECT_EQ(scanned->total_events, 20u);  // snapshot carries the absolute count
+
+  const auto recovered =
+      RecoverTrustedServer(journal.bytes(), TrustedServerOptions(), Registry());
+  ASSERT_TRUE(recovered.ok());
+  const auto blob = recovered->server->Checkpoint();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, golden);
+}
+
+TEST(Compaction, CompactingTwiceIsIdempotent) {
+  TsJournal journal;
+  TrustedServer server;
+  DriveJournaledRun(&server, &journal, 12);
+  ASSERT_TRUE(journal.Compact().ok());
+  const std::string once = std::string(journal.bytes());
+  ASSERT_TRUE(journal.Compact().ok());
+  // Nothing precedes the anchoring snapshot anymore: the second call is a
+  // no-op, not a second rewrite.
+  EXPECT_EQ(journal.bytes(), once);
+  EXPECT_EQ(journal.compactions(), 1u);
+}
+
+TEST(Compaction, FileBackedCompactionShrinksTheFileAndRecovers) {
+  const std::string dir = TestDir("compact_file");
+  const std::string path = dir + "/journal";
+  TsJournal journal;
+  ASSERT_TRUE(journal.OpenFileSink(path).ok());
+  TrustedServer server;
+  const std::string golden = DriveJournaledRun(&server, &journal, 20);
+  ASSERT_TRUE(journal.Sync().ok());
+
+  const size_t disk_before = ReadFileBytes(path).size();
+  ASSERT_TRUE(journal.Compact().ok());
+  const std::string disk = ReadFileBytes(path);
+  EXPECT_LT(disk.size(), disk_before);
+  EXPECT_EQ(disk, journal.bytes());  // durable artifact == in-memory image
+
+  // The journal keeps accepting appends through the reopened sink, and
+  // the whole (compacted + suffix) file still recovers to a live server.
+  ASSERT_TRUE(journal.AppendEvent(UpdateEvent(1, 99.0, 500)).ok());
+  ASSERT_TRUE(journal.Sync().ok());
+  const auto recovered = RecoverTrustedServer(ReadFileBytes(path),
+                                              TrustedServerOptions(),
+                                              Registry());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->events_applied, 21u);
+}
+
+TEST(Compaction, AutoCompactTriggersOnEverySnapshot) {
+  const std::string dir = TestDir("compact_auto");
+  TsJournal journal;
+  ASSERT_TRUE(journal.OpenFileSink(dir + "/journal").ok());
+  journal.SetAutoCompact(true);
+  TrustedServer server;
+  server.AttachJournal(&journal);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        server.ApplyLocationUpdate(1, STPoint{{10.0 + i, 10.0}, 100 + i})
+            .ok());
+    if (i % 10 == 9) {
+      ASSERT_TRUE(server.WriteCheckpoint().ok());
+    }
+  }
+  EXPECT_EQ(journal.compactions(), 3u);
+  const auto recovered = RecoverTrustedServer(
+      journal.bytes(), TrustedServerOptions(), Registry());
+  ASSERT_TRUE(recovered.ok());
+  const auto blob = recovered->server->Checkpoint();
+  const auto golden = server.Checkpoint();
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(*blob, *golden);
+}
+
+// The kill-point matrix across the compaction boundary: for each stage a
+// crash can strike at, the journal FILE left on disk recovers to the same
+// state as the uninterrupted run.
+TEST(Compaction, CrashAtEveryCompactionStageLeavesARecoverableFile) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  const char* stages[] = {fail::kDurCompactWrite, fail::kDurCompactRename,
+                          fail::kDurCompactReopen};
+  for (const char* stage : stages) {
+    SCOPED_TRACE(stage);
+    const std::string dir =
+        TestDir(std::string("compact_kill_") +
+                (stage + std::string(stage).rfind('.') + 1));
+    const std::string path = dir + "/journal";
+    TsJournal journal;
+    ASSERT_TRUE(journal.OpenFileSink(path).ok());
+    TrustedServer server;
+    const std::string golden = DriveJournaledRun(&server, &journal, 16);
+    ASSERT_TRUE(journal.Sync().ok());
+
+    {
+      fail::ScopedFailPoint fp(
+          stage, fail::ErrorAction(common::StatusCode::kUnavailable));
+      EXPECT_FALSE(journal.Compact().ok());
+    }
+    fail::Registry::Instance().DisarmAll();
+
+    // "Crash": forget the process state, recover from the file alone.
+    // Snapshot-durable-but-truncation-incomplete (write/rename faults)
+    // leaves the FULL journal; truncation-complete-but-reopen-failed
+    // leaves the COMPACTED journal.  Both must recover identically.
+    const auto recovered = RecoverTrustedServer(
+        ReadFileBytes(path), TrustedServerOptions(), Registry());
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_TRUE(recovered->clean_tail);
+    const auto blob = recovered->server->Checkpoint();
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(*blob, golden);
+  }
+}
+
+TEST(Compaction, ReopenFailurePoisonsTheSinkFailClosed) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  const std::string dir = TestDir("compact_poison");
+  TsJournal journal;
+  ASSERT_TRUE(journal.OpenFileSink(dir + "/journal").ok());
+  TrustedServer server;
+  DriveJournaledRun(&server, &journal, 8);
+  {
+    fail::ScopedFailPoint fp(
+        fail::kDurCompactReopen,
+        fail::ErrorAction(common::StatusCode::kInternal));
+    EXPECT_FALSE(journal.Compact().ok());
+  }
+  fail::Registry::Instance().DisarmAll();
+  EXPECT_TRUE(journal.sink_broken());
+
+  // The journal refuses appends (a silently in-memory-only journal would
+  // break the write-ahead contract), and the server fails closed: the
+  // update is NOT applied.
+  const size_t size_before = journal.size();
+  const size_t hot_before = server.db().hot_samples();
+  EXPECT_FALSE(server.ApplyLocationUpdate(2, STPoint{{50, 50}, 900}).ok());
+  EXPECT_EQ(journal.size(), size_before);
+  EXPECT_EQ(server.db().hot_samples(), hot_before);
+}
+
+TEST(Compaction, AnchoringSnapshotAloneIsACompleteRecoveryArtifact) {
+  TsJournal journal;
+  TrustedServer server;
+  server.AttachJournal(&journal);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        server.ApplyLocationUpdate(1, STPoint{{10.0 + i, 10.0}, 100 + i})
+            .ok());
+  }
+  // Snapshot, then compact: the journal is now magic + the snapshot
+  // record and NOTHING else — the pathological minimum a crash after
+  // truncation can leave.
+  ASSERT_TRUE(server.WriteCheckpoint().ok());
+  ASSERT_TRUE(journal.Compact().ok());
+  const auto scanned = ScanJournal(journal.bytes(), Registry());
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->events.size(), 0u);  // no event records survive
+  EXPECT_EQ(scanned->total_events, 10u);  // the absolute position does
+
+  const auto recovered = RecoverTrustedServer(
+      journal.bytes(), TrustedServerOptions(), Registry());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->events_applied, 10u);
+  const auto blob = recovered->server->Checkpoint();
+  const auto golden = server.Checkpoint();
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(*blob, *golden);
+}
+
+TEST(Compaction, ExternallyAttachedSinkRefusesCompaction) {
+  TsJournal journal;
+  TrustedServer server;
+  DriveJournaledRun(&server, &journal, 8);
+  dur::FileSink* external = nullptr;
+  auto sink = dur::FileSink::Open(TestDir("compact_ext") + "/journal");
+  ASSERT_TRUE(sink.ok());
+  external = sink->get();
+  ASSERT_TRUE(journal.AttachSink(external).ok());
+  // The external sink holds the FULL image; rewriting bytes_ under it
+  // would diverge the durable artifact.  Refused, journal unchanged.
+  const common::Status refused = journal.Compact();
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(journal.compactions(), 0u);
+  EXPECT_TRUE((*sink)->Close().ok());
+}
+
+TEST(Compaction, RetentionParametersAreFingerprinted) {
+  const std::string dir = TestDir("compact_fpr");
+  TrustedServerOptions retained;
+  retained.retention.enabled = true;
+  retained.retention.cold_dir = dir;
+  retained.retention.hot_window_seconds = 3600;
+  TrustedServer server(retained);
+  ASSERT_TRUE(
+      server.ApplyLocationUpdate(1, STPoint{{10, 10}, 100}).ok());
+  const auto blob = server.Checkpoint();
+  ASSERT_TRUE(blob.ok());
+
+  // Same options restore fine.
+  {
+    TrustedServer twin(retained);
+    EXPECT_TRUE(twin.RestoreFrom(*blob, Registry()).ok());
+  }
+  // A different hot window changes which requests the hot tier can
+  // answer — replay under it would diverge.  Refused.
+  {
+    TrustedServerOptions other = retained;
+    other.retention.hot_window_seconds = 7200;
+    TrustedServer twin(other);
+    EXPECT_FALSE(twin.RestoreFrom(*blob, Registry()).ok());
+  }
+  // Retention off entirely: also refused (the blob references tiering
+  // state a flat server cannot hold).
+  {
+    TrustedServer twin;
+    EXPECT_FALSE(twin.RestoreFrom(*blob, Registry()).ok());
+  }
+}
+
+TEST(Compaction, RecoveryResealsAcrossTheColdTier) {
+  // A retention-enabled journaled run whose seals happened mid-journal:
+  // recovery (same options, same cold dir) must re-drive the seal
+  // schedule and land on the identical checkpoint — including the
+  // manifest and segment counter.
+  const std::string dir = TestDir("compact_reseal");
+  TrustedServerOptions options;
+  options.retention.enabled = true;
+  options.retention.cold_dir = dir;
+  options.retention.hot_window_seconds = 100;
+  options.retention.seal_period_seconds = 50;
+  options.retention.min_hot_samples_per_user = 1;
+  options.retention.min_seal_samples = 4;
+
+  TsJournal journal;
+  TrustedServer server(options);
+  server.AttachJournal(&journal);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(server
+                    .ApplyLocationUpdate(1 + i % 4,
+                                         STPoint{{10.0 + i % 7, 10.0},
+                                                 100 + i * 10})
+                    .ok());
+  }
+  ASSERT_GT(server.seals(), 0u);
+  const auto golden = server.Checkpoint();
+  ASSERT_TRUE(golden.ok());
+
+  const auto recovered =
+      RecoverTrustedServer(journal.bytes(), options, Registry());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->server->seals(), server.seals());
+  const auto blob = recovered->server->Checkpoint();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, *golden);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon

@@ -7,10 +7,13 @@
 
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/dur/sink.h"
 #include "src/fail/failpoint.h"
 #include "src/fail/sites.h"
+#include "src/mod/cold_tier.h"
 #include "src/mod/moving_object_db.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
@@ -175,6 +178,69 @@ TEST_F(FailpointSweepTest, EveryRegisteredSiteFiresThroughItsRealPath) {
     record(kNetRead);
     record(kNetWrite);
     record(kNetClose);
+  }
+
+  // dur.compact.write / rename / reopen: a file-backed journal with a
+  // snapshot to anchor on; each site aborts Compact() at its stage.  The
+  // reopen fault strikes after the rename (point of no return), so it
+  // additionally poisons the sink fail-closed — appends must refuse.
+  {
+    ts::TsJournal journal;
+    ASSERT_TRUE(journal.OpenFileSink(dir + "/sweep_compact").ok());
+    ASSERT_TRUE(journal.AppendEvent(UpdateEvent(1, 10.0)).ok());
+    ASSERT_TRUE(journal.AppendSnapshot("blob").ok());
+    {
+      ScopedFailPoint fp(kDurCompactWrite,
+                         ErrorAction(common::StatusCode::kUnavailable));
+      EXPECT_FALSE(journal.Compact().ok());
+      record(kDurCompactWrite);
+    }
+    {
+      ScopedFailPoint fp(kDurCompactRename,
+                         ErrorAction(common::StatusCode::kInternal));
+      EXPECT_FALSE(journal.Compact().ok());
+      record(kDurCompactRename);
+    }
+    {
+      ScopedFailPoint fp(kDurCompactReopen,
+                         ErrorAction(common::StatusCode::kInternal));
+      EXPECT_FALSE(journal.Compact().ok());
+      record(kDurCompactReopen);
+    }
+    EXPECT_TRUE(journal.sink_broken());
+    EXPECT_FALSE(journal.AppendEvent(UpdateEvent(1, 11.0)).ok());
+  }
+
+  // mod.cold.seal / seal_rename / load: a cold tier refusing the segment
+  // write, the publishing rename, and the read-back fault-in.
+  {
+    mod::ColdTierOptions cold_options;
+    cold_options.dir = dir;
+    mod::ColdTier cold(cold_options);
+    const std::vector<std::pair<mod::UserId, std::vector<geo::STPoint>>>
+        sealable = {{1, {PointAt(10, 10, 100), PointAt(11, 11, 110)}}};
+    {
+      ScopedFailPoint fp(kModColdSeal,
+                         ErrorAction(common::StatusCode::kUnavailable));
+      EXPECT_FALSE(cold.WriteSegment(0, sealable).ok());
+      record(kModColdSeal);
+    }
+    {
+      ScopedFailPoint fp(kModColdSealRename,
+                         ErrorAction(common::StatusCode::kInternal));
+      EXPECT_FALSE(cold.WriteSegment(0, sealable).ok());
+      record(kModColdSealRename);
+    }
+    ASSERT_TRUE(cold.WriteSegment(0, sealable).ok());
+    {
+      ScopedFailPoint fp(kModColdLoad,
+                         ErrorAction(common::StatusCode::kUnavailable));
+      const uint64_t faults_before = cold.fault_count();
+      EXPECT_FALSE(cold.ForEachSampleIn(
+          0, 1000, [](mod::UserId, const geo::STPoint&) {}));
+      EXPECT_GT(cold.fault_count(), faults_before);
+      record(kModColdLoad);
+    }
   }
 
   // bench.noop: the overhead-measurement site guards nothing; fire it

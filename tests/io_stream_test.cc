@@ -1,0 +1,185 @@
+// Streaming DB IO (S6): ForEachDbSample visits records in constant
+// memory, WriteTieredDb exports cold segments without materializing them,
+// and — behind an env gate so the default ctest tier stays fast — a
+// multi-hundred-MB synthetic DB streams end to end with a flat RSS.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/mod/cold_tier.h"
+#include "src/mod/io.h"
+#include "src/mod/moving_object_db.h"
+#include "src/obs/resource.h"
+
+namespace histkanon {
+namespace mod {
+namespace {
+
+geo::STPoint PointAt(double x, double y, int64_t t) {
+  return geo::STPoint{geo::Point{x, y}, t};
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(StreamingIo, ForEachDbSampleVisitsInOrderWithoutADb) {
+  std::stringstream file;
+  file << "# histkanon moving-object db v1\n";
+  file << "1 10 10 100\n";
+  file << "2 20 20 100\n";
+  file << "1 11 11 200\n";
+  std::vector<std::pair<UserId, int64_t>> seen;
+  ASSERT_TRUE(ForEachDbSample(&file, [&seen](UserId user,
+                                             const geo::STPoint& sample) {
+                seen.push_back({user, sample.t});
+                return common::Status::OK();
+              })
+                  .ok());
+  const std::vector<std::pair<UserId, int64_t>> want = {
+      {1, 100}, {2, 100}, {1, 200}};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(StreamingIo, CallbackErrorsSurfaceWithTheLineNumber) {
+  std::stringstream file;
+  file << "1 10 10 100\n";
+  file << "1 11 11 50\n";  // time goes backwards — the callback refuses
+  MovingObjectDb db;
+  const common::Status status =
+      ForEachDbSample(&file, [&db](UserId user, const geo::STPoint& sample) {
+        return db.Append(user, sample);
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(StreamingIo, TieredExportMergesColdBeforeHotAndRoundTrips) {
+  const std::string dir = TestDir("io_tiered");
+  ColdTierOptions cold_options;
+  cold_options.dir = dir;
+  ColdTier cold(cold_options);
+  ASSERT_TRUE(cold.WriteSegment(
+                      0, {{1, {PointAt(10, 10, 100), PointAt(11, 11, 200)}},
+                          {2, {PointAt(20, 20, 150)}}})
+                  .ok());
+  MovingObjectDb hot;
+  ASSERT_TRUE(hot.Append(1, PointAt(12, 12, 300)).ok());
+  ASSERT_TRUE(hot.Append(2, PointAt(21, 21, 350)).ok());
+
+  std::stringstream exported;
+  ASSERT_TRUE(WriteTieredDb(hot, &cold, &exported).ok());
+
+  // The export is a valid v1 DB: cold first preserves each user's
+  // strictly-ascending time order, so a plain ReadDb accepts it and the
+  // reloaded DB holds the union of both tiers.
+  auto reloaded = ReadDb(&exported);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->total_samples(), 5u);
+  auto phl = reloaded->GetPhl(1);
+  ASSERT_TRUE(phl.ok());
+  ASSERT_EQ((*phl)->size(), 3u);
+  EXPECT_EQ((*phl)->samples().front().t, 100);
+  EXPECT_EQ((*phl)->samples().back().t, 300);
+}
+
+TEST(StreamingIo, TieredExportRefusesAPartialDumpOnAColdFault) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  const std::string dir = TestDir("io_tiered_fault");
+  ColdSegmentInfo info;
+  {
+    ColdTierOptions cold_options;
+    cold_options.dir = dir;
+    ColdTier writer(cold_options);
+    ASSERT_TRUE(writer.WriteSegment(0, {{1, {PointAt(10, 10, 100)}}}).ok());
+    info = writer.manifest().front();
+  }
+  // A fresh tier over the same directory: the segment is known but NOT
+  // resident, so the export must fault it in — and the armed load site
+  // turns that into a refusal, never a silently truncated file.
+  ColdTierOptions cold_options;
+  cold_options.dir = dir;
+  ColdTier cold(cold_options);
+  ASSERT_TRUE(cold.RegisterExisting(info).ok());
+  MovingObjectDb hot;
+  fail::ScopedFailPoint fp(fail::kModColdLoad,
+                           fail::ErrorAction(common::StatusCode::kUnavailable));
+  std::stringstream exported;
+  const common::Status status = WriteTieredDb(hot, &cold, &exported);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kUnavailable);
+  fail::Registry::Instance().DisarmAll();
+}
+
+// The S6 regression proper: a multi-hundred-MB synthetic DB streamed
+// through ForEachDbSample with bounded memory.  Kept out of the default
+// ctest tier — generating and scanning ~300 MB takes minutes on small
+// runners.  Run with HISTKANON_RUN_LARGE_TESTS=1 ./histkanon_tests
+//   --gtest_filter='StreamingIo.LargeSyntheticDb*'
+TEST(StreamingIo, LargeSyntheticDbStreamsWithFlatRss) {
+  if (std::getenv("HISTKANON_RUN_LARGE_TESTS") == nullptr) {
+    GTEST_SKIP() << "set HISTKANON_RUN_LARGE_TESTS=1 to run";
+  }
+  const std::string path = ::testing::TempDir() + "io_large_db.txt";
+  constexpr size_t kUsers = 4096;
+  constexpr size_t kSamplesPerUser = 2500;  // ~300 MB of text
+  {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open());
+    out << "# histkanon moving-object db v1\n";
+    char line[96];
+    for (size_t s = 0; s < kSamplesPerUser; ++s) {
+      for (size_t u = 0; u < kUsers; ++u) {
+        const int n = std::snprintf(
+            line, sizeof(line), "%zu %.8g %.8g %lld\n", u + 1,
+            100.0 + static_cast<double>((u * 7 + s) % 5000),
+            100.0 + static_cast<double>((u * 13 + s * 3) % 5000),
+            static_cast<long long>(100 + s * 60));
+        out.write(line, n);
+      }
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  const uint64_t rss_before = obs::SampleRssBytes();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  size_t streamed = 0;
+  int64_t last_t = -1;
+  ASSERT_TRUE(ForEachDbSample(&in, [&streamed, &last_t](
+                                       UserId, const geo::STPoint& sample) {
+                ++streamed;
+                if (sample.t < last_t) {
+                  return common::Status::InvalidArgument("global order broke");
+                }
+                last_t = sample.t;
+                return common::Status::OK();
+              })
+                  .ok());
+  const uint64_t rss_after = obs::SampleRssBytes();
+  EXPECT_EQ(streamed, kUsers * kSamplesPerUser);
+  // Streaming must not materialize the file: allow slack for allocator
+  // noise but stay far under the ~300 MB a full in-memory DB would cost.
+  if (rss_before > 0 && rss_after > rss_before) {
+    EXPECT_LT(rss_after - rss_before, 64ull << 20);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,82 @@
+// RpcClient retry policy (S1): the backoff schedule is deterministic per
+// (seed, user, attempt), doubles up to the cap, jitters within
+// [base/2, base], and never undercuts the server's Throttled retry_after
+// hint.  The end-to-end path (RequestWithRetry against a live server) is
+// exercised by bench/loadgen's retry probe; here we pin the schedule.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/net/client.h"
+
+namespace histkanon {
+namespace net {
+namespace {
+
+TEST(RetryBackoff, DoublesUpToTheCapWithJitterInRange) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10;
+  options.max_backoff_ms = 200;
+  uint32_t base = options.initial_backoff_ms;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const uint32_t ms = RpcClient::RetryBackoffMs(options, 7, attempt, 0);
+    EXPECT_GE(ms, base / 2) << "attempt " << attempt;
+    EXPECT_LE(ms, base) << "attempt " << attempt;
+    if (base < options.max_backoff_ms) {
+      base = std::min(base * 2, options.max_backoff_ms);
+    }
+  }
+}
+
+TEST(RetryBackoff, IsDeterministicPerSeedAndDecorrelatedAcrossUsers) {
+  RetryOptions options;
+  const uint32_t a = RpcClient::RetryBackoffMs(options, 1, 3, 0);
+  const uint32_t b = RpcClient::RetryBackoffMs(options, 1, 3, 0);
+  EXPECT_EQ(a, b);  // same (seed, user, attempt) → same wait
+
+  // Different users must not thunder in lockstep: over many users at the
+  // same attempt, the jitter has to spread (not collapse to one value).
+  bool spread = false;
+  const uint32_t first = RpcClient::RetryBackoffMs(options, 0, 3, 0);
+  for (mod::UserId user = 1; user < 64 && !spread; ++user) {
+    spread = RpcClient::RetryBackoffMs(options, user, 3, 0) != first;
+  }
+  EXPECT_TRUE(spread);
+
+  RetryOptions reseeded = options;
+  reseeded.jitter_seed = 99;
+  bool seed_matters = false;
+  for (int attempt = 0; attempt < 8 && !seed_matters; ++attempt) {
+    seed_matters = RpcClient::RetryBackoffMs(reseeded, 1, attempt, 0) !=
+                   RpcClient::RetryBackoffMs(options, 1, attempt, 0);
+  }
+  EXPECT_TRUE(seed_matters);
+}
+
+TEST(RetryBackoff, HonorsTheServersRetryAfterHint) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10;
+  options.max_backoff_ms = 50;
+  // The hint is a floor, not a suggestion: even when the local schedule
+  // says 5–10 ms, a Throttled{retry_after=400} waits the full 400.
+  EXPECT_GE(RpcClient::RetryBackoffMs(options, 1, 0, 400), 400u);
+  // And a stale tiny hint never shrinks the schedule below its jitter.
+  const uint32_t ms = RpcClient::RetryBackoffMs(options, 1, 0, 1);
+  EXPECT_GE(ms, options.initial_backoff_ms / 2);
+}
+
+TEST(RetryBackoff, CapSurvivesManyAttemptsWithoutOverflow) {
+  RetryOptions options;
+  options.initial_backoff_ms = 1 << 30;
+  options.max_backoff_ms = 1u << 31;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint32_t ms = RpcClient::RetryBackoffMs(options, 3, attempt, 0);
+    EXPECT_LE(ms, options.max_backoff_ms);
+    EXPECT_GE(ms, options.max_backoff_ms / 4);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace histkanon

@@ -1,0 +1,329 @@
+// Tiered PHL storage (DESIGN.md §16): cold-segment round trips, CRC
+// detection of bit-rot, the seal path bounding the hot tier, and the
+// core robustness claim — a bounded-retention server answers requests
+// byte-identically to an unbounded twin, and a cold-tier read fault
+// surfaces as a shed, never as silently weakened k-anonymity.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/str.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/mod/cold_tier.h"
+#include "src/ts/trusted_server.h"
+
+namespace histkanon {
+namespace ts {
+namespace {
+
+using geo::Rect;
+using geo::STPoint;
+using tgran::At;
+
+constexpr Rect kHome{0, 0, 200, 200};
+constexpr Rect kOffice{5000, 5000, 5400, 5400};
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+lbqid::Lbqid CommuteLbqid() {
+  tgran::GranularityRegistry registry =
+      tgran::GranularityRegistry::WithDefaults();
+  auto recurrence = tgran::Recurrence::Parse("3.weekdays * 2.week", registry);
+  EXPECT_TRUE(recurrence.ok());
+  auto hours = [](int a, int b) {
+    return *tgran::UTimeInterval::FromHours(a, b);
+  };
+  auto lbqid = lbqid::Lbqid::Create("commute",
+                                    {{kHome, hours(7, 9)},
+                                     {kOffice, hours(7, 10)},
+                                     {kOffice, hours(16, 18)},
+                                     {kHome, hours(16, 19)}},
+                                    *recurrence);
+  EXPECT_TRUE(lbqid.ok());
+  return *lbqid;
+}
+
+/// Everything externally observable about one outcome, as a comparable
+/// string (byte-identity differential).
+std::string OutcomeKey(const ProcessOutcome& outcome) {
+  const anon::ForwardedRequest& fwd = outcome.forwarded_request;
+  return common::Format(
+      "%d|%d|%llu|%s|%.17g,%.17g,%.17g,%.17g|%lld,%lld|%d|%d",
+      static_cast<int>(outcome.disposition), outcome.forwarded ? 1 : 0,
+      static_cast<unsigned long long>(fwd.msgid), fwd.pseudonym.c_str(),
+      fwd.context.area.min_x, fwd.context.area.min_y, fwd.context.area.max_x,
+      fwd.context.area.max_y, static_cast<long long>(fwd.context.time.lo),
+      static_cast<long long>(fwd.context.time.hi),
+      outcome.hk_anonymity ? 1 : 0, outcome.matched_lbqid ? 1 : 0);
+}
+
+/// The shared commuter scenario: companions shadowing a commuter's
+/// schedule, the commuter registered with an LBQID, requests every day.
+void RegisterCommuterScenario(TrustedServer* server, size_t companions) {
+  PrivacyPolicy policy = PrivacyPolicy::FromConcern(PrivacyConcern::kLow);
+  policy.k_schedule = anon::KSchedule{};
+  ASSERT_TRUE(server->RegisterUser(0, policy).ok());
+  ASSERT_TRUE(server->RegisterLbqid(0, CommuteLbqid()).ok());
+  for (size_t u = 1; u <= companions; ++u) {
+    ASSERT_TRUE(
+        server
+            ->RegisterUser(static_cast<mod::UserId>(u),
+                           PrivacyPolicy::FromConcern(PrivacyConcern::kOff))
+            .ok());
+  }
+}
+
+void RunCommuterDay(TrustedServer* server, size_t companions, int64_t day,
+                    std::vector<std::string>* outcomes) {
+  for (size_t u = 1; u <= companions; ++u) {
+    const double offset = 10.0 * static_cast<double>(u);
+    server->OnLocationUpdate(static_cast<mod::UserId>(u),
+                             STPoint{{100 + offset, 100}, At(day, 7, 40)});
+    server->OnLocationUpdate(static_cast<mod::UserId>(u),
+                             STPoint{{5200 + offset, 5200}, At(day, 8, 20)});
+    server->OnLocationUpdate(static_cast<mod::UserId>(u),
+                             STPoint{{5200 + offset, 5200}, At(day, 16, 50)});
+    server->OnLocationUpdate(static_cast<mod::UserId>(u),
+                             STPoint{{100 + offset, 100}, At(day, 17, 40)});
+  }
+  const STPoint points[] = {STPoint{{100, 100}, At(day, 7, 45)},
+                            STPoint{{5200, 5200}, At(day, 8, 25)},
+                            STPoint{{5200, 5200}, At(day, 16, 55)},
+                            STPoint{{100, 100}, At(day, 17, 45)}};
+  for (const STPoint& exact : points) {
+    const ProcessOutcome outcome = server->ProcessRequest(0, exact, 0, "q");
+    if (outcomes != nullptr) outcomes->push_back(OutcomeKey(outcome));
+  }
+}
+
+RetentionOptions AggressiveRetention(const std::string& dir) {
+  RetentionOptions retention;
+  retention.enabled = true;
+  retention.cold_dir = dir;
+  retention.hot_window_seconds = tgran::kSecondsPerDay;
+  retention.seal_period_seconds = tgran::kSecondsPerDay / 4;
+  retention.min_hot_samples_per_user = 1;
+  retention.min_seal_samples = 16;
+  retention.max_resident_segments = 2;
+  return retention;
+}
+
+TEST(ColdTier, SegmentRoundTripAndManifest) {
+  mod::ColdTierOptions options;
+  options.dir = TestDir("cold_roundtrip");
+  mod::ColdTier cold(options);
+  const std::vector<std::pair<mod::UserId, std::vector<STPoint>>> users = {
+      {1, {STPoint{{10, 10}, 100}, STPoint{{11, 11}, 110}}},
+      {2, {STPoint{{20, 20}, 105}}}};
+  ASSERT_TRUE(cold.WriteSegment(0, users).ok());
+  ASSERT_EQ(cold.manifest().size(), 1u);
+  EXPECT_EQ(cold.manifest()[0].seq, 0u);
+  EXPECT_EQ(cold.manifest()[0].t_lo, 100);
+  EXPECT_EQ(cold.manifest()[0].t_hi, 110);
+  EXPECT_EQ(cold.total_samples(), 3u);
+
+  std::vector<STPoint> got;
+  EXPECT_TRUE(cold.CollectArchived(1, 0, 1000, &got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].t, 100);
+  EXPECT_EQ(got[1].t, 110);
+  got.clear();
+  EXPECT_TRUE(cold.CollectArchived(2, 106, 1000, &got));
+  // The window excludes user 2's only sample, but LT-consistency needs
+  // the bracketing samples: the predecessor comes back anyway.
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].t, 105);
+  EXPECT_EQ(cold.fault_count(), 0u);
+}
+
+TEST(ColdTier, BitRotIsDetectedAndReportedAsAFault) {
+  mod::ColdTierOptions options;
+  options.dir = TestDir("cold_bitrot");
+  options.max_resident_segments = 1;
+  mod::ColdTier cold(options);
+  const std::vector<std::pair<mod::UserId, std::vector<STPoint>>> users = {
+      {7, {STPoint{{10, 10}, 100}, STPoint{{11, 11}, 110}}}};
+  ASSERT_TRUE(cold.WriteSegment(0, users).ok());
+  // Write a second segment so loading it evicts segment 0 from residency;
+  // the corrupted bytes are then actually re-read from disk.
+  ASSERT_TRUE(cold.WriteSegment(
+      1, {{8, {STPoint{{30, 30}, 200}}}}).ok());
+  std::vector<STPoint> evict;
+  ASSERT_TRUE(cold.CollectArchived(8, 0, 1000, &evict));
+
+  // Flip one payload byte near the end of segment 0 (inside a sample
+  // record, past the magic and headers).
+  const std::string path = cold.SegmentPath(0);
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  file.seekp(size - 5);
+  file.put('\xff');
+  file.close();
+
+  std::vector<STPoint> got;
+  EXPECT_FALSE(cold.CollectArchived(7, 0, 1000, &got));
+  EXPECT_GE(cold.fault_count(), 1u);
+}
+
+TEST(TieredServer, SealingBoundsTheHotTier) {
+  const std::string dir = TestDir("tiered_seal");
+  TrustedServerOptions options;
+  options.retention = AggressiveRetention(dir);
+  TrustedServer server(options);
+  RegisterCommuterScenario(&server, 6);
+  for (int64_t day = 0; day < 14; ++day) {
+    RunCommuterDay(&server, 6, day, nullptr);
+  }
+  ASSERT_NE(server.cold_tier(), nullptr);
+  EXPECT_GT(server.seals(), 0u);
+  EXPECT_EQ(server.seal_failures(), 0u);
+  EXPECT_GT(server.cold_tier()->total_samples(), 0u);
+  // 6 companions x 4 updates x 14 days, plus user 0's 4 requests per day
+  // (a request appends the requester's exact sample to their PHL); the
+  // hot tier holds only the tail of it.
+  const size_t total = (6 + 1) * 4 * 14;
+  EXPECT_LT(server.db().hot_samples(), total);
+  EXPECT_EQ(server.db().hot_samples() + server.cold_tier()->total_samples(),
+            total);
+  // Resident segments respect the configured ceiling.
+  EXPECT_LE(server.cold_tier()->resident_segments(),
+            options.retention.max_resident_segments);
+}
+
+TEST(TieredServer, BoundedRetentionMatchesUnboundedTwinByteForByte) {
+  const std::string dir = TestDir("tiered_diff");
+  TrustedServerOptions bounded_options;
+  bounded_options.retention = AggressiveRetention(dir);
+  TrustedServer bounded(bounded_options);
+  TrustedServer unbounded;  // default options: retention off
+
+  RegisterCommuterScenario(&bounded, 6);
+  RegisterCommuterScenario(&unbounded, 6);
+  std::vector<std::string> bounded_outcomes;
+  std::vector<std::string> unbounded_outcomes;
+  for (int64_t day = 0; day < 14; ++day) {
+    RunCommuterDay(&bounded, 6, day, &bounded_outcomes);
+    RunCommuterDay(&unbounded, 6, day, &unbounded_outcomes);
+  }
+  // The bounded run really did run bounded...
+  EXPECT_GT(bounded.seals(), 0u);
+  EXPECT_EQ(bounded.cold_fault_sheds(), 0u);
+  // ...and answered every request exactly as the unbounded twin did:
+  // same dispositions, same pseudonyms, same generalized contexts.
+  ASSERT_EQ(bounded_outcomes.size(), unbounded_outcomes.size());
+  for (size_t i = 0; i < bounded_outcomes.size(); ++i) {
+    EXPECT_EQ(bounded_outcomes[i], unbounded_outcomes[i]) << "request " << i;
+  }
+  EXPECT_EQ(bounded.stats().forwarded_generalized,
+            unbounded.stats().forwarded_generalized);
+  EXPECT_EQ(bounded.stats().requests, unbounded.stats().requests);
+}
+
+TEST(TieredServer, ColdFaultShedsTheRequestInsteadOfWeakeningAnonymity) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  const std::string dir = TestDir("tiered_fault");
+  TrustedServerOptions options;
+  options.retention = AggressiveRetention(dir);
+  options.retention.max_resident_segments = 1;
+  TrustedServer server(options);
+  RegisterCommuterScenario(&server, 6);
+  // Week 1 plus the first week-2 day: enough admitted samples that the
+  // older segments hold history the week-2 trace still depends on.
+  for (int64_t day = 0; day < 8; ++day) {
+    RunCommuterDay(&server, 6, day, nullptr);
+  }
+  ASSERT_NE(server.cold_tier(), nullptr);
+  ASSERT_GT(server.cold_tier()->manifest().size(), 1u);
+  const size_t forwarded_before = server.stats().forwarded_generalized;
+
+  // A new commuter joins after a week of history has been sealed cold.
+  // Its FIRST matched request has no persisted anchors, so anchor
+  // selection queries the tiered index; with fewer hot candidates than
+  // the kMedium anchor schedule wants (ceil(5 * 1.5) = 8 > 7 other
+  // users), the scan window stays unbounded and MUST consult the
+  // archive — exactly where the fault is armed.
+  ASSERT_TRUE(
+      server
+          .RegisterUser(100,
+                        PrivacyPolicy::FromConcern(PrivacyConcern::kMedium))
+          .ok());
+  ASSERT_TRUE(server.RegisterLbqid(100, CommuteLbqid()).ok());
+  server.OnLocationUpdate(100, STPoint{{150, 100}, At(8, 7, 40)});
+
+  // Every cold-segment load now fails (disk gone / unrecoverable rot).
+  ProcessOutcome faulted;
+  {
+    fail::ScopedFailPoint fp(
+        fail::kModColdLoad,
+        fail::ErrorAction(common::StatusCode::kUnavailable));
+    faulted =
+        server.ProcessRequest(100, STPoint{{100, 100}, At(8, 7, 45)}, 0, "q");
+  }
+  fail::Registry::Instance().DisarmAll();
+
+  // The pipeline needed archived history, could not get it, and shed —
+  // it did NOT forward an answer computed from a silently shrunken
+  // anonymity set.
+  EXPECT_EQ(faulted.disposition, Disposition::kRejected);
+  EXPECT_FALSE(faulted.forwarded);
+  EXPECT_GE(server.cold_fault_sheds(), 1u);
+  EXPECT_EQ(server.stats().forwarded_generalized, forwarded_before);
+
+  // With the storage healthy again the same request flows through the
+  // normal pipeline (whatever its anonymity verdict, it is not a storage
+  // shed), and the established commuter's next day is unaffected.
+  const uint64_t sheds_after_fault = server.cold_fault_sheds();
+  const ProcessOutcome healthy =
+      server.ProcessRequest(100, STPoint{{100, 100}, At(8, 7, 46)}, 0, "q");
+  EXPECT_NE(healthy.disposition, Disposition::kRejected);
+  EXPECT_EQ(server.cold_fault_sheds(), sheds_after_fault);
+  std::vector<std::string> healthy_outcomes;
+  RunCommuterDay(&server, 6, 9, &healthy_outcomes);
+  EXPECT_EQ(server.cold_fault_sheds(), sheds_after_fault);
+  const std::string rejected_prefix =
+      common::Format("%d|", static_cast<int>(Disposition::kRejected));
+  for (const std::string& outcome : healthy_outcomes) {
+    EXPECT_NE(outcome.rfind(rejected_prefix, 0), 0u) << outcome;
+  }
+}
+
+TEST(TieredServer, HotCapacityCeilingShedsUpdatesFailClosed) {
+  const std::string dir = TestDir("tiered_hotcap");
+  TrustedServerOptions options;
+  options.retention = AggressiveRetention(dir);
+  options.retention.max_hot_samples = 8;
+  TrustedServer server(options);
+  ASSERT_TRUE(
+      server.RegisterUser(1, PrivacyPolicy::FromConcern(PrivacyConcern::kOff))
+          .ok());
+  uint64_t applied = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (server.ApplyLocationUpdate(1, STPoint{{10, 10}, 100 + i}).ok()) {
+      ++applied;
+    }
+  }
+  // Updates within the window can't seal (min_seal_samples), so the
+  // ceiling engages: later updates shed, the hot tier never exceeds it.
+  EXPECT_EQ(applied, 8u);
+  EXPECT_EQ(server.hot_cap_sheds(), 32u - 8u);
+  EXPECT_LE(server.db().hot_samples(), 8u);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace histkanon
