@@ -18,11 +18,17 @@ Two input formats are auto-detected:
   * this repo's custom BENCH_*.json (micro_concurrent, micro_batch, ...):
     the metrics named in CUSTOM_METRICS become "<bench>/<field>".
 
+A MISSING tracked input is always a hard failure, even in bootstrap
+mode: a bench binary that crashed or was silently dropped from the CI
+script must not read as "no regression".  Pass --require STEM for every
+bench whose metrics must be present among the extracted results.
+
 Usage:
   python3 bench/compare_baselines.py \
       --baselines bench/baselines.json \
       --runner-class "$RUNNER_CLASS" \
       --out BENCH_gate.json \
+      --require index_micro --require columnar_micro \
       build/BENCH_pipeline_micro.json build/BENCH_concurrent.json ...
 """
 
@@ -81,8 +87,21 @@ def main():
     parser.add_argument("--out", help="write the gate verdict JSON here")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the tolerance from baselines.json")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="STEM",
+                        help="fail unless some extracted metric name starts "
+                             "with 'STEM/' (repeatable; enforced even in "
+                             "bootstrap mode)")
     parser.add_argument("inputs", nargs="+", help="BENCH_*.json files")
     args = parser.parse_args()
+
+    missing = [path for path in args.inputs if not os.path.exists(path)]
+    if missing:
+        print("FAIL: tracked bench JSON missing (bench crashed or was "
+              "dropped from the CI script?):", file=sys.stderr)
+        for path in missing:
+            print(f"  {path}", file=sys.stderr)
+        return 1
 
     with open(args.baselines) as fh:
         config = json.load(fh)
@@ -95,6 +114,15 @@ def main():
         measured.update(extract_metrics(path))
     if not measured:
         print("FAIL: no metrics extracted from inputs", file=sys.stderr)
+        return 1
+    unmet = [stem for stem in args.require
+             if not any(name.startswith(stem + "/") for name in measured)]
+    if unmet:
+        print("FAIL: required bench metrics absent from inputs:",
+              file=sys.stderr)
+        for stem in unmet:
+            print(f"  {stem}/* (is its JSON listed and non-empty?)",
+                  file=sys.stderr)
         return 1
 
     baseline = config.get("runner_classes", {}).get(args.runner_class)

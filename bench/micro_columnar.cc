@@ -1,0 +1,153 @@
+// Per-kernel timing breakdown for the flat column kernels
+// (src/geo/kernels.h): each benchmark times ONE kernel over one
+// contiguous column range, at sizes bracketing a typical pillar (64), a
+// deep hotspot pillar (1k), and a whole hot-tier column (64k).  The CI
+// bench gate runs this with --benchmark_out and uploads the JSON as an
+// artifact, so a kernel-level regression is attributable to the exact
+// loop that slowed down rather than showing up only as an end-to-end
+// index number.  Every row is labeled with the scalar/AVX2 backend that
+// served it; both must produce bit-identical results (the differential
+// suite pins that), so these numbers are the only thing that may differ
+// between SIMD build legs.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geo/kernels.h"
+
+using namespace histkanon;  // NOLINT: harness brevity.
+
+namespace {
+
+struct Columns {
+  std::vector<int64_t> t;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+// Time-sorted columns shaped like a pillar: bounded spatial extent, week
+// of seconds-resolution timestamps.
+Columns MakeColumns(size_t n) {
+  common::Rng rng(17);
+  Columns c;
+  c.t.resize(n);
+  c.x.resize(n);
+  c.y.resize(n);
+  int64_t clock = 0;
+  for (size_t i = 0; i < n; ++i) {
+    clock += rng.UniformInt(1, 2 * 604800 / (static_cast<int>(n) + 1) + 1);
+    c.t[i] = clock;
+    c.x[i] = rng.Uniform(0.0, 250.0);
+    c.y[i] = rng.Uniform(0.0, 250.0);
+  }
+  return c;
+}
+
+void BM_SquaredDistances(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Columns c = MakeColumns(n);
+  const geo::STPoint q{{125.0, 125.0}, c.t[n / 2]};
+  std::vector<double> d2(n);
+  for (auto _ : state) {
+    geo::kernels::SquaredDistances(c.t.data(), c.x.data(), c.y.data(), n, q,
+                                   1.0, d2.data());
+    benchmark::DoNotOptimize(d2.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(geo::kernels::BackendName());
+}
+
+void BM_NearestInWindow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Columns c = MakeColumns(n);
+  const geo::STPoint q{{125.0, 125.0}, c.t[n / 2]};
+  for (auto _ : state) {
+    geo::kernels::MinResult best = geo::kernels::NearestInWindow(
+        c.t.data(), c.x.data(), c.y.data(), n, q, 1.0);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(geo::kernels::BackendName());
+}
+
+void BM_FilterInBox(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Columns c = MakeColumns(n);
+  // ~1/16 of the area, ~1/4 of the time range: a selective but non-empty
+  // filter, like a range query's per-pillar slice.
+  const geo::STBox box{{60.0, 60.0, 120.0, 120.0},
+                       {c.t[n / 4], c.t[n / 2]}};
+  std::vector<uint32_t> idx(n);
+  for (auto _ : state) {
+    const size_t matched = geo::kernels::FilterInBox(
+        c.t.data(), c.x.data(), c.y.data(), n, box, idx.data());
+    benchmark::DoNotOptimize(matched);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(geo::kernels::BackendName());
+}
+
+void BM_AnyInRect(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Columns c = MakeColumns(n);
+  // A miss rect: the kernel must scan the whole column (worst case; a
+  // hit short-circuits).
+  const geo::Rect rect{300.0, 300.0, 400.0, 400.0};
+  for (auto _ : state) {
+    const bool any = geo::kernels::AnyInRect(c.x.data(), c.y.data(), n, rect);
+    benchmark::DoNotOptimize(any);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(geo::kernels::BackendName());
+}
+
+void BM_LowerBoundIndex(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Columns c = MakeColumns(n);
+  common::Rng rng(23);
+  // Pre-drawn probe values so the RNG is not in the timed loop.
+  std::vector<int64_t> probes(1024);
+  for (int64_t& v : probes) v = rng.UniformInt(0, static_cast<int>(c.t[n - 1]));
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t at =
+        geo::kernels::LowerBoundIndex(c.t.data(), n, probes[i++ & 1023]);
+    benchmark::DoNotOptimize(at);
+  }
+  state.SetLabel(geo::kernels::BackendName());
+}
+
+void BM_TimeWindowIndices(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Columns c = MakeColumns(n);
+  common::Rng rng(29);
+  std::vector<int64_t> probes(1024);
+  for (int64_t& v : probes) v = rng.UniformInt(0, static_cast<int>(c.t[n - 1]));
+  size_t i = 0;
+  for (auto _ : state) {
+    const int64_t lo_t = probes[i++ & 1023];
+    size_t lo = 0;
+    size_t hi = 0;
+    geo::kernels::TimeWindowIndices(c.t.data(), n, lo_t, lo_t + 3600, &lo,
+                                    &hi);
+    benchmark::DoNotOptimize(lo);
+    benchmark::DoNotOptimize(hi);
+  }
+  state.SetLabel(geo::kernels::BackendName());
+}
+
+}  // namespace
+
+BENCHMARK(BM_SquaredDistances)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_NearestInWindow)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_FilterInBox)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_AnyInRect)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_LowerBoundIndex)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_TimeWindowIndices)->Arg(64)->Arg(1024)->Arg(65536);

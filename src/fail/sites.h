@@ -67,6 +67,17 @@ inline constexpr const char kModColdSealRename[] = "mod.cold.seal_rename";
 /// serve a wrong anonymity set.
 inline constexpr const char kModColdLoad[] = "mod.cold.load";
 
+// -- mod: columnar hot tier --------------------------------------------------
+
+/// ColumnArena::Allocate — arena block growth failure (allocation would
+/// need a NEW backing block and the reservation fails).  Surfaces as an
+/// Unavailable append: nothing is applied, the store is unchanged.
+inline constexpr const char kModArenaGrow[] = "mod.arena.grow";
+/// Phl::DropPrefix — failure allocating the right-sized replacement slab
+/// while sealing a column prefix.  Fail-open: the drop falls back to an
+/// in-place shift (answers identical, the slab just isn't shrunk).
+inline constexpr const char kModColumnSeal[] = "mod.column.seal";
+
 // -- ts: shard workers + checkpoint ------------------------------------------
 
 /// Shard::WorkerLoop — stall after popping an event (wedged worker:
@@ -104,7 +115,8 @@ inline constexpr const char* kAllSites[] = {
     kDurFileWrite,     kDurFilePartialWrite, kDurFileFlush,
     kDurFileSync,      kDurCompactWrite,     kDurCompactRename,
     kDurCompactReopen, kModStoreGetPhl,      kModColdSeal,
-    kModColdSealRename, kModColdLoad,        kTsShardWorkerStall,
+    kModColdSealRename, kModColdLoad,        kModArenaGrow,
+    kModColumnSeal,     kTsShardWorkerStall,
     kTsShardServeStall, kTsCheckpoint,       kNetAccept,
     kNetRead,          kNetWrite,            kNetClose,
     kBenchNoop,

@@ -1,0 +1,404 @@
+#include "src/geo/kernels.h"
+
+#if defined(HISTKANON_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace histkanon {
+namespace geo {
+namespace kernels {
+
+namespace {
+
+// -- Scalar reference implementations ---------------------------------------
+//
+// Written as flat, branch-light loops so -O3 can autovectorize them; they
+// are also the only implementations on non-x86 builds and on x86 CPUs
+// without AVX2.  The AVX2 paths below must match these bit for bit.
+
+bool AnyInRectScalar(const double* x, const double* y, size_t n,
+                     const Rect& rect) {
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] >= rect.min_x && x[i] <= rect.max_x && y[i] >= rect.min_y &&
+        y[i] <= rect.max_y) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t FilterInBoxScalar(const int64_t* t, const double* x, const double* y,
+                         size_t n, const STBox& box, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = t[i] >= box.time.lo && t[i] <= box.time.hi &&
+                        x[i] >= box.area.min_x && x[i] <= box.area.max_x &&
+                        y[i] >= box.area.min_y && y[i] <= box.area.max_y;
+    if (inside) out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+void SquaredDistancesScalar(const int64_t* t, const double* x,
+                            const double* y, size_t n, const STPoint& q,
+                            double mps, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - q.p.x;
+    const double dy = y[i] - q.p.y;
+    const double dt = mps * static_cast<double>(t[i] - q.t);
+    out[i] = dx * dx + dy * dy + dt * dt;
+  }
+}
+
+MinResult NearestInWindowScalar(const int64_t* t, const double* x,
+                                const double* y, size_t n, const STPoint& q,
+                                double mps) {
+  MinResult best;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - q.p.x;
+    const double dy = y[i] - q.p.y;
+    const double dt = mps * static_cast<double>(t[i] - q.t);
+    const double d2 = dx * dx + dy * dy + dt * dt;
+    // Strict improvement only: the first (lowest-index) minimum wins.
+    if (best.index == MinResult::kNotFound || d2 < best.d2) {
+      best.index = i;
+      best.d2 = d2;
+    }
+  }
+  return best;
+}
+
+#if defined(HISTKANON_SIMD_AVX2)
+
+// A SIMD-enabled binary must still run on pre-AVX2 hardware: dispatch is
+// decided once, at first use, from the CPU itself.
+bool UseAvx2() {
+  static const bool use = __builtin_cpu_supports("avx2");
+  return use;
+}
+
+bool AnyInRectAvx2(const double* x, const double* y, size_t n,
+                   const Rect& rect) {
+  const __m256d min_x = _mm256_set1_pd(rect.min_x);
+  const __m256d max_x = _mm256_set1_pd(rect.max_x);
+  const __m256d min_y = _mm256_set1_pd(rect.min_y);
+  const __m256d max_y = _mm256_set1_pd(rect.max_y);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d in =
+        _mm256_and_pd(_mm256_and_pd(_mm256_cmp_pd(vx, min_x, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(vx, max_x, _CMP_LE_OQ)),
+                      _mm256_and_pd(_mm256_cmp_pd(vy, min_y, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(vy, max_y, _CMP_LE_OQ)));
+    if (_mm256_movemask_pd(in) != 0) return true;
+  }
+  return AnyInRectScalar(x + i, y + i, n - i, rect);
+}
+
+size_t FilterInBoxAvx2(const int64_t* t, const double* x, const double* y,
+                       size_t n, const STBox& box, uint32_t* out) {
+  const __m256d min_x = _mm256_set1_pd(box.area.min_x);
+  const __m256d max_x = _mm256_set1_pd(box.area.max_x);
+  const __m256d min_y = _mm256_set1_pd(box.area.min_y);
+  const __m256d max_y = _mm256_set1_pd(box.area.max_y);
+  // Closed int64 bounds as strict comparisons: lo <= t  <=>  !(lo > t).
+  const __m256i lo = _mm256_set1_epi64x(box.time.lo);
+  const __m256i hi = _mm256_set1_epi64x(box.time.hi);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256i vt =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i));
+    const __m256d in_rect =
+        _mm256_and_pd(_mm256_and_pd(_mm256_cmp_pd(vx, min_x, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(vx, max_x, _CMP_LE_OQ)),
+                      _mm256_and_pd(_mm256_cmp_pd(vy, min_y, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(vy, max_y, _CMP_LE_OQ)));
+    const __m256i out_time = _mm256_or_si256(_mm256_cmpgt_epi64(lo, vt),
+                                             _mm256_cmpgt_epi64(vt, hi));
+    const __m256d in = _mm256_andnot_pd(_mm256_castsi256_pd(out_time),
+                                        in_rect);
+    int mask = _mm256_movemask_pd(in);
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out[count++] = static_cast<uint32_t>(i + static_cast<size_t>(lane));
+      mask &= mask - 1;
+    }
+  }
+  // The scalar tail emits indices relative to its own start; rebase them.
+  const size_t tail = FilterInBoxScalar(t + i, x + i, y + i, n - i, box,
+                                        out + count);
+  for (size_t m = 0; m < tail; ++m) {
+    out[count + m] += static_cast<uint32_t>(i);
+  }
+  return count + tail;
+}
+
+// Four squared distances with the exact scalar arithmetic: the dt lanes
+// are converted element-wise (AVX2 has no int64 -> double conversion, and
+// the bit-twiddling shortcut is wrong for |t| >= 2^51), and the sum uses
+// mul/add only — no FMA — to stay bit-identical to the scalar loop.
+inline __m256d SquaredDistance4(const int64_t* t, const double* x,
+                                const double* y, size_t i, const STPoint& q,
+                                const __m256d qx, const __m256d qy,
+                                const __m256d vmps) {
+  alignas(32) double dt_buf[4];
+  for (int j = 0; j < 4; ++j) {
+    dt_buf[j] = static_cast<double>(t[i + static_cast<size_t>(j)] - q.t);
+  }
+  const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(x + i), qx);
+  const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(y + i), qy);
+  const __m256d dt = _mm256_mul_pd(vmps, _mm256_load_pd(dt_buf));
+  return _mm256_add_pd(
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+      _mm256_mul_pd(dt, dt));
+}
+
+void SquaredDistancesAvx2(const int64_t* t, const double* x, const double* y,
+                          size_t n, const STPoint& q, double mps,
+                          double* out) {
+  const __m256d qx = _mm256_set1_pd(q.p.x);
+  const __m256d qy = _mm256_set1_pd(q.p.y);
+  const __m256d vmps = _mm256_set1_pd(mps);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, SquaredDistance4(t, x, y, i, q, qx, qy, vmps));
+  }
+  SquaredDistancesScalar(t + i, x + i, y + i, n - i, q, mps, out + i);
+}
+
+MinResult NearestInWindowAvx2(const int64_t* t, const double* x,
+                              const double* y, size_t n, const STPoint& q,
+                              double mps) {
+  MinResult best;
+  const __m256d qx = _mm256_set1_pd(q.p.x);
+  const __m256d qy = _mm256_set1_pd(q.p.y);
+  const __m256d vmps = _mm256_set1_pd(mps);
+  size_t i = 0;
+  alignas(32) double d2_buf[4];
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d2 = SquaredDistance4(t, x, y, i, q, qx, qy, vmps);
+    // Block test first; only a strictly-improving block is rescanned, in
+    // lane order, so the winner is exactly the ascending scan's.
+    __m128d lo = _mm256_castpd256_pd128(d2);
+    lo = _mm_min_pd(lo, _mm256_extractf128_pd(d2, 1));
+    const double block_min =
+        _mm_cvtsd_f64(_mm_min_sd(lo, _mm_unpackhi_pd(lo, lo)));
+    if (best.index != MinResult::kNotFound && !(block_min < best.d2)) {
+      continue;
+    }
+    _mm256_store_pd(d2_buf, d2);
+    for (int j = 0; j < 4; ++j) {
+      if (best.index == MinResult::kNotFound || d2_buf[j] < best.d2) {
+        best.index = i + static_cast<size_t>(j);
+        best.d2 = d2_buf[j];
+      }
+    }
+  }
+  const MinResult tail = NearestInWindowScalar(t + i, x + i, y + i, n - i, q,
+                                               mps);
+  if (tail.index != MinResult::kNotFound &&
+      (best.index == MinResult::kNotFound || tail.d2 < best.d2)) {
+    best.index = i + tail.index;
+    best.d2 = tail.d2;
+  }
+  return best;
+}
+
+#endif  // HISTKANON_SIMD_AVX2
+
+// Counts t[i] < v (or <= v when kOrEqual) over a short span with a flat
+// loop of independent loads.
+template <bool kOrEqual>
+size_t CountBelowScalar(const int64_t* t, size_t n, int64_t v) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += kOrEqual ? (t[i] <= v ? 1 : 0) : (t[i] < v ? 1 : 0);
+  }
+  return count;
+}
+
+#if defined(HISTKANON_SIMD_AVX2)
+
+template <bool kOrEqual>
+size_t CountBelowAvx2(const int64_t* t, size_t n, int64_t v) {
+  // t[i] <  v  <=>   v > t[i]          (cmpgt(v, t))
+  // t[i] <= v  <=>  !(t[i] > v)        (andnot(cmpgt(t, v)))
+  const __m256i vv = _mm256_set1_epi64x(v);
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  __m256i acc = _mm256_setzero_si256();  // accumulates -1 per match
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vt =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i));
+    const __m256i match = kOrEqual
+                              ? _mm256_andnot_si256(
+                                    _mm256_cmpgt_epi64(vt, vv), ones)
+                              : _mm256_cmpgt_epi64(vv, vt);
+    acc = _mm256_add_epi64(acc, match);
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  const size_t count =
+      static_cast<size_t>(-(lanes[0] + lanes[1] + lanes[2] + lanes[3]));
+  return count + CountBelowScalar<kOrEqual>(t + i, n - i, v);
+}
+
+#endif  // HISTKANON_SIMD_AVX2
+
+template <bool kOrEqual>
+size_t CountBelow(const int64_t* t, size_t n, int64_t v) {
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) return CountBelowAvx2<kOrEqual>(t, n, v);
+#endif
+  return CountBelowScalar<kOrEqual>(t, n, v);
+}
+
+// Branchless bisect prefix: narrows [base, base + n) to at most
+// kLinearSpan entries while preserving the bound's index, then hands the
+// remainder to the flat count.  The comparisons compile to conditional
+// moves; the count is exact, so scalar and AVX2 agree bit for bit.
+constexpr size_t kLinearSpan = 128;
+
+template <bool kOrEqual>
+size_t BoundIndex(const int64_t* t, size_t n, int64_t v) {
+  const int64_t* base = t;
+  while (n > kLinearSpan) {
+    const size_t half = n / 2;
+    const bool descend_right =
+        kOrEqual ? (base[half - 1] <= v) : (base[half - 1] < v);
+    base += descend_right ? half : 0;
+    n -= half;
+  }
+  return static_cast<size_t>(base - t) + CountBelow<kOrEqual>(base, n, v);
+}
+
+}  // namespace
+
+const char* BackendName() {
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) return "avx2";
+#endif
+  return "scalar";
+}
+
+bool AnyInRect(const double* x, const double* y, size_t n, const Rect& rect) {
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) return AnyInRectAvx2(x, y, n, rect);
+#endif
+  return AnyInRectScalar(x, y, n, rect);
+}
+
+size_t FilterInBox(const int64_t* t, const double* x, const double* y,
+                   size_t n, const STBox& box, uint32_t* out) {
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) return FilterInBoxAvx2(t, x, y, n, box, out);
+#endif
+  return FilterInBoxScalar(t, x, y, n, box, out);
+}
+
+void SquaredDistances(const int64_t* t, const double* x, const double* y,
+                      size_t n, const STPoint& q, double meters_per_second,
+                      double* out) {
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) {
+    SquaredDistancesAvx2(t, x, y, n, q, meters_per_second, out);
+    return;
+  }
+#endif
+  SquaredDistancesScalar(t, x, y, n, q, meters_per_second, out);
+}
+
+MinResult NearestInWindow(const int64_t* t, const double* x, const double* y,
+                          size_t n, const STPoint& q,
+                          double meters_per_second) {
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) {
+    return NearestInWindowAvx2(t, x, y, n, q, meters_per_second);
+  }
+#endif
+  return NearestInWindowScalar(t, x, y, n, q, meters_per_second);
+}
+
+size_t LowerBoundIndex(const int64_t* t, size_t n, int64_t v) {
+  return BoundIndex<false>(t, n, v);
+}
+
+size_t UpperBoundIndex(const int64_t* t, size_t n, int64_t v) {
+  return BoundIndex<true>(t, n, v);
+}
+
+namespace {
+
+void TimeWindowIndicesScalar(const int64_t* t, size_t n, int64_t lo,
+                             int64_t hi, size_t* begin, size_t* end) {
+  size_t below = 0;
+  size_t through = 0;
+  for (size_t i = 0; i < n; ++i) {
+    below += t[i] < lo ? 1 : 0;
+    through += t[i] <= hi ? 1 : 0;
+  }
+  *begin = below;
+  *end = through;
+}
+
+#if defined(HISTKANON_SIMD_AVX2)
+
+void TimeWindowIndicesAvx2(const int64_t* t, size_t n, int64_t lo, int64_t hi,
+                           size_t* begin, size_t* end) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  __m256i acc_below = _mm256_setzero_si256();    // -1 per t[i] < lo
+  __m256i acc_through = _mm256_setzero_si256();  // -1 per t[i] <= hi
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vt =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i));
+    acc_below = _mm256_add_epi64(acc_below, _mm256_cmpgt_epi64(vlo, vt));
+    acc_through = _mm256_add_epi64(
+        acc_through, _mm256_andnot_si256(_mm256_cmpgt_epi64(vt, vhi), ones));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_below);
+  size_t below = static_cast<size_t>(
+      -(lanes[0] + lanes[1] + lanes[2] + lanes[3]));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_through);
+  size_t through = static_cast<size_t>(
+      -(lanes[0] + lanes[1] + lanes[2] + lanes[3]));
+  for (; i < n; ++i) {
+    below += t[i] < lo ? 1 : 0;
+    through += t[i] <= hi ? 1 : 0;
+  }
+  *begin = below;
+  *end = through;
+}
+
+#endif  // HISTKANON_SIMD_AVX2
+
+}  // namespace
+
+void TimeWindowIndices(const int64_t* t, size_t n, int64_t lo, int64_t hi,
+                       size_t* begin, size_t* end) {
+  if (n > 2 * kLinearSpan) {
+    // Big column: two bisect-prefixed counts stay O(log n).
+    *begin = BoundIndex<false>(t, n, lo);
+    *end = BoundIndex<true>(t, n, hi);
+    return;
+  }
+#if defined(HISTKANON_SIMD_AVX2)
+  if (UseAvx2()) {
+    TimeWindowIndicesAvx2(t, n, lo, hi, begin, end);
+    return;
+  }
+#endif
+  TimeWindowIndicesScalar(t, n, lo, hi, begin, end);
+}
+
+}  // namespace kernels
+}  // namespace geo
+}  // namespace histkanon

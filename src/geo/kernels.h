@@ -1,0 +1,101 @@
+// Flat geometry kernels over structure-of-arrays sample columns.
+//
+// The columnar hot tier (DESIGN.md §17) stores each user's PHL as three
+// parallel columns t[i] / x[i] / y[i] sorted by time, and the grid index
+// stores each spatial pillar the same way.  Every hot-path predicate —
+// STBox containment, weighted nearest-sample scans, LT-consistency
+// interval probes — reduces to one of the loops below over a contiguous
+// column range.
+//
+// Two implementations sit behind one entry point:
+//   * scalar: plain flat loops, written to be autovectorizable;
+//   * AVX2:   explicit intrinsics, compiled only when the build enables
+//     -DHISTKANON_SIMD=ON (CMake) on an x86-64 toolchain, and selected at
+//     RUNTIME only when the CPU reports AVX2 — a SIMD-enabled binary
+//     still runs (scalar) on older hardware.
+//
+// Contract: both implementations produce BIT-IDENTICAL results.  The
+// distance arithmetic is exactly geo::STMetric::SquaredDistance —
+// dx*dx + dy*dy + dt*dt with dt = meters_per_second * double(t_i - q.t),
+// summed in that association, with no FMA contraction (the build compiles
+// with -ffp-contract=off so the scalar loop cannot silently fuse either).
+// Ties on equal squared distance resolve to the LOWEST index, which for a
+// time-sorted column is the earliest sample.  The differential suite
+// (tests/columnar_equivalence_test.cc) pins this on every CI build leg.
+
+#ifndef HISTKANON_SRC_GEO_KERNELS_H_
+#define HISTKANON_SRC_GEO_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/geo/rect.h"
+#include "src/geo/stbox.h"
+
+namespace histkanon {
+namespace geo {
+namespace kernels {
+
+/// Which implementation serves the calls below: "avx2" when the build
+/// compiled the intrinsics AND the CPU supports them, else "scalar".
+const char* BackendName();
+
+/// True iff any of the n points (x[i], y[i]) lies inside `rect` (closed
+/// bounds) — the membership test of LT-consistency over a time-bisected
+/// column range.
+bool AnyInRect(const double* x, const double* y, size_t n, const Rect& rect);
+
+/// Appends to `out` the indices i in [0, n) whose sample
+/// (x[i], y[i], t[i]) lies inside `box` — containment filtering for
+/// range queries.  Returns the number of indices written.  `out` must
+/// have room for n entries.
+size_t FilterInBox(const int64_t* t, const double* x, const double* y,
+                   size_t n, const STBox& box, uint32_t* out);
+
+/// Squared weighted distance of every sample to `q` (see the arithmetic
+/// contract above).  `out` must have room for n doubles.
+void SquaredDistances(const int64_t* t, const double* x, const double* y,
+                      size_t n, const STPoint& q, double meters_per_second,
+                      double* out);
+
+/// Result of a nearest-in-window scan: the winning index (kNotFound when
+/// n == 0) and its squared distance.
+struct MinResult {
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t index = kNotFound;
+  double d2 = 0.0;
+};
+
+/// Index of the sample minimizing the squared weighted distance to `q`,
+/// ties resolving to the lowest index (= earliest sample of a time-sorted
+/// column).  Exactly equivalent to an ascending scalar scan that updates
+/// on strict improvement only.
+MinResult NearestInWindow(const int64_t* t, const double* x, const double* y,
+                          size_t n, const STPoint& q,
+                          double meters_per_second);
+
+/// Number of entries of the ASCENDING-sorted column `t` strictly below
+/// `v` — i.e. std::lower_bound as an index.  Implemented as a branchless
+/// bisect down to a short span, then a flat vectorizable count: on the
+/// short runs pillars hold, a linear pass of independent loads beats a
+/// chain of data-dependent bisect probes, and for big columns the bisect
+/// prefix keeps it O(log n).  Integer-exact, so trivially bit-identical
+/// across backends.
+size_t LowerBoundIndex(const int64_t* t, size_t n, int64_t v);
+
+/// Same, counting entries <= v (std::upper_bound as an index).
+size_t UpperBoundIndex(const int64_t* t, size_t n, int64_t v);
+
+/// Both bounds of the closed window [lo, hi] over the ASCENDING-sorted
+/// column `t` in one pass: *begin = LowerBoundIndex(t, n, lo) and
+/// *end = UpperBoundIndex(t, n, hi).  Short columns stream once with two
+/// accumulators instead of paying two bisect chains — the range query's
+/// per-pillar fast path.
+void TimeWindowIndices(const int64_t* t, size_t n, int64_t lo, int64_t hi,
+                       size_t* begin, size_t* end);
+
+}  // namespace kernels
+}  // namespace geo
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_GEO_KERNELS_H_

@@ -1,0 +1,101 @@
+#include "src/mod/column_arena.h"
+
+#include <cstring>
+#include <new>
+
+#include "src/common/str.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+
+namespace histkanon {
+namespace mod {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+
+}  // namespace
+
+// capacity >= kMinCapacity makes each column a multiple of 64 bytes, so
+// the columns are mutually aligned too.
+size_t ColumnSlabBytes(size_t capacity) {
+  const size_t raw = capacity * (sizeof(int64_t) + 2 * sizeof(double));
+  return (raw + kAlign - 1) & ~(kAlign - 1);
+}
+
+ColumnSlab ColumnSlabAt(uint8_t* base, size_t capacity) {
+  ColumnSlab slab;
+  slab.t = reinterpret_cast<int64_t*>(base);
+  slab.x = reinterpret_cast<double*>(base + capacity * sizeof(int64_t));
+  slab.y = reinterpret_cast<double*>(base + capacity * sizeof(int64_t) +
+                                     capacity * sizeof(double));
+  slab.capacity = capacity;
+  return slab;
+}
+
+size_t ColumnArena::CapacityFor(size_t n) {
+  size_t cap = kMinCapacity;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+size_t ColumnArena::ClassOf(size_t capacity) {
+  size_t cls = 0;
+  for (size_t cap = kMinCapacity; cap < capacity; cap <<= 1) ++cls;
+  return cls;
+}
+
+common::Status ColumnArena::Allocate(size_t min_capacity, ColumnSlab* out) {
+  const size_t capacity = CapacityFor(min_capacity);
+  const size_t cls = ClassOf(capacity);
+  if (cls < free_lists_.size() && !free_lists_[cls].empty()) {
+    *out = free_lists_[cls].back();
+    free_lists_[cls].pop_back();
+    ++live_slabs_;
+    ++epoch_;
+    return common::Status::OK();
+  }
+  const size_t need = ColumnSlabBytes(capacity);
+  Block* block = nullptr;
+  if (!blocks_.empty() && blocks_.back().used + need <= blocks_.back().size) {
+    block = &blocks_.back();
+  } else {
+    // Growth: a new backing block must be reserved.
+    HISTKANON_FAILPOINT_RETURN(fail::kModArenaGrow);
+    const size_t block_size = need > kBlockBytes ? need : kBlockBytes;
+    // Over-allocate by the alignment so the first slab can start aligned
+    // regardless of where operator new[] put us.
+    auto bytes = std::unique_ptr<uint8_t[]>(
+        new (std::nothrow) uint8_t[block_size + kAlign]);
+    if (bytes == nullptr) {
+      return common::Status::Unavailable(common::Format(
+          "column arena block reservation of %zu bytes failed", block_size));
+    }
+    Block fresh;
+    fresh.bytes = std::move(bytes);
+    fresh.size = block_size;
+    const auto addr = reinterpret_cast<uintptr_t>(fresh.bytes.get());
+    fresh.used = (kAlign - addr % kAlign) % kAlign;
+    fresh.size += fresh.used;  // the alignment skid is usable headroom
+    allocated_bytes_ += block_size + kAlign;
+    blocks_.push_back(std::move(fresh));
+    block = &blocks_.back();
+  }
+  *out = ColumnSlabAt(block->bytes.get() + block->used, capacity);
+  block->used += need;
+  ++live_slabs_;
+  ++epoch_;
+  return common::Status::OK();
+}
+
+void ColumnArena::Release(const ColumnSlab& slab) {
+  if (!slab) return;
+  const size_t cls = ClassOf(slab.capacity);
+  if (free_lists_.size() <= cls) free_lists_.resize(cls + 1);
+  free_lists_[cls].push_back(slab);
+  --live_slabs_;
+  ++epoch_;
+}
+
+}  // namespace mod
+}  // namespace histkanon

@@ -1,0 +1,114 @@
+// Arena allocator for the columnar PHL hot tier (DESIGN.md §17).
+//
+// Every resident PHL stores its samples as three parallel columns
+// t[i] / x[i] / y[i] packed into one SLAB: a 64-byte-aligned region laid
+// out [ t[0..cap) | x[0..cap) | y[0..cap) ].  Slabs are carved from
+// large arena blocks (so a million small histories don't mean a million
+// heap allocations), sized in powers of two, and recycled through
+// per-size-class free lists when a PHL outgrows or shrinks its slab.
+//
+// Lifetime / epoch rules:
+//   * Column pointers are stable until the OWNING Phl re-slabs (growth
+//     past capacity, or a prefix seal that shrinks the slab).  Each
+//     re-slab bumps the arena's epoch; any cached column pointer must be
+//     revalidated against the epoch it was taken under.
+//   * Released slabs go back to the free list — the arena never returns
+//     memory to the OS, so peak footprint is the high-water mark.  Blocks
+//     are freed only when the arena itself is destroyed, which therefore
+//     must outlive every Phl it feeds (MovingObjectDb owns its arena
+//     behind a unique_ptr so the address survives moves).
+//
+// The arena is NOT thread-safe; it is owned by a single store and mutated
+// under that store's single-writer discipline, like the Phl map itself.
+
+#ifndef HISTKANON_SRC_MOD_COLUMN_ARENA_H_
+#define HISTKANON_SRC_MOD_COLUMN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace histkanon {
+namespace mod {
+
+/// \brief Three parallel columns with a shared capacity.  A slab is a
+/// value-copied handle into arena memory; it owns nothing.
+struct ColumnSlab {
+  int64_t* t = nullptr;
+  double* x = nullptr;
+  double* y = nullptr;
+  size_t capacity = 0;
+
+  explicit operator bool() const { return t != nullptr; }
+};
+
+/// Bytes a slab of `capacity` occupies: three 8-byte columns, padded so
+/// consecutive slabs stay 64-byte aligned.
+size_t ColumnSlabBytes(size_t capacity);
+
+/// Views `base` (64-byte aligned, ColumnSlabBytes(capacity) long) as a
+/// slab — the one layout shared by arena blocks and Phl's private heap
+/// fallback.
+ColumnSlab ColumnSlabAt(uint8_t* base, size_t capacity);
+
+/// \brief Block allocator for column slabs.
+class ColumnArena {
+ public:
+  /// Smallest slab capacity handed out (capacities are powers of two).
+  static constexpr size_t kMinCapacity = 8;
+  /// Default backing-block size.  Slabs needing more than a block get a
+  /// dedicated block of their exact size.
+  static constexpr size_t kBlockBytes = size_t{1} << 20;
+
+  ColumnArena() = default;
+  ColumnArena(const ColumnArena&) = delete;
+  ColumnArena& operator=(const ColumnArena&) = delete;
+
+  /// The slab capacity Allocate() would hand out for `n` elements: the
+  /// next power of two >= max(n, kMinCapacity).
+  static size_t CapacityFor(size_t n);
+
+  /// Allocates a slab with capacity >= `min_capacity`, preferring the
+  /// free list for that size class.  Fails (Unavailable) only when a NEW
+  /// backing block is needed and its reservation fails — the
+  /// fail::kModArenaGrow site, or a real out-of-memory.
+  common::Status Allocate(size_t min_capacity, ColumnSlab* out);
+
+  /// Returns a slab to its size class's free list.  The slab handle (and
+  /// every pointer into it) is dead after this call.
+  void Release(const ColumnSlab& slab);
+
+  /// Bumped every time slab memory is (re)assigned: block growth and slab
+  /// reuse both invalidate previously vended pointers somewhere, so
+  /// pointer caches key on this.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Bytes reserved from the OS (the high-water footprint).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Slabs currently vended out (not on a free list).
+  size_t live_slabs() const { return live_slabs_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> bytes;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  /// Size-class index for a power-of-two capacity.
+  static size_t ClassOf(size_t capacity);
+
+  std::vector<Block> blocks_;
+  std::vector<std::vector<ColumnSlab>> free_lists_;
+  uint64_t epoch_ = 0;
+  size_t allocated_bytes_ = 0;
+  size_t live_slabs_ = 0;
+};
+
+}  // namespace mod
+}  // namespace histkanon
+
+#endif  // HISTKANON_SRC_MOD_COLUMN_ARENA_H_

@@ -19,7 +19,10 @@ common::Status MovingObjectDb::Append(UserId user,
                        static_cast<long long>(user)));
   }
   const auto [it, created] = phls_.try_emplace(user);
-  if (created && archive_ != nullptr) it->second.AttachArchive(archive_, user);
+  if (created) {
+    it->second.AttachArena(arena_.get());
+    if (archive_ != nullptr) it->second.AttachArchive(archive_, user);
+  }
   HISTKANON_RETURN_NOT_OK(it->second.Append(sample));
   ++total_samples_;
   ++hot_samples_;
@@ -39,9 +42,10 @@ size_t MovingObjectDb::PeekSealable(
   for (const auto& [user, phl] : phls_) {
     const size_t n = phl.SealablePrefix(cutoff, min_keep);
     if (n == 0) continue;
-    out->emplace_back(user,
-                      std::vector<geo::STPoint>(phl.samples().begin(),
-                                                phl.samples().begin() + n));
+    std::vector<geo::STPoint> prefix;
+    prefix.reserve(n);
+    for (size_t i = 0; i < n; ++i) prefix.push_back(phl.HotSample(i));
+    out->emplace_back(user, std::move(prefix));
     total += n;
   }
   return total;
@@ -60,7 +64,10 @@ void MovingObjectDb::DropSealed(
 void MovingObjectDb::SetArchivedSummary(UserId user, size_t count,
                                         geo::Instant lo, geo::Instant hi) {
   const auto [it, created] = phls_.try_emplace(user);
-  if (created && archive_ != nullptr) it->second.AttachArchive(archive_, user);
+  if (created) {
+    it->second.AttachArena(arena_.get());
+    if (archive_ != nullptr) it->second.AttachArchive(archive_, user);
+  }
   total_samples_ += count - it->second.archived_count();
   it->second.SetArchivedSummary(count, lo, hi);
 }
@@ -112,7 +119,8 @@ std::vector<UserId> MovingObjectDb::LtConsistentUsers(
 void MovingObjectDb::ForEachSample(
     const std::function<void(UserId, const geo::STPoint&)>& fn) const {
   for (const auto& [user, phl] : phls_) {
-    for (const geo::STPoint& sample : phl.samples()) fn(user, sample);
+    const size_t n = phl.hot_size();
+    for (size_t i = 0; i < n; ++i) fn(user, phl.HotSample(i));
   }
 }
 

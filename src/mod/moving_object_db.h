@@ -8,11 +8,13 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/geo/stbox.h"
+#include "src/mod/column_arena.h"
 #include "src/mod/object_store.h"
 #include "src/mod/phl.h"
 #include "src/mod/types.h"
@@ -28,7 +30,12 @@ namespace mod {
 /// in the attached PhlArchive and fault in through the Phl query methods.
 class MovingObjectDb : public ObjectStore {
  public:
-  MovingObjectDb() = default;
+  MovingObjectDb() : arena_(std::make_unique<ColumnArena>()) {}
+
+  /// The PHLs hold pointers into the arena, which lives behind a
+  /// unique_ptr precisely so the store itself stays movable.
+  MovingObjectDb(MovingObjectDb&&) = default;
+  MovingObjectDb& operator=(MovingObjectDb&&) = default;
 
   /// Records a location update for `user` (creating the user on first
   /// update).  Fails if the sample is not newer than the user's last one.
@@ -63,6 +70,9 @@ class MovingObjectDb : public ObjectStore {
 
   /// Samples currently resident in memory (total_samples() minus sealed).
   size_t hot_samples() const { return hot_samples_; }
+
+  /// The arena the hot column slabs live in (DESIGN.md §17).
+  const ColumnArena& arena() const { return *arena_; }
 
   /// The user's PHL; NotFound if the user has never reported a location.
   common::Result<const Phl*> GetPhl(UserId user) const override;
@@ -102,6 +112,8 @@ class MovingObjectDb : public ObjectStore {
       const override;
 
  private:
+  /// Declared before phls_ so the columns outlive the Phl destructors.
+  std::unique_ptr<ColumnArena> arena_;
   std::map<UserId, Phl> phls_;
   const PhlArchive* archive_ = nullptr;
   size_t total_samples_ = 0;

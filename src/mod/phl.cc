@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <new>
 
 #include "src/common/str.h"
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/geo/kernels.h"
 
 namespace histkanon {
 namespace mod {
@@ -71,38 +77,168 @@ bool SamplesCrossBox(const std::vector<geo::STPoint>& samples,
 
 }  // namespace
 
+Phl::~Phl() { ReleaseSlab(); }
+
+Phl::Phl(Phl&& other) noexcept
+    : arena_(other.arena_),
+      slab_(other.slab_),
+      heap_(std::move(other.heap_)),
+      size_(other.size_),
+      archive_(other.archive_),
+      self_(other.self_),
+      archived_count_(other.archived_count_),
+      archived_lo_(other.archived_lo_),
+      archived_hi_(other.archived_hi_) {
+  other.slab_ = ColumnSlab{};
+  other.size_ = 0;
+}
+
+Phl& Phl::operator=(Phl&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseSlab();
+  arena_ = other.arena_;
+  slab_ = other.slab_;
+  heap_ = std::move(other.heap_);
+  size_ = other.size_;
+  archive_ = other.archive_;
+  self_ = other.self_;
+  archived_count_ = other.archived_count_;
+  archived_lo_ = other.archived_lo_;
+  archived_hi_ = other.archived_hi_;
+  other.slab_ = ColumnSlab{};
+  other.size_ = 0;
+  return *this;
+}
+
+void Phl::ReleaseSlab() {
+  if (!slab_) return;
+  if (heap_ != nullptr) {
+    heap_.reset();
+  } else if (arena_ != nullptr) {
+    arena_->Release(slab_);
+  }
+  slab_ = ColumnSlab{};
+}
+
+common::Status Phl::Reslab(size_t min_capacity) {
+  ColumnSlab fresh;
+  std::unique_ptr<uint8_t[]> fresh_heap;
+  if (arena_ != nullptr) {
+    HISTKANON_RETURN_NOT_OK(arena_->Allocate(min_capacity, &fresh));
+  } else {
+    const size_t capacity = ColumnArena::CapacityFor(min_capacity);
+    // Over-allocate by the alignment so the columns start 64-aligned.
+    fresh_heap = std::unique_ptr<uint8_t[]>(
+        new (std::nothrow) uint8_t[ColumnSlabBytes(capacity) + 64]);
+    if (fresh_heap == nullptr) {
+      return common::Status::Unavailable(
+          "PHL column slab heap reservation failed");
+    }
+    const auto addr = reinterpret_cast<uintptr_t>(fresh_heap.get());
+    fresh = ColumnSlabAt(fresh_heap.get() + (64 - addr % 64) % 64, capacity);
+  }
+  if (size_ > 0) {
+    std::memcpy(fresh.t, slab_.t, size_ * sizeof(int64_t));
+    std::memcpy(fresh.x, slab_.x, size_ * sizeof(double));
+    std::memcpy(fresh.y, slab_.y, size_ * sizeof(double));
+  }
+  ReleaseSlab();
+  slab_ = fresh;
+  heap_ = std::move(fresh_heap);
+  return common::Status::OK();
+}
+
+size_t Phl::LowerBoundT(geo::Instant value) const {
+  return static_cast<size_t>(
+      std::lower_bound(slab_.t, slab_.t + size_, value) - slab_.t);
+}
+
+size_t Phl::UpperBoundT(geo::Instant value) const {
+  return static_cast<size_t>(
+      std::upper_bound(slab_.t, slab_.t + size_, value) - slab_.t);
+}
+
 common::Status Phl::Append(const geo::STPoint& sample) {
-  const bool below_hot = !samples_.empty() && sample.t <= samples_.back().t;
-  const bool below_cold = samples_.empty() && archived_count_ > 0 &&
-                          sample.t <= archived_hi_;
+  const bool below_hot = size_ > 0 && sample.t <= slab_.t[size_ - 1];
+  const bool below_cold =
+      size_ == 0 && archived_count_ > 0 && sample.t <= archived_hi_;
   if (below_hot || below_cold) {
-    const geo::Instant last = below_hot ? samples_.back().t : archived_hi_;
+    const geo::Instant last = below_hot ? slab_.t[size_ - 1] : archived_hi_;
     return common::Status::FailedPrecondition(common::Format(
         "PHL samples must be strictly increasing in time; got t=%lld after "
         "t=%lld",
         static_cast<long long>(sample.t), static_cast<long long>(last)));
   }
-  samples_.push_back(sample);
+  if (size_ == slab_.capacity) {
+    HISTKANON_RETURN_NOT_OK(Reslab(size_ + 1));
+  }
+  slab_.t[size_] = sample.t;
+  slab_.x[size_] = sample.p.x;
+  slab_.y[size_] = sample.p.y;
+  ++size_;
   return common::Status::OK();
 }
 
 size_t Phl::SealablePrefix(geo::Instant cutoff, size_t min_keep) const {
-  if (samples_.size() <= min_keep) return 0;
-  const auto it = std::lower_bound(
-      samples_.begin(), samples_.end(), cutoff,
-      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
-  const size_t old = static_cast<size_t>(it - samples_.begin());
-  return std::min(old, samples_.size() - min_keep);
+  if (size_ <= min_keep) return 0;
+  const size_t old = LowerBoundT(cutoff);
+  return std::min(old, size_ - min_keep);
 }
 
 void Phl::DropPrefix(size_t n) {
   if (n == 0) return;
-  n = std::min(n, samples_.size());
-  if (archived_count_ == 0) archived_lo_ = samples_.front().t;
-  archived_hi_ = samples_[n - 1].t;
+  n = std::min(n, size_);
+  if (archived_count_ == 0) archived_lo_ = slab_.t[0];
+  archived_hi_ = slab_.t[n - 1];
   archived_count_ += n;
-  samples_.erase(samples_.begin(),
-                 samples_.begin() + static_cast<ptrdiff_t>(n));
+  const size_t remaining = size_ - n;
+  if (remaining == 0) {
+    ReleaseSlab();
+    size_ = 0;
+    return;
+  }
+  // Prefer moving the tail to a right-sized slab so a long-sealed history
+  // doesn't pin a big one.  If the allocation fails — fail::kModColumnSeal
+  // or a real out-of-memory — fall back to shifting in place: same
+  // answers, the slab just isn't reclaimed until the next re-slab.
+  bool compact = ColumnArena::CapacityFor(remaining) < slab_.capacity;
+  if (compact) {
+    const fail::Action action = HISTKANON_FAILPOINT(fail::kModColumnSeal);
+    if (action.kind == fail::ActionKind::kError) compact = false;
+  }
+  if (compact) {
+    const ColumnSlab old = slab_;
+    ColumnSlab fresh;
+    std::unique_ptr<uint8_t[]> fresh_heap;
+    bool ok = false;
+    if (arena_ != nullptr) {
+      ok = arena_->Allocate(remaining, &fresh).ok();
+    } else {
+      const size_t capacity = ColumnArena::CapacityFor(remaining);
+      fresh_heap = std::unique_ptr<uint8_t[]>(
+          new (std::nothrow) uint8_t[ColumnSlabBytes(capacity) + 64]);
+      if (fresh_heap != nullptr) {
+        const auto addr = reinterpret_cast<uintptr_t>(fresh_heap.get());
+        fresh =
+            ColumnSlabAt(fresh_heap.get() + (64 - addr % 64) % 64, capacity);
+        ok = true;
+      }
+    }
+    if (ok) {
+      std::memcpy(fresh.t, old.t + n, remaining * sizeof(int64_t));
+      std::memcpy(fresh.x, old.x + n, remaining * sizeof(double));
+      std::memcpy(fresh.y, old.y + n, remaining * sizeof(double));
+      ReleaseSlab();
+      slab_ = fresh;
+      heap_ = std::move(fresh_heap);
+      size_ = remaining;
+      return;
+    }
+  }
+  std::memmove(slab_.t, slab_.t + n, remaining * sizeof(int64_t));
+  std::memmove(slab_.x, slab_.x + n, remaining * sizeof(double));
+  std::memmove(slab_.y, slab_.y + n, remaining * sizeof(double));
+  size_ = remaining;
 }
 
 void Phl::SetArchivedSummary(size_t count, geo::Instant lo, geo::Instant hi) {
@@ -119,24 +255,20 @@ bool Phl::CollectArchived(geo::Instant lo, geo::Instant hi,
 
 geo::TimeInterval Phl::Span() const {
   if (empty()) return geo::TimeInterval::Empty();
-  const geo::Instant lo =
-      archived_count_ > 0 ? archived_lo_ : samples_.front().t;
-  const geo::Instant hi =
-      samples_.empty() ? archived_hi_ : samples_.back().t;
+  const geo::Instant lo = archived_count_ > 0 ? archived_lo_ : slab_.t[0];
+  const geo::Instant hi = size_ == 0 ? archived_hi_ : slab_.t[size_ - 1];
   return geo::TimeInterval{lo, hi};
 }
 
 std::optional<geo::Point> Phl::PositionAt(geo::Instant t) const {
   const geo::TimeInterval span = Span();
   if (empty() || t < span.lo || t > span.hi) return std::nullopt;
-  if (!samples_.empty() && t >= samples_.front().t) {
+  if (size_ > 0 && t >= slab_.t[0]) {
     // Entirely answerable from the hot tier.
-    const auto it = std::lower_bound(
-        samples_.begin(), samples_.end(), t,
-        [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
-    if (it->t == t) return it->p;
-    const geo::STPoint& after = *it;
-    const geo::STPoint& before = *(it - 1);
+    const size_t i = LowerBoundT(t);
+    if (slab_.t[i] == t) return geo::Point{slab_.x[i], slab_.y[i]};
+    const geo::STPoint after = HotSample(i);
+    const geo::STPoint before = HotSample(i - 1);
     const double f = static_cast<double>(t - before.t) /
                      static_cast<double>(after.t - before.t);
     return geo::Point{before.p.x + f * (after.p.x - before.p.x),
@@ -156,7 +288,11 @@ std::optional<geo::Point> Phl::PositionAt(geo::Instant t) const {
       after = &sample;
     }
   }
-  if (after == nullptr && !samples_.empty()) after = &samples_.front();
+  geo::STPoint first_hot;
+  if (after == nullptr && size_ > 0) {
+    first_hot = HotSample(0);
+    after = &first_hot;
+  }
   if (before == nullptr || after == nullptr) return std::nullopt;
   const double f = static_cast<double>(t - before->t) /
                    static_cast<double>(after->t - before->t);
@@ -167,72 +303,56 @@ std::optional<geo::Point> Phl::PositionAt(geo::Instant t) const {
 std::optional<geo::STPoint> Phl::NearestSample(
     const geo::STPoint& query, const geo::STMetric& metric) const {
   if (empty()) return std::nullopt;
-  // Cold candidates must outlive `best` (which may point into them).
-  std::vector<geo::STPoint> cold;
-  const geo::STPoint* best = nullptr;
+  bool have_best = false;
   double best_d2 = 0.0;
-  // Ties on squared distance resolve to the earliest sample — the same
-  // winner as the linear scan's first strict minimum, and independent of
-  // the order the two sides (and the tiers) are visited in.
-  const auto consider = [&](const geo::STPoint& sample) {
-    const double d2 = metric.SquaredDistance(sample, query);
-    if (best == nullptr || d2 < best_d2 ||
-        (d2 == best_d2 && sample.t < best->t)) {
-      best_d2 = d2;
-      best = &sample;
-    }
-  };
+  geo::STPoint best{};
   const auto time_bound2 = [&](geo::Instant t) {
     const double dt =
         metric.meters_per_second * static_cast<double>(t - query.t);
     return dt * dt;
   };
-  if (!samples_.empty()) {
-    // Samples are time-sorted, and the metric's squared distance is
-    // bounded below by (meters_per_second * dt)^2.  Seed at the temporal
-    // insertion point and expand outward; on each side dt grows
-    // monotonically, so a side can be abandoned for good once its
-    // time-only bound STRICTLY exceeds the best squared distance (a
-    // non-strict prune could drop an equal-distance sample and change
-    // which tie wins).
-    const auto pivot = std::lower_bound(
-        samples_.begin(), samples_.end(), query.t,
-        [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
-    auto lo = pivot;
-    auto hi = pivot;
-    bool lo_done = lo == samples_.begin();
-    bool hi_done = hi == samples_.end();
-    while (!lo_done || !hi_done) {
-      // Visit the temporally closer side first so the prune bound tightens
-      // as early as possible (pure efficiency: the tie rule above makes
-      // the result visit-order independent).
-      bool take_lo;
-      if (hi_done) {
-        take_lo = true;
-      } else if (lo_done) {
-        take_lo = false;
-      } else {
-        take_lo = (query.t - (lo - 1)->t) <= (hi->t - query.t);
+  if (size_ > 0) {
+    // Seed from the temporally adjacent samples, then hand a conservative
+    // time window to the flat kernel.  A sample with |t - query.t| > R,
+    // R = sqrt(seed_d2)/mps + 1, has a time-only lower bound STRICTLY
+    // above seed_d2 >= the final best squared distance, so it can neither
+    // win nor tie — the window is a superset of every viable candidate,
+    // and the kernel's lowest-index tie rule is exactly the earliest-time
+    // rule on a time-sorted column.
+    const size_t pivot = LowerBoundT(query.t);
+    double seed_d2 = std::numeric_limits<double>::infinity();
+    if (pivot < size_) {
+      seed_d2 = metric.SquaredDistance(HotSample(pivot), query);
+    }
+    if (pivot > 0) {
+      seed_d2 = std::min(
+          seed_d2, metric.SquaredDistance(HotSample(pivot - 1), query));
+    }
+    size_t begin = 0;
+    size_t end = size_;
+    if (metric.meters_per_second > 0.0) {
+      const double reach =
+          std::sqrt(seed_d2) / metric.meters_per_second + 1.0;
+      // A reach beyond the int64 range means no pruning (scan it all).
+      if (reach < 9.0e18) {
+        const auto reach_t = static_cast<geo::Instant>(reach);
+        const geo::Instant min_t = std::numeric_limits<geo::Instant>::min();
+        const geo::Instant max_t = std::numeric_limits<geo::Instant>::max();
+        const geo::Instant lo =
+            query.t < min_t + reach_t ? min_t : query.t - reach_t;
+        const geo::Instant hi =
+            query.t > max_t - reach_t ? max_t : query.t + reach_t;
+        begin = LowerBoundT(lo);
+        end = UpperBoundT(hi);
       }
-      if (take_lo) {
-        const geo::STPoint& sample = *(lo - 1);
-        if (best != nullptr && time_bound2(sample.t) > best_d2) {
-          lo_done = true;
-          continue;
-        }
-        consider(sample);
-        --lo;
-        lo_done = lo == samples_.begin();
-      } else {
-        const geo::STPoint& sample = *hi;
-        if (best != nullptr && time_bound2(sample.t) > best_d2) {
-          hi_done = true;
-          continue;
-        }
-        consider(sample);
-        ++hi;
-        hi_done = hi == samples_.end();
-      }
+    }
+    const geo::kernels::MinResult hot = geo::kernels::NearestInWindow(
+        slab_.t + begin, slab_.x + begin, slab_.y + begin, end - begin,
+        query, metric.meters_per_second);
+    if (hot.index != geo::kernels::MinResult::kNotFound) {
+      have_best = true;
+      best_d2 = hot.d2;
+      best = HotSample(begin + hot.index);
     }
   }
   if (archived_count_ > 0 && archive_ != nullptr) {
@@ -240,30 +360,39 @@ std::optional<geo::STPoint> Phl::NearestSample(
     // bound comes from whichever archived instant is closest to query.t.
     const geo::Instant nearest_t =
         std::clamp(query.t, archived_lo_, archived_hi_);
-    // Strict prune, same rule as the hot sides: an archived sample tying
-    // the bound could still win the earliest-time tie.
-    if (best == nullptr || time_bound2(nearest_t) <= best_d2) {
+    // Non-strict prune: an archived sample tying the bound could still
+    // win the earliest-time tie.
+    if (!have_best || time_bound2(nearest_t) <= best_d2) {
       geo::Instant lo = archived_lo_;
       geo::Instant hi = archived_hi_;
-      if (best != nullptr && metric.meters_per_second > 0.0) {
+      if (have_best && metric.meters_per_second > 0.0) {
         // Only archived samples within sqrt(best_d2) seconds-of-metric of
         // the query can tie or beat; +1 absorbs the sqrt rounding (a
-        // superset is safe — consider() re-checks exact distances).
+        // superset is safe — exact distances are re-checked below).
         const double reach =
             std::sqrt(best_d2) / metric.meters_per_second + 1.0;
         const auto reach_t = static_cast<geo::Instant>(reach);
         lo = std::max(lo, query.t - reach_t);
         hi = std::min(hi, query.t + reach_t);
       }
+      std::vector<geo::STPoint> cold;
       if (CollectArchived(lo, hi, &cold)) {
-        for (const geo::STPoint& sample : cold) consider(sample);
+        for (const geo::STPoint& sample : cold) {
+          const double d2 = metric.SquaredDistance(sample, query);
+          if (!have_best || d2 < best_d2 ||
+              (d2 == best_d2 && sample.t < best.t)) {
+            have_best = true;
+            best_d2 = d2;
+            best = sample;
+          }
+        }
       }
       // On a fault the answer is hot-only; the archive counted the fault
       // and the serving layer sheds the request.
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return *best;
+  if (!have_best) return std::nullopt;
+  return best;
 }
 
 std::optional<geo::STPoint> Phl::NearestSampleLinear(
@@ -272,7 +401,7 @@ std::optional<geo::STPoint> Phl::NearestSampleLinear(
   if (archived_count_ > 0 && archive_ != nullptr) {
     if (!CollectArchived(archived_lo_, archived_hi_, &all)) all.clear();
   }
-  all.insert(all.end(), samples_.begin(), samples_.end());
+  for (size_t i = 0; i < size_; ++i) all.push_back(HotSample(i));
   if (all.empty()) return std::nullopt;
   const geo::STPoint* best = &all.front();
   double best_d2 = metric.SquaredDistance(*best, query);
@@ -287,13 +416,13 @@ std::optional<geo::STPoint> Phl::NearestSampleLinear(
 }
 
 bool Phl::HasSampleIn(const geo::STBox& box) const {
-  // Hot tier first: samples are time-sorted, restrict to the box's time
-  // window.
-  const auto begin = std::lower_bound(
-      samples_.begin(), samples_.end(), box.time.lo,
-      [](const geo::STPoint& s, geo::Instant value) { return s.t < value; });
-  for (auto it = begin; it != samples_.end() && it->t <= box.time.hi; ++it) {
-    if (box.area.Contains(it->p)) return true;
+  // Hot tier first: bisect the box's time window out of the sorted t
+  // column, then the flat rectangle kernel over the x/y subrange.
+  const size_t begin = LowerBoundT(box.time.lo);
+  const size_t end = UpperBoundT(box.time.hi);
+  if (begin < end && geo::kernels::AnyInRect(slab_.x + begin, slab_.y + begin,
+                                             end - begin, box.area)) {
+    return true;
   }
   if (archived_count_ == 0 || box.time.hi < archived_lo_ ||
       box.time.lo > archived_hi_) {
@@ -314,9 +443,21 @@ bool Phl::CrossesBox(const geo::STBox& box) const {
   // the window starts after the first hot sample every relevant segment is
   // hot-hot: the archive (and the bridging archived->hot segment) can be
   // skipped without loading anything.
-  if (archived_count_ == 0 ||
-      (!samples_.empty() && box.time.lo > samples_.front().t)) {
-    return SamplesCrossBox(samples_, box);
+  if (archived_count_ == 0 || (size_ > 0 && box.time.lo > slab_.t[0])) {
+    if (size_ == 0) return false;
+    if (size_ == 1) return box.Contains(HotSample(0));
+    // Pair scan directly over the columns: start at the last sample at or
+    // before the window (its segment can still reach in), stop once a
+    // segment starts past the window.
+    size_t i = LowerBoundT(box.time.lo);
+    if (i > 0) --i;
+    for (; i + 1 < size_; ++i) {
+      if (slab_.t[i] > box.time.hi) break;
+      if (SegmentIntersectsBox(HotSample(i), HotSample(i + 1), box)) {
+        return true;
+      }
+    }
+    return false;
   }
   std::vector<geo::STPoint> merged;
   if (!CollectArchived(box.time.lo, box.time.hi, &merged)) return false;
@@ -324,7 +465,8 @@ bool Phl::CrossesBox(const geo::STBox& box) const {
   // elements of `merged` inside the box's window are genuinely consecutive
   // in the full history (the collection is complete over the window), and
   // pairs outside it are discarded by the scan's time clip.
-  merged.insert(merged.end(), samples_.begin(), samples_.end());
+  merged.reserve(merged.size() + size_);
+  for (size_t i = 0; i < size_; ++i) merged.push_back(HotSample(i));
   return SamplesCrossBox(merged, box);
 }
 

@@ -1,24 +1,33 @@
 // Personal History of Locations (paper Definition 6): the time-ordered
 // sequence of <x, y, t> samples the trusted server stores for one user.
 //
+// Storage is COLUMNAR (DESIGN.md §17): the hot samples live as three
+// parallel arrays t[i] / x[i] / y[i] in one arena slab, sorted by time.
+// The hot kernels — STBox containment, nearest-sample scans,
+// LT-consistency probes — run as flat loops (src/geo/kernels.h) over
+// bisected subranges of those columns instead of walking per-sample
+// objects.  A Phl without an attached arena (standalone tests, ad-hoc
+// construction) owns an equivalent heap slab privately.
+//
 // Under tiered storage (DESIGN.md §16) a PHL is split at a time cutoff:
-// recent samples stay resident ("hot", the samples_ vector); older ones
-// are sealed into immutable on-disk cold segments and represented here
-// only by a constant-size summary (count + covered time range).  Queries
-// that reach into the archived range fault the needed samples back in
-// through the attached PhlArchive; a fault-in failure makes the query
-// answer hot-only AND bumps the archive's fault counter, which the
-// serving layer checks to shed the affected request instead of serving a
-// wrong anonymity set.
+// recent samples stay resident (hot, the columns); older ones are sealed
+// into immutable on-disk cold segments and represented here only by a
+// constant-size summary (count + covered time range).  Queries that reach
+// into the archived range fault the needed samples back in through the
+// attached PhlArchive; a fault-in failure makes the query answer hot-only
+// AND bumps the archive's fault counter, which the serving layer checks
+// to shed the affected request instead of serving a wrong anonymity set.
 
 #ifndef HISTKANON_SRC_MOD_PHL_H_
 #define HISTKANON_SRC_MOD_PHL_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/geo/stbox.h"
+#include "src/mod/column_arena.h"
 #include "src/mod/types.h"
 
 namespace histkanon {
@@ -47,22 +56,44 @@ class PhlArchive {
 /// the user is modelled as moving linearly (for trajectory-crossing
 /// queries); LT-consistency (Definition 7) is defined over the samples
 /// themselves.  All archived samples precede all hot samples in time.
+///
+/// Move-only: the hot columns live in one slab (arena or private heap).
 class Phl {
  public:
   Phl() = default;
+  ~Phl();
+  Phl(Phl&& other) noexcept;
+  Phl& operator=(Phl&& other) noexcept;
+  Phl(const Phl&) = delete;
+  Phl& operator=(const Phl&) = delete;
+
+  /// Attaches the arena hot slabs are carved from.  Call before the first
+  /// Append; without one the Phl owns a private heap slab with the same
+  /// layout.  Not owned; must outlive this Phl.
+  void AttachArena(ColumnArena* arena) { arena_ = arena; }
 
   /// Appends a sample.  Fails with FailedPrecondition unless its time is
-  /// strictly greater than the last sample's (hot or archived).
+  /// strictly greater than the last sample's (hot or archived), and with
+  /// Unavailable when slab growth fails (fail::kModArenaGrow) — nothing
+  /// is applied in either case.
   common::Status Append(const geo::STPoint& sample);
 
-  /// The HOT (resident) samples.  Archived samples are reachable only
-  /// through the query methods below.
-  const std::vector<geo::STPoint>& samples() const { return samples_; }
-  bool empty() const { return samples_.empty() && archived_count_ == 0; }
+  // -- The HOT (resident) columns.  Archived samples are reachable only
+  // through the query methods below.
+
+  size_t hot_size() const { return size_; }
+  const int64_t* hot_t() const { return slab_.t; }
+  const double* hot_x() const { return slab_.x; }
+  const double* hot_y() const { return slab_.y; }
+  /// The i-th hot sample, materialized from the columns.
+  geo::STPoint HotSample(size_t i) const {
+    return geo::STPoint{{slab_.x[i], slab_.y[i]}, slab_.t[i]};
+  }
+
+  bool empty() const { return size_ == 0 && archived_count_ == 0; }
   /// Hot + archived: monotonic across seals, so size() remains a valid
   /// change ticket for per-user memo validation.
-  size_t size() const { return samples_.size() + archived_count_; }
-  size_t hot_size() const { return samples_.size(); }
+  size_t size() const { return size_ + archived_count_; }
 
   // -- Tiering hooks (driven by MovingObjectDb / the seal protocol).
 
@@ -80,7 +111,10 @@ class Phl {
 
   /// Phase 2 of a seal: drops the first `n` hot samples and folds them
   /// into the archived summary.  Call only after the containing cold
-  /// segment is durably on disk.
+  /// segment is durably on disk.  The surviving tail normally moves to a
+  /// right-sized slab (reclaiming the big one); if that allocation fails
+  /// (fail::kModColumnSeal) the drop falls back to an in-place shift —
+  /// answers are unaffected either way.
   void DropPrefix(size_t n);
 
   /// Restores the archived summary from a snapshot (count 0 clears it).
@@ -102,13 +136,16 @@ class Phl {
   /// empty.  This is the per-user step of Algorithm 1 lines 2 and 5.
   ///
   /// O(log n + w) over the hot tier, where w is the number of samples
-  /// whose time-only distance bound does not exceed the best candidate:
-  /// bisects to the query time, then expands outward, pruning a side once
-  /// (meters_per_second * dt)^2 strictly exceeds the best squared
-  /// distance.  The archived range is consulted only when its time-only
-  /// bound could tie or beat the hot best (same strict-prune rule).
-  /// Equal-distance ties resolve to the earliest sample, matching
-  /// NearestSampleLinear's first-minimum rule exactly.
+  /// whose time-only distance bound does not exceed a seed candidate's
+  /// distance: bisects to the query time, seeds from the temporally
+  /// adjacent samples, then runs the flat nearest kernel over the column
+  /// subrange [query.t - R, query.t + R] with
+  /// R = sqrt(seed_d2) / meters_per_second + 1 — every sample outside
+  /// that window is strictly worse than the seed on the time bound alone.
+  /// The archived range is consulted only when its time-only bound could
+  /// tie or beat the hot best.  Equal-distance ties resolve to the
+  /// earliest sample, matching NearestSampleLinear's first-minimum rule
+  /// exactly.
   std::optional<geo::STPoint> NearestSample(const geo::STPoint& query,
                                             const geo::STMetric& metric) const;
 
@@ -120,7 +157,8 @@ class Phl {
 
   /// True iff some *sample* lies inside `box` — the membership test of
   /// LT-consistency (Definition 7: "there exists an element <xj,yj,tj> in
-  /// the PHL such that ...").
+  /// the PHL such that ...").  Bisects the time window, then runs the
+  /// flat any-in-rect kernel over the x/y subrange.
   bool HasSampleIn(const geo::STBox& box) const;
 
   /// True iff the interpolated trajectory intersects `box` (a trajectory
@@ -134,12 +172,29 @@ class Phl {
   bool LtConsistentWith(const std::vector<geo::STBox>& contexts) const;
 
  private:
+  /// First hot index with t >= value.
+  size_t LowerBoundT(geo::Instant value) const;
+  /// First hot index with t > value.
+  size_t UpperBoundT(geo::Instant value) const;
+
+  /// Moves the hot columns into a slab of capacity >= min_capacity
+  /// (arena-backed when attached, else private heap), releasing the old
+  /// one.  Fails only on allocation failure, leaving the columns intact.
+  common::Status Reslab(size_t min_capacity);
+  /// Releases the current slab back to its source.
+  void ReleaseSlab();
+
   /// Collects archived samples for [lo, hi] (with pred/succ) into `out`.
   /// True when the archive is absent/irrelevant or the load succeeded.
   bool CollectArchived(geo::Instant lo, geo::Instant hi,
                        std::vector<geo::STPoint>* out) const;
 
-  std::vector<geo::STPoint> samples_;
+  ColumnArena* arena_ = nullptr;
+  ColumnSlab slab_;
+  /// Backing bytes when arena_ was null at allocation time.
+  std::unique_ptr<uint8_t[]> heap_;
+  size_t size_ = 0;
+
   const PhlArchive* archive_ = nullptr;
   UserId self_ = kInvalidUser;
   size_t archived_count_ = 0;

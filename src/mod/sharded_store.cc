@@ -90,7 +90,8 @@ void ShardedObjectStore::ForEachSample(
   for (const UserId user : Users()) {
     const common::Result<const Phl*> phl = GetPhl(user);
     if (!phl.ok()) continue;
-    for (const geo::STPoint& sample : (*phl)->samples()) fn(user, sample);
+    const size_t n = (*phl)->hot_size();
+    for (size_t i = 0; i < n; ++i) fn(user, (*phl)->HotSample(i));
   }
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
+
+#include "src/geo/kernels.h"
 
 namespace histkanon {
 namespace stindex {
@@ -11,6 +14,25 @@ namespace {
 
 int64_t FloorToCell(double value, double extent) {
   return static_cast<int64_t>(std::floor(value / extent));
+}
+
+/// How large the delta tail may grow before MergeDelta folds it in:
+/// constant floor for small pillars, a fraction of the sorted prefix for
+/// hotspot pillars so merge cost stays amortized O(1) per insert.
+size_t DeltaCapacity(size_t sorted) { return std::max<size_t>(64, sorted / 8); }
+
+/// Read-time compaction threshold: a query folds a pillar's delta tail
+/// into the sorted prefix only once the tail is a meaningful fraction of
+/// the pillar.  Folding keeps the time-window bisection effective, but
+/// doing it for every tiny tail would be quadratic when inserts and
+/// queries interleave on a hot pillar (each serve appends one sample,
+/// each query would then pay an O(n) merge); below the threshold the
+/// tail is simply scanned as-is — the flat kernels do not need sorted
+/// input, and a superset scan never changes an answer.  Proportional to
+/// the sorted prefix so the amortized query-side merge cost per insert
+/// stays O(1), like the insert-side DeltaCapacity.
+bool ShouldQueryMerge(size_t sorted, size_t tail) {
+  return tail > std::max<size_t>(4, sorted / 8);
 }
 
 }  // namespace
@@ -37,10 +59,51 @@ GridIndex::CellKey GridIndex::CellOf(const geo::STPoint& sample) const {
                              options_.cell_seconds)};
 }
 
+void GridIndex::MergeDelta(Pillar* pillar) {
+  const size_t n = pillar->size();
+  if (pillar->sorted == n) return;
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  const auto by_t = [&](size_t a, size_t b) {
+    return pillar->t[a] < pillar->t[b];
+  };
+  std::stable_sort(perm.begin() + static_cast<ptrdiff_t>(pillar->sorted),
+                   perm.end(), by_t);
+  std::inplace_merge(perm.begin(),
+                     perm.begin() + static_cast<ptrdiff_t>(pillar->sorted),
+                     perm.end(), by_t);
+  Pillar merged;
+  merged.t.reserve(n);
+  merged.x.reserve(n);
+  merged.y.reserve(n);
+  merged.user.reserve(n);
+  for (const size_t i : perm) {
+    merged.t.push_back(pillar->t[i]);
+    merged.x.push_back(pillar->x[i]);
+    merged.y.push_back(pillar->y[i]);
+    merged.user.push_back(pillar->user[i]);
+  }
+  merged.sorted = n;
+  *pillar = std::move(merged);
+}
+
 void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
   if (inserts_ != nullptr) inserts_->Increment();
   const CellKey key = CellOf(sample);
-  cells_[key].push_back(Entry{user, sample});
+  Pillar& pillar = *pillars_.FindOrInsert(key.x, key.y);
+  if (pillar.sorted == pillar.size() &&
+      (pillar.sorted == 0 || pillar.t[pillar.sorted - 1] <= sample.t)) {
+    // In-order arrival (the common live-ingest case): the pillar stays
+    // fully sorted and never pays a merge.
+    ++pillar.sorted;
+  }
+  pillar.t.push_back(sample.t);
+  pillar.x.push_back(sample.p.x);
+  pillar.y.push_back(sample.p.y);
+  pillar.user.push_back(user);
+  if (pillar.size() - pillar.sorted > DeltaCapacity(pillar.sorted)) {
+    MergeDelta(&pillar);
+  }
   if (size_ == 0) {
     min_cell_ = max_cell_ = key;
   } else {
@@ -57,14 +120,38 @@ void GridIndex::Insert(mod::UserId user, const geo::STPoint& sample) {
 
 bool GridIndex::Remove(mod::UserId user, const geo::STPoint& sample) {
   const CellKey key = CellOf(sample);
-  const auto cell = cells_.find(key);
-  if (cell == cells_.end()) return false;
-  std::vector<Entry>& entries = cell->second;
-  const Entry target{user, sample};
-  const auto it = std::find(entries.begin(), entries.end(), target);
-  if (it == entries.end()) return false;
-  entries.erase(it);
-  if (entries.empty()) cells_.erase(cell);
+  Pillar* slot = pillars_.Find(key.x, key.y);
+  if (slot == nullptr) return false;
+  Pillar& pillar = *slot;
+  size_t found = pillar.size();
+  // The sorted prefix narrows to the equal-t run; the tail is scanned
+  // linearly.
+  const auto t_begin = pillar.t.begin();
+  const auto t_sorted_end = t_begin + static_cast<ptrdiff_t>(pillar.sorted);
+  for (auto t_it = std::lower_bound(t_begin, t_sorted_end, sample.t);
+       t_it != t_sorted_end && *t_it == sample.t; ++t_it) {
+    const size_t i = static_cast<size_t>(t_it - t_begin);
+    if (pillar.user[i] == user && pillar.x[i] == sample.p.x &&
+        pillar.y[i] == sample.p.y) {
+      found = i;
+      break;
+    }
+  }
+  if (found == pillar.size()) {
+    for (size_t i = pillar.sorted; i < pillar.size(); ++i) {
+      if (pillar.t[i] == sample.t && pillar.user[i] == user &&
+          pillar.x[i] == sample.p.x && pillar.y[i] == sample.p.y) {
+        found = i;
+        break;
+      }
+    }
+  }
+  if (found == pillar.size()) return false;
+  pillar.t.erase(pillar.t.begin() + static_cast<ptrdiff_t>(found));
+  pillar.x.erase(pillar.x.begin() + static_cast<ptrdiff_t>(found));
+  pillar.y.erase(pillar.y.begin() + static_cast<ptrdiff_t>(found));
+  pillar.user.erase(pillar.user.begin() + static_cast<ptrdiff_t>(found));
+  if (found < pillar.sorted) --pillar.sorted;
   --size_;
   ++epoch_;
   return true;
@@ -74,26 +161,50 @@ std::vector<Entry> GridIndex::RangeQuery(const geo::STBox& box) const {
   if (range_queries_ != nullptr) range_queries_->Increment();
   std::vector<Entry> hits;
   if (box.IsEmpty() || size_ == 0) return hits;
+  hits.reserve(8);
   const int64_t x0 = FloorToCell(box.area.min_x, options_.cell_meters);
   const int64_t x1 = FloorToCell(box.area.max_x, options_.cell_meters);
   const int64_t y0 = FloorToCell(box.area.min_y, options_.cell_meters);
   const int64_t y1 = FloorToCell(box.area.max_y, options_.cell_meters);
-  const int64_t t0 =
-      FloorToCell(static_cast<double>(box.time.lo), options_.cell_seconds);
-  const int64_t t1 =
-      FloorToCell(static_cast<double>(box.time.hi), options_.cell_seconds);
+  // Reused across queries (single-threaded by contract) so a query pays
+  // no per-pillar allocation for the match-index staging buffer.
+  std::vector<uint32_t>& matched = match_scratch_;
   for (int64_t x = std::max(x0, min_cell_.x); x <= std::min(x1, max_cell_.x);
        ++x) {
     for (int64_t y = std::max(y0, min_cell_.y);
          y <= std::min(y1, max_cell_.y); ++y) {
-      for (int64_t t = std::max(t0, min_cell_.t);
-           t <= std::min(t1, max_cell_.t); ++t) {
-        const auto it = cells_.find(CellKey{x, y, t});
-        if (it == cells_.end()) continue;
-        for (const Entry& entry : it->second) {
-          if (box.Contains(entry.sample)) hits.push_back(entry);
-        }
+      Pillar* found = pillars_.Find(x, y);
+      if (found == nullptr) continue;
+      Pillar& pillar = *found;
+      // Read-time compaction (see ShouldQueryMerge): fold a LARGE delta
+      // tail so the bulk of the pillar is one bisectable run; a small
+      // tail is scanned below as-is.
+      if (ShouldQueryMerge(pillar.sorted, pillar.size() - pillar.sorted)) {
+        MergeDelta(&pillar);
       }
+      const auto filter_range = [&](size_t lo, size_t count) {
+        if (count == 0) return;
+        if (matched.size() < count) matched.resize(count);
+        const size_t n = geo::kernels::FilterInBox(
+            pillar.t.data() + lo, pillar.x.data() + lo, pillar.y.data() + lo,
+            count, box, matched.data());
+        for (size_t m = 0; m < n; ++m) {
+          const size_t i = lo + matched[m];
+          hits.push_back(Entry{
+              pillar.user[i],
+              geo::STPoint{{pillar.x[i], pillar.y[i]}, pillar.t[i]}});
+        }
+      };
+      // Bisect the box's raw time window over the sorted prefix, then
+      // the flat containment kernel over the run; the unsorted tail (if
+      // any) cannot be bisected and goes straight through the kernel,
+      // which checks the time bounds itself.
+      size_t lo = 0;
+      size_t hi = 0;
+      geo::kernels::TimeWindowIndices(pillar.t.data(), pillar.sorted,
+                                      box.time.lo, box.time.hi, &lo, &hi);
+      filter_range(lo, hi - lo);
+      filter_range(pillar.sorted, pillar.size() - pillar.sorted);
     }
   }
   return hits;
@@ -105,124 +216,253 @@ std::vector<UserNeighbor> GridIndex::NearestPerUser(
   if (nearest_queries_ != nullptr) nearest_queries_->Increment();
   std::vector<UserNeighbor> result;
   if (size_ == 0 || k == 0) return result;
-  int64_t shells_explored = 0;
 
-  const CellKey center = CellOf(query);
-  // Weighted extent of one cell in each lattice dimension.
-  const double extent_x = options_.cell_meters;
-  const double extent_y = options_.cell_meters;
-  const double extent_t = metric.meters_per_second * options_.cell_seconds;
-  const double min_extent = std::min({extent_x, extent_y, extent_t});
+  const double cell = options_.cell_meters;
+  const double mps = metric.meters_per_second;
 
-  std::unordered_map<mod::UserId, UserNeighbor> best;  // distance = squared
+  // Per-user best samples in the reusable generation-stamped scratch
+  // table (linear probing, power-of-2 capacity): `consider` is the
+  // innermost operation of the whole search, and a node-based map would
+  // pay an allocation and a pointer chase per discovered user.  Bumping
+  // the generation invalidates the previous query's entries without
+  // touching them, so a query pays neither an allocation nor a
+  // table-wide clear.
+  if (best_slots_.empty()) best_slots_.assign(128, BestSlot{});
+  if (++best_gen_ == 0) {
+    // uint32 wrap: stamp everything dead once, then restart at 1.
+    for (BestSlot& slot : best_slots_) slot.gen = 0;
+    best_gen_ = 1;
+  }
+  const uint32_t gen = best_gen_;
+  const auto user_hash = [](mod::UserId user) -> size_t {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(user) * 0x9e3779b97f4a7c15ULL) >> 32);
+  };
+  size_t best_mask = best_slots_.size() - 1;
+  size_t best_used = 0;
+  const auto best_find = [&](mod::UserId user) -> BestSlot* {
+    for (size_t i = user_hash(user) & best_mask;; i = (i + 1) & best_mask) {
+      BestSlot& slot = best_slots_[i];
+      if (slot.gen != gen || slot.user == user) return &slot;
+    }
+  };
+  const auto best_grow = [&]() {
+    std::vector<BestSlot> old = std::move(best_slots_);
+    best_slots_.assign(old.size() * 2, BestSlot{});
+    best_mask = best_slots_.size() - 1;
+    for (BestSlot& slot : old) {
+      if (slot.gen != gen) continue;
+      size_t i = user_hash(slot.user) & best_mask;
+      while (best_slots_[i].gen == gen) i = (i + 1) & best_mask;
+      best_slots_[i] = slot;
+    }
+  };
 
-  auto scan_cell = [&](int64_t x, int64_t y, int64_t t) {
-    const auto it = cells_.find(CellKey{x, y, t});
-    if (it == cells_.end()) return;
-    for (const Entry& entry : it->second) {
-      if (entry.user == exclude) continue;
-      const double d2 = metric.SquaredDistance(entry.sample, query);
-      auto bit = best.find(entry.user);
+  // The k smallest per-user best squared distances, ascending — the
+  // incrementally maintained pruning bound (mirrored into `bound_d2`).
+  // All O(k) per update, never an O(users) nth_element on the hot path.
+  // Invariant: every user NOT in `topk` has a best no smaller than
+  // topk.back() — eviction only replaces the maximum with something
+  // smaller, and a tracked user's value only decreases in place, so the
+  // invariant survives every update.
+  std::vector<std::pair<double, mod::UserId>>& topk = topk_;
+  topk.clear();
+  topk.reserve(k);
+  double bound_d2 = std::numeric_limits<double>::infinity();
+  const auto topk_update = [&](mod::UserId user, double d2) {
+    for (size_t i = 0; i < topk.size(); ++i) {
+      if (topk[i].second != user) continue;
+      topk[i].first = d2;
+      while (i > 0 && topk[i - 1].first > topk[i].first) {
+        std::swap(topk[i - 1], topk[i]);
+        --i;
+      }
+      if (topk.size() == k) bound_d2 = topk.back().first;
+      return;
+    }
+    if (topk.size() == k && d2 >= topk.back().first) return;
+    if (topk.size() == k) topk.pop_back();
+    topk.emplace_back(d2, user);
+    for (size_t i = topk.size() - 1;
+         i > 0 && topk[i - 1].first > topk[i].first; --i) {
+      std::swap(topk[i - 1], topk[i]);
+    }
+    if (topk.size() == k) bound_d2 = topk.back().first;
+  };
+
+  const auto consider = [&](mod::UserId user, double d2,
+                            const geo::STPoint& sample) {
+    BestSlot* slot = best_find(user);
+    if (slot->gen != gen) {
+      slot->gen = gen;
+      slot->user = user;
+      slot->neighbor = UserNeighbor{user, sample, d2};
+      topk_update(user, d2);
+      if (++best_used * 2 > best_slots_.size()) best_grow();
+    } else if (d2 < slot->neighbor.distance) {
+      slot->neighbor.sample = sample;
+      slot->neighbor.distance = d2;
+      topk_update(user, d2);
+    } else if (d2 == slot->neighbor.distance &&
+               SampleContentLess(sample, slot->neighbor.sample)) {
       // Equal-distance ties go to the content-smaller sample so the
-      // per-user representative never depends on cell iteration order.
-      if (bit == best.end() || d2 < bit->second.distance ||
-          (d2 == bit->second.distance &&
-           SampleContentLess(entry.sample, bit->second.sample))) {
-        best[entry.user] = UserNeighbor{entry.user, entry.sample, d2};
-      }
+      // per-user representative never depends on scan order.
+      slot->neighbor.sample = sample;
     }
   };
 
-  // k-th smallest per-user best squared distance (infinity when < k users).
-  auto kth_best_d2 = [&]() -> double {
-    if (best.size() < k) return std::numeric_limits<double>::infinity();
-    std::vector<double> d2s;
-    d2s.reserve(best.size());
-    for (const auto& [user, neighbor] : best) d2s.push_back(neighbor.distance);
-    std::nth_element(d2s.begin(), d2s.begin() + (k - 1), d2s.end());
-    return d2s[k - 1];
+  // Spatial squared distance from the query to cell (x, y)'s bounding
+  // square, padded down so floating rounding in FloorToCell can never
+  // make it exceed a contained sample's true distance.
+  const auto cell_min_d2 = [&](int64_t x, int64_t y) -> double {
+    const double lo_x = static_cast<double>(x) * cell;
+    const double lo_y = static_cast<double>(y) * cell;
+    double dx = 0.0;
+    if (query.p.x < lo_x) dx = lo_x - query.p.x;
+    if (query.p.x > lo_x + cell) dx = query.p.x - (lo_x + cell);
+    double dy = 0.0;
+    if (query.p.y < lo_y) dy = lo_y - query.p.y;
+    if (query.p.y > lo_y + cell) dy = query.p.y - (lo_y + cell);
+    const double d2 = dx * dx + dy * dy;
+    const double padded = d2 - (d2 * 1e-12 + 1e-9);
+    return padded > 0.0 ? padded : 0.0;
   };
 
-  // Clipped iteration helper over one axis range.
-  auto clip_lo = [](int64_t v, int64_t lo) { return std::max(v, lo); };
-  auto clip_hi = [](int64_t v, int64_t hi) { return std::min(v, hi); };
+  // Pillars are ACTIVATED in concentric square rings around the query's
+  // cell — O(1) arithmetic per cell, no per-cell priority queue — and
+  // rings stop once even the ring's inner edge is provably past the
+  // k-th best distance.  An activated pillar is scanned over ONE
+  // bound-clipped time window: a sample outside
+  // |t - query.t| <= sqrt(bound - spatial) / mps has a time part ALONE
+  // strictly above the bound, so it can neither enter the result nor
+  // tie, and because the bound only tightens, a window computed from
+  // the bound at activation time is a superset of the final legal
+  // window — clipped-away work is never owed later.  Comparisons
+  // against the bound are STRICT throughout: samples exactly tying the
+  // k-th best must be seen for the result to stay a pure function of
+  // the indexed content (the canonical-answer property
+  // SampleContentLess documents).
+  int64_t cells_probed = 0;
+  const auto activate = [&](int64_t x, int64_t y) {
+    const double spatial = cell_min_d2(x, y);
+    if (spatial > bound_d2) return;  // arithmetic-only prune, no probe
+    ++cells_probed;
+    Pillar* pillar = pillars_.Find(x, y);
+    if (pillar == nullptr) return;
+    // Read-time compaction (see ShouldQueryMerge): fold a LARGE delta
+    // tail so window clipping covers the bulk of the pillar; a small
+    // tail is scanned unclipped below.
+    if (ShouldQueryMerge(pillar->sorted, pillar->size() - pillar->sorted)) {
+      MergeDelta(pillar);
+    }
+    const auto scan_range = [&](size_t lo, size_t count) {
+      if (count == 0) return;
+      if (d2_scratch_.size() < count) d2_scratch_.resize(count);
+      geo::kernels::SquaredDistances(pillar->t.data() + lo,
+                                     pillar->x.data() + lo,
+                                     pillar->y.data() + lo, count, query, mps,
+                                     d2_scratch_.data());
+      for (size_t j = 0; j < count; ++j) {
+        const double d2 = d2_scratch_[j];
+        if (d2 > bound_d2) continue;  // strict: ties must pass
+        const mod::UserId user = pillar->user[lo + j];
+        if (user == exclude) continue;
+        consider(user, d2,
+                 geo::STPoint{{pillar->x[lo + j], pillar->y[lo + j]},
+                              pillar->t[lo + j]});
+      }
+    };
+    const size_t sorted = pillar->sorted;
+    if (sorted > 0) {
+      size_t lo = 0;
+      size_t hi = sorted;
+      // Conservative half-width: inflate for sqrt/divide rounding, plus
+      // one extra second for the int64 -> double conversion of the time
+      // delta.  Overscan is a harmless superset scan; underscan is not.
+      const double half = std::sqrt(bound_d2 - spatial) / mps * (1.0 + 1e-9) +
+                          1.0;
+      if (std::isfinite(half) && half < 9.0e18) {
+        const int64_t w = static_cast<int64_t>(half);
+        int64_t lo_t = 0;
+        int64_t hi_t = 0;
+        if (__builtin_sub_overflow(query.t, w, &lo_t)) {
+          lo_t = std::numeric_limits<int64_t>::min();
+        }
+        if (__builtin_add_overflow(query.t, w, &hi_t)) {
+          hi_t = std::numeric_limits<int64_t>::max();
+        }
+        geo::kernels::TimeWindowIndices(pillar->t.data(), sorted, lo_t, hi_t,
+                                        &lo, &hi);
+      }
+      scan_range(lo, hi - lo);
+    }
+    scan_range(sorted, pillar->size() - sorted);
+  };
 
-  for (int64_t radius = 0;; ++radius) {
-    ++shells_explored;
-    // Scan the Chebyshev shell at `radius` — its six faces only, each
-    // clipped to the data's lattice bounding box.  Inner cells were
-    // scanned at smaller radii.
-    const int64_t x0 = center.x - radius;
-    const int64_t x1 = center.x + radius;
-    const int64_t y0 = center.y - radius;
-    const int64_t y1 = center.y + radius;
-    const int64_t t0 = center.t - radius;
-    const int64_t t1 = center.t + radius;
-    if (radius == 0) {
-      scan_cell(center.x, center.y, center.t);
+  // Start from the query's cell clamped into the data's lattice bounds:
+  // a cell at Chebyshev lattice distance r from the start then sits at
+  // spatial distance >= (r - 1) * cell_meters from the query, whether
+  // the query is inside the lattice or beyond its edge.
+  const int64_t start_x =
+      std::clamp(FloorToCell(query.p.x, cell), min_cell_.x, max_cell_.x);
+  const int64_t start_y =
+      std::clamp(FloorToCell(query.p.y, cell), min_cell_.y, max_cell_.y);
+  // The last ring with any in-bounds cell.
+  const int64_t cover =
+      std::max(std::max(start_x - min_cell_.x, max_cell_.x - start_x),
+               std::max(start_y - min_cell_.y, max_cell_.y - start_y));
+
+  for (int64_t r = 0; r <= cover; ++r) {
+    if (r > 0) {
+      const double ring_min = static_cast<double>(r - 1) * cell;
+      if (ring_min * ring_min > bound_d2) break;
+    }
+    if (r == 0) {
+      activate(start_x, start_y);
     } else {
-      // x = x0 and x = x1 faces (full y/t extent).
-      for (const int64_t x : {x0, x1}) {
-        if (x < min_cell_.x || x > max_cell_.x) continue;
-        for (int64_t y = clip_lo(y0, min_cell_.y);
-             y <= clip_hi(y1, max_cell_.y); ++y) {
-          for (int64_t t = clip_lo(t0, min_cell_.t);
-               t <= clip_hi(t1, max_cell_.t); ++t) {
-            scan_cell(x, y, t);
-          }
-        }
+      const int64_t x0 = start_x - r;
+      const int64_t x1 = start_x + r;
+      const int64_t y0 = start_y - r;
+      const int64_t y1 = start_y + r;
+      const int64_t xa = std::max(x0, min_cell_.x);
+      const int64_t xb = std::min(x1, max_cell_.x);
+      if (y0 >= min_cell_.y) {
+        for (int64_t x = xa; x <= xb; ++x) activate(x, y0);
       }
-      // y faces (x interior only, to avoid re-scanning the x-face edges).
-      for (const int64_t y : {y0, y1}) {
-        if (y < min_cell_.y || y > max_cell_.y) continue;
-        for (int64_t x = clip_lo(x0 + 1, min_cell_.x);
-             x <= clip_hi(x1 - 1, max_cell_.x); ++x) {
-          for (int64_t t = clip_lo(t0, min_cell_.t);
-               t <= clip_hi(t1, max_cell_.t); ++t) {
-            scan_cell(x, y, t);
-          }
-        }
+      if (y1 <= max_cell_.y) {
+        for (int64_t x = xa; x <= xb; ++x) activate(x, y1);
       }
-      // t faces (x and y interior only).
-      for (const int64_t t : {t0, t1}) {
-        if (t < min_cell_.t || t > max_cell_.t) continue;
-        for (int64_t x = clip_lo(x0 + 1, min_cell_.x);
-             x <= clip_hi(x1 - 1, max_cell_.x); ++x) {
-          for (int64_t y = clip_lo(y0 + 1, min_cell_.y);
-               y <= clip_hi(y1 - 1, max_cell_.y); ++y) {
-            scan_cell(x, y, t);
-          }
-        }
+      const int64_t ya = std::max(y0 + 1, min_cell_.y);
+      const int64_t yb = std::min(y1 - 1, max_cell_.y);
+      if (x0 >= min_cell_.x) {
+        for (int64_t y = ya; y <= yb; ++y) activate(x0, y);
       }
-    }
-
-    // Any unexplored cell lies at Chebyshev lattice distance > radius, so
-    // its contents are at weighted distance >= radius * min_extent.  The
-    // comparison is STRICT: stopping on equality could miss a boundary
-    // sample tying the k-th best, and tied samples must all be seen for
-    // the result to be a pure function of the indexed content (the
-    // canonical-answer property SampleContentLess documents).
-    const double unexplored_min = static_cast<double>(radius) * min_extent;
-    if (kth_best_d2() < unexplored_min * unexplored_min) break;
-
-    // Stop once the search cube covers the whole data lattice.
-    if (x0 <= min_cell_.x && x1 >= max_cell_.x && y0 <= min_cell_.y &&
-        y1 >= max_cell_.y && t0 <= min_cell_.t && t1 >= max_cell_.t) {
-      break;
+      if (x1 <= max_cell_.x) {
+        for (int64_t y = ya; y <= yb; ++y) activate(x1, y);
+      }
     }
   }
 
   if (nearest_shells_ != nullptr) {
-    nearest_shells_->Observe(static_cast<double>(shells_explored));
+    nearest_shells_->Observe(static_cast<double>(cells_probed));
   }
-  result.reserve(best.size());
-  for (const auto& [user, neighbor] : best) result.push_back(neighbor);
-  std::sort(result.begin(), result.end(),
-            [](const UserNeighbor& a, const UserNeighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.user < b.user;
-            });
-  if (result.size() > k) result.resize(k);
+  result.reserve(best_used);
+  for (const BestSlot& slot : best_slots_) {
+    if (slot.gen == gen) result.push_back(slot.neighbor);
+  }
+  const auto by_distance = [](const UserNeighbor& a, const UserNeighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.user < b.user;
+  };
+  if (result.size() > k) {
+    // Only the k nearest leave the function: partial ordering is enough.
+    std::partial_sort(result.begin(),
+                      result.begin() + static_cast<ptrdiff_t>(k),
+                      result.end(), by_distance);
+    result.resize(k);
+  } else {
+    std::sort(result.begin(), result.end(), by_distance);
+  }
   for (UserNeighbor& neighbor : result) {
     neighbor.distance = std::sqrt(neighbor.distance);
   }

@@ -1,5 +1,17 @@
-// Uniform 3D grid over (x, y, t), with expanding-shell nearest-neighbour
-// search.  The workhorse index for Algorithm 1 on realistic densities.
+// Uniform grid over (x, y) pillars of time-sorted sample columns, with
+// expanding-shell nearest-neighbour search.  The workhorse index for
+// Algorithm 1 on realistic densities.
+//
+// Columnar layout (DESIGN.md §17): samples sharing a spatial cell live in
+// one PILLAR — four parallel columns t/x/y/user whose prefix is sorted by
+// time, plus a small unsorted delta tail that absorbs inserts and is
+// merged back when it overflows.  A nearest scan that used to probe one
+// hash cell per (x, y, t) lattice point now probes one pillar per (x, y)
+// ring cell, bisects the time window the current k-th bound allows, and
+// hands the run to the flat geometry kernels (src/geo/kernels.h).
+// Answers are identical: the per-user tie rule (SampleContentLess) and
+// the strict ring-termination bound already make the result a pure
+// function of the indexed content, independent of scan order.
 
 #ifndef HISTKANON_SRC_STINDEX_GRID_INDEX_H_
 #define HISTKANON_SRC_STINDEX_GRID_INDEX_H_
@@ -7,6 +19,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -26,10 +39,11 @@ struct GridIndexOptions {
   obs::Registry* registry = nullptr;
 };
 
-/// \brief Hash-grid index: each sample lives in the cell of a uniform
-/// (x, y, t) lattice; nearest-per-user queries explore Chebyshev shells of
-/// cells outward from the query until the k-th best distance is provably
-/// final.
+/// \brief Pillar-grid index: each sample lives in the time-sorted column
+/// of its spatial cell; nearest-per-user queries expand square rings of
+/// pillars outward from the query — scanning each pillar's bound-clipped
+/// time run through the distance kernel — until the k-th best distance
+/// is provably final.
 class GridIndex : public SpatioTemporalIndex {
  public:
   explicit GridIndex(GridIndexOptions options = GridIndexOptions());
@@ -82,7 +96,92 @@ class GridIndex : public SpatioTemporalIndex {
     }
   };
 
+  /// \brief One spatial cell's samples as parallel columns.  The prefix
+  /// [0, sorted) is ascending in t; [sorted, t.size()) is the unsorted
+  /// delta tail, merged back by MergeDelta when it overflows.
+  struct Pillar {
+    std::vector<int64_t> t;
+    std::vector<double> x;
+    std::vector<double> y;
+    std::vector<mod::UserId> user;
+    size_t sorted = 0;
+
+    size_t size() const { return t.size(); }
+  };
+
+  /// \brief Open-addressing pillar map: power-of-2 capacity, linear
+  /// probing, load kept under 1/2.  A probe is one predictable slot load
+  /// where the node-based map paid a bucket load plus a pointer chase —
+  /// the pillar lookup is on every query's critical path.  Pillars are
+  /// stored by value and only move on growth, so within a query (no
+  /// inserts) Pillar pointers are stable.  There is no erase: a pillar
+  /// emptied by Remove stays as a vacant husk, which every scan already
+  /// skips — tombstone bookkeeping would buy nothing.
+  class PillarTable {
+   public:
+    PillarTable() : slots_(kMinSlots), mask_(kMinSlots - 1) {}
+
+    Pillar* Find(int64_t x, int64_t y) {
+      for (size_t i = Hash(x, y) & mask_;; i = (i + 1) & mask_) {
+        Slot& slot = slots_[i];
+        if (!slot.used) return nullptr;
+        if (slot.x == x && slot.y == y) return &slot.pillar;
+      }
+    }
+
+    Pillar* FindOrInsert(int64_t x, int64_t y) {
+      if ((used_ + 1) * 2 > slots_.size()) Grow();
+      for (size_t i = Hash(x, y) & mask_;; i = (i + 1) & mask_) {
+        Slot& slot = slots_[i];
+        if (!slot.used) {
+          slot.used = true;
+          slot.x = x;
+          slot.y = y;
+          ++used_;
+          return &slot.pillar;
+        }
+        if (slot.x == x && slot.y == y) return &slot.pillar;
+      }
+    }
+
+   private:
+    struct Slot {
+      int64_t x = 0;
+      int64_t y = 0;
+      bool used = false;
+      Pillar pillar;
+    };
+
+    static size_t Hash(int64_t x, int64_t y) {
+      uint64_t h = static_cast<uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(y) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
+
+    void Grow() {
+      std::vector<Slot> old = std::move(slots_);
+      slots_.assign(old.size() * 2, Slot{});
+      mask_ = slots_.size() - 1;
+      for (Slot& slot : old) {
+        if (!slot.used) continue;
+        size_t i = Hash(slot.x, slot.y) & mask_;
+        while (slots_[i].used) i = (i + 1) & mask_;
+        slots_[i] = std::move(slot);
+      }
+    }
+
+    static constexpr size_t kMinSlots = 64;
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    size_t used_ = 0;
+  };
+
   CellKey CellOf(const geo::STPoint& sample) const;
+
+  /// Sorts the delta tail and merges it into the sorted prefix (O(n)).
+  static void MergeDelta(Pillar* pillar);
 
   std::string name_ = "grid";
   GridIndexOptions options_;
@@ -91,7 +190,28 @@ class GridIndex : public SpatioTemporalIndex {
   obs::Counter* range_queries_ = nullptr;
   obs::Counter* nearest_queries_ = nullptr;
   obs::Histogram* nearest_shells_ = nullptr;
-  std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
+  // `mutable` for read-time compaction: the index is single-threaded by
+  // contract, and queries fold a touched pillar's oversized delta tail
+  // into the sorted prefix before scanning it (small tails are scanned
+  // as-is) — content is unchanged, so const semantics hold for every
+  // observable answer.
+  mutable PillarTable pillars_;
+  // Per-query scratch for NearestPerUser, reused across queries (the
+  // index is single-threaded by contract; a query leaves no observable
+  // state here).  The best-per-user table is generation-stamped: bumping
+  // best_gen_ invalidates every slot in O(1), so a query pays neither an
+  // allocation nor a table-wide clear, and the table keeps its
+  // high-water capacity.
+  struct BestSlot {
+    mod::UserId user = 0;
+    uint32_t gen = 0;  // slot is live iff gen == best_gen_
+    UserNeighbor neighbor;  // distance = squared while searching
+  };
+  mutable std::vector<BestSlot> best_slots_;
+  mutable uint32_t best_gen_ = 0;
+  mutable std::vector<std::pair<double, mod::UserId>> topk_;
+  mutable std::vector<double> d2_scratch_;
+  mutable std::vector<uint32_t> match_scratch_;
   size_t size_ = 0;
   /// Bumped on every Insert (the MOD-ingest invalidation ticket).
   uint64_t epoch_ = 0;

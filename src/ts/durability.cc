@@ -1111,9 +1111,9 @@ common::Result<std::string> TrustedServer::Checkpoint() const {
     writer.PutU64(phl->archived_count());
     writer.PutI64(phl->archived_lo());
     writer.PutI64(phl->archived_hi());
-    writer.PutU64(phl->samples().size());
-    for (const geo::STPoint& sample : phl->samples()) {
-      PutPoint(&writer, sample);
+    writer.PutU64(phl->hot_size());
+    for (size_t i = 0; i < phl->hot_size(); ++i) {
+      PutPoint(&writer, phl->HotSample(i));
     }
   }
   // LBQID monitor: definitions + automaton states.

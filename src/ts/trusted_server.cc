@@ -591,8 +591,9 @@ ProcessOutcome TrustedServer::ProcessAdmitted(mod::UserId user,
   return outcome;
 }
 
-void TrustedServer::PrewarmRequest(mod::UserId user, const geo::STPoint& exact,
-                                   mod::ServiceId service) {
+std::optional<size_t> TrustedServer::PrewarmProbeK(mod::UserId user,
+                                                   const geo::STPoint& exact,
+                                                   mod::ServiceId service) {
   // A shared nearest-users entry only pays off when serving this request
   // can reach Algorithm 1's line-5 anchor selection: some LBQID element
   // must match the exact context (Definition 2 — otherwise the monitor
@@ -613,10 +614,15 @@ void TrustedServer::PrewarmRequest(mod::UserId user, const geo::STPoint& exact,
       }
     }
   }
-  if (!selects_anchors) return;
+  if (!selects_anchors) return std::nullopt;
   const PrivacyPolicy& policy = ResolvePolicy(state, service, exact.t);
-  generalizer_->PrewarmNearestUsers(
-      exact, policy.k_schedule.InitialAnchors(policy.k));
+  return policy.k_schedule.InitialAnchors(policy.k);
+}
+
+void TrustedServer::PrewarmRequest(mod::UserId user, const geo::STPoint& exact,
+                                   mod::ServiceId service) {
+  const std::optional<size_t> k = PrewarmProbeK(user, exact, service);
+  if (k.has_value()) generalizer_->PrewarmNearestUsers(exact, *k);
 }
 
 std::vector<ProcessOutcome> TrustedServer::ProcessBatch(
@@ -689,22 +695,44 @@ std::vector<ProcessOutcome> TrustedServer::ProcessBatch(
     }
   }
   {
-    // Prewarm in grid-cell order: co-located requests land adjacently, so
-    // each distinct (point, k) pays for one shared index query and the
-    // rest hit the memo.
+    // Prewarm on the DEDUPED probe set, sorted by grid cell: co-located
+    // probes land adjacently (their shell scans touch the same pillar
+    // column runs back to back), and each distinct (point, k) pays for
+    // exactly one shared index query instead of one memo lookup per
+    // request.
     obs::CausalSpan prewarm_span = obs::StartCausalSpan(
         causal, batch_root.context(), "prewarm", options_.trace_track);
-    std::vector<size_t> order(requests.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      const uint64_t cell_a = index_.CellIdOf(requests[a].exact);
-      const uint64_t cell_b = index_.CellIdOf(requests[b].exact);
-      if (cell_a != cell_b) return cell_a < cell_b;
-      return a < b;
-    });
-    for (const size_t i : order) {
-      PrewarmRequest(requests[i].user, requests[i].exact,
-                     requests[i].service);
+    struct Probe {
+      uint64_t cell = 0;
+      geo::STPoint exact;
+      size_t k = 0;
+    };
+    std::vector<Probe> probes;
+    probes.reserve(requests.size());
+    for (const BatchRequest& request : requests) {
+      const std::optional<size_t> k =
+          PrewarmProbeK(request.user, request.exact, request.service);
+      if (!k.has_value()) continue;
+      probes.push_back(
+          Probe{index_.CellIdOf(request.exact), request.exact, *k});
+    }
+    std::sort(probes.begin(), probes.end(),
+              [](const Probe& a, const Probe& b) {
+                if (a.cell != b.cell) return a.cell < b.cell;
+                if (a.exact.t != b.exact.t) return a.exact.t < b.exact.t;
+                if (a.exact.p.x != b.exact.p.x) return a.exact.p.x < b.exact.p.x;
+                if (a.exact.p.y != b.exact.p.y) return a.exact.p.y < b.exact.p.y;
+                return a.k < b.k;
+              });
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const Probe& probe = probes[i];
+      if (i > 0 && probes[i - 1].exact.t == probe.exact.t &&
+          probes[i - 1].exact.p.x == probe.exact.p.x &&
+          probes[i - 1].exact.p.y == probe.exact.p.y &&
+          probes[i - 1].k == probe.k) {
+        continue;  // identical probe — the first one already warmed it
+      }
+      generalizer_->PrewarmNearestUsers(probe.exact, probe.k);
     }
   }
   // Serve in ORIGINAL submission order, so the sequential streams

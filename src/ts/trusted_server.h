@@ -16,6 +16,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -520,6 +521,12 @@ class TrustedServer : public sim::EventSink {
   void RecordRequest(const ProcessOutcome& outcome,
                      const RequestTelemetry& telemetry, mod::UserId user,
                      mod::ServiceId service, double total_seconds);
+  // The anchor count a prewarm probe for this request would query with,
+  // or nullopt when serving it cannot reach anchor selection (no LBQID
+  // element matches, or the trace is already anchored).
+  std::optional<size_t> PrewarmProbeK(mod::UserId user,
+                                      const geo::STPoint& exact,
+                                      mod::ServiceId service);
   // Per-request policy: the rule set when present, else the flat policy.
   const PrivacyPolicy& ResolvePolicy(const UserState& state,
                                      mod::ServiceId service,

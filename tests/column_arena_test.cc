@@ -1,0 +1,127 @@
+// ColumnArena (DESIGN.md §17.2): size-class slab reuse, alignment, the
+// epoch ticket, and the growth failpoint's nothing-applied contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fail/failpoint.h"
+#include "src/fail/sites.h"
+#include "src/mod/column_arena.h"
+
+namespace histkanon {
+namespace mod {
+namespace {
+
+TEST(ColumnArena, CapacityForIsNextPowerOfTwoFloorEight) {
+  EXPECT_EQ(ColumnArena::CapacityFor(0), 8u);
+  EXPECT_EQ(ColumnArena::CapacityFor(1), 8u);
+  EXPECT_EQ(ColumnArena::CapacityFor(8), 8u);
+  EXPECT_EQ(ColumnArena::CapacityFor(9), 16u);
+  EXPECT_EQ(ColumnArena::CapacityFor(16), 16u);
+  EXPECT_EQ(ColumnArena::CapacityFor(1000), 1024u);
+  EXPECT_EQ(ColumnArena::CapacityFor(1025), 2048u);
+}
+
+TEST(ColumnArena, AllocateAlignsAndSeparatesColumns) {
+  ColumnArena arena;
+  ColumnSlab slab;
+  ASSERT_TRUE(arena.Allocate(100, &slab).ok());
+  ASSERT_TRUE(slab);
+  EXPECT_EQ(slab.capacity, 128u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(slab.t) % 64, 0u);
+  // Columns must not overlap: write full-capacity patterns and read back.
+  for (size_t i = 0; i < slab.capacity; ++i) {
+    slab.t[i] = static_cast<int64_t>(i);
+    slab.x[i] = 1.5 * static_cast<double>(i);
+    slab.y[i] = -2.5 * static_cast<double>(i);
+  }
+  for (size_t i = 0; i < slab.capacity; ++i) {
+    EXPECT_EQ(slab.t[i], static_cast<int64_t>(i));
+    EXPECT_EQ(slab.x[i], 1.5 * static_cast<double>(i));
+    EXPECT_EQ(slab.y[i], -2.5 * static_cast<double>(i));
+  }
+  arena.Release(slab);
+}
+
+TEST(ColumnArena, ReleaseFeedsTheSizeClassFreeList) {
+  ColumnArena arena;
+  ColumnSlab a;
+  ASSERT_TRUE(arena.Allocate(50, &a).ok());
+  const int64_t* t_before = a.t;
+  const size_t bytes_before = arena.allocated_bytes();
+  arena.Release(a);
+  EXPECT_EQ(arena.live_slabs(), 0u);
+  // Same size class -> the freed slab is reused, no new carving.
+  ColumnSlab b;
+  ASSERT_TRUE(arena.Allocate(60, &b).ok());
+  EXPECT_EQ(b.t, t_before);
+  EXPECT_EQ(arena.allocated_bytes(), bytes_before);
+  EXPECT_EQ(arena.live_slabs(), 1u);
+  arena.Release(b);
+}
+
+TEST(ColumnArena, EpochBumpsOnEveryAllocateAndRelease) {
+  ColumnArena arena;
+  const uint64_t e0 = arena.epoch();
+  ColumnSlab slab;
+  ASSERT_TRUE(arena.Allocate(8, &slab).ok());
+  const uint64_t e1 = arena.epoch();
+  EXPECT_GT(e1, e0);
+  arena.Release(slab);
+  EXPECT_GT(arena.epoch(), e1);
+}
+
+TEST(ColumnArena, ManySlabsShareBlocks) {
+  ColumnArena arena;
+  std::vector<ColumnSlab> slabs(100);
+  for (ColumnSlab& slab : slabs) {
+    ASSERT_TRUE(arena.Allocate(8, &slab).ok());
+  }
+  EXPECT_EQ(arena.live_slabs(), 100u);
+  // 100 eight-sample slabs fit easily inside one 1 MiB block.
+  EXPECT_LE(arena.allocated_bytes(), size_t{1} << 21);
+  for (ColumnSlab& slab : slabs) arena.Release(slab);
+  EXPECT_EQ(arena.live_slabs(), 0u);
+}
+
+TEST(ColumnArena, OversizedSlabGetsADedicatedBlock) {
+  ColumnArena arena;
+  ColumnSlab big;
+  // 1 M samples * 24 B > the 1 MiB block size.
+  ASSERT_TRUE(arena.Allocate(size_t{1} << 20, &big).ok());
+  ASSERT_TRUE(big);
+  EXPECT_EQ(big.capacity, size_t{1} << 20);
+  big.t[0] = 7;
+  big.t[big.capacity - 1] = 9;
+  EXPECT_EQ(big.t[0], 7);
+  arena.Release(big);
+}
+
+TEST(ColumnArena, GrowthFailpointLeavesArenaUntouched) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  ColumnArena arena;
+  const uint64_t epoch_before = arena.epoch();
+  const size_t bytes_before = arena.allocated_bytes();
+  {
+    fail::ScopedFailPoint fp(
+        fail::kModArenaGrow,
+        fail::ErrorAction(common::StatusCode::kUnavailable));
+    ColumnSlab slab;
+    const common::Status status = arena.Allocate(8, &slab);
+    EXPECT_EQ(status.code(), common::StatusCode::kUnavailable);
+    EXPECT_FALSE(slab);
+    EXPECT_EQ(arena.epoch(), epoch_before);
+    EXPECT_EQ(arena.allocated_bytes(), bytes_before);
+    EXPECT_EQ(arena.live_slabs(), 0u);
+  }
+  // Heals once the fault clears.
+  ColumnSlab slab;
+  ASSERT_TRUE(arena.Allocate(8, &slab).ok());
+  arena.Release(slab);
+}
+
+}  // namespace
+}  // namespace mod
+}  // namespace histkanon

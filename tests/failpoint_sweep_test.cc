@@ -243,6 +243,46 @@ TEST_F(FailpointSweepTest, EveryRegisteredSiteFiresThroughItsRealPath) {
     }
   }
 
+  // mod.arena.grow: the columnar hot tier's arena refuses a new backing
+  // block.  An empty DB's first Append needs one, so the append surfaces
+  // Unavailable and nothing is applied.
+  {
+    mod::MovingObjectDb db;
+    {
+      ScopedFailPoint fp(kModArenaGrow,
+                         ErrorAction(common::StatusCode::kUnavailable));
+      const common::Status status = db.Append(1, PointAt(10, 10, 100));
+      EXPECT_EQ(status.code(), common::StatusCode::kUnavailable);
+      EXPECT_EQ(db.total_samples(), 0u);
+      record(kModArenaGrow);
+    }
+    // The store heals once the fault clears.
+    EXPECT_TRUE(db.Append(1, PointAt(10, 10, 100)).ok());
+    EXPECT_EQ(db.total_samples(), 1u);
+  }
+
+  // mod.column.seal: the right-sized replacement slab for a sealed
+  // column is refused; DropPrefix falls back to shifting in place —
+  // answers identical, the slab just isn't shrunk.
+  {
+    mod::ColumnArena arena;
+    mod::Phl phl;
+    phl.AttachArena(&arena);
+    for (int64_t t = 1; t <= 17; ++t) {
+      ASSERT_TRUE(phl.Append(PointAt(double(t), double(t), t)).ok());
+    }
+    {
+      ScopedFailPoint fp(kModColumnSeal,
+                         ErrorAction(common::StatusCode::kUnavailable));
+      phl.DropPrefix(9);  // 8 survivors would fit a smaller slab
+      record(kModColumnSeal);
+    }
+    EXPECT_EQ(phl.hot_size(), 8u);
+    EXPECT_EQ(phl.archived_count(), 9u);
+    EXPECT_EQ(phl.HotSample(0), PointAt(10.0, 10.0, 10));
+    EXPECT_EQ(phl.HotSample(7), PointAt(17.0, 17.0, 17));
+  }
+
   // bench.noop: the overhead-measurement site guards nothing; fire it
   // directly through the macro.
   {

@@ -93,8 +93,8 @@ TEST(StreamingIo, TieredExportMergesColdBeforeHotAndRoundTrips) {
   auto phl = reloaded->GetPhl(1);
   ASSERT_TRUE(phl.ok());
   ASSERT_EQ((*phl)->size(), 3u);
-  EXPECT_EQ((*phl)->samples().front().t, 100);
-  EXPECT_EQ((*phl)->samples().back().t, 300);
+  EXPECT_EQ((*phl)->hot_t()[0], 100);
+  EXPECT_EQ((*phl)->hot_t()[(*phl)->hot_size() - 1], 300);
 }
 
 TEST(StreamingIo, TieredExportRefusesAPartialDumpOnAColdFault) {

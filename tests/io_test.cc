@@ -30,9 +30,9 @@ TEST(ModIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(loaded->total_samples(), db.total_samples());
   const Phl* phl = *loaded->GetPhl(1);
   ASSERT_EQ(phl->size(), 2u);
-  EXPECT_EQ(phl->samples()[0], (STPoint{{0.5, 1.25}, 10}));
-  EXPECT_EQ(phl->samples()[1], (STPoint{{100.125, 200.0}, 70}));
-  EXPECT_EQ((*loaded->GetPhl(7))->samples()[0], (STPoint{{-3.5, 9000.75}, 5}));
+  EXPECT_EQ(phl->HotSample(0), (STPoint{{0.5, 1.25}, 10}));
+  EXPECT_EQ(phl->HotSample(1), (STPoint{{100.125, 200.0}, 70}));
+  EXPECT_EQ((*loaded->GetPhl(7))->HotSample(0), (STPoint{{-3.5, 9000.75}, 5}));
 }
 
 TEST(ModIoTest, CommentsAndBlankLinesIgnored) {
